@@ -1,0 +1,84 @@
+"""E15 — Section V.C's third energy workaround: pick a smaller board.
+
+"Besides, a less power consuming FPGA board can be selected that would
+better fit our goal."
+
+The bench re-targets kernel IV.B at the EP4SGX230 (the mid-range
+sibling of the DE4's EP4SGX530: 43% of the logic, roughly half the
+leakage) and compares the best fitting design points on both parts,
+with and without the 10 W budget.
+"""
+
+import pytest
+
+from repro.bench.published import PAPER_POWER_BUDGET_W
+from repro.bench.tables import render_table
+from repro.core import kernel_b_ir
+from repro.core.sweep import select_board
+from repro.devices.calibration import FPGA_PIPELINE_DERATE
+from repro.hls import EP4SGX230, EP4SGX530
+
+PARTS = (EP4SGX530, EP4SGX230)
+
+
+def _select(budget):
+    return select_board(kernel_b_ir(1024), PARTS, power_budget_w=budget,
+                        pipeline_derate=FPGA_PIPELINE_DERATE)
+
+
+@pytest.fixture(scope="module")
+def unconstrained():
+    return _select(None)
+
+
+@pytest.fixture(scope="module")
+def budgeted():
+    return _select(PAPER_POWER_BUDGET_W)
+
+
+def test_board_selection(benchmark, unconstrained, budgeted, save_result):
+    result = benchmark.pedantic(lambda: _select(None), rounds=1, iterations=1)
+    assert len(result) == 2
+    rows = []
+    for label, candidates in (("unconstrained", unconstrained),
+                              (f"<= {PAPER_POWER_BUDGET_W:.0f} W", budgeted)):
+        for c in candidates:
+            rows.append((
+                label, c.part.name,
+                c.best.label if c.feasible else "-",
+                f"{c.options_per_second:,.0f}" if c.feasible else "-",
+                f"{c.power_w:.1f}" if c.feasible else "-",
+            ))
+    save_result("board_selection",
+                render_table(("constraint", "part", "best point",
+                              "options/s", "power W"), rows,
+                             title="Board selection (E15)"))
+
+
+def test_big_board_wins_unconstrained(unconstrained):
+    big, small = unconstrained
+    assert big.part is EP4SGX530
+    assert big.options_per_second > small.options_per_second
+
+
+def test_small_board_wins_under_the_budget(budgeted):
+    """The paper's point: within the trader's 10 W, the smaller die's
+    lower leakage buys more parallelism than the big board can afford."""
+    big, small = budgeted
+    assert small.feasible
+    assert small.options_per_second > big.options_per_second
+    assert small.power_w <= PAPER_POWER_BUDGET_W
+
+
+def test_even_the_small_board_misses_2000_at_10w(budgeted):
+    """No Stratix IV configuration meets 2000 options/s inside 10 W in
+    double precision — why the conclusion also points at clock scaling
+    and (implicitly) newer silicon."""
+    _, small = budgeted
+    assert small.options_per_second < 2000
+
+
+def test_smaller_part_leaks_less(unconstrained):
+    assert EP4SGX230.static_power_w < EP4SGX530.static_power_w
+    big, small = unconstrained
+    assert small.power_w < big.power_w

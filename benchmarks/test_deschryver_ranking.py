@@ -1,0 +1,119 @@
+"""E13 — rank the paper's solutions with its related work's benchmark.
+
+Section II describes de Schryver et al.'s accelerator benchmark
+(problem / model / solution, J/option as the discriminating
+criterion).  This experiment applies that methodology to the paper's
+own configurations, under the paper's own constraints, and reproduces
+the conclusion's conditional verdict: *"Provided that the 13.0 SP1 of
+Altera's OpenCL compiler generates an accurate Power operator, the
+kernel IV.B on the DE4 board answers most of the constraints of our
+problem"* — with the flawed operator the FPGA is eliminated on
+accuracy, with a fixed one it wins outright.
+"""
+
+import pytest
+
+from repro.bench.methodology import (
+    CRR_BINOMIAL_MODEL,
+    AcceleratorBenchmark,
+    PricingProblem,
+    Solution,
+)
+from repro.core import (
+    EXACT_DOUBLE,
+    BinomialAccelerator,
+    simulate_kernel_b_batch,
+)
+from repro.finance import generate_batch
+
+STEPS = 1024
+WORKLOAD = 40  # accuracy-batch size (throughput comes from the models)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    batch = generate_batch(n_options=WORKLOAD, seed=13).options
+    return PricingProblem(
+        name="trader volatility curve",
+        options=batch,
+        steps=STEPS,
+        max_rmse=1e-4,              # the paper calls 1e-3 insufficient
+        max_power_w=150.0,          # lab wall power (not the 10 W budget)
+        min_options_per_second=2000.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def solutions():
+    configs = (
+        ("IV.B FPGA double", "fpga", "iv_b", "double"),
+        ("IV.B GPU double", "gpu", "iv_b", "double"),
+        ("IV.B GPU single", "gpu", "iv_b", "single"),
+        ("Reference sw double", "cpu", "reference", "double"),
+    )
+    out = []
+    for name, platform, kernel, precision in configs:
+        acc = BinomialAccelerator(platform=platform, kernel=kernel,
+                                  precision=precision, steps=STEPS)
+        out.append(Solution.from_accelerator(acc, name=name))
+    return out
+
+
+@pytest.fixture(scope="module")
+def ranking(problem, solutions):
+    return AcceleratorBenchmark(problem, CRR_BINOMIAL_MODEL).rank(solutions)
+
+
+def test_deschryver_ranking(benchmark, problem, solutions, save_result):
+    bench_obj = AcceleratorBenchmark(problem, CRR_BINOMIAL_MODEL)
+    evaluations = benchmark.pedantic(lambda: bench_obj.rank(solutions),
+                                     rounds=1, iterations=1)
+    save_result("deschryver_ranking", bench_obj.report(evaluations))
+    assert len(evaluations) == 4
+
+
+def test_flawed_fpga_eliminated_on_accuracy(ranking):
+    """With the 13.0 pow defect, the FPGA fails the accuracy gate —
+    the exact problem the paper's conclusion is hedging about."""
+    fpga = next(e for e in ranking if "FPGA" in e.solution.name)
+    assert not fpga.meets_accuracy
+    assert fpga.meets_power and fpga.meets_throughput
+    assert not fpga.feasible
+
+
+def test_gpu_double_wins_among_feasible(ranking):
+    """Among solutions that meet all constraints, J/option picks the
+    GPU in double precision (the single-precision GPU fails accuracy,
+    the CPU fails throughput)."""
+    feasible = [e for e in ranking if e.feasible]
+    assert feasible, "at least one feasible solution expected"
+    assert feasible[0].solution.name == "IV.B GPU double"
+
+
+def test_fixed_pow_fpga_wins_outright(problem, solutions, save_result):
+    """The paper's conditional: with an accurate Power operator the
+    FPGA answers the constraints — and tops the J/option ranking."""
+    fixed_fpga = Solution(
+        name="IV.B FPGA double (13.0 SP1, fixed pow)",
+        price_fn=lambda options, steps: simulate_kernel_b_batch(
+            options, steps, EXACT_DOUBLE),
+        options_per_second=solutions[0].options_per_second,
+        power_w=solutions[0].power_w,
+    )
+    bench_obj = AcceleratorBenchmark(problem, CRR_BINOMIAL_MODEL)
+    evaluations = bench_obj.rank(list(solutions) + [fixed_fpga])
+    save_result("deschryver_ranking_fixed_pow", bench_obj.report(evaluations))
+    assert evaluations[0].solution.name.startswith("IV.B FPGA double (13.0 SP1")
+    assert evaluations[0].feasible
+
+
+def test_joules_per_option_is_the_sort_key(ranking):
+    feasible = [e for e in ranking if e.feasible]
+    values = [e.joules_per_option for e in feasible]
+    assert values == sorted(values)
+
+
+def test_cpu_fails_throughput_only(ranking):
+    cpu = next(e for e in ranking if "Reference" in e.solution.name)
+    assert cpu.meets_accuracy and cpu.meets_power
+    assert not cpu.meets_throughput

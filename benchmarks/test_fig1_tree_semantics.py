@@ -1,0 +1,79 @@
+"""E3 — Figure 1: the binomial tree and Equation (1) semantics.
+
+Figure 1 is the paper's worked 2-step tree: leaves initialised from
+the payoff, backward iteration via ``S[t,k] = d*S[t+1,k]`` and
+``V[t,k] = max(sign*(S-K), rp*V[t+1,k] + rq*V[t+1,k+1])``.  The bench
+verifies the recurrence cell by cell on that 2-step tree and measures
+the reference pricer at the paper's full N=1024 (the "tree nodes/s" a
+plain Python/numpy implementation achieves, for scale).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import render_table
+from repro.finance import (
+    Option,
+    OptionType,
+    asset_prices_at_step,
+    build_lattice_params,
+    price_binomial,
+    price_binomial_scalar,
+)
+
+
+@pytest.fixture(scope="module")
+def option():
+    return Option(spot=100.0, strike=100.0, rate=0.05, volatility=0.3,
+                  maturity=0.5, option_type=OptionType.PUT)
+
+
+def test_two_step_tree_by_hand(option, save_result):
+    """Every node of Figure 1's T=2 tree, computed by hand."""
+    params = build_lattice_params(option, 2)
+    u, d = params.up, params.down
+    rp, rq = params.discounted_p_up, params.discounted_p_down
+    s0, k_strike = option.spot, option.strike
+
+    # Figure 1's asset grid: S[2,0]=u^2*S0, S[2,1]=S0, S[2,2]=u^-2*S0
+    leaves = asset_prices_at_step(option, params, 2)
+    assert leaves[0] == pytest.approx(u * u * s0)
+    assert leaves[1] == pytest.approx(s0)
+    assert leaves[2] == pytest.approx(d * d * s0)
+
+    v2 = np.maximum(k_strike - leaves, 0.0)           # put payoff at expiry
+    s1 = d * leaves[:2]                               # S[1,k] = d*S[2,k]
+    v1 = np.maximum(np.maximum(k_strike - s1, 0.0),
+                    rp * v2[:2] + rq * v2[1:])        # Equation (1)
+    s0_row = d * s1[:1]
+    v0 = max(max(k_strike - s0_row[0], 0.0), rp * v1[0] + rq * v1[1])
+
+    assert price_binomial(option, 2).price == pytest.approx(v0, rel=1e-14)
+    assert price_binomial_scalar(option, 2).price == pytest.approx(v0, rel=1e-14)
+
+    rows = [
+        ("(2,k) leaves S", np.array2string(leaves, precision=4), "payoff init"),
+        ("(2,k) leaves V", np.array2string(v2, precision=4), "max(K-S, 0)"),
+        ("(1,k) V", np.array2string(v1, precision=4), "Equation (1)"),
+        ("(0,0) V", f"{v0:.6f}", "option price"),
+    ]
+    save_result("fig1_tree_semantics",
+                render_table(("node", "value", "rule"), rows,
+                             title="Figure 1 worked example (E3)"))
+
+
+def test_reference_pricer_throughput_at_n1024(benchmark, option):
+    """Measure the Python reference at the paper's tree size."""
+    result = benchmark(price_binomial, option, 1024)
+    assert result.price > 0
+    # one tree = 524800 interior nodes + 1025 leaves
+    assert result.tree_nodes == 525_825
+
+
+def test_equation1_invariant_any_level(option):
+    """Spot-check Equation (1) against the pricer at a deeper level."""
+    steps = 16
+    params = build_lattice_params(option, steps)
+    row5 = asset_prices_at_step(option, params, 5)
+    row6 = asset_prices_at_step(option, params, 6)
+    assert np.allclose(row5, params.down * row6[:6], rtol=1e-13)

@@ -1,0 +1,84 @@
+"""E4 — Figure 3: kernel IV.A's batch dataflow, observed functionally.
+
+Runs the actual host program (ping-pong buffers, per-batch writes,
+full-tree NDRange, per-batch readback) on the simulated DE4 at a
+reduced tree size and verifies every structural claim of Section IV.A
+and Figure 3: the ``N(N+1)/2`` work-item count, the option-per-batch
+pipelining, the four host operations per batch, and the full-buffer
+readback whose ~12.6 MB/batch (at N=1024; the paper says ~19 MB for
+its slightly larger record) stalls the kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import render_table
+from repro.core import (
+    HostProgramA,
+    ReadbackMode,
+    interior_nodes,
+    pipeline_buffer_bytes,
+)
+from repro.devices import fpga_device
+from repro.finance import generate_batch, price_binomial
+from repro.opencl import CommandType
+
+STEPS = 16
+N_OPTIONS = 8
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return list(generate_batch(n_options=N_OPTIONS, seed=4).options)
+
+
+def test_kernel_a_functional_dataflow(benchmark, batch, save_result):
+    host = HostProgramA(fpga_device("iv_a"), STEPS)
+    run = benchmark.pedantic(lambda: host.price(batch), rounds=1, iterations=1)
+
+    reference = [price_binomial(o, STEPS).price for o in batch]
+    assert np.allclose(run.prices, reference, rtol=1e-12)
+
+    # one option exits per batch once the pipeline is full
+    assert run.batches == N_OPTIONS + STEPS - 1
+    # every batch launches the full tree network of work-items
+    launches = [e for e in host.queue.events
+                if e.command_type is CommandType.NDRANGE_KERNEL]
+    assert all(e.info["global_size"] == interior_nodes(STEPS)
+               for e in launches)
+    # the throughput killer: a full ping-pong buffer read per batch
+    per_batch_read = run.bytes_read / run.batches
+    assert per_batch_read == pytest.approx(pipeline_buffer_bytes(STEPS))
+
+    full_size = pipeline_buffer_bytes(1024)
+    rows = [
+        ("work-items/batch (N(N+1)/2)", interior_nodes(STEPS),
+         f"{interior_nodes(1024):,} at N=1024"),
+        ("batches for 8 options", run.batches, "Nop + N - 1 (pipelining)"),
+        ("readback/batch", f"{per_batch_read:,.0f} B",
+         f"{full_size / 1e6:.1f} MB at N=1024 (paper: ~19 MB)"),
+        ("kernel launches", run.kernel_launches, "one per batch"),
+        ("simulated throughput", f"{run.options_per_second:,.1f} opt/s",
+         "25 opt/s at N=1024 (Table II)"),
+    ]
+    save_result("fig3_kernel_a_dataflow",
+                render_table(("structure", "observed", "paper / full size"),
+                             rows, title="Kernel IV.A dataflow (E4)"))
+
+
+def test_transfer_dominates_compute_on_the_link_model(batch):
+    """The simulated clock shows the Figure 3 flow is readback-bound."""
+    host = HostProgramA(fpga_device("iv_a"), STEPS)
+    host.price(batch)
+    transfer_ns = host.queue.transfer_time_ns()
+    kernel_ns = host.queue.kernel_time_ns()
+    assert transfer_ns > kernel_ns
+
+
+def test_result_only_variant_removes_the_stall(batch):
+    full = HostProgramA(fpga_device("iv_a"), STEPS).price(batch)
+    modified = HostProgramA(fpga_device("iv_a"), STEPS,
+                            readback=ReadbackMode.RESULT_ONLY).price(batch)
+    assert np.array_equal(full.prices, modified.prices)
+    assert modified.bytes_read < full.bytes_read / 100
+    assert modified.simulated_time_s < full.simulated_time_s

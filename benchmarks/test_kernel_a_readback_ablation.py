@@ -1,0 +1,57 @@
+"""E7 — Section V.C: the modified kernel IV.A (reduced readback).
+
+"A modified version of this kernel on GPU, with a reduced number of
+read operations between host and device, has an acceleration factor 14
+times better than the initial kernel version on the same hardware
+(840 options/s vs 58.4 options/s)."
+"""
+
+import pytest
+
+from repro.bench import published, readback_ablation
+from repro.core import ReadbackMode, kernel_a_estimate
+from repro.devices import fpga_compute_model, gpu_compute_model
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return readback_ablation()
+
+
+def test_readback_ablation(benchmark, ablation, save_result):
+    result = benchmark(readback_ablation)
+    save_result("kernel_a_readback_ablation", ablation.rendered)
+    assert result.speedup_gpu > 1.0
+
+
+def test_gpu_numbers_match_section_vc(ablation):
+    assert ablation.gpu_full == pytest.approx(
+        published.KERNEL_A_GPU_ORIGINAL_OPTIONS_PER_S, rel=0.03)
+    assert ablation.gpu_result_only == pytest.approx(
+        published.KERNEL_A_GPU_MODIFIED_OPTIONS_PER_S, rel=0.03)
+
+
+def test_14x_speedup(ablation):
+    assert ablation.speedup_gpu == pytest.approx(14.4, rel=0.10)
+
+
+def test_fpga_same_order_of_magnitude_improvement(ablation):
+    """'Modifications ... to run on the DE4 board are ongoing, but the
+    same order of magnitude of acceleration can be expected.'"""
+    speedup_fpga = ablation.fpga_result_only / ablation.fpga_full
+    assert 5.0 < speedup_fpga < 100.0
+
+
+def test_table2_kernel_a_rows_are_the_full_readback_points(ablation):
+    assert ablation.fpga_full == pytest.approx(25, rel=0.03)
+    assert ablation.gpu_full == pytest.approx(58.4, rel=0.03)
+
+
+def test_readback_bytes_drive_the_gap():
+    """The ablation's entire effect comes through the transfer term."""
+    gpu = gpu_compute_model("iv_a")
+    full = kernel_a_estimate(gpu, 1024, ReadbackMode.FULL_BUFFER)
+    modified = kernel_a_estimate(gpu, 1024, ReadbackMode.RESULT_ONLY)
+    # identical compute/power model: options/J scale with options/s
+    assert modified.options_per_joule / full.options_per_joule == \
+        pytest.approx(modified.options_per_second / full.options_per_second)

@@ -1,0 +1,131 @@
+"""E16 — Section II's method landscape: lattice vs Monte Carlo vs QUAD.
+
+The related work positions the binomial choice against its rivals:
+
+* Monte Carlo accelerators ([4]-[8]) offer massive parallelism, "but
+  the acceleration factors that can be achieved are counterbalanced by
+  the slow convergence rate of this method";
+* Jin, Luk & Thomas [12] "conclude that quadrature methods are the
+  best compromise to price American options, while tree-based methods
+  are optimal when time-to-solution is a key constraint".
+
+The bench prices one American put with all three methods at increasing
+work budgets (work counted in each method's natural unit: node updates,
+path-steps, kernel evaluations) and checks the qualitative landscape
+the paper builds its method choice on.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.tables import render_table
+from repro.finance import (
+    Option,
+    OptionType,
+    price_american_lsmc,
+    price_binomial,
+    price_quadrature,
+)
+
+TARGET_ACCURACY = 1e-3  # the accuracy bar the paper's use case implies
+
+
+@pytest.fixture(scope="module")
+def option():
+    return Option(spot=100.0, strike=100.0, rate=0.05, volatility=0.30,
+                  maturity=1.0, option_type=OptionType.PUT)
+
+
+@pytest.fixture(scope="module")
+def reference(option):
+    return price_binomial(option, 16384).price
+
+
+@pytest.fixture(scope="module")
+def landscape(option, reference):
+    """(method, work, error) points across three work decades each."""
+    points = []
+    for steps in (64, 256, 1024):
+        work = steps * (steps + 1) // 2
+        error = abs(price_binomial(option, steps).price - reference)
+        points.append(("binomial", work, error))
+    for paths in (4_000, 40_000, 400_000):
+        work = paths * 50  # path-steps
+        error = abs(
+            price_american_lsmc(option, paths=paths, steps=50, seed=42).price
+            - reference)
+        points.append(("monte-carlo", work, error))
+    for dates, grid in ((16, 257), (64, 513), (256, 1025)):
+        work = dates * grid * grid  # kernel evaluations
+        error = abs(price_quadrature(option, dates, grid) - reference)
+        points.append(("quadrature", work, error))
+    return points
+
+
+def test_method_comparison(benchmark, landscape, reference, save_result,
+                           option):
+    value = benchmark.pedantic(
+        lambda: price_binomial(option, 1024).price, rounds=3, iterations=1)
+    assert abs(value - reference) < 5e-3
+    rows = [(m, f"{w:,}", f"{e:.2e}") for m, w, e in landscape]
+    save_result("method_comparison",
+                render_table(("method", "work units", "|error|"), rows,
+                             title="Pricing-method landscape (E16)"))
+
+
+def test_every_method_converges(landscape):
+    for method in ("binomial", "monte-carlo", "quadrature"):
+        errors = [e for m, _, e in landscape if m == method]
+        assert min(errors) < errors[0], method
+
+
+def test_monte_carlo_converges_slowest(landscape, option):
+    """'the slow convergence rate of this method': the sampling error
+    falls only as paths^-1/2, and LSMC's exercise-policy bias puts a
+    floor under the total error — at every tested budget MC is the
+    least accurate method and never reaches the accuracy bar."""
+    mc_errors = [e for m, _, e in landscape if m == "monte-carlo"]
+    assert min(mc_errors) > min(e for m, _, e in landscape
+                                if m == "binomial")
+    assert all(e > TARGET_ACCURACY for e in mc_errors)
+    # the sampling component provably scales as 1/sqrt(paths)
+    small = price_american_lsmc(option, paths=10_000, steps=50, seed=1)
+    large = price_american_lsmc(option, paths=160_000, steps=50, seed=1)
+    assert large.std_error == pytest.approx(small.std_error / 4, rel=0.35)
+
+
+def test_tree_wins_time_to_solution(landscape):
+    """[12]: 'tree-based methods are optimal when time-to-solution is a
+    key constraint' — the lattice reaches the accuracy bar with the
+    least work of the three."""
+    def work_to_reach(method):
+        qualifying = [w for m, w, e in landscape
+                      if m == method and e <= 2 * TARGET_ACCURACY]
+        return min(qualifying) if qualifying else float("inf")
+
+    tree_work = work_to_reach("binomial")
+    assert tree_work < work_to_reach("monte-carlo")
+    assert tree_work < work_to_reach("quadrature")
+
+
+def test_quadrature_beats_monte_carlo_on_accuracy(landscape):
+    """The deterministic methods reach accuracies MC cannot touch at
+    these budgets ([12]'s case for quadrature over simulation)."""
+    best_quad = min(e for m, _, e in landscape if m == "quadrature")
+    best_mc = min(e for m, _, e in landscape if m == "monte-carlo")
+    assert best_quad < best_mc
+
+
+def test_dimensionality_argument_is_structural():
+    """Section II: MC's complexity is linear in dimensionality while
+    lattices/quadrature blow up exponentially — visible in the work
+    formulas without running anything."""
+    def lattice_work(steps, dims):
+        return steps ** (dims + 1)  # recombining tree nodes ~ N^(d+1)
+
+    def mc_work(paths, steps, dims):
+        return paths * steps * dims
+
+    assert lattice_work(100, 3) / lattice_work(100, 1) == 100 ** 2
+    assert mc_work(10_000, 100, 3) / mc_work(10_000, 100, 1) == 3

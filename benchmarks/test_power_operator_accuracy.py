@@ -1,0 +1,62 @@
+"""E8 — Section V.C: the Power-operator accuracy defect.
+
+"Unfortunately, this kernel does not reach the accuracy levels
+required for this application, with a RMSE of 1e-3 only. The same
+kernel implemented on GPU has no accuracy issues. The source of this
+inaccuracy has been isolated and is due to the use of the Power
+operator."
+
+The bench prices a 500-option batch at the paper's full N=1024 under
+every math profile and checks the error decades.
+"""
+
+import pytest
+
+from repro.bench import accuracy_experiment
+
+
+@pytest.fixture(scope="module")
+def accuracy():
+    return accuracy_experiment(n_options=500)
+
+
+def test_accuracy_experiment(benchmark, accuracy, save_result):
+    result = benchmark.pedantic(
+        lambda: accuracy_experiment(n_options=50), rounds=1, iterations=1
+    )
+    save_result("power_operator_accuracy", accuracy.rendered)
+    assert set(result.rmses) == set(accuracy.rmses)
+
+
+def test_fpga_double_rmse_decade(accuracy):
+    """Kernel IV.B on the FPGA: RMSE of order 1e-3, as published."""
+    value = accuracy.rmses["IV.B FPGA double (flawed pow)"]
+    assert 3e-4 < value < 3e-3
+    assert accuracy.classes["IV.B FPGA double (flawed pow)"] == "~1e-3"
+
+
+def test_gpu_double_is_exact(accuracy):
+    """'The same kernel implemented on GPU has no accuracy issues.'"""
+    assert accuracy.classes["IV.B GPU double (exact pow)"] == "0"
+
+
+def test_kernel_a_is_exact(accuracy):
+    """'The Power operator is not used within the kernel IV.A as the
+    tree leaves are computed by the host' — so IV.A stays exact.
+    (The printed Table II marks IV.A-FPGA ~1e-3; we reproduce the
+    text's analysis — recorded in EXPERIMENTS.md.)"""
+    assert accuracy.classes["IV.A (host leaves, exact)"] == "0"
+
+
+def test_single_precision_rmse_decade(accuracy):
+    """fp32 rounding alone lands in the same ~1e-3 decade — the
+    single-precision reference row of Table II."""
+    value = accuracy.rmses["Reference single"]
+    assert 3e-4 < value < 1e-2
+
+
+def test_error_isolated_to_the_pow_operator(accuracy):
+    """The flawed profile differs from exact double only through pow:
+    kernel IV.A (no pow) is unaffected, kernel IV.B is."""
+    assert accuracy.rmses["IV.A (host leaves, exact)"] < 1e-10
+    assert accuracy.rmses["IV.B FPGA double (flawed pow)"] > 1e-4

@@ -1,0 +1,84 @@
+"""E6 — Section V.C: device saturation behaviour.
+
+"All the presented results were sampled after device saturation ...
+This saturation typically happens at 1e5 priced options ... Only the
+kernel IV.B implemented on the GTX660 has a saturation at a higher
+number of options (1e6 options in both double and single precision)."
+
+The bench sweeps the workload size over five decades and checks that
+the effective-throughput knees sit where the paper puts them.
+"""
+
+import pytest
+
+from repro.bench import saturation_sweep
+from repro.core import kernel_b_estimate, reference_estimate
+from repro.devices import cpu_compute_model, fpga_compute_model, gpu_compute_model
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return saturation_sweep()
+
+
+def test_saturation_sweep(benchmark, sweep, save_result):
+    result = benchmark(saturation_sweep)
+    save_result("saturation_sweep", sweep.rendered)
+    assert set(result.series) == {
+        "IV.B FPGA", "IV.B GPU double", "IV.B GPU single", "Reference sw",
+    }
+
+
+def test_fpga_saturates_at_1e5(sweep):
+    series = sweep.series["IV.B FPGA"]
+    workloads = sweep.workloads
+    peak = kernel_b_estimate(fpga_compute_model("iv_b")).options_per_second
+    at_1e5 = series[workloads.index(100_000)]
+    at_1e4 = series[workloads.index(10_000)]
+    assert at_1e5 >= 0.95 * peak
+    assert at_1e4 < 0.95 * peak
+
+
+def test_gpu_kernel_b_saturates_at_1e6_both_precisions(sweep):
+    workloads = sweep.workloads
+    for name, model in (("IV.B GPU double", gpu_compute_model("iv_b")),
+                        ("IV.B GPU single",
+                         gpu_compute_model("iv_b", "single"))):
+        series = sweep.series[name]
+        peak = kernel_b_estimate(model).options_per_second
+        assert series[workloads.index(1_000_000)] >= 0.95 * peak
+        assert series[workloads.index(100_000)] < 0.95 * peak
+
+
+def test_gpu_needs_ten_times_the_workload(sweep):
+    """'the GPU board needs a more important workload to reach optimal
+    performances (ten times as many)'."""
+    fpga_sat = fpga_compute_model("iv_b").saturation_options
+    gpu_sat = gpu_compute_model("iv_b").saturation_options
+    assert gpu_sat == pytest.approx(10 * fpga_sat)
+
+
+def test_throughput_linear_after_saturation(sweep):
+    """Post-saturation, time is linear in the option count."""
+    est = kernel_b_estimate(fpga_compute_model("iv_b"))
+    t1 = est.time_for(2_000_000)
+    t2 = est.time_for(4_000_000)
+    assert t2 / t1 == pytest.approx(2.0, rel=0.01)
+
+
+def test_sequential_reference_has_no_ramp(sweep):
+    series = sweep.series["Reference sw"]
+    ref = reference_estimate(cpu_compute_model()).options_per_second
+    assert all(rate == pytest.approx(ref, rel=0.01) for rate in series[1:])
+
+
+def test_low_workload_latency_favors_fpga_over_gpu(sweep):
+    """Section V.C: 'latency at low workload is an issue' for a single
+    trader — at 100-1000 options the FPGA beats the GPU (double)."""
+    workloads = sweep.workloads
+    fpga = sweep.series["IV.B FPGA"]
+    gpu = sweep.series["IV.B GPU double"]
+    assert fpga[workloads.index(100)] > gpu[workloads.index(100)]
+    assert fpga[workloads.index(1_000)] > gpu[workloads.index(1_000)]
+    # while post-saturation the GPU's raw throughput wins
+    assert gpu[-1] > fpga[-1]

@@ -1,0 +1,126 @@
+"""E14 — the N=1024 compromise: speed vs precision vs memory.
+
+Section V.B: "choosing a discretization step of T = 1024 ... provides
+a good compromise between speed, precision and hardware restrictions
+(in terms of memory resources)."
+
+The bench sweeps the lattice depth and evaluates all three axes:
+discretisation error (from the convergence study), modeled kernel IV.B
+throughput, and whether the design still fits the Stratix IV's M9K
+budget (the work-group's local value row grows with N).
+"""
+
+import pytest
+
+from repro.bench.tables import render_table
+from repro.core import kernel_b_estimate, kernel_b_ir
+from repro.devices import fpga_compute_model
+from repro.errors import FitError
+from repro.finance import Option, OptionType
+from repro.finance.convergence import (
+    convergence_study,
+    estimate_convergence_order,
+    richardson_extrapolation,
+)
+from repro.hls import KERNEL_B_OPTIONS, compile_kernel
+
+STEPS_SWEEP = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+@pytest.fixture(scope="module")
+def option():
+    return Option(spot=100.0, strike=100.0, rate=0.05, volatility=0.30,
+                  maturity=1.0, option_type=OptionType.PUT)
+
+
+@pytest.fixture(scope="module")
+def study(option):
+    return convergence_study(option, steps_list=STEPS_SWEEP,
+                             reference_steps=16384)
+
+
+@pytest.fixture(scope="module")
+def tradeoff(study):
+    rows = []
+    for point in study:
+        estimate = kernel_b_estimate(fpga_compute_model("iv_b"), point.steps)
+        try:
+            compile_kernel(kernel_b_ir(point.steps), KERNEL_B_OPTIONS)
+            fits = True
+        except FitError:
+            fits = False
+        rows.append((point, estimate, fits))
+    return rows
+
+
+def test_steps_tradeoff(benchmark, option, tradeoff, save_result):
+    result = benchmark.pedantic(
+        lambda: convergence_study(option, steps_list=(64, 256),
+                                  reference_steps=4096),
+        rounds=1, iterations=1,
+    )
+    assert len(result) == 2
+    table_rows = [
+        (p.steps, f"{p.price:.6f}", f"{p.abs_error:.2e}",
+         f"{est.options_per_second:,.0f}",
+         "yes" if est.options_per_second >= 2000 else "no",
+         "yes" if fits else "NO (M9K budget)")
+        for p, est, fits in tradeoff
+    ]
+    save_result("steps_tradeoff",
+                render_table(("N", "price", "|error|", "options/s",
+                              ">=2000 opt/s", "fits EP4SGX530"),
+                             table_rows,
+                             title="The N=1024 compromise (E14)"))
+
+
+def test_error_shrinks_with_depth(study):
+    errors = [p.abs_error for p in study]
+    assert errors[-1] < errors[0] / 10
+
+
+def test_first_order_convergence(study):
+    order = estimate_convergence_order(study)
+    assert -1.6 < order < -0.5  # ~O(1/N) with oscillation noise
+
+
+def test_n1024_is_the_sweet_spot(tradeoff):
+    """At N=1024 all three constraints hold; the neighbours each break
+    one — precision at 512 is 2x worse, 2048 halves throughput below
+    the use-case target."""
+    by_steps = {p.steps: (p, est, fits) for p, est, fits in tradeoff}
+    p1024, est1024, fits1024 = by_steps[1024]
+    assert fits1024
+    assert est1024.options_per_second >= 2000
+    assert p1024.abs_error < 5e-3
+
+    _, est2048, _ = by_steps[2048]
+    assert est2048.options_per_second < 2000  # speed leg fails
+
+    p512, _, _ = by_steps[512]
+    assert p512.abs_error > p1024.abs_error  # precision leg degrades
+
+
+def test_memory_restriction_binds_at_large_n(tradeoff):
+    """'hardware restrictions (in terms of memory resources)': the
+    per-work-group value row eventually blows the M9K budget."""
+    fits_by_steps = {p.steps: fits for p, _, fits in tradeoff}
+    assert fits_by_steps[1024]
+    assert not fits_by_steps[4096]
+
+
+def test_richardson_buys_depth_on_average(option):
+    """Averaged over depths, smoothed extrapolation from N beats the
+    plain 2N lattice — accuracy without the deeper tree's memory."""
+    import numpy as np
+
+    from repro.finance import price_binomial
+
+    reference = price_binomial(option, 16384).price
+    depths = (128, 256, 512)
+    plain_2n = [abs(price_binomial(option, 2 * n).price - reference)
+                for n in depths]
+    extrapolated = [abs(richardson_extrapolation(option, n) - reference)
+                    for n in depths]
+    gm = lambda xs: float(np.exp(np.mean(np.log(np.maximum(xs, 1e-16)))))
+    assert gm(extrapolated) < gm(plain_2n)

@@ -1,0 +1,62 @@
+"""E1 — Table I: resource usage of both kernels on the EP4SGX530.
+
+Regenerates every row of the paper's Table I (logic utilisation,
+registers, memory bits, M9K blocks, DSP elements, clock frequency,
+power) by compiling the two kernel IRs through the HLS model with the
+paper's exact parallelisation options (IV.A: vectorised x2, replicated
+x3; IV.B: unrolled x2, vectorised x4).
+"""
+
+import pytest
+
+from repro.bench import published, table1
+from repro.bench.experiments import Table1Result
+from repro.core import kernel_a_ir, kernel_b_ir
+from repro.hls import KERNEL_A_OPTIONS, KERNEL_B_OPTIONS, compile_kernel
+
+
+@pytest.fixture(scope="module")
+def result() -> Table1Result:
+    return table1()
+
+
+def test_table1_regeneration(benchmark, result, save_result):
+    """Benchmark one full compile of each kernel; check every cell."""
+
+    def compile_both():
+        return (
+            compile_kernel(kernel_a_ir(), KERNEL_A_OPTIONS),
+            compile_kernel(kernel_b_ir(1024), KERNEL_B_OPTIONS),
+        )
+
+    compiled_a, compiled_b = benchmark(compile_both)
+    save_result("table1_resources", result.rendered)
+
+    for key, compiled in (("iv_a", compiled_a), ("iv_b", compiled_b)):
+        paper = published.TABLE1[key]
+        resources = compiled.resources
+        assert resources.fits()
+        assert resources.logic_utilization == pytest.approx(
+            paper.logic_utilization, rel=0.10)
+        assert resources.registers == pytest.approx(paper.registers, rel=0.15)
+        assert resources.memory_bits == pytest.approx(paper.memory_bits, rel=0.15)
+        assert resources.m9k_blocks == pytest.approx(paper.m9k_blocks, rel=0.15)
+        assert resources.dsp_18bit == pytest.approx(paper.dsp_18bit, rel=0.10)
+        assert compiled.fit.fmax_mhz == pytest.approx(paper.clock_mhz, rel=0.10)
+        assert compiled.power.total_w == pytest.approx(paper.power_w, rel=0.10)
+
+
+def test_table1_qualitative_story(result):
+    """The comparisons the paper draws from Table I."""
+    a = result.compiled["iv_a"]
+    b = result.compiled["iv_b"]
+    # IV.A exhausts the chip; IV.B leaves headroom at a faster clock
+    assert a.resources.logic_utilization > 0.9
+    assert b.resources.logic_utilization < 0.8
+    assert b.fit.fmax_hz > 1.5 * a.fit.fmax_hz
+    # both kernels use "most of the M9K Block RAMs available" (V.B)
+    assert a.resources.m9k_utilization > 0.85
+    assert b.resources.m9k_utilization > 0.70
+    # both power estimates exceed the 10 W budget (the paper's problem)
+    assert a.power.total_w > published.PAPER_POWER_BUDGET_W
+    assert b.power.total_w > published.PAPER_POWER_BUDGET_W

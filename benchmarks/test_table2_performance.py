@@ -1,0 +1,88 @@
+"""E2 — Table II: options/s, RMSE, options/J, tree-nodes/s.
+
+Regenerates all nine columns: the seven measured configurations
+(kernels IV.A/IV.B on FPGA/GPU, the software reference in single and
+double) plus the two literature rows carried as printed.  Throughput
+and energy come from the calibrated analytic models; RMSE from pricing
+a 200-option batch at the paper's full N=1024 with each
+configuration's exact arithmetic (flawed pow included).
+"""
+
+import pytest
+
+from repro.bench import published, table2
+from repro.bench.experiments import Table2Result
+
+#: |measured/paper - 1| tolerance for rate-like Table II cells.
+RATE_TOLERANCE = 0.05
+
+
+@pytest.fixture(scope="module")
+def result() -> Table2Result:
+    return table2(accuracy_options=200)
+
+
+def test_table2_regeneration(benchmark, result, save_result):
+    out = benchmark.pedantic(
+        lambda: table2(accuracy_options=20), rounds=1, iterations=1
+    )
+    assert len(out.rows) == 9
+    save_result("table2_performance", result.rendered)
+
+
+@pytest.mark.parametrize("index", range(7))
+def test_measured_columns_match_paper(result, index):
+    row = result.rows[index]
+    paper = published.TABLE2[index]
+    # Column 1 (kernel IV.A on the GPU) is printed as 53 options/s in
+    # Table II but quoted as 58.4 options/s in Section V.C; we pin the
+    # calibration to the V.C figure, so this column sits 10% above the
+    # printed cell (recorded in EXPERIMENTS.md).
+    rate_tol = 0.12 if index == 1 else RATE_TOLERANCE
+    assert row.options_per_second == pytest.approx(
+        paper.options_per_second, rel=rate_tol), row.label
+    assert row.options_per_joule == pytest.approx(
+        paper.options_per_joule, rel=0.12), row.label
+    assert row.tree_nodes_per_second == pytest.approx(
+        paper.tree_nodes_per_second, rel=0.12), row.label
+
+
+def test_rmse_story(result):
+    """RMSE column: flawed-pow FPGA and fp32 rows ~1e-3; exact rows 0.
+
+    Known deviations from the printed table (see EXPERIMENTS.md):
+    IV.A-FPGA prints ~1e-3 in the paper but its own Section V.C argues
+    kernel IV.A avoids the pow operator — we reproduce the text; and
+    the GPU-single column prints 0 although fp32 rounding alone is
+    ~1e-3 (the paper's single-precision *reference* row shows exactly
+    that).
+    """
+    by_label = {
+        (r.label, r.platform, r.precision): r.rmse_display for r in result.rows
+    }
+    assert by_label[("Kernel IV.B", "FPGA (DE4)", "double")] == "~1e-3"
+    assert by_label[("Kernel IV.B", "GPU (GTX660 Ti)", "double")] == "0"
+    assert by_label[("Kernel IV.A", "GPU (GTX660 Ti)", "double")] == "0"
+    assert by_label[("Reference sw", "Xeon X5450 (1 core)", "double")] == "0"
+    assert by_label[("Reference sw", "Xeon X5450 (1 core)", "single")] in (
+        "~1e-3", "~1e-2")
+
+
+def test_energy_rankings(result):
+    """Who wins on options/J, and by roughly what factor."""
+    rows = {(r.label, r.platform, r.precision): r for r in result.rows}
+    fpga_b = rows[("Kernel IV.B", "FPGA (DE4)", "double")]
+    gpu_b = rows[("Kernel IV.B", "GPU (GTX660 Ti)", "double")]
+    ref = rows[("Reference sw", "Xeon X5450 (1 core)", "double")]
+    assert fpga_b.options_per_joule / gpu_b.options_per_joule == pytest.approx(
+        140 / 64, rel=0.15)
+    assert fpga_b.options_per_joule / ref.options_per_joule > 5.0
+
+
+def test_literature_rows_carried_verbatim(result):
+    jin = result.rows[7]
+    wynnyk = result.rows[8]
+    assert jin.options_per_second == 385
+    assert jin.options_per_joule is None
+    assert wynnyk.options_per_second == 1152
+    assert wynnyk.tree_nodes_per_second == 576e6

@@ -1,0 +1,76 @@
+"""Accuracy deep-dive: the pow defect, precision, and lattice depth.
+
+Combines three accuracy stories of the paper into one study:
+
+1. the Altera 13.0 ``pow`` defect (Section V.C) — error vs an exact
+   double run, per lattice depth;
+2. single precision — the error floor fp32 imposes regardless of the
+   operator fix;
+3. discretisation — the CRR error itself, and what parity-smoothed
+   Richardson extrapolation recovers.
+
+Run:  python examples/accuracy_study.py     (about a minute: it prices
+real batches at N up to 1024 under three math profiles)
+"""
+
+import numpy as np
+
+from repro.core import (
+    ALTERA_13_0_DOUBLE,
+    EXACT_DOUBLE,
+    EXACT_SINGLE,
+    simulate_kernel_b_batch,
+)
+from repro.finance import (
+    Option,
+    OptionType,
+    convergence_study,
+    generate_batch,
+    price_binomial_batch,
+    richardson_extrapolation,
+    rmse,
+)
+
+DEPTHS = (128, 256, 512, 1024)
+BATCH = 100
+
+
+def main() -> None:
+    batch = list(generate_batch(n_options=BATCH, seed=5).options)
+
+    print("=== RMSE vs lattice depth, per math configuration ===")
+    print(f"{'N':>6} {'flawed pow (FPGA)':>18} {'exact (GPU dbl)':>16} "
+          f"{'fp32 (GPU sgl)':>15}")
+    for steps in DEPTHS:
+        reference = price_binomial_batch(batch, steps)
+        flawed = rmse(reference,
+                      simulate_kernel_b_batch(batch, steps, ALTERA_13_0_DOUBLE))
+        exact = rmse(reference,
+                     simulate_kernel_b_batch(batch, steps, EXACT_DOUBLE))
+        single = rmse(reference,
+                      simulate_kernel_b_batch(batch, steps, EXACT_SINGLE))
+        print(f"{steps:>6} {flawed:>18.2e} {exact:>16.2e} {single:>15.2e}")
+    print("-> the pow defect sits at ~1e-3 at the paper's N=1024, exactly")
+    print("   where fp32 rounding also lands: fixing the operator matters")
+    print("   only in double precision (the paper's Section V.C argument).")
+
+    print("\n=== Discretisation error and Richardson recovery ===")
+    option = Option(spot=100.0, strike=100.0, rate=0.05, volatility=0.3,
+                    maturity=1.0, option_type=OptionType.PUT)
+    points = convergence_study(option, steps_list=DEPTHS,
+                               reference_steps=16384)
+    print(f"{'N':>6} {'lattice error':>14} {'richardson(N/2)':>16}")
+    from repro.finance import price_binomial
+    deep = price_binomial(option, 16384).price
+    for point in points:
+        extrapolated = richardson_extrapolation(option, point.steps // 2)
+        print(f"{point.steps:>6} {point.abs_error:>14.2e} "
+              f"{abs(extrapolated - deep):>16.2e}")
+    print("-> at N=1024 the discretisation error (~1e-3) is the same size")
+    print("   as the pow defect: past this depth, fixing the operator is")
+    print("   pointless without also deepening the tree (and vice versa) —")
+    print("   the 'good compromise' of Section V.B, quantified.")
+
+
+if __name__ == "__main__":
+    main()

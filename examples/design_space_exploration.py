@@ -1,0 +1,77 @@
+"""Design-space exploration: the compile loop behind Section V.B.
+
+The paper chose kernel IV.A's (vectorize x2, replicate x3) and kernel
+IV.B's (unroll x2, vectorize x4) "after several compilation iterations
+to find the best resource consumption rate".  This example automates
+that loop over the HLS model: it compiles every (V, R, U) combination,
+ranks the fitting points by throughput and energy efficiency, and then
+walks the paper's two energy workarounds (under-clocking, lower
+parallelism) toward the 10 W budget.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.bench.published import PAPER_POWER_BUDGET_W
+from repro.core import (
+    explore_design_space,
+    fit_power_budget,
+    frequency_scaling,
+    kernel_b_ir,
+)
+from repro.devices.calibration import FPGA_PIPELINE_DERATE
+from repro.hls import KERNEL_B_OPTIONS, compile_kernel
+
+STEPS = 1024
+
+
+def main() -> None:
+    print("=== Kernel IV.B design space on the EP4SGX530 ===")
+    points = explore_design_space(
+        kernel_b_ir(STEPS), steps=STEPS,
+        simd_widths=(1, 2, 4, 8), compute_units=(1, 2), unrolls=(1, 2, 4),
+        pipeline_derate=FPGA_PIPELINE_DERATE,
+    )
+    header = (f"{'configuration':<38} {'fits':>5} {'logic':>7} {'MHz':>8} "
+              f"{'W':>6} {'opt/s':>9} {'opt/J':>8}")
+    print(header)
+    print("-" * len(header))
+    for p in points:
+        if p.fits:
+            r = p.compiled
+            print(f"{p.label:<38} {'yes':>5} "
+                  f"{r.resources.logic_utilization:>6.0%} "
+                  f"{r.fit.fmax_mhz:>8.1f} {r.power.total_w:>6.1f} "
+                  f"{p.options_per_second:>9,.0f} {p.options_per_joule:>8.1f}")
+        else:
+            print(f"{p.label:<38} {'NO':>5} {'-':>7} {'-':>8} {'-':>6} "
+                  f"{'-':>9} {'-':>8}")
+
+    paper = [p for p in points
+             if p.options.num_simd_work_items == 4 and p.options.unroll == 2
+             and p.options.num_compute_units == 1][0]
+    best = points[0]
+    print(f"\npaper's point:  {paper.label} -> "
+          f"{paper.options_per_second:,.0f} options/s")
+    print(f"model's best:   {best.label} -> "
+          f"{best.options_per_second:,.0f} options/s")
+
+    print("\n=== Energy workaround: under-clocking (Section V.C) ===")
+    compiled = compile_kernel(kernel_b_ir(STEPS), KERNEL_B_OPTIONS)
+    for point in frequency_scaling(compiled, STEPS,
+                                   fractions=(1.0, 0.8, 0.6, 0.4),
+                                   pipeline_derate=FPGA_PIPELINE_DERATE):
+        marker = " <= 10 W" if point.power_w <= PAPER_POWER_BUDGET_W else ""
+        print(f"  {point.clock_mhz:6.1f} MHz  {point.power_w:5.2f} W  "
+              f"{point.options_per_second:7,.0f} options/s{marker}")
+
+    budget = fit_power_budget(compiled, PAPER_POWER_BUDGET_W, STEPS,
+                              pipeline_derate=FPGA_PIPELINE_DERATE)
+    print(f"\nhighest clock inside {PAPER_POWER_BUDGET_W:.0f} W: "
+          f"{budget.clock_mhz:.1f} MHz -> "
+          f"{budget.options_per_second:,.0f} options/s "
+          f"({'meets' if budget.options_per_second >= 2000 else 'misses'} "
+          "the 2000 options/s target)")
+
+
+if __name__ == "__main__":
+    main()

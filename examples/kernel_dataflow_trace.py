@@ -1,0 +1,84 @@
+"""Trace both kernel architectures through the OpenCL simulator.
+
+Runs the two host programs of the paper (Figures 3 and 4) at a small
+tree size and prints what actually moved: every command-queue event
+with its simulated timestamps, the host<->device transfer ledger, and
+the work-group/barrier statistics.  This makes the paper's central
+argument — kernel IV.A drowns in per-batch readback while kernel IV.B
+touches the host three times — directly visible.
+
+Run:  python examples/kernel_dataflow_trace.py
+"""
+
+from repro import HostProgramA, HostProgramB
+from repro.devices import fpga_device
+from repro.finance import generate_batch
+from repro.opencl import TransferDirection
+
+STEPS = 8
+N_OPTIONS = 4
+
+
+def show_events(queue, limit=14):
+    print(f"  {'t_start':>12} {'dur':>10}  command")
+    for event in queue.events[:limit]:
+        print(f"  {event.start_ns / 1e3:>10.1f}us {event.duration_ns / 1e3:>8.1f}us"
+              f"  {event.command_type.value:<16} {event.name}")
+    if len(queue.events) > limit:
+        print(f"  ... {len(queue.events) - limit} more events")
+
+
+def show_ledger(queue):
+    h2d = queue.transfers.total_bytes(TransferDirection.HOST_TO_DEVICE)
+    d2h = queue.transfers.total_bytes(TransferDirection.DEVICE_TO_HOST)
+    print(f"  host->device: {h2d:>8,} B in "
+          f"{queue.transfers.count(TransferDirection.HOST_TO_DEVICE)} transfers")
+    print(f"  device->host: {d2h:>8,} B in "
+          f"{queue.transfers.count(TransferDirection.DEVICE_TO_HOST)} transfers")
+    print(f"  time in transfers: {queue.transfer_time_ns() / 1e6:.3f} ms; "
+          f"in kernels: {queue.kernel_time_ns() / 1e6:.3f} ms")
+
+
+def main() -> None:
+    batch = list(generate_batch(n_options=N_OPTIONS, seed=1).options)
+
+    print(f"=== Kernel IV.A (Figure 3) — N={STEPS}, {N_OPTIONS} options ===")
+    host_a = HostProgramA(fpga_device("iv_a"), STEPS)
+    run_a = host_a.price(batch)
+    print(f"batches: {run_a.batches} (one option exits per batch once the "
+          f"{STEPS + 1}-deep pipeline fills)")
+    show_events(host_a.queue)
+    show_ledger(host_a.queue)
+    print(f"prices: {run_a.prices.round(4)}")
+
+    print(f"\n=== Kernel IV.B (Figure 4) — same workload ===")
+    host_b = HostProgramB(fpga_device("iv_b"), STEPS)
+    run_b = host_b.price(batch)
+    show_events(host_b.queue)
+    show_ledger(host_b.queue)
+    print(f"  barriers/work-group: {run_b.barriers_per_group} "
+          f"(1 leaf + 2 per backward step)")
+    print(f"  local memory/group:  {run_b.local_bytes_per_group} B "
+          "(the shared V row)")
+    print(f"prices: {run_b.prices.round(4)}")
+
+    from repro.core import render_timeline
+
+    print("\n=== Timelines (W=write R=read K=kernel) ===")
+    print("kernel IV.A (first 20 events):")
+    print(render_timeline(host_a.queue.events, max_events=20))
+    print("kernel IV.B (all events):")
+    print(render_timeline(host_b.queue.events))
+
+    ratio = run_a.bytes_read / max(run_b.bytes_read, 1)
+    print(f"\nkernel IV.A read back {ratio:,.0f}x more bytes than IV.B "
+          "for the same options — the paper's Section V.C diagnosis.")
+    import numpy as np
+
+    assert np.allclose(run_a.prices, run_b.prices, rtol=1e-12)
+    print("both architectures produced matching prices (to 1e-12; the "
+          "leaf-init op order differs by design).")
+
+
+if __name__ == "__main__":
+    main()

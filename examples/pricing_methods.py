@@ -1,0 +1,64 @@
+"""The method landscape behind the paper's choice of a binomial tree.
+
+Section II positions the lattice against Monte Carlo (massively
+parallel, slow convergence) and quadrature (Jin et al.'s accuracy
+champion).  This example prices one American put with all three
+methods at increasing work budgets and prints the error-vs-work
+landscape — the evidence behind "tree-based methods are optimal when
+time-to-solution is a key constraint".
+
+Run:  python examples/pricing_methods.py    (~30 s: the Monte Carlo
+points simulate up to 400k paths)
+"""
+
+from repro.finance import (
+    Option,
+    OptionType,
+    price_american_lsmc,
+    price_binomial,
+    price_quadrature,
+)
+
+OPTION = Option(spot=100.0, strike=100.0, rate=0.05, volatility=0.30,
+                maturity=1.0, option_type=OptionType.PUT)
+
+
+def main() -> None:
+    reference = price_binomial(OPTION, 16384).price
+    print(f"deep-lattice reference: {reference:.6f}\n")
+    print(f"{'method':<14} {'configuration':<28} {'work units':>12} "
+          f"{'price':>10} {'|error|':>10}")
+
+    for steps in (64, 256, 1024):
+        value = price_binomial(OPTION, steps).price
+        work = steps * (steps + 1) // 2
+        print(f"{'binomial':<14} {f'N={steps}':<28} {work:>12,} "
+              f"{value:>10.5f} {abs(value - reference):>10.2e}")
+
+    for paths in (4_000, 40_000, 400_000):
+        result = price_american_lsmc(OPTION, paths=paths, steps=50, seed=42)
+        work = paths * 50
+        print(f"{'monte-carlo':<14} {f'{paths:,} paths x 50 steps':<28} "
+              f"{work:>12,} {result.price:>10.5f} "
+              f"{abs(result.price - reference):>10.2e}"
+              f"   (stderr {result.std_error:.1e})")
+
+    for dates, grid in ((16, 257), (64, 513), (256, 1025)):
+        value = price_quadrature(OPTION, dates, grid)
+        work = dates * grid * grid
+        print(f"{'quadrature':<14} {f'{dates} dates x {grid} grid':<28} "
+              f"{work:>12,} {value:>10.5f} {abs(value - reference):>10.2e}")
+
+    print("\nReadings (the paper's Section II, quantified):")
+    print(" * the lattice reaches ~1e-3 with the least work of the three")
+    print("   ([12]: tree-based methods win on time-to-solution);")
+    print(" * Monte Carlo's error shrinks as paths^-1/2 and its LSMC")
+    print("   policy bias floors around 1e-2 ('slow convergence rate');")
+    print(" * quadrature out-converges MC deterministically but needs far")
+    print("   more kernel evaluations on this one-dimensional problem —")
+    print("   its (and MC's) advantages appear with dimensionality, which")
+    print("   is exactly where the paper says the lattice stops applying.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: price an American option on the simulated FPGA accelerator.
+
+Walks the basic flow of the library in five steps:
+
+1. describe a contract,
+2. price it with the reference binomial software (the paper's baseline),
+3. cross-check against the analytic/approximate oracles,
+4. run it through the paper's kernel IV.B accelerator on the simulated
+   Terasic DE4 board (flawed Altera-13.0 ``pow`` included),
+5. read the modeled speed and energy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BinomialAccelerator, Option, OptionType, bs_price, price_binomial
+from repro.finance import baw_price, lattice_greeks
+
+STEPS = 1024  # the paper's time discretisation
+
+
+def main() -> None:
+    option = Option(
+        spot=100.0,
+        strike=105.0,
+        rate=0.03,
+        volatility=0.25,
+        maturity=1.0,
+        option_type=OptionType.PUT,  # American put: early exercise matters
+    )
+    print(f"Contract: American put, S0={option.spot}, K={option.strike}, "
+          f"r={option.rate}, sigma={option.volatility}, T={option.maturity}")
+
+    # -- 2. the paper's reference software ---------------------------------
+    reference = price_binomial(option, steps=STEPS)
+    print(f"\nReference binomial (N={STEPS}):    {reference.price:.6f}")
+    print(f"  tree nodes evaluated:            {reference.tree_nodes:,}")
+
+    # -- 3. independent cross-checks ----------------------------------------
+    print(f"Barone-Adesi-Whaley approximation: {baw_price(option):.6f}")
+    print(f"European twin (Black-Scholes):     {bs_price(option.as_european()):.6f}"
+          "   (American >= European)")
+    greeks = lattice_greeks(option, steps=512)
+    print(f"Greeks: delta={greeks.delta:+.4f}  gamma={greeks.gamma:.4f}  "
+          f"vega={greeks.vega:.2f}  theta={greeks.theta:+.2f}")
+
+    # -- 4. the paper's accelerator -----------------------------------------
+    accelerator = BinomialAccelerator(platform="fpga", kernel="iv_b",
+                                      steps=STEPS)
+    print(f"\nAccelerator: {accelerator.describe()}")
+    compiled = accelerator.compiled
+    print("HLS compile (Table I style):")
+    for line in compiled.fitter_summary().splitlines():
+        print(f"  {line}")
+
+    result = accelerator.price_batch([option])
+    error = result.prices[0] - reference.price
+    print(f"\nAccelerator price:                 {result.prices[0]:.6f}")
+    print(f"  error vs reference:              {error:+.2e}"
+          "   (the Altera 13.0 pow defect, paper Section V.C)")
+
+    # -- 5. modeled cost -----------------------------------------------------
+    perf = accelerator.performance()
+    print(f"\nModeled performance (post-saturation):")
+    print(f"  {perf.options_per_second:,.0f} options/s, "
+          f"{perf.options_per_joule:.0f} options/J at {perf.power_w:.1f} W")
+    print(f"  2000-option volatility curve:    "
+          f"{perf.steady_state_time_for(2000):.3f} s  (paper target: < 1 s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""A full trading day on each platform: the use case, end to end.
+
+Section I sizes the accelerator for a trader refreshing one implied
+volatility curve (2000 options) every second from a workstation.  This
+example projects the calibrated models over a 6.5-hour session —
+including idle draw between refreshes — and prints the numbers a desk
+would compare: can the platform hold the refresh rate, and what does a
+day of curves cost in energy?
+
+Run:  python examples/trading_day.py
+"""
+
+from repro.core import kernel_b_estimate, reference_estimate
+from repro.core.session import TYPICAL_IDLE_POWER_W, TradingSessionModel
+from repro.devices import (
+    cpu_compute_model,
+    fpga_compute_model,
+    gpu_compute_model,
+)
+
+HOURS = 6.5
+
+
+def main() -> None:
+    sessions = (
+        TradingSessionModel(
+            kernel_b_estimate(fpga_compute_model("iv_b"), 1024),
+            TYPICAL_IDLE_POWER_W["fpga"], "FPGA DE4 / kernel IV.B"),
+        TradingSessionModel(
+            kernel_b_estimate(gpu_compute_model("iv_b"), 1024),
+            TYPICAL_IDLE_POWER_W["gpu"], "GPU GTX660 Ti / kernel IV.B"),
+        TradingSessionModel(
+            reference_estimate(cpu_compute_model("double"), 1024),
+            TYPICAL_IDLE_POWER_W["cpu"], "CPU Xeon / reference sw"),
+    )
+
+    print(f"{HOURS}-hour session, one 2000-option curve per second:\n")
+    header = (f"{'configuration':<28} {'keeps rate':>10} {'curves':>8} "
+              f"{'duty':>6} {'energy':>10} {'J/curve':>9}")
+    print(header)
+    print("-" * len(header))
+    for model in sessions:
+        report = model.session(hours=HOURS)
+        print(f"{report.configuration:<28} "
+              f"{'yes' if report.meets_refresh_rate else 'NO':>10} "
+              f"{report.curves_refreshed:>8,} "
+              f"{report.busy_fraction:>6.0%} "
+              f"{report.total_energy_wh:>8.1f} Wh "
+              f"{report.energy_per_curve_j:>9.2f}")
+
+    fpga = sessions[0].session(hours=HOURS)
+    gpu = sessions[1].session(hours=HOURS)
+    print(f"\nThe session view sharpens the paper's energy argument: per")
+    print(f"curve the FPGA is ~2x more efficient than the GPU (Table II),")
+    print(f"but over a day — idle draw included — the gap widens to "
+          f"{gpu.total_energy_j / fpga.total_energy_j:.1f}x,")
+    print("and only the FPGA stays inside a workstation-class power "
+          "envelope throughout.")
+
+
+if __name__ == "__main__":
+    main()

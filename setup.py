@@ -1,0 +1,14 @@
+"""Legacy setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists
+so fully-offline environments without the ``wheel`` package (where
+PEP 517 editable installs cannot build) can still do
+
+    python setup.py develop --user
+
+or fall back to dropping ``src/`` onto ``sys.path`` via a ``.pth`` file.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""repro — a full reproduction of *Energy-Efficient FPGA Implementation
+for Binomial Option Pricing Using OpenCL* (Mena Morales et al., DATE
+2014).
+
+Layers (bottom-up):
+
+* :mod:`repro.finance` — options, CRR lattices, binomial/BS pricers,
+  implied volatility, workload generation (the paper's application
+  domain and its software reference);
+* :mod:`repro.opencl` — a functional OpenCL platform simulator with
+  real work-group/barrier semantics and profiled command queues;
+* :mod:`repro.devices` — calibrated performance & energy models of the
+  Terasic DE4 FPGA board, the GTX660 Ti and the Xeon X5450;
+* :mod:`repro.hls` — an Altera-OpenCL-compiler/Quartus surrogate that
+  regenerates Table I (resources, Fmax, power) from kernel IR;
+* :mod:`repro.core` — the paper's two accelerator designs (kernels
+  IV.A and IV.B with their host programs), the flawed-``pow`` math
+  model, and the analytic Table II performance model.
+
+Quick start::
+
+    from repro import BinomialAccelerator, Option, OptionType
+
+    option = Option(spot=100, strike=105, rate=0.03, volatility=0.25,
+                    maturity=1.0, option_type=OptionType.PUT)
+    accelerator = BinomialAccelerator(platform="fpga", kernel="iv_b")
+    result = accelerator.price_batch([option])
+    print(result.prices[0], result.options_per_second)
+"""
+
+from .core import (
+    ALTERA_13_0_DOUBLE,
+    EXACT_DOUBLE,
+    EXACT_SINGLE,
+    AcceleratorResult,
+    BinomialAccelerator,
+    HostProgramA,
+    HostProgramB,
+    ReadbackMode,
+    kernel_a_estimate,
+    kernel_b_estimate,
+    reference_estimate,
+)
+from .errors import ReproError
+from .finance import (
+    ExerciseStyle,
+    LatticeFamily,
+    Option,
+    OptionType,
+    bs_price,
+    generate_batch,
+    generate_curve_scenario,
+    implied_volatility,
+    price_binomial,
+    rmse,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Option",
+    "OptionType",
+    "ExerciseStyle",
+    "LatticeFamily",
+    "price_binomial",
+    "bs_price",
+    "implied_volatility",
+    "generate_batch",
+    "generate_curve_scenario",
+    "rmse",
+    "BinomialAccelerator",
+    "AcceleratorResult",
+    "HostProgramA",
+    "HostProgramB",
+    "ReadbackMode",
+    "EXACT_DOUBLE",
+    "EXACT_SINGLE",
+    "ALTERA_13_0_DOUBLE",
+    "kernel_a_estimate",
+    "kernel_b_estimate",
+    "reference_estimate",
+]

@@ -1,0 +1,74 @@
+"""Experiment harness: published targets, drivers, table rendering.
+
+``repro.bench.experiments`` has one driver per experiment id of
+DESIGN.md; ``repro.bench.published`` carries the paper's printed
+numbers; ``repro.bench.tables`` renders paper-vs-reproduced tables.
+"""
+
+from . import published
+from .experiments import (
+    AccuracyResult,
+    EnergyWorkaroundResult,
+    PortabilityResult,
+    PrecisionAblationResult,
+    ReadbackAblationResult,
+    SaturationResult,
+    Table1Result,
+    Table2Result,
+    UseCaseResult,
+    accuracy_experiment,
+    energy_workarounds,
+    portability_study,
+    precision_ablation,
+    readback_ablation,
+    saturation_sweep,
+    table1,
+    table2,
+    volatility_curve_usecase,
+)
+from .methodology import (
+    CRR_BINOMIAL_MODEL,
+    AcceleratorBenchmark,
+    PricingModel,
+    PricingProblem,
+    Solution,
+    SolutionEvaluation,
+)
+from .figures import ascii_plot
+from .report import REPORT_SECTIONS, ReportSection, generate_report
+from .tables import format_ratio, render_comparison, render_table
+
+__all__ = [
+    "published",
+    "table1",
+    "Table1Result",
+    "table2",
+    "Table2Result",
+    "saturation_sweep",
+    "SaturationResult",
+    "readback_ablation",
+    "ReadbackAblationResult",
+    "accuracy_experiment",
+    "AccuracyResult",
+    "energy_workarounds",
+    "EnergyWorkaroundResult",
+    "volatility_curve_usecase",
+    "UseCaseResult",
+    "portability_study",
+    "PortabilityResult",
+    "precision_ablation",
+    "PrecisionAblationResult",
+    "AcceleratorBenchmark",
+    "PricingProblem",
+    "PricingModel",
+    "Solution",
+    "SolutionEvaluation",
+    "CRR_BINOMIAL_MODEL",
+    "render_table",
+    "render_comparison",
+    "format_ratio",
+    "ascii_plot",
+    "generate_report",
+    "ReportSection",
+    "REPORT_SECTIONS",
+]

@@ -1,0 +1,699 @@
+"""One driver per experiment id of DESIGN.md's index (E1..E15).
+
+Each function reproduces one table, figure or in-text result of the
+paper and returns a structured result object carrying both the
+reproduced values and the published targets, plus a ``rendered`` text
+table.  The pytest-benchmark modules under ``benchmarks/`` are thin
+wrappers over these drivers, so the same code also backs the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core import (
+    ALTERA_13_0_DOUBLE,
+    EXACT_DOUBLE,
+    EXACT_SINGLE,
+    BinomialAccelerator,
+    HostProgramA,
+    HostProgramB,
+    PerformanceRow,
+    ReadbackMode,
+    kernel_a_estimate,
+    kernel_a_ir,
+    kernel_b_estimate,
+    kernel_b_ir,
+    nodes_per_option,
+    reference_estimate,
+    row_from_estimate,
+    simulate_kernel_a_batch,
+    simulate_kernel_b_batch,
+)
+from ..core.sweep import fit_power_budget, frequency_scaling
+from ..devices import (
+    cpu_compute_model,
+    fpga_compute_model,
+    fpga_device,
+    gpu_compute_model,
+)
+from ..devices.calibration import FPGA_PIPELINE_DERATE
+from ..finance import (
+    Option,
+    classify_rmse,
+    generate_batch,
+    generate_curve_scenario,
+    implied_vol_curve,
+    price_binomial_batch,
+    rmse,
+)
+from ..hls import KERNEL_A_OPTIONS, KERNEL_B_OPTIONS, compile_kernel
+from . import published
+from .tables import render_comparison, render_table
+
+__all__ = [
+    "Table1Result",
+    "table1",
+    "Table2Result",
+    "table2",
+    "SaturationResult",
+    "saturation_sweep",
+    "ReadbackAblationResult",
+    "readback_ablation",
+    "AccuracyResult",
+    "accuracy_experiment",
+    "EnergyWorkaroundResult",
+    "energy_workarounds",
+    "UseCaseResult",
+    "volatility_curve_usecase",
+    "PortabilityResult",
+    "portability_study",
+    "PrecisionAblationResult",
+    "precision_ablation",
+    "BoardSelectionResult",
+    "board_selection",
+]
+
+
+# --------------------------------------------------------------------------
+# E1: Table I — resource usage
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Reproduced Table I for both kernels."""
+
+    compiled: dict
+    rendered: str
+
+
+def table1() -> Table1Result:
+    """Compile both kernel IRs and compare against the printed Table I."""
+    compiled = {
+        "iv_a": compile_kernel(kernel_a_ir(), KERNEL_A_OPTIONS),
+        "iv_b": compile_kernel(kernel_b_ir(published.PAPER_STEPS), KERNEL_B_OPTIONS),
+    }
+    blocks = []
+    for key, ck in compiled.items():
+        paper = published.TABLE1[key]
+        metrics = (
+            "logic utilization", "registers", "memory bits",
+            "M9K blocks", "DSP (18-bit)", "clock MHz", "power W",
+        )
+        paper_vals = {
+            "logic utilization": paper.logic_utilization,
+            "registers": paper.registers,
+            "memory bits": paper.memory_bits,
+            "M9K blocks": paper.m9k_blocks,
+            "DSP (18-bit)": paper.dsp_18bit,
+            "clock MHz": paper.clock_mhz,
+            "power W": paper.power_w,
+        }
+        r = ck.resources
+        measured_vals = {
+            "logic utilization": round(r.logic_utilization, 3),
+            "registers": r.registers,
+            "memory bits": r.memory_bits,
+            "M9K blocks": r.m9k_blocks,
+            "DSP (18-bit)": r.dsp_18bit,
+            "clock MHz": round(ck.fit.fmax_mhz, 2),
+            "power W": round(ck.power.total_w, 1),
+        }
+        blocks.append(
+            render_comparison(
+                f"Table I — kernel {paper.kernel} ({ck.options.describe()})",
+                metrics, paper_vals, measured_vals,
+            )
+        )
+    return Table1Result(compiled=compiled, rendered="\n\n".join(blocks))
+
+
+# --------------------------------------------------------------------------
+# E2: Table II — performances
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Reproduced Table II: rows plus the published targets."""
+
+    rows: tuple
+    published_rows: tuple
+    rendered: str
+
+
+def _accuracy_rmse(kind: str, options: Sequence[Option], steps: int,
+                   reference: np.ndarray) -> float:
+    """Measured RMSE of one configuration against the double reference."""
+    if kind == "iv_a_fpga" or kind == "iv_a_gpu":
+        candidate = simulate_kernel_a_batch(options, steps, EXACT_DOUBLE)
+    elif kind == "iv_b_fpga":
+        candidate = simulate_kernel_b_batch(options, steps, ALTERA_13_0_DOUBLE)
+    elif kind == "iv_b_gpu_double":
+        candidate = simulate_kernel_b_batch(options, steps, EXACT_DOUBLE)
+    elif kind == "iv_b_gpu_single":
+        candidate = simulate_kernel_b_batch(options, steps, EXACT_SINGLE)
+    elif kind == "ref_single":
+        candidate = price_binomial_batch(options, steps, dtype=np.float32)
+    else:  # ref_double — the reference itself
+        candidate = reference
+    return rmse(reference, candidate)
+
+
+def table2(accuracy_options: int = 200, steps: int = published.PAPER_STEPS,
+           seed: int = 20140324) -> Table2Result:
+    """Regenerate every Table II column (plus the literature rows).
+
+    Throughput/energy come from the calibrated performance models;
+    RMSE from actually pricing ``accuracy_options`` synthetic options
+    at full tree depth with each configuration's exact arithmetic.
+    """
+    batch = generate_batch(n_options=accuracy_options, seed=seed).options
+    reference = price_binomial_batch(batch, steps)
+
+    configs = (
+        ("Kernel IV.A", "FPGA (DE4)", "double", "iv_a_fpga",
+         kernel_a_estimate(fpga_compute_model("iv_a"), steps)),
+        ("Kernel IV.A", "GPU (GTX660 Ti)", "double", "iv_a_gpu",
+         kernel_a_estimate(gpu_compute_model("iv_a"), steps)),
+        ("Kernel IV.B", "FPGA (DE4)", "double", "iv_b_fpga",
+         kernel_b_estimate(fpga_compute_model("iv_b"), steps)),
+        ("Kernel IV.B", "GPU (GTX660 Ti)", "single", "iv_b_gpu_single",
+         kernel_b_estimate(gpu_compute_model("iv_b", "single"), steps)),
+        ("Kernel IV.B", "GPU (GTX660 Ti)", "double", "iv_b_gpu_double",
+         kernel_b_estimate(gpu_compute_model("iv_b", "double"), steps)),
+        ("Reference sw", "Xeon X5450 (1 core)", "single", "ref_single",
+         reference_estimate(cpu_compute_model("single"), steps)),
+        ("Reference sw", "Xeon X5450 (1 core)", "double", "ref_double",
+         reference_estimate(cpu_compute_model("double"), steps)),
+    )
+
+    rows = []
+    for label, platform, precision, kind, estimate in configs:
+        value = _accuracy_rmse(kind, batch, steps, reference)
+        rows.append(row_from_estimate(label, platform, precision, estimate, value))
+
+    # literature rows are carried as printed
+    for col in published.TABLE2[-2:]:
+        rows.append(
+            PerformanceRow(
+                label=col.label, platform=col.platform, precision=col.precision,
+                options_per_second=col.options_per_second,
+                rmse_display=col.rmse_display,
+                options_per_joule=col.options_per_joule,
+                tree_nodes_per_second=col.tree_nodes_per_second,
+            )
+        )
+
+    headers = ("configuration", "platform", "prec",
+               "options/s", "(paper)", "RMSE", "(paper)",
+               "options/J", "(paper)", "nodes/s", "(paper)")
+    table_rows = []
+    for row, col in zip(rows, published.TABLE2):
+        f = row.formatted()
+        table_rows.append((
+            f["label"], f["platform"], f["precision"],
+            f["options/s"], f"{col.options_per_second:,.1f}",
+            f["RMSE"], col.rmse_display,
+            f["options/J"],
+            "N/A" if col.options_per_joule is None else f"{col.options_per_joule:.2f}",
+            f["tree nodes/s"], f"{col.tree_nodes_per_second:.3g}",
+        ))
+    rendered = render_table(headers, table_rows,
+                            title=f"Table II (N={steps}, accuracy batch="
+                                  f"{accuracy_options} options)")
+    return Table2Result(rows=tuple(rows), published_rows=published.TABLE2,
+                        rendered=rendered)
+
+
+# --------------------------------------------------------------------------
+# E6: device saturation sweep
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SaturationResult:
+    """Effective throughput vs workload size for the main configs."""
+
+    workloads: tuple
+    series: dict
+    rendered: str
+
+
+def saturation_sweep(
+    workloads: Sequence[int] = (100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000),
+    steps: int = published.PAPER_STEPS,
+) -> SaturationResult:
+    """Reproduce the Section V.C saturation behaviour.
+
+    The FPGA configurations reach ~95% of peak at ~1e5 options and
+    kernel IV.B on the GPU only at ~1e6, exactly as the paper states.
+    """
+    estimates = {
+        "IV.B FPGA": kernel_b_estimate(fpga_compute_model("iv_b"), steps),
+        "IV.B GPU double": kernel_b_estimate(gpu_compute_model("iv_b"), steps),
+        "IV.B GPU single": kernel_b_estimate(
+            gpu_compute_model("iv_b", "single"), steps),
+        "Reference sw": reference_estimate(cpu_compute_model("double"), steps),
+    }
+    series = {
+        name: tuple(est.effective_rate(n) for n in workloads)
+        for name, est in estimates.items()
+    }
+    rows = [
+        (f"{n:,}",) + tuple(f"{series[name][i]:,.1f}" for name in estimates)
+        for i, n in enumerate(workloads)
+    ]
+    rendered = render_table(
+        ("options",) + tuple(estimates), rows,
+        title="Effective options/s vs workload size (saturation, E6)",
+    )
+    from .figures import ascii_plot
+
+    rendered += "\n\n" + ascii_plot(
+        list(workloads), series, x_label="options priced",
+        y_label="options/s",
+        title="Saturation curves (knees at ~1e5 FPGA, ~1e6 GPU)",
+    )
+    return SaturationResult(workloads=tuple(workloads), series=series,
+                            rendered=rendered)
+
+
+# --------------------------------------------------------------------------
+# E7: kernel IV.A readback ablation
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReadbackAblationResult:
+    """Full-buffer vs result-only readback on both platforms."""
+
+    gpu_full: float
+    gpu_result_only: float
+    fpga_full: float
+    fpga_result_only: float
+    speedup_gpu: float
+    rendered: str
+
+
+def readback_ablation(steps: int = published.PAPER_STEPS) -> ReadbackAblationResult:
+    """Reproduce the 14x modified-kernel result of Section V.C."""
+    gpu = gpu_compute_model("iv_a")
+    fpga = fpga_compute_model("iv_a")
+    gpu_full = kernel_a_estimate(gpu, steps, ReadbackMode.FULL_BUFFER)
+    gpu_mod = kernel_a_estimate(gpu, steps, ReadbackMode.RESULT_ONLY)
+    fpga_full = kernel_a_estimate(fpga, steps, ReadbackMode.FULL_BUFFER)
+    fpga_mod = kernel_a_estimate(fpga, steps, ReadbackMode.RESULT_ONLY)
+
+    speedup = gpu_mod.options_per_second / gpu_full.options_per_second
+    rendered = render_table(
+        ("platform", "readback", "options/s", "paper"),
+        (
+            ("GPU", "full buffer", f"{gpu_full.options_per_second:.1f}",
+             f"{published.KERNEL_A_GPU_ORIGINAL_OPTIONS_PER_S}"),
+            ("GPU", "result only", f"{gpu_mod.options_per_second:.1f}",
+             f"{published.KERNEL_A_GPU_MODIFIED_OPTIONS_PER_S}"),
+            ("GPU", "speedup", f"{speedup:.1f}x", "14x"),
+            ("FPGA", "full buffer", f"{fpga_full.options_per_second:.1f}", "25"),
+            ("FPGA", "result only", f"{fpga_mod.options_per_second:.1f}",
+             "(same order expected, V.C)"),
+        ),
+        title="Kernel IV.A readback ablation (E7)",
+    )
+    return ReadbackAblationResult(
+        gpu_full=gpu_full.options_per_second,
+        gpu_result_only=gpu_mod.options_per_second,
+        fpga_full=fpga_full.options_per_second,
+        fpga_result_only=fpga_mod.options_per_second,
+        speedup_gpu=speedup,
+        rendered=rendered,
+    )
+
+
+# --------------------------------------------------------------------------
+# E8: Power-operator accuracy
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """Measured RMSEs of every math configuration."""
+
+    rmses: dict
+    classes: dict
+    rendered: str
+
+
+def accuracy_experiment(n_options: int = 500,
+                        steps: int = published.PAPER_STEPS,
+                        seed: int = 7) -> AccuracyResult:
+    """Reproduce the accuracy story: flawed pow vs exact vs fp32."""
+    batch = generate_batch(n_options=n_options, seed=seed).options
+    reference = price_binomial_batch(batch, steps)
+    rmses = {
+        "IV.B FPGA double (flawed pow)": rmse(
+            reference, simulate_kernel_b_batch(batch, steps, ALTERA_13_0_DOUBLE)),
+        "IV.B GPU double (exact pow)": rmse(
+            reference, simulate_kernel_b_batch(batch, steps, EXACT_DOUBLE)),
+        "IV.B GPU single": rmse(
+            reference, simulate_kernel_b_batch(batch, steps, EXACT_SINGLE)),
+        "IV.A (host leaves, exact)": rmse(
+            reference, simulate_kernel_a_batch(batch, steps, EXACT_DOUBLE)),
+        "Reference single": rmse(
+            reference, price_binomial_batch(batch, steps, dtype=np.float32)),
+    }
+    classes = {k: classify_rmse(v) for k, v in rmses.items()}
+    paper_classes = {
+        "IV.B FPGA double (flawed pow)": "~1e-3",
+        "IV.B GPU double (exact pow)": "0",
+        "IV.B GPU single": "0 (printed; fp32 rounding is ~1e-3)",
+        "IV.A (host leaves, exact)": "0 per V.C text (~1e-3 printed; see EXPERIMENTS.md)",
+        "Reference single": "~1e-3",
+    }
+    rows = [(k, f"{v:.2e}", classes[k], paper_classes[k]) for k, v in rmses.items()]
+    rendered = render_table(
+        ("configuration", "RMSE", "class", "paper"),
+        rows, title=f"Power-operator accuracy (E8, N={steps}, {n_options} options)",
+    )
+    return AccuracyResult(rmses=rmses, classes=classes, rendered=rendered)
+
+
+# --------------------------------------------------------------------------
+# E9: energy workarounds
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EnergyWorkaroundResult:
+    """Clock scaling of kernel IV.B toward the 10 W budget."""
+
+    points: tuple
+    budget_point: object
+    rendered: str
+
+
+def energy_workarounds(steps: int = published.PAPER_STEPS) -> EnergyWorkaroundResult:
+    """Quantify Section V.C's workarounds for the 7 W overshoot."""
+    compiled = compile_kernel(kernel_b_ir(steps), KERNEL_B_OPTIONS)
+    points = frequency_scaling(compiled, steps,
+                               pipeline_derate=FPGA_PIPELINE_DERATE)
+    budget = fit_power_budget(compiled, published.PAPER_POWER_BUDGET_W, steps,
+                              pipeline_derate=FPGA_PIPELINE_DERATE)
+    rows = [
+        (f"{p.clock_mhz:.1f}", f"{p.power_w:.2f}", f"{p.options_per_second:,.0f}",
+         f"{p.options_per_joule:.1f}",
+         "yes" if p.options_per_second >= published.PAPER_USE_CASE_OPTIONS_PER_S
+         else "no",
+         "yes" if p.power_w <= published.PAPER_POWER_BUDGET_W else "no")
+        for p in points + [budget]
+    ]
+    rendered = render_table(
+        ("clock MHz", "power W", "options/s", "options/J",
+         ">=2000 opt/s", "<=10 W"),
+        rows, title="Kernel IV.B clock scaling toward the 10 W budget (E9)",
+    )
+    return EnergyWorkaroundResult(points=tuple(points), budget_point=budget,
+                                  rendered=rendered)
+
+
+# --------------------------------------------------------------------------
+# E10: the volatility-curve use case
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UseCaseResult:
+    """End-to-end implied-volatility-curve scenario on the accelerator."""
+
+    max_vol_error: float
+    total_engine_evaluations: int
+    modeled_time_s: float
+    modeled_power_w: float
+    meets_throughput: bool
+    rendered: str
+
+
+def volatility_curve_usecase(
+    n_strikes: int = 11,
+    steps: int = 256,
+    curve_options: int = published.PAPER_USE_CASE_OPTIONS_PER_S,
+) -> UseCaseResult:
+    """Recover a volatility smile with the FPGA accelerator (E10).
+
+    Implied vols are solved against the accelerator's own pricing
+    engine (flawed pow included); the time/power verdict for a
+    2000-option curve comes from the calibrated performance model at
+    the paper's full N=1024.
+    """
+    scenario = generate_curve_scenario(n_strikes=n_strikes, steps=steps,
+                                       pricing_steps=steps)
+    accelerator = BinomialAccelerator(platform="fpga", kernel="iv_b",
+                                      steps=steps)
+
+    def engine(option):
+        return float(accelerator.price_batch([option]).prices[0])
+
+    points = implied_vol_curve(scenario.base_option, scenario.strikes,
+                               scenario.market_prices, price_fn=engine,
+                               steps=steps)
+    errors = np.abs(np.array([p.implied_vol for p in points]) - scenario.true_vols)
+    evaluations = sum(p.evaluations for p in points)
+
+    # full-size throughput verdict for one 2000-option curve, taken at
+    # steady state: the paper samples "after device saturation" and the
+    # trader streams curves through a warm pipeline
+    full = BinomialAccelerator(platform="fpga", kernel="iv_b",
+                               steps=published.PAPER_STEPS)
+    estimate = full.performance()
+    curve_time = estimate.steady_state_time_for(curve_options)
+    rendered = render_table(
+        ("metric", "value", "target"),
+        (
+            ("max implied-vol error", f"{errors.max():.2e}", "smile recovered"),
+            ("engine evaluations", f"{evaluations}", "~dozens per strike"),
+            ("2000-option curve time", f"{curve_time:.3f} s", "< 1 s"),
+            ("accelerator power", f"{estimate.power_w:.1f} W",
+             f"{published.PAPER_POWER_BUDGET_W:.0f} W budget (paper: ~17 W, "
+             "'less than 20W' abstract)"),
+        ),
+        title="Volatility-curve use case (E10)",
+    )
+    return UseCaseResult(
+        max_vol_error=float(errors.max()),
+        total_engine_evaluations=int(evaluations),
+        modeled_time_s=float(curve_time),
+        modeled_power_w=float(estimate.power_w),
+        meets_throughput=curve_time < 1.0,
+        rendered=rendered,
+    )
+
+
+# --------------------------------------------------------------------------
+# E11: future-work portability study (paper conclusion, refs [16], [17])
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PortabilityRow:
+    """One OpenCL target in the portability study."""
+
+    target: str
+    options_per_second: float
+    options_per_joule: float
+    power_w: float
+    meets_use_case: bool
+    projected: bool
+
+
+@dataclass(frozen=True)
+class PortabilityResult:
+    """Kernel IV.B projected across every OpenCL target."""
+
+    rows: tuple
+    rendered: str
+
+    def row(self, fragment: str) -> PortabilityRow:
+        """First row whose target name contains ``fragment``."""
+        for entry in self.rows:
+            if fragment.lower() in entry.target.lower():
+                return entry
+        raise KeyError(fragment)
+
+
+def portability_study(steps: int = published.PAPER_STEPS,
+                      precision: str = "double") -> PortabilityResult:
+    """Run the study the paper's conclusion announces (E11).
+
+    Kernel IV.B's steady-state throughput and energy efficiency across
+    the measured targets (DE4, GTX660 Ti, Xeon reference) and the two
+    *projected* future-work targets (TI KeyStone C6678 DSP, ARM
+    Mali-T604 embedded GPU).  Projected rows carry no paper ground
+    truth; see :mod:`repro.devices.embedded`.
+    """
+    from ..devices import MALI_T604, TI_C6678, embedded_compute_model
+
+    targets = (
+        ("Terasic DE4 (Stratix IV)", kernel_b_estimate(
+            fpga_compute_model("iv_b"), steps), False),
+        ("NVIDIA GTX660 Ti", kernel_b_estimate(
+            gpu_compute_model("iv_b", precision), steps), False),
+        ("Xeon X5450 (reference sw)", reference_estimate(
+            cpu_compute_model(precision), steps), False),
+        ("TI C6678 DSP (projected)", kernel_b_estimate(
+            embedded_compute_model(TI_C6678, "iv_b", precision), steps), True),
+        ("ARM Mali-T604 (projected)", kernel_b_estimate(
+            embedded_compute_model(MALI_T604, "iv_b", precision), steps), True),
+    )
+    rows = tuple(
+        PortabilityRow(
+            target=name,
+            options_per_second=est.options_per_second,
+            options_per_joule=est.options_per_joule,
+            power_w=est.power_w,
+            meets_use_case=(est.options_per_second
+                            >= published.PAPER_USE_CASE_OPTIONS_PER_S),
+            projected=projected,
+        )
+        for name, est, projected in targets
+    )
+    table_rows = [
+        (r.target, f"{r.options_per_second:,.0f}", f"{r.power_w:.1f}",
+         f"{r.options_per_joule:.1f}",
+         "yes" if r.meets_use_case else "no",
+         "projection" if r.projected else "calibrated")
+        for r in rows
+    ]
+    rendered = render_table(
+        ("target", "options/s", "power W", "options/J",
+         ">=2000 opt/s", "status"),
+        table_rows,
+        title=f"Kernel IV.B portability study (E11, {precision}, N={steps})",
+    )
+    return PortabilityResult(rows=rows, rendered=rendered)
+
+
+# --------------------------------------------------------------------------
+# E12: single-precision FPGA ablation
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrecisionAblationResult:
+    """Double vs single precision kernel IV.B on the Stratix IV."""
+
+    double_point: object
+    single_point: object
+    single_options: object
+    rmse_double: float
+    rmse_single: float
+    rendered: str
+
+
+def precision_ablation(steps: int = published.PAPER_STEPS,
+                       accuracy_options: int = 100,
+                       seed: int = 17) -> PrecisionAblationResult:
+    """Quantify the related-work trade-off the paper alludes to (E12):
+
+    "[other binomial accelerators] can achieve better acceleration
+    factors ... when restrictions on accuracy are either alleviated
+    (fixed precision implementations) or strengthened".
+
+    Compiles kernel IV.B in single precision, re-explores the
+    parallelisation space that now fits, and prices an accuracy batch
+    in both precisions.
+    """
+    from ..core.sweep import explore_design_space
+    from ..devices.calibration import FPGA_PIPELINE_DERATE
+
+    double_ck = compile_kernel(kernel_b_ir(steps), KERNEL_B_OPTIONS)
+    sp_points = explore_design_space(
+        kernel_b_ir(steps, precision="sp"), steps=steps,
+        simd_widths=(4, 8, 16), compute_units=(1,), unrolls=(2, 4),
+        pipeline_derate=FPGA_PIPELINE_DERATE,
+    )
+    best_sp = next(p for p in sp_points if p.fits)
+
+    batch = generate_batch(n_options=accuracy_options, seed=seed).options
+    reference = price_binomial_batch(batch, steps)
+    rmse_double = rmse(
+        reference, simulate_kernel_b_batch(batch, steps, ALTERA_13_0_DOUBLE))
+    rmse_single = rmse(
+        reference, simulate_kernel_b_batch(batch, steps, EXACT_SINGLE))
+
+    nodes = nodes_per_option(steps)
+    double_rate = (double_ck.fmax_hz * double_ck.parallel_lanes
+                   * FPGA_PIPELINE_DERATE / nodes)
+    rows = [
+        ("double (paper)", double_ck.options.describe(),
+         f"{double_ck.resources.logic_utilization:.0%}",
+         f"{double_ck.fit.fmax_mhz:.0f}", f"{double_ck.power_w:.1f}",
+         f"{double_rate:,.0f}", classify_rmse(rmse_double)),
+        ("single (ablation)", best_sp.options.describe(),
+         f"{best_sp.compiled.resources.logic_utilization:.0%}",
+         f"{best_sp.compiled.fit.fmax_mhz:.0f}",
+         f"{best_sp.compiled.power_w:.1f}",
+         f"{best_sp.options_per_second:,.0f}", classify_rmse(rmse_single)),
+    ]
+    rendered = render_table(
+        ("precision", "parallelisation", "logic", "MHz", "W",
+         "options/s", "RMSE"),
+        rows, title=f"Kernel IV.B precision ablation (E12, N={steps})",
+    )
+    return PrecisionAblationResult(
+        double_point=double_ck,
+        single_point=best_sp,
+        single_options=best_sp.options,
+        rmse_double=rmse_double,
+        rmse_single=rmse_single,
+        rendered=rendered,
+    )
+
+
+# --------------------------------------------------------------------------
+# E15: board selection
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BoardSelectionResult:
+    """Best fitting kernel IV.B point per candidate FPGA part."""
+
+    unconstrained: tuple
+    budgeted: tuple
+    rendered: str
+
+
+def board_selection(steps: int = published.PAPER_STEPS) -> BoardSelectionResult:
+    """Section V.C's third workaround: re-target a smaller board (E15)."""
+    from ..core.sweep import select_board
+    from ..hls import EP4SGX230, EP4SGX530
+
+    parts = (EP4SGX530, EP4SGX230)
+    unconstrained = tuple(select_board(
+        kernel_b_ir(steps), parts, steps=steps,
+        pipeline_derate=FPGA_PIPELINE_DERATE))
+    budgeted = tuple(select_board(
+        kernel_b_ir(steps), parts, steps=steps,
+        power_budget_w=published.PAPER_POWER_BUDGET_W,
+        pipeline_derate=FPGA_PIPELINE_DERATE))
+
+    rows = []
+    for label, candidates in (("unconstrained", unconstrained),
+                              (f"<= {published.PAPER_POWER_BUDGET_W:.0f} W",
+                               budgeted)):
+        for c in candidates:
+            rows.append((
+                label, c.part.name,
+                c.best.label if c.feasible else "-",
+                f"{c.options_per_second:,.0f}" if c.feasible else "-",
+                f"{c.power_w:.1f}" if c.feasible else "-",
+            ))
+    rendered = render_table(
+        ("constraint", "part", "best point", "options/s", "power W"),
+        rows, title="Board selection (E15)")
+    return BoardSelectionResult(unconstrained=unconstrained,
+                                budgeted=budgeted, rendered=rendered)

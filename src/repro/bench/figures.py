@@ -1,0 +1,83 @@
+"""ASCII figure rendering for the experiment artifacts.
+
+The paper's saturation and convergence behaviours are curve-shaped;
+the harness renders them as monospace log-log plots so the
+``benchmarks/results/`` artifacts carry the *shape* (knees, slopes,
+crossovers) and not just sampled rows.  Pure text by design — the
+environment is offline and the artifacts live in the repository.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..errors import ReproError
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log_positions(values: Sequence[float], lo: float, hi: float,
+                   cells: int) -> list[int]:
+    span = math.log10(hi) - math.log10(lo)
+    if span <= 0:
+        return [0 for _ in values]
+    return [
+        min(cells - 1,
+            max(0, round((math.log10(v) - math.log10(lo)) / span * (cells - 1))))
+        for v in values
+    ]
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Log-log scatter plot of one or more series, as text.
+
+    :param x: shared x coordinates (must be positive).
+    :param series: mapping of series name to y values (positive, same
+        length as ``x``); each series gets its own marker.
+    """
+    if not series:
+        raise ReproError("ascii_plot needs at least one series")
+    if any(v <= 0 for v in x):
+        raise ReproError("log-log plot needs positive x values")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ReproError(f"series {name!r} length mismatch")
+        if any(v <= 0 for v in ys):
+            raise ReproError(f"series {name!r} has non-positive values")
+
+    all_y = [v for ys in series.values() for v in ys]
+    x_lo, x_hi = min(x), max(x)
+    y_lo, y_hi = min(all_y), max(all_y)
+
+    grid = [[" "] * width for _ in range(height)]
+    cols = _log_positions(x, x_lo, x_hi, width)
+    legend = []
+    for index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        rows = _log_positions(ys, y_lo, y_hi, height)
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(f"{y_hi:.3g} (log) {y_label}")
+    for line in grid:
+        out.append("  |" + "".join(line))
+    out.append("  +" + "-" * width)
+    out.append(f"  {x_lo:.3g}{' ' * max(1, width - 18)}{x_hi:.3g}  "
+               f"(log) {x_label}")
+    out.append("  " + "   ".join(legend))
+    return "\n".join(out)

@@ -1,0 +1,210 @@
+"""The de Schryver option-pricing-accelerator benchmark (paper ref [4]).
+
+Section II: *"de Schryver, et al. have presented a benchmark to compare
+option pricing accelerators between each other ... They define an
+option pricing accelerator as: a problem ..., a mathematical model ...,
+a solution ... This benchmark includes energy consumption as a
+criterion of discrimination between solutions (J/option)."*
+
+This module implements that methodology so the paper's own solutions
+can be ranked the way its related work proposes: a
+:class:`PricingProblem` (workload + accuracy requirement), a
+:class:`PricingModel` (here: CRR binomial), and competing
+:class:`Solution` objects evaluated on time-to-solution, accuracy
+against the problem's reference, and energy per option.  Ranking
+filters by the problem's constraints first and orders the survivors by
+J/option — the criterion [4] introduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from ..finance.binomial import price_binomial_batch
+from ..finance.validation import rmse
+from .tables import render_table
+
+__all__ = [
+    "PricingProblem",
+    "PricingModel",
+    "Solution",
+    "SolutionEvaluation",
+    "AcceleratorBenchmark",
+    "CRR_BINOMIAL_MODEL",
+]
+
+
+@dataclass(frozen=True)
+class PricingProblem:
+    """What must be priced, how fast and how accurately.
+
+    :param name: short label.
+    :param options: the workload (the paper's unit: a 2000-option
+        volatility curve).
+    :param steps: time discretisation of the reference answer.
+    :param max_rmse: accuracy requirement against the double-precision
+        reference (the paper treats ~1e-3 as *not* acceptable, so its
+        requirement sits below that).
+    :param max_power_w: power available at the deployment site
+        (Section I's 10 W workstation budget, or a lab's wall power).
+    :param min_options_per_second: throughput requirement.
+    """
+
+    name: str
+    options: tuple
+    steps: int = 1024
+    max_rmse: float = 1e-6
+    max_power_w: float = float("inf")
+    min_options_per_second: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise ReproError("a pricing problem needs a workload")
+        if self.max_rmse <= 0:
+            raise ReproError("max_rmse must be positive")
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """The mathematical model every solution must implement."""
+
+    name: str
+    description: str
+
+
+#: The paper's model: Cox-Ross-Rubinstein recombining binomial lattice.
+CRR_BINOMIAL_MODEL = PricingModel(
+    name="CRR binomial",
+    description="recombining binomial lattice, backward induction "
+                "(Cox, Ross & Rubinstein 1979)",
+)
+
+
+@dataclass(frozen=True)
+class Solution:
+    """One accelerator configuration entering the benchmark.
+
+    :param name: display label.
+    :param price_fn: callable ``(options, steps) -> prices ndarray``
+        running the solution's exact arithmetic.
+    :param options_per_second: steady-state throughput of the solution.
+    :param power_w: average power while computing.
+    """
+
+    name: str
+    price_fn: Callable
+    options_per_second: float
+    power_w: float
+
+    @classmethod
+    def from_accelerator(cls, accelerator, name: str | None = None) -> "Solution":
+        """Wrap a :class:`~repro.core.accelerator.BinomialAccelerator`."""
+        estimate = accelerator.performance()
+        return cls(
+            name=name or accelerator.describe(),
+            price_fn=lambda options, steps: accelerator.price_batch(options).prices,
+            options_per_second=estimate.options_per_second,
+            power_w=estimate.power_w,
+        )
+
+
+@dataclass(frozen=True)
+class SolutionEvaluation:
+    """Measured criteria of one solution on one problem."""
+
+    solution: Solution
+    rmse: float
+    time_s: float
+    energy_j: float
+    joules_per_option: float
+    meets_accuracy: bool
+    meets_power: bool
+    meets_throughput: bool
+
+    @property
+    def feasible(self) -> bool:
+        """Whether every problem constraint is satisfied."""
+        return self.meets_accuracy and self.meets_power and self.meets_throughput
+
+
+class AcceleratorBenchmark:
+    """Evaluate and rank solutions the way [4] prescribes."""
+
+    def __init__(self, problem: PricingProblem,
+                 model: PricingModel = CRR_BINOMIAL_MODEL):
+        self.problem = problem
+        self.model = model
+        self._reference = price_binomial_batch(
+            list(problem.options), problem.steps)
+
+    @property
+    def reference(self) -> np.ndarray:
+        """The double-precision reference prices of the workload."""
+        return self._reference
+
+    def evaluate(self, solution: Solution) -> SolutionEvaluation:
+        """Measure one solution on the problem's three criteria."""
+        prices = np.asarray(
+            solution.price_fn(list(self.problem.options), self.problem.steps)
+        )
+        if prices.shape != self._reference.shape:
+            raise ReproError(
+                f"solution {solution.name!r} returned {prices.shape} prices "
+                f"for a {self._reference.shape} workload"
+            )
+        accuracy = rmse(self._reference, prices)
+        n = len(self.problem.options)
+        time_s = n / solution.options_per_second
+        energy = time_s * solution.power_w
+        return SolutionEvaluation(
+            solution=solution,
+            rmse=accuracy,
+            time_s=time_s,
+            energy_j=energy,
+            joules_per_option=energy / n,
+            meets_accuracy=accuracy <= self.problem.max_rmse,
+            meets_power=solution.power_w <= self.problem.max_power_w,
+            meets_throughput=(solution.options_per_second
+                              >= self.problem.min_options_per_second),
+        )
+
+    def rank(self, solutions: Sequence[Solution]) -> list[SolutionEvaluation]:
+        """Evaluate all solutions; feasible ones first, by J/option.
+
+        Infeasible solutions trail, also ordered by J/option, so the
+        full field remains visible (as [4]'s design-space plots do).
+        """
+        evaluations = [self.evaluate(s) for s in solutions]
+        evaluations.sort(key=lambda e: (not e.feasible, e.joules_per_option))
+        return evaluations
+
+    def report(self, evaluations: Sequence[SolutionEvaluation]) -> str:
+        """Rendered ranking table."""
+        rows = []
+        for rank, ev in enumerate(evaluations, start=1):
+            rows.append((
+                rank if ev.feasible else "-",
+                ev.solution.name,
+                f"{ev.solution.options_per_second:,.0f}",
+                f"{ev.rmse:.2e}",
+                f"{ev.solution.power_w:.0f}",
+                f"{ev.joules_per_option * 1000:.2f}",
+                "yes" if ev.feasible else
+                "no (" + ", ".join(
+                    label for label, ok in (
+                        ("accuracy", ev.meets_accuracy),
+                        ("power", ev.meets_power),
+                        ("throughput", ev.meets_throughput),
+                    ) if not ok) + ")",
+            ))
+        return render_table(
+            ("rank", "solution", "options/s", "RMSE", "W", "mJ/option",
+             "feasible"),
+            rows,
+            title=f"de Schryver ranking — problem: {self.problem.name}, "
+                  f"model: {self.model.name}",
+        )

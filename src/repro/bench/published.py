@@ -1,0 +1,130 @@
+"""The paper's published numbers, carried verbatim.
+
+Table I and Table II as printed in the DATE 2014 paper, plus the two
+literature comparison rows it cites ([9] Jin et al. 2008 on a Virtex 4,
+[10] Wynnyk & Magdon-Ismail 2009 on a Stratix III).  These are the
+*targets* every experiment prints next to its reproduced values; they
+are never fed back into the models (calibration constants live in
+:mod:`repro.devices.calibration` and reference only the operating
+points documented there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PAPER_STEPS",
+    "PAPER_USE_CASE_OPTIONS_PER_S",
+    "PAPER_POWER_BUDGET_W",
+    "TABLE1",
+    "Table1Row",
+    "TABLE2",
+    "Table2Column",
+    "SATURATION_FPGA_OPTIONS",
+    "SATURATION_GPU_B_OPTIONS",
+    "KERNEL_A_GPU_MODIFIED_OPTIONS_PER_S",
+    "KERNEL_A_GPU_ORIGINAL_OPTIONS_PER_S",
+    "TEXT_KERNEL_B_FPGA_OPTIONS_PER_S",
+]
+
+#: Time discretisation used throughout the evaluation.
+PAPER_STEPS = 1024
+#: The use case: 2000 options (one volatility curve) per second.
+PAPER_USE_CASE_OPTIONS_PER_S = 2000
+#: Power available from the trader's workstation (Section I).
+PAPER_POWER_BUDGET_W = 10.0
+
+#: Section V.C: saturation "typically happens at 1e5 priced options";
+#: "only the kernel IV.B implemented on the GTX660 has a saturation at
+#: a higher number of options (1e6 ...)".
+SATURATION_FPGA_OPTIONS = 1e5
+SATURATION_GPU_B_OPTIONS = 1e6
+
+#: Section V.C: the modified (result-only readback) kernel IV.A on the
+#: GPU reaches 840 options/s vs 58.4 options/s, a 14x factor.
+KERNEL_A_GPU_MODIFIED_OPTIONS_PER_S = 840.0
+KERNEL_A_GPU_ORIGINAL_OPTIONS_PER_S = 58.4
+
+#: Section V.C prose says "5150 options/s" for kernel IV.B on the DE4
+#: while Table II prints 2400; we reproduce the table value and carry
+#: the prose figure for the record (see EXPERIMENTS.md).
+TEXT_KERNEL_B_FPGA_OPTIONS_PER_S = 5150.0
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One column of the paper's Table I (resource usage)."""
+
+    kernel: str
+    logic_utilization: float
+    registers: int
+    registers_capacity: int
+    memory_bits: int
+    memory_bits_capacity: int
+    m9k_blocks: int
+    m9k_capacity: int
+    dsp_18bit: int
+    dsp_capacity: int
+    clock_mhz: float
+    power_w: float
+
+
+TABLE1 = {
+    # "Kernel IV.A": vectorized x2, replicated x3
+    "iv_a": Table1Row(
+        kernel="IV.A",
+        logic_utilization=0.99,
+        registers=411 * 1024,
+        registers_capacity=415 * 1024,
+        memory_bits=10_843 * 1024,
+        memory_bits_capacity=20_736 * 1024,
+        m9k_blocks=1250,
+        m9k_capacity=1250,  # printed so; datasheet (and IV.B column) say 1280
+        dsp_18bit=586,
+        dsp_capacity=1024,
+        clock_mhz=98.27,
+        power_w=15.0,
+    ),
+    # "Kernel IV.B": unrolled x2, vectorized x4
+    "iv_b": Table1Row(
+        kernel="IV.B",
+        logic_utilization=0.66,
+        registers=245 * 1024,
+        registers_capacity=415 * 1024,
+        memory_bits=7_990 * 1024,
+        memory_bits_capacity=20_736 * 1024,
+        m9k_blocks=1118,
+        m9k_capacity=1280,
+        dsp_18bit=760,
+        dsp_capacity=1024,
+        clock_mhz=162.62,
+        power_w=17.0,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Table2Column:
+    """One column of the paper's Table II (performances)."""
+
+    label: str
+    platform: str
+    precision: str
+    options_per_second: float
+    rmse_display: str
+    options_per_joule: float | None
+    tree_nodes_per_second: float
+
+
+TABLE2 = (
+    Table2Column("Kernel IV.A", "FPGA (DE4)", "double", 25, "~1e-3", 1.7, 13e6),
+    Table2Column("Kernel IV.A", "GPU (GTX660 Ti)", "double", 53, "0", 0.4, 30e6),
+    Table2Column("Kernel IV.B", "FPGA (DE4)", "double", 2400, "~1e-3", 140, 1.3e9),
+    Table2Column("Kernel IV.B", "GPU (GTX660 Ti)", "single", 47000, "0", 340, 25e9),
+    Table2Column("Kernel IV.B", "GPU (GTX660 Ti)", "double", 8900, "0", 64, 4.7e9),
+    Table2Column("Reference sw", "Xeon X5450 (1 core)", "single", 116, "~1e-3", 1.0, 61e6),
+    Table2Column("Reference sw", "Xeon X5450 (1 core)", "double", 222, "0", 1.85, 117e6),
+    Table2Column("[9] Jin et al.", "Virtex 4 xc4vsx55", "double", 385, "0", None, 202e6),
+    Table2Column("[10] Wynnyk", "Stratix III EP3SE260", "double", 1152, "0", None, 576e6),
+)

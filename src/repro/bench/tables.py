@@ -1,0 +1,60 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every bench prints a paper-vs-reproduced table; this module owns the
+column alignment so the benches stay declarative.  No third-party
+table library is used (the environment is offline by design).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_comparison", "format_ratio"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in cells)) if cells
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+
+    def line(row):
+        return "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def format_ratio(measured: float, paper: float) -> str:
+    """``measured/paper`` as a compact ratio cell."""
+    if paper == 0:
+        return "n/a"
+    return f"{measured / paper:.2f}x"
+
+
+def render_comparison(
+    title: str,
+    metric_names: Sequence[str],
+    paper_values: Mapping[str, object],
+    measured_values: Mapping[str, object],
+) -> str:
+    """Two-column paper-vs-measured table with ratios where numeric."""
+    rows = []
+    for name in metric_names:
+        paper = paper_values.get(name, "")
+        measured = measured_values.get(name, "")
+        ratio = ""
+        if isinstance(paper, (int, float)) and isinstance(measured, (int, float)) \
+                and paper:
+            ratio = format_ratio(float(measured), float(paper))
+        rows.append((name, paper, measured, ratio))
+    return render_table(("metric", "paper", "reproduced", "ratio"), rows, title)

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Every experiment of the evaluation (and a one-off pricing command) is
+reachable from the shell, so the reproduction can be driven without
+writing Python::
+
+    python -m repro table1
+    python -m repro table2 --options 200
+    python -m repro saturation
+    python -m repro ablation
+    python -m repro accuracy --options 500
+    python -m repro energy
+    python -m repro usecase
+    python -m repro portability
+    python -m repro precision
+    python -m repro clsource iv_b --steps 1024
+    python -m repro price --spot 100 --strike 105 --type put
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Energy-Efficient FPGA Implementation for "
+                    "Binomial Option Pricing Using OpenCL' (DATE 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_all = sub.add_parser("all", help="run every experiment in sequence")
+    p_all.add_argument("--options", type=int, default=100,
+                       help="accuracy-batch size for the heavy experiments")
+
+    p_report = sub.add_parser("report",
+                              help="emit a full markdown reproduction report")
+    p_report.add_argument("--options", type=int, default=100)
+
+    sub.add_parser("table1", help="Table I: resource usage (E1)")
+
+    p_table2 = sub.add_parser("table2", help="Table II: performances (E2)")
+    p_table2.add_argument("--options", type=int, default=200,
+                          help="accuracy-batch size (default 200)")
+
+    sub.add_parser("saturation", help="device saturation sweep (E6)")
+    sub.add_parser("ablation", help="kernel IV.A readback ablation (E7)")
+
+    p_acc = sub.add_parser("accuracy", help="Power-operator accuracy (E8)")
+    p_acc.add_argument("--options", type=int, default=500)
+
+    sub.add_parser("energy", help="energy workarounds / 10 W budget (E9)")
+    sub.add_parser("usecase", help="volatility-curve use case (E10)")
+    sub.add_parser("portability", help="future-work portability study (E11)")
+    sub.add_parser("precision", help="single-precision ablation (E12)")
+
+    p_cl = sub.add_parser("clsource", help="emit the OpenCL C of a kernel")
+    p_cl.add_argument("kernel", choices=("iv_a", "iv_b"))
+    p_cl.add_argument("--steps", type=int, default=1024)
+    p_cl.add_argument("--precision", choices=("dp", "sp"), default="dp")
+
+    p_price = sub.add_parser("price", help="price one option on a platform")
+    p_price.add_argument("--spot", type=float, required=True)
+    p_price.add_argument("--strike", type=float, required=True)
+    p_price.add_argument("--rate", type=float, default=0.03)
+    p_price.add_argument("--vol", type=float, default=0.25)
+    p_price.add_argument("--maturity", type=float, default=1.0)
+    p_price.add_argument("--type", dest="option_type",
+                         choices=("call", "put"), default="put")
+    p_price.add_argument("--exercise", choices=("american", "european"),
+                         default="american")
+    p_price.add_argument("--platform", choices=("fpga", "gpu", "cpu"),
+                         default="fpga")
+    p_price.add_argument("--steps", type=int, default=1024)
+
+    return parser
+
+
+def _run_price(args) -> str:
+    from .core import BinomialAccelerator
+    from .finance import ExerciseStyle, Option, OptionType, price_binomial
+
+    option = Option(
+        spot=args.spot, strike=args.strike, rate=args.rate,
+        volatility=args.vol, maturity=args.maturity,
+        option_type=OptionType(args.option_type),
+        exercise=ExerciseStyle(args.exercise),
+    )
+    kernel = "reference" if args.platform == "cpu" else "iv_b"
+    accelerator = BinomialAccelerator(platform=args.platform, kernel=kernel,
+                                      steps=args.steps)
+    result = accelerator.price_batch([option])
+    reference = price_binomial(option, args.steps).price
+    lines = [
+        f"configuration : {accelerator.describe()}",
+        f"price         : {result.prices[0]:.6f}",
+        f"reference     : {reference:.6f} "
+        f"(error {result.prices[0] - reference:+.2e})",
+        f"modeled rate  : {result.estimate.options_per_second:,.0f} options/s "
+        f"at {result.estimate.power_w:.1f} W "
+        f"({result.estimate.options_per_joule:.1f} options/J)",
+    ]
+    return "\n".join(lines)
+
+
+def _run_clsource(args) -> str:
+    from .core.clsource import kernel_a_source, kernel_b_source
+    from .hls import KERNEL_A_OPTIONS, KERNEL_B_OPTIONS
+
+    if args.kernel == "iv_b":
+        return kernel_b_source(args.steps, KERNEL_B_OPTIONS, args.precision)
+    return kernel_a_source(KERNEL_A_OPTIONS, args.precision)
+
+
+def _run_all(accuracy_options: int) -> int:
+    """Regenerate every experiment, in DESIGN.md order."""
+    from .bench import (
+        accuracy_experiment,
+        readback_ablation,
+        saturation_sweep,
+        table1,
+        table2,
+        volatility_curve_usecase,
+    )
+    from .bench.experiments import (
+        energy_workarounds,
+        portability_study,
+        precision_ablation,
+    )
+
+    stages = (
+        ("E1  Table I", lambda: table1().rendered),
+        ("E2  Table II", lambda: table2(accuracy_options=accuracy_options).rendered),
+        ("E6  saturation", lambda: saturation_sweep().rendered),
+        ("E7  readback ablation", lambda: readback_ablation().rendered),
+        ("E8  pow accuracy",
+         lambda: accuracy_experiment(n_options=accuracy_options).rendered),
+        ("E9  energy workarounds", lambda: energy_workarounds().rendered),
+        ("E10 volatility-curve use case",
+         lambda: volatility_curve_usecase().rendered),
+        ("E11 portability (future work)",
+         lambda: portability_study().rendered),
+        ("E12 precision ablation",
+         lambda: precision_ablation(accuracy_options=accuracy_options).rendered),
+    )
+    for title, run in stages:
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+        print(run())
+    print("\n(E3-E5 are functional dataflow checks: run "
+          "`pytest benchmarks/test_fig*` to execute them.)")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe: exit quietly like any
+        # well-behaved unix filter
+        return 0
+
+
+def _dispatch(args) -> int:
+
+    if args.command == "all":
+        return _run_all(args.options)
+    if args.command == "report":
+        from .bench.report import generate_report
+        print(generate_report(accuracy_options=args.options))
+        return 0
+    if args.command == "table1":
+        from .bench import table1
+        print(table1().rendered)
+    elif args.command == "table2":
+        from .bench import table2
+        print(table2(accuracy_options=args.options).rendered)
+    elif args.command == "saturation":
+        from .bench import saturation_sweep
+        print(saturation_sweep().rendered)
+    elif args.command == "ablation":
+        from .bench import readback_ablation
+        print(readback_ablation().rendered)
+    elif args.command == "accuracy":
+        from .bench import accuracy_experiment
+        print(accuracy_experiment(n_options=args.options).rendered)
+    elif args.command == "energy":
+        from .bench.experiments import energy_workarounds
+        print(energy_workarounds().rendered)
+    elif args.command == "usecase":
+        from .bench import volatility_curve_usecase
+        print(volatility_curve_usecase().rendered)
+    elif args.command == "portability":
+        from .bench.experiments import portability_study
+        print(portability_study().rendered)
+    elif args.command == "precision":
+        from .bench.experiments import precision_ablation
+        print(precision_ablation().rendered)
+    elif args.command == "clsource":
+        print(_run_clsource(args))
+    elif args.command == "price":
+        print(_run_price(args))
+    else:  # pragma: no cover - argparse enforces the choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""The paper's contribution: two OpenCL binomial-pricing accelerators.
+
+* :mod:`~repro.core.kernel_a` / :mod:`~repro.core.host_a` — the
+  straightforward dataflow design (Section IV.A / Figure 3);
+* :mod:`~repro.core.kernel_b` / :mod:`~repro.core.host_b` — the
+  optimized work-group design (Section IV.B / Figure 4);
+* :mod:`~repro.core.faithful_math` — device math incl. the Altera 13.0
+  ``pow`` defect;
+* :mod:`~repro.core.batch_sim` — vectorised kernel semantics for
+  full-size accuracy runs;
+* :mod:`~repro.core.perf_model` / :mod:`~repro.core.metrics` — the
+  analytic Table II generator;
+* :mod:`~repro.core.accelerator` — the user-facing facade;
+* :mod:`~repro.core.sweep` — design-space exploration and the energy
+  workarounds of Section V.C.
+"""
+
+from .accelerator import AcceleratorResult, BinomialAccelerator
+from .batch_sim import simulate_kernel_a_batch, simulate_kernel_b_batch
+from .clsource import kernel_a_source, kernel_b_source
+from .faithful_math import (
+    ALTERA_13_0_DOUBLE,
+    ALTERA_POW_FRACTION_BITS,
+    EXACT_DOUBLE,
+    EXACT_SINGLE,
+    MathProfile,
+    get_profile,
+    quantized_pow,
+)
+from .host_a import HostProgramA, KernelARun, ReadbackMode
+from .host_b import HostProgramB, KernelBRun
+from .kernel_a import (
+    build_leaves_a,
+    build_params_a,
+    interior_nodes,
+    kernel_a_ir,
+    kernel_a_work_item,
+    level_of_slot_table,
+    pipeline_buffer_bytes,
+    pipeline_slots,
+)
+from .kernel_b import build_params_b, kernel_b_ir, make_kernel_b
+from .metrics import PerformanceRow, nodes_per_option, row_from_estimate
+from .trace import render_timeline
+from .session import (
+    TYPICAL_IDLE_POWER_W,
+    SessionReport,
+    TradingSessionModel,
+)
+from .perf_model import (
+    PerfEstimate,
+    kernel_a_estimate,
+    kernel_b_estimate,
+    reference_estimate,
+    saturation_efficiency,
+)
+from .sweep import (
+    DesignPoint,
+    OperatingPoint,
+    explore_design_space,
+    fit_power_budget,
+    frequency_scaling,
+)
+
+__all__ = [
+    "BinomialAccelerator",
+    "AcceleratorResult",
+    "simulate_kernel_a_batch",
+    "simulate_kernel_b_batch",
+    "kernel_a_source",
+    "kernel_b_source",
+    "MathProfile",
+    "EXACT_DOUBLE",
+    "EXACT_SINGLE",
+    "ALTERA_13_0_DOUBLE",
+    "ALTERA_POW_FRACTION_BITS",
+    "quantized_pow",
+    "get_profile",
+    "HostProgramA",
+    "KernelARun",
+    "ReadbackMode",
+    "HostProgramB",
+    "KernelBRun",
+    "kernel_a_work_item",
+    "kernel_a_ir",
+    "build_params_a",
+    "build_leaves_a",
+    "interior_nodes",
+    "pipeline_slots",
+    "pipeline_buffer_bytes",
+    "level_of_slot_table",
+    "make_kernel_b",
+    "kernel_b_ir",
+    "build_params_b",
+    "PerformanceRow",
+    "nodes_per_option",
+    "row_from_estimate",
+    "PerfEstimate",
+    "kernel_a_estimate",
+    "kernel_b_estimate",
+    "reference_estimate",
+    "saturation_efficiency",
+    "render_timeline",
+    "TradingSessionModel",
+    "SessionReport",
+    "TYPICAL_IDLE_POWER_W",
+    "DesignPoint",
+    "explore_design_space",
+    "OperatingPoint",
+    "frequency_scaling",
+    "fit_power_budget",
+]

@@ -1,0 +1,200 @@
+"""`BinomialAccelerator` — the library's front door.
+
+Wraps one *configuration* (platform x kernel architecture x precision,
+i.e. one Table II column) behind a single object that:
+
+* prices option batches with the configuration's exact arithmetic
+  (including the FPGA's flawed ``pow`` where applicable);
+* predicts wall-clock time and energy for the batch from the
+  calibrated device models;
+* for FPGA configurations, carries the full HLS compile report
+  (resources/Fmax/power) of the kernel it "runs".
+
+Example::
+
+    from repro import BinomialAccelerator, generate_batch
+
+    acc = BinomialAccelerator(platform="fpga", kernel="iv_b")
+    batch = generate_batch(n_options=2000)
+    result = acc.price_batch(batch.options)
+    print(result.options_per_second, result.energy_joules)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..devices.base import ComputeModel, Precision
+from ..devices.cpu import cpu_compute_model
+from ..devices.fpga import fpga_compute_model
+from ..devices.gpu import gpu_compute_model
+from ..errors import ReproError
+from ..finance.binomial import price_binomial_batch
+from ..finance.lattice import LatticeFamily
+from ..finance.options import Option
+from ..hls import KERNEL_A_OPTIONS, KERNEL_B_OPTIONS, CompiledKernel, compile_kernel
+from .batch_sim import simulate_kernel_a_batch, simulate_kernel_b_batch
+from .faithful_math import (
+    ALTERA_13_0_DOUBLE,
+    EXACT_DOUBLE,
+    EXACT_SINGLE,
+    MathProfile,
+)
+from .host_a import ReadbackMode
+from .kernel_a import kernel_a_ir
+from .kernel_b import kernel_b_ir
+from .perf_model import (
+    PerfEstimate,
+    kernel_a_estimate,
+    kernel_b_estimate,
+    reference_estimate,
+)
+
+__all__ = ["AcceleratorResult", "BinomialAccelerator"]
+
+_PLATFORMS = ("fpga", "gpu", "cpu")
+_KERNELS = ("iv_a", "iv_b", "reference")
+
+
+@dataclass(frozen=True)
+class AcceleratorResult:
+    """Prices plus the modeled cost of producing them."""
+
+    prices: np.ndarray
+    modeled_time_s: float
+    energy_joules: float
+    estimate: PerfEstimate
+
+    @property
+    def options_per_second(self) -> float:
+        """Effective throughput at this batch size."""
+        return len(self.prices) / self.modeled_time_s
+
+    @property
+    def options_per_joule(self) -> float:
+        """Effective energy efficiency at this batch size."""
+        return len(self.prices) / self.energy_joules
+
+
+class BinomialAccelerator:
+    """One accelerator configuration, ready to price batches.
+
+    :param platform: ``"fpga"``, ``"gpu"`` or ``"cpu"``.
+    :param kernel: ``"iv_a"``, ``"iv_b"`` or ``"reference"`` (CPU only).
+    :param precision: ``"double"`` or ``"single"``.
+    :param steps: tree discretisation (paper default 1024).
+    :param readback: kernel IV.A readback mode.
+    :param compile_fpga: derive the FPGA operating point from this
+        library's HLS compile of the kernel IR (default) instead of
+        the paper's printed Table I point.
+    :param family: lattice parameterisation.
+    """
+
+    def __init__(
+        self,
+        platform: str = "fpga",
+        kernel: str = "iv_b",
+        precision: str = Precision.DOUBLE,
+        steps: int = 1024,
+        readback: str = ReadbackMode.FULL_BUFFER,
+        compile_fpga: bool = True,
+        family: LatticeFamily = LatticeFamily.CRR,
+    ):
+        if platform not in _PLATFORMS:
+            raise ReproError(f"platform must be one of {_PLATFORMS}, got {platform!r}")
+        if kernel not in _KERNELS:
+            raise ReproError(f"kernel must be one of {_KERNELS}, got {kernel!r}")
+        if kernel == "reference" and platform != "cpu":
+            raise ReproError("the reference software runs on the CPU platform")
+        if platform == "cpu" and kernel != "reference":
+            raise ReproError("the CPU platform runs the reference software only")
+        Precision.check(precision)
+        ReadbackMode.check(readback)
+
+        self.platform = platform
+        self.kernel = kernel
+        self.precision = precision
+        self.steps = steps
+        self.readback = readback
+        self.family = family
+        self.compiled: CompiledKernel | None = None
+
+        if platform == "fpga":
+            if compile_fpga:
+                ir = kernel_a_ir() if kernel == "iv_a" else kernel_b_ir(steps)
+                options = KERNEL_A_OPTIONS if kernel == "iv_a" else KERNEL_B_OPTIONS
+                self.compiled = compile_kernel(ir, options)
+            self.model: ComputeModel = fpga_compute_model(
+                kernel, operating_point=self.compiled, precision=precision
+            )
+        elif platform == "gpu":
+            self.model = gpu_compute_model(kernel, precision)
+        else:
+            self.model = cpu_compute_model(precision)
+
+        self.profile = self._select_profile()
+
+    def _select_profile(self) -> MathProfile:
+        if self.precision == Precision.SINGLE:
+            return EXACT_SINGLE
+        if self.platform == "fpga" and self.kernel == "iv_b":
+            # the Altera 13.0 double-precision pow defect (paper V.C)
+            return ALTERA_13_0_DOUBLE
+        return EXACT_DOUBLE
+
+    # -- pricing -----------------------------------------------------------
+
+    def price_batch(self, options: Sequence[Option]) -> AcceleratorResult:
+        """Price a batch with this configuration's exact arithmetic.
+
+        Prices come from the vectorised kernel semantics (validated
+        against the coroutine simulator); time and energy come from the
+        calibrated performance model at this batch size.
+        """
+        if not options:
+            raise ReproError("empty option batch")
+        options = list(options)
+
+        if self.kernel == "iv_b":
+            prices = simulate_kernel_b_batch(
+                options, self.steps, self.profile, self.family
+            )
+        elif self.kernel == "iv_a":
+            prices = simulate_kernel_a_batch(
+                options, self.steps, self.profile, self.family
+            )
+        else:
+            dtype = np.float32 if self.precision == Precision.SINGLE else np.float64
+            prices = price_binomial_batch(
+                options, self.steps, self.family, dtype=dtype
+            )
+
+        estimate = self.performance()
+        time_s = estimate.time_for(len(options))
+        return AcceleratorResult(
+            prices=prices,
+            modeled_time_s=time_s,
+            energy_joules=time_s * estimate.power_w,
+            estimate=estimate,
+        )
+
+    # -- performance ----------------------------------------------------------
+
+    def performance(self) -> PerfEstimate:
+        """Steady-state performance prediction for this configuration."""
+        if self.kernel == "iv_a":
+            return kernel_a_estimate(self.model, self.steps, self.readback)
+        if self.kernel == "iv_b":
+            return kernel_b_estimate(self.model, self.steps)
+        return reference_estimate(self.model, self.steps)
+
+    def describe(self) -> str:
+        """One-line configuration summary."""
+        parts = [self.platform.upper(), f"kernel {self.kernel}", self.precision,
+                 f"N={self.steps}", f"math={self.profile.name}"]
+        if self.kernel == "iv_a":
+            parts.append(f"readback={self.readback}")
+        return " / ".join(parts)

@@ -1,0 +1,136 @@
+"""Vectorised execution of the kernels' exact arithmetic.
+
+The coroutine-based simulator in :mod:`repro.core.host_b` is faithful
+but interprets every work-item in Python, which caps it at small trees.
+The paper's accuracy results need the full configuration — N=1024 over
+thousands of options — so this module re-expresses the *same operation
+sequence* as numpy array programs:
+
+* :func:`simulate_kernel_b_batch` — kernel IV.B semantics: in-device
+  leaf initialisation through the profile's ``pow`` (the flawed
+  operator on the FPGA profile), then the barriered backward loop.
+* :func:`simulate_kernel_a_batch` — kernel IV.A semantics: leaves from
+  exact host doubles, the same Equation (1) recurrence on device.
+
+Integration tests assert bit-for-bit agreement with the coroutine
+executor at small N for every math profile, which is what licenses
+using these fast paths in the accuracy experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from ..finance.lattice import LatticeFamily
+from ..finance.options import Option
+from .faithful_math import EXACT_DOUBLE, MathProfile
+from .kernel_a import build_leaves_a, build_params_a
+from .kernel_b import build_params_b
+
+__all__ = ["simulate_kernel_b_batch", "simulate_kernel_a_batch"]
+
+
+def simulate_kernel_b_batch(
+    options: Sequence[Option],
+    steps: int,
+    profile: MathProfile = EXACT_DOUBLE,
+    family: LatticeFamily = LatticeFamily.CRR,
+) -> np.ndarray:
+    """Kernel IV.B arithmetic, vectorised across the whole batch.
+
+    Matrix layout: row = option (work-group), column = tree row
+    (work-item).  The backward loop narrows the active column range
+    exactly as work-items ``k > t`` idle out in the kernel.
+    """
+    if steps < 2:
+        raise ReproError("kernel IV.B needs at least 2 steps")
+    if not options:
+        raise ReproError("empty option batch")
+    if family is not LatticeFamily.CRR:
+        raise ReproError(
+            "kernel IV.B initialises leaves as s0 * u**(N-2k), which "
+            "exploits the CRR recombination u*d = 1 (paper Figure 1); "
+            "use kernel IV.A (host-computed leaves) for other families"
+        )
+    params = build_params_b(options, steps, family)
+    cast = profile.cast
+
+    s0 = cast(params[:, 0:1])
+    up = params[:, 1:2]
+    down = cast(params[:, 2:3])
+    rp = cast(params[:, 3:4])
+    rq = cast(params[:, 4:5])
+    strike = cast(params[:, 5:6])
+    sign = cast(params[:, 6:7])
+
+    # Leaf initialisation: S[N,k] = s0 * pow(u, N - 2k), device pow.
+    exponents = np.array([float(steps - 2 * k) for k in range(steps)]
+                         + [float(-steps)])
+    s = cast(s0 * profile.pow_(up, exponents[None, :]))
+    payoff = cast(sign * (s - strike))
+    v = np.where(payoff > 0.0, payoff, cast(0.0)).astype(profile.dtype)
+    s = s[:, :steps]  # rows k=0..N-1 keep a private S; the extra leaf does not
+
+    for t in range(steps - 1, -1, -1):
+        active = t + 1
+        s_active = cast(down * s[:, :active])
+        continuation = cast(
+            cast(rp * v[:, :active]) + cast(rq * v[:, 1:active + 1])
+        )
+        intrinsic = cast(sign * (s_active - strike))
+        v[:, :active] = np.where(
+            continuation > intrinsic, continuation, intrinsic
+        )
+        s[:, :active] = s_active
+
+    return v[:, 0].astype(np.float64)
+
+
+def simulate_kernel_a_batch(
+    options: Sequence[Option],
+    steps: int,
+    profile: MathProfile = EXACT_DOUBLE,
+    family: LatticeFamily = LatticeFamily.CRR,
+) -> np.ndarray:
+    """Kernel IV.A arithmetic, vectorised across the batch.
+
+    Leaves come from exact host doubles (cast into the device's
+    working precision on upload); each batch applies Equation (1) to
+    one level.  Option pipelining does not change the arithmetic, so
+    the vectorised form prices each option's tree directly.
+    """
+    if steps < 2:
+        raise ReproError("kernel IV.A needs at least 2 steps")
+    if not options:
+        raise ReproError("empty option batch")
+    params = build_params_a(options, steps, family)
+    cast = profile.cast
+
+    rp = cast(params[:, 0:1])
+    rq = cast(params[:, 1:2])
+    down = cast(params[:, 2:3])
+    strike = cast(params[:, 3:4])
+    sign = cast(params[:, 4:5])
+
+    # Host-exact leaves (S and V), cast into the device's working
+    # precision when "uploaded".
+    leaf_pairs = [build_leaves_a(o, steps, family) for o in options]
+    s = cast(np.stack([pair[0] for pair in leaf_pairs]))
+    v = cast(np.stack([pair[1] for pair in leaf_pairs])).astype(profile.dtype)
+
+    for t in range(steps - 1, -1, -1):
+        active = t + 1
+        s_active = cast(down * s[:, :active])
+        continuation = cast(
+            cast(rp * v[:, :active]) + cast(rq * v[:, 1:active + 1])
+        )
+        intrinsic = cast(sign * (s_active - strike))
+        v = np.where(continuation > intrinsic, continuation, intrinsic).astype(
+            profile.dtype
+        )
+        s = s_active
+
+    return v[:, 0].astype(np.float64)

@@ -1,0 +1,187 @@
+"""OpenCL C source emission for the two kernels.
+
+The simulator executes the kernels as Python work-items; this module
+emits the equivalent **OpenCL C** a real deployment would feed to
+Altera's ``aoc`` (or any OpenCL compiler — the paper's future work is
+precisely to carry these sources to other targets).  The generated
+code mirrors the simulated kernels statement for statement, including
+the Altera attributes and ``#pragma unroll`` that realise the paper's
+parallelisation choices, so the textual artifact and the executable
+model cannot drift apart silently (the tests cross-check operator
+censuses between this source and the HLS IR).
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..hls.options import CompileOptions
+
+__all__ = ["kernel_a_source", "kernel_b_source", "PRECISION_TYPES"]
+
+#: OpenCL scalar type per precision.
+PRECISION_TYPES = {"dp": "double", "sp": "float"}
+
+
+def _check_precision(precision: str) -> str:
+    if precision not in PRECISION_TYPES:
+        raise ReproError(f"precision must be 'dp' or 'sp', got {precision!r}")
+    return PRECISION_TYPES[precision]
+
+
+def _pragma_header(precision: str) -> str:
+    lines = []
+    if precision == "dp":
+        lines.append("#pragma OPENCL EXTENSION cl_khr_fp64 : enable")
+    return "\n".join(lines)
+
+
+def kernel_b_source(
+    n_steps: int,
+    options: CompileOptions | None = None,
+    precision: str = "dp",
+) -> str:
+    """OpenCL C for kernel IV.B (Section IV.B / Figure 4).
+
+    One work-group per option, one work-item per tree row, leaves
+    initialised in-device through ``pow`` (the operator whose 13.0
+    implementation the paper found inaccurate), the shared value row in
+    ``__local`` memory behind barriers.
+    """
+    if n_steps < 2:
+        raise ReproError("kernel IV.B needs at least 2 steps")
+    scalar = _check_precision(precision)
+    options = options or CompileOptions()
+    unroll = (f"#pragma unroll {options.unroll}\n    "
+              if options.unroll > 1 else "")
+    simd = (f"__attribute__((num_simd_work_items({options.num_simd_work_items})))\n"
+            if options.num_simd_work_items > 1 else "")
+    cus = (f"__attribute__((num_compute_units({options.num_compute_units})))\n"
+           if options.num_compute_units > 1 else "")
+
+    return f"""{_pragma_header(precision)}
+
+/* Kernel IV.B -- optimized work-group implementation.
+ * One work-group prices one option; work-item k owns tree row k.
+ * Parameters per option: s0, u, d, rp, rq, K, sign (host-precomputed).
+ */
+#define N_STEPS {n_steps}
+
+{simd}{cus}__attribute__((reqd_work_group_size({n_steps}, 1, 1)))
+__kernel void binomial_tree_iv_b(
+    __global const {scalar} * restrict params,
+    __global {scalar} * restrict results,
+    __local {scalar} * v_row)
+{{
+    const int k = get_local_id(0);
+    const int group = get_group_id(0);
+
+    /* private memory: option constants and this row's asset price */
+    const {scalar} s0     = params[group * 7 + 0];
+    const {scalar} up     = params[group * 7 + 1];
+    const {scalar} down   = params[group * 7 + 2];
+    const {scalar} rp     = params[group * 7 + 3];
+    const {scalar} rq     = params[group * 7 + 4];
+    const {scalar} strike = params[group * 7 + 5];
+    const {scalar} sign   = params[group * 7 + 6];
+
+    /* leaf initialisation in-device: the pow operator (paper V.C) */
+    {scalar} s = s0 * pow(up, ({scalar})(N_STEPS - 2 * k));
+    {scalar} payoff = sign * (s - strike);
+    v_row[k] = payoff > ({scalar})0 ? payoff : ({scalar})0;
+    if (k == N_STEPS - 1) {{
+        const {scalar} s_last = s0 * pow(up, ({scalar})(-N_STEPS));
+        const {scalar} payoff_last = sign * (s_last - strike);
+        v_row[N_STEPS] = payoff_last > ({scalar})0 ? payoff_last
+                                                   : ({scalar})0;
+    }}
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    /* backward induction; idle rows keep hitting the barriers */
+    {unroll}for (int t = N_STEPS - 1; t >= 0; --t) {{
+        {scalar} value = ({scalar})0;
+        const int active = (k <= t);
+        if (active) {{
+            s = down * s;                     /* Eq. (1): S[t,k] = d*S[t+1,k] */
+            const {scalar} continuation = rp * v_row[k] + rq * v_row[k + 1];
+            const {scalar} intrinsic = sign * (s - strike);
+            value = continuation > intrinsic ? continuation : intrinsic;
+        }}
+        barrier(CLK_LOCAL_MEM_FENCE);         /* reads done */
+        if (active) {{
+            v_row[k] = value;
+        }}
+        barrier(CLK_LOCAL_MEM_FENCE);         /* row updated */
+    }}
+
+    if (k == 0) {{
+        results[group] = v_row[0];
+    }}
+}}
+"""
+
+
+def kernel_a_source(
+    options: CompileOptions | None = None,
+    precision: str = "dp",
+) -> str:
+    """OpenCL C for kernel IV.A (Section IV.A / Figure 3).
+
+    One work-item per tree node over the flattened pipeline buffers;
+    the host drives batches and switches the ping-pong buffers.
+    """
+    scalar = _check_precision(precision)
+    options = options or CompileOptions()
+    simd = (f"__attribute__((num_simd_work_items({options.num_simd_work_items})))\n"
+            if options.num_simd_work_items > 1 else "")
+    cus = (f"__attribute__((num_compute_units({options.num_compute_units})))\n"
+           if options.num_compute_units > 1 else "")
+
+    return f"""{_pragma_header(precision)}
+
+/* Kernel IV.A -- straightforward dataflow implementation.
+ * One work-item computes one tree node per batch; state flows through
+ * global ping-pong buffers switched by the host between batches.
+ * Slot layout: node (t, k) at slot t*(t+1)/2 + k; children of a slot
+ * at level t sit at slot + t + 1 and slot + t + 2.
+ */
+{simd}{cus}__kernel void binomial_node_iv_a(
+    __global const {scalar} * restrict src_s,
+    __global const {scalar} * restrict src_v,
+    __global const {scalar} * restrict src_oid,
+    __global {scalar} * restrict dst_s,
+    __global {scalar} * restrict dst_v,
+    __global {scalar} * restrict dst_oid,
+    __global const long * restrict level_of_slot,
+    __global const {scalar} * restrict params)
+{{
+    const int slot = get_global_id(0);
+    const int t = (int)level_of_slot[slot];
+
+    const int child_up = slot + t + 1;
+    const int child_dn = slot + t + 2;
+
+    const int oid = (int)src_oid[child_up];
+    if (oid < 0) {{
+        /* pipeline stage not yet occupied: propagate the empty marker */
+        dst_oid[slot] = ({scalar})-1;
+        dst_s[slot] = ({scalar})0;
+        dst_v[slot] = ({scalar})0;
+        return;
+    }}
+
+    const {scalar} rp     = params[oid * 5 + 0];
+    const {scalar} rq     = params[oid * 5 + 1];
+    const {scalar} down   = params[oid * 5 + 2];
+    const {scalar} strike = params[oid * 5 + 3];
+    const {scalar} sign   = params[oid * 5 + 4];
+
+    const {scalar} s = down * src_s[child_up];   /* Eq. (1) */
+    const {scalar} continuation = rp * src_v[child_up]
+                                + rq * src_v[child_dn];
+    const {scalar} intrinsic = sign * (s - strike);
+
+    dst_s[slot] = s;
+    dst_v[slot] = continuation > intrinsic ? continuation : intrinsic;
+    dst_oid[slot] = ({scalar})oid;
+}}
+"""

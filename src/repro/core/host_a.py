@@ -1,0 +1,211 @@
+"""Host program for kernel IV.A (Figure 3's "external operations").
+
+Drives the simulated OpenCL device exactly as the paper describes:
+*"Four instructions are executed by the host during each batch:
+initializing the data necessary to fill the first addresses of the
+input buffer, writing this data to the device global memory,
+enqueueing the kernels and reading a result from the global memory."*
+
+Every batch advances the option pipeline by one tree level: the host
+writes the entering option's (host-computed) leaves into the read
+buffer, launches ``N(N+1)/2`` work-items, reads back results — either
+the *full* destination buffer (the paper's original kernel, whose
+throughput collapses under the ~buffer-size/batch PCIe readback) or
+only the root slot (the paper's "modified version ... with a reduced
+number of read operations", 14x faster on the GPU) — and switches the
+ping-pong buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from ..finance.lattice import LatticeFamily
+from ..finance.options import Option
+from ..opencl import CommandQueue, Context, Device, MemFlag, TransferDirection
+from .kernel_a import (
+    build_leaves_a,
+    build_params_a,
+    interior_nodes,
+    kernel_a_work_item,
+    level_of_slot_table,
+    pipeline_slots,
+)
+
+__all__ = ["ReadbackMode", "KernelARun", "HostProgramA"]
+
+
+class ReadbackMode:
+    """What the host reads back between batches."""
+
+    #: original kernel IV.A: one full ping-pong buffer per batch
+    FULL_BUFFER = "full_buffer"
+    #: the paper's modified variant: only the completed root value
+    RESULT_ONLY = "result_only"
+
+    _VALID = (FULL_BUFFER, RESULT_ONLY)
+
+    @classmethod
+    def check(cls, value: str) -> str:
+        if value not in cls._VALID:
+            raise ReproError(f"readback must be one of {cls._VALID}, got {value!r}")
+        return value
+
+
+@dataclass(frozen=True)
+class KernelARun:
+    """Outcome of pricing a batch through the kernel IV.A pipeline."""
+
+    prices: np.ndarray
+    batches: int
+    simulated_time_s: float
+    bytes_read: int
+    bytes_written: int
+    kernel_launches: int
+
+    @property
+    def options_per_second(self) -> float:
+        """Simulated throughput of this run."""
+        if self.simulated_time_s <= 0:
+            return float("inf")
+        return len(self.prices) / self.simulated_time_s
+
+
+class HostProgramA:
+    """The kernel IV.A host application bound to one simulated device.
+
+    :param device: simulated OpenCL device (timing model included).
+    :param steps: tree discretisation ``N``.
+    :param readback: :class:`ReadbackMode` variant.
+    :param family: lattice parameterisation for the host-computed
+        constants and leaves.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        steps: int,
+        readback: str = ReadbackMode.FULL_BUFFER,
+        family: LatticeFamily = LatticeFamily.CRR,
+        overlap: bool = False,
+    ):
+        """``overlap=True`` gives the queue the dual-engine timing
+        discipline (paper IV.B: "Memory operations and work-items
+        executions are overlapped with one another"); the ping-pong
+        structure means the level-N leaf write for batch b+1 can ride
+        the DMA engine while batch b computes."""
+        if steps < 2:
+            raise ReproError("kernel IV.A needs at least 2 steps")
+        self.device = device
+        self.steps = steps
+        self.readback = ReadbackMode.check(readback)
+        self.family = family
+
+        self.context = Context(device)
+        self.queue: CommandQueue = self.context.create_queue(overlap=overlap)
+        program = self.context.create_program({"node": kernel_a_work_item})
+        self.kernel = program.create_kernel("node")
+
+        slots = pipeline_slots(steps)
+        self._slots = slots
+        # ping-pong buffer pair: (S, V, option-id) each
+        self._buffers = [
+            {
+                "s": self.context.create_buffer(slots),
+                "v": self.context.create_buffer(slots),
+                "oid": self.context.create_buffer(slots),
+            }
+            for _ in range(2)
+        ]
+        self._level_table = self.context.create_buffer_from(
+            level_of_slot_table(steps).astype(np.int64), flags=MemFlag.READ_ONLY
+        )
+        self._leaf_base = steps * (steps + 1) // 2  # first leaf slot
+
+    def price(self, options: Sequence[Option]) -> KernelARun:
+        """Price ``options`` through the pipelined tree network."""
+        if not options:
+            raise ReproError("empty option batch")
+        n_options = len(options)
+        steps = self.steps
+        queue = self.queue
+        queue.reset_clock()
+
+        params = build_params_a(options, steps, self.family)
+        params_buf = self.context.create_buffer_from(params, flags=MemFlag.READ_ONLY)
+        queue.enqueue_write_buffer(params_buf, params)
+
+        # Empty pipeline: option-id -1 marks unoccupied slots.
+        for side in self._buffers:
+            queue.enqueue_fill_buffer(side["oid"], -1.0)
+            queue.enqueue_fill_buffer(side["s"], 0.0)
+            queue.enqueue_fill_buffer(side["v"], 0.0)
+
+        prices = np.empty(n_options)
+        total_batches = n_options + steps - 1
+        src, dst = 0, 1
+
+        for batch in range(total_batches):
+            source = self._buffers[src]
+            dest = self._buffers[dst]
+
+            # (1)+(2) host initialises and writes the entering option's
+            # leaves (computed on the host: no device pow).
+            if batch < n_options:
+                leaf_s, leaf_v = build_leaves_a(options[batch], steps, self.family)
+                queue.enqueue_write_buffer(source["s"], leaf_s, offset=self._leaf_base)
+                queue.enqueue_write_buffer(source["v"], leaf_v, offset=self._leaf_base)
+                queue.enqueue_write_buffer(
+                    source["oid"],
+                    np.full(steps + 1, float(batch)),
+                    offset=self._leaf_base,
+                )
+
+            # (3) enqueue the full tree network of work-items
+            self.kernel.set_args(
+                source["s"], source["v"], source["oid"],
+                dest["s"], dest["v"], dest["oid"],
+                self._level_table, params_buf,
+            )
+            queue.enqueue_nd_range_kernel(self.kernel, interior_nodes(steps))
+
+            # (4) read a result back — the throughput-deciding step
+            if self.readback == ReadbackMode.FULL_BUFFER:
+                v_data, _ = queue.enqueue_read_buffer(dest["v"])
+                queue.enqueue_read_buffer(dest["s"])
+                oid_data, _ = queue.enqueue_read_buffer(dest["oid"])
+                root_value, root_oid = v_data[0], oid_data[0]
+            else:
+                root_value = queue.enqueue_read_buffer(dest["v"], 0, 1)[0][0]
+                root_oid = queue.enqueue_read_buffer(dest["oid"], 0, 1)[0][0]
+
+            exiting = batch - (steps - 1)
+            if exiting >= 0:
+                if int(root_oid) != exiting:
+                    raise ReproError(
+                        f"pipeline corruption: expected option {exiting} at the "
+                        f"root after batch {batch}, found {root_oid}"
+                    )
+                if not np.isfinite(root_value):
+                    raise ReproError(
+                        f"kernel IV.A produced a non-finite price for option "
+                        f"{exiting} (corrupted pipeline data or invalid "
+                        "parameters)"
+                    )
+                prices[exiting] = root_value
+
+            src, dst = dst, src
+
+        self.context.release(params_buf)
+        return KernelARun(
+            prices=prices,
+            batches=total_batches,
+            simulated_time_s=queue.clock_s,
+            bytes_read=queue.transfers.total_bytes(TransferDirection.DEVICE_TO_HOST),
+            bytes_written=queue.transfers.total_bytes(TransferDirection.HOST_TO_DEVICE),
+            kernel_launches=total_batches,
+        )

@@ -1,0 +1,148 @@
+"""Host program for kernel IV.B (Figure 4's three host commands).
+
+*"From the host point of view, three commands must be executed to run
+this computation: 1) copying all option parameters in global memory,
+2) enqueueing enough kernels to process all the data, 3) and read back
+the final results from global memory."* — Section IV.B.
+
+One work-group per option, ``steps`` work-items per group, leaves
+initialised in-device.  This module runs the kernel *functionally* on
+the simulated device (coroutine work-items with real barriers); for
+full-size accuracy experiments use
+:func:`repro.core.batch_sim.simulate_kernel_b_batch`, which executes
+the identical arithmetic vectorised (the equivalence of the two paths
+is asserted by the integration tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from ..finance.lattice import LatticeFamily
+from ..finance.options import Option
+from ..opencl import (
+    CommandQueue,
+    Context,
+    Device,
+    LocalMemory,
+    MemFlag,
+    TransferDirection,
+)
+from .faithful_math import EXACT_DOUBLE, MathProfile
+from .kernel_b import build_params_b, make_kernel_b
+
+__all__ = ["KernelBRun", "HostProgramB"]
+
+
+@dataclass(frozen=True)
+class KernelBRun:
+    """Outcome of pricing a batch through kernel IV.B."""
+
+    prices: np.ndarray
+    simulated_time_s: float
+    bytes_read: int
+    bytes_written: int
+    barriers_per_group: int
+    local_bytes_per_group: int
+
+    @property
+    def options_per_second(self) -> float:
+        """Simulated throughput of this run."""
+        if self.simulated_time_s <= 0:
+            return float("inf")
+        return len(self.prices) / self.simulated_time_s
+
+
+class HostProgramB:
+    """The kernel IV.B host application bound to one simulated device.
+
+    :param device: simulated OpenCL device.
+    :param steps: tree discretisation ``N`` — also the work-group size
+        (one work-item per tree row).
+    :param profile: device math profile; pass
+        :data:`~repro.core.faithful_math.ALTERA_13_0_DOUBLE` to model
+        the FPGA's flawed ``pow``.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        steps: int,
+        profile: MathProfile = EXACT_DOUBLE,
+        family: LatticeFamily = LatticeFamily.CRR,
+    ):
+        if steps < 2:
+            raise ReproError("kernel IV.B needs at least 2 steps")
+        if steps > device.max_work_group_size:
+            raise ReproError(
+                f"work-group size {steps} exceeds device limit "
+                f"{device.max_work_group_size}; lower the step count"
+            )
+        if family is not LatticeFamily.CRR:
+            raise ReproError(
+                "kernel IV.B's in-device leaf initialisation requires the "
+                "CRR lattice (u*d = 1); use kernel IV.A for other families"
+            )
+        self.device = device
+        self.steps = steps
+        self.profile = profile
+        self.family = family
+        self.context = Context(device)
+        self.queue: CommandQueue = self.context.create_queue()
+        program = self.context.create_program(
+            {"tree": make_kernel_b(steps, profile)}
+        )
+        self.kernel = program.create_kernel("tree")
+
+    def price(self, options: Sequence[Option]) -> KernelBRun:
+        """Price ``options``, one work-group each (three host commands)."""
+        if not options:
+            raise ReproError("empty option batch")
+        n_options = len(options)
+        queue = self.queue
+        queue.reset_clock()
+
+        # (1) copy all option parameters to global memory
+        params = build_params_b(options, self.steps, self.family)
+        params_buf = self.context.create_buffer_from(params, flags=MemFlag.READ_ONLY)
+        queue.enqueue_write_buffer(params_buf, params)
+        results_buf = self.context.create_buffer(n_options, flags=MemFlag.WRITE_ONLY)
+
+        # (2) enqueue enough kernels to process all the data
+        self.kernel.set_args(
+            params_buf,
+            results_buf,
+            LocalMemory(self.steps + 1, dtype=self.profile.dtype),
+        )
+        event = queue.enqueue_nd_range_kernel(
+            self.kernel,
+            global_size=n_options * self.steps,
+            local_size=self.steps,
+        )
+
+        # (3) read back the final results (WRITE_ONLY constrains the
+        # kernel side only; host reads go through the queue)
+        prices, _ = queue.enqueue_read_buffer(results_buf)
+        if not np.all(np.isfinite(prices)):
+            bad = int(np.flatnonzero(~np.isfinite(prices))[0])
+            raise ReproError(
+                f"kernel IV.B produced a non-finite price for option {bad}: "
+                "the device math profile returned NaN/inf (check the "
+                "option parameters and the profile's operator domain)"
+            )
+
+        run = KernelBRun(
+            prices=prices,
+            simulated_time_s=queue.clock_s,
+            bytes_read=queue.transfers.total_bytes(TransferDirection.DEVICE_TO_HOST),
+            bytes_written=queue.transfers.total_bytes(TransferDirection.HOST_TO_DEVICE),
+            barriers_per_group=event.info["barriers_per_group"],
+            local_bytes_per_group=event.info["local_bytes_per_group"],
+        )
+        self.context.release(params_buf)
+        self.context.release(results_buf)
+        return run

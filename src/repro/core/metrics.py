@@ -1,0 +1,75 @@
+"""Performance-row assembly: the four metrics of the paper's Table II.
+
+Each Table II column is one :class:`PerformanceRow`: options/s, RMSE
+(in the paper's "~1e-3"/"0" notation), options/J and tree-nodes/s.
+Rows are built either from a :class:`~repro.core.perf_model.PerfEstimate`
+plus a measured RMSE, or carried verbatim for literature entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..finance.validation import classify_rmse
+from .perf_model import PerfEstimate
+
+__all__ = ["PerformanceRow", "nodes_per_option", "row_from_estimate"]
+
+
+def nodes_per_option(steps: int) -> int:
+    """Interior node updates per option, ``N(N+1)/2`` (paper's unit)."""
+    return steps * (steps + 1) // 2
+
+
+@dataclass(frozen=True)
+class PerformanceRow:
+    """One column of Table II."""
+
+    label: str
+    platform: str
+    precision: str
+    options_per_second: float
+    rmse_display: str
+    options_per_joule: float | None
+    tree_nodes_per_second: float
+
+    def formatted(self) -> dict:
+        """Human-oriented cell strings (used by the bench tables)."""
+        def _rate(value: float) -> str:
+            if value >= 1e9:
+                return f"{value / 1e9:.2f} G"
+            if value >= 1e6:
+                return f"{value / 1e6:.0f} M"
+            return f"{value:.0f}"
+
+        return {
+            "label": self.label,
+            "platform": self.platform,
+            "precision": self.precision,
+            "options/s": f"{self.options_per_second:,.1f}",
+            "RMSE": self.rmse_display,
+            "options/J": (
+                "N/A" if self.options_per_joule is None
+                else f"{self.options_per_joule:.2f}"
+            ),
+            "tree nodes/s": _rate(self.tree_nodes_per_second),
+        }
+
+
+def row_from_estimate(
+    label: str,
+    platform: str,
+    precision: str,
+    estimate: PerfEstimate,
+    rmse_value: float,
+) -> PerformanceRow:
+    """Assemble a row from a perf estimate and a measured RMSE."""
+    return PerformanceRow(
+        label=label,
+        platform=platform,
+        precision=precision,
+        options_per_second=estimate.options_per_second,
+        rmse_display=classify_rmse(rmse_value),
+        options_per_joule=estimate.options_per_joule,
+        tree_nodes_per_second=estimate.tree_nodes_per_second,
+    )

@@ -1,0 +1,112 @@
+"""Trading-session energy model: the use case over a whole day.
+
+The paper argues per-option energy (options/J); a deployment decides
+on *session* energy: a trader refreshes one volatility curve per
+second, six and a half market hours a day, and the accelerator sits
+partly idle between refreshes.  This model folds the calibrated
+performance estimates into a daily energy/feasibility report — the
+quantity a desk would actually compare against the 10 W workstation
+budget of Section I.
+
+Idle draws are typical published figures (an FPGA holds its static
+power; a discrete GPU idles at ~15 W; one Xeon core's share of a busy
+socket is taken as its TDP slice), documented here rather than
+calibrated — no session-level ground truth exists in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from .perf_model import PerfEstimate
+
+__all__ = ["SessionReport", "TradingSessionModel", "TYPICAL_IDLE_POWER_W"]
+
+#: Typical idle power by platform family (see module docstring).
+TYPICAL_IDLE_POWER_W = {
+    "fpga": 3.0,   # static power of the configured Stratix IV
+    "gpu": 15.0,   # discrete-card idle draw
+    "cpu": 25.0,   # one core's slice of an idling 2008-era Xeon socket
+}
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """Energy/feasibility of one trading session on one configuration."""
+
+    configuration: str
+    hours: float
+    refresh_interval_s: float
+    curve_options: int
+    curves_refreshed: int
+    busy_fraction: float
+    active_energy_j: float
+    idle_energy_j: float
+    meets_refresh_rate: bool
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.active_energy_j + self.idle_energy_j
+
+    @property
+    def total_energy_wh(self) -> float:
+        return self.total_energy_j / 3600.0
+
+    @property
+    def energy_per_curve_j(self) -> float:
+        if self.curves_refreshed == 0:
+            return float("inf")
+        return self.total_energy_j / self.curves_refreshed
+
+
+class TradingSessionModel:
+    """Project a performance estimate onto a trader's day.
+
+    :param estimate: steady-state performance of the configuration.
+    :param idle_power_w: draw while waiting for the next refresh.
+    :param configuration: label carried into the report.
+    """
+
+    def __init__(self, estimate: PerfEstimate, idle_power_w: float,
+                 configuration: str | None = None):
+        if idle_power_w < 0:
+            raise ReproError("idle power cannot be negative")
+        if idle_power_w > estimate.power_w:
+            raise ReproError("idle power above active power makes no sense")
+        self.estimate = estimate
+        self.idle_power_w = idle_power_w
+        self.configuration = configuration or estimate.name
+
+    def curve_time_s(self, curve_options: int = 2000) -> float:
+        """Seconds to refresh one curve (steady-state pipeline)."""
+        return self.estimate.steady_state_time_for(curve_options)
+
+    def session(self, hours: float = 6.5, refresh_interval_s: float = 1.0,
+                curve_options: int = 2000) -> SessionReport:
+        """One trading session of periodic curve refreshes.
+
+        If a refresh takes longer than the interval, the device runs
+        flat out and refreshes as fast as it can (``meets_refresh_rate``
+        goes False — the CPU reference's fate at 2000-option curves).
+        """
+        if hours <= 0 or refresh_interval_s <= 0 or curve_options < 1:
+            raise ReproError("session parameters must be positive")
+        total_s = hours * 3600.0
+        curve_s = self.curve_time_s(curve_options)
+        meets = curve_s <= refresh_interval_s
+        effective_interval = refresh_interval_s if meets else curve_s
+        curves = int(total_s / effective_interval)
+        busy_s = curves * curve_s
+        idle_s = max(total_s - busy_s, 0.0)
+        return SessionReport(
+            configuration=self.configuration,
+            hours=hours,
+            refresh_interval_s=refresh_interval_s,
+            curve_options=curve_options,
+            curves_refreshed=curves,
+            busy_fraction=busy_s / total_s,
+            active_energy_j=busy_s * self.estimate.power_w,
+            idle_energy_j=idle_s * self.idle_power_w,
+            meets_refresh_rate=meets,
+        )

@@ -1,0 +1,230 @@
+"""Design-space exploration and the paper's energy workarounds (E9).
+
+Section V.B: the chosen vectorise/replicate/unroll points came out of
+"several compilation iterations to find the best resource consumption
+rate" — :func:`explore_design_space` automates that loop over the HLS
+model.  Section V.C lists workarounds for the 7 W power overshoot:
+lower the clock, lower the parallelism, or pick a smaller board;
+:func:`frequency_scaling` and :func:`fit_power_budget` quantify the
+first, the design-space sweep the second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import FitError, ReproError
+from ..hls import CompiledKernel, CompileOptions, FpgaPart, EP4SGX530, compile_kernel
+from ..hls.ir import KernelIR
+from ..hls.power import estimate_power
+from .metrics import nodes_per_option
+
+__all__ = [
+    "DesignPoint",
+    "explore_design_space",
+    "OperatingPoint",
+    "frequency_scaling",
+    "fit_power_budget",
+    "BoardCandidate",
+    "select_board",
+]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One compile in a design-space sweep."""
+
+    options: CompileOptions
+    compiled: CompiledKernel | None
+    fits: bool
+    #: post-saturation options/s at the sweep's step count (0 if unfit)
+    options_per_second: float
+    #: options/J at the sweep's step count (0 if unfit)
+    options_per_joule: float
+
+    @property
+    def label(self) -> str:
+        return self.options.describe()
+
+
+def explore_design_space(
+    ir: KernelIR,
+    steps: int = 1024,
+    simd_widths: Sequence[int] = (1, 2, 4, 8),
+    compute_units: Sequence[int] = (1, 2, 3, 4),
+    unrolls: Sequence[int] = (1, 2, 4),
+    part: FpgaPart = EP4SGX530,
+    pipeline_derate: float = 1.0,
+) -> list[DesignPoint]:
+    """Compile every (V, R, U) combination and rank what fits.
+
+    Returns all points (fitting and not), sorted by descending
+    throughput among the fitting ones first.
+    """
+    nodes = nodes_per_option(steps)
+    points = []
+    for simd in simd_widths:
+        for cus in compute_units:
+            for unroll in unrolls:
+                if unroll > 1 and not ir.body_ops:
+                    continue  # nothing to unroll in a loop-free kernel
+                options = CompileOptions(
+                    num_simd_work_items=simd,
+                    num_compute_units=cus,
+                    unroll=unroll,
+                )
+                try:
+                    compiled = compile_kernel(ir, options, part)
+                except FitError:
+                    points.append(
+                        DesignPoint(options, None, False, 0.0, 0.0)
+                    )
+                    continue
+                rate = (
+                    compiled.fmax_hz * options.parallel_lanes * pipeline_derate
+                    / nodes
+                )
+                points.append(
+                    DesignPoint(
+                        options=options,
+                        compiled=compiled,
+                        fits=True,
+                        options_per_second=rate,
+                        options_per_joule=rate / compiled.power_w,
+                    )
+                )
+    points.sort(key=lambda p: (p.fits, p.options_per_second), reverse=True)
+    return points
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One clock setting of a compiled kernel (E9's frequency axis)."""
+
+    clock_hz: float
+    power_w: float
+    options_per_second: float
+    options_per_joule: float
+
+    @property
+    def clock_mhz(self) -> float:
+        return self.clock_hz / 1e6
+
+
+def frequency_scaling(
+    compiled: CompiledKernel,
+    steps: int = 1024,
+    fractions: Iterable[float] = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3),
+    pipeline_derate: float = 1.0,
+) -> list[OperatingPoint]:
+    """Throughput/power trade-off when under-clocking a fitted kernel.
+
+    Dynamic power scales linearly with the clock (static power does
+    not), while pipeline throughput scales linearly too — the basis of
+    the paper's "either clock frequency or parallelism levels can be
+    lowered to reduce energy consumption".
+    """
+    nodes = nodes_per_option(steps)
+    points = []
+    for fraction in fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise ReproError("clock fractions must be in (0, 1]")
+        clock = compiled.fmax_hz * fraction
+        power = estimate_power(compiled.resources, clock).total_w
+        rate = clock * compiled.parallel_lanes * pipeline_derate / nodes
+        points.append(
+            OperatingPoint(
+                clock_hz=clock,
+                power_w=power,
+                options_per_second=rate,
+                options_per_joule=rate / power,
+            )
+        )
+    return points
+
+
+def fit_power_budget(
+    compiled: CompiledKernel,
+    budget_w: float,
+    steps: int = 1024,
+    pipeline_derate: float = 1.0,
+) -> OperatingPoint:
+    """Highest clock meeting a power budget (the paper's 10 W target).
+
+    Inverts the linear dynamic-power model; raises if even the static
+    power exceeds the budget.
+    """
+    full_power = estimate_power(compiled.resources, compiled.fmax_hz)
+    dynamic = full_power.total_w - full_power.static_w
+    headroom = budget_w - full_power.static_w
+    if headroom <= 0:
+        raise ReproError(
+            f"budget {budget_w} W below static power {full_power.static_w} W"
+        )
+    fraction = min(1.0, headroom / dynamic)
+    clock = compiled.fmax_hz * fraction
+    nodes = nodes_per_option(steps)
+    rate = clock * compiled.parallel_lanes * pipeline_derate / nodes
+    power = estimate_power(compiled.resources, clock).total_w
+    return OperatingPoint(
+        clock_hz=clock,
+        power_w=power,
+        options_per_second=rate,
+        options_per_joule=rate / power,
+    )
+
+
+@dataclass(frozen=True)
+class BoardCandidate:
+    """Best fitting design point of one kernel on one FPGA part."""
+
+    part: FpgaPart
+    best: DesignPoint | None
+
+    @property
+    def feasible(self) -> bool:
+        return self.best is not None
+
+    @property
+    def options_per_second(self) -> float:
+        return self.best.options_per_second if self.best else 0.0
+
+    @property
+    def power_w(self) -> float:
+        return self.best.compiled.power_w if self.best else 0.0
+
+
+def select_board(
+    ir: KernelIR,
+    parts: Sequence[FpgaPart],
+    steps: int = 1024,
+    power_budget_w: float | None = None,
+    simd_widths: Sequence[int] = (1, 2, 4, 8),
+    compute_units: Sequence[int] = (1, 2, 3),
+    unrolls: Sequence[int] = (1, 2, 4),
+    pipeline_derate: float = 1.0,
+) -> list[BoardCandidate]:
+    """The paper's third energy workaround: pick a different board.
+
+    For each candidate part, explores the parallelisation space and
+    keeps the fastest fitting point (optionally further constrained to
+    a power budget).  Returns one :class:`BoardCandidate` per part, in
+    the order given, so callers can weigh throughput against power
+    across boards — Section V.C's "a less power consuming FPGA board
+    can be selected that would better fit our goal".
+    """
+    candidates = []
+    for part in parts:
+        points = explore_design_space(
+            ir, steps=steps, simd_widths=simd_widths,
+            compute_units=compute_units, unrolls=unrolls, part=part,
+            pipeline_derate=pipeline_derate,
+        )
+        fitting = [p for p in points if p.fits]
+        if power_budget_w is not None:
+            fitting = [p for p in fitting
+                       if p.compiled.power_w <= power_budget_w]
+        best = fitting[0] if fitting else None
+        candidates.append(BoardCandidate(part=part, best=best))
+    return candidates

@@ -1,0 +1,74 @@
+"""Event-timeline rendering: a text Gantt of a queue's execution.
+
+Figures 3 and 4 of the paper are dataflow diagrams; this module draws
+the *temporal* counterpart from a simulated run — each command as a bar
+on its engine's lane (transfers vs kernel launches), scaled by the
+simulated clock.  Combined with the overlap queue it makes visible at
+a glance why kernel IV.A's ping-pong chain serialises even with a free
+DMA engine.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ReproError
+from ..opencl.profiling import Event
+from ..opencl.types import CommandType
+
+__all__ = ["render_timeline"]
+
+_LANES = {
+    CommandType.WRITE_BUFFER: "dma",
+    CommandType.READ_BUFFER: "dma",
+    CommandType.COPY_BUFFER: "dma",
+    CommandType.NDRANGE_KERNEL: "kernel",
+    CommandType.MARKER: "host",
+}
+
+_GLYPHS = {
+    CommandType.WRITE_BUFFER: "W",
+    CommandType.READ_BUFFER: "R",
+    CommandType.COPY_BUFFER: "C",
+    CommandType.NDRANGE_KERNEL: "K",
+    CommandType.MARKER: "|",
+}
+
+
+def render_timeline(events: Sequence[Event], width: int = 72,
+                    max_events: int | None = None) -> str:
+    """Render events as per-engine lanes over the simulated clock.
+
+    :param events: profiled events of one queue (in enqueue order).
+    :param width: character width of the time axis.
+    :param max_events: truncate to the first N events (None = all).
+    """
+    if not events:
+        raise ReproError("no events to render")
+    shown = list(events if max_events is None else events[:max_events])
+    t0 = min(e.start_ns for e in shown)
+    t1 = max(e.end_ns for e in shown)
+    span = max(t1 - t0, 1.0)
+
+    def column(t: float) -> int:
+        return min(width - 1, int((t - t0) / span * width))
+
+    lanes = {"dma": [" "] * width, "kernel": [" "] * width,
+             "host": [" "] * width}
+    for event in shown:
+        lane = lanes[_LANES.get(event.command_type, "host")]
+        glyph = _GLYPHS.get(event.command_type, "?")
+        lo = column(event.start_ns)
+        hi = max(column(event.end_ns), lo)
+        for i in range(lo, hi + 1):
+            lane[i] = glyph
+
+    out = [f"timeline: {len(shown)} events over "
+           f"{span / 1e6:.3f} ms (W=write R=read C=copy K=kernel)"]
+    for name in ("dma", "kernel", "host"):
+        out.append(f"  {name:>6} |{''.join(lanes[name])}|")
+    out.append(f"         {'^' + f'{t0 / 1e6:.3f} ms':<{width // 2}}"
+               f"{f'{t1 / 1e6:.3f} ms^':>{width // 2}}")
+    if max_events is not None and len(events) > max_events:
+        out.append(f"  ... {len(events) - max_events} later events omitted")
+    return "\n".join(out)

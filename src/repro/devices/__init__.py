@@ -1,0 +1,68 @@
+"""Calibrated performance & energy models of the paper's hardware.
+
+Three execution targets (Section V.A of the paper):
+
+* :mod:`~repro.devices.fpga` — Terasic DE4 board, Stratix IV 4SGX530;
+* :mod:`~repro.devices.gpu` — NVIDIA GTX660 Ti;
+* :mod:`~repro.devices.cpu` — single-core Xeon X5450 reference.
+
+Each exposes a ``*_compute_model`` factory returning a
+:class:`~repro.devices.base.ComputeModel` (timing + power for one
+kernel/precision configuration) and a ``*_device`` factory returning a
+simulated OpenCL :class:`~repro.opencl.device.Device` wired to it.
+Every free constant is pinned in :mod:`~repro.devices.calibration`.
+"""
+
+from . import calibration
+from .base import ComputeModel, Precision
+from .cpu import XEON_X5450, CpuSpec, cpu_compute_model, cpu_device
+from .ddr import DE4_DDR2, GTX660_GDDR5, MemorySystem
+from .embedded import (
+    MALI_T604,
+    TI_C6678,
+    EmbeddedSpec,
+    embedded_compute_model,
+    embedded_device,
+)
+from .fpga import (
+    DE4_BOARD,
+    KERNEL_A_PAPER_POINT,
+    KERNEL_B_PAPER_POINT,
+    FpgaBoardSpec,
+    FpgaOperatingPoint,
+    fpga_compute_model,
+    fpga_device,
+)
+from .gpu import GTX660_TI, GpuSpec, gpu_compute_model, gpu_device
+from .link import PCIE_LANE_RATE_BYTES_S, PCIeLink
+
+__all__ = [
+    "calibration",
+    "ComputeModel",
+    "Precision",
+    "PCIeLink",
+    "PCIE_LANE_RATE_BYTES_S",
+    "MemorySystem",
+    "DE4_DDR2",
+    "GTX660_GDDR5",
+    "EmbeddedSpec",
+    "TI_C6678",
+    "MALI_T604",
+    "embedded_compute_model",
+    "embedded_device",
+    "FpgaBoardSpec",
+    "FpgaOperatingPoint",
+    "DE4_BOARD",
+    "KERNEL_A_PAPER_POINT",
+    "KERNEL_B_PAPER_POINT",
+    "fpga_compute_model",
+    "fpga_device",
+    "GpuSpec",
+    "GTX660_TI",
+    "gpu_compute_model",
+    "gpu_device",
+    "CpuSpec",
+    "XEON_X5450",
+    "cpu_compute_model",
+    "cpu_device",
+]

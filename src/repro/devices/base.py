@@ -1,0 +1,121 @@
+"""Common device-model machinery.
+
+A :class:`ComputeModel` is a calibrated performance+energy model of one
+execution target *in one configuration* (a Table II column is exactly
+one such configuration: kernel architecture x platform x precision).
+It implements the simulator's :class:`~repro.opencl.device.TimingModel`
+protocol, so attaching it to a simulated :class:`Device` makes the
+command-queue clock advance with physically meaningful times, and it
+answers the two questions every experiment asks:
+
+* how fast? — :meth:`node_rate` (tree-node updates per second) and
+  :meth:`ndrange_ns`;
+* how hungry? — :attr:`power_w`, from which options/J follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DeviceModelError
+from ..opencl.device import LaunchInfo
+from ..opencl.types import TransferDirection
+from .link import PCIeLink
+
+__all__ = ["Precision", "ComputeModel"]
+
+
+class Precision:
+    """String constants for numeric precision (Table II's second row)."""
+
+    SINGLE = "single"
+    DOUBLE = "double"
+
+    _VALID = (SINGLE, DOUBLE)
+
+    @classmethod
+    def check(cls, value: str) -> str:
+        if value not in cls._VALID:
+            raise DeviceModelError(
+                f"precision must be one of {cls._VALID}, got {value!r}"
+            )
+        return value
+
+
+@dataclass
+class ComputeModel:
+    """Calibrated timing+power model of one device configuration.
+
+    :param name: human-readable configuration name.
+    :param node_rate_per_s: sustained tree-node updates per second the
+        configuration retires once saturated (the paper's "Tree
+        nodes/s" row divided by any derating already folded in).
+    :param power_w: average power drawn while computing.  For the FPGA
+        this is the quartus_pow-style estimate (board-chip only, as the
+        paper notes); for CPU/GPU the TDP, matching how the paper
+        computes options/J.
+    :param link: PCIe model used for host<->device transfer times.
+    :param launch_overhead_ns: fixed cost of one kernel enqueue
+        (driver/runtime); dominates kernel IV.A's modified-GPU variant.
+    :param precision: "single" or "double" (bookkeeping only; the rate
+        is already precision-specific).
+    :param saturation_options: number of in-flight options at which the
+        configuration reaches ~95% of its peak rate (the paper reports
+        ~1e5 for the FPGA and ~1e6 for kernel IV.B on the GPU).
+    """
+
+    name: str
+    node_rate_per_s: float
+    power_w: float
+    link: PCIeLink
+    launch_overhead_ns: float = 5_000.0
+    precision: str = Precision.DOUBLE
+    saturation_options: float = 1e5
+
+    def __post_init__(self) -> None:
+        if self.node_rate_per_s <= 0:
+            raise DeviceModelError("node_rate_per_s must be positive")
+        if self.power_w <= 0:
+            raise DeviceModelError("power_w must be positive")
+        if self.launch_overhead_ns < 0:
+            raise DeviceModelError("launch_overhead_ns cannot be negative")
+        if self.saturation_options <= 0:
+            raise DeviceModelError("saturation_options must be positive")
+        Precision.check(self.precision)
+
+    # -- TimingModel protocol -------------------------------------------------
+
+    def transfer_ns(self, nbytes: int, direction: TransferDirection) -> float:
+        """Host<->device transfer duration via the PCIe model."""
+        return self.link.transfer_ns(nbytes, direction)
+
+    def ndrange_ns(self, launch: LaunchInfo) -> float:
+        """Kernel duration: launch overhead + work / node rate.
+
+        ``launch.work_per_item`` carries the kernel's per-work-item
+        node-update count (attached via kernel metadata), so
+        ``global_size * work_per_item`` is the total node updates of
+        the launch.
+        """
+        total_nodes = launch.global_size * launch.work_per_item
+        return self.launch_overhead_ns + total_nodes / self.node_rate_per_s * 1e9
+
+    # -- derived metrics --------------------------------------------------------
+
+    def node_rate(self) -> float:
+        """Sustained tree-node updates per second."""
+        return self.node_rate_per_s
+
+    def options_per_second(self, nodes_per_option: float) -> float:
+        """Peak (post-saturation) options/s for a given tree size."""
+        if nodes_per_option <= 0:
+            raise DeviceModelError("nodes_per_option must be positive")
+        return self.node_rate_per_s / nodes_per_option
+
+    def options_per_joule(self, nodes_per_option: float) -> float:
+        """Peak energy efficiency, the paper's options/J row."""
+        return self.options_per_second(nodes_per_option) / self.power_w
+
+    def energy_per_option_j(self, nodes_per_option: float) -> float:
+        """Joules consumed per priced option (de Schryver's J/option)."""
+        return 1.0 / self.options_per_joule(nodes_per_option)

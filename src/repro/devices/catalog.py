@@ -1,0 +1,57 @@
+"""Named platform catalog: the paper's three execution targets.
+
+Importing this module registers the three simulated platforms with
+:func:`repro.opencl.get_platforms`, mirroring what installing the
+Altera/NVIDIA/Intel ICDs does on a real host:
+
+* ``"Altera SDK for OpenCL (simulated)"`` — the Terasic DE4 board;
+* ``"NVIDIA CUDA (simulated)"`` — the GTX660 Ti;
+* ``"Intel OpenCL (simulated)"`` — the Xeon X5450 host CPU.
+
+Catalog devices default to the kernel IV.B double-precision operating
+point; host programs that need a differently-calibrated device (e.g.
+kernel IV.A's link-dominated configuration) build one directly with
+``fpga_device`` / ``gpu_device``.
+"""
+
+from __future__ import annotations
+
+from ..opencl.platform import Platform, register_platform
+from .cpu import cpu_device
+from .fpga import fpga_device
+from .gpu import gpu_device
+
+__all__ = ["ALTERA_PLATFORM", "NVIDIA_PLATFORM", "INTEL_PLATFORM",
+           "register_all"]
+
+ALTERA_PLATFORM = Platform(
+    name="Altera SDK for OpenCL (simulated)",
+    vendor="Altera",
+    devices=(fpga_device("iv_b"),),
+)
+
+NVIDIA_PLATFORM = Platform(
+    name="NVIDIA CUDA (simulated)",
+    vendor="NVIDIA",
+    devices=(gpu_device("iv_b"),),
+)
+
+INTEL_PLATFORM = Platform(
+    name="Intel OpenCL (simulated)",
+    vendor="Intel",
+    devices=(cpu_device(),),
+)
+
+
+def register_all() -> tuple:
+    """(Re-)register the three vendor platforms; idempotent.
+
+    Called on import and again by :func:`repro.opencl.get_platforms`
+    whenever the registry is found empty (e.g. after a test cleared it).
+    """
+    for platform in (ALTERA_PLATFORM, NVIDIA_PLATFORM, INTEL_PLATFORM):
+        register_platform(platform)
+    return ALTERA_PLATFORM, NVIDIA_PLATFORM, INTEL_PLATFORM
+
+
+register_all()

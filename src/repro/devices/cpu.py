@@ -1,0 +1,86 @@
+"""Intel Xeon X5450 device model (the paper's software reference).
+
+The reference software is a single-threaded C program on one core of a
+3.0 GHz quad-core Xeon X5450 (TDP 120 W, paper reference [15]).  The
+model is a cycles-per-node-update machine; the two per-precision
+calibrations come straight from Table II's reference-software column
+(see :mod:`repro.devices.calibration` for the arithmetic and the note
+on the single-precision inversion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..opencl.device import Device
+from ..opencl.types import DeviceType
+from . import calibration as cal
+from .base import ComputeModel, Precision
+from .link import PCIeLink
+
+__all__ = ["CpuSpec", "XEON_X5450", "cpu_compute_model", "cpu_device"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static datasheet numbers of the reference CPU."""
+
+    name: str
+    cores: int
+    clock_hz: float
+    tdp_w: float
+    cycles_per_node: dict
+
+
+XEON_X5450 = CpuSpec(
+    name="Intel Xeon X5450 (1 core)",
+    cores=1,  # the paper uses a single core of the quad-core part
+    clock_hz=3.0e9,
+    tdp_w=120.0,
+    cycles_per_node={
+        Precision.DOUBLE: cal.CPU_CYCLES_PER_NODE_DOUBLE,
+        Precision.SINGLE: cal.CPU_CYCLES_PER_NODE_SINGLE,
+    },
+)
+
+#: Host and device are the same machine: a loopback "link" with memcpy
+#: bandwidth and negligible latency.
+_LOOPBACK = PCIeLink(generation=3, lanes=16, efficiency=1.0, latency_ns=200.0)
+
+
+def cpu_compute_model(
+    precision: str = Precision.DOUBLE,
+    spec: CpuSpec = XEON_X5450,
+) -> ComputeModel:
+    """Calibrated :class:`ComputeModel` for the software reference."""
+    Precision.check(precision)
+    node_rate = spec.clock_hz * spec.cores / spec.cycles_per_node[precision]
+    return ComputeModel(
+        name=f"{spec.name} / reference software / {precision}",
+        node_rate_per_s=node_rate,
+        power_w=spec.tdp_w,
+        link=_LOOPBACK,
+        launch_overhead_ns=0.0,
+        precision=precision,
+        # A sequential program has no pipeline to fill: it is "saturated"
+        # from the first option.
+        saturation_options=1.0,
+    )
+
+
+def cpu_device(
+    precision: str = Precision.DOUBLE,
+    spec: CpuSpec = XEON_X5450,
+) -> Device:
+    """Simulated OpenCL :class:`Device` for the CPU reference."""
+    model = cpu_compute_model(precision, spec)
+    return Device(
+        name=spec.name,
+        device_type=DeviceType.CPU,
+        compute_units=spec.cores,
+        global_mem_bytes=8 * 1024**3,
+        local_mem_bytes=32 * 1024,
+        max_work_group_size=8192,
+        timing_model=model,
+        double_precision=True,
+    )

@@ -1,0 +1,61 @@
+"""On-board global-memory (DDR/GDDR) model.
+
+Carries the capacity and peak bandwidth of the board's external
+memory.  The paper quotes 12.75 GB/s for the DE4's two DDR2 banks at
+400 MHz and 144 GB/s for the GTX660's GDDR5; global-memory bandwidth
+only binds kernel IV.A (whose in-flight working set streams through
+DDR), so the model exposes a simple streaming-time query used by the
+FPGA device model's compute-throughput ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceModelError
+
+__all__ = ["MemorySystem", "DE4_DDR2", "GTX660_GDDR5"]
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """External memory attached to a device."""
+
+    technology: str
+    capacity_bytes: int
+    peak_bandwidth_bytes_s: float
+    #: fraction of peak usable for the kernel's access pattern
+    efficiency: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise DeviceModelError("capacity must be positive")
+        if self.peak_bandwidth_bytes_s <= 0:
+            raise DeviceModelError("bandwidth must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise DeviceModelError("efficiency must be in (0, 1]")
+
+    @property
+    def effective_bandwidth_bytes_s(self) -> float:
+        return self.peak_bandwidth_bytes_s * self.efficiency
+
+    def streaming_time_ns(self, nbytes: int) -> float:
+        """Time to stream ``nbytes`` through the memory system."""
+        if nbytes < 0:
+            raise DeviceModelError("byte count cannot be negative")
+        return nbytes / self.effective_bandwidth_bytes_s * 1e9
+
+
+#: DE4: two DDR2-800 banks, 12.75 GB/s aggregate (paper Section V.A).
+DE4_DDR2 = MemorySystem(
+    technology="DDR2 (2 banks @ 400 MHz)",
+    capacity_bytes=2 * 1024**3,
+    peak_bandwidth_bytes_s=12.75e9,
+)
+
+#: GTX660 Ti: 2 GB GDDR5, 144 GB/s (paper Section V.A).
+GTX660_GDDR5 = MemorySystem(
+    technology="GDDR5",
+    capacity_bytes=2 * 1024**3,
+    peak_bandwidth_bytes_s=144e9,
+)

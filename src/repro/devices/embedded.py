@@ -1,0 +1,173 @@
+"""Future-work OpenCL targets: TI KeyStone DSP and ARM Mali GPU.
+
+The paper's conclusion: *"Future work will focus on other hardware
+architectures supporting the OpenCL standard [16], [17], so as to
+compare their performances to the FPGA device and study the
+portability of the OpenCL kernel."*  Reference [16] is TI's KeyStone
+multicore DSP software stack, [17] ARM's Mali OpenCL SDK.
+
+This module models those two targets so the portability study the
+authors announced can actually be run (experiment E11).  Unlike the
+FPGA/GPU/CPU models, there are **no published operating points to
+calibrate against** — the paper never measured these devices — so the
+numbers here are *projections*: peak issue rates from the public
+datasheets the paper's references point at, derated by sustained-
+efficiency factors borrowed from the measured GTX660 calibration (with
+a documented penalty for the DSP's software-pipelined inner loop).
+Experiment E11 therefore asserts only qualitative, ordering-level
+conclusions, never absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceModelError
+from ..opencl.device import Device
+from ..opencl.types import DeviceType
+from . import calibration as cal
+from .base import ComputeModel, Precision
+from .ddr import MemorySystem
+from .link import PCIeLink
+
+__all__ = [
+    "EmbeddedSpec",
+    "TI_C6678",
+    "MALI_T604",
+    "embedded_compute_model",
+    "embedded_device",
+    "DSP_SCHEDULING_PENALTY",
+]
+
+#: The C66x VLIW core must software-pipeline the dependent
+#: multiply/add/max chain of the node update and handle the row
+#: shrinkage with predication; projected penalty vs a hardware-
+#: scheduled GPU SMX.  A projection, not a calibration.
+DSP_SCHEDULING_PENALTY = 0.5
+
+
+@dataclass(frozen=True)
+class EmbeddedSpec:
+    """Datasheet numbers of an embedded OpenCL target."""
+
+    name: str
+    device_type: DeviceType
+    compute_units: int
+    clock_hz: float
+    #: peak FP operations per cycle across the whole chip
+    sp_flops_per_cycle: int
+    dp_flops_per_cycle: int
+    typical_power_w: float
+    memory: MemorySystem
+    link: PCIeLink
+    local_mem_bytes: int
+    max_work_group_size: int
+    #: multiplies the borrowed GPU issue efficiency (1.0 = as-is)
+    scheduling_factor: float = 1.0
+
+    def peak_flops(self, precision: str) -> float:
+        Precision.check(precision)
+        per_cycle = (self.sp_flops_per_cycle if precision == Precision.SINGLE
+                     else self.dp_flops_per_cycle)
+        return per_cycle * self.clock_hz
+
+
+#: TI TMS320C6678 (KeyStone I): eight C66x cores at 1.25 GHz, 16 SP /
+#: 4 DP flops per core per cycle, ~10 W typical — the use case's power
+#: budget, which is exactly why the authors flagged it.
+TI_C6678 = EmbeddedSpec(
+    name="TI TMS320C6678 (KeyStone)",
+    device_type=DeviceType.ACCELERATOR,
+    compute_units=8,
+    clock_hz=1.25e9,
+    sp_flops_per_cycle=8 * 16,
+    dp_flops_per_cycle=8 * 4,
+    typical_power_w=10.0,
+    memory=MemorySystem(technology="DDR3-1333 (64-bit)",
+                        capacity_bytes=512 * 1024**2,
+                        peak_bandwidth_bytes_s=10.6e9),
+    link=PCIeLink(generation=2, lanes=2, efficiency=0.5, latency_ns=30_000.0),
+    local_mem_bytes=512 * 1024,  # per-core L2 configured as SRAM
+    max_work_group_size=1024,
+    scheduling_factor=DSP_SCHEDULING_PENALTY,
+)
+
+#: ARM Mali-T604 MP4 at 533 MHz: ~68 SP Gflops peak (128 flops/cycle
+#: across 4 cores, FMA-counted), fp64 at quarter rate, ~2.5 W — an
+#: embedded GPU living inside the host SoC (no PCIe hop at all).
+MALI_T604 = EmbeddedSpec(
+    name="ARM Mali-T604 MP4",
+    device_type=DeviceType.GPU,
+    compute_units=4,
+    clock_hz=533e6,
+    sp_flops_per_cycle=128,
+    dp_flops_per_cycle=32,
+    typical_power_w=2.5,
+    memory=MemorySystem(technology="LPDDR3 (shared with host)",
+                        capacity_bytes=2 * 1024**3,
+                        peak_bandwidth_bytes_s=12.8e9),
+    # same-die target: "link" is a cache-coherent interconnect
+    link=PCIeLink(generation=3, lanes=16, efficiency=0.8, latency_ns=1_000.0),
+    local_mem_bytes=32 * 1024,
+    max_work_group_size=256,
+)
+
+
+def embedded_compute_model(
+    spec: EmbeddedSpec,
+    kernel_arch: str = "iv_b",
+    precision: str = Precision.DOUBLE,
+) -> ComputeModel:
+    """Projected :class:`ComputeModel` for a future-work target.
+
+    Issue efficiencies are borrowed from the GTX660's *measured*
+    calibration (the closest data point for an OpenCL work-group
+    kernel) and scaled by the spec's scheduling factor; see the module
+    docstring for why E11 treats the output as qualitative.
+    """
+    Precision.check(precision)
+    if kernel_arch not in ("iv_a", "iv_b"):
+        raise DeviceModelError(f"unknown kernel architecture {kernel_arch!r}")
+    if precision == Precision.SINGLE:
+        issue_eff = cal.GPU_SP_ISSUE_EFFICIENCY
+    else:
+        issue_eff = cal.GPU_DP_ISSUE_EFFICIENCY
+    issue_eff *= spec.scheduling_factor
+
+    node_rate = spec.peak_flops(precision) * issue_eff / cal.NODE_FLOPS
+    if kernel_arch == "iv_a":
+        node_rate *= cal.GPU_KERNEL_A_GLOBAL_ACCESS_DERATE
+        overhead = cal.GPU_BATCH_OVERHEAD_NS
+    else:
+        overhead = 50_000.0
+
+    return ComputeModel(
+        name=f"{spec.name} / kernel {kernel_arch} / {precision} (projected)",
+        node_rate_per_s=node_rate,
+        power_w=spec.typical_power_w,
+        link=spec.link,
+        launch_overhead_ns=overhead,
+        precision=precision,
+        # fewer parallel lanes than the discrete GPU: assume the FPGA's
+        # saturation scale rather than the GTX660's
+        saturation_options=1e5,
+    )
+
+
+def embedded_device(
+    spec: EmbeddedSpec,
+    kernel_arch: str = "iv_b",
+    precision: str = Precision.DOUBLE,
+) -> Device:
+    """Simulated OpenCL :class:`Device` for a future-work target."""
+    model = embedded_compute_model(spec, kernel_arch, precision)
+    return Device(
+        name=spec.name,
+        device_type=spec.device_type,
+        compute_units=spec.compute_units,
+        global_mem_bytes=spec.memory.capacity_bytes,
+        local_mem_bytes=spec.local_mem_bytes,
+        max_work_group_size=spec.max_work_group_size,
+        timing_model=model,
+        double_precision=True,
+    )

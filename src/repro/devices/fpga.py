@@ -1,0 +1,161 @@
+"""Terasic DE4 / Stratix IV FPGA device model (the paper's target).
+
+Board facts from Section V.A: Stratix IV 4SGX530 FPGA, two DDR2 banks
+(12.75 GB/s aggregate), PCIe gen2 x4 to the host (2 GB/s theoretical),
+local memory built from M9K block RAMs behind a 600 MHz interconnect.
+
+Unlike the fixed-silicon GPU/CPU models, the FPGA's clock rate,
+parallelism and power are *outputs of the compile*: the paper's two
+kernels close timing at 98.27 MHz (IV.A, vectorised x2, replicated x3)
+and 162.62 MHz (IV.B, unrolled x2, vectorised x4) with 15 W and 17 W
+estimated power.  :func:`fpga_compute_model` therefore takes an
+*operating point* — either the paper's defaults, or any
+``CompiledKernel`` produced by :mod:`repro.hls` (duck-typed: needs
+``fmax_hz``, ``parallel_lanes`` and ``power_w``).
+
+The sustained node rate of a deeply pipelined kernel is one node
+update per clock per parallel lane:
+
+    node_rate = fmax * lanes * derate
+
+with the small derate calibrated in :mod:`repro.devices.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceModelError
+from ..opencl.device import Device
+from ..opencl.types import DeviceType
+from . import calibration as cal
+from .base import ComputeModel, Precision
+from .ddr import DE4_DDR2, MemorySystem
+from .link import PCIeLink
+
+__all__ = [
+    "FpgaBoardSpec",
+    "DE4_BOARD",
+    "FpgaOperatingPoint",
+    "KERNEL_A_PAPER_POINT",
+    "KERNEL_B_PAPER_POINT",
+    "fpga_compute_model",
+    "fpga_device",
+]
+
+
+@dataclass(frozen=True)
+class FpgaBoardSpec:
+    """Static board-level facts of an FPGA accelerator card."""
+
+    name: str
+    part: str
+    memory: MemorySystem
+    link: PCIeLink
+    #: local-memory capacity exposed per work-group (M9K-backed)
+    local_mem_bytes: int
+    max_work_group_size: int
+
+
+DE4_BOARD = FpgaBoardSpec(
+    name="Terasic DE4 (Stratix IV 4SGX530)",
+    part="EP4SGX530",
+    memory=DE4_DDR2,
+    link=PCIeLink(generation=2, lanes=4,
+                  efficiency=cal.DE4_LINK_EFFICIENCY, latency_ns=50_000.0),
+    local_mem_bytes=128 * 1024,
+    max_work_group_size=4096,
+)
+
+
+@dataclass(frozen=True)
+class FpgaOperatingPoint:
+    """One compiled kernel's fitted clock / parallelism / power.
+
+    Matches the attribute surface of ``repro.hls.CompiledKernel``, so a
+    compile report can be passed anywhere an operating point is
+    expected.
+    """
+
+    fmax_hz: float
+    parallel_lanes: int
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.fmax_hz <= 0:
+            raise DeviceModelError("fmax must be positive")
+        if self.parallel_lanes < 1:
+            raise DeviceModelError("parallel_lanes must be >= 1")
+        if self.power_w <= 0:
+            raise DeviceModelError("power must be positive")
+
+
+#: Paper Table I operating points (used when no HLS compile is run).
+KERNEL_A_PAPER_POINT = FpgaOperatingPoint(
+    fmax_hz=98.27e6, parallel_lanes=6, power_w=15.0
+)
+KERNEL_B_PAPER_POINT = FpgaOperatingPoint(
+    fmax_hz=162.62e6, parallel_lanes=8, power_w=17.0
+)
+
+
+def fpga_compute_model(
+    kernel_arch: str,
+    operating_point=None,
+    precision: str = Precision.DOUBLE,
+    board: FpgaBoardSpec = DE4_BOARD,
+) -> ComputeModel:
+    """Calibrated :class:`ComputeModel` for one FPGA configuration.
+
+    :param kernel_arch: ``"iv_a"`` or ``"iv_b"``.
+    :param operating_point: an :class:`FpgaOperatingPoint` or any
+        object with ``fmax_hz``/``parallel_lanes``/``power_w`` (e.g. a
+        ``repro.hls.CompiledKernel``); defaults to the paper's Table I
+        point for the chosen kernel.
+    :param precision: bookkeeping only — the FPGA pipeline retires one
+        node per lane per clock in either precision; precision instead
+        changes *resources* (and hence the operating point itself).
+    """
+    if kernel_arch == "iv_a":
+        point = operating_point or KERNEL_A_PAPER_POINT
+        derate = 1.0  # the dataflow pipeline is host-limited, not compute-limited
+        overhead = cal.FPGA_BATCH_OVERHEAD_NS
+    elif kernel_arch == "iv_b":
+        point = operating_point or KERNEL_B_PAPER_POINT
+        derate = cal.FPGA_PIPELINE_DERATE
+        overhead = 100_000.0  # single enqueue for the whole workload
+    else:
+        raise DeviceModelError(f"unknown kernel architecture {kernel_arch!r}")
+
+    Precision.check(precision)
+    node_rate = point.fmax_hz * point.parallel_lanes * derate
+    return ComputeModel(
+        name=f"{board.name} / kernel {kernel_arch} / {precision}",
+        node_rate_per_s=node_rate,
+        power_w=point.power_w,
+        link=board.link,
+        launch_overhead_ns=overhead,
+        precision=precision,
+        # Section V.C: saturation "typically happens at 1e5 priced options".
+        saturation_options=1e5,
+    )
+
+
+def fpga_device(
+    kernel_arch: str = "iv_b",
+    operating_point=None,
+    precision: str = Precision.DOUBLE,
+    board: FpgaBoardSpec = DE4_BOARD,
+) -> Device:
+    """Simulated OpenCL :class:`Device` for the FPGA configuration."""
+    model = fpga_compute_model(kernel_arch, operating_point, precision, board)
+    return Device(
+        name=board.name,
+        device_type=DeviceType.ACCELERATOR,
+        compute_units=1,
+        global_mem_bytes=board.memory.capacity_bytes,
+        local_mem_bytes=board.local_mem_bytes,
+        max_work_group_size=board.max_work_group_size,
+        timing_model=model,
+        double_precision=True,
+    )

@@ -1,0 +1,116 @@
+"""NVIDIA GTX660 Ti device model (the paper's development target).
+
+Specs from the paper's Section V.A and its reference [14]: 5 compute
+units (SMX), 960 CUDA cores at 980 MHz with one double-precision ALU
+per 8 cores (120 DP-ALUs), 2 GB GDDR5 at 144 GB/s, PCIe 3.0 x16,
+140 W TDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceModelError
+from ..opencl.device import Device
+from ..opencl.types import DeviceType
+from . import calibration as cal
+from .base import ComputeModel, Precision
+from .ddr import GTX660_GDDR5, MemorySystem
+from .link import PCIeLink
+
+__all__ = ["GpuSpec", "GTX660_TI", "gpu_compute_model", "gpu_device"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static datasheet numbers of a GPU board."""
+
+    name: str
+    compute_units: int
+    cuda_cores: int
+    dp_alus: int
+    clock_hz: float
+    tdp_w: float
+    memory: MemorySystem
+    link: PCIeLink
+
+    def peak_flops(self, precision: str) -> float:
+        """Peak FP issue rate (1 op/ALU/cycle; no FMA double-counting)."""
+        Precision.check(precision)
+        alus = self.cuda_cores if precision == Precision.SINGLE else self.dp_alus
+        return alus * self.clock_hz
+
+
+#: The paper's GPU, PCIe efficiency calibrated per
+#: :mod:`repro.devices.calibration`.
+GTX660_TI = GpuSpec(
+    name="NVIDIA GeForce GTX660 Ti",
+    compute_units=5,
+    cuda_cores=960,
+    dp_alus=120,
+    clock_hz=980e6,
+    tdp_w=140.0,
+    memory=GTX660_GDDR5,
+    link=PCIeLink(generation=3, lanes=16,
+                  efficiency=cal.GTX_LINK_EFFICIENCY, latency_ns=20_000.0),
+)
+
+
+def gpu_compute_model(
+    kernel_arch: str,
+    precision: str = Precision.DOUBLE,
+    spec: GpuSpec = GTX660_TI,
+) -> ComputeModel:
+    """Calibrated :class:`ComputeModel` for one GPU configuration.
+
+    :param kernel_arch: ``"iv_a"`` (dataflow) or ``"iv_b"`` (work-group).
+    :param precision: ``"single"`` or ``"double"``.
+    """
+    Precision.check(precision)
+    if precision == Precision.SINGLE:
+        issue_eff = cal.GPU_SP_ISSUE_EFFICIENCY
+    else:
+        issue_eff = cal.GPU_DP_ISSUE_EFFICIENCY
+    node_rate = spec.peak_flops(precision) * issue_eff / cal.NODE_FLOPS
+
+    if kernel_arch == "iv_b":
+        overhead = 50_000.0  # one enqueue for the whole workload
+        saturation = 1e6  # the paper: IV.B on the GTX660 saturates at 1e6
+    elif kernel_arch == "iv_a":
+        node_rate *= cal.GPU_KERNEL_A_GLOBAL_ACCESS_DERATE
+        overhead = cal.GPU_BATCH_OVERHEAD_NS
+        saturation = 1e5
+    else:
+        raise DeviceModelError(f"unknown kernel architecture {kernel_arch!r}")
+
+    return ComputeModel(
+        name=f"{spec.name} / kernel {kernel_arch} / {precision}",
+        node_rate_per_s=node_rate,
+        power_w=spec.tdp_w,
+        link=spec.link,
+        launch_overhead_ns=overhead,
+        precision=precision,
+        saturation_options=saturation,
+    )
+
+
+def gpu_device(
+    kernel_arch: str = "iv_b",
+    precision: str = Precision.DOUBLE,
+    spec: GpuSpec = GTX660_TI,
+) -> Device:
+    """Simulated OpenCL :class:`Device` for the GPU configuration.
+
+    Local memory is the 48 KB per-SMX L1 the paper quotes.
+    """
+    model = gpu_compute_model(kernel_arch, precision, spec)
+    return Device(
+        name=spec.name,
+        device_type=DeviceType.GPU,
+        compute_units=spec.compute_units,
+        global_mem_bytes=spec.memory.capacity_bytes,
+        local_mem_bytes=48 * 1024,
+        max_work_group_size=1024,
+        timing_model=model,
+        double_precision=True,
+    )

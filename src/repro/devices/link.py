@@ -1,0 +1,85 @@
+"""Host<->device interconnect (PCIe) model.
+
+Kernel IV.A's throughput collapse is caused by reading one full
+ping-pong buffer (~19 MB at N=1024) over PCIe between every batch, so
+the link model matters more than anything else for experiment E7.
+
+The model is ``time = latency + bytes / effective_bandwidth`` with
+
+    effective_bandwidth = lanes * per_lane_rate * efficiency
+
+Per-lane rates follow the paper's Section V.A: 500 MB/s per lane for
+PCIe gen2 (DE4: x4 -> 2 GB/s max) and 985 MB/s per lane for gen3
+(GTX660: x16).  ``efficiency`` folds protocol overhead, pageable-host-
+memory staging and per-batch driver synchronisation into one effective
+number; the defaults used by the catalog devices are calibrated from
+the paper's kernel IV.A operating points (see the constants in
+``repro.devices.fpga`` / ``gpu``) and documented there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceModelError
+from ..opencl.types import TransferDirection
+
+__all__ = ["PCIeLink", "PCIE_LANE_RATE_BYTES_S"]
+
+#: Usable per-lane data rate (bytes/s) by PCIe generation, matching the
+#: figures quoted in the paper (500 MB/s gen2, 985 MB/s gen3).
+PCIE_LANE_RATE_BYTES_S = {
+    1: 250e6,
+    2: 500e6,
+    3: 985e6,
+}
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """A PCIe connection between host and device.
+
+    :param generation: PCIe generation (1, 2 or 3).
+    :param lanes: lane count (x1..x16).
+    :param efficiency: fraction of theoretical bandwidth actually
+        achieved for the workload's transfer pattern (0 < e <= 1).
+    :param latency_ns: fixed per-transfer setup cost (driver + DMA
+        descriptor), paid once per enqueue.
+    """
+
+    generation: int
+    lanes: int
+    efficiency: float = 0.8
+    latency_ns: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.generation not in PCIE_LANE_RATE_BYTES_S:
+            raise DeviceModelError(f"unsupported PCIe generation {self.generation}")
+        if not 1 <= self.lanes <= 16:
+            raise DeviceModelError(f"lanes must be in [1, 16], got {self.lanes}")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise DeviceModelError(f"efficiency must be in (0, 1], got {self.efficiency}")
+        if self.latency_ns < 0:
+            raise DeviceModelError("latency cannot be negative")
+
+    @property
+    def theoretical_bandwidth_bytes_s(self) -> float:
+        """Peak link bandwidth (lanes x per-lane rate)."""
+        return self.lanes * PCIE_LANE_RATE_BYTES_S[self.generation]
+
+    @property
+    def effective_bandwidth_bytes_s(self) -> float:
+        """Bandwidth after the calibrated efficiency factor."""
+        return self.theoretical_bandwidth_bytes_s * self.efficiency
+
+    def transfer_ns(self, nbytes: int, direction: TransferDirection) -> float:
+        """Simulated duration of one transfer.
+
+        Device-to-device copies stay on the board and do not cross
+        PCIe; they are charged only the setup latency.
+        """
+        if nbytes < 0:
+            raise DeviceModelError("transfer size cannot be negative")
+        if direction is TransferDirection.DEVICE_TO_DEVICE:
+            return self.latency_ns
+        return self.latency_ns + nbytes / self.effective_bandwidth_bytes_s * 1e9

@@ -1,0 +1,78 @@
+"""Exception hierarchy shared by all repro subpackages.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Subpackages
+define more specific classes here rather than locally so that error
+types never create import cycles between the finance, OpenCL-simulator
+and HLS layers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class FinanceError(ReproError):
+    """Invalid financial instrument, market data or solver failure."""
+
+
+class ConvergenceError(FinanceError):
+    """An iterative solver (e.g. implied volatility) failed to converge."""
+
+
+class OpenCLError(ReproError):
+    """Base class for errors raised by the OpenCL platform simulator.
+
+    Mirrors the role of non-``CL_SUCCESS`` status codes in the real CL
+    API; :attr:`code` carries the symbolic status name.
+    """
+
+    #: Symbolic CL status name, e.g. ``"CL_INVALID_KERNEL_ARGS"``.
+    code = "CL_ERROR"
+
+    def __init__(self, message: str = "", code: str | None = None):
+        super().__init__(message or self.code)
+        if code is not None:
+            self.code = code
+
+
+class InvalidArgumentError(OpenCLError):
+    """A kernel was launched with unset or ill-typed arguments."""
+
+    code = "CL_INVALID_KERNEL_ARGS"
+
+
+class InvalidWorkGroupError(OpenCLError):
+    """NDRange/work-group shape violates a device or API constraint."""
+
+    code = "CL_INVALID_WORK_GROUP_SIZE"
+
+
+class MemoryError_(OpenCLError):
+    """Out-of-bounds buffer access or allocation beyond device limits."""
+
+    code = "CL_MEM_OBJECT_ALLOCATION_FAILURE"
+
+
+class BarrierDivergenceError(OpenCLError):
+    """Work-items of one work-group did not all reach the same barrier."""
+
+    code = "CL_BARRIER_DIVERGENCE"
+
+
+class HLSError(ReproError):
+    """Base class for HLS compiler-model errors."""
+
+
+class FitError(HLSError):
+    """The design does not fit on the selected FPGA part."""
+
+
+class CompileOptionError(HLSError):
+    """Inconsistent compiler options (e.g. SIMD width not a power of two)."""
+
+
+class DeviceModelError(ReproError):
+    """Invalid device-model configuration or query."""

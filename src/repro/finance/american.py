@@ -1,0 +1,133 @@
+"""Barone-Adesi & Whaley (1987) approximation for American options.
+
+An independent control result: the BAW quadratic approximation prices
+American options without a lattice, so the test suite can cross-check
+the binomial pricer against a method with entirely different error
+behaviour.  Accuracy is a few tenths of a percent for short-dated
+options — good enough to catch gross lattice bugs while not being the
+accuracy oracle itself.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConvergenceError, FinanceError
+from .black_scholes import bs_price, norm_cdf, norm_pdf
+from .options import ExerciseStyle, Option, OptionType
+
+__all__ = ["baw_price"]
+
+
+def _euro_at(option: Option, spot: float) -> float:
+    return bs_price(
+        Option(
+            spot=spot, strike=option.strike, rate=option.rate,
+            volatility=option.volatility, maturity=option.maturity,
+            option_type=option.option_type, exercise=ExerciseStyle.EUROPEAN,
+            dividend_yield=option.dividend_yield,
+        )
+    )
+
+
+def _critical_price(option: Option, q_exp: float, tol: float, max_iter: int) -> float:
+    """Newton solve for the critical (early-exercise) asset price.
+
+    Standard fixed-point iteration from Haug, *The Complete Guide to
+    Option Pricing Formulas*, ch. "American options": iterate on the
+    value-matching condition ``±(S* - K) = euro(S*) ± (1 - e^{(b-r)T}
+    N(±d1)) S*/q`` with its analytic slope.
+    """
+    is_call = option.option_type is OptionType.CALL
+    strike = option.strike
+    r, b = option.rate, option.rate - option.dividend_yield
+    sigma, t = option.volatility, option.maturity
+    sig_sqrt_t = sigma * math.sqrt(t)
+    disc_b = math.exp((b - r) * t)
+
+    # Seed from the perpetual-exercise price blended toward the strike.
+    n = 2.0 * b / (sigma * sigma)
+    m = 2.0 * r / (sigma * sigma)
+    sign = 1.0 if is_call else -1.0
+    q_inf = 0.5 * (-(n - 1.0) + sign * math.sqrt((n - 1.0) ** 2 + 4.0 * m))
+    s_inf = strike / (1.0 - 1.0 / q_inf) if abs(q_inf - 1.0) > 1e-12 else strike * 2.0
+    if is_call:
+        h = -(b * t + 2.0 * sig_sqrt_t) * strike / max(s_inf - strike, 1e-12)
+        s = strike + (s_inf - strike) * (1.0 - math.exp(h))
+    else:
+        h = (b * t - 2.0 * sig_sqrt_t) * strike / max(strike - s_inf, 1e-12)
+        s = s_inf + (strike - s_inf) * math.exp(h)
+
+    for _ in range(max_iter):
+        s = max(s, 1e-12)
+        d1 = (math.log(s / strike) + (b + 0.5 * sigma * sigma) * t) / sig_sqrt_t
+        euro = _euro_at(option, s)
+        if is_call:
+            cdf = norm_cdf(d1)
+            lhs = s - strike
+            rhs = euro + (1.0 - disc_b * cdf) * s / q_exp
+            slope = (
+                disc_b * cdf * (1.0 - 1.0 / q_exp)
+                + (1.0 - disc_b * norm_pdf(d1) / sig_sqrt_t) / q_exp
+            )
+            s_next = (strike + rhs - slope * s) / (1.0 - slope)
+        else:
+            cdf = norm_cdf(-d1)
+            lhs = strike - s
+            rhs = euro - (1.0 - disc_b * cdf) * s / q_exp
+            slope = (
+                -disc_b * cdf * (1.0 - 1.0 / q_exp)
+                - (1.0 + disc_b * norm_pdf(d1) / sig_sqrt_t) / q_exp
+            )
+            s_next = (strike - rhs + slope * s) / (1.0 + slope)
+        if not (s_next > 0.0 and math.isfinite(s_next)):
+            s_next = 0.5 * (s + strike)
+        if abs(lhs - rhs) < tol * strike:
+            return s
+        s = s_next
+    raise ConvergenceError("BAW critical-price iteration did not converge")
+
+
+def baw_price(option: Option, tol: float = 1e-7, max_iter: int = 200) -> float:
+    """Barone-Adesi & Whaley approximate American option value.
+
+    For a call with zero dividend yield early exercise is never optimal,
+    so the European value is returned exactly.  Otherwise the quadratic
+    approximation adds an early-exercise premium ``A * (S/S*)^q`` below
+    (put) / above (call) the critical price ``S*``.
+    """
+    if option.exercise is not ExerciseStyle.AMERICAN:
+        raise FinanceError("baw_price values American contracts only")
+
+    euro = bs_price(option.as_european())
+    r, b = option.rate, option.rate - option.dividend_yield
+    sigma, t = option.volatility, option.maturity
+
+    if option.option_type is OptionType.CALL and option.dividend_yield <= 0.0:
+        return euro  # Merton: never exercise early
+    if r <= 0.0:
+        # The quadratic approximation assumes r > 0; fall back to the
+        # (tight in this regime) European value floor with intrinsic.
+        return max(euro, option.intrinsic())
+
+    sign = option.option_type.sign
+    m = 2.0 * r / (sigma * sigma)
+    n = 2.0 * b / (sigma * sigma)
+    k_factor = 1.0 - math.exp(-r * t)
+    q_exp = 0.5 * (
+        -(n - 1.0) + sign * math.sqrt((n - 1.0) ** 2 + 4.0 * m / k_factor)
+    )
+
+    s_crit = _critical_price(option, q_exp, tol, max_iter)
+    if sign * (option.spot - s_crit) >= 0.0:
+        return option.intrinsic()
+
+    sig_sqrt_t = sigma * math.sqrt(t)
+    d1 = (math.log(s_crit / option.strike) + (b + 0.5 * sigma * sigma) * t) / sig_sqrt_t
+    a_coeff = (
+        sign
+        * (s_crit / q_exp)
+        * (1.0 - math.exp((b - r) * t) * norm_cdf(sign * d1))
+    )
+    premium = a_coeff * (option.spot / s_crit) ** q_exp
+    return max(euro + premium, option.intrinsic())

@@ -1,0 +1,106 @@
+"""Black-Scholes analytic prices and greeks (European validation oracle).
+
+The binomial tree converges to the Black-Scholes value for European
+contracts as ``N -> inf``; the library uses this module as the
+analytical oracle for convergence tests and as the fast engine inside
+the implied-volatility solver's initial guess.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import FinanceError
+from .options import ExerciseStyle, Option, OptionType
+
+__all__ = ["bs_price", "bs_greeks", "BSGreeks", "norm_cdf", "norm_pdf"]
+
+_SQRT_2 = math.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+
+def norm_cdf(x: float) -> float:
+    """Standard normal CDF via the complementary error function."""
+    return 0.5 * math.erfc(-x / _SQRT_2)
+
+
+def norm_pdf(x: float) -> float:
+    """Standard normal density."""
+    return _INV_SQRT_2PI * math.exp(-0.5 * x * x)
+
+
+def _d1_d2(option: Option) -> tuple[float, float]:
+    sig_sqrt_t = option.volatility * math.sqrt(option.maturity)
+    d1 = (
+        math.log(option.spot / option.strike)
+        + (option.rate - option.dividend_yield + 0.5 * option.volatility**2)
+        * option.maturity
+    ) / sig_sqrt_t
+    return d1, d1 - sig_sqrt_t
+
+
+def bs_price(option: Option) -> float:
+    """Black-Scholes value of a *European* option.
+
+    :raises FinanceError: for American contracts, which have no
+        closed-form value (that is the point of the paper's binomial
+        accelerator); convert with :meth:`Option.as_european` first if a
+        European lower bound is wanted.
+    """
+    if option.exercise is not ExerciseStyle.EUROPEAN:
+        raise FinanceError(
+            "bs_price only values European contracts; American options "
+            "need a lattice (see repro.finance.binomial)"
+        )
+    d1, d2 = _d1_d2(option)
+    disc_spot = option.spot * math.exp(-option.dividend_yield * option.maturity)
+    disc_strike = option.strike * math.exp(-option.rate * option.maturity)
+    if option.option_type is OptionType.CALL:
+        return disc_spot * norm_cdf(d1) - disc_strike * norm_cdf(d2)
+    return disc_strike * norm_cdf(-d2) - disc_spot * norm_cdf(-d1)
+
+
+@dataclass(frozen=True)
+class BSGreeks:
+    """First- and second-order Black-Scholes sensitivities."""
+
+    delta: float
+    gamma: float
+    vega: float
+    theta: float
+    rho: float
+
+
+def bs_greeks(option: Option) -> BSGreeks:
+    """Analytic greeks of a European option (same caveat as bs_price)."""
+    if option.exercise is not ExerciseStyle.EUROPEAN:
+        raise FinanceError("bs_greeks only applies to European contracts")
+    d1, d2 = _d1_d2(option)
+    sqrt_t = math.sqrt(option.maturity)
+    div_disc = math.exp(-option.dividend_yield * option.maturity)
+    rate_disc = math.exp(-option.rate * option.maturity)
+    pdf_d1 = norm_pdf(d1)
+
+    gamma = div_disc * pdf_d1 / (option.spot * option.volatility * sqrt_t)
+    vega = option.spot * div_disc * pdf_d1 * sqrt_t
+    common_theta = -option.spot * div_disc * pdf_d1 * option.volatility / (2 * sqrt_t)
+
+    if option.option_type is OptionType.CALL:
+        delta = div_disc * norm_cdf(d1)
+        theta = (
+            common_theta
+            - option.rate * option.strike * rate_disc * norm_cdf(d2)
+            + option.dividend_yield * option.spot * div_disc * norm_cdf(d1)
+        )
+        rho = option.strike * option.maturity * rate_disc * norm_cdf(d2)
+    else:
+        delta = -div_disc * norm_cdf(-d1)
+        theta = (
+            common_theta
+            + option.rate * option.strike * rate_disc * norm_cdf(-d2)
+            - option.dividend_yield * option.spot * div_disc * norm_cdf(-d1)
+        )
+        rho = -option.strike * option.maturity * rate_disc * norm_cdf(-d2)
+
+    return BSGreeks(delta=delta, gamma=gamma, vega=vega, theta=theta, rho=rho)

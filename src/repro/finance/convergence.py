@@ -1,0 +1,128 @@
+"""Lattice convergence analysis: the N=1024 trade-off.
+
+Section V.B: *"The need for accuracy is met by representing all data in
+double precision and by choosing a discretization step of T = 1024.
+This provides a good compromise between speed, precision and hardware
+restrictions (in terms of memory resources)."*
+
+This module quantifies the precision leg of that compromise: the CRR
+discretisation error as a function of ``N`` (against the analytic value
+for European contracts, against a deep-lattice reference for American
+ones), the classic odd/even oscillation of binomial prices, and
+two-point Richardson extrapolation as the standard accuracy booster.
+Experiment E14 combines it with the throughput model and the HLS
+memory budget to reproduce the full three-way trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import FinanceError
+from .binomial import price_binomial
+from .black_scholes import bs_price
+from .lattice import LatticeFamily
+from .options import Option
+
+__all__ = [
+    "ConvergencePoint",
+    "convergence_study",
+    "richardson_extrapolation",
+    "estimate_convergence_order",
+]
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """Discretisation error of one lattice depth."""
+
+    steps: int
+    price: float
+    error: float
+
+    @property
+    def abs_error(self) -> float:
+        return abs(self.error)
+
+
+def _reference_value(option: Option, reference_steps: int,
+                     family: LatticeFamily) -> float:
+    """Analytic value when one exists, deep lattice otherwise."""
+    if not option.is_american:
+        return bs_price(option)
+    return price_binomial(option, reference_steps, family).price
+
+
+def convergence_study(
+    option: Option,
+    steps_list: Sequence[int] = (32, 64, 128, 256, 512, 1024, 2048),
+    family: LatticeFamily = LatticeFamily.CRR,
+    reference_steps: int = 8192,
+) -> list[ConvergencePoint]:
+    """Price ``option`` at each depth and report the error.
+
+    :param reference_steps: depth of the American reference lattice
+        (must exceed every entry of ``steps_list``).
+    """
+    if not steps_list:
+        raise FinanceError("steps_list cannot be empty")
+    if max(steps_list) >= reference_steps and option.is_american:
+        raise FinanceError(
+            f"reference_steps ({reference_steps}) must exceed the deepest "
+            f"study point ({max(steps_list)})"
+        )
+    reference = _reference_value(option, reference_steps, family)
+    points = []
+    for steps in steps_list:
+        price = price_binomial(option, steps, family).price
+        points.append(
+            ConvergencePoint(steps=steps, price=price, error=price - reference)
+        )
+    return points
+
+
+def richardson_extrapolation(
+    option: Option,
+    steps: int,
+    family: LatticeFamily = LatticeFamily.CRR,
+    smooth: bool = True,
+) -> float:
+    """Two-point Richardson extrapolation, ``2*P(2N) - P(N)``.
+
+    CRR converges at first order in ``1/N``, but with the well-known
+    odd/even oscillation (the strike's position between lattice nodes
+    shifts with ``N``), which can make naive extrapolation *worse* at
+    unlucky depths.  With ``smooth=True`` (default) each depth is first
+    parity-smoothed as ``(P(N) + P(N+1)) / 2`` — the standard remedy —
+    before extrapolating; on average over depths this buys roughly one
+    lattice doubling without the deeper (and, on the FPGA,
+    memory-hungrier) tree.
+    """
+    if steps < 2:
+        raise FinanceError("extrapolation needs steps >= 2")
+
+    def level(n: int) -> float:
+        value = price_binomial(option, n, family).price
+        if smooth:
+            value = 0.5 * (value + price_binomial(option, n + 1, family).price)
+        return value
+
+    return 2.0 * level(2 * steps) - level(steps)
+
+
+def estimate_convergence_order(points: Sequence[ConvergencePoint]) -> float:
+    """Least-squares slope of log|error| vs log N (expected ~ -1).
+
+    Points whose error underflows (|e| < 1e-14) are skipped; at least
+    two usable points are required.
+    """
+    usable = [(p.steps, p.abs_error) for p in points if p.abs_error > 1e-14]
+    if len(usable) < 2:
+        raise FinanceError("need at least two non-degenerate points")
+    log_n = np.log([n for n, _ in usable])
+    log_e = np.log([e for _, e in usable])
+    slope = np.polyfit(log_n, log_e, 1)[0]
+    return float(slope)

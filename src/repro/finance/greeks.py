@@ -1,0 +1,101 @@
+"""Lattice greeks for American options.
+
+The classical trick (Hull, *Options, Futures & Other Derivatives*): the
+nodes of the first two tree levels already contain prices at perturbed
+spots, so delta, gamma and theta fall out of a single pricing run with
+no re-pricing.  Vega and rho use central finite differences over
+re-parameterised trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..errors import FinanceError
+from .lattice import LatticeFamily, build_lattice_params
+from .options import Option
+
+__all__ = ["LatticeGreeks", "lattice_greeks"]
+
+
+@dataclass(frozen=True)
+class LatticeGreeks:
+    """American-option sensitivities estimated on the binomial tree."""
+
+    price: float
+    delta: float
+    gamma: float
+    theta: float
+    vega: float
+    rho: float
+
+
+def _tree_values(option: Option, steps: int, family: LatticeFamily):
+    """Backward induction keeping levels 0..2; returns (V0, V1, V2, params)."""
+    params = build_lattice_params(option, steps, family)
+    sign = option.option_type.sign
+    rp = params.discounted_p_up
+    rq = params.discounted_p_down
+
+    k = np.arange(steps + 1, dtype=float)
+    prices = option.spot * params.up ** (steps - k) * params.down**k
+    values = np.maximum(sign * (prices - option.strike), 0.0)
+
+    level1 = level2 = None
+    for t in range(steps - 1, -1, -1):
+        values = rp * values[: t + 1] + rq * values[1 : t + 2]
+        prices = prices[: t + 1] * params.down
+        if option.is_american:
+            values = np.maximum(values, sign * (prices - option.strike))
+        if t == 2:
+            level2 = values.copy()
+        elif t == 1:
+            level1 = values.copy()
+
+    return float(values[0]), level1, level2, params
+
+
+def lattice_greeks(
+    option: Option,
+    steps: int = 512,
+    family: LatticeFamily = LatticeFamily.CRR,
+    bump_vol: float = 1e-3,
+    bump_rate: float = 1e-4,
+) -> LatticeGreeks:
+    """Estimate price and greeks of ``option`` on one lattice family.
+
+    :param steps: must be >= 3 so levels 0..2 exist.
+    :param bump_vol: absolute volatility bump for the vega difference.
+    :param bump_rate: absolute rate bump for the rho difference.
+    """
+    if steps < 3:
+        raise FinanceError("lattice greeks need at least 3 steps")
+
+    price, level1, level2, params = _tree_values(option, steps, family)
+    s0 = option.spot
+    u, d = params.up, params.down
+
+    s_up, s_dn = s0 * u, s0 * d
+    delta = (level1[0] - level1[1]) / (s_up - s_dn)
+
+    s_uu, s_mid, s_dd = s0 * u * u, s0, s0 * d * d
+    delta_up = (level2[0] - level2[1]) / (s_uu - s_mid)
+    delta_dn = (level2[1] - level2[2]) / (s_mid - s_dd)
+    gamma = (delta_up - delta_dn) / (0.5 * (s_uu - s_dd))
+
+    # theta from the recombined middle node two steps ahead (per year).
+    theta = (level2[1] - price) / (2.0 * params.dt)
+
+    vega_hi = _tree_values(option.with_volatility(option.volatility + bump_vol), steps, family)[0]
+    vega_lo = _tree_values(option.with_volatility(max(option.volatility - bump_vol, 1e-8)), steps, family)[0]
+    vega = (vega_hi - vega_lo) / (2.0 * bump_vol)
+
+    rho_hi = _tree_values(replace(option, rate=option.rate + bump_rate), steps, family)[0]
+    rho_lo = _tree_values(replace(option, rate=option.rate - bump_rate), steps, family)[0]
+    rho = (rho_hi - rho_lo) / (2.0 * bump_rate)
+
+    return LatticeGreeks(
+        price=price, delta=delta, gamma=gamma, theta=theta, vega=vega, rho=rho
+    )

@@ -1,0 +1,253 @@
+"""Implied-volatility solvers — the paper's motivating use case.
+
+Section I of the paper: a trader observes a market price for an option
+and wants the *implied* volatility — the ``sigma`` at which the pricing
+model reproduces that price.  One volatility curve needs ~2 000 option
+evaluations, and the accelerator's 2 000 options/s target exists so a
+curve can be refreshed every second.
+
+This module provides the root solvers on top of any pricing engine
+(analytic Black-Scholes for European, binomial for American) plus the
+curve driver used by ``examples/volatility_curve.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConvergenceError, FinanceError
+from .binomial import price_binomial
+from .black_scholes import bs_price
+from .options import Option
+
+__all__ = [
+    "implied_vol_bisection",
+    "implied_vol_brent",
+    "implied_vol_newton",
+    "implied_volatility",
+    "VolCurvePoint",
+    "implied_vol_curve",
+]
+
+PriceFn = Callable[[Option], float]
+"""A pricing engine: maps a contract (with candidate vol) to a price."""
+
+
+def _default_engine(option: Option, steps: int) -> PriceFn:
+    """Binomial engine for American contracts, analytic for European."""
+    if option.is_american:
+        return lambda opt: price_binomial(opt, steps=steps).price
+    return bs_price
+
+
+def _bracket(option: Option, target: float, price_fn: PriceFn,
+             lo: float, hi: float) -> tuple[float, float]:
+    """Expand ``[lo, hi]`` until the target price is bracketed.
+
+    A CRR lattice rejects volatilities below ``(r - q) * sqrt(dt)`` (the
+    risk-neutral probability leaves (0, 1)), so the lower edge is first
+    raised until the engine accepts it.
+    """
+    f_lo = _try_eval(option, price_fn, lo)
+    while f_lo is None and lo < hi:
+        lo *= 4.0
+        f_lo = _try_eval(option, price_fn, lo)
+    if f_lo is None:
+        raise ConvergenceError("no volatility in range is accepted by the engine")
+    f_lo -= target
+    f_hi = price_fn(option.with_volatility(hi)) - target
+    expansions = 0
+    while f_lo * f_hi > 0.0 and expansions < 12:
+        if f_hi < 0.0:  # even max vol too cheap -> widen upward
+            hi *= 2.0
+            f_hi = price_fn(option.with_volatility(hi)) - target
+        else:  # even min vol too expensive -> shrink downward
+            shrunk = _try_eval(option, price_fn, lo * 0.5)
+            if shrunk is None:
+                break  # engine rejects lower vols; cannot shrink further
+            lo *= 0.5
+            f_lo = shrunk - target
+        expansions += 1
+    if f_lo * f_hi > 0.0:
+        raise ConvergenceError(
+            f"could not bracket implied vol for target price {target:.6g} "
+            f"in sigma range [{lo:.4g}, {hi:.4g}]"
+        )
+    return lo, hi
+
+
+def _try_eval(option: Option, price_fn: PriceFn, sigma: float) -> float | None:
+    """Evaluate the engine at ``sigma``; None when the lattice rejects it."""
+    try:
+        return price_fn(option.with_volatility(sigma))
+    except FinanceError:
+        return None
+
+
+def implied_vol_bisection(
+    option: Option,
+    market_price: float,
+    price_fn: PriceFn | None = None,
+    steps: int = 1024,
+    tol: float = 1e-8,
+    max_iter: int = 200,
+) -> float:
+    """Robust bisection solve for the implied volatility.
+
+    Bisection is the paper-faithful choice: it needs only price
+    evaluations (which the accelerator provides in bulk) and converges
+    unconditionally once bracketed.
+    """
+    _check_target(option, market_price)
+    fn = price_fn or _default_engine(option, steps)
+    lo, hi = _bracket(option, market_price, fn, 1e-4, 4.0)
+    f_lo = fn(option.with_volatility(lo)) - market_price
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        f_mid = fn(option.with_volatility(mid)) - market_price
+        if abs(f_mid) < tol or (hi - lo) < tol:
+            return mid
+        if f_lo * f_mid <= 0.0:
+            hi = mid
+        else:
+            lo, f_lo = mid, f_mid
+    raise ConvergenceError(f"bisection did not converge in {max_iter} iterations")
+
+
+def implied_vol_brent(
+    option: Option,
+    market_price: float,
+    price_fn: PriceFn | None = None,
+    steps: int = 1024,
+    tol: float = 1e-10,
+) -> float:
+    """Brent's method (scipy) — fewer evaluations than bisection."""
+    from scipy.optimize import brentq
+
+    _check_target(option, market_price)
+    fn = price_fn or _default_engine(option, steps)
+    lo, hi = _bracket(option, market_price, fn, 1e-4, 4.0)
+    return float(
+        brentq(lambda sig: fn(option.with_volatility(sig)) - market_price, lo, hi,
+               xtol=tol)
+    )
+
+
+def implied_vol_newton(
+    option: Option,
+    market_price: float,
+    initial_guess: float = 0.3,
+    tol: float = 1e-10,
+    max_iter: int = 60,
+) -> float:
+    """Newton-Raphson on the analytic Black-Scholes vega.
+
+    Only valid for European contracts (needs the analytic vega); falls
+    back on callers to use bisection/Brent for American options.
+    """
+    from .black_scholes import bs_greeks
+
+    if option.is_american:
+        raise FinanceError("Newton implied vol requires a European contract")
+    _check_target(option, market_price)
+    sigma = initial_guess
+    for _ in range(max_iter):
+        candidate = option.with_volatility(sigma)
+        diff = bs_price(candidate) - market_price
+        if abs(diff) < tol:
+            return sigma
+        vega = bs_greeks(candidate).vega
+        if vega < 1e-12:
+            raise ConvergenceError("vanishing vega; switch to bisection")
+        sigma = sigma - diff / vega
+        if not (1e-6 < sigma < 10.0) or not math.isfinite(sigma):
+            raise ConvergenceError("Newton iterate left the valid sigma range")
+    raise ConvergenceError(f"Newton did not converge in {max_iter} iterations")
+
+
+def implied_volatility(
+    option: Option,
+    market_price: float,
+    method: str = "auto",
+    price_fn: PriceFn | None = None,
+    steps: int = 1024,
+) -> float:
+    """Front door: pick a solver by name or automatically.
+
+    ``"auto"`` uses Newton for European contracts (fast, analytic vega)
+    and Brent for American ones.
+    """
+    if method == "auto":
+        method = "newton" if (not option.is_american and price_fn is None) else "brent"
+    if method == "bisection":
+        return implied_vol_bisection(option, market_price, price_fn, steps)
+    if method == "brent":
+        return implied_vol_brent(option, market_price, price_fn, steps)
+    if method == "newton":
+        if price_fn is not None:
+            raise FinanceError("Newton solver does not accept a custom price_fn")
+        return implied_vol_newton(option, market_price)
+    raise FinanceError(f"unknown implied-vol method: {method!r}")
+
+
+def _check_target(option: Option, market_price: float) -> None:
+    if not (market_price > 0.0 and math.isfinite(market_price)):
+        raise FinanceError(f"market price must be finite and > 0, got {market_price}")
+    intrinsic = option.intrinsic()
+    if option.is_american and market_price < intrinsic - 1e-12:
+        raise FinanceError(
+            f"market price {market_price:.6g} below intrinsic {intrinsic:.6g}: "
+            "arbitrage — no implied volatility exists"
+        )
+
+
+@dataclass(frozen=True)
+class VolCurvePoint:
+    """One strike of an implied-volatility curve."""
+
+    strike: float
+    market_price: float
+    implied_vol: float
+    evaluations: int
+
+
+def implied_vol_curve(
+    base_option: Option,
+    strikes: Sequence[float],
+    market_prices: Sequence[float],
+    price_fn: PriceFn | None = None,
+    steps: int = 1024,
+    method: str = "brent",
+) -> list[VolCurvePoint]:
+    """Solve the implied vol at every strike of a curve.
+
+    This is the end-to-end trader scenario: ``len(strikes)`` solves,
+    each costing tens of pricing-engine evaluations — the workload the
+    accelerator's 2 000 options/s budget is sized for.
+    """
+    if len(strikes) != len(market_prices):
+        raise FinanceError("strikes and market_prices must have equal length")
+    points: list[VolCurvePoint] = []
+    for strike, target in zip(strikes, market_prices):
+        option = base_option.with_strike(float(strike))
+        calls = [0]
+
+        def counted(opt: Option, _calls=calls, _fn=price_fn or _default_engine(option, steps)) -> float:
+            _calls[0] += 1
+            return _fn(opt)
+
+        vol = implied_volatility(option, float(target), method=method,
+                                 price_fn=counted, steps=steps)
+        points.append(
+            VolCurvePoint(
+                strike=float(strike),
+                market_price=float(target),
+                implied_vol=vol,
+                evaluations=calls[0],
+            )
+        )
+    return points

@@ -1,0 +1,181 @@
+"""Binomial-lattice parameterisations (CRR, Jarrow-Rudd, Tian).
+
+The paper uses the Cox-Ross-Rubinstein (CRR) recombining tree
+[Cox, Ross, Rubinstein 1979]: over a step ``dt`` the asset moves up by
+``u = exp(sigma*sqrt(dt))`` or down by ``d = 1/u`` with risk-neutral
+probabilities ``p`` and ``q = 1 - p``.  Because ``u*d = 1`` the tree
+recombines, so at step ``t`` there are only ``t + 1`` distinct nodes.
+
+The paper indexes a node as ``(t, k)``; this library fixes the
+convention *k = number of down moves*, so
+
+    ``S[t, k] = S0 * u**(t - k) * d**k = S0 * u**(t - 2k)``
+
+and, holding the row ``k`` fixed while stepping backward in time,
+
+    ``S[t, k] = d * S[t+1, k]``
+
+which is exactly the first recurrence of the paper's Equation (1) and
+the update kernel IV.B applies in private memory.
+
+Two alternative drift choices are provided as extensions (Jarrow-Rudd
+equal-probability and Tian moment-matching trees); they share the same
+backward induction and let the library compare lattice families.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FinanceError
+from .options import Option
+
+__all__ = ["LatticeFamily", "LatticeParams", "build_lattice_params", "asset_prices_at_step"]
+
+
+class LatticeFamily(enum.Enum):
+    """Supported recombining-binomial parameterisations."""
+
+    CRR = "crr"
+    JARROW_RUDD = "jarrow-rudd"
+    TIAN = "tian"
+
+
+@dataclass(frozen=True)
+class LatticeParams:
+    """Per-step constants of a recombining binomial tree.
+
+    :param steps: number of time steps ``N`` (tree has ``N+1`` levels).
+    :param dt: step length ``T / N`` in years.
+    :param up: up factor ``u``.
+    :param down: down factor ``d``.
+    :param p_up: risk-neutral probability of an up move.
+    :param discount: per-step discount factor ``exp(-r * dt)``.
+    :param family: which parameterisation produced these constants.
+
+    Derived quantities used by the kernels are exposed as properties:
+    :attr:`discounted_p_up` / :attr:`discounted_p_down` are the ``rp`` /
+    ``rq`` coefficients of the paper's Equation (1).
+    """
+
+    steps: int
+    dt: float
+    up: float
+    down: float
+    p_up: float
+    discount: float
+    family: LatticeFamily = LatticeFamily.CRR
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise FinanceError(f"steps must be >= 1, got {self.steps}")
+        if not 0.0 < self.p_up < 1.0:
+            raise FinanceError(
+                f"risk-neutral probability out of (0, 1): p={self.p_up}; "
+                "the step is too coarse for this rate/volatility"
+            )
+        if not (self.up > self.down > 0.0):
+            raise FinanceError(f"need up > down > 0, got u={self.up}, d={self.down}")
+
+    @property
+    def p_down(self) -> float:
+        """Probability of a down move, ``q = 1 - p``."""
+        return 1.0 - self.p_up
+
+    @property
+    def discounted_p_up(self) -> float:
+        """``rp`` of Equation (1): discount-weighted up probability."""
+        return self.discount * self.p_up
+
+    @property
+    def discounted_p_down(self) -> float:
+        """``rq`` of Equation (1): discount-weighted down probability."""
+        return self.discount * self.p_down
+
+    @property
+    def levels(self) -> int:
+        """Number of tree levels including the root (``steps + 1``)."""
+        return self.steps + 1
+
+    @property
+    def node_count(self) -> int:
+        """Total recombining-tree nodes, ``(N+1)(N+2)/2``.
+
+        The paper's work-item count for kernel IV.A, ``N(N+1)/2``,
+        counts only the *interior* levels it enqueues per batch; this
+        property counts every node including the leaves.
+        """
+        return (self.steps + 1) * (self.steps + 2) // 2
+
+    @property
+    def interior_work_items(self) -> int:
+        """Kernel IV.A's enqueued work-items per batch, ``N(N+1)/2``."""
+        return self.steps * (self.steps + 1) // 2
+
+
+def build_lattice_params(
+    option: Option,
+    steps: int,
+    family: LatticeFamily = LatticeFamily.CRR,
+) -> LatticeParams:
+    """Compute the per-step tree constants for ``option``.
+
+    :param option: the contract supplying ``r``, ``q``, ``sigma``, ``T``.
+    :param steps: time discretisation ``N`` (the paper uses 1024).
+    :param family: lattice parameterisation; default CRR as in the paper.
+    :raises FinanceError: if the implied risk-neutral probability falls
+        outside ``(0, 1)`` (step too coarse for the drift).
+    """
+    if steps < 1:
+        raise FinanceError(f"steps must be >= 1, got {steps}")
+    dt = option.maturity / steps
+    sig_sqrt_dt = option.volatility * math.sqrt(dt)
+    growth = math.exp((option.rate - option.dividend_yield) * dt)
+
+    if family is LatticeFamily.CRR:
+        up = math.exp(sig_sqrt_dt)
+        down = 1.0 / up
+        p_up = (growth - down) / (up - down)
+    elif family is LatticeFamily.JARROW_RUDD:
+        drift = (option.rate - option.dividend_yield - 0.5 * option.volatility**2) * dt
+        up = math.exp(drift + sig_sqrt_dt)
+        down = math.exp(drift - sig_sqrt_dt)
+        # Jarrow-Rudd matches the lognormal drift so each move is
+        # (almost) equally likely; using the exact risk-neutral value
+        # keeps the tree arbitrage-free at any N.
+        p_up = (growth - down) / (up - down)
+    elif family is LatticeFamily.TIAN:
+        v = math.exp(option.volatility**2 * dt)
+        root = math.sqrt(v * v + 2.0 * v - 3.0)
+        up = 0.5 * growth * v * (v + 1.0 + root)
+        down = 0.5 * growth * v * (v + 1.0 - root)
+        p_up = (growth - down) / (up - down)
+    else:  # pragma: no cover - exhaustive over enum
+        raise FinanceError(f"unknown lattice family: {family}")
+
+    return LatticeParams(
+        steps=steps,
+        dt=dt,
+        up=up,
+        down=down,
+        p_up=p_up,
+        discount=math.exp(-option.rate * dt),
+        family=family,
+    )
+
+
+def asset_prices_at_step(option: Option, params: LatticeParams, t: int) -> np.ndarray:
+    """Asset prices ``S[t, k]`` for ``k = 0..t`` (k = down-move count).
+
+    Index 0 is the highest price (all up moves); index ``t`` the lowest.
+    This is the row layout the kernels iterate over and matches
+    ``S[t, k] = S0 * u**(t-k) * d**k``.
+    """
+    if not 0 <= t <= params.steps:
+        raise FinanceError(f"step {t} outside [0, {params.steps}]")
+    k = np.arange(t + 1, dtype=float)
+    return option.spot * params.up ** (t - k) * params.down**k

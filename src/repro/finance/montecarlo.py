@@ -1,0 +1,163 @@
+"""Monte Carlo pricers — the rival method of the paper's Section II.
+
+The related work spends two paragraphs on Monte Carlo accelerators
+([4]-[8]): massively parallel, "best suited to complex model evaluation
+or to problems with high dimensionality", but with acceleration factors
+"counterbalanced by the slow convergence rate of this method".  This
+module implements the method so experiment E16 can measure that
+trade-off against the binomial lattice on equal footing:
+
+* :func:`price_european_mc` — geometric-Brownian-motion terminal
+  sampling with optional antithetic variates;
+* :func:`price_american_lsmc` — Longstaff-Schwartz least-squares Monte
+  Carlo for the American early-exercise problem.
+
+Both report a standard error so the 1/sqrt(paths) convergence is
+directly observable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FinanceError
+from .options import Option
+
+__all__ = ["MCResult", "price_european_mc", "price_american_lsmc"]
+
+
+@dataclass(frozen=True)
+class MCResult:
+    """A Monte Carlo estimate with its sampling uncertainty.
+
+    :param price: the point estimate.
+    :param std_error: standard error of the estimate (``~sigma/sqrt(n)``).
+    :param paths: simulated paths (after antithetic doubling).
+    """
+
+    price: float
+    std_error: float
+    paths: int
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval (default 95%)."""
+        return (self.price - z * self.std_error,
+                self.price + z * self.std_error)
+
+
+def _validate(paths: int) -> None:
+    if paths < 2:
+        raise FinanceError(f"need at least 2 paths, got {paths}")
+
+
+def price_european_mc(
+    option: Option,
+    paths: int = 100_000,
+    seed: int = 0,
+    antithetic: bool = True,
+) -> MCResult:
+    """European value by terminal-price sampling under GBM.
+
+    With ``antithetic=True`` each normal draw is used with both signs,
+    halving the variance of near-linear payoffs at no extra draws.
+    """
+    _validate(paths)
+    if option.is_american:
+        raise FinanceError(
+            "terminal sampling cannot price American exercise; "
+            "use price_american_lsmc"
+        )
+    rng = np.random.default_rng(seed)
+    n = paths // 2 if antithetic else paths
+    z = rng.standard_normal(n)
+
+    drift = (option.rate - option.dividend_yield
+             - 0.5 * option.volatility**2) * option.maturity
+    diffusion = option.volatility * math.sqrt(option.maturity)
+    sign = option.option_type.sign
+    disc = math.exp(-option.rate * option.maturity)
+
+    def discounted_payoff(normals):
+        terminal = option.spot * np.exp(drift + diffusion * normals)
+        return disc * np.maximum(sign * (terminal - option.strike), 0.0)
+
+    if antithetic:
+        # a (z, -z) pair is one sample: its mean exploits the negative
+        # correlation, and the pair means are i.i.d. — using the raw 2n
+        # values would overstate the standard error
+        samples = 0.5 * (discounted_payoff(z) + discounted_payoff(-z))
+        total_paths = 2 * n
+    else:
+        samples = discounted_payoff(z)
+        total_paths = n
+
+    price = float(samples.mean())
+    std_error = float(samples.std(ddof=1) / math.sqrt(len(samples)))
+    return MCResult(price=price, std_error=std_error, paths=total_paths)
+
+
+def price_american_lsmc(
+    option: Option,
+    paths: int = 50_000,
+    steps: int = 50,
+    seed: int = 0,
+    basis_degree: int = 2,
+    antithetic: bool = True,
+) -> MCResult:
+    """American value by Longstaff-Schwartz least-squares Monte Carlo.
+
+    Simulates full GBM paths, then walks backward regressing the
+    continuation value on a polynomial basis of the spot over the
+    in-the-money paths (the classic 2001 algorithm).
+
+    :param steps: exercise dates (the method prices a Bermudan
+        approximation of the American contract).
+    :param basis_degree: degree of the polynomial regression basis.
+    """
+    _validate(paths)
+    if steps < 2:
+        raise FinanceError("LSMC needs at least 2 exercise dates")
+    if basis_degree < 1:
+        raise FinanceError("basis_degree must be >= 1")
+
+    rng = np.random.default_rng(seed)
+    n = paths // 2 if antithetic else paths
+    dt = option.maturity / steps
+    drift = (option.rate - option.dividend_yield
+             - 0.5 * option.volatility**2) * dt
+    diffusion = option.volatility * math.sqrt(dt)
+
+    z = rng.standard_normal((n, steps))
+    if antithetic:
+        z = np.concatenate([z, -z], axis=0)
+    log_paths = np.cumsum(drift + diffusion * z, axis=1)
+    spots = option.spot * np.exp(log_paths)  # (paths, steps), t=dt..T
+
+    sign = option.option_type.sign
+    discount = math.exp(-option.rate * dt)
+
+    # cashflow holds each path's (already discounted-to-current-step)
+    # realised value; walk backward deciding exercise vs continuation
+    cashflow = np.maximum(sign * (spots[:, -1] - option.strike), 0.0)
+    for t in range(steps - 2, -1, -1):
+        cashflow = cashflow * discount
+        spot_t = spots[:, t]
+        intrinsic = sign * (spot_t - option.strike)
+        itm = intrinsic > 0.0
+        if itm.sum() > basis_degree + 1:
+            x = spot_t[itm] / option.strike  # normalised regressor
+            coeffs = np.polyfit(x, cashflow[itm], basis_degree)
+            continuation = np.polyval(coeffs, x)
+            exercise = intrinsic[itm] > continuation
+            exercised_values = np.where(exercise, intrinsic[itm],
+                                        cashflow[itm])
+            cashflow[itm] = exercised_values
+    cashflow = cashflow * discount  # back to t=0
+
+    # the holder may also exercise immediately
+    price = max(float(cashflow.mean()), option.intrinsic())
+    std_error = float(cashflow.std(ddof=1) / math.sqrt(len(cashflow)))
+    return MCResult(price=price, std_error=std_error, paths=len(cashflow))

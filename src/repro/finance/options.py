@@ -1,0 +1,145 @@
+"""Option contract definitions and payoff functions.
+
+The paper prices *American* options (right to exercise at any time up to
+expiry) with the binomial model, using *European* options (exercise only
+at expiry) as the analytically-checkable base case.  This module defines
+the immutable contract description shared by every pricer in the
+library, plus vectorised payoff helpers.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..errors import FinanceError
+
+__all__ = [
+    "OptionType",
+    "ExerciseStyle",
+    "Option",
+    "intrinsic_value",
+    "payoff",
+]
+
+
+class OptionType(enum.Enum):
+    """Whether the contract is a right to buy (call) or sell (put)."""
+
+    CALL = "call"
+    PUT = "put"
+
+    @property
+    def sign(self) -> int:
+        """+1 for calls, -1 for puts; multiplies ``S - K`` in payoffs."""
+        return 1 if self is OptionType.CALL else -1
+
+
+class ExerciseStyle(enum.Enum):
+    """When the holder may exercise the option."""
+
+    EUROPEAN = "european"
+    AMERICAN = "american"
+
+
+@dataclass(frozen=True)
+class Option:
+    """Immutable description of a vanilla equity option contract.
+
+    Parameters mirror the standard Black-Scholes/CRR setting used in the
+    paper (risk-neutral valuation, constant volatility and rate):
+
+    :param spot: current underlying price ``S0`` (must be > 0).
+    :param strike: strike price ``K`` (must be > 0).
+    :param rate: continuously-compounded risk-free rate ``r``.
+    :param volatility: annualised volatility ``sigma`` (must be > 0).
+    :param maturity: time to expiry ``T`` in years (must be > 0).
+    :param option_type: :class:`OptionType.CALL` or ``PUT``.
+    :param exercise: :class:`ExerciseStyle.AMERICAN` (paper's target) or
+        ``EUROPEAN``.
+    :param dividend_yield: continuous dividend yield ``q`` (default 0).
+    """
+
+    spot: float
+    strike: float
+    rate: float
+    volatility: float
+    maturity: float
+    option_type: OptionType = OptionType.CALL
+    exercise: ExerciseStyle = ExerciseStyle.AMERICAN
+    dividend_yield: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (self.spot > 0.0 and math.isfinite(self.spot)):
+            raise FinanceError(f"spot must be finite and > 0, got {self.spot}")
+        if not (self.strike > 0.0 and math.isfinite(self.strike)):
+            raise FinanceError(f"strike must be finite and > 0, got {self.strike}")
+        if not (self.volatility > 0.0 and math.isfinite(self.volatility)):
+            raise FinanceError(
+                f"volatility must be finite and > 0, got {self.volatility}"
+            )
+        if not (self.maturity > 0.0 and math.isfinite(self.maturity)):
+            raise FinanceError(f"maturity must be finite and > 0, got {self.maturity}")
+        if not math.isfinite(self.rate):
+            raise FinanceError(f"rate must be finite, got {self.rate}")
+        if not math.isfinite(self.dividend_yield):
+            raise FinanceError(
+                f"dividend_yield must be finite, got {self.dividend_yield}"
+            )
+
+    # -- convenience constructors / derived views --------------------------
+
+    @property
+    def is_call(self) -> bool:
+        """True when the contract is a call."""
+        return self.option_type is OptionType.CALL
+
+    @property
+    def is_american(self) -> bool:
+        """True when early exercise is allowed."""
+        return self.exercise is ExerciseStyle.AMERICAN
+
+    def with_volatility(self, volatility: float) -> "Option":
+        """Return a copy with a different volatility (implied-vol loop)."""
+        return replace(self, volatility=volatility)
+
+    def with_strike(self, strike: float) -> "Option":
+        """Return a copy with a different strike (curve construction)."""
+        return replace(self, strike=strike)
+
+    def as_european(self) -> "Option":
+        """Return the European twin of this contract."""
+        return replace(self, exercise=ExerciseStyle.EUROPEAN)
+
+    def as_american(self) -> "Option":
+        """Return the American twin of this contract."""
+        return replace(self, exercise=ExerciseStyle.AMERICAN)
+
+    def intrinsic(self) -> float:
+        """Immediate-exercise value at the current spot."""
+        return intrinsic_value(self.spot, self.strike, self.option_type)
+
+    def moneyness(self) -> float:
+        """Spot/strike ratio, the usual curve x-axis."""
+        return self.spot / self.strike
+
+
+def intrinsic_value(spot, strike, option_type: OptionType):
+    """Immediate-exercise (intrinsic) value ``max(±(S-K), 0)``.
+
+    Accepts scalars or numpy arrays for ``spot``/``strike`` and
+    broadcasts; the result has the broadcast shape.
+    """
+    gap = option_type.sign * (np.asarray(spot, dtype=float) - strike)
+    value = np.maximum(gap, 0.0)
+    if np.ndim(spot) == 0 and np.ndim(strike) == 0:
+        return float(value)
+    return value
+
+
+def payoff(option: Option, terminal_prices):
+    """Contract payoff at expiry for one or many terminal prices."""
+    return intrinsic_value(terminal_prices, option.strike, option.option_type)

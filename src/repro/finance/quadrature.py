@@ -1,0 +1,102 @@
+"""Quadrature pricing — the method Jin et al. [12] crown for accuracy.
+
+The paper's Section II cites Jin, Luk & Thomas's FCCM'11 survey: *"They
+conclude that quadrature methods are the best compromise to price
+American options, while tree-based methods are optimal when
+time-to-solution is a key constraint."*  This module implements a
+QUAD-style method (Andricopoulos et al.) so experiment E16 can
+reproduce that conclusion quantitatively.
+
+Between exercise dates the value satisfies
+
+    V(t, x) = e^{-r dt} * Int V(t+dt, y) * phi(y - x - mu) dy,
+
+with ``x = log S`` and a Gaussian transition kernel.  The method
+discretises log-price on a uniform grid **with a node pinned on the
+strike's kink** (quadrature rules lose their order on non-smooth
+integrands unless the kink sits on a node), builds the dense transition
+matrix once, and rolls backward applying the early-exercise floor at
+each date.  Error is O(dx^2) from the trapezoid rule — in practice far
+below the lattice's O(1/N) at comparable work, which is exactly the
+trade-off [12] reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import FinanceError
+from .options import Option
+
+__all__ = ["price_quadrature"]
+
+
+def price_quadrature(
+    option: Option,
+    exercise_dates: int = 64,
+    grid_points: int = 513,
+    grid_width_stds: float = 7.5,
+) -> float:
+    """Price an option by backward grid quadrature (QUAD method).
+
+    :param exercise_dates: Bermudan dates approximating American
+        exercise (European contracts apply no intermediate floor).
+    :param grid_points: log-price grid resolution (kink-aligned).
+    :param grid_width_stds: half-width of the grid in terminal
+        standard deviations.
+    """
+    if exercise_dates < 1:
+        raise FinanceError("need at least one exercise date")
+    if grid_points < 16:
+        raise FinanceError("grid too coarse; use >= 16 points")
+    if grid_width_stds <= 2.0:
+        raise FinanceError("grid must span more than 2 standard deviations")
+
+    dt = option.maturity / exercise_dates
+    drift = (option.rate - option.dividend_yield
+             - 0.5 * option.volatility**2) * dt
+    vol_dt = option.volatility * math.sqrt(dt)
+    discount = math.exp(-option.rate * dt)
+    sign = option.option_type.sign
+
+    # uniform log-price grid with a node exactly on the payoff kink:
+    # choose dx, then place the grid so log(K) lands on a node and the
+    # span still covers log(S0) +/- width.
+    total_std = option.volatility * math.sqrt(option.maturity)
+    half_width = grid_width_stds * total_std + abs(drift) * exercise_dates
+    log_strike = math.log(option.strike)
+    log_spot = math.log(option.spot)
+    lo = min(log_spot, log_strike) - half_width
+    hi = max(log_spot, log_strike) + half_width
+    dx = (hi - lo) / (grid_points - 1)
+    # shift so that log_strike is an exact node
+    offset = (log_strike - lo) % dx
+    lo += offset - dx
+    grid = lo + dx * np.arange(grid_points + 1)
+
+    if dx > vol_dt:
+        raise FinanceError(
+            f"grid spacing {dx:.4f} does not resolve the one-step kernel "
+            f"width {vol_dt:.4f}; increase grid_points or reduce "
+            "exercise_dates"
+        )
+
+    # dense one-step transition matrix, trapezoid weights, rows
+    # renormalised to unit mass (kills the truncation leak)
+    diff = grid[None, :] - grid[:, None] - drift
+    kernel = np.exp(-0.5 * (diff / vol_dt) ** 2) / (vol_dt * math.sqrt(2 * math.pi))
+    weights = np.full(len(grid), dx)
+    weights[0] = weights[-1] = dx / 2
+    transition = kernel * weights[None, :]
+    transition /= transition.sum(axis=1, keepdims=True)
+
+    intrinsic = np.maximum(sign * (np.exp(grid) - option.strike), 0.0)
+    values = intrinsic.copy()
+    for step in range(exercise_dates - 1, -1, -1):
+        values = discount * (transition @ values)
+        if option.is_american and step > 0:
+            values = np.maximum(values, intrinsic)
+
+    return float(np.interp(log_spot, grid, values))

@@ -1,0 +1,69 @@
+"""Accuracy metrics used by the paper's evaluation.
+
+Table II reports an RMSE (root-mean-square error) per implementation,
+computed against the double-precision software reference.  The paper
+prints "~1e-3" for the FPGA double and software single rows and "0"
+where results match the reference to printing precision; the helpers
+here compute the number and also classify it into the paper's notation
+for table regeneration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import FinanceError
+
+__all__ = ["rmse", "max_abs_error", "classify_rmse", "relative_rmse"]
+
+
+def _as_pair(reference, candidate) -> tuple[np.ndarray, np.ndarray]:
+    ref = np.asarray(reference, dtype=np.float64)
+    cand = np.asarray(candidate, dtype=np.float64)
+    if ref.shape != cand.shape:
+        raise FinanceError(
+            f"shape mismatch: reference {ref.shape} vs candidate {cand.shape}"
+        )
+    if ref.size == 0:
+        raise FinanceError("cannot compute an error metric on empty arrays")
+    return ref, cand
+
+
+def rmse(reference, candidate) -> float:
+    """Root-mean-square error of ``candidate`` against ``reference``."""
+    ref, cand = _as_pair(reference, candidate)
+    return float(np.sqrt(np.mean((cand - ref) ** 2)))
+
+
+def relative_rmse(reference, candidate, floor: float = 1e-12) -> float:
+    """RMSE of relative errors (reference values below ``floor`` skipped)."""
+    ref, cand = _as_pair(reference, candidate)
+    mask = np.abs(ref) > floor
+    if not mask.any():
+        raise FinanceError("all reference values below floor; relative RMSE undefined")
+    rel = (cand[mask] - ref[mask]) / ref[mask]
+    return float(np.sqrt(np.mean(rel**2)))
+
+
+def max_abs_error(reference, candidate) -> float:
+    """Worst-case absolute error."""
+    ref, cand = _as_pair(reference, candidate)
+    return float(np.max(np.abs(cand - ref)))
+
+
+def classify_rmse(value: float, exact_threshold: float = 1e-9) -> str:
+    """Render an RMSE in the paper's Table II notation.
+
+    Values at or below ``exact_threshold`` print as ``"0"`` (the paper's
+    "matches the reference"); otherwise the *nearest* order of magnitude
+    is shown in ``"~1e-3"`` style (9.6e-4 belongs to the 1e-3 decade).
+    """
+    if value < 0 or not math.isfinite(value):
+        raise FinanceError(f"RMSE must be finite and >= 0, got {value}")
+    if value <= exact_threshold:
+        return "0"
+    exponent = round(math.log10(value))
+    return f"~1e{exponent:d}"

@@ -1,0 +1,52 @@
+"""HLS compiler model: an ``aoc``/Quartus surrogate for Table I.
+
+Turns a structural kernel description (:class:`~repro.hls.ir.KernelIR`)
+plus the three Altera parallelisation knobs
+(:class:`~repro.hls.options.CompileOptions`) into resource usage, an
+achievable clock and a power estimate on a chosen FPGA part —
+everything the paper's Table I reports.  See
+``repro.core.kernel_a/kernel_b`` for the IRs of the paper's two
+kernels.
+"""
+
+from .compiler import CompiledKernel, compile_kernel
+from .fitter import FitResult, estimate_fmax, run_fitter
+from .ir import GlobalAccess, KernelIR, LiveSet, LocalMemSystem, OpCount
+from .opcosts import OP_COSTS, OpCost, op_cost
+from .options import KERNEL_A_OPTIONS, KERNEL_B_OPTIONS, CompileOptions
+from .parts import EP4SGX230, EP4SGX530, M9K_BITS, M144K_BITS, FpgaPart, get_part
+from .pipeline import PipelineEstimate, estimate_pipeline
+from .power import PowerEstimate, estimate_power
+from .resources import ResourceBreakdown, ResourceReport, estimate_resources
+
+__all__ = [
+    "CompiledKernel",
+    "compile_kernel",
+    "FitResult",
+    "run_fitter",
+    "estimate_fmax",
+    "KernelIR",
+    "OpCount",
+    "GlobalAccess",
+    "LocalMemSystem",
+    "LiveSet",
+    "OpCost",
+    "OP_COSTS",
+    "op_cost",
+    "CompileOptions",
+    "KERNEL_A_OPTIONS",
+    "KERNEL_B_OPTIONS",
+    "FpgaPart",
+    "EP4SGX530",
+    "EP4SGX230",
+    "M9K_BITS",
+    "M144K_BITS",
+    "get_part",
+    "PipelineEstimate",
+    "estimate_pipeline",
+    "PowerEstimate",
+    "estimate_power",
+    "ResourceReport",
+    "ResourceBreakdown",
+    "estimate_resources",
+]

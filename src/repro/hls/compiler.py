@@ -1,0 +1,103 @@
+"""Top-level HLS compile: IR + options + part -> CompiledKernel.
+
+This is the simulator's stand-in for ``aoc`` (Altera's OpenCL
+compiler) followed by the Quartus fitter and power estimator.  The
+returned :class:`CompiledKernel` carries everything Table I reports —
+resources, Fmax, power — plus the ``parallel_lanes`` figure that the
+device performance models consume (it satisfies the
+``FpgaOperatingPoint`` duck type of :mod:`repro.devices.fpga`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fitter import FitResult, run_fitter
+from .ir import KernelIR
+from .options import CompileOptions
+from .parts import EP4SGX530, FpgaPart
+from .pipeline import PipelineEstimate, estimate_pipeline
+from .power import PowerEstimate, estimate_power
+from .resources import ResourceReport, estimate_resources
+
+__all__ = ["CompiledKernel", "compile_kernel"]
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """Everything the tools report about one compiled kernel."""
+
+    ir: KernelIR
+    options: CompileOptions
+    part: FpgaPart
+    pipeline: PipelineEstimate
+    resources: ResourceReport
+    fit: FitResult
+    power: PowerEstimate
+
+    # -- FpgaOperatingPoint duck type (repro.devices.fpga) -------------------
+
+    @property
+    def fmax_hz(self) -> float:
+        return self.fit.fmax_hz
+
+    @property
+    def parallel_lanes(self) -> int:
+        return self.options.parallel_lanes
+
+    @property
+    def power_w(self) -> float:
+        return self.power.total_w
+
+    # -- reporting ------------------------------------------------------------
+
+    def fitter_summary(self) -> str:
+        """Quartus-Fitter-Summary-style text block (Table I's source)."""
+        r = self.resources
+        return "\n".join(
+            [
+                f"; Fitter Summary ({self.ir.name}, {self.options.describe()})",
+                f"; Device                 : {self.part.name}",
+                f"; Logic utilization      : {r.logic_utilization:.0%}",
+                f"; Registers              : {r.registers:,} / {self.part.registers:,}",
+                f"; Memory bits            : {r.memory_bits:,} / {self.part.memory_bits:,}"
+                f" ({r.memory_bit_utilization:.0%})",
+                f"; M9K blocks             : {r.m9k_blocks:,} / {self.part.m9k_blocks:,}"
+                f" ({r.m9k_utilization:.0%})",
+                f"; DSP 18-bit elements    : {r.dsp_18bit:,} / {self.part.dsp_18bit:,}"
+                f" ({r.dsp_utilization:.0%})",
+                f"; Clock frequency        : {self.fit.fmax_mhz:.2f} MHz",
+                f"; Estimated power        : {self.power.total_w:.1f} W",
+            ]
+        )
+
+
+def compile_kernel(
+    ir: KernelIR,
+    options: CompileOptions | None = None,
+    part: FpgaPart = EP4SGX530,
+    allow_overflow: bool = False,
+) -> CompiledKernel:
+    """Compile ``ir`` for ``part`` under ``options``.
+
+    :param allow_overflow: let over-capacity design points through for
+        design-space exploration (their Fmax/power are extrapolations).
+    :raises FitError: when the design does not fit and overflow is not
+        allowed.
+    :raises CompileOptionError: for inconsistent options.
+    """
+    options = options or CompileOptions()
+    options.validate_against(ir.work_group_size)
+    pipeline = estimate_pipeline(ir, options)
+    resources = estimate_resources(ir, options, pipeline, part)
+    fit = run_fitter(resources, allow_overflow=allow_overflow)
+    power = estimate_power(resources, fit.fmax_hz)
+    return CompiledKernel(
+        ir=ir,
+        options=options,
+        part=part,
+        pipeline=pipeline,
+        resources=resources,
+        fit=fit,
+        power=power,
+    )

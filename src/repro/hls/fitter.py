@@ -1,0 +1,69 @@
+"""Quartus-fitter surrogate: fit check and Fmax estimation.
+
+The real fitter's achievable clock collapses as the device fills up
+(routing congestion, longer nets).  The surrogate uses
+
+    fmax = base_fmax * (1 - A * utilization**B)
+
+with ``(A, B)`` pinned against the paper's two Table I operating
+points: 99% utilisation -> 98.27 MHz and 66% -> 162.62 MHz on a part
+whose near-empty pipelines close around 240 MHz.  Solving the two
+equations gives A = 0.600, B = 1.49.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FitError
+from .parts import FpgaPart
+from .resources import ResourceReport
+
+__all__ = ["FitResult", "run_fitter", "FMAX_DERATE_A", "FMAX_DERATE_B", "MIN_FMAX_HZ"]
+
+FMAX_DERATE_A = 0.600
+FMAX_DERATE_B = 1.49
+#: No real design on this family closes below ~50 MHz; the surrogate
+#: floors there instead of going negative at (extrapolated) >100% fills.
+MIN_FMAX_HZ = 50e6
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of the place-and-route surrogate."""
+
+    report: ResourceReport
+    fmax_hz: float
+    utilization: float
+
+    @property
+    def fmax_mhz(self) -> float:
+        return self.fmax_hz / 1e6
+
+
+def estimate_fmax(part: FpgaPart, utilization: float) -> float:
+    """Utilisation-derated clock estimate (see module docstring)."""
+    derate = 1.0 - FMAX_DERATE_A * max(0.0, utilization) ** FMAX_DERATE_B
+    return max(MIN_FMAX_HZ, part.base_fmax_hz * derate)
+
+
+def run_fitter(report: ResourceReport, allow_overflow: bool = False) -> FitResult:
+    """Check capacity and estimate the achieved clock.
+
+    :param allow_overflow: design-space-exploration sweeps may want the
+        (hypothetical) report for over-capacity points instead of an
+        exception; real compiles leave this False.
+    :raises FitError: when the design exceeds the part and overflow is
+        not allowed.
+    """
+    if not report.fits() and not allow_overflow:
+        raise FitError(
+            f"design does not fit {report.part.name}: "
+            f"{report.overflow_description()}"
+        )
+    utilization = report.logic_utilization
+    return FitResult(
+        report=report,
+        fmax_hz=estimate_fmax(report.part, utilization),
+        utilization=utilization,
+    )

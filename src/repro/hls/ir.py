@@ -1,0 +1,149 @@
+"""Kernel dataflow IR consumed by the HLS compiler model.
+
+A kernel is described at the granularity the Altera OpenCL compiler
+reasons about: pipeline *segments* of floating-point/integer operators,
+global-memory load/store units, and local-memory systems.  Two
+segments exist:
+
+* ``init_ops`` — executed once per work-item (e.g. kernel IV.B's leaf
+  initialisation with the ``pow`` operator);
+* ``body_ops`` — the innermost loop body (kernel IV.B's backward time
+  loop); ``#pragma unroll U`` replicates exactly this segment.
+
+Counts are *operator instances in hardware per SIMD lane*, not dynamic
+executions — the compiler model is a structural estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import HLSError
+
+__all__ = ["OpCount", "GlobalAccess", "LocalMemSystem", "LiveSet", "KernelIR"]
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """``count`` instances of hardware operator ``op``."""
+
+    op: str
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise HLSError(f"op count must be >= 1 ({self.op})")
+
+
+@dataclass(frozen=True)
+class GlobalAccess:
+    """One global-memory load/store unit (LSU).
+
+    :param kind: ``"load"`` or ``"store"``.
+    :param width_bytes: access width per work-item (8 for a double).
+    :param coalesced: coalesced LSUs carry a burst/reorder buffer —
+        this is how kernel IV.A spends its M9K blocks (paper V.B:
+        "kernel IV.A uses those to coalesce its memory accesses to the
+        global memory and store its inputs and outputs in shallow
+        FIFOs").
+    :param in_body: whether the access sits in the loop body (and is
+        thus replicated by unrolling).
+    """
+
+    kind: str
+    width_bytes: int = 8
+    coalesced: bool = True
+    in_body: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("load", "store"):
+            raise HLSError(f"access kind must be load/store, got {self.kind!r}")
+        if self.width_bytes < 1:
+            raise HLSError("width_bytes must be >= 1")
+
+
+@dataclass(frozen=True)
+class LocalMemSystem:
+    """A local-memory system (kernel IV.B's shared option-value row).
+
+    :param bytes_per_group: logical size per work-group.
+    :param read_ports: simultaneous reads the datapath issues per cycle
+        (per SIMD lane before vectorisation).
+    :param write_ports: simultaneous writes per cycle per lane.
+    :param resident_groups: work-groups kept in flight by the runtime
+        to hide latency; each needs its own copy.
+    """
+
+    bytes_per_group: int
+    read_ports: int = 1
+    write_ports: int = 1
+    resident_groups: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_group < 1:
+            raise HLSError("bytes_per_group must be >= 1")
+        if self.read_ports < 0 or self.write_ports < 0:
+            raise HLSError("port counts cannot be negative")
+        if self.resident_groups < 1:
+            raise HLSError("resident_groups must be >= 1")
+
+
+@dataclass(frozen=True)
+class LiveSet:
+    """Values alive across the pipeline (drives register pressure).
+
+    Altera's pipelines register every live value at every stage, which
+    is why register count — not operator logic — dominates Table I.
+    """
+
+    f64_values: int = 0
+    f32_values: int = 0
+    i32_values: int = 0
+
+    @property
+    def bits(self) -> int:
+        return 64 * self.f64_values + 32 * self.f32_values + 32 * self.i32_values
+
+
+@dataclass(frozen=True)
+class KernelIR:
+    """Structural description of one OpenCL kernel.
+
+    :param name: kernel name.
+    :param precision: ``"dp"`` or ``"sp"``.
+    :param init_ops: operators instantiated once per lane.
+    :param body_ops: operators of the innermost loop body (unrollable).
+    :param global_accesses: global-memory LSUs.
+    :param local_memory: local-memory systems (empty for kernel IV.A).
+    :param live: live-value set carried through the *body* pipeline.
+    :param live_init: live-value set of the init segment; defaults to
+        ``live`` when None (kernel IV.B's leaf path keeps far fewer
+        values in flight than its loop body, so splitting matters).
+    :param uses_barriers: whether the kernel synchronises work-groups
+        (adds barrier controller logic).
+    :param work_group_size: compile-time work-group size hint.
+    """
+
+    name: str
+    precision: str = "dp"
+    init_ops: tuple = ()
+    body_ops: tuple = ()
+    global_accesses: tuple = ()
+    local_memory: tuple = ()
+    live: LiveSet = field(default_factory=LiveSet)
+    live_init: LiveSet | None = None
+    uses_barriers: bool = False
+    work_group_size: int = 256
+
+    @property
+    def init_live(self) -> LiveSet:
+        """Live set of the init segment (falls back to ``live``)."""
+        return self.live_init if self.live_init is not None else self.live
+
+    def __post_init__(self) -> None:
+        if self.precision not in ("dp", "sp"):
+            raise HLSError(f"precision must be 'dp' or 'sp', got {self.precision!r}")
+        if not self.init_ops and not self.body_ops:
+            raise HLSError(f"kernel {self.name!r} has no operators")
+        if self.work_group_size < 1:
+            raise HLSError("work_group_size must be >= 1")

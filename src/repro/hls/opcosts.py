@@ -1,0 +1,85 @@
+"""Per-operation resource/latency cost tables (Stratix IV, OpenCL 13.0).
+
+Costs approximate what Altera's 13.0-era floating-point megafunctions
+consume on Stratix IV: adders live in soft logic, multipliers map a
+54x54 partial-product array onto 18-bit DSP elements, and the
+transcendental operators (exp/log, composed into pow) combine
+table-lookup M9K usage with polynomial DSP chains.  Exact per-op
+numbers are not published per kernel, so the table is an estimate from
+megafunction user guides; the *end-to-end* design totals are what the
+reproduction validates against the paper's Table I (see
+``benchmarks/test_table1_resources.py``).
+
+Latency is in pipeline stages at the kernel clock; the compiler sums
+latencies along the work-item datapath to obtain the pipeline depth,
+which in turn drives the dominant register cost (every stage registers
+all live values — the reason the paper's kernel IV.A fills 411 K
+registers with only a handful of arithmetic operators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HLSError
+
+__all__ = ["OpCost", "OP_COSTS", "op_cost"]
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Resource and latency footprint of one hardware operator."""
+
+    aluts: int
+    registers: int
+    dsp_18bit: int
+    memory_bits: int
+    latency: int
+
+
+#: keyed by ``"<precision>_<op>"`` with precision ``dp`` or ``sp``.
+OP_COSTS: dict = {
+    # double precision ------------------------------------------------------
+    "dp_add": OpCost(aluts=1400, registers=1400, dsp_18bit=0, memory_bits=0, latency=14),
+    "dp_sub": OpCost(aluts=1400, registers=1400, dsp_18bit=0, memory_bits=0, latency=14),
+    "dp_mul": OpCost(aluts=800, registers=1500, dsp_18bit=16, memory_bits=0, latency=11),
+    "dp_div": OpCost(aluts=6200, registers=9500, dsp_18bit=14, memory_bits=0, latency=33),
+    "dp_max": OpCost(aluts=650, registers=300, dsp_18bit=0, memory_bits=0, latency=3),
+    "dp_cmp": OpCost(aluts=500, registers=200, dsp_18bit=0, memory_bits=0, latency=2),
+    "dp_exp": OpCost(aluts=5200, registers=7800, dsp_18bit=27, memory_bits=36_864, latency=26),
+    "dp_log": OpCost(aluts=5600, registers=8400, dsp_18bit=27, memory_bits=36_864, latency=29),
+    # pow = exp(y*log(x)): log + mul + exp fused as one operator.  The
+    # 13.0 implementation is compact (the very compactness behind its
+    # accuracy defect, Section V.C): shared tables, shortened exponent
+    # path.
+    "dp_pow": OpCost(aluts=7_000, registers=6_500, dsp_18bit=70, memory_bits=36_864, latency=60),
+    # single precision ------------------------------------------------------
+    "sp_add": OpCost(aluts=650, registers=900, dsp_18bit=0, memory_bits=0, latency=10),
+    "sp_sub": OpCost(aluts=650, registers=900, dsp_18bit=0, memory_bits=0, latency=10),
+    "sp_mul": OpCost(aluts=300, registers=600, dsp_18bit=4, memory_bits=0, latency=8),
+    "sp_div": OpCost(aluts=2200, registers=3400, dsp_18bit=6, memory_bits=0, latency=22),
+    "sp_max": OpCost(aluts=330, registers=150, dsp_18bit=0, memory_bits=0, latency=2),
+    "sp_cmp": OpCost(aluts=250, registers=100, dsp_18bit=0, memory_bits=0, latency=1),
+    "sp_exp": OpCost(aluts=1900, registers=2700, dsp_18bit=10, memory_bits=18_432, latency=17),
+    "sp_log": OpCost(aluts=2100, registers=3000, dsp_18bit=10, memory_bits=18_432, latency=20),
+    "sp_pow": OpCost(aluts=4400, registers=6400, dsp_18bit=26, memory_bits=36_864, latency=47),
+    # integer / control (precision-independent) -----------------------------
+    "int_add": OpCost(aluts=64, registers=64, dsp_18bit=0, memory_bits=0, latency=1),
+    "int_mul": OpCost(aluts=100, registers=130, dsp_18bit=4, memory_bits=0, latency=3),
+    "int_cmp": OpCost(aluts=40, registers=32, dsp_18bit=0, memory_bits=0, latency=1),
+    "select": OpCost(aluts=70, registers=64, dsp_18bit=0, memory_bits=0, latency=1),
+}
+
+
+def op_cost(op: str, precision: str = "dp") -> OpCost:
+    """Cost of ``op`` at ``precision`` (``"dp"`` or ``"sp"``).
+
+    Integer/control ops ignore precision.  Raises :class:`HLSError`
+    for unknown operators so IR typos fail loudly.
+    """
+    if op in OP_COSTS:
+        return OP_COSTS[op]
+    key = f"{precision}_{op}"
+    if key in OP_COSTS:
+        return OP_COSTS[key]
+    raise HLSError(f"no cost entry for op {op!r} at precision {precision!r}")

@@ -1,0 +1,85 @@
+"""Compiler options: the three Altera parallelisation knobs.
+
+Section V.B of the paper: *"Loop unrolling, replication and
+vectorization are 3 parameters that help reach the best compromise
+between resource utilization, latency and throughput."*  The paper's
+chosen points are kernel IV.A vectorised x2 + replicated x3 and kernel
+IV.B unrolled x2 + vectorised x4.
+
+Constraints enforced here mirror the real compiler's:
+``num_simd_work_items`` must be a power of two and divide the
+work-group size; replication and unrolling must be positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CompileOptionError
+
+__all__ = ["CompileOptions", "KERNEL_A_OPTIONS", "KERNEL_B_OPTIONS"]
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """One point of the vectorise/replicate/unroll design space.
+
+    :param num_simd_work_items: SIMD vectorisation width (``V``);
+        replicates the datapath inside one compute unit with shared
+        control, and widens memory accesses (eases coalescing).
+    :param num_compute_units: full pipeline replication (``R``);
+        independent compute units with private control and LSUs.
+    :param unroll: innermost-loop unroll factor (``U``); replicates the
+        loop-body segment only.
+    """
+
+    num_simd_work_items: int = 1
+    num_compute_units: int = 1
+    unroll: int = 1
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.num_simd_work_items):
+            raise CompileOptionError(
+                f"num_simd_work_items must be a power of two, got "
+                f"{self.num_simd_work_items} (compiler restriction, paper V.B)"
+            )
+        if self.num_compute_units < 1:
+            raise CompileOptionError("num_compute_units must be >= 1")
+        if self.unroll < 1:
+            raise CompileOptionError("unroll must be >= 1")
+
+    def validate_against(self, work_group_size: int) -> None:
+        """SIMD width must divide the work-group size (paper V.B)."""
+        if work_group_size % self.num_simd_work_items != 0:
+            raise CompileOptionError(
+                f"SIMD width {self.num_simd_work_items} does not divide "
+                f"work-group size {work_group_size}"
+            )
+
+    @property
+    def parallel_lanes(self) -> int:
+        """Node updates retired per clock once the pipeline is full."""
+        return self.num_simd_work_items * self.num_compute_units * self.unroll
+
+    def describe(self) -> str:
+        parts = []
+        if self.num_simd_work_items > 1:
+            parts.append(f"vectorized x{self.num_simd_work_items}")
+        if self.num_compute_units > 1:
+            parts.append(f"replicated x{self.num_compute_units}")
+        if self.unroll > 1:
+            parts.append(f"unrolled x{self.unroll}")
+        return ", ".join(parts) or "baseline (no parallelisation)"
+
+
+#: Paper Section V.B: "Kernel IV.A has been vectorized twice and
+#: replicated 3 times to use the maximum possible resources."
+KERNEL_A_OPTIONS = CompileOptions(num_simd_work_items=2, num_compute_units=3)
+
+#: "Kernel IV.B contains an internal loop, which has been unrolled
+#: twice, coupled with a 4 times vectorization of the kernel."
+KERNEL_B_OPTIONS = CompileOptions(num_simd_work_items=4, unroll=2)

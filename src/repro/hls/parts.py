@@ -1,0 +1,97 @@
+"""FPGA part definitions (capacities the fitter checks against).
+
+Capacities of the Stratix IV EP4SGX530 follow Altera's datasheet and
+the denominators printed in the paper's Table I: 424 960 registers
+(reported there as "415 K" with K=1024), 21 233 664 memory bits
+("20 736 K"), 1 024 18-bit DSP elements ("1 K") and 212 480 ALMs (the
+basis of the "Logic utilization" percentage; each ALM packs two LUTs
+and two flip-flops).
+
+Note: Table I prints the M9K denominator as 1 250 in the kernel IV.A
+column and 1 280 in the IV.B column; the datasheet value is 1 280 and
+that is what this model uses (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HLSError
+
+__all__ = ["FpgaPart", "EP4SGX530", "EP4SGX230", "M9K_BITS", "M144K_BITS",
+           "get_part"]
+
+#: Capacity of one M9K block RAM (256 x 36 bits, paper Section V.A).
+M9K_BITS = 9 * 1024
+#: Capacity of one M144K block RAM (2048 x 72 bits, paper Section V.B).
+M144K_BITS = 144 * 1024
+
+
+@dataclass(frozen=True)
+class FpgaPart:
+    """Resource capacities of one FPGA device."""
+
+    name: str
+    alms: int
+    registers: int
+    memory_bits: int
+    m9k_blocks: int
+    m144k_blocks: int
+    dsp_18bit: int
+    #: highest clock a trivially small kernel could close timing at;
+    #: the fitter derates from here with utilisation.
+    base_fmax_hz: float
+    #: leakage power of the (configured, idle) part — smaller dies leak
+    #: less, the basis of the paper's "a less power consuming FPGA
+    #: board can be selected" workaround (Section V.C / experiment E15)
+    static_power_w: float = 3.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("alms", "registers", "memory_bits",
+                           "m9k_blocks", "m144k_blocks", "dsp_18bit"):
+            if getattr(self, field_name) <= 0:
+                raise HLSError(f"{field_name} must be positive")
+        if self.base_fmax_hz <= 0:
+            raise HLSError("base_fmax_hz must be positive")
+        if self.static_power_w <= 0:
+            raise HLSError("static_power_w must be positive")
+
+
+EP4SGX530 = FpgaPart(
+    name="EP4SGX530",
+    alms=212_480,
+    registers=424_960,
+    memory_bits=21_233_664,
+    m9k_blocks=1_280,
+    m144k_blocks=64,
+    dsp_18bit=1_024,
+    base_fmax_hz=240e6,
+    static_power_w=3.0,
+)
+
+#: Mid-range sibling of the DE4's FPGA: ~43% of the logic, 1,235 M9Ks,
+#: a larger DSP array, and roughly half the leakage — the candidate
+#: "less power consuming board" of Section V.C's workaround list.
+EP4SGX230 = FpgaPart(
+    name="EP4SGX230",
+    alms=91_200,
+    registers=182_400,
+    memory_bits=14_625_792,
+    m9k_blocks=1_235,
+    m144k_blocks=22,
+    dsp_18bit=1_288,
+    base_fmax_hz=240e6,
+    static_power_w=1.6,
+)
+
+_PARTS = {EP4SGX530.name: EP4SGX530, EP4SGX230.name: EP4SGX230}
+
+
+def get_part(name: str) -> FpgaPart:
+    """Look up a part by name (case-insensitive)."""
+    try:
+        return _PARTS[name.upper()]
+    except KeyError:
+        raise HLSError(
+            f"unknown part {name!r}; known parts: {sorted(_PARTS)}"
+        ) from None

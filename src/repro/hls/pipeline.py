@@ -1,0 +1,109 @@
+"""Pipeline assembly: depth, initiation interval and LSU behaviour.
+
+The Altera OpenCL compiler builds one deep pipeline per kernel and
+streams work-items through it, one per clock per SIMD lane (initiation
+interval II = 1 for both of the paper's kernels — neither has a
+loop-carried dependency the compiler cannot pipeline around within a
+work-item).  Pipeline *depth* matters because every stage registers
+the live values; it is the main register consumer (see
+:mod:`repro.hls.opcosts`).
+
+IR semantics: entries of a segment are a *serial chain* (each entry's
+latency adds to the depth); ``OpCount.count`` are parallel instances
+at that stage (they add resources, not depth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ir import GlobalAccess, KernelIR
+from .opcosts import op_cost
+from .options import CompileOptions
+
+__all__ = [
+    "PipelineEstimate",
+    "estimate_pipeline",
+    "COALESCED_LOAD_LATENCY",
+    "COALESCED_STORE_LATENCY",
+    "SIMPLE_LOAD_LATENCY",
+    "SIMPLE_STORE_LATENCY",
+    "LOCAL_ACCESS_LATENCY",
+    "ADDRESS_LATENCY",
+]
+
+#: Coalescing LSUs (kernel IV.A's DDR-facing burst units) add deep
+#: reorder/burst stages; simple LSUs (kernel IV.B's few accesses) are
+#: shallow.  Local memory sits behind the on-chip interconnect.
+COALESCED_LOAD_LATENCY = 60
+COALESCED_STORE_LATENCY = 15
+SIMPLE_LOAD_LATENCY = 20
+SIMPLE_STORE_LATENCY = 10
+LOCAL_ACCESS_LATENCY = 4
+ADDRESS_LATENCY = 3
+
+
+@dataclass(frozen=True)
+class PipelineEstimate:
+    """Depth/II summary of a compiled kernel pipeline."""
+
+    depth_stages: int
+    initiation_interval: int
+    init_depth: int
+    body_depth: int
+
+    @property
+    def fill_cycles(self) -> int:
+        """Cycles before the first result emerges (pipeline latency)."""
+        return self.depth_stages
+
+
+def _segment_depth(ops, precision: str) -> int:
+    """Serial-chain latency of one IR segment."""
+    return sum(op_cost(entry.op, precision).latency for entry in ops)
+
+
+def _access_depth(access: GlobalAccess) -> int:
+    if access.kind == "load":
+        base = COALESCED_LOAD_LATENCY if access.coalesced else SIMPLE_LOAD_LATENCY
+    else:
+        base = COALESCED_STORE_LATENCY if access.coalesced else SIMPLE_STORE_LATENCY
+    return ADDRESS_LATENCY + base
+
+
+def estimate_pipeline(ir: KernelIR, options: CompileOptions) -> PipelineEstimate:
+    """Depth of the kernel pipeline under the given compile options.
+
+    Unrolling chains ``unroll`` copies of the body segment serially
+    (the paper's kernel IV.B carries ``S`` and the value row from one
+    unrolled iteration into the next); SIMD vectorisation and compute-
+    unit replication widen the pipeline without deepening it.
+
+    Independent global accesses of one segment issue in *parallel*
+    (kernel IV.A's five loads all depend only on the slot id), so a
+    segment pays the deepest load plus the deepest store once, not the
+    sum over LSUs.
+    """
+    init_depth = _segment_depth(ir.init_ops, ir.precision)
+    body_depth = _segment_depth(ir.body_ops, ir.precision)
+
+    for in_body in (False, True):
+        accesses = [a for a in ir.global_accesses if a.in_body == in_body]
+        loads = [_access_depth(a) for a in accesses if a.kind == "load"]
+        stores = [_access_depth(a) for a in accesses if a.kind == "store"]
+        depth = (max(loads) if loads else 0) + (max(stores) if stores else 0)
+        if in_body:
+            body_depth += depth
+        else:
+            init_depth += depth
+
+    for _local in ir.local_memory:
+        body_depth += LOCAL_ACCESS_LATENCY
+
+    total = init_depth + options.unroll * body_depth
+    return PipelineEstimate(
+        depth_stages=total,
+        initiation_interval=1,
+        init_depth=init_depth,
+        body_depth=body_depth,
+    )

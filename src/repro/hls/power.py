@@ -1,0 +1,71 @@
+"""quartus_pow surrogate: static + dynamic power estimation.
+
+The paper reads kernel power from the Quartus Power Estimation tool
+(15 W for kernel IV.A, 17 W for IV.B) and notes the figures are upper
+bounds covering the FPGA chip only.  The surrogate uses the standard
+CMOS decomposition
+
+    P = P_static + f * (c_logic * ALMs + c_dsp * DSPs) * toggle
+
+with the logic and DSP activity coefficients pinned against the two
+Table I points (static power of a Stratix IV 530K-LE part is ~3 W):
+
+    15 = 3 + 0.09827 GHz * (c_logic * 212.1 kALM + c_dsp * 586)
+    17 = 3 + 0.16262 GHz * (c_logic * 140.2 kALM + c_dsp * 760)
+
+giving c_logic = 0.546 W/GHz/kALM and c_dsp = 0.0127 W/GHz/DSP.
+Block-RAM dynamic power is folded into the logic coefficient (the two
+kernels use comparable M9K counts, so the data cannot separate it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HLSError
+from .resources import ResourceReport
+
+__all__ = ["PowerEstimate", "estimate_power",
+           "STATIC_POWER_W", "LOGIC_COEFF_W_PER_GHZ_KALM", "DSP_COEFF_W_PER_GHZ"]
+
+STATIC_POWER_W = 3.0
+LOGIC_COEFF_W_PER_GHZ_KALM = 0.546
+DSP_COEFF_W_PER_GHZ = 0.0127
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Breakdown of the estimated chip power."""
+
+    static_w: float
+    dynamic_logic_w: float
+    dynamic_dsp_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.static_w + self.dynamic_logic_w + self.dynamic_dsp_w
+
+
+def estimate_power(report: ResourceReport, fmax_hz: float,
+                   toggle_rate: float = 1.0) -> PowerEstimate:
+    """Estimate chip power at clock ``fmax_hz``.
+
+    :param toggle_rate: relative switching activity (1.0 = the
+        calibration workload); the energy-workaround experiment (E9)
+        lowers the clock, not the toggle rate.
+
+    Static power comes from the report's part (smaller dies leak less
+    — the board-selection workaround of experiment E15).
+    """
+    if fmax_hz <= 0:
+        raise HLSError("fmax must be positive")
+    if toggle_rate < 0:
+        raise HLSError("toggle_rate cannot be negative")
+    f_ghz = fmax_hz / 1e9
+    logic = f_ghz * LOGIC_COEFF_W_PER_GHZ_KALM * (report.alms / 1000.0) * toggle_rate
+    dsp = f_ghz * DSP_COEFF_W_PER_GHZ * report.dsp_18bit * toggle_rate
+    return PowerEstimate(
+        static_w=report.part.static_power_w,
+        dynamic_logic_w=logic,
+        dynamic_dsp_w=dsp,
+    )

@@ -1,0 +1,277 @@
+"""Resource aggregation: from IR + options to a Table I-style report.
+
+Cost structure (each term's provenance is commented inline):
+
+* **datapath** — operator costs x SIMD lanes x compute units, with the
+  body segment further replicated by the unroll factor;
+* **pipeline registers** — depth x live-bits x liveness factor per
+  lane: the dominant register term, and the reason the paper's simple
+  kernel IV.A fills 99% of the chip;
+* **LSUs** — per global access per compute unit; coalescing LSUs carry
+  M9K-backed burst buffers (kernel IV.A's main M9K consumer);
+* **local memory** — replicated for port bandwidth and for the
+  work-groups kept resident to hide barrier turnaround (kernel IV.B's
+  main M9K consumer);
+* **base system** — PCIe/DDR bridge and kernel interconnect (the BSP).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .ir import KernelIR
+from .opcosts import op_cost
+from .options import CompileOptions
+from .parts import M9K_BITS, FpgaPart
+from .pipeline import PipelineEstimate
+
+__all__ = ["ResourceReport", "ResourceBreakdown", "estimate_resources",
+           "LSU_COST", "SIMPLE_LSU_COST", "BASE_SYSTEM"]
+
+#: Register liveness factor: not every live value spans every stage;
+#: calibrated against Table I's two register totals.
+LIVENESS_FACTOR = 0.3
+
+#: Burst-buffer depth (in elements) of a coalescing LSU vs a simple one.
+COALESCED_BURST_DEPTH = 4096
+SIMPLE_BURST_DEPTH = 512
+
+#: Dual-ported M9K, double-pumped by the 600 MHz memory interconnect
+#: (paper V.A): effective ports per local-memory replica.
+LOCAL_PORTS_PER_REPLICA = 4
+
+
+@dataclass(frozen=True)
+class _BlockCost:
+    aluts: int
+    registers: int
+    dsp: int
+
+
+#: A coalescing load/store unit: address generation, tag/burst
+#: tracking, reorder and width adaptation.  Calibrated against kernel
+#: IV.A (21 of them).
+LSU_COST = _BlockCost(aluts=2600, registers=8200, dsp=12)
+
+#: A simple (non-coalescing) LSU: address generation and a shallow
+#: FIFO only (kernel IV.B's one-shot parameter read / result write).
+SIMPLE_LSU_COST = _BlockCost(aluts=1000, registers=3000, dsp=4)
+
+#: Board support package: PCIe endpoint + DMA, DDR2 controllers,
+#: kernel interconnect, snoop logic.
+BASE_SYSTEM = {
+    "aluts": 30_000,
+    "registers": 40_000,
+    "dsp": 0,
+    "memory_bits": 100_000,
+    "m9k": 40,
+}
+
+#: Barrier controller for work-group-synchronising kernels.
+BARRIER_COST = _BlockCost(aluts=1200, registers=5000, dsp=0)
+
+
+@dataclass(frozen=True)
+class ResourceBreakdown:
+    """Where the registers/M9Ks went — one row per cost source.
+
+    Keys: ``datapath`` (operator instances), ``pipeline`` (stage
+    registers), ``lsu`` (load/store units incl. burst buffers),
+    ``local_memory`` (replicated per-group arrays), ``barrier``,
+    ``tables`` (transcendental ROMs) and ``base`` (the BSP).
+    """
+
+    registers: dict
+    memory_bits: dict
+    dsp: dict
+
+    def dominant_register_source(self) -> str:
+        """The largest register consumer (the paper's kernel IV.A story:
+        pipeline registers, not arithmetic, fill the chip)."""
+        return max(self.registers, key=self.registers.get)
+
+    def dominant_memory_source(self) -> str:
+        return max(self.memory_bits, key=self.memory_bits.get)
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Absolute resource usage plus part-relative percentages.
+
+    Mirrors the rows of the paper's Table I.
+    """
+
+    part: FpgaPart
+    alms: int
+    registers: int
+    memory_bits: int
+    m9k_blocks: int
+    m144k_blocks: int
+    dsp_18bit: int
+    breakdown: "ResourceBreakdown | None" = None
+
+    @property
+    def logic_utilization(self) -> float:
+        """Fraction of ALMs in use (Table I "Logic utilization")."""
+        return self.alms / self.part.alms
+
+    @property
+    def register_utilization(self) -> float:
+        return self.registers / self.part.registers
+
+    @property
+    def memory_bit_utilization(self) -> float:
+        return self.memory_bits / self.part.memory_bits
+
+    @property
+    def m9k_utilization(self) -> float:
+        return self.m9k_blocks / self.part.m9k_blocks
+
+    @property
+    def dsp_utilization(self) -> float:
+        return self.dsp_18bit / self.part.dsp_18bit
+
+    def fits(self) -> bool:
+        """Whether every resource is within the part's capacity."""
+        return (
+            self.alms <= self.part.alms
+            and self.registers <= self.part.registers
+            and self.memory_bits <= self.part.memory_bits
+            and self.m9k_blocks <= self.part.m9k_blocks
+            and self.dsp_18bit <= self.part.dsp_18bit
+        )
+
+    def overflow_description(self) -> str:
+        """Human-readable list of exceeded resources (empty if fits)."""
+        problems = []
+        for label, used, cap in (
+            ("ALMs", self.alms, self.part.alms),
+            ("registers", self.registers, self.part.registers),
+            ("memory bits", self.memory_bits, self.part.memory_bits),
+            ("M9K blocks", self.m9k_blocks, self.part.m9k_blocks),
+            ("DSP elements", self.dsp_18bit, self.part.dsp_18bit),
+        ):
+            if used > cap:
+                problems.append(f"{label}: {used} > {cap} ({used / cap:.0%})")
+        return "; ".join(problems)
+
+
+def _segment_cost(ops, precision: str):
+    aluts = regs = dsp = bits = 0
+    for entry in ops:
+        cost = op_cost(entry.op, precision)
+        aluts += cost.aluts * entry.count
+        regs += cost.registers * entry.count
+        dsp += cost.dsp_18bit * entry.count
+        bits += cost.memory_bits * entry.count
+    return aluts, regs, dsp, bits
+
+
+def estimate_resources(
+    ir: KernelIR,
+    options: CompileOptions,
+    pipeline: PipelineEstimate,
+    part: FpgaPart,
+) -> ResourceReport:
+    """Aggregate all resource terms into a :class:`ResourceReport`."""
+    simd = options.num_simd_work_items
+    cus = options.num_compute_units
+    lanes = simd * cus
+
+    reg_src: dict = {}
+    mem_src: dict = {}
+    dsp_src: dict = {}
+
+    # -- datapath operators ---------------------------------------------------
+    init_a, init_r, init_d, init_b = _segment_cost(ir.init_ops, ir.precision)
+    body_a, body_r, body_d, body_b = _segment_cost(ir.body_ops, ir.precision)
+    aluts = lanes * (init_a + options.unroll * body_a)
+    reg_src["datapath"] = lanes * (init_r + options.unroll * body_r)
+    dsp_src["datapath"] = lanes * (init_d + options.unroll * body_d)
+    mem_src["tables"] = lanes * (init_b + options.unroll * body_b)
+
+    # -- pipeline registers ---------------------------------------------------
+    # Every pipeline stage registers the segment's live values; the
+    # init and body segments carry different live sets.
+    reg_src["pipeline"] = int(
+        lanes
+        * LIVENESS_FACTOR
+        * (
+            pipeline.init_depth * ir.init_live.bits
+            + options.unroll * pipeline.body_depth * ir.live.bits
+        )
+    )
+
+    # -- global-memory LSUs ---------------------------------------------------
+    m9k = 0
+    reg_src["lsu"] = dsp_src["lsu"] = mem_src["lsu"] = 0
+    for access in ir.global_accesses:
+        count = cus * (options.unroll if access.in_body else 1)
+        unit = LSU_COST if access.coalesced else SIMPLE_LSU_COST
+        aluts += unit.aluts * count
+        reg_src["lsu"] += unit.registers * count
+        dsp_src["lsu"] += unit.dsp * count
+        if access.coalesced:
+            depth = COALESCED_BURST_DEPTH
+        else:
+            depth = SIMPLE_BURST_DEPTH
+        buffer_bits = depth * access.width_bytes * 8 * simd
+        mem_src["lsu"] += buffer_bits * count
+        m9k += count * math.ceil(buffer_bits / M9K_BITS)
+
+    # -- local memory ---------------------------------------------------------
+    reg_src["local_memory"] = mem_src["local_memory"] = 0
+    for local in ir.local_memory:
+        # Unrolled body copies access the row at *different pipeline
+        # stages* (different cycles), so unrolling does not multiply
+        # the simultaneous-port requirement — only SIMD lanes do.
+        ports = simd * (local.read_ports + local.write_ports)
+        replicas = max(1, math.ceil(ports / LOCAL_PORTS_PER_REPLICA))
+        copies = replicas * local.resident_groups
+        bits_per_copy = local.bytes_per_group * 8
+        mem_src["local_memory"] += bits_per_copy * copies
+        m9k += copies * math.ceil(bits_per_copy / M9K_BITS)
+        # banking/arbitration interconnect
+        aluts += 900 * replicas
+        reg_src["local_memory"] += 1200 * replicas
+
+    reg_src["barrier"] = 0
+    if ir.uses_barriers:
+        aluts += BARRIER_COST.aluts * cus
+        reg_src["barrier"] = BARRIER_COST.registers * cus
+
+    # -- transcendental lookup tables already counted in memory_bits;
+    #    place them into M9K blocks as well
+    m9k += math.ceil(mem_src["tables"] / M9K_BITS)
+
+    # -- base system ----------------------------------------------------------
+    aluts += BASE_SYSTEM["aluts"]
+    reg_src["base"] = BASE_SYSTEM["registers"]
+    dsp_src["base"] = BASE_SYSTEM["dsp"]
+    mem_src["base"] = BASE_SYSTEM["memory_bits"]
+    m9k += BASE_SYSTEM["m9k"]
+
+    registers = sum(reg_src.values())
+    dsp = sum(dsp_src.values())
+    memory_bits = sum(mem_src.values())
+
+    # -- ALM packing ----------------------------------------------------------
+    # Each ALM offers two LUTs and two flip-flops; demand is bounded by
+    # the larger of the two, plus a small packing-inefficiency term.
+    lut_alms = aluts / 2
+    ff_alms = registers / 2
+    alms = int(max(lut_alms, ff_alms) + 0.04 * min(lut_alms, ff_alms))
+
+    return ResourceReport(
+        part=part,
+        alms=alms,
+        registers=int(registers),
+        memory_bits=int(memory_bits),
+        m9k_blocks=int(m9k),
+        m144k_blocks=0,
+        dsp_18bit=int(dsp),
+        breakdown=ResourceBreakdown(
+            registers=reg_src, memory_bits=mem_src, dsp=dsp_src,
+        ),
+    )

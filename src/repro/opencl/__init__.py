@@ -1,0 +1,83 @@
+"""A functional OpenCL 1.1 platform simulator (Figure 2 of the paper).
+
+This package re-creates the OpenCL host/device structure in pure
+Python: platforms expose devices; a context owns buffers, programs and
+queues; kernels run as Python work-items over real global / local /
+private memory levels, with genuine work-group barrier semantics; and
+an in-order command queue advances a simulated clock through pluggable
+device timing models.
+
+Quick tour::
+
+    from repro.opencl import Context, Device, DeviceType, LocalMemory
+
+    device = Device("toy", DeviceType.ACCELERATOR)
+    ctx = Context(device)
+    buf = ctx.create_buffer_from(np.arange(8.0))
+
+    def double_kernel(wi, data):
+        gid = wi.get_global_id()
+        data[gid] = 2.0 * data[gid]
+
+    program = ctx.create_program({"double": double_kernel})
+    queue = ctx.create_queue()
+    queue.enqueue_nd_range_kernel(program.create_kernel("double").set_args(buf), 8, 4)
+    result, _ = queue.enqueue_read_buffer(buf)
+"""
+
+from .context import Context
+from .device import Device, LaunchInfo, TimingModel, ZeroTimingModel
+from .executor import NDRangeStats, WorkItemCtx, execute_ndrange
+from .kernel import Kernel
+from .memory import Buffer, BufferView, LocalMemory
+from .platform import (
+    Platform,
+    clear_platforms,
+    get_platform,
+    get_platforms,
+    register_platform,
+)
+from .profiling import Event, TransferLedger, TransferRecord
+from .program import KernelMeta, Program, kernel_metadata
+from .queue import CommandQueue
+from .types import (
+    AddressSpace,
+    CommandType,
+    DeviceType,
+    EventStatus,
+    MemFlag,
+    TransferDirection,
+)
+
+__all__ = [
+    "Context",
+    "Device",
+    "LaunchInfo",
+    "TimingModel",
+    "ZeroTimingModel",
+    "WorkItemCtx",
+    "execute_ndrange",
+    "NDRangeStats",
+    "Kernel",
+    "Buffer",
+    "BufferView",
+    "LocalMemory",
+    "Platform",
+    "register_platform",
+    "get_platforms",
+    "get_platform",
+    "clear_platforms",
+    "Event",
+    "TransferRecord",
+    "TransferLedger",
+    "Program",
+    "KernelMeta",
+    "kernel_metadata",
+    "CommandQueue",
+    "DeviceType",
+    "MemFlag",
+    "TransferDirection",
+    "CommandType",
+    "EventStatus",
+    "AddressSpace",
+]

@@ -1,0 +1,97 @@
+"""OpenCL context: the owner of buffers, programs and queues.
+
+A context groups the devices an application talks to, exactly like
+``clCreateContext``.  Factory methods keep object creation discoverable
+(`ctx.create_buffer`, `ctx.create_program`, `ctx.create_queue`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import OpenCLError
+from .device import Device
+from .memory import Buffer
+from .types import MemFlag
+
+__all__ = ["Context"]
+
+
+class Context:
+    """A simulated ``cl_context`` over one or more devices."""
+
+    def __init__(self, devices: Sequence[Device] | Device):
+        if isinstance(devices, Device):
+            devices = [devices]
+        devices = list(devices)
+        if not devices:
+            raise OpenCLError("a context needs at least one device")
+        self.devices: tuple[Device, ...] = tuple(devices)
+        self.buffers: list[Buffer] = []
+
+    @property
+    def device(self) -> Device:
+        """The first (often only) device — convenience accessor."""
+        return self.devices[0]
+
+    # -- factories ----------------------------------------------------------
+
+    def create_buffer(self, shape, dtype=np.float64,
+                      flags: MemFlag = MemFlag.READ_WRITE) -> Buffer:
+        """Allocate a zero-initialised global-memory buffer."""
+        buf = Buffer.allocate(shape, dtype, flags)
+        self._track(buf)
+        return buf
+
+    def create_buffer_from(self, array: np.ndarray,
+                           flags: MemFlag = MemFlag.READ_WRITE) -> Buffer:
+        """Allocate a buffer initialised from host data."""
+        buf = Buffer.from_array(array, flags)
+        self._track(buf)
+        return buf
+
+    def create_program(self, kernels) -> "Program":
+        """Build a program from ``{name: python_callable}``."""
+        from .program import Program
+
+        return Program(self, kernels).build()
+
+    def create_queue(self, device: Device | None = None, profiling: bool = True,
+                     overlap: bool = False):
+        """Create a command queue on ``device``.
+
+        ``overlap=True`` gives the dual-engine (DMA + compute) timing
+        discipline; see :mod:`repro.opencl.queue`.
+        """
+        from .queue import CommandQueue
+
+        device = device or self.device
+        if device not in self.devices:
+            raise OpenCLError("queue device does not belong to this context")
+        return CommandQueue(self, device, profiling=profiling, overlap=overlap)
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _track(self, buf: Buffer) -> None:
+        total = sum(b.nbytes for b in self.buffers) + buf.nbytes
+        limit = min(d.global_mem_bytes for d in self.devices)
+        if total > limit:
+            raise OpenCLError(
+                f"allocating {buf.nbytes} bytes exceeds device global memory "
+                f"({total} > {limit})",
+                code="CL_MEM_OBJECT_ALLOCATION_FAILURE",
+            )
+        self.buffers.append(buf)
+
+    def total_allocated_bytes(self) -> int:
+        """Bytes of global memory currently allocated in this context."""
+        return sum(b.nbytes for b in self.buffers)
+
+    def release(self, buf: Buffer) -> None:
+        """Free a buffer (``clReleaseMemObject``)."""
+        try:
+            self.buffers.remove(buf)
+        except ValueError:
+            raise OpenCLError("buffer does not belong to this context") from None

@@ -1,0 +1,131 @@
+"""Simulated OpenCL devices.
+
+A :class:`Device` carries the queryable properties of a CL device
+(compute units, memory sizes, work-group limits) plus an optional
+*timing model* used by command queues to advance the simulated clock.
+The timing model is a small protocol so the ``repro.devices`` package
+can plug in calibrated FPGA/GPU/CPU performance models without this
+package depending on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, runtime_checkable
+
+from ..errors import DeviceModelError
+from .types import DeviceType, TransferDirection
+
+__all__ = ["Device", "TimingModel", "ZeroTimingModel", "LaunchInfo"]
+
+
+@dataclass(frozen=True)
+class LaunchInfo:
+    """Summary of one NDRange launch handed to the timing model."""
+
+    kernel_name: str
+    global_size: int
+    local_size: int
+    work_groups: int
+    #: total barrier waits executed across all work-items
+    barriers: int = 0
+    #: kernel-declared weight of one work-item (e.g. loop trip count);
+    #: kernels may expose this through their metadata, default 1.
+    work_per_item: float = 1.0
+
+
+@runtime_checkable
+class TimingModel(Protocol):
+    """Pluggable simulated-time provider for a device."""
+
+    def transfer_ns(self, nbytes: int, direction: TransferDirection) -> float:
+        """Simulated duration of a host<->device transfer."""
+        ...
+
+    def ndrange_ns(self, launch: LaunchInfo) -> float:
+        """Simulated duration of a kernel launch."""
+        ...
+
+
+class ZeroTimingModel:
+    """Functional-only timing: every command takes zero simulated time.
+
+    Used by unit tests that only care about results, and as the default
+    when a device is created without a calibrated model.
+    """
+
+    def transfer_ns(self, nbytes: int, direction: TransferDirection) -> float:
+        return 0.0
+
+    def ndrange_ns(self, launch: LaunchInfo) -> float:
+        return 0.0
+
+
+@dataclass
+class Device:
+    """A simulated OpenCL device.
+
+    :param name: marketing name, e.g. ``"Terasic DE4 (Stratix IV 4SGX530)"``.
+    :param device_type: CPU / GPU / ACCELERATOR.
+    :param compute_units: ``CL_DEVICE_MAX_COMPUTE_UNITS``.
+    :param global_mem_bytes: capacity of global memory.
+    :param local_mem_bytes: per-work-group local memory capacity.
+    :param max_work_group_size: largest allowed work-group.
+    :param timing_model: optional simulated-time provider.
+    :param double_precision: whether the device supports fp64 kernels.
+    """
+
+    name: str
+    device_type: DeviceType
+    compute_units: int = 1
+    global_mem_bytes: int = 2 * 1024**3
+    local_mem_bytes: int = 48 * 1024
+    max_work_group_size: int = 1024
+    timing_model: object = field(default_factory=ZeroTimingModel)
+    double_precision: bool = True
+
+    def __post_init__(self) -> None:
+        if self.compute_units < 1:
+            raise DeviceModelError("compute_units must be >= 1")
+        if self.max_work_group_size < 1:
+            raise DeviceModelError("max_work_group_size must be >= 1")
+        if self.global_mem_bytes <= 0 or self.local_mem_bytes <= 0:
+            raise DeviceModelError("memory sizes must be positive")
+        if not isinstance(self.timing_model, TimingModel):
+            raise DeviceModelError(
+                "timing_model must provide transfer_ns() and ndrange_ns()"
+            )
+
+    def __repr__(self) -> str:  # keep large numbers readable in logs
+        return (
+            f"Device({self.name!r}, {self.device_type.value}, "
+            f"CUs={self.compute_units}, "
+            f"global={self.global_mem_bytes // 1024**2} MiB, "
+            f"local={self.local_mem_bytes // 1024} KiB)"
+        )
+
+    def get_info(self, key: str):
+        """``clGetDeviceInfo`` lookalike for the common queries.
+
+        Accepts the ``CL_DEVICE_*`` constant names the host programs of
+        the era were written against; raises :class:`DeviceModelError`
+        for keys the simulator does not carry.
+        """
+        table = {
+            "CL_DEVICE_NAME": self.name,
+            "CL_DEVICE_TYPE": self.device_type,
+            "CL_DEVICE_MAX_COMPUTE_UNITS": self.compute_units,
+            "CL_DEVICE_GLOBAL_MEM_SIZE": self.global_mem_bytes,
+            "CL_DEVICE_LOCAL_MEM_SIZE": self.local_mem_bytes,
+            "CL_DEVICE_MAX_WORK_GROUP_SIZE": self.max_work_group_size,
+            "CL_DEVICE_DOUBLE_FP_CONFIG": self.double_precision,
+            "CL_DEVICE_EXTENSIONS": (
+                "cl_khr_fp64" if self.double_precision else ""
+            ),
+        }
+        try:
+            return table[key]
+        except KeyError:
+            raise DeviceModelError(
+                f"unknown device-info key {key!r}; known: {sorted(table)}"
+            ) from None

@@ -1,0 +1,297 @@
+"""Functional NDRange executor with real work-group barrier semantics.
+
+This is the "device" half of the simulator.  It executes every
+work-item of an NDRange as Python code with the OpenCL visibility
+rules:
+
+* **global memory**: shared :class:`Buffer` views, visible to every
+  work-item and to the host (through the queue);
+* **local memory**: one array per work-group, materialised from
+  :class:`LocalMemory` descriptors, shared only within the group;
+* **private memory**: ordinary Python locals of the kernel function.
+
+Barrier-synchronised kernels are generator functions that ``yield`` at
+every ``barrier(CLK_LOCAL_MEM_FENCE)`` point.  Work-items of one group
+execute in lockstep *rounds*: each round advances every live work-item
+to its next barrier (or to completion).  If, within a round, some
+work-items hit a barrier while others return, the group has divergent
+control flow around a barrier — undefined behaviour in real OpenCL —
+and the executor raises :class:`BarrierDivergenceError` instead of
+silently corrupting data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import (
+    BarrierDivergenceError,
+    InvalidWorkGroupError,
+    OpenCLError,
+)
+from .device import Device, LaunchInfo
+from .kernel import Kernel
+from .memory import Buffer, LocalMemory
+
+__all__ = ["WorkItemCtx", "execute_ndrange", "NDRangeStats"]
+
+
+class WorkItemCtx:
+    """The work-item's view of its indexing (``get_global_id`` etc.).
+
+    One instance per work-item per launch.  Supports 1-D and 2-D
+    NDRanges: the scalar attributes (``global_id`` and friends) carry
+    dimension 0 for backward compatibility, while the ``get_*`` query
+    methods take the OpenCL ``dim`` argument.  ``barrier()`` returns a
+    token the kernel must ``yield`` (enforced by the executor).
+    """
+
+    __slots__ = ("global_ids", "local_ids", "group_ids", "local_sizes",
+                 "global_sizes", "barriers_hit")
+
+    #: token yielded at barriers (any yielded value is accepted; using
+    #: the ctx method documents intent and counts barrier traffic)
+    _BARRIER = "barrier"
+
+    def __init__(self, global_id, local_id, group_id, local_size,
+                 global_size):
+        def tup(v):
+            return (v,) if isinstance(v, int) else tuple(v)
+
+        self.global_ids = tup(global_id)
+        self.local_ids = tup(local_id)
+        self.group_ids = tup(group_id)
+        self.local_sizes = tup(local_size)
+        self.global_sizes = tup(global_size)
+        self.barriers_hit = 0
+
+    # dimension-0 scalar views (the 1-D shorthand kernels use)
+    @property
+    def global_id(self) -> int:
+        return self.global_ids[0]
+
+    @property
+    def local_id(self) -> int:
+        return self.local_ids[0]
+
+    @property
+    def group_id(self) -> int:
+        return self.group_ids[0]
+
+    @property
+    def local_size(self) -> int:
+        return self.local_sizes[0]
+
+    @property
+    def global_size(self) -> int:
+        return self.global_sizes[0]
+
+    @property
+    def num_groups(self) -> int:
+        return self.global_sizes[0] // self.local_sizes[0]
+
+    # OpenCL-style accessors
+    def get_work_dim(self) -> int:
+        return len(self.global_sizes)
+
+    def get_global_id(self, dim: int = 0) -> int:
+        self._check_dim(dim)
+        return self.global_ids[dim]
+
+    def get_local_id(self, dim: int = 0) -> int:
+        self._check_dim(dim)
+        return self.local_ids[dim]
+
+    def get_group_id(self, dim: int = 0) -> int:
+        self._check_dim(dim)
+        return self.group_ids[dim]
+
+    def get_local_size(self, dim: int = 0) -> int:
+        self._check_dim(dim)
+        return self.local_sizes[dim]
+
+    def get_global_size(self, dim: int = 0) -> int:
+        self._check_dim(dim)
+        return self.global_sizes[dim]
+
+    def get_num_groups(self, dim: int = 0) -> int:
+        self._check_dim(dim)
+        return self.global_sizes[dim] // self.local_sizes[dim]
+
+    def barrier(self) -> str:
+        """Mark a work-group barrier; the kernel must ``yield`` this."""
+        self.barriers_hit += 1
+        return self._BARRIER
+
+    def _check_dim(self, dim: int) -> None:
+        if not 0 <= dim < len(self.global_sizes):
+            raise OpenCLError(
+                f"dimension {dim} outside this {len(self.global_sizes)}-D "
+                "NDRange"
+            )
+
+
+@dataclass(frozen=True)
+class NDRangeStats:
+    """Execution statistics of one launch (consumed by experiments)."""
+
+    launch: LaunchInfo
+    barriers_per_group: int
+    local_bytes_per_group: int
+
+
+def _materialise_args(kernel: Kernel, local_arrays: dict) -> list:
+    """Per-group argument list: buffers as views, locals as arrays."""
+    out = []
+    for position, arg in enumerate(kernel.bound_args()):
+        if isinstance(arg, Buffer):
+            out.append(arg.view())
+        elif isinstance(arg, LocalMemory):
+            out.append(local_arrays[position])
+        else:
+            out.append(arg)
+    return out
+
+
+def _normalize_shape(size, label: str) -> tuple:
+    if isinstance(size, int):
+        shape = (size,)
+    else:
+        shape = tuple(int(v) for v in size)
+    if not 1 <= len(shape) <= 3:
+        raise InvalidWorkGroupError(
+            f"{label} must have 1-3 dimensions, got {len(shape)}"
+        )
+    if any(v <= 0 for v in shape):
+        raise InvalidWorkGroupError(f"{label} dimensions must be positive: {shape}")
+    return shape
+
+
+def execute_ndrange(kernel: Kernel, global_size, local_size,
+                    device: Device) -> NDRangeStats:
+    """Run every work-item of an NDRange on the simulated device.
+
+    :param kernel: kernel with all arguments bound.
+    :param global_size: total work-items — an int (1-D) or a tuple of
+        up to three dimensions; each must be a positive multiple of the
+        matching ``local_size`` dimension.
+    :param local_size: work-group shape; its *product* must respect the
+        device's work-group limit.
+    :raises InvalidWorkGroupError: on shape violations.
+    :raises BarrierDivergenceError: on divergent barrier control flow.
+    """
+    import itertools
+    import math
+
+    global_shape = _normalize_shape(global_size, "global size")
+    local_shape = _normalize_shape(local_size, "local size")
+    if len(global_shape) != len(local_shape):
+        raise InvalidWorkGroupError(
+            f"global {global_shape} and local {local_shape} shapes must "
+            "share a dimensionality"
+        )
+    for g, l in zip(global_shape, local_shape):
+        if g % l != 0:
+            raise InvalidWorkGroupError(
+                f"global size {global_shape} not a per-dimension multiple "
+                f"of local size {local_shape}"
+            )
+    group_items = math.prod(local_shape)
+    if group_items > device.max_work_group_size:
+        raise InvalidWorkGroupError(
+            f"work-group of {group_items} items exceeds device limit "
+            f"{device.max_work_group_size}"
+        )
+
+    bound = kernel.bound_args()
+    local_bytes = kernel.local_mem_bytes()
+    if local_bytes > device.local_mem_bytes:
+        raise InvalidWorkGroupError(
+            f"kernel requests {local_bytes} B of local memory; device has "
+            f"{device.local_mem_bytes} B"
+        )
+
+    one_dim = len(global_shape) == 1
+    groups_per_dim = tuple(g // l for g, l in zip(global_shape, local_shape))
+    num_groups = math.prod(groups_per_dim)
+    total_barriers = 0
+    barriers_per_group = 0
+
+    for group_idx in itertools.product(*(range(n) for n in groups_per_dim)):
+        # Fresh local memory per work-group, as the standard requires.
+        local_arrays = {
+            position: arg.materialise()
+            for position, arg in enumerate(bound)
+            if isinstance(arg, LocalMemory)
+        }
+        args = _materialise_args(kernel, local_arrays)
+
+        contexts = []
+        for lid in itertools.product(*(range(n) for n in local_shape)):
+            gid = tuple(g * l + i
+                        for g, l, i in zip(group_idx, local_shape, lid))
+            contexts.append(
+                WorkItemCtx(
+                    global_id=gid[0] if one_dim else gid,
+                    local_id=lid[0] if one_dim else lid,
+                    group_id=group_idx[0] if one_dim else group_idx,
+                    local_size=local_shape[0] if one_dim else local_shape,
+                    global_size=global_shape[0] if one_dim else global_shape,
+                )
+            )
+
+        if kernel.is_generator:
+            barriers_per_group = _run_group_lockstep(kernel, contexts, args)
+        else:
+            for ctx in contexts:
+                kernel.func(ctx, *args)
+            barriers_per_group = 0
+        total_barriers += barriers_per_group * group_items
+
+    launch = LaunchInfo(
+        kernel_name=kernel.name,
+        global_size=math.prod(global_shape),
+        local_size=group_items,
+        work_groups=num_groups,
+        barriers=total_barriers,
+        work_per_item=(
+            kernel.meta.work_per_item(math.prod(global_shape), group_items)
+            if kernel.meta.work_per_item
+            else 1.0
+        ),
+    )
+    return NDRangeStats(
+        launch=launch,
+        barriers_per_group=barriers_per_group,
+        local_bytes_per_group=local_bytes,
+    )
+
+
+def _run_group_lockstep(kernel: Kernel, contexts, args) -> int:
+    """Advance all work-items of one group barrier-by-barrier.
+
+    Returns the number of barrier rounds executed.
+    """
+    generators = [kernel.func(ctx, *args) for ctx in contexts]
+    live = list(range(len(generators)))
+    rounds = 0
+    while live:
+        at_barrier = []
+        finished = []
+        for index in live:
+            try:
+                next(generators[index])
+                at_barrier.append(index)
+            except StopIteration:
+                finished.append(index)
+        if at_barrier and finished:
+            raise BarrierDivergenceError(
+                f"kernel {kernel.name!r}: work-items "
+                f"{[contexts[i].local_ids for i in finished]} returned while "
+                f"{len(at_barrier)} others wait at barrier {rounds + 1} — "
+                "divergent control flow around a barrier"
+            )
+        if at_barrier:
+            rounds += 1
+        live = at_barrier
+    return rounds

@@ -1,0 +1,78 @@
+"""Kernel objects and argument binding.
+
+Mirrors ``clCreateKernel`` + ``clSetKernelArg``: a kernel knows its
+function, expected argument count and currently bound arguments.
+Buffers are bound as :class:`~repro.opencl.memory.Buffer` and handed to
+the work-item function as flag-enforcing views; local allocations are
+bound as :class:`~repro.opencl.memory.LocalMemory` descriptors and
+materialised per work-group by the executor; everything else is passed
+through as a scalar/constant.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable
+
+from ..errors import InvalidArgumentError
+from .memory import Buffer, LocalMemory
+from .program import KernelMeta
+
+__all__ = ["Kernel"]
+
+_UNSET = object()
+
+
+class Kernel:
+    """A kernel plus its bound arguments."""
+
+    def __init__(self, program, name: str, func: Callable):
+        self.program = program
+        self.name = name
+        self.func = func
+        params = list(inspect.signature(func).parameters)
+        self.arg_names: tuple[str, ...] = tuple(params[1:])  # skip ctx
+        self._args: list[Any] = [_UNSET] * len(self.arg_names)
+        self.meta: KernelMeta = getattr(func, "__kernel_meta__", KernelMeta())
+        self.is_generator = inspect.isgeneratorfunction(func)
+
+    @property
+    def num_args(self) -> int:
+        return len(self.arg_names)
+
+    def set_arg(self, index: int, value: Any) -> None:
+        """Bind one argument (``clSetKernelArg``)."""
+        if not 0 <= index < self.num_args:
+            raise InvalidArgumentError(
+                f"kernel {self.name!r} has {self.num_args} args; index {index} invalid"
+            )
+        self._args[index] = value
+
+    def set_args(self, *values: Any) -> "Kernel":
+        """Bind all arguments positionally; returns self for chaining."""
+        if len(values) != self.num_args:
+            raise InvalidArgumentError(
+                f"kernel {self.name!r} expects {self.num_args} args "
+                f"({', '.join(self.arg_names)}), got {len(values)}"
+            )
+        self._args = list(values)
+        return self
+
+    def bound_args(self) -> tuple[Any, ...]:
+        """All arguments, raising if any is unset."""
+        missing = [
+            name for name, value in zip(self.arg_names, self._args)
+            if value is _UNSET
+        ]
+        if missing:
+            raise InvalidArgumentError(
+                f"kernel {self.name!r} launched with unset args: {missing}"
+            )
+        return tuple(self._args)
+
+    def local_mem_bytes(self) -> int:
+        """Total per-work-group local memory requested by bound args."""
+        return sum(a.nbytes for a in self._args if isinstance(a, LocalMemory))
+
+    def __repr__(self) -> str:
+        return f"Kernel({self.name!r}, args={list(self.arg_names)})"

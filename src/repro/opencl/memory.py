@@ -1,0 +1,222 @@
+"""Simulated device memory objects.
+
+Global memory buffers are numpy arrays owned by the device side of the
+simulation; the host only touches them through queue commands, exactly
+as in real OpenCL where ``clEnqueueWriteBuffer``/``ReadBuffer`` are the
+only doorway.  Local memory is a per-launch descriptor materialised
+once per work-group by the executor.  Both kinds count their accesses
+so dataflow experiments (E4/E5) can report traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MemoryError_, OpenCLError
+from .types import AddressSpace, MemFlag
+
+__all__ = ["Buffer", "LocalMemory", "BufferView"]
+
+_buffer_ids = itertools.count()
+
+
+class Buffer:
+    """A global-memory buffer living on the simulated device.
+
+    Create with :meth:`allocate` (size + dtype) or :meth:`from_array`
+    (``CL_MEM_COPY_HOST_PTR`` equivalent).  Kernels access the contents
+    through :class:`BufferView`, which enforces read/write flags and
+    counts accesses; hosts go through the command queue.
+    """
+
+    def __init__(self, shape, dtype=np.float64, flags: MemFlag = MemFlag.READ_WRITE):
+        self._data = np.zeros(shape, dtype=dtype)
+        self.flags = flags
+        self.id = next(_buffer_ids)
+        self.name = f"buf{self.id}"
+        #: device-side access counters (elements, not bytes)
+        self.device_reads = 0
+        self.device_writes = 0
+        #: host-side transfer counters (bytes)
+        self.bytes_written_from_host = 0
+        self.bytes_read_to_host = 0
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def allocate(cls, shape, dtype=np.float64,
+                 flags: MemFlag = MemFlag.READ_WRITE) -> "Buffer":
+        """``clCreateBuffer`` without host pointer: zero-initialised."""
+        return cls(shape, dtype, flags)
+
+    @classmethod
+    def from_array(cls, array: np.ndarray,
+                   flags: MemFlag = MemFlag.READ_WRITE) -> "Buffer":
+        """``clCreateBuffer`` with ``CL_MEM_COPY_HOST_PTR``."""
+        array = np.asarray(array)
+        buf = cls(array.shape, array.dtype, flags | MemFlag.COPY_HOST_PTR)
+        buf._data[...] = array
+        return buf
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple:
+        return self._data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    @property
+    def size(self) -> int:
+        """Element count."""
+        return self._data.size
+
+    @property
+    def nbytes(self) -> int:
+        return self._data.nbytes
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"Buffer(#{self.id}, shape={self.shape}, dtype={self.dtype})"
+
+    # -- privileged access (queue / executor only) --------------------------
+
+    def _host_write(self, array: np.ndarray, offset: int = 0) -> int:
+        """Copy host data in; returns bytes moved.  Queue-internal."""
+        array = np.asarray(array, dtype=self._data.dtype)
+        flat = self._data.reshape(-1)
+        if offset < 0 or offset + array.size > flat.size:
+            raise MemoryError_(
+                f"write of {array.size} elements at offset {offset} exceeds "
+                f"buffer of {flat.size} elements"
+            )
+        flat[offset:offset + array.size] = array.reshape(-1)
+        nbytes = array.size * self._data.itemsize
+        self.bytes_written_from_host += nbytes
+        return nbytes
+
+    def _host_read(self, offset: int = 0, count: int | None = None) -> np.ndarray:
+        """Copy device data out; queue-internal."""
+        flat = self._data.reshape(-1)
+        count = flat.size - offset if count is None else count
+        if offset < 0 or count < 0 or offset + count > flat.size:
+            raise MemoryError_(
+                f"read of {count} elements at offset {offset} exceeds "
+                f"buffer of {flat.size} elements"
+            )
+        out = flat[offset:offset + count].copy()
+        self.bytes_read_to_host += out.nbytes
+        return out
+
+    def view(self) -> "BufferView":
+        """Kernel-side view enforcing the allocation flags."""
+        return BufferView(self)
+
+    # -- sub-buffers ---------------------------------------------------------
+
+    def create_sub_buffer(self, origin: int, count: int,
+                          flags: MemFlag | None = None) -> "Buffer":
+        """A window onto this buffer sharing its storage.
+
+        Mirrors ``clCreateSubBuffer``: the sub-buffer aliases the
+        parent's memory (writes through either are visible to both) and
+        may carry narrower access flags.  Only 1-D element ranges are
+        supported, which covers the ping-pong slot windows host
+        programs carve out.
+        """
+        flat = self._data.reshape(-1)
+        if origin < 0 or count < 1 or origin + count > flat.size:
+            raise MemoryError_(
+                f"sub-buffer [{origin}, {origin + count}) outside parent "
+                f"of {flat.size} elements"
+            )
+        sub = Buffer.__new__(Buffer)
+        sub._data = flat[origin:origin + count]  # numpy view: shared storage
+        sub.flags = flags if flags is not None else self.flags
+        sub.id = next(_buffer_ids)
+        sub.name = f"{self.name}[{origin}:{origin + count}]"
+        sub.device_reads = 0
+        sub.device_writes = 0
+        sub.bytes_written_from_host = 0
+        sub.bytes_read_to_host = 0
+        sub.parent = self
+        return sub
+
+
+class BufferView:
+    """Flag-enforcing, access-counting window a kernel sees over a Buffer.
+
+    Supports integer and slice indexing like a 1-D/N-D numpy array.
+    Reads on ``WRITE_ONLY`` and writes on ``READ_ONLY`` buffers raise,
+    mirroring undefined behaviour in real CL that we choose to trap.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self, buffer: Buffer):
+        self._buffer = buffer
+
+    @property
+    def buffer(self) -> Buffer:
+        return self._buffer
+
+    @property
+    def shape(self) -> tuple:
+        return self._buffer.shape
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __getitem__(self, index):
+        if self._buffer.flags & MemFlag.WRITE_ONLY:
+            raise OpenCLError(
+                f"kernel read from WRITE_ONLY buffer {self._buffer.name}",
+                code="CL_INVALID_OPERATION",
+            )
+        value = self._buffer._data[index]
+        self._buffer.device_reads += int(np.size(value))
+        return value
+
+    def __setitem__(self, index, value) -> None:
+        if self._buffer.flags & MemFlag.READ_ONLY:
+            raise OpenCLError(
+                f"kernel write to READ_ONLY buffer {self._buffer.name}",
+                code="CL_INVALID_OPERATION",
+            )
+        self._buffer._data[index] = value
+        self._buffer.device_writes += int(np.size(value))
+
+
+@dataclass(frozen=True)
+class LocalMemory:
+    """Descriptor for a per-work-group local allocation.
+
+    Passed as a kernel argument (like ``clSetKernelArg`` with a size
+    and NULL pointer); the executor materialises one numpy array per
+    work-group.  The paper's kernel IV.B stores the shared option-value
+    row here (Figure 4).
+    """
+
+    shape: tuple
+    dtype: np.dtype = np.dtype(np.float64)
+
+    def __init__(self, shape, dtype=np.float64):
+        object.__setattr__(self, "shape", tuple(np.atleast_1d(shape)) if not isinstance(shape, tuple) else shape)
+        object.__setattr__(self, "dtype", np.dtype(dtype))
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape)) * self.dtype.itemsize
+
+    def materialise(self) -> np.ndarray:
+        """One concrete array per work-group (executor-internal)."""
+        return np.zeros(self.shape, dtype=self.dtype)
+
+    address_space = AddressSpace.LOCAL

@@ -1,0 +1,73 @@
+"""Platform discovery for the simulated OpenCL runtime.
+
+Real hosts call ``clGetPlatformIDs``; here a registry of simulated
+platforms plays that role.  ``repro.devices.catalog`` registers the
+three platforms of the paper (Altera-on-DE4, NVIDIA GTX660 Ti, Intel
+Xeon) on import, and tests can register throwaway platforms of their
+own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import OpenCLError
+from .device import Device
+from .types import DeviceType
+
+__all__ = ["Platform", "register_platform", "get_platforms", "get_platform", "clear_platforms"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A vendor platform exposing one or more devices."""
+
+    name: str
+    vendor: str
+    devices: tuple[Device, ...]
+    version: str = "OpenCL 1.1 (simulated)"
+
+    def get_devices(self, device_type: DeviceType | None = None) -> tuple[Device, ...]:
+        """Devices of the platform, optionally filtered by type."""
+        if device_type is None:
+            return self.devices
+        return tuple(d for d in self.devices if d.device_type is device_type)
+
+
+_REGISTRY: dict[str, Platform] = {}
+
+
+def register_platform(platform: Platform, replace: bool = True) -> Platform:
+    """Add a platform to the discovery registry and return it."""
+    if not replace and platform.name in _REGISTRY:
+        raise OpenCLError(f"platform {platform.name!r} already registered")
+    _REGISTRY[platform.name] = platform
+    return platform
+
+
+def get_platforms() -> tuple[Platform, ...]:
+    """All registered platforms (``clGetPlatformIDs`` equivalent).
+
+    Importing :mod:`repro.devices.catalog` populates the registry with
+    the paper's three platforms if it is empty.
+    """
+    if not _REGISTRY:
+        from ..devices import catalog
+
+        catalog.register_all()
+    return tuple(_REGISTRY.values())
+
+
+def get_platform(name: str) -> Platform:
+    """Look up one platform by exact name."""
+    platforms = get_platforms()
+    for platform in platforms:
+        if platform.name == name:
+            return platform
+    known = ", ".join(sorted(p.name for p in platforms))
+    raise OpenCLError(f"no platform named {name!r}; known: {known}")
+
+
+def clear_platforms() -> None:
+    """Empty the registry (test isolation helper)."""
+    _REGISTRY.clear()

@@ -1,0 +1,104 @@
+"""Events, profiling timestamps and the transfer ledger.
+
+Real OpenCL exposes ``CL_PROFILING_COMMAND_{QUEUED,SUBMIT,START,END}``
+on events; the simulated queue fills the same four timestamps from its
+simulated clock.  The :class:`TransferLedger` additionally records
+every host<->device transfer — this is the instrument that makes
+kernel IV.A's ~19 MB-per-batch readback (the root cause of its poor
+throughput) directly observable in experiment E4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .types import CommandType, EventStatus, TransferDirection
+
+__all__ = ["Event", "TransferRecord", "TransferLedger"]
+
+
+@dataclass
+class Event:
+    """Completion record of one enqueued command."""
+
+    command_type: CommandType
+    name: str
+    queued_ns: float
+    submit_ns: float
+    start_ns: float
+    end_ns: float
+    status: EventStatus = EventStatus.COMPLETE
+    #: free-form command details (bytes moved, launch shape, ...)
+    info: dict = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> float:
+        """START->END duration, the usual profiling quantity."""
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns * 1e-6
+
+    def wait(self) -> "Event":
+        """Block until complete (``clWaitForEvents``).
+
+        The simulated queue executes eagerly, so every event is already
+        COMPLETE; provided so host programs read like their originals.
+        """
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"Event({self.command_type.value}, {self.name!r}, "
+            f"{self.duration_ms:.3f} ms)"
+        )
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One host<->device transfer."""
+
+    direction: TransferDirection
+    nbytes: int
+    buffer_name: str
+    start_ns: float
+    end_ns: float
+
+
+class TransferLedger:
+    """Accumulates every transfer a queue performs."""
+
+    def __init__(self) -> None:
+        self.records: list[TransferRecord] = []
+
+    def add(self, record: TransferRecord) -> None:
+        self.records.append(record)
+
+    def total_bytes(self, direction: TransferDirection | None = None) -> int:
+        """Bytes moved, optionally filtered by direction."""
+        return sum(
+            r.nbytes for r in self.records
+            if direction is None or r.direction is direction
+        )
+
+    def count(self, direction: TransferDirection | None = None) -> int:
+        """Number of transfers, optionally filtered by direction."""
+        return sum(
+            1 for r in self.records
+            if direction is None or r.direction is direction
+        )
+
+    def total_time_ns(self, direction: TransferDirection | None = None) -> float:
+        """Simulated time spent transferring."""
+        return sum(
+            r.end_ns - r.start_ns for r in self.records
+            if direction is None or r.direction is direction
+        )
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,91 @@
+"""Programs: collections of kernels written as Python callables.
+
+A kernel "source" is a Python function whose first parameter is the
+work-item context (see :mod:`repro.opencl.executor`).  Kernels that
+synchronise must be *generator* functions and ``yield ctx.barrier()``
+at every barrier; kernels without barriers are plain functions.  The
+:func:`kernel_metadata` decorator attaches optional hints (e.g. a
+work-per-item estimate) consumed by device timing models.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..errors import OpenCLError
+
+__all__ = ["Program", "kernel_metadata", "KernelMeta"]
+
+
+@dataclass(frozen=True)
+class KernelMeta:
+    """Optional per-kernel hints attached by :func:`kernel_metadata`.
+
+    :param work_per_item: callable ``(global_size, local_size) -> float``
+        estimating the inner-loop trip count of one work-item; used by
+        timing models to scale simulated kernel durations.
+    """
+
+    work_per_item: Callable[[int, int], float] | None = None
+
+
+def kernel_metadata(work_per_item: Callable[[int, int], float] | None = None):
+    """Decorator attaching :class:`KernelMeta` to a kernel function."""
+
+    def wrap(func):
+        func.__kernel_meta__ = KernelMeta(work_per_item=work_per_item)
+        return func
+
+    return wrap
+
+
+class Program:
+    """A built collection of kernels (``clCreateProgram``+``clBuildProgram``).
+
+    :param context: owning :class:`repro.opencl.context.Context`.
+    :param kernels: mapping of kernel name to Python callable.
+    """
+
+    def __init__(self, context, kernels: Mapping[str, Callable]):
+        if not kernels:
+            raise OpenCLError("a program needs at least one kernel")
+        self.context = context
+        self._sources = dict(kernels)
+        self.build_log = ""
+        self._built = False
+
+    def build(self) -> "Program":
+        """Validate every kernel signature; idempotent."""
+        lines = []
+        for name, func in self._sources.items():
+            if not callable(func):
+                raise OpenCLError(f"kernel {name!r} is not callable")
+            params = list(inspect.signature(func).parameters)
+            if not params:
+                raise OpenCLError(
+                    f"kernel {name!r} must take the work-item context as "
+                    "its first parameter"
+                )
+            kind = "generator (barrier-capable)" if inspect.isgeneratorfunction(func) else "plain"
+            lines.append(f"kernel {name}: {len(params) - 1} args, {kind}")
+        self.build_log = "\n".join(lines)
+        self._built = True
+        return self
+
+    @property
+    def kernel_names(self) -> tuple[str, ...]:
+        return tuple(self._sources)
+
+    def create_kernel(self, name: str):
+        """Instantiate a :class:`repro.opencl.kernel.Kernel`."""
+        from .kernel import Kernel
+
+        if not self._built:
+            raise OpenCLError("program must be built before creating kernels")
+        if name not in self._sources:
+            raise OpenCLError(
+                f"no kernel named {name!r}; program has {sorted(self._sources)}"
+            )
+        return Kernel(self, name, self._sources[name])

@@ -1,0 +1,386 @@
+"""Command queue with a simulated clock (serial or overlapped).
+
+The queue is where the functional simulation meets the timing model:
+every command executes immediately (so results are always consistent),
+while its simulated duration — from the device's
+:class:`~repro.opencl.device.TimingModel` — advances the simulated
+clock and is recorded on the returned
+:class:`~repro.opencl.profiling.Event`.
+
+Two timing disciplines are offered:
+
+* **serial** (default): commands occupy one timeline back to back.
+  This is the discipline the Table II calibration uses — the paper's
+  measured numbers already net out whatever overlap the real runtime
+  achieved.
+* **overlap** (``CommandQueue(..., overlap=True)``): transfers run on a
+  DMA engine and kernels on the compute engine concurrently, commands
+  only waiting for data hazards on the buffers they touch — modelling
+  the paper's "Memory operations and work-items executions are
+  overlapped with one another and synchronized by the host" for
+  what-if analyses.
+
+The paper's host programs interact with devices exclusively through
+these entry points (Figure 3/Figure 4 "external operations"):
+``enqueue_write_buffer``, ``enqueue_nd_range_kernel``,
+``enqueue_read_buffer`` and ``finish``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import OpenCLError
+from .context import Context
+from .device import Device
+from .executor import execute_ndrange
+from .kernel import Kernel
+from .memory import Buffer
+from .profiling import Event, TransferLedger, TransferRecord
+from .types import CommandType, MemFlag, TransferDirection
+
+__all__ = ["CommandQueue"]
+
+
+class CommandQueue:
+    """An in-order ``cl_command_queue`` with profiling always available."""
+
+    def __init__(self, context: Context, device: Device,
+                 profiling: bool = True, overlap: bool = False):
+        self.context = context
+        self.device = device
+        self.profiling = profiling
+        self.overlap = overlap
+        self.events: list[Event] = []
+        self.transfers = TransferLedger()
+        self._clock_ns = 0.0
+        self._mapped: dict = {}
+        # overlap-mode state: per-engine availability and per-buffer
+        # hazard times (end of last write / end of last access)
+        self._engine_free = {"dma": 0.0, "kernel": 0.0}
+        self._last_write_end: dict = {}
+        self._last_access_end: dict = {}
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def clock_ns(self) -> float:
+        """Current simulated time of the queue."""
+        return self._clock_ns
+
+    @property
+    def clock_s(self) -> float:
+        return self._clock_ns * 1e-9
+
+    def reset_clock(self) -> None:
+        """Zero the simulated clock and forget events/transfers."""
+        self._clock_ns = 0.0
+        self.events.clear()
+        self.transfers.clear()
+        self._engine_free = {"dma": 0.0, "kernel": 0.0}
+        self._last_write_end.clear()
+        self._last_access_end.clear()
+
+    @staticmethod
+    def _check_wait_list(wait_for) -> float:
+        """Validate an event wait list; returns the latest end time.
+
+        In serial mode in-order execution already satisfies every wait
+        list; in overlap mode the returned time becomes an additional
+        start constraint.  Either way, passing a non-event is caught.
+        """
+        if wait_for is None:
+            return 0.0
+        latest = 0.0
+        for event in wait_for:
+            if not isinstance(event, Event):
+                raise OpenCLError(
+                    f"wait list entries must be Events, got {type(event).__name__}",
+                    code="CL_INVALID_EVENT_WAIT_LIST",
+                )
+            latest = max(latest, event.end_ns)
+        return latest
+
+    def _record(self, command_type: CommandType, name: str,
+                duration_ns: float, info: dict, engine: str = "dma",
+                reads: tuple = (), writes: tuple = (),
+                after_ns: float = 0.0) -> Event:
+        """Timestamp and log one command.
+
+        Serial mode: start at the single clock.  Overlap mode: start
+        when this command's engine is free, its data hazards are clear
+        (RAW on ``reads``, WAR/WAW on ``writes``) and any wait-list
+        events have completed.
+        """
+        queued = self._clock_ns if not self.overlap else min(
+            self._engine_free.values())
+        if not self.overlap:
+            start = self._clock_ns
+        else:
+            start = max(self._engine_free[engine], after_ns)
+            for buf in reads:
+                start = max(start, self._last_write_end.get(buf.id, 0.0))
+            for buf in writes:
+                start = max(start, self._last_access_end.get(buf.id, 0.0))
+        end = start + duration_ns
+        if self.overlap:
+            self._engine_free[engine] = end
+            for buf in reads:
+                self._last_access_end[buf.id] = max(
+                    self._last_access_end.get(buf.id, 0.0), end)
+            for buf in writes:
+                self._last_write_end[buf.id] = max(
+                    self._last_write_end.get(buf.id, 0.0), end)
+                self._last_access_end[buf.id] = max(
+                    self._last_access_end.get(buf.id, 0.0), end)
+        self._clock_ns = max(self._clock_ns, end)
+        event = Event(
+            command_type=command_type,
+            name=name,
+            queued_ns=queued,
+            submit_ns=queued,
+            start_ns=start,
+            end_ns=end,
+            info=info,
+        )
+        if self.profiling:
+            self.events.append(event)
+        return event
+
+    # -- commands -----------------------------------------------------------
+
+    def enqueue_write_buffer(self, buf: Buffer, host_array: np.ndarray,
+                             offset: int = 0, wait_for=None) -> Event:
+        """Copy host data into a device buffer."""
+        after = self._check_wait_list(wait_for)
+        host_array = np.asarray(host_array)
+        nbytes = buf._host_write(host_array, offset)
+        duration = self.device.timing_model.transfer_ns(
+            nbytes, TransferDirection.HOST_TO_DEVICE
+        )
+        event = self._record(
+            CommandType.WRITE_BUFFER, buf.name, duration,
+            {"bytes": nbytes, "offset": offset},
+            engine="dma", writes=(buf,), after_ns=after,
+        )
+        self.transfers.add(
+            TransferRecord(
+                direction=TransferDirection.HOST_TO_DEVICE,
+                nbytes=nbytes,
+                buffer_name=buf.name,
+                start_ns=event.start_ns,
+                end_ns=event.end_ns,
+            )
+        )
+        return event
+
+    def enqueue_read_buffer(self, buf: Buffer, offset: int = 0,
+                            count: int | None = None,
+                            wait_for=None) -> tuple[np.ndarray, Event]:
+        """Copy device data back to the host; returns (data, event)."""
+        after = self._check_wait_list(wait_for)
+        data = buf._host_read(offset, count)
+        duration = self.device.timing_model.transfer_ns(
+            data.nbytes, TransferDirection.DEVICE_TO_HOST
+        )
+        event = self._record(
+            CommandType.READ_BUFFER, buf.name, duration,
+            {"bytes": data.nbytes, "offset": offset},
+            engine="dma", reads=(buf,), after_ns=after,
+        )
+        self.transfers.add(
+            TransferRecord(
+                direction=TransferDirection.DEVICE_TO_HOST,
+                nbytes=data.nbytes,
+                buffer_name=buf.name,
+                start_ns=event.start_ns,
+                end_ns=event.end_ns,
+            )
+        )
+        return data, event
+
+    def enqueue_copy_buffer(self, src: Buffer, dst: Buffer) -> Event:
+        """Device-to-device copy (``clEnqueueCopyBuffer``)."""
+        if src.nbytes != dst.nbytes:
+            raise OpenCLError("copy_buffer requires equal-size buffers")
+        dst._data[...] = src._data.reshape(dst.shape)
+        duration = self.device.timing_model.transfer_ns(
+            src.nbytes, TransferDirection.DEVICE_TO_DEVICE
+        )
+        return self._record(
+            CommandType.COPY_BUFFER, f"{src.name}->{dst.name}", duration,
+            {"bytes": src.nbytes},
+            engine="dma", reads=(src,), writes=(dst,),
+        )
+
+    def enqueue_nd_range_kernel(self, kernel: Kernel, global_size: int,
+                                local_size: int | None = None,
+                                wait_for=None) -> Event:
+        """Execute a kernel over a 1-D NDRange.
+
+        ``local_size=None`` lets the runtime pick (here: one group).
+        """
+        after = self._check_wait_list(wait_for)
+        if local_size is None:
+            if isinstance(global_size, int):
+                local_size = min(global_size, self.device.max_work_group_size)
+                while global_size % local_size != 0:
+                    local_size -= 1
+            else:
+                local_size = tuple(1 for _ in global_size)
+        stats = execute_ndrange(kernel, global_size, local_size, self.device)
+        duration = self.device.timing_model.ndrange_ns(stats.launch)
+        # hazard classification for overlap mode: READ_ONLY buffers are
+        # pure reads, WRITE_ONLY pure writes, everything else both
+        reads, writes = [], []
+        for arg in kernel.bound_args():
+            if isinstance(arg, Buffer):
+                if arg.flags & MemFlag.READ_ONLY:
+                    reads.append(arg)
+                elif arg.flags & MemFlag.WRITE_ONLY:
+                    writes.append(arg)
+                else:
+                    reads.append(arg)
+                    writes.append(arg)
+        return self._record(
+            CommandType.NDRANGE_KERNEL, kernel.name, duration,
+            {
+                "global_size": global_size,
+                "local_size": local_size,
+                "work_groups": stats.launch.work_groups,
+                "barriers_per_group": stats.barriers_per_group,
+                "local_bytes_per_group": stats.local_bytes_per_group,
+            },
+            engine="kernel", reads=tuple(reads), writes=tuple(writes),
+            after_ns=after,
+        )
+
+    def enqueue_fill_buffer(self, buf: Buffer, value,
+                            wait_for=None) -> Event:
+        """Fill an entire buffer with one value (``clEnqueueFillBuffer``).
+
+        The fill pattern travels once over the host link (pattern size,
+        not buffer size — the device-side DMA engine replicates it), so
+        this is the cheap way to initialise the ping-pong buffers.
+        """
+        after = self._check_wait_list(wait_for)
+        buf._data[...] = value
+        duration = self.device.timing_model.transfer_ns(
+            buf.dtype.itemsize, TransferDirection.HOST_TO_DEVICE
+        )
+        return self._record(
+            CommandType.WRITE_BUFFER, f"fill:{buf.name}", duration,
+            {"bytes": buf.dtype.itemsize, "fill": True},
+            engine="dma", writes=(buf,), after_ns=after,
+        )
+
+    def enqueue_map_buffer(self, buf: Buffer, write: bool = False,
+                           wait_for=None) -> tuple[np.ndarray, Event]:
+        """Map a buffer into host memory (``clEnqueueMapBuffer``).
+
+        On a discrete device mapping is a DMA in disguise: the whole
+        buffer crosses the link, so the event is charged like a read.
+        Returns a host copy; pass it to :meth:`enqueue_unmap` (after
+        mutating it, if ``write``) to push changes back.
+        """
+        after = self._check_wait_list(wait_for)
+        data = buf._host_read()
+        duration = self.device.timing_model.transfer_ns(
+            data.nbytes, TransferDirection.DEVICE_TO_HOST
+        )
+        event = self._record(
+            CommandType.READ_BUFFER, f"map:{buf.name}", duration,
+            {"bytes": data.nbytes, "map": True, "write": write},
+            engine="dma", reads=(buf,), after_ns=after,
+        )
+        self.transfers.add(
+            TransferRecord(
+                direction=TransferDirection.DEVICE_TO_HOST,
+                nbytes=data.nbytes,
+                buffer_name=buf.name,
+                start_ns=event.start_ns,
+                end_ns=event.end_ns,
+            )
+        )
+        self._mapped[id(data)] = (buf, write)
+        return data.reshape(buf.shape), event
+
+    def enqueue_unmap(self, buf: Buffer, mapped: np.ndarray) -> Event:
+        """Unmap a region obtained from :meth:`enqueue_map_buffer`.
+
+        Write-mapped regions are transferred back to the device;
+        read-only maps unmap for free.
+        """
+        key = id(mapped.base) if mapped.base is not None else id(mapped)
+        entry = self._mapped.pop(key, None) or self._mapped.pop(id(mapped), None)
+        if entry is None:
+            raise OpenCLError("unmap of a region that was never mapped",
+                              code="CL_INVALID_VALUE")
+        mapped_buf, write = entry
+        if mapped_buf is not buf:
+            raise OpenCLError("unmap against the wrong buffer",
+                              code="CL_INVALID_MEM_OBJECT")
+        if not write:
+            return self._record(CommandType.MARKER, f"unmap:{buf.name}",
+                                0.0, {"unmap": True})
+        nbytes = buf._host_write(np.asarray(mapped).reshape(-1))
+        duration = self.device.timing_model.transfer_ns(
+            nbytes, TransferDirection.HOST_TO_DEVICE
+        )
+        event = self._record(
+            CommandType.WRITE_BUFFER, f"unmap:{buf.name}", duration,
+            {"bytes": nbytes, "unmap": True},
+            engine="dma", writes=(buf,),
+        )
+        self.transfers.add(
+            TransferRecord(
+                direction=TransferDirection.HOST_TO_DEVICE,
+                nbytes=nbytes,
+                buffer_name=buf.name,
+                start_ns=event.start_ns,
+                end_ns=event.end_ns,
+            )
+        )
+        return event
+
+    def enqueue_marker(self, name: str = "marker", wait_for=None) -> Event:
+        """Zero-duration marker event."""
+        self._check_wait_list(wait_for)
+        return self._record(CommandType.MARKER, name, 0.0, {})
+
+    def enqueue_barrier(self) -> Event:
+        """Queue barrier (``clEnqueueBarrier``): later commands wait for
+        all earlier ones.  In overlap mode this synchronises the DMA
+        and compute engines; on the serial queue it is ordering-wise a
+        no-op recorded for host-program fidelity."""
+        if self.overlap:
+            now = max(self._engine_free.values())
+            for engine in self._engine_free:
+                self._engine_free[engine] = now
+        return self._record(CommandType.MARKER, "queue-barrier", 0.0, {})
+
+    def finish(self) -> float:
+        """Block until all commands complete; returns the clock (ns).
+
+        Commands execute eagerly in this simulator, so ``finish`` only
+        reports the simulated completion time (in overlap mode: the
+        later of the two engines).
+        """
+        if self.overlap:
+            now = max(self._engine_free.values())
+            for engine in self._engine_free:
+                self._engine_free[engine] = now
+        return self._clock_ns
+
+    # -- introspection -------------------------------------------------------
+
+    def kernel_time_ns(self) -> float:
+        """Total simulated time spent in kernel execution."""
+        return sum(
+            e.duration_ns for e in self.events
+            if e.command_type is CommandType.NDRANGE_KERNEL
+        )
+
+    def transfer_time_ns(self) -> float:
+        """Total simulated time spent in host<->device transfers."""
+        return self.transfers.total_time_ns()

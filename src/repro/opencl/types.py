@@ -1,0 +1,73 @@
+"""Enumerations and constants mirroring the OpenCL 1.1 API surface.
+
+The simulator intentionally keeps the *shape* of the Khronos API
+(platforms -> devices -> context -> queues -> buffers/kernels) so the
+two host programs of the paper read like their OpenCL originals, while
+staying Pythonic (enums and exceptions instead of int status codes).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "DeviceType",
+    "MemFlag",
+    "TransferDirection",
+    "CommandType",
+    "EventStatus",
+    "AddressSpace",
+]
+
+
+class DeviceType(enum.Enum):
+    """``CL_DEVICE_TYPE_*`` equivalent."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    ACCELERATOR = "accelerator"  # FPGA boards enumerate as accelerators
+
+
+class MemFlag(enum.Flag):
+    """``CL_MEM_*`` allocation flags (validated on kernel access)."""
+
+    READ_WRITE = enum.auto()
+    READ_ONLY = enum.auto()
+    WRITE_ONLY = enum.auto()
+    COPY_HOST_PTR = enum.auto()
+
+
+class TransferDirection(enum.Enum):
+    """Direction of a host<->device buffer transfer."""
+
+    HOST_TO_DEVICE = "h2d"
+    DEVICE_TO_HOST = "d2h"
+    DEVICE_TO_DEVICE = "d2d"
+
+
+class CommandType(enum.Enum):
+    """What a queued command does (for profiling/event records)."""
+
+    WRITE_BUFFER = "write_buffer"
+    READ_BUFFER = "read_buffer"
+    COPY_BUFFER = "copy_buffer"
+    NDRANGE_KERNEL = "ndrange_kernel"
+    MARKER = "marker"
+
+
+class EventStatus(enum.Enum):
+    """``CL_QUEUED/SUBMITTED/RUNNING/COMPLETE`` lifecycle states."""
+
+    QUEUED = "queued"
+    SUBMITTED = "submitted"
+    RUNNING = "running"
+    COMPLETE = "complete"
+
+
+class AddressSpace(enum.Enum):
+    """OpenCL memory hierarchy levels (Figure 2 of the paper)."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+    PRIVATE = "private"
+    CONSTANT = "constant"

@@ -1,0 +1,108 @@
+"""Tests for the experiment drivers and the published-data tables."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    accuracy_experiment,
+    published,
+    readback_ablation,
+    render_comparison,
+    render_table,
+    saturation_sweep,
+    table1,
+    table2,
+    volatility_curve_usecase,
+)
+from repro.bench.experiments import energy_workarounds
+
+
+class TestPublishedData:
+    def test_table2_internal_consistency(self):
+        """options/J ~= options/s / TDP for the measured columns."""
+        powers = {"FPGA (DE4)": {"Kernel IV.A": 15.0, "Kernel IV.B": 17.0},
+                  "GPU (GTX660 Ti)": 140.0, "Xeon X5450 (1 core)": 120.0}
+        for col in published.TABLE2:
+            if col.options_per_joule is None:
+                continue
+            if "FPGA" in col.platform:
+                power = powers["FPGA (DE4)"][col.label]
+            else:
+                power = powers[col.platform]
+            implied = col.options_per_second / power
+            assert implied == pytest.approx(col.options_per_joule, rel=0.20), col
+
+    def test_tree_nodes_consistency(self):
+        """nodes/s ~= options/s * N(N+1)/2 for the paper's own rows."""
+        nodes = 1024 * 1025 / 2
+        for col in published.TABLE2[:7]:
+            implied = col.options_per_second * nodes
+            assert implied == pytest.approx(col.tree_nodes_per_second,
+                                            rel=0.12), col
+
+    def test_table1_keys(self):
+        assert set(published.TABLE1) == {"iv_a", "iv_b"}
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(("a", "bb"), ((1, 2), (30, 4)))
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_comparison_ratio(self):
+        text = render_comparison("t", ("x",), {"x": 10.0}, {"x": 11.0})
+        assert "1.10x" in text
+
+
+class TestDrivers:
+    def test_table1_driver(self):
+        result = table1()
+        assert set(result.compiled) == {"iv_a", "iv_b"}
+        assert "Table I" in result.rendered
+        assert result.compiled["iv_a"].resources.fits()
+
+    def test_table2_driver_small(self):
+        result = table2(accuracy_options=10, steps=128)
+        assert len(result.rows) == 9  # 7 measured + 2 literature
+        assert result.rows[-1].label.startswith("[10]")
+        assert "Table II" in result.rendered
+        # FPGA IV.B row shows the pow defect even at reduced size
+        fpga_b = result.rows[2]
+        assert fpga_b.rmse_display != "0"
+
+    def test_saturation_driver(self):
+        result = saturation_sweep(workloads=(100, 100_000, 10_000_000),
+                                  steps=1024)
+        fpga = result.series["IV.B FPGA"]
+        assert fpga[0] < fpga[1] < fpga[2]
+        gpu = result.series["IV.B GPU double"]
+        # GPU saturates later: at 1e5 it is further from its peak
+        assert gpu[1] / gpu[2] < fpga[1] / fpga[2]
+
+    def test_readback_driver(self):
+        result = readback_ablation()
+        assert result.speedup_gpu == pytest.approx(14.4, rel=0.1)
+        assert result.gpu_full == pytest.approx(58.4, rel=0.05)
+        assert result.fpga_result_only > result.fpga_full
+
+    def test_accuracy_driver_small(self):
+        result = accuracy_experiment(n_options=10, steps=256)
+        assert result.rmses["IV.B FPGA double (flawed pow)"] > \
+            result.rmses["IV.B GPU double (exact pow)"]
+        assert result.rmses["IV.A (host leaves, exact)"] < 1e-10
+        assert result.classes["IV.B GPU double (exact pow)"] == "0"
+
+    def test_energy_driver(self):
+        result = energy_workarounds()
+        assert result.budget_point.power_w == pytest.approx(10.0, abs=0.05)
+        powers = [p.power_w for p in result.points]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_usecase_driver_small(self):
+        result = volatility_curve_usecase(n_strikes=3, steps=64)
+        assert result.max_vol_error < 0.01
+        assert result.meets_throughput
+        assert result.modeled_time_s < 1.0
+        assert result.total_engine_evaluations >= 3

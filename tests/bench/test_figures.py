@@ -1,0 +1,49 @@
+"""Unit tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench.figures import ascii_plot
+from repro.errors import ReproError
+
+
+class TestAsciiPlot:
+    def test_basic_structure(self):
+        text = ascii_plot([1, 10, 100], {"a": [1.0, 10.0, 100.0]},
+                          width=20, height=5, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert sum(1 for l in lines if l.startswith("  |")) == 5
+        assert any(l.startswith("  +--") for l in lines)
+        assert "o = a" in lines[-1]
+
+    def test_monotone_series_rises_left_to_right(self):
+        text = ascii_plot([1, 10, 100, 1000], {"a": [1, 10, 100, 1000]},
+                          width=40, height=8)
+        rows = [l[3:] for l in text.splitlines() if l.startswith("  |")]
+        first_col = min(i for row in rows for i, c in enumerate(row)
+                        if c == "o")
+        # the left-most marker sits in the bottom row
+        assert rows[-1].find("o") == first_col
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = ascii_plot([1, 10], {"a": [1, 2], "b": [3, 4]})
+        assert "o = a" in text and "x = b" in text
+
+    def test_flat_series_allowed(self):
+        text = ascii_plot([1, 10], {"flat": [5.0, 5.0]})
+        assert "flat" in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_plot([1, 2], {})
+        with pytest.raises(ReproError):
+            ascii_plot([0, 2], {"a": [1, 2]})
+        with pytest.raises(ReproError):
+            ascii_plot([1, 2], {"a": [1]})
+        with pytest.raises(ReproError):
+            ascii_plot([1, 2], {"a": [1, -2]})
+
+    def test_axis_labels_present(self):
+        text = ascii_plot([1, 10], {"a": [1, 10]}, x_label="work",
+                          y_label="error")
+        assert "work" in text and "error" in text

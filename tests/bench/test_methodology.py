@@ -1,0 +1,154 @@
+"""Unit tests for the de Schryver benchmark methodology."""
+
+import numpy as np
+import pytest
+
+from repro.bench.methodology import (
+    CRR_BINOMIAL_MODEL,
+    AcceleratorBenchmark,
+    PricingProblem,
+    Solution,
+)
+from repro.core import BinomialAccelerator
+from repro.errors import ReproError
+from repro.finance import generate_batch, price_binomial_batch
+
+STEPS = 64
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_batch(n_options=6, seed=2).options
+
+
+@pytest.fixture(scope="module")
+def problem(workload):
+    return PricingProblem(
+        name="test problem", options=workload, steps=STEPS,
+        max_rmse=1e-6, max_power_w=100.0, min_options_per_second=10.0,
+    )
+
+
+def exact_solution(name="exact", rate=1000.0, power=10.0):
+    return Solution(
+        name=name,
+        price_fn=lambda options, steps: price_binomial_batch(options, steps),
+        options_per_second=rate,
+        power_w=power,
+    )
+
+
+def noisy_solution(noise=1e-3, rate=1e6, power=50.0):
+    def fn(options, steps):
+        return price_binomial_batch(options, steps) + noise
+
+    return Solution(name="noisy", price_fn=fn,
+                    options_per_second=rate, power_w=power)
+
+
+class TestProblemValidation:
+    def test_needs_workload(self):
+        with pytest.raises(ReproError):
+            PricingProblem(name="p", options=())
+
+    def test_positive_rmse(self, workload):
+        with pytest.raises(ReproError):
+            PricingProblem(name="p", options=workload, max_rmse=0.0)
+
+
+class TestEvaluation:
+    def test_exact_solution_feasible(self, problem):
+        bench = AcceleratorBenchmark(problem)
+        ev = bench.evaluate(exact_solution())
+        assert ev.rmse == 0.0
+        assert ev.feasible
+        assert ev.joules_per_option == pytest.approx(10.0 / 1000.0)
+
+    def test_accuracy_gate(self, problem):
+        bench = AcceleratorBenchmark(problem)
+        ev = bench.evaluate(noisy_solution(noise=1e-2))
+        assert not ev.meets_accuracy
+        assert not ev.feasible
+
+    def test_power_gate(self, problem):
+        bench = AcceleratorBenchmark(problem)
+        ev = bench.evaluate(exact_solution(power=500.0))
+        assert ev.meets_accuracy
+        assert not ev.meets_power
+
+    def test_throughput_gate(self, problem):
+        bench = AcceleratorBenchmark(problem)
+        ev = bench.evaluate(exact_solution(rate=1.0))
+        assert not ev.meets_throughput
+
+    def test_shape_mismatch_rejected(self, problem):
+        bench = AcceleratorBenchmark(problem)
+        bad = Solution(name="bad",
+                       price_fn=lambda options, steps: np.zeros(2),
+                       options_per_second=100.0, power_w=10.0)
+        with pytest.raises(ReproError, match="prices"):
+            bench.evaluate(bad)
+
+    def test_energy_accounting(self, problem):
+        bench = AcceleratorBenchmark(problem)
+        ev = bench.evaluate(exact_solution(rate=100.0, power=20.0))
+        assert ev.time_s == pytest.approx(len(problem.options) / 100.0)
+        assert ev.energy_j == pytest.approx(ev.time_s * 20.0)
+
+
+class TestRanking:
+    def test_feasible_first_then_joules(self, problem):
+        bench = AcceleratorBenchmark(problem)
+        solutions = [
+            exact_solution("slow-efficient", rate=100.0, power=1.0),   # 10 mJ
+            exact_solution("fast-hungry", rate=10_000.0, power=90.0),  # 9 mJ
+            noisy_solution(),                                          # infeasible
+        ]
+        ranking = bench.rank(solutions)
+        assert [e.solution.name for e in ranking] == [
+            "fast-hungry", "slow-efficient", "noisy"]
+
+    def test_report_renders(self, problem):
+        bench = AcceleratorBenchmark(problem)
+        text = bench.report(bench.rank([exact_solution(), noisy_solution()]))
+        assert "de Schryver" in text
+        assert "mJ/option" in text
+        assert "no (accuracy)" in text
+
+
+class TestAcceleratorAdapter:
+    def test_from_accelerator(self, problem):
+        acc = BinomialAccelerator(platform="cpu", kernel="reference",
+                                  steps=STEPS)
+        solution = Solution.from_accelerator(acc, name="cpu ref")
+        bench = AcceleratorBenchmark(problem, CRR_BINOMIAL_MODEL)
+        ev = bench.evaluate(solution)
+        assert ev.rmse < 1e-12  # the reference software IS the reference
+        assert solution.power_w == pytest.approx(120.0)
+
+
+class TestConstraintScenarios:
+    def test_workstation_budget_eliminates_everything(self, workload):
+        """Under the strict 10 W workstation budget no Table II
+        configuration is feasible — the paper's unresolved problem,
+        expressed in the benchmark's own terms."""
+        strict = PricingProblem(
+            name="strict workstation", options=workload, steps=STEPS,
+            max_rmse=1e-4, max_power_w=10.0, min_options_per_second=10.0,
+        )
+        bench = AcceleratorBenchmark(strict)
+        evaluations = bench.rank([
+            exact_solution("fpga-like", rate=2400.0, power=17.0),
+            exact_solution("gpu-like", rate=8900.0, power=140.0),
+        ])
+        assert not any(e.feasible for e in evaluations)
+        assert all(not e.meets_power for e in evaluations)
+
+    def test_relaxed_accuracy_admits_noisy_solutions(self, workload):
+        relaxed = PricingProblem(
+            name="relaxed", options=workload, steps=STEPS,
+            max_rmse=1e-1, min_options_per_second=10.0,
+        )
+        bench = AcceleratorBenchmark(relaxed)
+        ev = bench.evaluate(noisy_solution(noise=1e-2))
+        assert ev.meets_accuracy

@@ -1,0 +1,41 @@
+"""Unit tests for the one-shot report generator."""
+
+import pytest
+
+from repro.bench.report import REPORT_SECTIONS, ReportSection, generate_report
+
+
+@pytest.fixture(scope="module")
+def fast_sections():
+    """Cheap subset (skips the N=1024 accuracy batches)."""
+    return tuple(s for s in REPORT_SECTIONS
+                 if s.experiment_id in ("E1", "E6", "E7", "E9", "E11"))
+
+
+def test_report_structure(fast_sections):
+    report = generate_report(accuracy_options=5, sections=fast_sections)
+    assert report.startswith("# Reproduction report")
+    for section in fast_sections:
+        assert f"## {section.experiment_id} — {section.title}" in report
+        assert section.paper_anchor in report
+    # rendered tables are fenced
+    assert report.count("```") == 2 * len(fast_sections)
+
+
+def test_sections_carry_experiment_ids():
+    ids = [s.experiment_id for s in REPORT_SECTIONS]
+    assert ids == sorted(ids, key=lambda e: int(e[1:]))
+    assert "E2" in ids and "E10" in ids
+
+
+def test_custom_section():
+    section = ReportSection("E99", "custom", "nowhere", lambda n: f"n={n}")
+    report = generate_report(accuracy_options=7, sections=(section,))
+    assert "n=7" in report
+    assert "E99 — custom" in report
+
+
+def test_report_contains_paper_numbers(fast_sections):
+    report = generate_report(accuracy_options=5, sections=fast_sections)
+    assert "98.27" in report   # Table I clock
+    assert "14" in report      # the ablation factor

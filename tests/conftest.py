@@ -1,0 +1,47 @@
+"""Shared fixtures for the repro test suite."""
+
+import pytest
+
+from repro.finance import ExerciseStyle, Option, OptionType, generate_batch
+from repro.opencl import Context, Device, DeviceType
+
+
+@pytest.fixture
+def put_option():
+    """An at-the-money American put (early exercise matters)."""
+    return Option(spot=100.0, strike=100.0, rate=0.05, volatility=0.30,
+                  maturity=1.0, option_type=OptionType.PUT,
+                  exercise=ExerciseStyle.AMERICAN)
+
+
+@pytest.fixture
+def call_option():
+    """An in-the-money American call (no dividends: equals European)."""
+    return Option(spot=100.0, strike=95.0, rate=0.04, volatility=0.25,
+                  maturity=0.75, option_type=OptionType.CALL,
+                  exercise=ExerciseStyle.AMERICAN)
+
+
+@pytest.fixture
+def euro_put():
+    return Option(spot=100.0, strike=110.0, rate=0.02, volatility=0.20,
+                  maturity=0.5, option_type=OptionType.PUT,
+                  exercise=ExerciseStyle.EUROPEAN)
+
+
+@pytest.fixture
+def small_batch():
+    """Five deterministic synthetic options."""
+    return list(generate_batch(n_options=5, seed=42).options)
+
+
+@pytest.fixture
+def toy_device():
+    """A generic simulated device with zero-cost timing."""
+    return Device("toy", DeviceType.ACCELERATOR, compute_units=2,
+                  max_work_group_size=256, local_mem_bytes=64 * 1024)
+
+
+@pytest.fixture
+def toy_context(toy_device):
+    return Context(toy_device)

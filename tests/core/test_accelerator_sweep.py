@@ -1,0 +1,179 @@
+"""Unit tests for the accelerator facade and the DSE/energy sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BinomialAccelerator,
+    explore_design_space,
+    fit_power_budget,
+    frequency_scaling,
+    kernel_b_ir,
+    simulate_kernel_b_batch,
+)
+from repro.core.faithful_math import ALTERA_13_0_DOUBLE
+from repro.devices.calibration import FPGA_PIPELINE_DERATE
+from repro.errors import ReproError
+from repro.finance import price_binomial_batch
+from repro.hls import KERNEL_B_OPTIONS, compile_kernel
+
+STEPS = 64
+
+
+class TestAcceleratorConfig:
+    def test_invalid_platform(self):
+        with pytest.raises(ReproError):
+            BinomialAccelerator(platform="tpu")
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ReproError):
+            BinomialAccelerator(kernel="iv_c")
+
+    def test_reference_only_on_cpu(self):
+        with pytest.raises(ReproError):
+            BinomialAccelerator(platform="fpga", kernel="reference")
+        with pytest.raises(ReproError):
+            BinomialAccelerator(platform="cpu", kernel="iv_b")
+
+    def test_describe(self):
+        acc = BinomialAccelerator(platform="fpga", kernel="iv_b", steps=STEPS)
+        text = acc.describe()
+        assert "FPGA" in text and "iv_b" in text and "altera" in text
+
+    def test_fpga_carries_compile_report(self):
+        acc = BinomialAccelerator(platform="fpga", kernel="iv_b", steps=1024)
+        assert acc.compiled is not None
+        assert acc.compiled.resources.fits()
+
+    def test_fpga_without_compile_uses_paper_point(self):
+        acc = BinomialAccelerator(platform="fpga", kernel="iv_b",
+                                  steps=1024, compile_fpga=False)
+        assert acc.compiled is None
+        assert acc.model.power_w == pytest.approx(17.0)
+
+    def test_profile_selection(self):
+        assert BinomialAccelerator("fpga", "iv_b").profile.name == \
+            "altera-13.0-double"
+        assert BinomialAccelerator("fpga", "iv_a").profile.name == \
+            "exact-double"
+        assert BinomialAccelerator("gpu", "iv_b").profile.name == \
+            "exact-double"
+        assert BinomialAccelerator("gpu", "iv_b", precision="single"
+                                   ).profile.name == "exact-single"
+
+
+class TestAcceleratorPricing:
+    def test_fpga_prices_use_flawed_pow(self, small_batch):
+        acc = BinomialAccelerator(platform="fpga", kernel="iv_b", steps=STEPS)
+        result = acc.price_batch(small_batch)
+        expected = simulate_kernel_b_batch(small_batch, STEPS,
+                                           ALTERA_13_0_DOUBLE)
+        assert np.array_equal(result.prices, expected)
+
+    def test_cpu_reference_prices(self, small_batch):
+        acc = BinomialAccelerator(platform="cpu", kernel="reference",
+                                  steps=STEPS)
+        result = acc.price_batch(small_batch)
+        assert np.array_equal(result.prices,
+                              price_binomial_batch(small_batch, STEPS))
+
+    def test_result_accounting(self, small_batch):
+        acc = BinomialAccelerator(platform="gpu", kernel="iv_b", steps=STEPS)
+        result = acc.price_batch(small_batch)
+        assert result.modeled_time_s > 0
+        assert result.energy_joules == pytest.approx(
+            result.modeled_time_s * acc.model.power_w)
+        assert result.options_per_second == pytest.approx(
+            len(small_batch) / result.modeled_time_s)
+        assert result.options_per_joule > 0
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ReproError):
+            BinomialAccelerator(steps=STEPS).price_batch([])
+
+    def test_kernel_a_accelerator(self, small_batch):
+        acc = BinomialAccelerator(platform="fpga", kernel="iv_a", steps=STEPS)
+        result = acc.price_batch(small_batch)
+        assert np.allclose(result.prices,
+                           price_binomial_batch(small_batch, STEPS),
+                           rtol=1e-12)
+
+
+class TestDesignSpaceExploration:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return explore_design_space(kernel_b_ir(1024), steps=1024,
+                                    simd_widths=(1, 2, 4),
+                                    compute_units=(1, 2),
+                                    unrolls=(1, 2),
+                                    pipeline_derate=FPGA_PIPELINE_DERATE)
+
+    def test_covers_grid(self, points):
+        assert len(points) == 12
+
+    def test_fitting_points_sorted_first_by_throughput(self, points):
+        fitting = [p for p in points if p.fits]
+        rates = [p.options_per_second for p in fitting]
+        assert rates == sorted(rates, reverse=True)
+        assert points[0].fits
+
+    def test_paper_point_present_and_fits(self, points):
+        match = [p for p in points
+                 if p.options.num_simd_work_items == 4
+                 and p.options.unroll == 2
+                 and p.options.num_compute_units == 1]
+        assert len(match) == 1
+        assert match[0].fits
+        assert match[0].options_per_second == pytest.approx(2400, rel=0.05)
+
+    def test_unfit_points_have_zero_rate(self, points):
+        for p in points:
+            if not p.fits:
+                assert p.options_per_second == 0.0
+                assert p.compiled is None
+
+    def test_unroll_skipped_for_loop_free_kernel(self):
+        from repro.core import kernel_a_ir
+        points = explore_design_space(kernel_a_ir(), simd_widths=(1,),
+                                      compute_units=(1,), unrolls=(1, 2, 4))
+        assert len(points) == 1  # unroll variants skipped
+
+
+class TestEnergyWorkarounds:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        return compile_kernel(kernel_b_ir(1024), KERNEL_B_OPTIONS)
+
+    def test_frequency_scaling_monotone(self, compiled):
+        points = frequency_scaling(compiled, fractions=(1.0, 0.5))
+        assert points[1].power_w < points[0].power_w
+        assert points[1].options_per_second < points[0].options_per_second
+
+    def test_static_power_floor(self, compiled):
+        points = frequency_scaling(compiled, fractions=(0.01,))
+        assert points[0].power_w > 3.0  # static power survives
+
+    def test_invalid_fraction(self, compiled):
+        with pytest.raises(ReproError):
+            frequency_scaling(compiled, fractions=(1.5,))
+
+    def test_power_budget_fit(self, compiled):
+        point = fit_power_budget(compiled, budget_w=10.0,
+                                 pipeline_derate=FPGA_PIPELINE_DERATE)
+        assert point.power_w == pytest.approx(10.0, abs=0.01)
+        assert point.clock_hz < compiled.fmax_hz
+        assert point.options_per_second > 0
+
+    def test_budget_below_static_rejected(self, compiled):
+        with pytest.raises(ReproError):
+            fit_power_budget(compiled, budget_w=1.0)
+
+    def test_paper_tradeoff_10w_sacrifices_throughput(self, compiled):
+        """At 10 W the kernel no longer meets 2000 options/s — the
+        trade-off the paper's conclusion discusses."""
+        point = fit_power_budget(compiled, budget_w=10.0,
+                                 pipeline_derate=FPGA_PIPELINE_DERATE)
+        assert point.options_per_second < 2000
+        full = frequency_scaling(compiled, fractions=(1.0,),
+                                 pipeline_derate=FPGA_PIPELINE_DERATE)[0]
+        assert full.options_per_second > 2000

@@ -1,0 +1,110 @@
+"""Equivalence of the vectorised kernel semantics with the coroutine
+executor — the license for using the fast path in accuracy runs."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALTERA_13_0_DOUBLE,
+    EXACT_DOUBLE,
+    EXACT_SINGLE,
+    HostProgramA,
+    HostProgramB,
+    simulate_kernel_a_batch,
+    simulate_kernel_b_batch,
+)
+from repro.devices import fpga_device
+from repro.errors import ReproError
+from repro.finance import LatticeFamily, generate_batch, price_binomial
+
+STEPS = 10
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return list(generate_batch(n_options=6, seed=11).options)
+
+
+class TestKernelBEquivalence:
+    @pytest.mark.parametrize("profile", [EXACT_DOUBLE, ALTERA_13_0_DOUBLE,
+                                         EXACT_SINGLE],
+                             ids=lambda p: p.name)
+    def test_bitwise_match_with_coroutine_executor(self, batch, profile):
+        host = HostProgramB(fpga_device("iv_b"), STEPS, profile=profile)
+        functional = host.price(batch).prices
+        vectorised = simulate_kernel_b_batch(batch, STEPS, profile)
+        assert np.array_equal(np.asarray(functional, dtype=np.float64),
+                              vectorised)
+
+    def test_multiple_step_counts(self, batch):
+        for steps in (2, 3, 7, 24):
+            host = HostProgramB(fpga_device("iv_b"), steps)
+            assert np.array_equal(host.price(batch).prices,
+                                  simulate_kernel_b_batch(batch, steps))
+
+    def test_close_to_reference_pricer(self, batch):
+        vec = simulate_kernel_b_batch(batch, 64)
+        ref = np.array([price_binomial(o, 64).price for o in batch])
+        assert np.allclose(vec, ref, rtol=1e-12, atol=1e-12)
+
+    def test_non_crr_family_rejected(self, batch):
+        """Kernel IV.B's leaf init needs u*d = 1 (CRR, paper Fig. 1)."""
+        with pytest.raises(ReproError, match="CRR"):
+            simulate_kernel_b_batch(batch, 64,
+                                    family=LatticeFamily.JARROW_RUDD)
+
+
+class TestKernelAEquivalence:
+    def test_bitwise_match_with_functional_host(self, batch):
+        host = HostProgramA(fpga_device("iv_a"), STEPS)
+        functional = host.price(batch).prices
+        vectorised = simulate_kernel_a_batch(batch, STEPS)
+        assert np.array_equal(functional, vectorised)
+
+    def test_kernel_a_exact_vs_reference(self, batch):
+        """Host-computed leaves + exact ops == the reference pricer."""
+        vec = simulate_kernel_a_batch(batch, 64)
+        ref = np.array([price_binomial(o, 64).price for o in batch])
+        assert np.allclose(vec, ref, rtol=1e-12, atol=1e-12)
+
+    def test_kernel_a_supports_alternative_family(self, batch):
+        """Host-computed leaves make kernel IV.A family-agnostic."""
+        vec = simulate_kernel_a_batch(batch, 64,
+                                      family=LatticeFamily.JARROW_RUDD)
+        ref = np.array([
+            price_binomial(o, 64, LatticeFamily.JARROW_RUDD).price
+            for o in batch
+        ])
+        assert np.allclose(vec, ref, rtol=1e-9)
+
+
+class TestValidation:
+    def test_empty_batch(self):
+        with pytest.raises(ReproError):
+            simulate_kernel_b_batch([], STEPS)
+        with pytest.raises(ReproError):
+            simulate_kernel_a_batch([], STEPS)
+
+    def test_min_steps(self, batch):
+        with pytest.raises(ReproError):
+            simulate_kernel_b_batch(batch, 1)
+
+
+class TestAccuracyStories:
+    """The Table II RMSE relationships at a reduced (fast) size."""
+
+    def test_flawed_pow_worse_than_exact(self, batch):
+        ref = np.array([price_binomial(o, 256).price for o in batch])
+        flawed = simulate_kernel_b_batch(batch, 256, ALTERA_13_0_DOUBLE)
+        exact = simulate_kernel_b_batch(batch, 256, EXACT_DOUBLE)
+        err_flawed = np.abs(flawed - ref).max()
+        err_exact = np.abs(exact - ref).max()
+        assert err_flawed > err_exact
+        assert err_flawed > 1e-7   # visible defect
+        assert err_flawed < 0.1    # but not garbage
+
+    def test_kernel_a_immune_to_pow_defect(self, batch):
+        """Kernel IV.A never calls the device pow (leaves from host)."""
+        exact = simulate_kernel_a_batch(batch, 64, EXACT_DOUBLE)
+        flawed_profile = simulate_kernel_a_batch(batch, 64, ALTERA_13_0_DOUBLE)
+        assert np.array_equal(exact, flawed_profile)

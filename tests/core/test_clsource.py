@@ -1,0 +1,118 @@
+"""Unit tests for the OpenCL C source emitter."""
+
+import re
+
+import pytest
+
+from repro.core.clsource import kernel_a_source, kernel_b_source
+from repro.errors import ReproError
+from repro.hls import KERNEL_A_OPTIONS, KERNEL_B_OPTIONS, CompileOptions
+
+
+def balanced(text: str) -> bool:
+    return text.count("{") == text.count("}")
+
+
+class TestKernelBSource:
+    @pytest.fixture(scope="class")
+    def source(self):
+        return kernel_b_source(1024, KERNEL_B_OPTIONS)
+
+    def test_paper_attributes_present(self, source):
+        """The exact parallelisation of Section V.B, as source pragmas."""
+        assert "__attribute__((num_simd_work_items(4)))" in source
+        assert "#pragma unroll 2" in source
+        assert "__attribute__((reqd_work_group_size(1024, 1, 1)))" in source
+
+    def test_structure(self, source):
+        assert balanced(source)
+        assert "__kernel void binomial_tree_iv_b" in source
+        assert source.count("barrier(CLK_LOCAL_MEM_FENCE)") == 3
+        assert "__local double * v_row" in source
+        assert "pow(up" in source  # the in-device leaf init
+
+    def test_fp64_extension_enabled(self, source):
+        assert "cl_khr_fp64" in source
+
+    def test_equation_one_present(self, source):
+        assert "down * s" in source
+        assert "rp * v_row[k] + rq * v_row[k + 1]" in source
+
+    def test_single_precision_variant(self):
+        source = kernel_b_source(512, precision="sp")
+        assert "float" in source and "double" not in source
+        assert "cl_khr_fp64" not in source
+
+    def test_no_pragmas_for_baseline_options(self):
+        source = kernel_b_source(256, CompileOptions())
+        assert "num_simd_work_items" not in source
+        assert "#pragma unroll" not in source
+
+    def test_steps_validation(self):
+        with pytest.raises(ReproError):
+            kernel_b_source(1)
+
+    def test_precision_validation(self):
+        with pytest.raises(ReproError):
+            kernel_b_source(64, precision="fp16")
+
+
+class TestKernelASource:
+    @pytest.fixture(scope="class")
+    def source(self):
+        return kernel_a_source(KERNEL_A_OPTIONS)
+
+    def test_paper_attributes(self, source):
+        assert "__attribute__((num_simd_work_items(2)))" in source
+        assert "__attribute__((num_compute_units(3)))" in source
+
+    def test_structure(self, source):
+        assert balanced(source)
+        assert "__kernel void binomial_node_iv_a" in source
+        # ping-pong buffer pairs
+        for name in ("src_s", "src_v", "src_oid", "dst_s", "dst_v", "dst_oid"):
+            assert name in source
+        # child offsets of the flattened layout
+        assert "slot + t + 1" in source and "slot + t + 2" in source
+        # empty-pipeline marker handling
+        assert "oid < 0" in source
+
+    def test_no_barriers_in_kernel_a(self, source):
+        """IV.A work-items are independent within a batch."""
+        assert "barrier(" not in source
+
+    def test_no_pow_in_kernel_a(self, source):
+        """The leaves come from the host: no device pow (Section V.C)."""
+        assert not re.search(r"\bpow\s*\(", source)
+
+
+class TestSourceIRConsistency:
+    """The emitted source and the HLS IR must describe the same kernel."""
+
+    def test_kernel_b_multiply_census(self):
+        from repro.core import kernel_b_ir
+
+        source = kernel_b_source(1024, KERNEL_B_OPTIONS)
+        ir = kernel_b_ir(1024)
+        body_muls = sum(op.count for op in ir.body_ops if op.op == "mul")
+        # body: down*s, rp*v, rq*v
+        loop = source.split("for (int t")[1]
+        assert loop.count("*") >= body_muls
+
+    def test_kernel_b_barrier_census(self):
+        """3 barrier sites in source; 1 + 2N dynamic barriers — matches
+        the functional run's count."""
+        source = kernel_b_source(16)
+        assert source.count("barrier(") == 3  # 1 leaf + 2 in the loop
+
+    def test_kernel_a_parameter_layout(self):
+        from repro.core.kernel_a import PARAM_FIELDS
+
+        source = kernel_a_source()
+        assert f"oid * {len(PARAM_FIELDS)}" in source
+
+    def test_kernel_b_parameter_layout(self):
+        from repro.core.kernel_b import PARAM_FIELDS_B
+
+        source = kernel_b_source(64)
+        assert f"group * {len(PARAM_FIELDS_B)}" in source

@@ -1,0 +1,96 @@
+"""Property-based tests for the core kernels and models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ALTERA_13_0_DOUBLE,
+    EXACT_DOUBLE,
+    kernel_b_estimate,
+    quantized_pow,
+    saturation_efficiency,
+    simulate_kernel_a_batch,
+    simulate_kernel_b_batch,
+)
+from repro.devices import fpga_compute_model
+from repro.finance import ExerciseStyle, Option, OptionType, price_binomial
+
+option_strategy = st.builds(
+    Option,
+    spot=st.floats(min_value=20.0, max_value=300.0),
+    strike=st.floats(min_value=20.0, max_value=300.0),
+    rate=st.floats(min_value=0.0, max_value=0.08),
+    volatility=st.floats(min_value=0.08, max_value=0.7),
+    maturity=st.floats(min_value=0.1, max_value=2.0),
+    option_type=st.sampled_from([OptionType.CALL, OptionType.PUT]),
+    exercise=st.just(ExerciseStyle.AMERICAN),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(option_strategy, min_size=1, max_size=4),
+       st.integers(min_value=2, max_value=24))
+def test_kernel_b_matches_reference_everywhere(options, steps):
+    """The vectorised kernel IV.B semantics equal the reference pricer
+    over the whole parameter domain (exact profile)."""
+    prices = simulate_kernel_b_batch(options, steps, EXACT_DOUBLE)
+    reference = [price_binomial(o, steps).price for o in options]
+    assert np.allclose(prices, reference, rtol=1e-11, atol=1e-11)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(option_strategy, min_size=1, max_size=4),
+       st.integers(min_value=2, max_value=24))
+def test_kernel_a_matches_reference_everywhere(options, steps):
+    prices = simulate_kernel_a_batch(options, steps, EXACT_DOUBLE)
+    reference = [price_binomial(o, steps).price for o in options]
+    assert np.allclose(prices, reference, rtol=1e-11, atol=1e-11)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(option_strategy, min_size=1, max_size=3),
+       st.integers(min_value=8, max_value=64))
+def test_flawed_pow_error_is_bounded(options, steps):
+    """The defect perturbs prices but never past the quantisation's
+    first-order bound (relative ~2^-14 per leaf, amplified by the
+    leaf-price range)."""
+    exact = simulate_kernel_b_batch(options, steps, EXACT_DOUBLE)
+    flawed = simulate_kernel_b_batch(options, steps, ALTERA_13_0_DOUBLE)
+    spread = max(o.spot * 3 for o in options)
+    assert np.all(np.abs(flawed - exact) < 1e-3 * spread)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.floats(min_value=1.0001, max_value=1.2),
+       st.floats(min_value=-1024.0, max_value=1024.0))
+def test_quantized_pow_relative_error_bound(base, exponent):
+    """|quantized/exact - 1| <= ln2 * 2^-(bits+1) (+1 ulp slack)."""
+    exact = base**exponent
+    flawed = quantized_pow(base, exponent, fraction_bits=13)
+    bound = np.log(2.0) * 2.0 ** -14 * 1.01 + 1e-12
+    assert abs(flawed / exact - 1.0) <= bound
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(min_value=1.0, max_value=1e8),
+       st.floats(min_value=1.0, max_value=1e7))
+def test_saturation_efficiency_properties(n, n_sat):
+    eff = saturation_efficiency(n, n_sat)
+    assert 0.0 < eff < 1.0
+    # monotone in workload
+    assert saturation_efficiency(n * 2, n_sat) > eff
+    # monotone (down) in saturation point
+    assert saturation_efficiency(n, n_sat * 2) <= eff
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=4096),
+       st.floats(min_value=10.0, max_value=1e7))
+def test_perf_estimate_internal_consistency(steps, n_options):
+    est = kernel_b_estimate(fpga_compute_model("iv_b"), steps)
+    assert est.time_for(n_options) >= est.steady_state_time_for(n_options)
+    assert est.effective_rate(n_options) <= est.options_per_second * (1 + 1e-9)
+    assert est.energy_for(n_options) == pytest.approx(
+        est.time_for(n_options) * est.power_w)

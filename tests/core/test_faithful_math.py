@@ -1,0 +1,84 @@
+"""Unit tests for device math profiles and the flawed pow model."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALTERA_13_0_DOUBLE,
+    EXACT_DOUBLE,
+    EXACT_SINGLE,
+    get_profile,
+    quantized_pow,
+)
+from repro.errors import ReproError
+
+
+class TestQuantizedPow:
+    def test_deterministic(self):
+        assert quantized_pow(1.01, 512.0) == quantized_pow(1.01, 512.0)
+
+    def test_close_to_exact(self):
+        exact = 1.01**512
+        flawed = quantized_pow(1.01, 512.0)
+        assert flawed == pytest.approx(exact, rel=1e-3)
+        assert flawed != exact
+
+    def test_error_scales_with_fraction_bits(self):
+        exact = 1.007**800
+        coarse = abs(quantized_pow(1.007, 800.0, fraction_bits=8) - exact)
+        fine = abs(quantized_pow(1.007, 800.0, fraction_bits=24) - exact)
+        assert fine < coarse
+
+    def test_relative_error_bound(self):
+        """|error| <= (2^-(bits+1)) * ln(2) * value (quantised exponent)."""
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            base = float(rng.uniform(1.0001, 1.05))
+            exponent = float(rng.uniform(-1024, 1024))
+            exact = base**exponent
+            flawed = quantized_pow(base, exponent, fraction_bits=13)
+            bound = exact * (2.0 ** -14) * np.log(2) * 1.001
+            assert abs(flawed - exact) <= bound + 1e-300
+
+    def test_exact_on_integer_powers_of_two_exponent(self):
+        # t = y*log2(x) exactly representable -> no quantisation error
+        assert quantized_pow(2.0, 3.0) == 8.0
+
+    def test_vectorised(self):
+        out = quantized_pow(1.01, np.array([1.0, 2.0, 3.0]))
+        assert out.shape == (3,)
+
+    def test_positive_base_required(self):
+        with pytest.raises(ReproError):
+            quantized_pow(-1.0, 2.0)
+
+
+class TestProfiles:
+    def test_exact_double_is_ieee(self):
+        assert EXACT_DOUBLE.pow_(1.1, 7.0) == np.power(1.1, 7.0)
+        assert EXACT_DOUBLE.pow_(1.1, 7.0) == pytest.approx(1.1**7, rel=1e-15)
+        assert EXACT_DOUBLE.exp(1.0) == pytest.approx(np.e)
+
+    def test_single_profile_rounds(self):
+        value = EXACT_SINGLE.cast(0.1)
+        assert value == np.float32(0.1)
+        assert float(value) != 0.1  # fp32 rounding is visible in fp64
+
+    def test_altera_profile_only_pow_is_flawed(self):
+        assert ALTERA_13_0_DOUBLE.exp(0.5) == EXACT_DOUBLE.exp(0.5)
+        assert ALTERA_13_0_DOUBLE.pow_(1.01, 100.0) != EXACT_DOUBLE.pow_(1.01, 100.0)
+
+    def test_cast_scalar_returns_float(self):
+        assert isinstance(EXACT_DOUBLE.cast(1), float)
+        arr = EXACT_DOUBLE.cast(np.ones(3))
+        assert isinstance(arr, np.ndarray)
+
+    def test_get_profile(self):
+        assert get_profile("exact-double") is EXACT_DOUBLE
+        assert get_profile("altera-13.0-double") is ALTERA_13_0_DOUBLE
+        with pytest.raises(ReproError):
+            get_profile("cuda-fast-math")
+
+    def test_single_pow_in_float32(self):
+        out = EXACT_SINGLE.pow_(np.float64(1.3), 2.0)
+        assert out == np.float32(1.3) ** np.float32(2.0)

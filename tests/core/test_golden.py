@@ -1,0 +1,83 @@
+"""Golden regression values: guard against silent numeric drift.
+
+Every value below was produced by this library at the revision that
+validated against the paper, and is asserted to ~1e-12.  If a change
+moves one of these numbers, either the change is a bug or the golden
+table must be *consciously* re-baselined (and EXPERIMENTS.md re-checked)
+— never let pricing arithmetic drift through a refactor unnoticed.
+"""
+
+import pytest
+
+from repro.core import (
+    ALTERA_13_0_DOUBLE,
+    EXACT_DOUBLE,
+    quantized_pow,
+    simulate_kernel_a_batch,
+    simulate_kernel_b_batch,
+)
+from repro.finance import (
+    ExerciseStyle,
+    Option,
+    OptionType,
+    bs_price,
+    price_binomial,
+)
+
+GOLDEN_OPTION = Option(
+    spot=100.0, strike=105.0, rate=0.03, volatility=0.25, maturity=1.0,
+    option_type=OptionType.PUT, exercise=ExerciseStyle.AMERICAN,
+)
+
+
+class TestGoldenPrices:
+    def test_binomial_n64(self):
+        assert price_binomial(GOLDEN_OPTION, 64).price == pytest.approx(
+            11.4409236357073, abs=1e-10)
+
+    def test_binomial_n1024(self):
+        assert price_binomial(GOLDEN_OPTION, 1024).price == pytest.approx(
+            11.4283441492237, abs=1e-10)
+
+    def test_black_scholes_european(self):
+        assert bs_price(GOLDEN_OPTION.as_european()) == pytest.approx(
+            11.0185804803174, abs=1e-10)
+
+    def test_kernel_b_exact_n64(self):
+        value = simulate_kernel_b_batch([GOLDEN_OPTION], 64, EXACT_DOUBLE)[0]
+        assert value == pytest.approx(11.4409236357073, abs=1e-9)
+
+    def test_kernel_b_flawed_n1024(self):
+        """The flawed-pow price is deterministic: same defect, same bits."""
+        value = simulate_kernel_b_batch([GOLDEN_OPTION], 1024,
+                                        ALTERA_13_0_DOUBLE)[0]
+        assert value == pytest.approx(11.4288684985643, abs=1e-9)
+        # and distinctly different from the exact value
+        assert abs(value - 11.4283441492237) > 1e-5
+
+    def test_kernel_a_n64(self):
+        value = simulate_kernel_a_batch([GOLDEN_OPTION], 64)[0]
+        assert value == pytest.approx(11.4409236357073, abs=1e-9)
+
+    def test_quantized_pow_sample(self):
+        assert quantized_pow(1.01, 512.0) == pytest.approx(
+            163.1271962983205, abs=1e-9)
+
+
+class TestGoldenModelNumbers:
+    def test_fpga_kernel_b_throughput(self):
+        from repro.core import kernel_b_estimate
+        from repro.devices import fpga_compute_model
+
+        est = kernel_b_estimate(fpga_compute_model("iv_b"), 1024)
+        assert est.options_per_second == pytest.approx(2399.6365853, abs=1e-3)
+
+    def test_table1_fingerprint(self):
+        """The full compile is deterministic; pin its key cells."""
+        from repro.core import kernel_b_ir
+        from repro.hls import KERNEL_B_OPTIONS, compile_kernel
+
+        ck = compile_kernel(kernel_b_ir(1024), KERNEL_B_OPTIONS)
+        assert ck.resources.registers == 272_224
+        assert ck.resources.dsp_18bit == 752
+        assert ck.fit.fmax_mhz == pytest.approx(163.83, abs=0.05)

@@ -1,0 +1,146 @@
+"""Functional tests for both host programs on the simulated devices."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALTERA_13_0_DOUBLE,
+    EXACT_DOUBLE,
+    HostProgramA,
+    HostProgramB,
+    ReadbackMode,
+    pipeline_buffer_bytes,
+)
+from repro.devices import cpu_device, fpga_device, gpu_device
+from repro.errors import ReproError
+from repro.finance import price_binomial
+
+STEPS = 12
+
+
+def reference_prices(options, steps=STEPS):
+    return np.array([price_binomial(o, steps).price for o in options])
+
+
+class TestHostProgramB:
+    def test_prices_match_reference(self, small_batch):
+        host = HostProgramB(fpga_device("iv_b"), STEPS)
+        run = host.price(small_batch)
+        assert np.allclose(run.prices, reference_prices(small_batch),
+                           rtol=1e-12, atol=1e-12)
+
+    def test_three_command_structure(self, small_batch):
+        """Paper IV.B: one write, one launch, one read."""
+        host = HostProgramB(fpga_device("iv_b"), STEPS)
+        run = host.price(small_batch)
+        from repro.opencl import CommandType
+        types = [e.command_type for e in host.queue.events]
+        assert types.count(CommandType.NDRANGE_KERNEL) == 1
+        assert types.count(CommandType.READ_BUFFER) == 1
+
+    def test_barrier_count(self, small_batch):
+        """1 leaf barrier + 2 per backward step."""
+        host = HostProgramB(fpga_device("iv_b"), STEPS)
+        run = host.price(small_batch)
+        assert run.barriers_per_group == 1 + 2 * STEPS
+
+    def test_local_memory_holds_value_row(self, small_batch):
+        host = HostProgramB(fpga_device("iv_b"), STEPS)
+        run = host.price(small_batch)
+        assert run.local_bytes_per_group == (STEPS + 1) * 8
+
+    def test_minimal_host_interaction(self, small_batch):
+        """Bytes moved: params down, one double per option up."""
+        host = HostProgramB(fpga_device("iv_b"), STEPS)
+        run = host.price(small_batch)
+        assert run.bytes_read == len(small_batch) * 8
+        assert run.bytes_written == len(small_batch) * 7 * 8
+
+    def test_flawed_profile_changes_prices(self, small_batch):
+        exact = HostProgramB(fpga_device("iv_b"), STEPS,
+                             profile=EXACT_DOUBLE).price(small_batch)
+        flawed = HostProgramB(fpga_device("iv_b"), STEPS,
+                              profile=ALTERA_13_0_DOUBLE).price(small_batch)
+        assert not np.array_equal(exact.prices, flawed.prices)
+        assert np.allclose(exact.prices, flawed.prices, atol=0.05)
+
+    def test_runs_on_gpu_and_cpu_devices(self, small_batch):
+        for device in (gpu_device("iv_b"), cpu_device()):
+            run = HostProgramB(device, STEPS).price(small_batch)
+            assert np.allclose(run.prices, reference_prices(small_batch),
+                               rtol=1e-12)
+
+    def test_simulated_time_positive(self, small_batch):
+        run = HostProgramB(fpga_device("iv_b"), STEPS).price(small_batch)
+        assert run.simulated_time_s > 0
+        assert run.options_per_second > 0
+
+    def test_steps_above_work_group_limit_rejected(self):
+        device = fpga_device("iv_b")
+        with pytest.raises(ReproError, match="work-group"):
+            HostProgramB(device, device.max_work_group_size + 1)
+
+    def test_empty_batch_rejected(self):
+        host = HostProgramB(fpga_device("iv_b"), STEPS)
+        with pytest.raises(ReproError):
+            host.price([])
+
+
+class TestHostProgramA:
+    def test_prices_match_reference(self, small_batch):
+        host = HostProgramA(fpga_device("iv_a"), STEPS)
+        run = host.price(small_batch)
+        assert np.allclose(run.prices, reference_prices(small_batch),
+                           rtol=1e-12, atol=1e-12)
+
+    def test_batch_count_is_pipeline_depth(self, small_batch):
+        host = HostProgramA(fpga_device("iv_a"), STEPS)
+        run = host.price(small_batch)
+        assert run.batches == len(small_batch) + STEPS - 1
+        assert run.kernel_launches == run.batches
+
+    def test_full_readback_traffic(self, small_batch):
+        """The throughput-killing behaviour: one full buffer per batch."""
+        host = HostProgramA(fpga_device("iv_a"), STEPS,
+                            readback=ReadbackMode.FULL_BUFFER)
+        run = host.price(small_batch)
+        per_batch = run.bytes_read / run.batches
+        assert per_batch == pytest.approx(pipeline_buffer_bytes(STEPS))
+
+    def test_result_only_readback_traffic(self, small_batch):
+        host = HostProgramA(fpga_device("iv_a"), STEPS,
+                            readback=ReadbackMode.RESULT_ONLY)
+        run = host.price(small_batch)
+        assert run.bytes_read == run.batches * 16  # root V + root oid
+        assert np.allclose(run.prices, reference_prices(small_batch))
+
+    def test_modified_variant_is_faster(self, small_batch):
+        full = HostProgramA(fpga_device("iv_a"), STEPS).price(small_batch)
+        modified = HostProgramA(fpga_device("iv_a"), STEPS,
+                                readback=ReadbackMode.RESULT_ONLY
+                                ).price(small_batch)
+        assert modified.simulated_time_s < full.simulated_time_s
+        assert np.array_equal(modified.prices, full.prices)
+
+    def test_single_option_drains_pipeline(self, put_option):
+        host = HostProgramA(fpga_device("iv_a"), STEPS)
+        run = host.price([put_option])
+        assert run.prices[0] == pytest.approx(
+            price_binomial(put_option, STEPS).price, rel=1e-12)
+
+    def test_invalid_readback_mode(self):
+        with pytest.raises(ReproError):
+            HostProgramA(fpga_device("iv_a"), STEPS, readback="streaming")
+
+    def test_reuse_host_for_second_batch(self, small_batch):
+        host = HostProgramA(fpga_device("iv_a"), STEPS)
+        first = host.price(small_batch[:2])
+        second = host.price(small_batch[2:])
+        assert np.allclose(second.prices, reference_prices(small_batch[2:]),
+                           rtol=1e-12)
+        assert np.allclose(first.prices, reference_prices(small_batch[:2]),
+                           rtol=1e-12)
+
+    def test_too_few_steps_rejected(self):
+        with pytest.raises(ReproError):
+            HostProgramA(fpga_device("iv_a"), 1)

@@ -1,0 +1,118 @@
+"""Unit tests for kernel IV.A/IV.B layout helpers and IR builders."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_leaves_a,
+    build_params_a,
+    build_params_b,
+    interior_nodes,
+    kernel_a_ir,
+    kernel_b_ir,
+    level_of_slot_table,
+    pipeline_buffer_bytes,
+    pipeline_slots,
+)
+from repro.finance import build_lattice_params
+
+
+class TestKernelALayout:
+    def test_interior_nodes_paper_count(self):
+        """N(N+1)/2 work-items per batch (paper Section IV.A)."""
+        assert interior_nodes(1024) == 524_800
+        assert interior_nodes(2) == 3
+
+    def test_pipeline_slots_include_leaves(self):
+        assert pipeline_slots(2) == 6
+        assert pipeline_slots(1024) == 525_825
+
+    def test_buffer_size_order_of_paper_19mb(self):
+        """Paper: ~19 MB per ping-pong buffer at N=1024; ours carries
+        S, V and option-id (12.6 MB) — same order of magnitude."""
+        nbytes = pipeline_buffer_bytes(1024)
+        assert 10e6 < nbytes < 25e6
+
+    def test_level_table(self):
+        table = level_of_slot_table(3)
+        assert list(table) == [0, 1, 1, 2, 2, 2, 3, 3, 3, 3]
+
+    def test_level_table_child_offsets(self):
+        """Children of slot id at level t sit at id+t+1 and id+t+2."""
+        steps = 6
+        table = level_of_slot_table(steps)
+        for slot in range(interior_nodes(steps)):
+            t = table[slot]
+            k = slot - t * (t + 1) // 2
+            child_up = slot + t + 1
+            child_dn = slot + t + 2
+            assert table[child_up] == t + 1
+            assert table[child_dn] == t + 1
+            assert child_up - (t + 1) * (t + 2) // 2 == k      # (t+1, k)
+            assert child_dn - (t + 1) * (t + 2) // 2 == k + 1  # (t+1, k+1)
+
+
+class TestParamBuilders:
+    def test_params_a_fields(self, small_batch):
+        params = build_params_a(small_batch, 64)
+        assert params.shape == (5, 5)
+        lattice = build_lattice_params(small_batch[0], 64)
+        assert params[0, 0] == pytest.approx(lattice.discounted_p_up)
+        assert params[0, 1] == pytest.approx(lattice.discounted_p_down)
+        assert params[0, 2] == pytest.approx(lattice.down)
+        assert params[0, 3] == small_batch[0].strike
+        assert params[0, 4] == small_batch[0].option_type.sign
+
+    def test_params_b_fields(self, small_batch):
+        params = build_params_b(small_batch, 64)
+        assert params.shape == (5, 7)
+        lattice = build_lattice_params(small_batch[1], 64)
+        row = params[1]
+        assert row[0] == small_batch[1].spot
+        assert row[1] == pytest.approx(lattice.up)
+        assert row[2] == pytest.approx(lattice.down)
+
+    def test_leaves_match_lattice(self, put_option):
+        prices, values = build_leaves_a(put_option, 8)
+        lattice = build_lattice_params(put_option, 8)
+        k = np.arange(9.0)
+        expected = put_option.spot * lattice.up ** (8 - k) * lattice.down**k
+        assert np.allclose(prices, expected, rtol=1e-15)
+        assert np.allclose(values, np.maximum(put_option.strike - expected, 0.0))
+
+
+class TestIRBuilders:
+    def test_kernel_a_ir_structure(self):
+        ir = kernel_a_ir()
+        assert ir.name.endswith("iv_a")
+        assert not ir.uses_barriers
+        assert not ir.local_memory
+        assert not ir.body_ops  # loop-free dataflow kernel
+        assert len(ir.global_accesses) == 7
+        assert all(a.coalesced for a in ir.global_accesses)
+
+    def test_kernel_b_ir_structure(self):
+        ir = kernel_b_ir(1024)
+        assert ir.uses_barriers
+        assert len(ir.local_memory) == 1
+        assert ir.body_ops  # the unrollable backward loop
+        assert ir.work_group_size == 1024
+        # the pow operator lives in the init (leaf) segment only
+        init_ops = {op.op for op in ir.init_ops}
+        body_ops = {op.op for op in ir.body_ops}
+        assert "pow" in init_ops
+        assert "pow" not in body_ops
+
+    def test_single_precision_variants(self):
+        sp_a = kernel_a_ir(precision="sp")
+        sp_b = kernel_b_ir(256, precision="sp")
+        assert sp_a.precision == "sp"
+        assert sp_b.live.f32_values > 0 and sp_b.live.f64_values == 0
+        # fp32 halves the local value row
+        assert sp_b.local_memory[0].bytes_per_group < \
+            kernel_b_ir(256).local_memory[0].bytes_per_group
+
+    def test_kernel_b_local_scales_with_steps(self):
+        small = kernel_b_ir(128).local_memory[0].bytes_per_group
+        large = kernel_b_ir(1024).local_memory[0].bytes_per_group
+        assert large > small

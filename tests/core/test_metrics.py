@@ -1,0 +1,64 @@
+"""Unit tests for the Table II row/metric assembly."""
+
+import pytest
+
+from repro.core import (
+    PerformanceRow,
+    kernel_b_estimate,
+    nodes_per_option,
+    row_from_estimate,
+)
+from repro.devices import fpga_compute_model
+
+
+class TestNodesPerOption:
+    def test_paper_value(self):
+        assert nodes_per_option(1024) == 524_800
+
+    def test_small_trees(self):
+        assert nodes_per_option(2) == 3
+        assert nodes_per_option(3) == 6
+
+
+class TestRowAssembly:
+    @pytest.fixture
+    def row(self):
+        estimate = kernel_b_estimate(fpga_compute_model("iv_b"), 1024)
+        return row_from_estimate("Kernel IV.B", "FPGA (DE4)", "double",
+                                 estimate, rmse_value=9.6e-4)
+
+    def test_fields(self, row):
+        assert row.options_per_second == pytest.approx(2400, rel=0.02)
+        assert row.rmse_display == "~1e-3"
+        assert row.options_per_joule == pytest.approx(141, rel=0.02)
+
+    def test_formatted_cells(self, row):
+        cells = row.formatted()
+        assert cells["RMSE"] == "~1e-3"
+        assert cells["options/s"].replace(",", "").startswith("2")
+        assert cells["tree nodes/s"].endswith("G")
+
+    def test_rate_formatting_scales(self):
+        base = dict(label="x", platform="y", precision="double",
+                    rmse_display="0", options_per_joule=None)
+        mega = PerformanceRow(options_per_second=1.0,
+                              tree_nodes_per_second=30e6, **base)
+        giga = PerformanceRow(options_per_second=1.0,
+                              tree_nodes_per_second=4.7e9, **base)
+        small = PerformanceRow(options_per_second=1.0,
+                               tree_nodes_per_second=500.0, **base)
+        assert mega.formatted()["tree nodes/s"] == "30 M"
+        assert giga.formatted()["tree nodes/s"] == "4.70 G"
+        assert small.formatted()["tree nodes/s"] == "500"
+
+    def test_none_energy_renders_na(self):
+        row = PerformanceRow(label="[9]", platform="Virtex 4",
+                             precision="double", options_per_second=385,
+                             rmse_display="0", options_per_joule=None,
+                             tree_nodes_per_second=202e6)
+        assert row.formatted()["options/J"] == "N/A"
+
+    def test_exact_rmse_renders_zero(self):
+        estimate = kernel_b_estimate(fpga_compute_model("iv_b"), 64)
+        row = row_from_estimate("x", "y", "double", estimate, rmse_value=0.0)
+        assert row.rmse_display == "0"

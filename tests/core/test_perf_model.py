@@ -1,0 +1,135 @@
+"""Unit tests for the analytic performance model (Table II generator)."""
+
+import pytest
+
+from repro.core import (
+    ReadbackMode,
+    kernel_a_estimate,
+    kernel_b_estimate,
+    reference_estimate,
+    saturation_efficiency,
+)
+from repro.devices import cpu_compute_model, fpga_compute_model, gpu_compute_model
+from repro.errors import ReproError
+
+
+class TestTable2Calibration:
+    """Each configuration must land on its Table II operating point."""
+
+    def test_kernel_a_fpga(self):
+        est = kernel_a_estimate(fpga_compute_model("iv_a"), 1024)
+        assert est.options_per_second == pytest.approx(25, rel=0.02)
+        assert est.options_per_joule == pytest.approx(1.7, rel=0.03)
+        assert est.tree_nodes_per_second == pytest.approx(13e6, rel=0.05)
+
+    def test_kernel_a_gpu(self):
+        est = kernel_a_estimate(gpu_compute_model("iv_a"), 1024)
+        assert est.options_per_second == pytest.approx(58.4, rel=0.02)
+
+    def test_kernel_a_gpu_modified(self):
+        est = kernel_a_estimate(gpu_compute_model("iv_a"), 1024,
+                                ReadbackMode.RESULT_ONLY)
+        assert est.options_per_second == pytest.approx(840, rel=0.02)
+
+    def test_kernel_b_fpga(self):
+        est = kernel_b_estimate(fpga_compute_model("iv_b"), 1024)
+        assert est.options_per_second == pytest.approx(2400, rel=0.02)
+        assert est.options_per_joule == pytest.approx(140, rel=0.02)
+        assert est.tree_nodes_per_second == pytest.approx(1.3e9, rel=0.05)
+
+    def test_kernel_b_gpu(self):
+        double = kernel_b_estimate(gpu_compute_model("iv_b"), 1024)
+        single = kernel_b_estimate(gpu_compute_model("iv_b", "single"), 1024)
+        assert double.options_per_second == pytest.approx(8900, rel=0.02)
+        assert single.options_per_second == pytest.approx(47000, rel=0.02)
+
+    def test_reference(self):
+        double = reference_estimate(cpu_compute_model("double"), 1024)
+        single = reference_estimate(cpu_compute_model("single"), 1024)
+        assert double.options_per_second == pytest.approx(222, rel=0.01)
+        assert single.options_per_second == pytest.approx(116, rel=0.01)
+
+
+class TestPaperHeadlines:
+    def test_use_case_throughput_met(self):
+        """'More than 2000 options can be computed in less than a second'
+        — a post-saturation throughput claim (Section V.C samples after
+        device saturation)."""
+        est = kernel_b_estimate(fpga_compute_model("iv_b"), 1024)
+        assert est.steady_state_time_for(2000) < 1.0
+        # cold-start is slower (the saturation ramp); both are exposed
+        assert est.time_for(2000) > est.steady_state_time_for(2000)
+
+    def test_fpga_5x_more_efficient_than_software(self):
+        fpga = kernel_b_estimate(fpga_compute_model("iv_b"), 1024)
+        cpu = reference_estimate(cpu_compute_model("double"), 1024)
+        assert fpga.options_per_joule > 5 * cpu.options_per_joule
+
+    def test_fpga_2x_more_efficient_than_gpu(self):
+        fpga = kernel_b_estimate(fpga_compute_model("iv_b"), 1024)
+        gpu = kernel_b_estimate(gpu_compute_model("iv_b"), 1024)
+        assert fpga.options_per_joule > 2 * gpu.options_per_joule
+
+    def test_gpu_fpga_within_factor_5(self):
+        """'within a factor 5 of each other' (options/s, double)."""
+        fpga = kernel_b_estimate(fpga_compute_model("iv_b"), 1024)
+        gpu = kernel_b_estimate(gpu_compute_model("iv_b"), 1024)
+        ratio = gpu.options_per_second / fpga.options_per_second
+        assert 1.0 < ratio < 5.0
+
+    def test_modified_kernel_a_14x(self):
+        gpu = gpu_compute_model("iv_a")
+        full = kernel_a_estimate(gpu, 1024)
+        modified = kernel_a_estimate(gpu, 1024, ReadbackMode.RESULT_ONLY)
+        speedup = modified.options_per_second / full.options_per_second
+        assert speedup == pytest.approx(14.4, rel=0.1)
+
+
+class TestSaturation:
+    def test_efficiency_monotone_in_workload(self):
+        values = [saturation_efficiency(n, 1e5)
+                  for n in (10, 100, 1e4, 1e5, 1e7)]
+        assert values == sorted(values)
+        assert values[-1] > 0.99
+
+    def test_95_percent_at_saturation_point(self):
+        assert saturation_efficiency(1e5, 1e5) == pytest.approx(0.95)
+
+    def test_invalid_workload(self):
+        with pytest.raises(ReproError):
+            saturation_efficiency(0, 1e5)
+
+    def test_effective_rate_below_peak(self):
+        est = kernel_b_estimate(fpga_compute_model("iv_b"), 1024)
+        assert est.effective_rate(100) < est.options_per_second
+        assert est.effective_rate(1e7) == pytest.approx(
+            est.options_per_second, rel=0.01)
+
+    def test_fpga_saturates_by_1e5_gpu_by_1e6(self):
+        """Section V.C's saturation points."""
+        fpga = kernel_b_estimate(fpga_compute_model("iv_b"), 1024)
+        gpu = kernel_b_estimate(gpu_compute_model("iv_b"), 1024)
+        assert fpga.effective_rate(1e5) >= 0.95 * fpga.options_per_second
+        assert gpu.effective_rate(1e5) < 0.95 * gpu.options_per_second
+        assert gpu.effective_rate(1e6) >= 0.95 * gpu.options_per_second
+
+    def test_energy_accounting(self):
+        est = kernel_b_estimate(fpga_compute_model("iv_b"), 1024)
+        n = 2000
+        assert est.energy_for(n) == pytest.approx(est.time_for(n) * est.power_w)
+        assert est.joules_per_option() == pytest.approx(
+            1.0 / est.options_per_joule, rel=0.01)
+
+
+class TestSteps:
+    def test_smaller_trees_price_faster(self):
+        model = fpga_compute_model("iv_b")
+        small = kernel_b_estimate(model, 256)
+        large = kernel_b_estimate(model, 1024)
+        assert small.options_per_second > large.options_per_second
+
+    def test_kernel_a_readback_scales_with_tree(self):
+        model = fpga_compute_model("iv_a")
+        small = kernel_a_estimate(model, 256)
+        large = kernel_a_estimate(model, 1024)
+        assert small.options_per_second > 10 * large.options_per_second

@@ -1,0 +1,100 @@
+"""Unit tests for the trading-session energy model."""
+
+import pytest
+
+from repro.core import kernel_b_estimate, reference_estimate
+from repro.core.session import (
+    TYPICAL_IDLE_POWER_W,
+    TradingSessionModel,
+)
+from repro.devices import cpu_compute_model, fpga_compute_model, gpu_compute_model
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def fpga_session():
+    return TradingSessionModel(
+        kernel_b_estimate(fpga_compute_model("iv_b"), 1024),
+        idle_power_w=TYPICAL_IDLE_POWER_W["fpga"],
+        configuration="FPGA IV.B",
+    )
+
+
+@pytest.fixture(scope="module")
+def gpu_session():
+    return TradingSessionModel(
+        kernel_b_estimate(gpu_compute_model("iv_b"), 1024),
+        idle_power_w=TYPICAL_IDLE_POWER_W["gpu"],
+        configuration="GPU IV.B",
+    )
+
+
+@pytest.fixture(scope="module")
+def cpu_session():
+    return TradingSessionModel(
+        reference_estimate(cpu_compute_model("double"), 1024),
+        idle_power_w=TYPICAL_IDLE_POWER_W["cpu"],
+        configuration="CPU reference",
+    )
+
+
+class TestFeasibility:
+    def test_fpga_meets_one_curve_per_second(self, fpga_session):
+        report = fpga_session.session()
+        assert report.meets_refresh_rate
+        assert report.curves_refreshed == int(6.5 * 3600)
+
+    def test_cpu_cannot_keep_up(self, cpu_session):
+        """222 options/s cannot refresh a 2000-option curve per second;
+        the report must degrade the rate, not silently claim success."""
+        report = cpu_session.session()
+        assert not report.meets_refresh_rate
+        assert report.curves_refreshed < int(6.5 * 3600) / 5
+        assert report.busy_fraction == pytest.approx(1.0, abs=1e-3)
+
+    def test_gpu_meets_rate_with_low_duty_cycle(self, gpu_session):
+        report = gpu_session.session()
+        assert report.meets_refresh_rate
+        assert report.busy_fraction < 0.3
+
+
+class TestEnergyAccounting:
+    def test_energy_decomposition(self, fpga_session):
+        report = fpga_session.session(hours=1.0)
+        assert report.total_energy_j == pytest.approx(
+            report.active_energy_j + report.idle_energy_j)
+        assert report.total_energy_wh == pytest.approx(
+            report.total_energy_j / 3600.0)
+
+    def test_fpga_day_cheaper_than_gpu_day(self, fpga_session, gpu_session):
+        """The session view amplifies the paper's energy argument: the
+        GPU's idle draw alone dwarfs the FPGA's entire day."""
+        fpga_day = fpga_session.session().total_energy_j
+        gpu_day = gpu_session.session().total_energy_j
+        assert gpu_day > 2 * fpga_day
+
+    def test_energy_per_curve_above_compute_floor(self, fpga_session):
+        report = fpga_session.session()
+        floor = fpga_session.estimate.power_w * fpga_session.curve_time_s()
+        assert report.energy_per_curve_j >= floor
+
+    def test_busier_sessions_cost_more(self, fpga_session):
+        relaxed = fpga_session.session(refresh_interval_s=10.0)
+        frantic = fpga_session.session(refresh_interval_s=1.0)
+        assert frantic.total_energy_j > relaxed.total_energy_j
+
+
+class TestValidation:
+    def test_idle_power_bounds(self, fpga_session):
+        with pytest.raises(ReproError):
+            TradingSessionModel(fpga_session.estimate, idle_power_w=-1.0)
+        with pytest.raises(ReproError):
+            TradingSessionModel(fpga_session.estimate, idle_power_w=1e6)
+
+    def test_session_parameter_validation(self, fpga_session):
+        with pytest.raises(ReproError):
+            fpga_session.session(hours=0)
+        with pytest.raises(ReproError):
+            fpga_session.session(refresh_interval_s=0)
+        with pytest.raises(ReproError):
+            fpga_session.session(curve_options=0)

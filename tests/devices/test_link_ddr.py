@@ -1,0 +1,67 @@
+"""Unit tests for the PCIe link and memory-system models."""
+
+import pytest
+
+from repro.errors import DeviceModelError
+from repro.devices import DE4_DDR2, GTX660_GDDR5, MemorySystem, PCIeLink
+from repro.opencl import TransferDirection
+
+
+class TestPCIeLink:
+    def test_paper_lane_rates(self):
+        """Section V.A: 500 MB/s/lane gen2, 985 MB/s/lane gen3."""
+        de4 = PCIeLink(generation=2, lanes=4, efficiency=1.0)
+        assert de4.theoretical_bandwidth_bytes_s == pytest.approx(2e9)
+        gtx = PCIeLink(generation=3, lanes=16, efficiency=1.0)
+        assert gtx.theoretical_bandwidth_bytes_s == pytest.approx(15.76e9)
+
+    def test_efficiency_scales_bandwidth(self):
+        link = PCIeLink(generation=2, lanes=4, efficiency=0.5)
+        assert link.effective_bandwidth_bytes_s == pytest.approx(1e9)
+
+    def test_transfer_time_formula(self):
+        link = PCIeLink(generation=2, lanes=4, efficiency=1.0,
+                        latency_ns=1000.0)
+        t = link.transfer_ns(2_000_000, TransferDirection.DEVICE_TO_HOST)
+        assert t == pytest.approx(1000.0 + 2_000_000 / 2e9 * 1e9)
+
+    def test_device_to_device_is_latency_only(self):
+        link = PCIeLink(generation=2, lanes=4, latency_ns=500.0)
+        assert link.transfer_ns(10**9, TransferDirection.DEVICE_TO_DEVICE) == 500.0
+
+    def test_validation(self):
+        with pytest.raises(DeviceModelError):
+            PCIeLink(generation=5, lanes=4)
+        with pytest.raises(DeviceModelError):
+            PCIeLink(generation=2, lanes=0)
+        with pytest.raises(DeviceModelError):
+            PCIeLink(generation=2, lanes=4, efficiency=0.0)
+        with pytest.raises(DeviceModelError):
+            PCIeLink(generation=2, lanes=4, efficiency=1.5)
+        with pytest.raises(DeviceModelError):
+            PCIeLink(generation=2, lanes=4, latency_ns=-1.0)
+
+    def test_negative_bytes_rejected(self):
+        link = PCIeLink(generation=2, lanes=4)
+        with pytest.raises(DeviceModelError):
+            link.transfer_ns(-1, TransferDirection.HOST_TO_DEVICE)
+
+
+class TestMemorySystem:
+    def test_paper_bandwidths(self):
+        assert DE4_DDR2.peak_bandwidth_bytes_s == pytest.approx(12.75e9)
+        assert GTX660_GDDR5.peak_bandwidth_bytes_s == pytest.approx(144e9)
+
+    def test_streaming_time(self):
+        mem = MemorySystem("t", 1024, 1e9, efficiency=1.0)
+        assert mem.streaming_time_ns(1_000_000) == pytest.approx(1e6)
+
+    def test_validation(self):
+        with pytest.raises(DeviceModelError):
+            MemorySystem("t", 0, 1e9)
+        with pytest.raises(DeviceModelError):
+            MemorySystem("t", 1024, 0.0)
+        with pytest.raises(DeviceModelError):
+            MemorySystem("t", 1024, 1e9, efficiency=2.0)
+        with pytest.raises(DeviceModelError):
+            MemorySystem("t", 1024, 1e9).streaming_time_ns(-5)

@@ -1,0 +1,65 @@
+"""Unit tests for the Barone-Adesi & Whaley control pricer."""
+
+import pytest
+
+from repro.errors import FinanceError
+from repro.finance import (
+    ExerciseStyle,
+    Option,
+    OptionType,
+    baw_price,
+    bs_price,
+    price_binomial,
+)
+
+
+class TestBAW:
+    def test_put_close_to_binomial(self, put_option):
+        approx = baw_price(put_option)
+        lattice = price_binomial(put_option, 2048).price
+        assert approx == pytest.approx(lattice, rel=0.02)
+
+    def test_call_without_dividend_is_european(self, call_option):
+        assert baw_price(call_option) == pytest.approx(
+            bs_price(call_option.as_european()), rel=1e-12)
+
+    def test_call_with_dividend_above_european(self):
+        option = Option(spot=100, strike=95, rate=0.05, volatility=0.25,
+                        maturity=1.0, option_type=OptionType.CALL,
+                        dividend_yield=0.07)
+        assert baw_price(option) > bs_price(option.as_european())
+
+    def test_dividend_call_close_to_binomial(self):
+        option = Option(spot=100, strike=100, rate=0.05, volatility=0.3,
+                        maturity=0.5, option_type=OptionType.CALL,
+                        dividend_yield=0.08)
+        lattice = price_binomial(option, 2048).price
+        assert baw_price(option) == pytest.approx(lattice, rel=0.03)
+
+    def test_deep_itm_put_returns_intrinsic(self):
+        option = Option(spot=20, strike=100, rate=0.08, volatility=0.2,
+                        maturity=0.5, option_type=OptionType.PUT)
+        assert baw_price(option) == pytest.approx(option.intrinsic(), rel=1e-6)
+
+    def test_value_at_least_intrinsic(self):
+        for spot in (60.0, 85.0, 100.0, 130.0):
+            option = Option(spot=spot, strike=100, rate=0.06, volatility=0.35,
+                            maturity=1.0, option_type=OptionType.PUT)
+            assert baw_price(option) >= option.intrinsic() - 1e-9
+
+    def test_value_at_least_european(self):
+        for vol in (0.1, 0.3, 0.6):
+            option = Option(spot=95, strike=100, rate=0.05, volatility=vol,
+                            maturity=1.0, option_type=OptionType.PUT)
+            assert baw_price(option) >= bs_price(option.as_european()) - 1e-9
+
+    def test_european_contract_rejected(self, euro_put):
+        with pytest.raises(FinanceError):
+            baw_price(euro_put)
+
+    def test_zero_rate_falls_back_to_floor(self):
+        option = Option(spot=100, strike=100, rate=0.0, volatility=0.3,
+                        maturity=1.0, option_type=OptionType.PUT)
+        value = baw_price(option)
+        assert value >= bs_price(option.as_european()) - 1e-12
+        assert value >= option.intrinsic()

@@ -1,0 +1,163 @@
+"""Unit tests for the reference binomial pricers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FinanceError
+from repro.finance import (
+    ExerciseStyle,
+    LatticeFamily,
+    Option,
+    OptionType,
+    bs_price,
+    exercise_boundary,
+    price_binomial,
+    price_binomial_batch,
+    price_binomial_scalar,
+)
+
+
+class TestAgainstScalarReference:
+    @pytest.mark.parametrize("steps", [2, 3, 16, 101])
+    def test_vectorised_equals_scalar(self, put_option, steps):
+        vec = price_binomial(put_option, steps).price
+        scalar = price_binomial_scalar(put_option, steps).price
+        assert vec == pytest.approx(scalar, rel=1e-14)
+
+    def test_call_matches_scalar(self, call_option):
+        assert price_binomial(call_option, 64).price == pytest.approx(
+            price_binomial_scalar(call_option, 64).price, rel=1e-14)
+
+    def test_european_matches_scalar(self, euro_put):
+        assert price_binomial(euro_put, 50).price == pytest.approx(
+            price_binomial_scalar(euro_put, 50).price, rel=1e-14)
+
+
+class TestConvergenceToBlackScholes:
+    def test_european_put_converges(self, euro_put):
+        analytic = bs_price(euro_put)
+        coarse = abs(price_binomial(euro_put, 64).price - analytic)
+        fine = abs(price_binomial(euro_put, 2048).price - analytic)
+        assert fine < coarse
+        assert fine < 5e-3
+
+    def test_european_call_converges(self, call_option):
+        euro = call_option.as_european()
+        assert price_binomial(euro, 4096).price == pytest.approx(
+            bs_price(euro), abs=2e-3)
+
+    @pytest.mark.parametrize("family", list(LatticeFamily))
+    def test_all_families_converge(self, euro_put, family):
+        price = price_binomial(euro_put, 2048, family).price
+        assert price == pytest.approx(bs_price(euro_put), abs=1e-2)
+
+
+class TestFinancialInvariants:
+    def test_american_at_least_european(self, put_option):
+        amer = price_binomial(put_option, 256).price
+        euro = price_binomial(put_option.as_european(), 256).price
+        assert amer >= euro - 1e-12
+
+    def test_american_put_strictly_above_european_deep_itm(self):
+        option = Option(spot=60, strike=100, rate=0.08, volatility=0.2,
+                        maturity=1.0, option_type=OptionType.PUT)
+        amer = price_binomial(option, 256).price
+        euro = price_binomial(option.as_european(), 256).price
+        assert amer > euro + 0.1
+
+    def test_american_call_no_dividend_equals_european(self, call_option):
+        amer = price_binomial(call_option, 512).price
+        euro = price_binomial(call_option.as_european(), 512).price
+        assert amer == pytest.approx(euro, rel=1e-12)
+
+    def test_price_at_least_intrinsic(self):
+        option = Option(spot=70, strike=100, rate=0.05, volatility=0.3,
+                        maturity=1.0, option_type=OptionType.PUT)
+        assert price_binomial(option, 128).price >= option.intrinsic() - 1e-12
+
+    def test_put_price_below_strike(self, put_option):
+        assert price_binomial(put_option, 128).price < put_option.strike
+
+    def test_call_price_below_spot(self, call_option):
+        assert price_binomial(call_option, 128).price < call_option.spot
+
+    def test_monotone_in_volatility(self, put_option):
+        low = price_binomial(put_option.with_volatility(0.1), 128).price
+        high = price_binomial(put_option.with_volatility(0.5), 128).price
+        assert high > low
+
+    def test_put_monotone_increasing_in_strike(self, put_option):
+        low = price_binomial(put_option.with_strike(90.0), 128).price
+        high = price_binomial(put_option.with_strike(110.0), 128).price
+        assert high > low
+
+    def test_european_put_call_parity(self):
+        base = dict(spot=100.0, strike=105.0, rate=0.03, volatility=0.25,
+                    maturity=1.0, exercise=ExerciseStyle.EUROPEAN)
+        call = price_binomial(Option(option_type=OptionType.CALL, **base), 2048).price
+        put = price_binomial(Option(option_type=OptionType.PUT, **base), 2048).price
+        parity = 100.0 - 105.0 * np.exp(-0.03)
+        assert call - put == pytest.approx(parity, abs=1e-3)
+
+
+class TestResultMetadata:
+    def test_tree_nodes_counted(self, put_option):
+        result = price_binomial(put_option, 64)
+        assert result.tree_nodes == 64 * 65 // 2 + 65
+
+    def test_params_attached(self, put_option):
+        result = price_binomial(put_option, 64)
+        assert result.params.steps == 64
+
+    def test_invalid_steps_raise(self, put_option):
+        with pytest.raises(FinanceError):
+            price_binomial(put_option, 0)
+        with pytest.raises(FinanceError):
+            price_binomial_scalar(put_option, -3)
+
+
+class TestPrecision:
+    def test_single_precision_close_but_not_equal(self, put_option):
+        double = price_binomial(put_option, 512, dtype=np.float64).price
+        single = price_binomial(put_option, 512, dtype=np.float32).price
+        assert single == pytest.approx(double, abs=0.05)
+        assert single != double
+
+    def test_single_precision_error_order(self, small_batch):
+        """Table II: the single-precision reference shows RMSE ~1e-3."""
+        double = price_binomial_batch(small_batch, 512)
+        single = price_binomial_batch(small_batch, 512, dtype=np.float32)
+        err = np.sqrt(np.mean((double - single) ** 2))
+        assert 1e-5 < err < 1e-1
+
+
+class TestBatch:
+    def test_batch_matches_individual(self, small_batch):
+        batch = price_binomial_batch(small_batch, 64)
+        individual = [price_binomial(o, 64).price for o in small_batch]
+        assert np.allclose(batch, individual, rtol=0, atol=0)
+
+    def test_batch_shape(self, small_batch):
+        assert price_binomial_batch(small_batch, 16).shape == (5,)
+
+
+class TestExerciseBoundary:
+    def test_put_boundary_below_strike_and_positive(self, put_option):
+        boundary = exercise_boundary(put_option, 128)
+        finite = boundary[np.isfinite(boundary)]
+        assert len(finite) > 10
+        assert np.all(finite <= put_option.strike + 1e-9)
+        assert np.all(finite > 0)
+
+    def test_boundary_at_expiry_is_strike(self, put_option):
+        boundary = exercise_boundary(put_option, 64)
+        assert boundary[-1] == pytest.approx(put_option.strike)
+
+    def test_european_rejected(self, euro_put):
+        with pytest.raises(FinanceError):
+            exercise_boundary(euro_put, 32)
+
+    def test_no_dividend_call_never_exercised(self, call_option):
+        boundary = exercise_boundary(call_option, 64)
+        # interior steps should show no early exercise for a no-div call
+        assert np.isnan(boundary[:-1]).all()

@@ -1,0 +1,116 @@
+"""Unit tests for the Black-Scholes oracle."""
+
+import math
+
+import pytest
+
+from repro.errors import FinanceError
+from repro.finance import (
+    ExerciseStyle,
+    Option,
+    OptionType,
+    bs_greeks,
+    bs_price,
+)
+from repro.finance.black_scholes import norm_cdf, norm_pdf
+
+
+class TestNormalHelpers:
+    def test_cdf_at_zero(self):
+        assert norm_cdf(0.0) == pytest.approx(0.5)
+
+    def test_cdf_symmetry(self):
+        assert norm_cdf(1.3) + norm_cdf(-1.3) == pytest.approx(1.0)
+
+    def test_pdf_peak(self):
+        assert norm_pdf(0.0) == pytest.approx(1.0 / math.sqrt(2 * math.pi))
+
+    def test_pdf_symmetric(self):
+        assert norm_pdf(0.7) == pytest.approx(norm_pdf(-0.7))
+
+
+def _euro(option_type=OptionType.CALL, **overrides):
+    base = dict(spot=100.0, strike=100.0, rate=0.05, volatility=0.2,
+                maturity=1.0, option_type=option_type,
+                exercise=ExerciseStyle.EUROPEAN)
+    base.update(overrides)
+    return Option(**base)
+
+
+class TestBsPrice:
+    def test_atm_call_textbook_value(self):
+        """Hull's classic S=K=100, r=5%, sigma=20%, T=1 call: 10.4506."""
+        assert bs_price(_euro()) == pytest.approx(10.4506, abs=1e-4)
+
+    def test_atm_put_textbook_value(self):
+        assert bs_price(_euro(OptionType.PUT)) == pytest.approx(5.5735, abs=1e-4)
+
+    def test_put_call_parity(self):
+        call = bs_price(_euro(OptionType.CALL, strike=95.0))
+        put = bs_price(_euro(OptionType.PUT, strike=95.0))
+        parity = 100.0 - 95.0 * math.exp(-0.05)
+        assert call - put == pytest.approx(parity, rel=1e-12)
+
+    def test_dividend_yield_lowers_call(self):
+        plain = bs_price(_euro())
+        with_div = bs_price(_euro(dividend_yield=0.03))
+        assert with_div < plain
+
+    def test_american_rejected(self, put_option):
+        with pytest.raises(FinanceError):
+            bs_price(put_option)
+
+    def test_deep_itm_call_near_forward_intrinsic(self):
+        option = _euro(strike=10.0)
+        expected = 100.0 - 10.0 * math.exp(-0.05)
+        assert bs_price(option) == pytest.approx(expected, abs=1e-6)
+
+
+class TestGreeks:
+    def test_delta_bounds(self):
+        greeks = bs_greeks(_euro())
+        assert 0.0 < greeks.delta < 1.0
+        put_greeks = bs_greeks(_euro(OptionType.PUT))
+        assert -1.0 < put_greeks.delta < 0.0
+
+    def test_delta_call_put_relation(self):
+        call = bs_greeks(_euro()).delta
+        put = bs_greeks(_euro(OptionType.PUT)).delta
+        assert call - put == pytest.approx(1.0)  # zero dividend
+
+    def test_gamma_vega_shared(self):
+        call = bs_greeks(_euro())
+        put = bs_greeks(_euro(OptionType.PUT))
+        assert call.gamma == pytest.approx(put.gamma)
+        assert call.vega == pytest.approx(put.vega)
+
+    @pytest.mark.parametrize("option_type", [OptionType.CALL, OptionType.PUT])
+    def test_greeks_match_finite_differences(self, option_type):
+        option = _euro(option_type)
+        greeks = bs_greeks(option)
+        h = 1e-4
+
+        from dataclasses import replace
+        up = replace(option, spot=option.spot + h)
+        dn = replace(option, spot=option.spot - h)
+        fd_delta = (bs_price(up) - bs_price(dn)) / (2 * h)
+        assert greeks.delta == pytest.approx(fd_delta, abs=1e-6)
+
+        fd_gamma = (bs_price(up) - 2 * bs_price(option) + bs_price(dn)) / h**2
+        assert greeks.gamma == pytest.approx(fd_gamma, abs=1e-4)
+
+        fd_vega = (bs_price(option.with_volatility(0.2 + h))
+                   - bs_price(option.with_volatility(0.2 - h))) / (2 * h)
+        assert greeks.vega == pytest.approx(fd_vega, abs=1e-4)
+
+        fd_rho = (bs_price(replace(option, rate=0.05 + h))
+                  - bs_price(replace(option, rate=0.05 - h))) / (2 * h)
+        assert greeks.rho == pytest.approx(fd_rho, abs=1e-4)
+
+        fd_theta = -(bs_price(replace(option, maturity=1.0 + h))
+                     - bs_price(replace(option, maturity=1.0 - h))) / (2 * h)
+        assert greeks.theta == pytest.approx(fd_theta, abs=1e-4)
+
+    def test_american_rejected(self, put_option):
+        with pytest.raises(FinanceError):
+            bs_greeks(put_option)

@@ -1,0 +1,85 @@
+"""Unit tests for the lattice convergence analysis."""
+
+import pytest
+
+from repro.errors import FinanceError
+from repro.finance import bs_price, price_binomial
+from repro.finance.convergence import (
+    ConvergencePoint,
+    convergence_study,
+    estimate_convergence_order,
+    richardson_extrapolation,
+)
+
+
+class TestConvergenceStudy:
+    def test_european_uses_analytic_reference(self, euro_put):
+        points = convergence_study(euro_put, steps_list=(64, 256))
+        analytic = bs_price(euro_put)
+        for p in points:
+            assert p.error == pytest.approx(p.price - analytic)
+
+    def test_american_uses_deep_lattice(self, put_option):
+        points = convergence_study(put_option, steps_list=(32, 64),
+                                   reference_steps=2048)
+        reference = price_binomial(put_option, 2048).price
+        assert points[0].error == pytest.approx(points[0].price - reference)
+
+    def test_errors_shrink(self, put_option):
+        points = convergence_study(put_option, steps_list=(16, 64, 256),
+                                   reference_steps=4096)
+        assert points[-1].abs_error < points[0].abs_error
+
+    def test_reference_must_exceed_study(self, put_option):
+        with pytest.raises(FinanceError):
+            convergence_study(put_option, steps_list=(512,),
+                              reference_steps=512)
+
+    def test_empty_steps_rejected(self, put_option):
+        with pytest.raises(FinanceError):
+            convergence_study(put_option, steps_list=())
+
+
+class TestConvergenceOrder:
+    def test_crr_is_first_order(self, euro_put):
+        points = convergence_study(euro_put,
+                                   steps_list=(32, 64, 128, 256, 512, 1024))
+        order = estimate_convergence_order(points)
+        assert -1.7 < order < -0.5
+
+    def test_degenerate_points_skipped(self):
+        points = [ConvergencePoint(steps=16, price=1.0, error=0.0),
+                  ConvergencePoint(steps=32, price=1.0, error=1e-3),
+                  ConvergencePoint(steps=64, price=1.0, error=5e-4)]
+        order = estimate_convergence_order(points)
+        assert order < 0
+
+    def test_too_few_points(self):
+        with pytest.raises(FinanceError):
+            estimate_convergence_order(
+                [ConvergencePoint(steps=16, price=1.0, error=0.0)])
+
+
+class TestRichardson:
+    def test_beats_plain_lattice_on_average(self, euro_put):
+        """CRR oscillation makes single depths noisy; in geometric mean
+        over depths the smoothed extrapolation wins clearly."""
+        import numpy as np
+
+        analytic = bs_price(euro_put)
+        depths = (64, 128, 256, 512)
+        plain = [abs(price_binomial(euro_put, n).price - analytic)
+                 for n in depths]
+        extrapolated = [abs(richardson_extrapolation(euro_put, n) - analytic)
+                        for n in depths]
+        gm = lambda xs: float(np.exp(np.mean(np.log(xs))))
+        assert gm(extrapolated) < gm(plain) / 2
+
+    def test_smoothing_flag(self, euro_put):
+        smooth = richardson_extrapolation(euro_put, 64, smooth=True)
+        naive = richardson_extrapolation(euro_put, 64, smooth=False)
+        assert smooth != naive
+
+    def test_input_validation(self, euro_put):
+        with pytest.raises(FinanceError):
+            richardson_extrapolation(euro_put, 1)

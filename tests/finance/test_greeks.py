@@ -1,0 +1,38 @@
+"""Unit tests for lattice greeks."""
+
+import pytest
+
+from repro.errors import FinanceError
+from repro.finance import bs_greeks, lattice_greeks, price_binomial
+
+
+class TestLatticeGreeks:
+    def test_price_matches_pricer(self, put_option):
+        greeks = lattice_greeks(put_option, steps=256)
+        assert greeks.price == pytest.approx(
+            price_binomial(put_option, 256).price, rel=1e-12)
+
+    def test_european_matches_analytic(self, euro_put):
+        greeks = lattice_greeks(euro_put, steps=2048)
+        analytic = bs_greeks(euro_put)
+        assert greeks.delta == pytest.approx(analytic.delta, abs=5e-3)
+        assert greeks.gamma == pytest.approx(analytic.gamma, abs=5e-3)
+        assert greeks.vega == pytest.approx(analytic.vega, rel=5e-2)
+        assert greeks.rho == pytest.approx(analytic.rho, rel=5e-2)
+        assert greeks.theta == pytest.approx(analytic.theta, rel=0.1)
+
+    def test_put_delta_negative(self, put_option):
+        assert -1.0 < lattice_greeks(put_option, 128).delta < 0.0
+
+    def test_call_delta_positive(self, call_option):
+        assert 0.0 < lattice_greeks(call_option, 128).delta < 1.0
+
+    def test_gamma_positive(self, put_option):
+        assert lattice_greeks(put_option, 128).gamma > 0.0
+
+    def test_vega_positive(self, put_option):
+        assert lattice_greeks(put_option, 128).vega > 0.0
+
+    def test_too_few_steps_rejected(self, put_option):
+        with pytest.raises(FinanceError):
+            lattice_greeks(put_option, steps=2)

@@ -1,0 +1,119 @@
+"""Unit tests for the implied-volatility solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, FinanceError
+from repro.finance import (
+    bs_price,
+    generate_curve_scenario,
+    implied_vol_bisection,
+    implied_vol_brent,
+    implied_vol_curve,
+    implied_vol_newton,
+    implied_volatility,
+    price_binomial,
+)
+
+STEPS = 128  # keep lattice solves quick
+
+
+class TestRoundTrips:
+    """Solve for the vol that produced a known price."""
+
+    def test_bisection_american(self, put_option):
+        target = price_binomial(put_option, STEPS).price
+        vol = implied_vol_bisection(put_option, target, steps=STEPS, tol=1e-10)
+        assert vol == pytest.approx(put_option.volatility, abs=1e-5)
+
+    def test_brent_american(self, put_option):
+        target = price_binomial(put_option, STEPS).price
+        vol = implied_vol_brent(put_option, target, steps=STEPS)
+        assert vol == pytest.approx(put_option.volatility, abs=1e-7)
+
+    def test_newton_european(self, euro_put):
+        target = bs_price(euro_put)
+        vol = implied_vol_newton(euro_put, target)
+        assert vol == pytest.approx(euro_put.volatility, abs=1e-8)
+
+    def test_auto_dispatch_european(self, euro_put):
+        vol = implied_volatility(euro_put, bs_price(euro_put))
+        assert vol == pytest.approx(euro_put.volatility, abs=1e-8)
+
+    def test_auto_dispatch_american(self, put_option):
+        target = price_binomial(put_option, STEPS).price
+        vol = implied_volatility(put_option, target, steps=STEPS)
+        assert vol == pytest.approx(put_option.volatility, abs=1e-6)
+
+    @pytest.mark.parametrize("true_vol", [0.08, 0.25, 0.9])
+    def test_brent_across_vol_range(self, put_option, true_vol):
+        option = put_option.with_volatility(true_vol)
+        target = price_binomial(option, STEPS).price
+        vol = implied_vol_brent(put_option, target, steps=STEPS)
+        assert vol == pytest.approx(true_vol, abs=1e-6)
+
+
+class TestCustomEngine:
+    def test_price_fn_used(self, euro_put):
+        calls = []
+
+        def engine(option):
+            calls.append(option.volatility)
+            return bs_price(option)
+
+        vol = implied_vol_brent(euro_put, bs_price(euro_put), price_fn=engine)
+        assert vol == pytest.approx(euro_put.volatility, abs=1e-7)
+        assert len(calls) > 2
+
+
+class TestErrorHandling:
+    def test_arbitrage_price_rejected(self, put_option):
+        deep_itm = put_option.with_strike(200.0)
+        with pytest.raises(FinanceError, match="intrinsic"):
+            implied_volatility(deep_itm, deep_itm.intrinsic() - 5.0,
+                               method="brent", steps=STEPS)
+
+    def test_nonpositive_price_rejected(self, put_option):
+        with pytest.raises(FinanceError):
+            implied_volatility(put_option, 0.0, steps=STEPS)
+        with pytest.raises(FinanceError):
+            implied_volatility(put_option, -1.0, steps=STEPS)
+
+    def test_unknown_method(self, put_option):
+        with pytest.raises(FinanceError, match="unknown"):
+            implied_volatility(put_option, 5.0, method="gradient-descent")
+
+    def test_newton_rejects_american(self, put_option):
+        with pytest.raises(FinanceError):
+            implied_vol_newton(put_option, 5.0)
+
+    def test_newton_rejects_custom_engine(self, euro_put):
+        with pytest.raises(FinanceError):
+            implied_volatility(euro_put, 5.0, method="newton",
+                               price_fn=lambda o: 1.0)
+
+    def test_unbracketable_price_raises(self, euro_put):
+        # price above the spot can never be reached by any volatility
+        with pytest.raises(ConvergenceError):
+            implied_vol_bisection(euro_put, euro_put.spot * 2.0)
+
+
+class TestCurve:
+    def test_curve_recovers_smile(self):
+        scenario = generate_curve_scenario(n_strikes=5, steps=STEPS,
+                                           pricing_steps=STEPS)
+        points = implied_vol_curve(scenario.base_option, scenario.strikes,
+                                   scenario.market_prices, steps=STEPS)
+        recovered = np.array([p.implied_vol for p in points])
+        assert np.allclose(recovered, scenario.true_vols, atol=1e-6)
+
+    def test_curve_counts_evaluations(self):
+        scenario = generate_curve_scenario(n_strikes=3, steps=STEPS,
+                                           pricing_steps=STEPS)
+        points = implied_vol_curve(scenario.base_option, scenario.strikes,
+                                   scenario.market_prices, steps=STEPS)
+        assert all(p.evaluations > 2 for p in points)
+
+    def test_length_mismatch(self, put_option):
+        with pytest.raises(FinanceError):
+            implied_vol_curve(put_option, [90.0, 100.0], [5.0])

@@ -1,0 +1,140 @@
+"""Unit tests for lattice parameterisations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import FinanceError
+from repro.finance import (
+    LatticeFamily,
+    LatticeParams,
+    Option,
+    OptionType,
+    asset_prices_at_step,
+    build_lattice_params,
+)
+
+
+class TestCRRParams:
+    def test_up_down_reciprocal(self, put_option):
+        params = build_lattice_params(put_option, 128)
+        assert params.up * params.down == pytest.approx(1.0)
+
+    def test_up_matches_formula(self, put_option):
+        params = build_lattice_params(put_option, 100)
+        dt = put_option.maturity / 100
+        assert params.up == pytest.approx(
+            math.exp(put_option.volatility * math.sqrt(dt)))
+
+    def test_probability_in_unit_interval(self, put_option):
+        params = build_lattice_params(put_option, 64)
+        assert 0.0 < params.p_up < 1.0
+        assert params.p_up + params.p_down == pytest.approx(1.0)
+
+    def test_discount_factor(self, put_option):
+        params = build_lattice_params(put_option, 10)
+        assert params.discount == pytest.approx(
+            math.exp(-put_option.rate * put_option.maturity / 10))
+
+    def test_discounted_probabilities_are_equation1_coefficients(self, put_option):
+        params = build_lattice_params(put_option, 16)
+        assert params.discounted_p_up == pytest.approx(
+            params.discount * params.p_up)
+        assert params.discounted_p_down == pytest.approx(
+            params.discount * params.p_down)
+
+    def test_risk_neutral_expectation_grows_at_rate(self, put_option):
+        """p*u + q*d must equal exp(r*dt) (martingale condition)."""
+        params = build_lattice_params(put_option, 32)
+        dt = put_option.maturity / 32
+        expectation = params.p_up * params.up + params.p_down * params.down
+        assert expectation == pytest.approx(math.exp(put_option.rate * dt))
+
+    def test_coarse_step_with_tiny_vol_rejected(self):
+        option = Option(spot=100, strike=100, rate=0.10, volatility=0.001,
+                        maturity=1.0)
+        with pytest.raises(FinanceError, match="probability"):
+            build_lattice_params(option, 4)
+
+    def test_invalid_steps(self, put_option):
+        with pytest.raises(FinanceError):
+            build_lattice_params(put_option, 0)
+
+
+class TestAlternativeFamilies:
+    @pytest.mark.parametrize("family", [LatticeFamily.JARROW_RUDD,
+                                        LatticeFamily.TIAN])
+    def test_martingale_condition(self, put_option, family):
+        params = build_lattice_params(put_option, 64, family)
+        dt = put_option.maturity / 64
+        expectation = params.p_up * params.up + params.p_down * params.down
+        assert expectation == pytest.approx(math.exp(put_option.rate * dt))
+
+    def test_jarrow_rudd_probability_near_half(self, put_option):
+        params = build_lattice_params(put_option, 256, LatticeFamily.JARROW_RUDD)
+        assert abs(params.p_up - 0.5) < 0.05
+
+    def test_families_tagged(self, put_option):
+        for family in LatticeFamily:
+            params = build_lattice_params(put_option, 16, family)
+            assert params.family is family
+
+
+class TestLatticeParamsProperties:
+    def test_node_counts(self, put_option):
+        params = build_lattice_params(put_option, 4)
+        assert params.levels == 5
+        assert params.node_count == 15          # (5*6)/2
+        assert params.interior_work_items == 10  # 4*5/2 (paper N(N+1)/2)
+
+    def test_paper_work_item_count(self, put_option):
+        params = build_lattice_params(put_option, 1024)
+        assert params.interior_work_items == 524_800
+
+    def test_validation_in_constructor(self):
+        with pytest.raises(FinanceError):
+            LatticeParams(steps=4, dt=0.1, up=1.1, down=0.9,
+                          p_up=1.5, discount=0.99)
+        with pytest.raises(FinanceError):
+            LatticeParams(steps=4, dt=0.1, up=0.9, down=1.1,
+                          p_up=0.5, discount=0.99)
+        with pytest.raises(FinanceError):
+            LatticeParams(steps=0, dt=0.1, up=1.1, down=0.9,
+                          p_up=0.5, discount=0.99)
+
+
+class TestAssetPrices:
+    def test_root_is_spot(self, put_option):
+        params = build_lattice_params(put_option, 8)
+        prices = asset_prices_at_step(put_option, params, 0)
+        assert prices.shape == (1,)
+        assert prices[0] == pytest.approx(put_option.spot)
+
+    def test_row_length_and_ordering(self, put_option):
+        params = build_lattice_params(put_option, 8)
+        prices = asset_prices_at_step(put_option, params, 5)
+        assert prices.shape == (6,)
+        # k = down-move count: index 0 highest price, strictly decreasing
+        assert np.all(np.diff(prices) < 0)
+
+    def test_recombination_middle_node(self, put_option):
+        """One up + one down returns to the spot (CRR recombines)."""
+        params = build_lattice_params(put_option, 8)
+        prices = asset_prices_at_step(put_option, params, 2)
+        assert prices[1] == pytest.approx(put_option.spot)
+
+    def test_backward_recurrence_s_equals_d_times_child(self, put_option):
+        """The paper's Equation (1): S[t,k] = d * S[t+1,k]."""
+        params = build_lattice_params(put_option, 8)
+        row_t = asset_prices_at_step(put_option, params, 3)
+        row_next = asset_prices_at_step(put_option, params, 4)
+        for k in range(4):
+            assert row_t[k] == pytest.approx(params.down * row_next[k])
+
+    def test_out_of_range_step(self, put_option):
+        params = build_lattice_params(put_option, 8)
+        with pytest.raises(FinanceError):
+            asset_prices_at_step(put_option, params, 9)
+        with pytest.raises(FinanceError):
+            asset_prices_at_step(put_option, params, -1)

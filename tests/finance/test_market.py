@@ -1,0 +1,168 @@
+"""Unit tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FinanceError
+from repro.finance import (
+    PAPER_BATCH_SIZE,
+    PAPER_STEPS,
+    OptionType,
+    WorkloadSpec,
+    generate_batch,
+    generate_curve_scenario,
+)
+
+
+class TestWorkloadSpec:
+    def test_defaults_match_paper(self):
+        spec = WorkloadSpec()
+        assert spec.n_options == PAPER_BATCH_SIZE == 2000
+        assert PAPER_STEPS == 1024
+
+    def test_invalid_count(self):
+        with pytest.raises(FinanceError):
+            WorkloadSpec(n_options=0)
+
+    def test_inverted_range(self):
+        with pytest.raises(FinanceError):
+            WorkloadSpec(vol_range=(0.5, 0.1))
+
+
+class TestGenerateBatch:
+    def test_reproducible(self):
+        a = generate_batch(n_options=10, seed=1)
+        b = generate_batch(n_options=10, seed=1)
+        assert a.options == b.options
+
+    def test_different_seeds_differ(self):
+        a = generate_batch(n_options=10, seed=1)
+        b = generate_batch(n_options=10, seed=2)
+        assert a.options != b.options
+
+    def test_overrides_apply(self):
+        batch = generate_batch(n_options=7, option_type=OptionType.CALL)
+        assert len(batch) == 7
+        assert all(o.is_call for o in batch)
+
+    def test_spec_plus_overrides(self):
+        spec = WorkloadSpec(n_options=4, seed=5)
+        batch = generate_batch(spec, n_options=6)
+        assert len(batch) == 6
+        assert batch.spec.seed == 5
+
+    def test_ranges_respected(self):
+        spec = WorkloadSpec(n_options=200, vol_range=(0.2, 0.3),
+                            maturity_range=(0.5, 1.0))
+        batch = generate_batch(spec)
+        for option in batch:
+            assert 0.2 <= option.volatility <= 0.3
+            assert 0.5 <= option.maturity <= 1.0
+            assert option.spot == spec.spot
+
+    def test_iteration_and_indexing(self):
+        batch = generate_batch(n_options=3)
+        assert batch[0] is batch.options[0]
+        assert list(batch) == list(batch.options)
+
+    def test_parameter_matrix_layout(self):
+        batch = generate_batch(n_options=4)
+        matrix = batch.parameter_matrix()
+        assert matrix.shape == (4, 5)
+        option = batch[2]
+        assert np.allclose(
+            matrix[2],
+            [option.spot, option.strike, option.rate,
+             option.volatility, option.maturity],
+        )
+
+
+class TestCurveScenario:
+    def test_scenario_consistency(self):
+        scenario = generate_curve_scenario(n_strikes=5, pricing_steps=64)
+        assert len(scenario.strikes) == len(scenario.true_vols) == 5
+        assert len(scenario.market_prices) == 5
+        assert np.all(scenario.market_prices > 0)
+
+    def test_smile_shape(self):
+        scenario = generate_curve_scenario(n_strikes=9, pricing_steps=32,
+                                           skew=0.0, smile_curvature=0.4)
+        mid = len(scenario.true_vols) // 2
+        # pure parabola: ATM vol is (close to) the minimum
+        assert scenario.true_vols[mid] <= scenario.true_vols[0]
+        assert scenario.true_vols[mid] <= scenario.true_vols[-1]
+
+    def test_too_few_strikes(self):
+        with pytest.raises(FinanceError):
+            generate_curve_scenario(n_strikes=2)
+
+    def test_negative_vol_smile_rejected(self):
+        with pytest.raises(FinanceError):
+            generate_curve_scenario(atm_vol=0.05, skew=1.0,
+                                    smile_curvature=0.0, pricing_steps=16)
+
+
+class TestSurfaceScenario:
+    def test_surface_structure(self):
+        from repro.finance import generate_surface_scenario
+
+        surface = generate_surface_scenario(
+            maturities=(0.25, 0.5, 1.0), n_strikes=5, pricing_steps=32)
+        assert len(surface.curves) == 3
+        assert surface.total_options == 15
+        for maturity, curve in zip(surface.maturities, surface.curves):
+            assert curve.base_option.maturity == maturity
+
+    def test_term_structure_rises(self):
+        from repro.finance import generate_surface_scenario
+
+        surface = generate_surface_scenario(
+            maturities=(0.1, 2.0), n_strikes=3, pricing_steps=16,
+            term_slope=0.05)
+        atm_short = surface.curves[0].true_vols[1]
+        atm_long = surface.curves[1].true_vols[1]
+        assert atm_long > atm_short
+
+    def test_paper_five_curve_yardstick(self):
+        """Default surface = 5 maturities, echoing the paper's '5
+        plotted volatility curve' saturation unit."""
+        from repro.finance import generate_surface_scenario
+
+        surface = generate_surface_scenario(n_strikes=3, pricing_steps=8)
+        assert len(surface.maturities) == 5
+
+    def test_validation(self):
+        from repro.errors import FinanceError
+        from repro.finance import generate_surface_scenario
+
+        import pytest as _pytest
+        with _pytest.raises(FinanceError):
+            generate_surface_scenario(maturities=(), n_strikes=3)
+        with _pytest.raises(FinanceError):
+            generate_surface_scenario(maturities=(0.5, -1.0), n_strikes=3,
+                                      pricing_steps=8)
+
+    def test_surface_recovery_through_solver(self):
+        """Full surface round trip: quotes -> implied vols per expiry.
+
+        Quotes pinned at intrinsic (deep-ITM short-dated American puts)
+        carry no volatility information — the price is flat in sigma —
+        so, as on a real desk, those points are excluded from the fit.
+        """
+        import numpy as np
+
+        from repro.finance import generate_surface_scenario, implied_vol_curve
+
+        surface = generate_surface_scenario(
+            maturities=(0.25, 1.0), n_strikes=3, steps=64, pricing_steps=64)
+        identifiable = 0
+        for curve in surface.curves:
+            points = implied_vol_curve(curve.base_option, curve.strikes,
+                                       curve.market_prices, steps=64)
+            for point, true_vol in zip(points, curve.true_vols):
+                intrinsic = max(point.strike - curve.base_option.spot, 0.0)
+                if point.market_price <= intrinsic + 1e-9:
+                    continue  # vega ~ 0: vol unidentifiable from this quote
+                identifiable += 1
+                assert point.implied_vol == pytest.approx(true_vol, abs=1e-6)
+        assert identifiable >= 4  # most of the surface is identifiable

@@ -1,0 +1,98 @@
+"""Unit tests for the Monte Carlo pricers (Section II's rival method)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FinanceError
+from repro.finance import Option, OptionType, bs_price, price_binomial
+from repro.finance.montecarlo import (
+    MCResult,
+    price_american_lsmc,
+    price_european_mc,
+)
+
+
+class TestEuropeanMC:
+    def test_converges_to_black_scholes(self, euro_put):
+        result = price_european_mc(euro_put, paths=400_000, seed=3)
+        analytic = bs_price(euro_put)
+        assert abs(result.price - analytic) < 4 * result.std_error
+        assert result.std_error < 0.05
+
+    def test_reproducible(self, euro_put):
+        a = price_european_mc(euro_put, paths=10_000, seed=7)
+        b = price_european_mc(euro_put, paths=10_000, seed=7)
+        assert a.price == b.price
+
+    def test_different_seeds_differ(self, euro_put):
+        a = price_european_mc(euro_put, paths=10_000, seed=1)
+        b = price_european_mc(euro_put, paths=10_000, seed=2)
+        assert a.price != b.price
+
+    def test_error_shrinks_as_sqrt_paths(self, euro_put):
+        """The 'slow convergence rate' of Section II, measured."""
+        small = price_european_mc(euro_put, paths=10_000, seed=5)
+        large = price_european_mc(euro_put, paths=160_000, seed=5)
+        # 16x the paths -> ~4x smaller standard error
+        assert large.std_error == pytest.approx(small.std_error / 4, rel=0.3)
+
+    def test_antithetic_reduces_variance(self, euro_put):
+        plain = price_european_mc(euro_put, paths=40_000, seed=9,
+                                  antithetic=False)
+        anti = price_european_mc(euro_put, paths=40_000, seed=9,
+                                 antithetic=True)
+        assert anti.std_error < plain.std_error
+
+    def test_confidence_interval(self, euro_put):
+        result = price_european_mc(euro_put, paths=50_000, seed=4)
+        lo, hi = result.confidence_interval()
+        assert lo < result.price < hi
+
+    def test_rejects_american(self, put_option):
+        with pytest.raises(FinanceError):
+            price_european_mc(put_option)
+
+    def test_path_validation(self, euro_put):
+        with pytest.raises(FinanceError):
+            price_european_mc(euro_put, paths=1)
+
+
+class TestLSMC:
+    def test_close_to_binomial(self, put_option):
+        lattice = price_binomial(put_option, 2048).price
+        result = price_american_lsmc(put_option, paths=100_000, steps=50,
+                                     seed=11)
+        # LSMC carries a small low bias (suboptimal exercise policy);
+        # accept agreement within ~1%
+        assert result.price == pytest.approx(lattice, rel=0.015)
+
+    def test_american_at_least_european_mc(self, put_option):
+        amer = price_american_lsmc(put_option, paths=60_000, steps=50, seed=2)
+        euro = price_european_mc(put_option.as_european(), paths=60_000,
+                                 seed=2)
+        assert amer.price > euro.price - 3 * euro.std_error
+
+    def test_at_least_intrinsic(self):
+        deep = Option(spot=60, strike=100, rate=0.08, volatility=0.2,
+                      maturity=1.0, option_type=OptionType.PUT)
+        result = price_american_lsmc(deep, paths=20_000, steps=25, seed=1)
+        assert result.price >= deep.intrinsic() - 1e-12
+
+    def test_call_without_dividends_matches_european(self, call_option):
+        lsmc = price_american_lsmc(call_option, paths=100_000, steps=40,
+                                   seed=6)
+        analytic = bs_price(call_option.as_european())
+        assert lsmc.price == pytest.approx(analytic, rel=0.02)
+
+    def test_validation(self, put_option):
+        with pytest.raises(FinanceError):
+            price_american_lsmc(put_option, steps=1)
+        with pytest.raises(FinanceError):
+            price_american_lsmc(put_option, basis_degree=0)
+        with pytest.raises(FinanceError):
+            price_american_lsmc(put_option, paths=1)
+
+    def test_reproducible(self, put_option):
+        a = price_american_lsmc(put_option, paths=5_000, steps=20, seed=3)
+        b = price_american_lsmc(put_option, paths=5_000, steps=20, seed=3)
+        assert a.price == b.price

@@ -1,0 +1,106 @@
+"""Unit tests for option contracts and payoffs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import FinanceError
+from repro.finance import (
+    ExerciseStyle,
+    Option,
+    OptionType,
+    intrinsic_value,
+    payoff,
+)
+
+
+class TestOptionType:
+    def test_call_sign(self):
+        assert OptionType.CALL.sign == 1
+
+    def test_put_sign(self):
+        assert OptionType.PUT.sign == -1
+
+
+class TestOptionValidation:
+    def test_valid_option_constructs(self, put_option):
+        assert put_option.spot == 100.0
+
+    @pytest.mark.parametrize("field,value", [
+        ("spot", 0.0), ("spot", -1.0), ("spot", math.nan), ("spot", math.inf),
+        ("strike", 0.0), ("strike", -5.0),
+        ("volatility", 0.0), ("volatility", -0.2),
+        ("maturity", 0.0), ("maturity", -1.0),
+        ("rate", math.nan), ("dividend_yield", math.inf),
+    ])
+    def test_invalid_parameters_raise(self, field, value):
+        kwargs = dict(spot=100.0, strike=100.0, rate=0.05,
+                      volatility=0.3, maturity=1.0)
+        kwargs[field] = value
+        with pytest.raises(FinanceError):
+            Option(**kwargs)
+
+    def test_negative_rate_allowed(self):
+        option = Option(spot=100, strike=100, rate=-0.01,
+                        volatility=0.3, maturity=1.0)
+        assert option.rate == -0.01
+
+    def test_frozen(self, put_option):
+        with pytest.raises(Exception):
+            put_option.spot = 50.0
+
+
+class TestOptionViews:
+    def test_with_volatility_returns_copy(self, put_option):
+        bumped = put_option.with_volatility(0.4)
+        assert bumped.volatility == 0.4
+        assert put_option.volatility == 0.30
+        assert bumped.strike == put_option.strike
+
+    def test_with_strike(self, put_option):
+        assert put_option.with_strike(90.0).strike == 90.0
+
+    def test_as_european_as_american_roundtrip(self, put_option):
+        euro = put_option.as_european()
+        assert euro.exercise is ExerciseStyle.EUROPEAN
+        assert euro.as_american().exercise is ExerciseStyle.AMERICAN
+
+    def test_is_call_is_american(self, put_option, call_option):
+        assert not put_option.is_call
+        assert call_option.is_call
+        assert put_option.is_american
+
+    def test_moneyness(self, call_option):
+        assert call_option.moneyness() == pytest.approx(100.0 / 95.0)
+
+
+class TestIntrinsicAndPayoff:
+    def test_call_intrinsic_itm(self):
+        assert intrinsic_value(110.0, 100.0, OptionType.CALL) == 10.0
+
+    def test_call_intrinsic_otm_is_zero(self):
+        assert intrinsic_value(90.0, 100.0, OptionType.CALL) == 0.0
+
+    def test_put_intrinsic(self):
+        assert intrinsic_value(90.0, 100.0, OptionType.PUT) == 10.0
+        assert intrinsic_value(110.0, 100.0, OptionType.PUT) == 0.0
+
+    def test_intrinsic_vectorised(self):
+        spots = np.array([80.0, 100.0, 120.0])
+        out = intrinsic_value(spots, 100.0, OptionType.CALL)
+        assert np.array_equal(out, [0.0, 0.0, 20.0])
+
+    def test_scalar_returns_float(self):
+        out = intrinsic_value(105.0, 100.0, OptionType.CALL)
+        assert isinstance(out, float)
+
+    def test_option_intrinsic_method(self, put_option):
+        assert put_option.intrinsic() == 0.0
+        itm = put_option.with_strike(120.0)
+        assert itm.intrinsic() == 20.0
+
+    def test_payoff_matches_intrinsic_at_terminal(self, call_option):
+        prices = np.array([50.0, 95.0, 150.0])
+        expected = np.maximum(prices - 95.0, 0.0)
+        assert np.array_equal(payoff(call_option, prices), expected)

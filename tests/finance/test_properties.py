@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for the pricing substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.finance import (
+    ExerciseStyle,
+    LatticeFamily,
+    Option,
+    OptionType,
+    bs_price,
+    build_lattice_params,
+    price_binomial,
+    price_binomial_scalar,
+)
+
+# Parameter domains chosen so every CRR lattice at >= 8 steps is valid
+# (sigma * sqrt(dt) > |r - q| * dt holds comfortably).
+spots = st.floats(min_value=10.0, max_value=500.0)
+strikes = st.floats(min_value=10.0, max_value=500.0)
+rates = st.floats(min_value=0.0, max_value=0.10)
+vols = st.floats(min_value=0.05, max_value=0.9)
+maturities = st.floats(min_value=0.05, max_value=3.0)
+option_types = st.sampled_from([OptionType.CALL, OptionType.PUT])
+
+
+def make_option(spot, strike, rate, vol, maturity, option_type,
+                exercise=ExerciseStyle.AMERICAN):
+    return Option(spot=spot, strike=strike, rate=rate, volatility=vol,
+                  maturity=maturity, option_type=option_type,
+                  exercise=exercise)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spots, strikes, rates, vols, maturities, option_types)
+def test_price_bounded_between_intrinsic_and_underlying(
+        spot, strike, rate, vol, maturity, option_type):
+    """No-arbitrage bounds: intrinsic <= V <= S (call) / K (put)."""
+    option = make_option(spot, strike, rate, vol, maturity, option_type)
+    price = price_binomial(option, 64).price
+    assert price >= option.intrinsic() - 1e-9 * max(spot, strike)
+    upper = spot if option.is_call else strike
+    assert price <= upper * (1.0 + 1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spots, strikes, rates, vols, maturities, option_types)
+def test_american_dominates_european(spot, strike, rate, vol, maturity,
+                                     option_type):
+    option = make_option(spot, strike, rate, vol, maturity, option_type)
+    amer = price_binomial(option, 48).price
+    euro = price_binomial(option.as_european(), 48).price
+    assert amer >= euro - 1e-9 * max(spot, strike)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spots, strikes, rates, vols, maturities, option_types,
+       st.integers(min_value=8, max_value=40))
+def test_vectorised_matches_scalar_everywhere(spot, strike, rate, vol,
+                                              maturity, option_type, steps):
+    """The numpy pricer IS the loop pricer, over the whole domain."""
+    import math
+
+    from hypothesis import assume
+
+    assume(vol > rate * math.sqrt(maturity / steps) * 1.05)  # CRR validity
+    option = make_option(spot, strike, rate, vol, maturity, option_type)
+    vec = price_binomial(option, steps).price
+    scalar = price_binomial_scalar(option, steps).price
+    assert np.isclose(vec, scalar, rtol=1e-12, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spots, strikes, rates, vols, maturities, option_types)
+def test_vol_monotonicity(spot, strike, rate, vol, maturity, option_type):
+    """American option values never decrease with volatility."""
+    option = make_option(spot, strike, rate, vol, maturity, option_type)
+    bumped = option.with_volatility(vol + 0.05)
+    low = price_binomial(option, 48).price
+    high = price_binomial(bumped, 48).price
+    assert high >= low - 1e-9 * max(spot, strike)
+
+
+@settings(max_examples=30, deadline=None)
+@given(spots, strikes, rates, vols,
+       st.floats(min_value=0.2, max_value=2.0))
+def test_european_binomial_tracks_black_scholes(spot, strike, rate, vol,
+                                                maturity):
+    """At N=512 the CRR error is well under 1% of spot for all params."""
+    option = make_option(spot, strike, rate, vol, maturity, OptionType.PUT,
+                         ExerciseStyle.EUROPEAN)
+    lattice = price_binomial(option, 512).price
+    analytic = bs_price(option)
+    assert abs(lattice - analytic) < 0.01 * spot
+
+
+@settings(max_examples=40, deadline=None)
+@given(spots, rates, vols, maturities,
+       st.integers(min_value=4, max_value=128))
+def test_crr_lattice_invariants(spot, rate, vol, maturity, steps):
+    """u*d = 1, martingale condition, p in (0,1) across the domain."""
+    import math
+
+    from hypothesis import assume
+
+    # CRR validity: sigma*sqrt(dt) must exceed the drift r*dt, i.e.
+    # sigma > r*sqrt(T/N); outside it the lattice (correctly) rejects.
+    assume(vol > rate * math.sqrt(maturity / steps) * 1.05)
+    option = make_option(spot, spot, rate, vol, maturity, OptionType.CALL)
+    params = build_lattice_params(option, steps)
+    assert np.isclose(params.up * params.down, 1.0, rtol=1e-12)
+    growth = np.exp(rate * maturity / steps)
+    expectation = params.p_up * params.up + params.p_down * params.down
+    assert np.isclose(expectation, growth, rtol=1e-12)
+    assert 0.0 < params.p_up < 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(spots, strikes, rates, vols, maturities)
+def test_lattice_families_agree_at_high_n(spot, strike, rate, vol, maturity):
+    """All three parameterisations converge to the same value."""
+    option = make_option(spot, strike, rate, vol, maturity, OptionType.PUT,
+                         ExerciseStyle.EUROPEAN)
+    crr = price_binomial(option, 768, LatticeFamily.CRR).price
+    jr = price_binomial(option, 768, LatticeFamily.JARROW_RUDD).price
+    tian = price_binomial(option, 768, LatticeFamily.TIAN).price
+    tolerance = max(0.01 * spot, 1e-6)
+    assert abs(crr - jr) < tolerance
+    assert abs(crr - tian) < tolerance

@@ -1,0 +1,70 @@
+"""Unit tests for the QUAD-style pricer (Jin et al. [12]'s favourite)."""
+
+import pytest
+
+from repro.errors import FinanceError
+from repro.finance import bs_price, price_binomial
+from repro.finance.quadrature import price_quadrature
+
+
+class TestEuropean:
+    def test_matches_black_scholes(self, euro_put):
+        value = price_quadrature(euro_put, exercise_dates=16,
+                                 grid_points=1025)
+        assert value == pytest.approx(bs_price(euro_put), abs=5e-4)
+
+    def test_second_order_grid_convergence(self, euro_put):
+        analytic = bs_price(euro_put)
+        coarse = abs(price_quadrature(euro_put, 16, 257) - analytic)
+        fine = abs(price_quadrature(euro_put, 16, 513) - analytic)
+        # halving dx should cut the error by ~4 (trapezoid, kink on node)
+        assert coarse / fine == pytest.approx(4.0, rel=0.5)
+
+    def test_insensitive_to_date_count_for_european(self, euro_put):
+        few = price_quadrature(euro_put, exercise_dates=4, grid_points=513)
+        many = price_quadrature(euro_put, exercise_dates=32, grid_points=513)
+        assert few == pytest.approx(many, abs=2e-3)
+
+
+class TestAmerican:
+    def test_approaches_binomial_reference(self, put_option):
+        reference = price_binomial(put_option, 8192).price
+        value = price_quadrature(put_option, exercise_dates=128,
+                                 grid_points=1025)
+        # Bermudan gap ~O(1/dates): within ~0.1% at 128 dates
+        assert value == pytest.approx(reference, rel=2e-3)
+
+    def test_bermudan_increases_with_dates(self, put_option):
+        """More exercise rights never lower the value."""
+        few = price_quadrature(put_option, exercise_dates=8,
+                               grid_points=513)
+        many = price_quadrature(put_option, exercise_dates=64,
+                                grid_points=513)
+        assert many >= few - 1e-9
+
+    def test_american_above_european(self, put_option):
+        amer = price_quadrature(put_option, 64, 513)
+        euro = price_quadrature(put_option.as_european(), 64, 513)
+        assert amer > euro
+
+    def test_call_no_dividend_equals_european(self, call_option):
+        amer = price_quadrature(call_option, 64, 513)
+        analytic = bs_price(call_option.as_european())
+        assert amer == pytest.approx(analytic, abs=5e-3)
+
+
+class TestValidation:
+    def test_parameter_checks(self, put_option):
+        with pytest.raises(FinanceError):
+            price_quadrature(put_option, exercise_dates=0)
+        with pytest.raises(FinanceError):
+            price_quadrature(put_option, grid_points=4)
+        with pytest.raises(FinanceError):
+            price_quadrature(put_option, grid_width_stds=1.0)
+
+    def test_unresolved_kernel_detected(self, put_option):
+        """Too many dates on too coarse a grid must refuse, not return
+        garbage (the kernel becomes narrower than the grid spacing)."""
+        with pytest.raises(FinanceError, match="resolve"):
+            price_quadrature(put_option, exercise_dates=2048,
+                             grid_points=65)

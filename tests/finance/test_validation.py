@@ -1,0 +1,67 @@
+"""Unit tests for accuracy metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import FinanceError
+from repro.finance import classify_rmse, max_abs_error, relative_rmse, rmse
+
+
+class TestRmse:
+    def test_identical_is_zero(self):
+        data = np.array([1.0, 2.0, 3.0])
+        assert rmse(data, data) == 0.0
+
+    def test_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(math.sqrt(12.5))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(FinanceError):
+            rmse([1.0, 2.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(FinanceError):
+            rmse([], [])
+
+
+class TestRelativeRmse:
+    def test_scale_invariance(self):
+        ref = np.array([1.0, 10.0, 100.0])
+        cand = ref * 1.01
+        assert relative_rmse(ref, cand) == pytest.approx(0.01)
+
+    def test_floor_skips_tiny_references(self):
+        ref = np.array([1e-15, 2.0])
+        cand = np.array([1.0, 2.0])
+        assert relative_rmse(ref, cand) == pytest.approx(0.0)
+
+    def test_all_below_floor_rejected(self):
+        with pytest.raises(FinanceError):
+            relative_rmse([1e-15], [1.0])
+
+
+class TestMaxAbsError:
+    def test_known_value(self):
+        assert max_abs_error([1.0, 2.0], [1.5, 1.0]) == 1.0
+
+
+class TestClassify:
+    def test_zero_class(self):
+        assert classify_rmse(0.0) == "0"
+        assert classify_rmse(1e-12) == "0"
+
+    def test_paper_decade(self):
+        assert classify_rmse(1e-3) == "~1e-3"
+        assert classify_rmse(9.6e-4) == "~1e-3"   # nearest decade
+        assert classify_rmse(2.3e-3) == "~1e-3"
+
+    def test_other_decades(self):
+        assert classify_rmse(1.2e-6) == "~1e-6"
+
+    def test_invalid_values(self):
+        with pytest.raises(FinanceError):
+            classify_rmse(-1.0)
+        with pytest.raises(FinanceError):
+            classify_rmse(float("nan"))

@@ -1,0 +1,236 @@
+"""Unit tests for the HLS compile flow: pipeline, resources, fitter,
+power, and the end-to-end Table I regeneration tolerance."""
+
+import pytest
+
+from repro.bench.published import TABLE1
+from repro.core import kernel_a_ir, kernel_b_ir
+from repro.errors import FitError, HLSError
+from repro.hls import (
+    EP4SGX530,
+    KERNEL_A_OPTIONS,
+    KERNEL_B_OPTIONS,
+    CompileOptions,
+    GlobalAccess,
+    KernelIR,
+    LiveSet,
+    OpCount,
+    compile_kernel,
+    estimate_fmax,
+    estimate_pipeline,
+    estimate_power,
+    get_part,
+    op_cost,
+)
+
+
+def tiny_ir(**overrides):
+    base = dict(
+        name="tiny",
+        init_ops=(OpCount("dp_mul", 1), OpCount("dp_add", 1)),
+        global_accesses=(GlobalAccess("load"), GlobalAccess("store")),
+        live=LiveSet(f64_values=2),
+        work_group_size=64,
+    )
+    base.update(overrides)
+    return KernelIR(**base)
+
+
+class TestOpCosts:
+    def test_known_ops(self):
+        assert op_cost("mul", "dp").dsp_18bit > 0
+        assert op_cost("add", "dp").dsp_18bit == 0  # soft-logic adder
+
+    def test_precision_scaling(self):
+        assert op_cost("mul", "sp").dsp_18bit < op_cost("mul", "dp").dsp_18bit
+
+    def test_integer_ops_precision_independent(self):
+        assert op_cost("int_add", "dp") is op_cost("int_add", "sp")
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(HLSError):
+            op_cost("dp_fma")
+
+
+class TestParts:
+    def test_ep4sgx530_capacities(self):
+        """The Table I denominators."""
+        assert EP4SGX530.registers == 424_960
+        assert EP4SGX530.memory_bits == 21_233_664
+        assert EP4SGX530.dsp_18bit == 1_024
+        assert EP4SGX530.m9k_blocks == 1_280
+
+    def test_lookup(self):
+        assert get_part("ep4sgx530") is EP4SGX530
+        with pytest.raises(HLSError):
+            get_part("xc7z020")
+
+
+class TestPipeline:
+    def test_unroll_deepens_body_only(self):
+        ir = tiny_ir(body_ops=(OpCount("dp_mul", 1),))
+        p1 = estimate_pipeline(ir, CompileOptions(unroll=1))
+        p2 = estimate_pipeline(ir, CompileOptions(unroll=2))
+        assert p2.depth_stages - p1.depth_stages == p1.body_depth
+        assert p2.init_depth == p1.init_depth
+
+    def test_simd_does_not_deepen(self):
+        ir = tiny_ir()
+        p1 = estimate_pipeline(ir, CompileOptions())
+        p4 = estimate_pipeline(ir, CompileOptions(num_simd_work_items=4))
+        assert p1.depth_stages == p4.depth_stages
+
+    def test_parallel_loads_charged_once(self):
+        one = tiny_ir(global_accesses=(GlobalAccess("load"),))
+        five = tiny_ir(global_accesses=tuple(GlobalAccess("load")
+                                             for _ in range(5)))
+        d1 = estimate_pipeline(one, CompileOptions()).depth_stages
+        d5 = estimate_pipeline(five, CompileOptions()).depth_stages
+        assert d1 == d5
+
+    def test_ii_is_one(self):
+        assert estimate_pipeline(tiny_ir(), CompileOptions()).initiation_interval == 1
+
+
+class TestResourceScaling:
+    def _resources(self, options):
+        return compile_kernel(tiny_ir(), options).resources
+
+    def test_simd_scales_dsp(self):
+        base = self._resources(CompileOptions()).dsp_18bit
+        wide = self._resources(CompileOptions(num_simd_work_items=4)).dsp_18bit
+        assert wide > base
+
+    def test_compute_units_scale_lsus(self):
+        base = self._resources(CompileOptions()).m9k_blocks
+        repl = self._resources(CompileOptions(num_compute_units=3)).m9k_blocks
+        assert repl > base
+
+    def test_unroll_scales_body(self):
+        ir = tiny_ir(body_ops=(OpCount("dp_mul", 2),))
+        base = compile_kernel(ir, CompileOptions()).resources.dsp_18bit
+        unrolled = compile_kernel(ir, CompileOptions(unroll=4)).resources.dsp_18bit
+        assert unrolled > base
+
+    def test_report_percentages(self):
+        report = self._resources(CompileOptions())
+        assert 0.0 < report.logic_utilization < 1.0
+        assert report.fits()
+        assert report.overflow_description() == ""
+
+
+class TestFitter:
+    def test_fmax_decreases_with_utilization(self):
+        assert estimate_fmax(EP4SGX530, 0.3) > estimate_fmax(EP4SGX530, 0.9)
+
+    def test_fmax_floor(self):
+        assert estimate_fmax(EP4SGX530, 5.0) == 50e6
+
+    def test_overflow_raises_fit_error(self):
+        huge = tiny_ir(init_ops=tuple(OpCount("dp_pow", 40) for _ in range(10)))
+        options = CompileOptions(num_simd_work_items=8, num_compute_units=4)
+        with pytest.raises(FitError):
+            compile_kernel(huge, options)
+        # but allow_overflow lets DSE inspect the hypothetical point
+        ck = compile_kernel(huge, options, allow_overflow=True)
+        assert not ck.resources.fits()
+        assert "DSP" in ck.resources.overflow_description()
+
+
+class TestPower:
+    def test_static_floor(self):
+        report = compile_kernel(tiny_ir()).resources
+        power = estimate_power(report, 1.0)  # ~zero clock
+        assert power.total_w == pytest.approx(power.static_w, abs=1e-6)
+
+    def test_linear_in_clock(self):
+        report = compile_kernel(tiny_ir()).resources
+        p100 = estimate_power(report, 100e6)
+        p200 = estimate_power(report, 200e6)
+        dynamic100 = p100.total_w - p100.static_w
+        dynamic200 = p200.total_w - p200.static_w
+        assert dynamic200 == pytest.approx(2 * dynamic100)
+
+    def test_invalid_inputs(self):
+        report = compile_kernel(tiny_ir()).resources
+        with pytest.raises(HLSError):
+            estimate_power(report, 0.0)
+        with pytest.raises(HLSError):
+            estimate_power(report, 1e8, toggle_rate=-1.0)
+
+
+class TestTable1Regeneration:
+    """End-to-end: both paper kernels within tolerance of Table I."""
+
+    @pytest.mark.parametrize("key,ir,options", [
+        ("iv_a", kernel_a_ir(), KERNEL_A_OPTIONS),
+        ("iv_b", kernel_b_ir(1024), KERNEL_B_OPTIONS),
+    ])
+    def test_within_tolerance(self, key, ir, options):
+        paper = TABLE1[key]
+        ck = compile_kernel(ir, options)
+        r = ck.resources
+        assert r.fits(), "paper designs must fit the part"
+        assert r.logic_utilization == pytest.approx(paper.logic_utilization, rel=0.10)
+        assert r.registers == pytest.approx(paper.registers, rel=0.15)
+        assert r.memory_bits == pytest.approx(paper.memory_bits, rel=0.15)
+        assert r.m9k_blocks == pytest.approx(paper.m9k_blocks, rel=0.15)
+        assert r.dsp_18bit == pytest.approx(paper.dsp_18bit, rel=0.10)
+        assert ck.fit.fmax_mhz == pytest.approx(paper.clock_mhz, rel=0.10)
+        assert ck.power.total_w == pytest.approx(paper.power_w, rel=0.10)
+
+    def test_relationships_between_kernels(self):
+        """The qualitative Table I story must hold exactly."""
+        a = compile_kernel(kernel_a_ir(), KERNEL_A_OPTIONS)
+        b = compile_kernel(kernel_b_ir(1024), KERNEL_B_OPTIONS)
+        assert a.resources.logic_utilization > b.resources.logic_utilization
+        assert a.resources.registers > b.resources.registers
+        assert b.resources.dsp_18bit > a.resources.dsp_18bit
+        assert b.fit.fmax_hz > a.fit.fmax_hz
+        assert b.power.total_w > a.power.total_w
+        # both kernels lean hard on M9K blocks (paper Section V.B)
+        assert a.resources.m9k_utilization > 0.7
+        assert b.resources.m9k_utilization > 0.7
+
+    def test_m9k_usage_stories_via_breakdown(self):
+        """Section V.B: 'Kernel IV.B implements its local memory as M9K
+        blocks, while kernel IV.A uses those to coalesce its memory
+        accesses to the global memory and store its inputs and outputs
+        in shallow FIFOs.'"""
+        a = compile_kernel(kernel_a_ir(), KERNEL_A_OPTIONS)
+        b = compile_kernel(kernel_b_ir(1024), KERNEL_B_OPTIONS)
+        assert a.resources.breakdown.dominant_memory_source() == "lsu"
+        assert b.resources.breakdown.dominant_memory_source() == "local_memory"
+
+    def test_breakdown_sums_to_totals(self):
+        ck = compile_kernel(kernel_b_ir(1024), KERNEL_B_OPTIONS)
+        breakdown = ck.resources.breakdown
+        assert sum(breakdown.registers.values()) == ck.resources.registers
+        assert sum(breakdown.memory_bits.values()) == ck.resources.memory_bits
+        assert sum(breakdown.dsp.values()) == ck.resources.dsp_18bit
+
+    def test_pipeline_registers_not_arithmetic_dominate_kernel_a(self):
+        """The reason a six-operator kernel fills 99% of a 530K-LE part:
+        pipeline + interface registers, not arithmetic."""
+        ck = compile_kernel(kernel_a_ir(), KERNEL_A_OPTIONS)
+        regs = ck.resources.breakdown.registers
+        assert regs["pipeline"] + regs["lsu"] > 3 * regs["datapath"]
+
+    def test_fitter_summary_text(self):
+        ck = compile_kernel(kernel_b_ir(1024), KERNEL_B_OPTIONS)
+        text = ck.fitter_summary()
+        assert "EP4SGX530" in text
+        assert "Logic utilization" in text
+        assert "MHz" in text
+
+    def test_options_validated_against_work_group(self):
+        from repro.errors import CompileOptionError
+        ir = kernel_b_ir(1024, work_group_size=6)
+        with pytest.raises(CompileOptionError):
+            compile_kernel(ir, KERNEL_B_OPTIONS)
+
+    def test_compiled_kernel_duck_types_operating_point(self):
+        ck = compile_kernel(kernel_b_ir(1024), KERNEL_B_OPTIONS)
+        assert ck.parallel_lanes == 8
+        assert ck.fmax_hz > 100e6
+        assert ck.power_w > 10.0

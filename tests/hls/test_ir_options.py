@@ -1,0 +1,107 @@
+"""Unit tests for the HLS IR and compile options."""
+
+import pytest
+
+from repro.errors import CompileOptionError, HLSError
+from repro.hls import (
+    KERNEL_A_OPTIONS,
+    KERNEL_B_OPTIONS,
+    CompileOptions,
+    GlobalAccess,
+    KernelIR,
+    LiveSet,
+    LocalMemSystem,
+    OpCount,
+)
+
+
+class TestOpCount:
+    def test_positive_count_required(self):
+        with pytest.raises(HLSError):
+            OpCount("dp_mul", 0)
+
+
+class TestGlobalAccess:
+    def test_kind_validated(self):
+        with pytest.raises(HLSError):
+            GlobalAccess("fetch")
+
+    def test_width_validated(self):
+        with pytest.raises(HLSError):
+            GlobalAccess("load", width_bytes=0)
+
+
+class TestLocalMemSystem:
+    def test_validation(self):
+        with pytest.raises(HLSError):
+            LocalMemSystem(bytes_per_group=0)
+        with pytest.raises(HLSError):
+            LocalMemSystem(bytes_per_group=8, read_ports=-1)
+        with pytest.raises(HLSError):
+            LocalMemSystem(bytes_per_group=8, resident_groups=0)
+
+
+class TestLiveSet:
+    def test_bits(self):
+        live = LiveSet(f64_values=2, f32_values=1, i32_values=3)
+        assert live.bits == 2 * 64 + 1 * 32 + 3 * 32
+
+
+class TestKernelIR:
+    def test_requires_operators(self):
+        with pytest.raises(HLSError):
+            KernelIR(name="empty")
+
+    def test_precision_validated(self):
+        with pytest.raises(HLSError):
+            KernelIR(name="k", precision="fp16",
+                     init_ops=(OpCount("dp_add"),))
+
+    def test_init_live_fallback(self):
+        ir = KernelIR(name="k", init_ops=(OpCount("dp_add"),),
+                      live=LiveSet(f64_values=3))
+        assert ir.init_live.bits == ir.live.bits
+
+    def test_init_live_override(self):
+        ir = KernelIR(name="k", init_ops=(OpCount("dp_add"),),
+                      live=LiveSet(f64_values=3),
+                      live_init=LiveSet(f64_values=1))
+        assert ir.init_live.bits == 64
+
+
+class TestCompileOptions:
+    def test_simd_power_of_two(self):
+        with pytest.raises(CompileOptionError, match="power of two"):
+            CompileOptions(num_simd_work_items=3)
+
+    def test_positive_knobs(self):
+        with pytest.raises(CompileOptionError):
+            CompileOptions(num_compute_units=0)
+        with pytest.raises(CompileOptionError):
+            CompileOptions(unroll=0)
+
+    def test_simd_divides_work_group(self):
+        options = CompileOptions(num_simd_work_items=4)
+        options.validate_against(256)  # fine
+        with pytest.raises(CompileOptionError):
+            options.validate_against(6)
+
+    def test_parallel_lanes(self):
+        options = CompileOptions(num_simd_work_items=2, num_compute_units=3,
+                                 unroll=2)
+        assert options.parallel_lanes == 12
+
+    def test_paper_points(self):
+        """The exact knob settings of Section V.B."""
+        assert KERNEL_A_OPTIONS.num_simd_work_items == 2
+        assert KERNEL_A_OPTIONS.num_compute_units == 3
+        assert KERNEL_A_OPTIONS.parallel_lanes == 6
+        assert KERNEL_B_OPTIONS.num_simd_work_items == 4
+        assert KERNEL_B_OPTIONS.unroll == 2
+        assert KERNEL_B_OPTIONS.parallel_lanes == 8
+
+    def test_describe(self):
+        assert "vectorized x2" in KERNEL_A_OPTIONS.describe()
+        assert "replicated x3" in KERNEL_A_OPTIONS.describe()
+        assert "unrolled x2" in KERNEL_B_OPTIONS.describe()
+        assert CompileOptions().describe() == "baseline (no parallelisation)"

@@ -1,0 +1,128 @@
+"""Property-based tests for the HLS compiler model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FitError
+from repro.hls import (
+    EP4SGX230,
+    EP4SGX530,
+    CompileOptions,
+    GlobalAccess,
+    KernelIR,
+    LiveSet,
+    OpCount,
+    compile_kernel,
+    estimate_fmax,
+)
+
+DP_OPS = ("add", "sub", "mul", "max", "div", "exp", "pow")
+
+
+@st.composite
+def kernel_irs(draw):
+    """Random small-but-valid kernel IRs."""
+    init = draw(st.lists(
+        st.builds(OpCount,
+                  op=st.sampled_from(DP_OPS),
+                  count=st.integers(min_value=1, max_value=3)),
+        min_size=1, max_size=4))
+    body = draw(st.lists(
+        st.builds(OpCount,
+                  op=st.sampled_from(DP_OPS[:4]),
+                  count=st.integers(min_value=1, max_value=3)),
+        min_size=0, max_size=3))
+    loads = draw(st.integers(min_value=1, max_value=4))
+    stores = draw(st.integers(min_value=1, max_value=2))
+    coalesced = draw(st.booleans())
+    accesses = tuple(GlobalAccess("load", coalesced=coalesced)
+                     for _ in range(loads)) + \
+        tuple(GlobalAccess("store", coalesced=coalesced)
+              for _ in range(stores))
+    return KernelIR(
+        name="random",
+        init_ops=tuple(init),
+        body_ops=tuple(body),
+        global_accesses=accesses,
+        live=LiveSet(f64_values=draw(st.integers(1, 8)),
+                     i32_values=draw(st.integers(0, 4))),
+        work_group_size=64,
+    )
+
+
+def _compile(ir, options):
+    return compile_kernel(ir, options, allow_overflow=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(kernel_irs(), st.sampled_from([1, 2, 4]), st.integers(1, 3))
+def test_resources_monotone_in_parallelism(ir, simd, cus):
+    """More lanes can never need fewer resources."""
+    base = _compile(ir, CompileOptions()).resources
+    wide = _compile(ir, CompileOptions(num_simd_work_items=simd,
+                                       num_compute_units=cus)).resources
+    assert wide.registers >= base.registers
+    assert wide.dsp_18bit >= base.dsp_18bit
+    assert wide.memory_bits >= base.memory_bits
+    assert wide.m9k_blocks >= base.m9k_blocks
+
+
+@settings(max_examples=30, deadline=None)
+@given(kernel_irs(), st.sampled_from([2, 4]))
+def test_unroll_monotone_when_body_exists(ir, unroll):
+    if not ir.body_ops:
+        return
+    base = _compile(ir, CompileOptions())
+    unrolled = _compile(ir, CompileOptions(unroll=unroll))
+    assert unrolled.resources.registers >= base.resources.registers
+    assert unrolled.pipeline.depth_stages >= base.pipeline.depth_stages
+
+
+@settings(max_examples=40, deadline=None)
+@given(kernel_irs())
+def test_breakdown_always_sums(ir):
+    report = _compile(ir, CompileOptions(num_simd_work_items=2)).resources
+    assert sum(report.breakdown.registers.values()) == report.registers
+    assert sum(report.breakdown.memory_bits.values()) == report.memory_bits
+    assert sum(report.breakdown.dsp.values()) == report.dsp_18bit
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1.5),
+       st.floats(min_value=0.0, max_value=1.5))
+def test_fmax_antitone_in_utilization(u1, u2):
+    lo, hi = sorted((u1, u2))
+    assert estimate_fmax(EP4SGX530, lo) >= estimate_fmax(EP4SGX530, hi)
+
+
+@settings(max_examples=30, deadline=None)
+@given(kernel_irs())
+def test_fit_consistency(ir):
+    """compile_kernel raises FitError exactly when fits() is False."""
+    options = CompileOptions(num_simd_work_items=8, num_compute_units=4)
+    hypothetical = compile_kernel(ir, options, allow_overflow=True)
+    if hypothetical.resources.fits():
+        compile_kernel(ir, options)  # must not raise
+    else:
+        with pytest.raises(FitError):
+            compile_kernel(ir, options)
+        assert hypothetical.resources.overflow_description()
+
+
+@settings(max_examples=30, deadline=None)
+@given(kernel_irs())
+def test_smaller_part_never_fits_more(ir):
+    """Anything that fits the EP4SGX230 also fits the EP4SGX530
+    (capacities are a strict subset, except DSPs — checked per-resource
+    instead of via fits())."""
+    options = CompileOptions(num_simd_work_items=2)
+    small = compile_kernel(ir, options, part=EP4SGX230,
+                           allow_overflow=True).resources
+    big = compile_kernel(ir, options, part=EP4SGX530,
+                         allow_overflow=True).resources
+    # identical design, different part: absolute usage matches
+    assert small.registers == big.registers
+    assert small.dsp_18bit == big.dsp_18bit
+    # utilisation inversely tracks capacity
+    assert small.register_utilization >= big.register_utilization

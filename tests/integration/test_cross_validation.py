@@ -1,0 +1,118 @@
+"""Cross-method validation grid: four independent pricers must agree.
+
+The binomial lattice (and hence both kernels), the BAW approximation,
+the LSMC Monte Carlo and the QUAD quadrature share no code beyond the
+contract definition — agreement across a parameter grid is strong
+evidence none of them is subtly wrong.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.finance import (
+    Option,
+    OptionType,
+    baw_price,
+    price_binomial,
+    price_quadrature,
+)
+from repro.finance.montecarlo import price_american_lsmc
+
+SPOTS = (80.0, 100.0, 120.0)
+VOLS = (0.15, 0.35)
+MATURITIES = (0.25, 1.0)
+RATE = 0.05
+STRIKE = 100.0
+
+GRID = [
+    Option(spot=s, strike=STRIKE, rate=RATE, volatility=v, maturity=t,
+           option_type=OptionType.PUT)
+    for s, v, t in itertools.product(SPOTS, VOLS, MATURITIES)
+]
+
+
+@pytest.fixture(scope="module")
+def lattice_prices():
+    return {o: price_binomial(o, 4096).price for o in GRID}
+
+
+class TestBAWGrid:
+    def test_baw_agrees_across_the_grid(self, lattice_prices):
+        """BAW within ~1.5% of the deep lattice for ordinary parameters
+        (absolute floor of 5 cents: the quadratic approximation's
+        relative error grows as option values shrink toward zero)."""
+        for option, reference in lattice_prices.items():
+            approx = baw_price(option)
+            tolerance = max(0.015 * reference, 0.05)
+            assert abs(approx - reference) < tolerance, option
+
+
+class TestQuadratureGrid:
+    def test_quadrature_agrees_across_the_grid(self, lattice_prices):
+        for option, reference in lattice_prices.items():
+            value = price_quadrature(option, exercise_dates=128,
+                                     grid_points=1025)
+            tolerance = max(0.004 * reference, 0.01)
+            assert abs(value - reference) < tolerance, option
+
+
+class TestLsmcSpotChecks:
+    @pytest.mark.parametrize("spot,vol", [(100.0, 0.35), (120.0, 0.15)])
+    def test_lsmc_agrees_at_spot_checks(self, lattice_prices, spot, vol):
+        option = Option(spot=spot, strike=STRIKE, rate=RATE, volatility=vol,
+                        maturity=1.0, option_type=OptionType.PUT)
+        reference = lattice_prices[option]
+        result = price_american_lsmc(option, paths=120_000, steps=50, seed=8)
+        assert abs(result.price - reference) < max(
+            0.02 * reference, 4 * result.std_error), option
+
+
+class TestKernelGridAgreement:
+    def test_accelerator_prices_track_the_lattice_grid(self, lattice_prices):
+        """The FPGA accelerator (flawed pow) stays within its ~1e-3
+        error budget of the deep lattice across the whole grid."""
+        from repro.core import ALTERA_13_0_DOUBLE, simulate_kernel_b_batch
+
+        options = list(lattice_prices)
+        prices = simulate_kernel_b_batch(options, 1024, ALTERA_13_0_DOUBLE)
+        for option, price in zip(options, prices):
+            # 1024-step discretisation + pow defect vs 4096-step ref
+            assert abs(price - lattice_prices[option]) < 0.05, option
+
+
+class TestDividendYieldPath:
+    """Dividend yield flows through every layer (q enters the lattice's
+    growth term and makes American calls early-exercisable)."""
+
+    @pytest.fixture(scope="class")
+    def div_call(self):
+        return Option(spot=100.0, strike=95.0, rate=0.04, volatility=0.25,
+                      maturity=1.0, option_type=OptionType.CALL,
+                      dividend_yield=0.08)
+
+    def test_early_exercise_premium_exists(self, div_call):
+        amer = price_binomial(div_call, 1024).price
+        euro = price_binomial(div_call.as_european(), 1024).price
+        assert amer > euro + 0.05
+
+    def test_kernels_price_dividend_options(self, div_call):
+        from repro.core import simulate_kernel_a_batch, simulate_kernel_b_batch
+
+        reference = price_binomial(div_call, 256).price
+        for prices in (simulate_kernel_a_batch([div_call], 256),
+                       simulate_kernel_b_batch([div_call], 256)):
+            assert prices[0] == pytest.approx(reference, rel=1e-12)
+
+    def test_functional_host_with_dividends(self, div_call):
+        from repro.core import HostProgramB
+        from repro.devices import fpga_device
+
+        run = HostProgramB(fpga_device("iv_b"), 16).price([div_call])
+        assert run.prices[0] == pytest.approx(
+            price_binomial(div_call, 16).price, rel=1e-12)
+
+    def test_baw_dividend_consistency(self, div_call):
+        assert baw_price(div_call) == pytest.approx(
+            price_binomial(div_call, 4096).price, rel=0.02)

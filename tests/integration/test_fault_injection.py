@@ -1,0 +1,173 @@
+"""Fault injection: the stack must fail loudly, never silently.
+
+Each test breaks one component on purpose — a math profile that
+returns NaN, a kernel that corrupts the option-id lane, a device too
+small for the launch — and asserts that the error surfaces as a typed
+exception with a diagnosable message instead of a wrong price.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HostProgramA, HostProgramB
+from repro.core.faithful_math import EXACT_DOUBLE, MathProfile
+from repro.devices import fpga_device
+from repro.errors import (
+    BarrierDivergenceError,
+    InvalidWorkGroupError,
+    MemoryError_,
+    OpenCLError,
+    ReproError,
+)
+from repro.finance import generate_batch
+from repro.opencl import Context, Device, DeviceType, LocalMemory
+
+STEPS = 8
+
+
+@pytest.fixture
+def batch():
+    return list(generate_batch(n_options=3, seed=6).options)
+
+
+class TestBrokenMathProfile:
+    def test_nan_pow_detected_by_host_b(self, batch):
+        broken = MathProfile(
+            name="broken-pow",
+            dtype=np.dtype(np.float64),
+            pow_=lambda x, y: np.full(np.broadcast(
+                np.asarray(x), np.asarray(y)).shape, np.nan)
+            if np.ndim(x) or np.ndim(y) else float("nan"),
+            exp=EXACT_DOUBLE.exp,
+            description="fault injection: pow always NaN",
+        )
+        host = HostProgramB(fpga_device("iv_b"), STEPS, profile=broken)
+        with pytest.raises(ReproError, match="non-finite"):
+            host.price(batch)
+
+    def test_inf_pow_detected(self):
+        """Overflowing pow must surface (calls: +inf payoff survives the
+        max; a put would clip -inf to zero and hide the fault)."""
+        from repro.finance import OptionType
+
+        calls = list(generate_batch(n_options=3, seed=6,
+                                    option_type=OptionType.CALL).options)
+        broken = MathProfile(
+            name="broken-overflow",
+            dtype=np.dtype(np.float64),
+            pow_=lambda x, y: float("inf"),
+            exp=EXACT_DOUBLE.exp,
+            description="fault injection: pow overflows",
+        )
+        host = HostProgramB(fpga_device("iv_b"), STEPS, profile=broken)
+        with pytest.raises(ReproError, match="non-finite"):
+            host.price(calls)
+
+
+class TestCorruptedPipeline:
+    def test_option_id_corruption_detected(self, batch, monkeypatch):
+        """If the oid lane desynchronises, the host must notice rather
+        than attribute a price to the wrong option."""
+        host = HostProgramA(fpga_device("iv_a"), STEPS)
+
+        import repro.core.host_a as host_a_module
+        real_builder = host_a_module.build_leaves_a
+
+        calls = {"n": 0}
+
+        def corrupting_builder(option, steps, family):
+            calls["n"] += 1
+            return real_builder(option, steps, family)
+
+        monkeypatch.setattr(host_a_module, "build_leaves_a",
+                            corrupting_builder)
+        # sanity: patched path still works
+        run = host.price(batch)
+        assert calls["n"] == len(batch)
+        assert np.all(np.isfinite(run.prices))
+
+        # now corrupt the oid buffer under the host's feet: the write
+        # of option 1's ids claims to be option 7
+        original_price = host.price
+
+        def poisoned_price(options):
+            result = None
+            orig_write = host.queue.enqueue_write_buffer
+            state = {"seen": 0}
+
+            def tampering_write(buf, array, offset=0, wait_for=None):
+                array = np.asarray(array)
+                if buf.name.startswith("buf") and array.ndim == 1 and \
+                        np.all(array == 1.0) and array.size == STEPS + 1:
+                    # desynchronise: option 1's slots claim to be option 0
+                    array = np.zeros(STEPS + 1)
+                return orig_write(buf, array, offset)
+
+            host.queue.enqueue_write_buffer = tampering_write
+            try:
+                return original_price(options)
+            finally:
+                host.queue.enqueue_write_buffer = orig_write
+
+        with pytest.raises(ReproError, match="pipeline corruption"):
+            poisoned_price(batch)
+
+
+class TestDeviceLimits:
+    def test_work_group_larger_than_device(self, batch):
+        tiny = Device("tiny", DeviceType.ACCELERATOR, max_work_group_size=4)
+        with pytest.raises(ReproError, match="work-group"):
+            HostProgramB(tiny, STEPS)
+
+    def test_local_memory_exhaustion(self):
+        tiny = Device("tiny-lm", DeviceType.ACCELERATOR,
+                      local_mem_bytes=16, max_work_group_size=64)
+        context = Context(tiny)
+
+        def kern(wi, scratch):
+            yield wi.barrier()
+
+        kernel = context.create_program({"k": kern}).create_kernel("k")
+        kernel.set_args(LocalMemory(64))
+        queue = context.create_queue()
+        with pytest.raises(InvalidWorkGroupError, match="local memory"):
+            queue.enqueue_nd_range_kernel(kernel, 4, 4)
+
+    def test_global_memory_exhaustion(self):
+        tiny = Device("tiny-gm", DeviceType.ACCELERATOR,
+                      global_mem_bytes=1000)
+        with pytest.raises(OpenCLError, match="global memory"):
+            Context(tiny).create_buffer(1000)
+
+
+class TestKernelBugs:
+    def test_divergent_kernel_caught_not_wedged(self, toy_context, toy_device):
+        """A kernel where one work-item skips the barrier must raise,
+        not deadlock or silently produce garbage."""
+
+        def buggy(wi, out):
+            if wi.get_local_id() != 0:
+                yield wi.barrier()
+            out[wi.get_global_id()] = 1.0
+
+        kernel = toy_context.create_program({"b": buggy}).create_kernel("b")
+        kernel.set_args(toy_context.create_buffer(8))
+        queue = toy_context.create_queue()
+        with pytest.raises(BarrierDivergenceError, match="divergent"):
+            queue.enqueue_nd_range_kernel(kernel, 8, 4)
+
+    def test_out_of_bounds_store_caught(self, toy_context, toy_device):
+        def oob(wi, out):
+            out[len(out) + 5] = 1.0
+
+        kernel = toy_context.create_program({"o": oob}).create_kernel("o")
+        kernel.set_args(toy_context.create_buffer(4))
+        queue = toy_context.create_queue()
+        with pytest.raises(IndexError):
+            queue.enqueue_nd_range_kernel(kernel, 1, 1)
+
+    def test_host_read_past_end_caught(self, toy_context):
+        buf = toy_context.create_buffer(4)
+        queue = toy_context.create_queue()
+        with pytest.raises(MemoryError_):
+            queue.enqueue_read_buffer(buf, offset=2, count=10)

@@ -1,0 +1,201 @@
+"""Unit tests for the NDRange executor and barrier semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    BarrierDivergenceError,
+    InvalidArgumentError,
+    InvalidWorkGroupError,
+    OpenCLError,
+)
+from repro.opencl import (
+    Buffer,
+    Context,
+    Device,
+    DeviceType,
+    LocalMemory,
+    execute_ndrange,
+)
+
+
+def make_kernel(context, func, name="k"):
+    return context.create_program({name: func}).create_kernel(name)
+
+
+class TestIndexing:
+    def test_all_ids_consistent(self, toy_context, toy_device):
+        records = []
+
+        def probe(wi, out):
+            records.append((
+                wi.get_global_id(), wi.get_local_id(), wi.get_group_id(),
+                wi.get_local_size(), wi.get_global_size(), wi.get_num_groups(),
+            ))
+            out[wi.get_global_id()] = wi.get_global_id()
+
+        buf = toy_context.create_buffer(12)
+        kernel = make_kernel(toy_context, probe).set_args(buf)
+        execute_ndrange(kernel, 12, 4, toy_device)
+
+        assert len(records) == 12
+        for gid, lid, grp, lsize, gsize, ngroups in records:
+            assert gid == grp * 4 + lid
+            assert lsize == 4 and gsize == 12 and ngroups == 3
+        assert np.array_equal(buf._host_read(), np.arange(12.0))
+
+    def test_multidim_queries_rejected(self, toy_context, toy_device):
+        def probe(wi, out):
+            wi.get_global_id(1)
+
+        kernel = make_kernel(toy_context, probe).set_args(
+            toy_context.create_buffer(1))
+        with pytest.raises(OpenCLError):
+            execute_ndrange(kernel, 1, 1, toy_device)
+
+
+class TestShapeValidation:
+    def _noop_kernel(self, context):
+        def noop(wi, out):
+            out[0] = 1.0
+        return make_kernel(context, noop).set_args(context.create_buffer(1))
+
+    def test_nondividing_local_size(self, toy_context, toy_device):
+        with pytest.raises(InvalidWorkGroupError):
+            execute_ndrange(self._noop_kernel(toy_context), 10, 4, toy_device)
+
+    def test_zero_sizes(self, toy_context, toy_device):
+        with pytest.raises(InvalidWorkGroupError):
+            execute_ndrange(self._noop_kernel(toy_context), 0, 1, toy_device)
+
+    def test_local_size_over_device_limit(self, toy_context, toy_device):
+        kernel = self._noop_kernel(toy_context)
+        too_big = toy_device.max_work_group_size * 2
+        with pytest.raises(InvalidWorkGroupError):
+            execute_ndrange(kernel, too_big, too_big, toy_device)
+
+    def test_local_memory_over_device_limit(self, toy_context, toy_device):
+        def kern(wi, scratch):
+            yield wi.barrier()
+
+        over = toy_device.local_mem_bytes // 8 + 1
+        kernel = make_kernel(toy_context, kern).set_args(LocalMemory(over))
+        with pytest.raises(InvalidWorkGroupError, match="local memory"):
+            execute_ndrange(kernel, 4, 4, toy_device)
+
+    def test_unset_args_rejected(self, toy_context, toy_device):
+        def kern(wi, a, b):
+            pass
+
+        kernel = make_kernel(toy_context, kern)
+        kernel.set_arg(0, 1.0)
+        with pytest.raises(InvalidArgumentError, match="unset"):
+            execute_ndrange(kernel, 4, 4, toy_device)
+
+
+class TestBarriers:
+    def test_barrier_ordering_visible(self, toy_context, toy_device):
+        """Writes before a barrier are visible to all items after it."""
+
+        def rotate(wi, data, scratch):
+            lid = wi.get_local_id()
+            scratch[lid] = data[wi.get_global_id()]
+            yield wi.barrier()
+            # read the neighbour's value written before the barrier
+            data[wi.get_global_id()] = scratch[(lid + 1) % wi.get_local_size()]
+
+        buf = toy_context.create_buffer_from(np.arange(8.0))
+        kernel = make_kernel(toy_context, rotate).set_args(buf, LocalMemory(4))
+        execute_ndrange(kernel, 8, 4, toy_device)
+        expected = [1, 2, 3, 0, 5, 6, 7, 4]
+        assert np.array_equal(buf._host_read(), expected)
+
+    def test_tree_reduction(self, toy_context, toy_device):
+        def reduce_kernel(wi, data, scratch, result):
+            lid = wi.get_local_id()
+            scratch[lid] = data[wi.get_global_id()]
+            yield wi.barrier()
+            stride = wi.get_local_size() // 2
+            while stride > 0:
+                if lid < stride:
+                    scratch[lid] += scratch[lid + stride]
+                yield wi.barrier()
+                stride //= 2
+            if lid == 0:
+                result[wi.get_group_id()] = scratch[0]
+
+        data = toy_context.create_buffer_from(np.arange(32.0))
+        result = toy_context.create_buffer(4)
+        kernel = make_kernel(toy_context, reduce_kernel)
+        kernel.set_args(data, LocalMemory(8), result)
+        stats = execute_ndrange(kernel, 32, 8, toy_device)
+        expected = np.arange(32.0).reshape(4, 8).sum(axis=1)
+        assert np.array_equal(result._host_read(), expected)
+        assert stats.barriers_per_group == 4  # 1 init + 3 strides
+
+    def test_divergence_detected(self, toy_context, toy_device):
+        def bad(wi, out):
+            if wi.get_local_id() == 0:
+                yield wi.barrier()
+            out[wi.get_global_id()] = 1.0
+
+        kernel = make_kernel(toy_context, bad).set_args(
+            toy_context.create_buffer(4))
+        with pytest.raises(BarrierDivergenceError):
+            execute_ndrange(kernel, 4, 4, toy_device)
+
+    def test_unequal_barrier_counts_detected(self, toy_context, toy_device):
+        def bad(wi, out):
+            yield wi.barrier()
+            if wi.get_local_id() < 2:
+                yield wi.barrier()
+
+        kernel = make_kernel(toy_context, bad).set_args(
+            toy_context.create_buffer(4))
+        with pytest.raises(BarrierDivergenceError):
+            execute_ndrange(kernel, 4, 4, toy_device)
+
+
+class TestLocalMemoryIsolation:
+    def test_groups_get_fresh_local_memory(self, toy_context, toy_device):
+        """Local data must not leak between work-groups."""
+
+        def leak_probe(wi, out, scratch):
+            lid = wi.get_local_id()
+            if lid == 0:
+                out[wi.get_group_id()] = scratch[1]  # must read 0.0
+            yield wi.barrier()
+            scratch[lid] = 99.0
+
+        out = toy_context.create_buffer(4)
+        kernel = make_kernel(toy_context, leak_probe).set_args(
+            out, LocalMemory(2))
+        execute_ndrange(kernel, 8, 2, toy_device)
+        assert np.array_equal(out._host_read(), np.zeros(4))
+
+
+class TestLaunchStats:
+    def test_work_per_item_metadata(self, toy_context, toy_device):
+        from repro.opencl import kernel_metadata
+
+        @kernel_metadata(work_per_item=lambda g, l: 17.0)
+        def weighted(wi, out):
+            out[0] = 1.0
+
+        kernel = make_kernel(toy_context, weighted).set_args(
+            toy_context.create_buffer(1))
+        stats = execute_ndrange(kernel, 8, 4, toy_device)
+        assert stats.launch.work_per_item == 17.0
+        assert stats.launch.work_groups == 2
+
+    def test_barrier_totals(self, toy_context, toy_device):
+        def two_barriers(wi, out):
+            yield wi.barrier()
+            yield wi.barrier()
+            out[0] = 1.0
+
+        kernel = make_kernel(toy_context, two_barriers).set_args(
+            toy_context.create_buffer(1))
+        stats = execute_ndrange(kernel, 8, 4, toy_device)
+        assert stats.barriers_per_group == 2
+        assert stats.launch.barriers == 2 * 8  # per-item waits

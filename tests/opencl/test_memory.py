@@ -1,0 +1,125 @@
+"""Unit tests for simulated device memory objects."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_, OpenCLError
+from repro.opencl import Buffer, LocalMemory, MemFlag
+
+
+class TestBufferConstruction:
+    def test_allocate_zero_initialised(self):
+        buf = Buffer.allocate(8)
+        assert buf.size == 8
+        assert np.all(buf._host_read() == 0.0)
+
+    def test_from_array_copies(self):
+        src = np.arange(4.0)
+        buf = Buffer.from_array(src)
+        src[0] = 99.0
+        assert buf._host_read()[0] == 0.0  # deep copy, not a view
+
+    def test_from_array_sets_copy_flag(self):
+        buf = Buffer.from_array(np.zeros(2))
+        assert buf.flags & MemFlag.COPY_HOST_PTR
+
+    def test_geometry(self):
+        buf = Buffer.allocate((3, 4), dtype=np.float32)
+        assert buf.shape == (3, 4)
+        assert buf.size == 12
+        assert buf.nbytes == 48
+        assert len(buf) == 3
+
+    def test_unique_ids(self):
+        a, b = Buffer.allocate(1), Buffer.allocate(1)
+        assert a.id != b.id
+
+
+class TestHostAccess:
+    def test_write_then_read(self):
+        buf = Buffer.allocate(6)
+        buf._host_write(np.array([1.0, 2.0]), offset=2)
+        out = buf._host_read(offset=2, count=2)
+        assert np.array_equal(out, [1.0, 2.0])
+
+    def test_write_out_of_bounds(self):
+        buf = Buffer.allocate(4)
+        with pytest.raises(MemoryError_):
+            buf._host_write(np.zeros(3), offset=2)
+        with pytest.raises(MemoryError_):
+            buf._host_write(np.zeros(1), offset=-1)
+
+    def test_read_out_of_bounds(self):
+        buf = Buffer.allocate(4)
+        with pytest.raises(MemoryError_):
+            buf._host_read(offset=3, count=2)
+
+    def test_transfer_counters(self):
+        buf = Buffer.allocate(4)
+        buf._host_write(np.zeros(4))
+        buf._host_read()
+        assert buf.bytes_written_from_host == 32
+        assert buf.bytes_read_to_host == 32
+
+    def test_dtype_coercion_on_write(self):
+        buf = Buffer.allocate(2, dtype=np.float32)
+        buf._host_write(np.array([1.5, 2.5], dtype=np.float64))
+        assert buf._host_read().dtype == np.float32
+
+
+class TestBufferView:
+    def test_read_write_counting(self):
+        buf = Buffer.from_array(np.arange(8.0))
+        view = buf.view()
+        _ = view[3]
+        view[4] = 10.0
+        assert buf.device_reads == 1
+        assert buf.device_writes == 1
+        assert buf._host_read()[4] == 10.0
+
+    def test_slice_access_counts_elements(self):
+        buf = Buffer.from_array(np.arange(8.0))
+        view = buf.view()
+        _ = view[0:4]
+        assert buf.device_reads == 4
+
+    def test_write_only_blocks_reads(self):
+        buf = Buffer.allocate(4, flags=MemFlag.WRITE_ONLY)
+        view = buf.view()
+        view[0] = 1.0  # writes fine
+        with pytest.raises(OpenCLError, match="WRITE_ONLY"):
+            _ = view[0]
+
+    def test_read_only_blocks_writes(self):
+        buf = Buffer.from_array(np.arange(4.0), flags=MemFlag.READ_ONLY)
+        view = buf.view()
+        assert view[1] == 1.0
+        with pytest.raises(OpenCLError, match="READ_ONLY"):
+            view[0] = 5.0
+
+    def test_shape_passthrough(self):
+        buf = Buffer.allocate((2, 3))
+        assert buf.view().shape == (2, 3)
+        assert len(buf.view()) == 2
+
+
+class TestLocalMemory:
+    def test_scalar_shape(self):
+        lm = LocalMemory(5)
+        assert lm.shape == (5,)
+        assert lm.nbytes == 40
+
+    def test_dtype(self):
+        lm = LocalMemory(4, dtype=np.float32)
+        assert lm.nbytes == 16
+
+    def test_materialise_fresh_arrays(self):
+        lm = LocalMemory(3)
+        a = lm.materialise()
+        b = lm.materialise()
+        a[0] = 7.0
+        assert b[0] == 0.0  # independent per work-group
+
+    def test_tuple_shape(self):
+        lm = LocalMemory((2, 4))
+        assert lm.materialise().shape == (2, 4)

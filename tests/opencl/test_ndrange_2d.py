@@ -1,0 +1,163 @@
+"""Unit tests for multi-dimensional NDRanges."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidWorkGroupError, OpenCLError
+from repro.opencl import Context, Device, DeviceType, LocalMemory, execute_ndrange
+
+
+@pytest.fixture
+def device():
+    return Device("2d", DeviceType.ACCELERATOR, max_work_group_size=64)
+
+
+@pytest.fixture
+def context(device):
+    return Context(device)
+
+
+def make_kernel(context, func):
+    return context.create_program({"k": func}).create_kernel("k")
+
+
+class TestIndexing2D:
+    def test_global_ids_cover_the_grid(self, context, device):
+        out = context.create_buffer((4, 6))
+
+        def mark(wi, grid):
+            grid[wi.get_global_id(0), wi.get_global_id(1)] = (
+                wi.get_global_id(0) * 10 + wi.get_global_id(1)
+            )
+
+        kernel = make_kernel(context, mark).set_args(out)
+        stats = execute_ndrange(kernel, (4, 6), (2, 3), device)
+        expected = np.add.outer(np.arange(4) * 10, np.arange(6))
+        assert np.array_equal(out._host_read().reshape(4, 6), expected)
+        assert stats.launch.global_size == 24
+        assert stats.launch.work_groups == 4
+
+    def test_group_and_local_decomposition(self, context, device):
+        records = []
+
+        def probe(wi, sink):
+            records.append((wi.get_group_id(0), wi.get_group_id(1),
+                            wi.get_local_id(0), wi.get_local_id(1)))
+            sink[0] = 1.0
+
+        kernel = make_kernel(context, probe).set_args(context.create_buffer(1))
+        execute_ndrange(kernel, (4, 4), (2, 2), device)
+        assert len(records) == 16
+        for g0, g1, l0, l1 in records:
+            assert 0 <= g0 < 2 and 0 <= g1 < 2
+            assert 0 <= l0 < 2 and 0 <= l1 < 2
+
+    def test_work_dim_and_size_queries(self, context, device):
+        seen = {}
+
+        def probe(wi, sink):
+            seen["dim"] = wi.get_work_dim()
+            seen["gs"] = (wi.get_global_size(0), wi.get_global_size(1))
+            seen["ng"] = (wi.get_num_groups(0), wi.get_num_groups(1))
+            sink[0] = 1.0
+
+        kernel = make_kernel(context, probe).set_args(context.create_buffer(1))
+        execute_ndrange(kernel, (6, 4), (3, 2), device)
+        assert seen["dim"] == 2
+        assert seen["gs"] == (6, 4)
+        assert seen["ng"] == (2, 2)
+
+    def test_out_of_range_dim_rejected(self, context, device):
+        def probe(wi, sink):
+            wi.get_global_id(2)
+
+        kernel = make_kernel(context, probe).set_args(context.create_buffer(1))
+        with pytest.raises(OpenCLError, match="dimension"):
+            execute_ndrange(kernel, (2, 2), (1, 1), device)
+
+    def test_1d_kernels_unchanged(self, context, device):
+        """1-D launches keep the scalar attribute shorthand."""
+        def scale(wi, data):
+            data[wi.global_id] = wi.global_id + wi.local_size
+
+        buf = context.create_buffer(8)
+        kernel = make_kernel(context, scale).set_args(buf)
+        execute_ndrange(kernel, 8, 4, device)
+        assert np.array_equal(buf._host_read(), np.arange(8) + 4.0)
+
+
+class TestValidation2D:
+    def _noop(self, context):
+        def noop(wi, sink):
+            sink[0] = 1.0
+        return make_kernel(context, noop).set_args(context.create_buffer(1))
+
+    def test_dimensionality_mismatch(self, context, device):
+        with pytest.raises(InvalidWorkGroupError, match="dimensionality"):
+            execute_ndrange(self._noop(context), (4, 4), 2, device)
+
+    def test_per_dimension_divisibility(self, context, device):
+        with pytest.raises(InvalidWorkGroupError):
+            execute_ndrange(self._noop(context), (4, 5), (2, 2), device)
+
+    def test_group_product_limit(self, context, device):
+        with pytest.raises(InvalidWorkGroupError, match="exceeds device"):
+            execute_ndrange(self._noop(context), (16, 16), (16, 16), device)
+
+    def test_too_many_dimensions(self, context, device):
+        with pytest.raises(InvalidWorkGroupError, match="1-3"):
+            execute_ndrange(self._noop(context), (2, 2, 2, 2), (1, 1, 1, 1),
+                            device)
+
+
+class TestKernelBAs2D:
+    def test_kernel_b_expressed_as_2d_launch(self, context, device):
+        """Kernel IV.B's natural shape: global (Nop, N), local (1, N) —
+        one work-group per option, a row of work-items per group.
+        Prices must match the 1-D formulation bit for bit."""
+        from repro.core import simulate_kernel_b_batch
+        from repro.core.kernel_b import build_params_b
+        from repro.finance import generate_batch
+        from repro.opencl import MemFlag
+
+        steps = 8
+        options = list(generate_batch(n_options=3, seed=44).options)
+        params = context.create_buffer_from(build_params_b(options, steps),
+                                            flags=MemFlag.READ_ONLY)
+        results = context.create_buffer(len(options))
+
+        def tree_2d(wi, p, out, v_row):
+            k = wi.get_local_id(1)
+            group = wi.get_group_id(0)
+            s0, up, down = p[group, 0], p[group, 1], p[group, 2]
+            rp, rq = p[group, 3], p[group, 4]
+            strike, sign = p[group, 5], p[group, 6]
+            s = s0 * up ** (steps - 2 * k)
+            payoff = sign * (s - strike)
+            v_row[k] = payoff if payoff > 0.0 else 0.0
+            if k == steps - 1:
+                s_last = s0 * up ** (-steps)
+                pl = sign * (s_last - strike)
+                v_row[steps] = pl if pl > 0.0 else 0.0
+            yield wi.barrier()
+            for t in range(steps - 1, -1, -1):
+                value = 0.0
+                if k <= t:
+                    s = down * s
+                    cont = rp * v_row[k] + rq * v_row[k + 1]
+                    intr = sign * (s - strike)
+                    value = cont if cont > intr else intr
+                yield wi.barrier()
+                if k <= t:
+                    v_row[k] = value
+                yield wi.barrier()
+            if k == 0:
+                out[group] = v_row[0]
+
+        kernel = make_kernel(context, tree_2d)
+        kernel.set_args(params, results, LocalMemory(steps + 1))
+        queue = context.create_queue()
+        queue.enqueue_nd_range_kernel(kernel, (len(options), steps),
+                                      (1, steps))
+        prices, _ = queue.enqueue_read_buffer(results)
+        assert np.array_equal(prices, simulate_kernel_b_batch(options, steps))

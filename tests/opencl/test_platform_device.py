@@ -1,0 +1,202 @@
+"""Unit tests for platforms, devices, context and program objects."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceModelError, OpenCLError
+from repro.opencl import (
+    Context,
+    Device,
+    DeviceType,
+    LaunchInfo,
+    MemFlag,
+    Platform,
+    ZeroTimingModel,
+    clear_platforms,
+    get_platform,
+    get_platforms,
+    register_platform,
+)
+
+
+class TestDevice:
+    def test_defaults(self):
+        device = Device("d", DeviceType.GPU)
+        assert device.compute_units == 1
+        assert device.double_precision
+
+    def test_validation(self):
+        with pytest.raises(DeviceModelError):
+            Device("d", DeviceType.GPU, compute_units=0)
+        with pytest.raises(DeviceModelError):
+            Device("d", DeviceType.GPU, max_work_group_size=0)
+        with pytest.raises(DeviceModelError):
+            Device("d", DeviceType.GPU, global_mem_bytes=0)
+
+    def test_timing_model_protocol_enforced(self):
+        with pytest.raises(DeviceModelError):
+            Device("d", DeviceType.GPU, timing_model=object())
+
+    def test_zero_timing_model(self):
+        model = ZeroTimingModel()
+        assert model.transfer_ns(1000, None) == 0.0
+        assert model.ndrange_ns(LaunchInfo("k", 8, 4, 2)) == 0.0
+
+    def test_repr_readable(self, toy_device):
+        text = repr(toy_device)
+        assert "toy" in text and "CUs=2" in text
+
+    def test_get_info_queries(self, toy_device):
+        assert toy_device.get_info("CL_DEVICE_NAME") == "toy"
+        assert toy_device.get_info("CL_DEVICE_MAX_COMPUTE_UNITS") == 2
+        assert toy_device.get_info("CL_DEVICE_MAX_WORK_GROUP_SIZE") == 256
+        assert "fp64" in toy_device.get_info("CL_DEVICE_EXTENSIONS")
+
+    def test_get_info_unknown_key(self, toy_device):
+        with pytest.raises(DeviceModelError, match="unknown device-info"):
+            toy_device.get_info("CL_DEVICE_VENDOR_ID")
+
+    def test_paper_devices_report_their_specs(self):
+        from repro.devices import fpga_device, gpu_device
+
+        fpga = fpga_device("iv_b")
+        assert fpga.get_info("CL_DEVICE_GLOBAL_MEM_SIZE") == 2 * 1024**3
+        gpu = gpu_device("iv_b")
+        assert gpu.get_info("CL_DEVICE_MAX_COMPUTE_UNITS") == 5  # SMX count
+        assert gpu.get_info("CL_DEVICE_LOCAL_MEM_SIZE") == 48 * 1024
+
+
+class TestPlatformRegistry:
+    def setup_method(self):
+        clear_platforms()
+
+    def teardown_method(self):
+        clear_platforms()
+
+    def test_register_and_get(self, toy_device):
+        platform = Platform("test", "vendor", (toy_device,))
+        register_platform(platform)
+        assert get_platform("test") is platform
+
+    def test_duplicate_replace_control(self, toy_device):
+        platform = Platform("dup", "vendor", (toy_device,))
+        register_platform(platform)
+        register_platform(platform)  # replace allowed by default
+        with pytest.raises(OpenCLError):
+            register_platform(platform, replace=False)
+
+    def test_unknown_platform(self, toy_device):
+        register_platform(Platform("known", "vendor", (toy_device,)))
+        with pytest.raises(OpenCLError, match="known"):
+            get_platform("other")
+
+    def test_empty_registry_loads_catalog(self):
+        clear_platforms()
+        platforms = get_platforms()
+        names = {p.name for p in platforms}
+        assert any("Altera" in n for n in names)
+        assert any("NVIDIA" in n for n in names)
+        assert any("Intel" in n for n in names)
+
+    def test_device_type_filter(self):
+        clear_platforms()
+        for platform in get_platforms():
+            for device in platform.get_devices(DeviceType.GPU):
+                assert device.device_type is DeviceType.GPU
+
+
+class TestContext:
+    def test_requires_device(self):
+        with pytest.raises(OpenCLError):
+            Context([])
+
+    def test_single_device_shortcut(self, toy_device):
+        ctx = Context(toy_device)
+        assert ctx.device is toy_device
+
+    def test_buffer_tracking_and_release(self, toy_context):
+        buf = toy_context.create_buffer(16)
+        assert toy_context.total_allocated_bytes() == 128
+        toy_context.release(buf)
+        assert toy_context.total_allocated_bytes() == 0
+        with pytest.raises(OpenCLError):
+            toy_context.release(buf)
+
+    def test_global_memory_limit(self):
+        small = Device("small", DeviceType.ACCELERATOR,
+                       global_mem_bytes=1024)
+        ctx = Context(small)
+        ctx.create_buffer(100)  # 800 bytes
+        with pytest.raises(OpenCLError, match="global memory"):
+            ctx.create_buffer(100)
+
+    def test_queue_device_must_belong(self, toy_context):
+        other = Device("other", DeviceType.CPU)
+        with pytest.raises(OpenCLError):
+            toy_context.create_queue(other)
+
+    def test_create_buffer_from(self, toy_context):
+        buf = toy_context.create_buffer_from(np.arange(3.0),
+                                             flags=MemFlag.READ_ONLY)
+        assert buf.flags & MemFlag.READ_ONLY
+        assert np.array_equal(buf._host_read(), np.arange(3.0))
+
+
+class TestProgram:
+    def test_build_log(self, toy_context):
+        def plain(wi, a):
+            pass
+
+        def barriered(wi, a):
+            yield wi.barrier()
+
+        program = toy_context.create_program({"p": plain, "b": barriered})
+        assert "p: 1 args, plain" in program.build_log
+        assert "barrier-capable" in program.build_log
+        assert set(program.kernel_names) == {"p", "b"}
+
+    def test_empty_program_rejected(self, toy_context):
+        with pytest.raises(OpenCLError):
+            toy_context.create_program({})
+
+    def test_zero_param_kernel_rejected(self, toy_context):
+        with pytest.raises(OpenCLError, match="context"):
+            toy_context.create_program({"bad": lambda: None})
+
+    def test_unknown_kernel_name(self, toy_context):
+        program = toy_context.create_program({"k": lambda wi: None})
+        with pytest.raises(OpenCLError, match="no kernel"):
+            program.create_kernel("other")
+
+    def test_non_callable_rejected(self, toy_context):
+        with pytest.raises(OpenCLError):
+            toy_context.create_program({"k": 42})
+
+
+class TestKernelArgs:
+    def _kernel(self, context):
+        def k(wi, a, b, c):
+            pass
+        return context.create_program({"k": k}).create_kernel("k")
+
+    def test_arg_names(self, toy_context):
+        kernel = self._kernel(toy_context)
+        assert kernel.arg_names == ("a", "b", "c")
+        assert kernel.num_args == 3
+
+    def test_set_args_count_mismatch(self, toy_context):
+        from repro.errors import InvalidArgumentError
+        with pytest.raises(InvalidArgumentError):
+            self._kernel(toy_context).set_args(1.0)
+
+    def test_set_arg_index_bounds(self, toy_context):
+        from repro.errors import InvalidArgumentError
+        kernel = self._kernel(toy_context)
+        with pytest.raises(InvalidArgumentError):
+            kernel.set_arg(3, 1.0)
+
+    def test_local_mem_bytes(self, toy_context):
+        from repro.opencl import LocalMemory
+        kernel = self._kernel(toy_context)
+        kernel.set_args(LocalMemory(4), LocalMemory(8), 1.0)
+        assert kernel.local_mem_bytes() == 96

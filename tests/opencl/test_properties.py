@@ -1,0 +1,110 @@
+"""Property-based tests for the OpenCL executor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opencl import (
+    Buffer,
+    Context,
+    Device,
+    DeviceType,
+    LocalMemory,
+    execute_ndrange,
+)
+
+
+def _device():
+    return Device("prop", DeviceType.ACCELERATOR, max_work_group_size=128,
+                  local_mem_bytes=64 * 1024)
+
+
+@st.composite
+def ndrange_shapes(draw):
+    local = draw(st.integers(min_value=1, max_value=16))
+    groups = draw(st.integers(min_value=1, max_value=8))
+    return groups * local, local
+
+
+@settings(max_examples=40, deadline=None)
+@given(ndrange_shapes())
+def test_every_work_item_executes_exactly_once(shape):
+    global_size, local_size = shape
+    device = _device()
+    context = Context(device)
+    counts = context.create_buffer(global_size)
+
+    def bump(wi, out):
+        gid = wi.get_global_id()
+        out[gid] = out[gid] + 1.0
+
+    kernel = context.create_program({"bump": bump}).create_kernel("bump")
+    kernel.set_args(counts)
+    execute_ndrange(kernel, global_size, local_size, device)
+    assert np.array_equal(counts._host_read(), np.ones(global_size))
+
+
+@settings(max_examples=30, deadline=None)
+@given(ndrange_shapes(), st.integers(min_value=1, max_value=5))
+def test_barrier_rounds_counted(shape, n_barriers):
+    global_size, local_size = shape
+    device = _device()
+    context = Context(device)
+    out = context.create_buffer(1)
+
+    def kern(wi, sink):
+        for _ in range(n_barriers):
+            yield wi.barrier()
+        sink[0] = 1.0
+
+    kernel = context.create_program({"kern": kern}).create_kernel("kern")
+    kernel.set_args(out)
+    stats = execute_ndrange(kernel, global_size, local_size, device)
+    assert stats.barriers_per_group == n_barriers
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=8),
+       st.integers(min_value=2, max_value=16),
+       st.integers(min_value=0, max_value=1000))
+def test_group_local_sums_are_isolated(groups, local_size, seed):
+    """Per-group local accumulation equals a numpy groupwise sum."""
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(-1, 1, groups * local_size)
+    device = _device()
+    context = Context(device)
+    buf = context.create_buffer_from(data)
+    sums = context.create_buffer(groups)
+
+    def group_sum(wi, src, scratch, out):
+        lid = wi.get_local_id()
+        scratch[lid] = src[wi.get_global_id()]
+        yield wi.barrier()
+        if lid == 0:
+            total = 0.0
+            for i in range(wi.get_local_size()):
+                total += scratch[i]
+            out[wi.get_group_id()] = total
+
+    kernel = context.create_program({"gs": group_sum}).create_kernel("gs")
+    kernel.set_args(buf, LocalMemory(local_size), sums)
+    execute_ndrange(kernel, groups * local_size, local_size, device)
+    expected = data.reshape(groups, local_size).sum(axis=1)
+    assert np.allclose(sums._host_read(), expected, rtol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=4096),
+                min_size=1, max_size=10))
+def test_ledger_totals_are_sums(sizes):
+    device = _device()
+    context = Context(device)
+    queue = context.create_queue()
+    total = 0
+    for size in sizes:
+        buf = Buffer.allocate(size)
+        queue.enqueue_write_buffer(buf, np.zeros(size))
+        total += size * 8
+    assert queue.transfers.total_bytes() == total
+    assert queue.transfers.count() == len(sizes)

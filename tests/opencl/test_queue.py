@@ -1,0 +1,191 @@
+"""Unit tests for the command queue, events and transfer ledger."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OpenCLError
+from repro.opencl import (
+    CommandQueue,
+    CommandType,
+    Context,
+    Device,
+    DeviceType,
+    LaunchInfo,
+    TransferDirection,
+)
+
+
+class FixedRateTiming:
+    """1 GB/s transfers, 1 us per launch: easy numbers to assert on."""
+
+    def transfer_ns(self, nbytes, direction):
+        return nbytes  # 1 byte per ns == 1 GB/s
+
+    def ndrange_ns(self, launch):
+        return 1000.0
+
+
+@pytest.fixture
+def timed_device():
+    return Device("timed", DeviceType.ACCELERATOR, timing_model=FixedRateTiming(),
+                  max_work_group_size=64)
+
+
+@pytest.fixture
+def timed_queue(timed_device):
+    return Context(timed_device).create_queue()
+
+
+def _scale_kernel(context):
+    def scale(wi, data, factor):
+        gid = wi.get_global_id()
+        data[gid] = data[gid] * factor
+
+    return context.create_program({"scale": scale}).create_kernel("scale")
+
+
+class TestClock:
+    def test_write_advances_clock_by_bytes(self, timed_queue):
+        buf = timed_queue.context.create_buffer(16)
+        timed_queue.enqueue_write_buffer(buf, np.zeros(16))
+        assert timed_queue.clock_ns == 16 * 8
+
+    def test_kernel_advances_clock(self, timed_queue):
+        kernel = _scale_kernel(timed_queue.context)
+        buf = timed_queue.context.create_buffer(8)
+        kernel.set_args(buf, 2.0)
+        timed_queue.enqueue_nd_range_kernel(kernel, 8, 4)
+        assert timed_queue.clock_ns == 1000.0
+
+    def test_commands_accumulate_in_order(self, timed_queue):
+        buf = timed_queue.context.create_buffer(4)
+        timed_queue.enqueue_write_buffer(buf, np.zeros(4))  # 32 ns
+        timed_queue.enqueue_read_buffer(buf)                # 32 ns
+        assert timed_queue.finish() == 64.0
+        assert timed_queue.clock_s == pytest.approx(64e-9)
+
+    def test_reset_clock(self, timed_queue):
+        buf = timed_queue.context.create_buffer(4)
+        timed_queue.enqueue_write_buffer(buf, np.zeros(4))
+        timed_queue.reset_clock()
+        assert timed_queue.clock_ns == 0.0
+        assert len(timed_queue.events) == 0
+        assert len(timed_queue.transfers) == 0
+
+
+class TestEvents:
+    def test_event_timestamps(self, timed_queue):
+        buf = timed_queue.context.create_buffer(8)
+        event = timed_queue.enqueue_write_buffer(buf, np.zeros(8))
+        assert event.start_ns == 0.0
+        assert event.end_ns == 64.0
+        assert event.duration_ns == 64.0
+        assert event.duration_ms == pytest.approx(64e-6)
+
+    def test_event_types_recorded(self, timed_queue):
+        buf = timed_queue.context.create_buffer(4)
+        timed_queue.enqueue_write_buffer(buf, np.zeros(4))
+        timed_queue.enqueue_read_buffer(buf)
+        timed_queue.enqueue_marker("sync")
+        types = [e.command_type for e in timed_queue.events]
+        assert types == [CommandType.WRITE_BUFFER, CommandType.READ_BUFFER,
+                         CommandType.MARKER]
+
+    def test_profiling_disabled_keeps_clock(self, timed_device):
+        queue = Context(timed_device).create_queue(profiling=False)
+        buf = queue.context.create_buffer(4)
+        queue.enqueue_write_buffer(buf, np.zeros(4))
+        assert queue.events == []
+        assert queue.clock_ns == 32.0
+
+    def test_kernel_event_info(self, timed_queue):
+        kernel = _scale_kernel(timed_queue.context)
+        buf = timed_queue.context.create_buffer(8)
+        kernel.set_args(buf, 3.0)
+        event = timed_queue.enqueue_nd_range_kernel(kernel, 8, 4)
+        assert event.info["global_size"] == 8
+        assert event.info["local_size"] == 4
+        assert event.info["work_groups"] == 2
+
+
+class TestTransfers:
+    def test_ledger_directions(self, timed_queue):
+        buf = timed_queue.context.create_buffer(8)
+        timed_queue.enqueue_write_buffer(buf, np.zeros(8))
+        timed_queue.enqueue_read_buffer(buf, 0, 4)
+        ledger = timed_queue.transfers
+        assert ledger.total_bytes(TransferDirection.HOST_TO_DEVICE) == 64
+        assert ledger.total_bytes(TransferDirection.DEVICE_TO_HOST) == 32
+        assert ledger.total_bytes() == 96
+        assert ledger.count(TransferDirection.HOST_TO_DEVICE) == 1
+
+    def test_transfer_times(self, timed_queue):
+        buf = timed_queue.context.create_buffer(8)
+        timed_queue.enqueue_write_buffer(buf, np.zeros(8))
+        assert timed_queue.transfer_time_ns() == 64.0
+        assert timed_queue.kernel_time_ns() == 0.0
+
+    def test_read_returns_data(self, timed_queue):
+        buf = timed_queue.context.create_buffer_from(np.arange(4.0))
+        data, event = timed_queue.enqueue_read_buffer(buf, offset=1, count=2)
+        assert np.array_equal(data, [1.0, 2.0])
+        assert event.info["bytes"] == 16
+
+
+class TestCopyBuffer:
+    def test_copy_moves_data_on_device(self, timed_queue):
+        src = timed_queue.context.create_buffer_from(np.arange(4.0))
+        dst = timed_queue.context.create_buffer(4)
+        timed_queue.enqueue_copy_buffer(src, dst)
+        assert np.array_equal(dst._host_read(), np.arange(4.0))
+
+    def test_size_mismatch(self, timed_queue):
+        src = timed_queue.context.create_buffer(4)
+        dst = timed_queue.context.create_buffer(8)
+        with pytest.raises(OpenCLError):
+            timed_queue.enqueue_copy_buffer(src, dst)
+
+
+class TestWaitListsAndFill:
+    def test_wait_list_accepted(self, timed_queue):
+        buf = timed_queue.context.create_buffer(4)
+        first = timed_queue.enqueue_write_buffer(buf, np.zeros(4))
+        data, second = timed_queue.enqueue_read_buffer(buf, wait_for=[first])
+        assert second.start_ns >= first.end_ns  # in-order guarantee
+
+    def test_wait_list_validated(self, timed_queue):
+        buf = timed_queue.context.create_buffer(4)
+        with pytest.raises(OpenCLError, match="wait list"):
+            timed_queue.enqueue_write_buffer(buf, np.zeros(4),
+                                             wait_for=["not-an-event"])
+
+    def test_event_wait_returns_complete(self, timed_queue):
+        from repro.opencl import EventStatus
+        buf = timed_queue.context.create_buffer(4)
+        event = timed_queue.enqueue_write_buffer(buf, np.zeros(4))
+        assert event.wait().status is EventStatus.COMPLETE
+
+    def test_fill_buffer(self, timed_queue):
+        buf = timed_queue.context.create_buffer(6)
+        timed_queue.enqueue_fill_buffer(buf, -1.0)
+        assert np.array_equal(buf._host_read(), np.full(6, -1.0))
+
+    def test_fill_charges_pattern_not_buffer(self, timed_queue):
+        big = timed_queue.context.create_buffer(10_000)
+        before = timed_queue.clock_ns
+        timed_queue.enqueue_fill_buffer(big, 0.0)
+        assert timed_queue.clock_ns - before == 8.0  # one f64 pattern
+
+    def test_queue_barrier_recorded(self, timed_queue):
+        event = timed_queue.enqueue_barrier()
+        assert event.command_type is CommandType.MARKER
+        assert event.duration_ns == 0.0
+
+
+class TestAutoLocalSize:
+    def test_none_local_size_picks_divisor(self, timed_queue):
+        kernel = _scale_kernel(timed_queue.context)
+        buf = timed_queue.context.create_buffer(12)
+        kernel.set_args(buf, 1.0)
+        event = timed_queue.enqueue_nd_range_kernel(kernel, 12)
+        assert 12 % event.info["local_size"] == 0

@@ -1,0 +1,117 @@
+"""Unit tests for sub-buffers and map/unmap."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_, OpenCLError
+from repro.opencl import Buffer, Context, Device, DeviceType, MemFlag
+
+
+class TestSubBuffer:
+    def test_shares_storage_with_parent(self):
+        parent = Buffer.from_array(np.arange(10.0))
+        sub = parent.create_sub_buffer(2, 4)
+        sub._host_write(np.array([99.0]), offset=0)
+        assert parent._host_read()[2] == 99.0
+        parent._host_write(np.array([-1.0]), offset=3)
+        assert sub._host_read()[1] == -1.0
+
+    def test_geometry(self):
+        parent = Buffer.allocate(10)
+        sub = parent.create_sub_buffer(2, 4)
+        assert sub.size == 4
+        assert sub.nbytes == 32
+        assert "[2:6]" in sub.name
+        assert sub.parent is parent
+
+    def test_bounds_checked(self):
+        parent = Buffer.allocate(10)
+        with pytest.raises(MemoryError_):
+            parent.create_sub_buffer(8, 4)
+        with pytest.raises(MemoryError_):
+            parent.create_sub_buffer(-1, 2)
+        with pytest.raises(MemoryError_):
+            parent.create_sub_buffer(0, 0)
+
+    def test_narrowed_flags(self):
+        parent = Buffer.allocate(8)
+        sub = parent.create_sub_buffer(0, 4, flags=MemFlag.READ_ONLY)
+        view = sub.view()
+        with pytest.raises(OpenCLError):
+            view[0] = 1.0
+        # parent stays writable
+        parent.view()[0] = 1.0
+
+    def test_own_counters(self):
+        parent = Buffer.from_array(np.arange(8.0))
+        sub = parent.create_sub_buffer(0, 4)
+        _ = sub.view()[1]
+        assert sub.device_reads == 1
+        assert parent.device_reads == 0
+
+    def test_kernel_can_use_sub_buffer(self, toy_context, toy_device):
+        parent = toy_context.create_buffer_from(np.arange(8.0))
+        sub = parent.create_sub_buffer(4, 4)
+
+        def double(wi, data):
+            gid = wi.get_global_id()
+            data[gid] = 2.0 * data[gid]
+
+        kernel = toy_context.create_program({"d": double}).create_kernel("d")
+        kernel.set_args(sub)
+        toy_context.create_queue().enqueue_nd_range_kernel(kernel, 4, 4)
+        assert np.array_equal(parent._host_read(),
+                              [0, 1, 2, 3, 8, 10, 12, 14])
+
+
+class TestMapUnmap:
+    @pytest.fixture
+    def queue(self, toy_context):
+        return toy_context.create_queue()
+
+    def test_read_map(self, queue):
+        buf = queue.context.create_buffer_from(np.arange(6.0))
+        mapped, event = queue.enqueue_map_buffer(buf)
+        assert np.array_equal(mapped, np.arange(6.0))
+        assert event.info["map"]
+        queue.enqueue_unmap(buf, mapped)  # read map: free unmap
+
+    def test_write_map_round_trip(self, queue):
+        buf = queue.context.create_buffer(4)
+        mapped, _ = queue.enqueue_map_buffer(buf, write=True)
+        mapped[:] = [1.0, 2.0, 3.0, 4.0]
+        queue.enqueue_unmap(buf, mapped)
+        assert np.array_equal(buf._host_read(), [1.0, 2.0, 3.0, 4.0])
+
+    def test_read_map_does_not_write_back(self, queue):
+        buf = queue.context.create_buffer_from(np.arange(4.0))
+        mapped, _ = queue.enqueue_map_buffer(buf, write=False)
+        mapped[:] = 0.0
+        queue.enqueue_unmap(buf, mapped)
+        assert np.array_equal(buf._host_read(), np.arange(4.0))
+
+    def test_unmap_unknown_region_rejected(self, queue):
+        buf = queue.context.create_buffer(4)
+        with pytest.raises(OpenCLError, match="never mapped"):
+            queue.enqueue_unmap(buf, np.zeros(4))
+
+    def test_unmap_wrong_buffer_rejected(self, queue):
+        a = queue.context.create_buffer(4)
+        b = queue.context.create_buffer(4)
+        mapped, _ = queue.enqueue_map_buffer(a)
+        with pytest.raises(OpenCLError, match="wrong buffer"):
+            queue.enqueue_unmap(b, mapped)
+
+    def test_map_charged_like_a_read(self, toy_context):
+        class ByteRate:
+            def transfer_ns(self, nbytes, direction):
+                return float(nbytes)
+
+            def ndrange_ns(self, launch):
+                return 0.0
+
+        device = Device("t", DeviceType.ACCELERATOR, timing_model=ByteRate())
+        queue = Context(device).create_queue()
+        buf = queue.context.create_buffer(8)
+        queue.enqueue_map_buffer(buf)
+        assert queue.clock_ns == 64.0

@@ -1,0 +1,71 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fourier"])
+
+    def test_price_requires_spot_strike(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["price", "--spot", "100"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "DSP (18-bit)" in out
+
+    def test_ablation(self, capsys):
+        assert main(["ablation"]) == 0
+        out = capsys.readouterr().out
+        assert "14" in out and "result only" in out
+
+    def test_saturation(self, capsys):
+        assert main(["saturation"]) == 0
+        assert "IV.B FPGA" in capsys.readouterr().out
+
+    def test_energy(self, capsys):
+        assert main(["energy"]) == 0
+        assert "10 W" in capsys.readouterr().out
+
+    def test_portability(self, capsys):
+        assert main(["portability"]) == 0
+        out = capsys.readouterr().out
+        assert "Mali" in out and "C6678" in out
+
+    def test_clsource_iv_b(self, capsys):
+        assert main(["clsource", "iv_b", "--steps", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "__kernel void binomial_tree_iv_b" in out
+        assert "#define N_STEPS 64" in out
+
+    def test_clsource_iv_a_single(self, capsys):
+        assert main(["clsource", "iv_a", "--precision", "sp"]) == 0
+        out = capsys.readouterr().out
+        assert "binomial_node_iv_a" in out
+        assert "float" in out
+
+    def test_price(self, capsys):
+        code = main(["price", "--spot", "100", "--strike", "95",
+                     "--type", "call", "--steps", "128",
+                     "--platform", "cpu"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "price" in out and "reference" in out
+
+    def test_price_fpga_shows_pow_error(self, capsys):
+        main(["price", "--spot", "100", "--strike", "100",
+              "--type", "put", "--steps", "128"])
+        out = capsys.readouterr().out
+        assert "altera-13.0-double" in out

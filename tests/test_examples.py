@@ -1,0 +1,61 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+(The slower, minute-scale examples — platform_comparison,
+accuracy_study, pricing_methods — exercise exactly the code paths the
+benchmark suite already runs at full size, so they are not duplicated
+here.)
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = (
+    "quickstart",
+    "kernel_dataflow_trace",
+    "design_space_exploration",
+    "trading_day",
+)
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 200  # produced a real report, not a stub
+
+
+def test_quickstart_content(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "Reference binomial" in out
+    assert "Fitter Summary" in out
+    assert "options/s" in out
+
+
+def test_trace_example_shows_both_kernels(capsys):
+    load_example("kernel_dataflow_trace").main()
+    out = capsys.readouterr().out
+    assert "Kernel IV.A" in out and "Kernel IV.B" in out
+    assert "matching prices" in out
+
+
+def test_every_example_file_has_main():
+    for path in EXAMPLES_DIR.glob("*.py"):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source, path.name
+        assert "def main(" in source, path.name
