@@ -15,7 +15,10 @@ Layers (bottom-up):
   regenerates Table I (resources, Fmax, power) from kernel IR;
 * :mod:`repro.core` — the paper's two accelerator designs (kernels
   IV.A and IV.B with their host programs), the flawed-``pow`` math
-  model, and the analytic Table II performance model.
+  model, and the analytic Table II performance model;
+* :mod:`repro.engine` — the batched pricing engine: cache-budgeted
+  chunking, multi-process fan-out and workspace reuse around the
+  kernels' exact arithmetic.
 
 Quick start::
 
@@ -41,6 +44,7 @@ from .core import (
     kernel_b_estimate,
     reference_estimate,
 )
+from .engine import EngineConfig, EngineResult, PricingEngine
 from .errors import ReproError
 from .finance import (
     ExerciseStyle,
@@ -81,4 +85,7 @@ __all__ = [
     "kernel_a_estimate",
     "kernel_b_estimate",
     "reference_estimate",
+    "PricingEngine",
+    "EngineConfig",
+    "EngineResult",
 ]

@@ -26,6 +26,12 @@ from .experiments import (
     table2,
     volatility_curve_usecase,
 )
+from .engine_bench import (
+    BENCH_SCHEMA,
+    check_throughput_regression,
+    run_benchmark,
+    write_benchmark,
+)
 from .methodology import (
     CRR_BINOMIAL_MODEL,
     AcceleratorBenchmark,
@@ -71,4 +77,8 @@ __all__ = [
     "generate_report",
     "ReportSection",
     "REPORT_SECTIONS",
+    "BENCH_SCHEMA",
+    "run_benchmark",
+    "write_benchmark",
+    "check_throughput_regression",
 ]

@@ -1,0 +1,327 @@
+"""Throughput benchmark harness for the batched pricing engine.
+
+Measures the engine against a frozen copy of the *pre-engine* fast
+path — the single-threaded simulator exactly as it existed before the
+engine work (Python-loop parameter building, list-comprehension leaf
+exponents, allocating backward loop) — and writes the result to
+``BENCH_engine.json`` so future changes have a perf trajectory to
+regress against.
+
+The harness also cross-checks correctness on every run: engine prices
+must be bit-identical to the current simulator, and must agree with
+the frozen baseline to double-precision noise (the baseline builds
+lattice constants with scalar ``math`` calls, the vectorised builders
+with numpy ufuncs — same math, last-ulp differences).
+
+``check_throughput_regression`` implements the CI gate: it compares a
+fresh run against a stored baseline file and reports every
+configuration whose throughput dropped more than the allowed fraction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as _platform
+import time
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..core.batch_sim import simulate_kernel_a_batch, simulate_kernel_b_batch
+from ..core.faithful_math import EXACT_DOUBLE, MathProfile
+from ..core.kernel_a import build_leaves_a
+from ..core.metrics import nodes_per_option
+from ..engine import EngineConfig, PricingEngine
+from ..errors import ReproError
+from ..finance.lattice import LatticeFamily, build_lattice_params
+from ..finance.market import generate_batch
+from ..finance.options import Option
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "baseline_simulate_kernel_a",
+    "baseline_simulate_kernel_b",
+    "run_benchmark",
+    "write_benchmark",
+    "check_throughput_regression",
+]
+
+#: Schema tag written into every BENCH_engine.json (see docs/paper_mapping.md).
+BENCH_SCHEMA = "repro-engine-bench/v1"
+
+
+# --------------------------------------------------------------------------
+# Frozen pre-engine fast path (the benchmark's baseline)
+# --------------------------------------------------------------------------
+
+
+def _baseline_params_b(options: Sequence[Option], steps: int,
+                       family: LatticeFamily) -> np.ndarray:
+    """`build_params_b` as it was before vectorisation: a Python loop."""
+    rows = np.empty((len(options), 7), dtype=np.float64)
+    for i, option in enumerate(options):
+        lattice = build_lattice_params(option, steps, family)
+        rows[i] = (
+            option.spot,
+            lattice.up,
+            lattice.down,
+            lattice.discounted_p_up,
+            lattice.discounted_p_down,
+            option.strike,
+            option.option_type.sign,
+        )
+    return rows
+
+
+def _baseline_params_a(options: Sequence[Option], steps: int,
+                       family: LatticeFamily) -> np.ndarray:
+    """`build_params_a` as it was before vectorisation: a Python loop."""
+    rows = np.empty((len(options), 5), dtype=np.float64)
+    for i, option in enumerate(options):
+        lattice = build_lattice_params(option, steps, family)
+        rows[i] = (
+            lattice.discounted_p_up,
+            lattice.discounted_p_down,
+            lattice.down,
+            option.strike,
+            option.option_type.sign,
+        )
+    return rows
+
+
+def baseline_simulate_kernel_b(
+    options: Sequence[Option],
+    steps: int,
+    profile: MathProfile = EXACT_DOUBLE,
+    family: LatticeFamily = LatticeFamily.CRR,
+) -> np.ndarray:
+    """The pre-engine ``simulate_kernel_b_batch``, frozen verbatim.
+
+    Python-loop parameter building, list-comprehension exponents, and
+    a backward loop that allocates fresh temporaries every iteration —
+    the path the engine's speedup is measured against.
+    """
+    if steps < 2:
+        raise ReproError("kernel IV.B needs at least 2 steps")
+    if not options:
+        raise ReproError("empty option batch")
+    params = _baseline_params_b(options, steps, family)
+    cast = profile.cast
+
+    s0 = cast(params[:, 0:1])
+    up = params[:, 1:2]
+    down = cast(params[:, 2:3])
+    rp = cast(params[:, 3:4])
+    rq = cast(params[:, 4:5])
+    strike = cast(params[:, 5:6])
+    sign = cast(params[:, 6:7])
+
+    exponents = np.array([float(steps - 2 * k) for k in range(steps)]
+                         + [float(-steps)])
+    s = cast(s0 * profile.pow_(up, exponents[None, :]))
+    payoff = cast(sign * (s - strike))
+    v = np.where(payoff > 0.0, payoff, cast(0.0)).astype(profile.dtype)
+    s = s[:, :steps]
+
+    for t in range(steps - 1, -1, -1):
+        active = t + 1
+        s_active = cast(down * s[:, :active])
+        continuation = cast(
+            cast(rp * v[:, :active]) + cast(rq * v[:, 1:active + 1])
+        )
+        intrinsic = cast(sign * (s_active - strike))
+        v[:, :active] = np.where(
+            continuation > intrinsic, continuation, intrinsic
+        )
+        s[:, :active] = s_active
+
+    return v[:, 0].astype(np.float64)
+
+
+def baseline_simulate_kernel_a(
+    options: Sequence[Option],
+    steps: int,
+    profile: MathProfile = EXACT_DOUBLE,
+    family: LatticeFamily = LatticeFamily.CRR,
+) -> np.ndarray:
+    """The pre-engine ``simulate_kernel_a_batch``, frozen verbatim."""
+    if steps < 2:
+        raise ReproError("kernel IV.A needs at least 2 steps")
+    if not options:
+        raise ReproError("empty option batch")
+    params = _baseline_params_a(options, steps, family)
+    cast = profile.cast
+
+    rp = cast(params[:, 0:1])
+    rq = cast(params[:, 1:2])
+    down = cast(params[:, 2:3])
+    strike = cast(params[:, 3:4])
+    sign = cast(params[:, 4:5])
+
+    leaf_pairs = [build_leaves_a(o, steps, family) for o in options]
+    s = cast(np.stack([pair[0] for pair in leaf_pairs]))
+    v = cast(np.stack([pair[1] for pair in leaf_pairs])).astype(profile.dtype)
+
+    for t in range(steps - 1, -1, -1):
+        active = t + 1
+        s_active = cast(down * s[:, :active])
+        continuation = cast(
+            cast(rp * v[:, :active]) + cast(rq * v[:, 1:active + 1])
+        )
+        intrinsic = cast(sign * (s_active - strike))
+        v = np.where(continuation > intrinsic, continuation, intrinsic).astype(
+            profile.dtype
+        )
+        s = s_active
+
+    return v[:, 0].astype(np.float64)
+
+
+_BASELINES = {
+    "iv_a": baseline_simulate_kernel_a,
+    "iv_b": baseline_simulate_kernel_b,
+}
+_SIMULATORS = {
+    "iv_a": simulate_kernel_a_batch,
+    "iv_b": simulate_kernel_b_batch,
+}
+
+
+# --------------------------------------------------------------------------
+# Benchmark driver
+# --------------------------------------------------------------------------
+
+
+def run_benchmark(
+    options_counts: Sequence[int] = (1024, 4096),
+    steps: int = 1024,
+    workers_settings: Sequence[int] = (1, 4),
+    kernel: str = "iv_b",
+    profile: MathProfile = EXACT_DOUBLE,
+    family: LatticeFamily = LatticeFamily.CRR,
+    seed: int = 20140324,
+) -> dict:
+    """Measure engine throughput against the frozen pre-engine path.
+
+    For each batch size: time the baseline once, then one engine run
+    per ``workers`` setting, asserting bit-identity with the current
+    simulator and double-precision agreement with the baseline.
+    Returns the JSON-ready result document (see ``BENCH_SCHEMA``).
+    """
+    if kernel not in _BASELINES:
+        raise ReproError(f"benchmark supports kernels "
+                         f"{tuple(_BASELINES)}, got {kernel!r}")
+    results = []
+    for n_options in options_counts:
+        batch = list(generate_batch(n_options=n_options, seed=seed).options)
+
+        start = time.perf_counter()
+        baseline_prices = _BASELINES[kernel](batch, steps, profile, family)
+        baseline_wall = time.perf_counter() - start
+        tree_nodes = n_options * (nodes_per_option(steps) + steps + 1)
+
+        simulator_prices = _SIMULATORS[kernel](batch, steps, profile, family)
+        max_diff = float(np.max(np.abs(simulator_prices - baseline_prices)))
+        if not np.allclose(simulator_prices, baseline_prices,
+                           rtol=1e-9, atol=1e-9):
+            raise ReproError(
+                f"engine fast path disagrees with the frozen baseline "
+                f"beyond double-precision noise (max abs diff {max_diff:.3e})"
+            )
+
+        runs = []
+        for workers in workers_settings:
+            with PricingEngine(kernel=kernel, profile=profile, family=family,
+                               config=EngineConfig(workers=workers)) as engine:
+                result = engine.run(batch, steps)
+            if not np.array_equal(result.prices, simulator_prices):
+                raise ReproError(
+                    f"engine (workers={workers}) is not bit-identical to "
+                    f"the simulator"
+                )
+            stats = result.stats.as_dict()
+            stats["speedup_vs_baseline"] = (
+                result.stats.options_per_second * baseline_wall / n_options
+            )
+            runs.append(stats)
+
+        results.append({
+            "options": n_options,
+            "baseline": {
+                "label": "pre-engine single-threaded simulator",
+                "wall_time_s": baseline_wall,
+                "options_per_second": n_options / baseline_wall,
+                "tree_nodes_per_second": tree_nodes / baseline_wall,
+            },
+            "parity": {
+                "bit_identical_to_simulator": True,
+                "max_abs_diff_vs_baseline": max_diff,
+            },
+            "runs": runs,
+        })
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": _platform.platform(),
+            "python": _platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": {
+            "kernel": kernel,
+            "profile": profile.name,
+            "family": family.value,
+            "steps": steps,
+            "seed": seed,
+        },
+        "results": results,
+    }
+
+
+def write_benchmark(document: dict, path: "str | Path") -> Path:
+    """Serialise a benchmark document to ``path`` (pretty-printed)."""
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path
+
+
+def check_throughput_regression(
+    current: dict,
+    baseline: dict,
+    max_regression: float = 0.30,
+) -> "list[str]":
+    """CI regression gate: compare two benchmark documents.
+
+    Configurations are matched on ``(options, workers)`` (and the
+    global kernel/steps config must agree); a configuration fails when
+    its options/s fell more than ``max_regression`` below the stored
+    baseline.  Returns the list of failure messages (empty = pass).
+    """
+    failures: "list[str]" = []
+    if current["config"] != baseline["config"]:
+        return [
+            f"benchmark configs differ (current {current['config']} vs "
+            f"baseline {baseline['config']}); not comparable"
+        ]
+    baseline_rates = {
+        (entry["options"], run["workers"]): run["options_per_second"]
+        for entry in baseline["results"]
+        for run in entry["runs"]
+    }
+    for entry in current["results"]:
+        for run in entry["runs"]:
+            key = (entry["options"], run["workers"])
+            if key not in baseline_rates:
+                continue
+            floor = baseline_rates[key] * (1.0 - max_regression)
+            if run["options_per_second"] < floor:
+                failures.append(
+                    f"options={key[0]} workers={key[1]}: "
+                    f"{run['options_per_second']:.1f} options/s is below "
+                    f"{floor:.1f} ({1 - max_regression:.0%} of stored "
+                    f"baseline {baseline_rates[key]:.1f})"
+                )
+    return failures

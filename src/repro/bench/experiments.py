@@ -30,10 +30,9 @@ from ..core import (
     nodes_per_option,
     reference_estimate,
     row_from_estimate,
-    simulate_kernel_a_batch,
-    simulate_kernel_b_batch,
 )
 from ..core.sweep import fit_power_budget, frequency_scaling
+from ..engine import EngineConfig, PricingEngine
 from ..devices import (
     cpu_compute_model,
     fpga_compute_model,
@@ -146,34 +145,51 @@ class Table2Result:
     rendered: str
 
 
+def _engine_prices(kernel: str, options: Sequence[Option], steps: int,
+                   profile, workers: int = 1) -> np.ndarray:
+    """Price one configuration through the batched engine.
+
+    Bit-identical to calling the kernel simulator directly (the engine
+    only restructures the schedule), but chunked into cache-sized
+    tiles and optionally fanned over worker processes.
+    """
+    with PricingEngine(kernel=kernel, profile=profile,
+                       config=EngineConfig(workers=workers)) as engine:
+        return engine.price(options, steps)
+
+
 def _accuracy_rmse(kind: str, options: Sequence[Option], steps: int,
-                   reference: np.ndarray) -> float:
+                   reference: np.ndarray, workers: int = 1) -> float:
     """Measured RMSE of one configuration against the double reference."""
     if kind == "iv_a_fpga" or kind == "iv_a_gpu":
-        candidate = simulate_kernel_a_batch(options, steps, EXACT_DOUBLE)
+        candidate = _engine_prices("iv_a", options, steps, EXACT_DOUBLE, workers)
     elif kind == "iv_b_fpga":
-        candidate = simulate_kernel_b_batch(options, steps, ALTERA_13_0_DOUBLE)
+        candidate = _engine_prices("iv_b", options, steps, ALTERA_13_0_DOUBLE,
+                                   workers)
     elif kind == "iv_b_gpu_double":
-        candidate = simulate_kernel_b_batch(options, steps, EXACT_DOUBLE)
+        candidate = _engine_prices("iv_b", options, steps, EXACT_DOUBLE, workers)
     elif kind == "iv_b_gpu_single":
-        candidate = simulate_kernel_b_batch(options, steps, EXACT_SINGLE)
+        candidate = _engine_prices("iv_b", options, steps, EXACT_SINGLE, workers)
     elif kind == "ref_single":
-        candidate = price_binomial_batch(options, steps, dtype=np.float32)
+        candidate = price_binomial_batch(options, steps, dtype=np.float32,
+                                         workers=workers)
     else:  # ref_double — the reference itself
         candidate = reference
     return rmse(reference, candidate)
 
 
 def table2(accuracy_options: int = 200, steps: int = published.PAPER_STEPS,
-           seed: int = 20140324) -> Table2Result:
+           seed: int = 20140324, workers: int = 1) -> Table2Result:
     """Regenerate every Table II column (plus the literature rows).
 
     Throughput/energy come from the calibrated performance models;
     RMSE from actually pricing ``accuracy_options`` synthetic options
-    at full tree depth with each configuration's exact arithmetic.
+    at full tree depth with each configuration's exact arithmetic
+    (scheduled through the batched engine; ``workers > 1`` fans the
+    chunks over processes without changing a bit of the output).
     """
     batch = generate_batch(n_options=accuracy_options, seed=seed).options
-    reference = price_binomial_batch(batch, steps)
+    reference = price_binomial_batch(batch, steps, workers=workers)
 
     configs = (
         ("Kernel IV.A", "FPGA (DE4)", "double", "iv_a_fpga",
@@ -194,7 +210,7 @@ def table2(accuracy_options: int = 200, steps: int = published.PAPER_STEPS,
 
     rows = []
     for label, platform, precision, kind, estimate in configs:
-        value = _accuracy_rmse(kind, batch, steps, reference)
+        value = _accuracy_rmse(kind, batch, steps, reference, workers)
         rows.append(row_from_estimate(label, platform, precision, estimate, value))
 
     # literature rows are carried as printed
@@ -350,21 +366,26 @@ class AccuracyResult:
 
 def accuracy_experiment(n_options: int = 500,
                         steps: int = published.PAPER_STEPS,
-                        seed: int = 7) -> AccuracyResult:
+                        seed: int = 7, workers: int = 1) -> AccuracyResult:
     """Reproduce the accuracy story: flawed pow vs exact vs fp32."""
     batch = generate_batch(n_options=n_options, seed=seed).options
-    reference = price_binomial_batch(batch, steps)
+    reference = price_binomial_batch(batch, steps, workers=workers)
     rmses = {
         "IV.B FPGA double (flawed pow)": rmse(
-            reference, simulate_kernel_b_batch(batch, steps, ALTERA_13_0_DOUBLE)),
+            reference, _engine_prices("iv_b", batch, steps, ALTERA_13_0_DOUBLE,
+                                      workers)),
         "IV.B GPU double (exact pow)": rmse(
-            reference, simulate_kernel_b_batch(batch, steps, EXACT_DOUBLE)),
+            reference, _engine_prices("iv_b", batch, steps, EXACT_DOUBLE,
+                                      workers)),
         "IV.B GPU single": rmse(
-            reference, simulate_kernel_b_batch(batch, steps, EXACT_SINGLE)),
+            reference, _engine_prices("iv_b", batch, steps, EXACT_SINGLE,
+                                      workers)),
         "IV.A (host leaves, exact)": rmse(
-            reference, simulate_kernel_a_batch(batch, steps, EXACT_DOUBLE)),
+            reference, _engine_prices("iv_a", batch, steps, EXACT_DOUBLE,
+                                      workers)),
         "Reference single": rmse(
-            reference, price_binomial_batch(batch, steps, dtype=np.float32)),
+            reference, price_binomial_batch(batch, steps, dtype=np.float32,
+                                            workers=workers)),
     }
     classes = {k: classify_rmse(v) for k, v in rmses.items()}
     paper_classes = {
@@ -620,9 +641,9 @@ def precision_ablation(steps: int = published.PAPER_STEPS,
     batch = generate_batch(n_options=accuracy_options, seed=seed).options
     reference = price_binomial_batch(batch, steps)
     rmse_double = rmse(
-        reference, simulate_kernel_b_batch(batch, steps, ALTERA_13_0_DOUBLE))
+        reference, _engine_prices("iv_b", batch, steps, ALTERA_13_0_DOUBLE))
     rmse_single = rmse(
-        reference, simulate_kernel_b_batch(batch, steps, EXACT_SINGLE))
+        reference, _engine_prices("iv_b", batch, steps, EXACT_SINGLE))
 
     nodes = nodes_per_option(steps)
     double_rate = (double_ck.fmax_hz * double_ck.parallel_lanes

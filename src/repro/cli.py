@@ -15,6 +15,7 @@ writing Python::
     python -m repro precision
     python -m repro clsource iv_b --steps 1024
     python -m repro price --spot 100 --strike 105 --type put
+    python -m repro bench-engine --quick
 """
 
 from __future__ import annotations
@@ -59,6 +60,26 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("usecase", help="volatility-curve use case (E10)")
     sub.add_parser("portability", help="future-work portability study (E11)")
     sub.add_parser("precision", help="single-precision ablation (E12)")
+
+    p_bench = sub.add_parser(
+        "bench-engine",
+        help="benchmark the batched pricing engine (writes BENCH_engine.json)")
+    p_bench.add_argument("--options", type=int, nargs="+",
+                         default=[1024, 4096],
+                         help="batch sizes to measure (default: 1024 4096)")
+    p_bench.add_argument("--steps", type=int, default=1024,
+                         help="tree depth N (default 1024)")
+    p_bench.add_argument("--workers", type=int, nargs="+", default=[1, 4],
+                         help="engine worker settings (default: 1 4)")
+    p_bench.add_argument("--kernel", choices=("iv_a", "iv_b"), default="iv_b")
+    p_bench.add_argument("--out", default="BENCH_engine.json",
+                         help="output JSON path (default BENCH_engine.json)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="small CI-sized run (256 options, N=256, "
+                              "workers 1 2)")
+    p_bench.add_argument("--check-against", default=None, metavar="JSON",
+                         help="fail if throughput regressed >30%% vs this "
+                              "stored benchmark file")
 
     p_cl = sub.add_parser("clsource", help="emit the OpenCL C of a kernel")
     p_cl.add_argument("kernel", choices=("iv_a", "iv_b"))
@@ -107,6 +128,49 @@ def _run_price(args) -> str:
         f"({result.estimate.options_per_joule:.1f} options/J)",
     ]
     return "\n".join(lines)
+
+
+def _run_bench_engine(args) -> int:
+    import json
+
+    from .bench.engine_bench import (
+        check_throughput_regression,
+        run_benchmark,
+        write_benchmark,
+    )
+
+    if args.quick:
+        options_counts, steps, workers = [256], 256, [1, 2]
+    else:
+        options_counts, steps, workers = args.options, args.steps, args.workers
+
+    document = run_benchmark(
+        options_counts=options_counts, steps=steps,
+        workers_settings=workers, kernel=args.kernel,
+    )
+    path = write_benchmark(document, args.out)
+
+    print(f"engine benchmark (kernel {args.kernel}, N={steps}) -> {path}")
+    for entry in document["results"]:
+        base = entry["baseline"]
+        print(f"  {entry['options']} options: baseline "
+              f"{base['options_per_second']:,.1f} options/s")
+        for run in entry["runs"]:
+            print(f"    workers={run['workers']}: "
+                  f"{run['options_per_second']:,.1f} options/s "
+                  f"({run['speedup_vs_baseline']:.2f}x baseline, "
+                  f"{run['chunks']} chunks)")
+
+    if args.check_against:
+        with open(args.check_against) as handle:
+            stored = json.load(handle)
+        failures = check_throughput_regression(document, stored)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        print(f"no throughput regression vs {args.check_against}")
+    return 0
 
 
 def _run_clsource(args) -> str:
@@ -202,6 +266,8 @@ def _dispatch(args) -> int:
     elif args.command == "precision":
         from .bench.experiments import precision_ablation
         print(precision_ablation().rendered)
+    elif args.command == "bench-engine":
+        return _run_bench_engine(args)
     elif args.command == "clsource":
         print(_run_clsource(args))
     elif args.command == "price":

@@ -16,7 +16,11 @@
 """
 
 from .accelerator import AcceleratorResult, BinomialAccelerator
-from .batch_sim import simulate_kernel_a_batch, simulate_kernel_b_batch
+from .batch_sim import (
+    leaf_exponents_b,
+    simulate_kernel_a_batch,
+    simulate_kernel_b_batch,
+)
 from .clsource import kernel_a_source, kernel_b_source
 from .faithful_math import (
     ALTERA_13_0_DOUBLE,
@@ -31,6 +35,7 @@ from .host_a import HostProgramA, KernelARun, ReadbackMode
 from .host_b import HostProgramB, KernelBRun
 from .kernel_a import (
     build_leaves_a,
+    build_leaves_a_batch,
     build_params_a,
     interior_nodes,
     kernel_a_ir,
@@ -67,6 +72,7 @@ __all__ = [
     "AcceleratorResult",
     "simulate_kernel_a_batch",
     "simulate_kernel_b_batch",
+    "leaf_exponents_b",
     "kernel_a_source",
     "kernel_b_source",
     "MathProfile",
@@ -85,6 +91,7 @@ __all__ = [
     "kernel_a_ir",
     "build_params_a",
     "build_leaves_a",
+    "build_leaves_a_batch",
     "interior_nodes",
     "pipeline_slots",
     "pipeline_buffer_bytes",

@@ -23,7 +23,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -32,11 +32,9 @@ from ..devices.cpu import cpu_compute_model
 from ..devices.fpga import fpga_compute_model
 from ..devices.gpu import gpu_compute_model
 from ..errors import ReproError
-from ..finance.binomial import price_binomial_batch
 from ..finance.lattice import LatticeFamily
 from ..finance.options import Option
 from ..hls import KERNEL_A_OPTIONS, KERNEL_B_OPTIONS, CompiledKernel, compile_kernel
-from .batch_sim import simulate_kernel_a_batch, simulate_kernel_b_batch
 from .faithful_math import (
     ALTERA_13_0_DOUBLE,
     EXACT_DOUBLE,
@@ -52,6 +50,9 @@ from .perf_model import (
     kernel_b_estimate,
     reference_estimate,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> core)
+    from ..engine import EngineConfig, PricingEngine
 
 __all__ = ["AcceleratorResult", "BinomialAccelerator"]
 
@@ -91,6 +92,9 @@ class BinomialAccelerator:
         library's HLS compile of the kernel IR (default) instead of
         the paper's printed Table I point.
     :param family: lattice parameterisation.
+    :param engine_config: scheduling configuration for the batched
+        pricing engine every :meth:`price_batch` call runs through
+        (``None`` = serial engine with a reused workspace).
     """
 
     def __init__(
@@ -102,6 +106,7 @@ class BinomialAccelerator:
         readback: str = ReadbackMode.FULL_BUFFER,
         compile_fpga: bool = True,
         family: LatticeFamily = LatticeFamily.CRR,
+        engine_config: "EngineConfig | None" = None,
     ):
         if platform not in _PLATFORMS:
             raise ReproError(f"platform must be one of {_PLATFORMS}, got {platform!r}")
@@ -120,6 +125,8 @@ class BinomialAccelerator:
         self.steps = steps
         self.readback = readback
         self.family = family
+        self.engine_config = engine_config
+        self._engine: "PricingEngine | None" = None
         self.compiled: CompiledKernel | None = None
 
         if platform == "fpga":
@@ -147,30 +154,45 @@ class BinomialAccelerator:
 
     # -- pricing -----------------------------------------------------------
 
+    def _pricing_engine(self) -> "PricingEngine":
+        """Lazily build the batched engine this accelerator prices with."""
+        if self._engine is None:
+            # Imported here: the engine package imports core modules.
+            from ..engine import PricingEngine
+
+            self._engine = PricingEngine(
+                kernel=self.kernel,
+                profile=self.profile,
+                family=self.family,
+                config=self.engine_config,
+            )
+        return self._engine
+
+    def close(self) -> None:
+        """Release the engine's workspace and worker pool, if any."""
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+    def __enter__(self) -> "BinomialAccelerator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def price_batch(self, options: Sequence[Option]) -> AcceleratorResult:
         """Price a batch with this configuration's exact arithmetic.
 
         Prices come from the vectorised kernel semantics (validated
-        against the coroutine simulator); time and energy come from the
-        calibrated performance model at this batch size.
+        against the coroutine simulator), scheduled through the batched
+        pricing engine; time and energy come from the calibrated
+        performance model at this batch size.
         """
         if not options:
             raise ReproError("empty option batch")
         options = list(options)
 
-        if self.kernel == "iv_b":
-            prices = simulate_kernel_b_batch(
-                options, self.steps, self.profile, self.family
-            )
-        elif self.kernel == "iv_a":
-            prices = simulate_kernel_a_batch(
-                options, self.steps, self.profile, self.family
-            )
-        else:
-            dtype = np.float32 if self.precision == Precision.SINGLE else np.float64
-            prices = price_binomial_batch(
-                options, self.steps, self.family, dtype=dtype
-            )
+        prices = self._pricing_engine().price(options, self.steps)
 
         estimate = self.performance()
         time_s = estimate.time_for(len(options))

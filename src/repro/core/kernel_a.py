@@ -31,8 +31,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ..finance.lattice import LatticeFamily, build_lattice_params
-from ..finance.options import Option
+from ..errors import ReproError
+from ..finance.lattice import LatticeFamily, build_lattice_arrays
+from ..finance.options import Option, option_arrays
 from ..hls import GlobalAccess, KernelIR, LiveSet, OpCount
 from ..opencl import kernel_metadata
 
@@ -44,6 +45,7 @@ __all__ = [
     "level_of_slot_table",
     "build_params_a",
     "build_leaves_a",
+    "build_leaves_a_batch",
     "kernel_a_work_item",
     "kernel_a_ir",
 ]
@@ -93,19 +95,47 @@ def build_params_a(
 
     All derived constants are computed on the host in exact double
     precision (this is kernel IV.A's accuracy story: no transcendental
-    runs on the device).
+    runs on the device).  Array-native; validates its arguments (same
+    :class:`~repro.errors.ReproError` messages as the simulators)
+    before anything is allocated.
     """
+    if steps < 2:
+        raise ReproError("kernel IV.A needs at least 2 steps")
+    if not options:
+        raise ReproError("empty option batch")
+    fields = option_arrays(options)
+    lattice = build_lattice_arrays(options, steps, family)
     rows = np.empty((len(options), len(PARAM_FIELDS)), dtype=np.float64)
-    for i, option in enumerate(options):
-        lattice = build_lattice_params(option, steps, family)
-        rows[i] = (
-            lattice.discounted_p_up,
-            lattice.discounted_p_down,
-            lattice.down,
-            option.strike,
-            option.option_type.sign,
-        )
+    rows[:, 0] = lattice.discounted_p_up
+    rows[:, 1] = lattice.discounted_p_down
+    rows[:, 2] = lattice.down
+    rows[:, 3] = fields.strike
+    rows[:, 4] = fields.sign
     return rows
+
+
+def build_leaves_a_batch(
+    options: Sequence[Option],
+    steps: int,
+    family: LatticeFamily = LatticeFamily.CRR,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Host-computed leaf matrices ``(S[N], V[N])`` for a whole batch.
+
+    Row ``i`` holds option ``i``'s ``steps + 1`` leaves; both matrices
+    are built with a single broadcast expression, no per-option loop.
+    """
+    fields = option_arrays(options)
+    lattice = build_lattice_arrays(options, steps, family)
+    k = np.arange(steps + 1, dtype=np.float64)
+    prices = (
+        fields.spot[:, None]
+        * lattice.up[:, None] ** (steps - k)[None, :]
+        * lattice.down[:, None] ** k[None, :]
+    )
+    values = np.maximum(
+        fields.sign[:, None] * (prices - fields.strike[:, None]), 0.0
+    )
+    return prices, values
 
 
 def build_leaves_a(
@@ -117,13 +147,12 @@ def build_leaves_a(
 
     "The tree leaves are computed by the host and then transferred to
     the device" (paper Section V.C) — which is why kernel IV.A never
-    touches the flawed device ``pow``.
+    touches the flawed device ``pow``.  Delegates to
+    :func:`build_leaves_a_batch` so the single-option and batched
+    paths are bit-identical by construction.
     """
-    lattice = build_lattice_params(option, steps, family)
-    k = np.arange(steps + 1, dtype=np.float64)
-    prices = option.spot * lattice.up ** (steps - k) * lattice.down**k
-    values = np.maximum(option.option_type.sign * (prices - option.strike), 0.0)
-    return prices, values
+    prices, values = build_leaves_a_batch([option], steps, family)
+    return prices[0], values[0]
 
 
 @kernel_metadata(work_per_item=lambda global_size, local_size: 1.0)

@@ -27,8 +27,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ..finance.lattice import LatticeFamily, build_lattice_params
-from ..finance.options import Option
+from ..errors import ReproError
+from ..finance.lattice import LatticeFamily, build_lattice_arrays
+from ..finance.options import Option, option_arrays
 from ..hls import (
     GlobalAccess,
     KernelIR,
@@ -53,19 +54,28 @@ def build_params_b(
     steps: int,
     family: LatticeFamily = LatticeFamily.CRR,
 ) -> np.ndarray:
-    """Host-side parameter rows of :data:`PARAM_FIELDS_B`."""
+    """Host-side parameter rows of :data:`PARAM_FIELDS_B`.
+
+    Array-native: the per-option tree constants come from one
+    vectorised :func:`~repro.finance.lattice.build_lattice_arrays`
+    call, so no Python loop runs over the batch.  Arguments are
+    validated (same :class:`~repro.errors.ReproError` messages as the
+    simulators) before anything is allocated.
+    """
+    if steps < 2:
+        raise ReproError("kernel IV.B needs at least 2 steps")
+    if not options:
+        raise ReproError("empty option batch")
+    fields = option_arrays(options)
+    lattice = build_lattice_arrays(options, steps, family)
     rows = np.empty((len(options), len(PARAM_FIELDS_B)), dtype=np.float64)
-    for i, option in enumerate(options):
-        lattice = build_lattice_params(option, steps, family)
-        rows[i] = (
-            option.spot,
-            lattice.up,
-            lattice.down,
-            lattice.discounted_p_up,
-            lattice.discounted_p_down,
-            option.strike,
-            option.option_type.sign,
-        )
+    rows[:, 0] = fields.spot
+    rows[:, 1] = lattice.up
+    rows[:, 2] = lattice.down
+    rows[:, 3] = lattice.discounted_p_up
+    rows[:, 4] = lattice.discounted_p_down
+    rows[:, 5] = fields.strike
+    rows[:, 6] = fields.sign
     return rows
 
 

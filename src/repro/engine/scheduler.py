@@ -1,0 +1,176 @@
+"""Work decomposition for the batched pricing engine.
+
+The engine's scheduling model mirrors the paper's kernel IV.B: the
+device prices one option per work-group and keeps a bounded number of
+work-groups resident, so host-side throughput comes from feeding it
+*tiles* of options rather than one giant buffer.  Here the "compute
+units" are worker processes and the "resident work-group set" is the
+workspace tile a worker prices one chunk in:
+
+1. **Group** the incoming stream by ``(steps, family, profile)`` so
+   heterogeneous requests still vectorise — every chunk is internally
+   homogeneous and runs the wide numpy path.
+2. **Chunk** each group into tiles whose workspace footprint fits a
+   cache/memory budget (``kernel_tile_bytes``); a tile that fits in
+   the last-level cache keeps the ~1000-iteration backward loop out
+   of DRAM.
+3. **Dispatch** chunks over a process pool (or inline for
+   ``workers=1``) and scatter results back into input order.
+
+Everything here is deliberately free of policy: the
+:class:`~repro.engine.engine.PricingEngine` owns configuration and
+statistics, this module owns the mechanics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.batch_sim import simulate_kernel_a_batch, simulate_kernel_b_batch
+from ..core.faithful_math import get_profile
+from ..errors import ReproError
+from ..finance.binomial import price_binomial
+from ..finance.lattice import LatticeFamily
+from ..finance.options import Option
+from .workspace import Workspace, kernel_tile_bytes
+
+__all__ = ["Chunk", "KERNELS", "group_stream", "plan_chunks", "price_chunk"]
+
+#: Kernels the engine can schedule: the two paper accelerators plus
+#: the reference software pricer (per-option backward induction).
+KERNELS = ("iv_a", "iv_b", "reference")
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One homogeneous tile of work, ready for a single worker call.
+
+    :param indices: positions of these options in the caller's stream
+        (used to scatter prices back into input order).
+    :param options: the contracts, aligned with ``indices``.
+    :param steps: tree depth shared by every option in the tile.
+    """
+
+    indices: tuple[int, ...]
+    options: tuple[Option, ...]
+    steps: int
+
+    def __len__(self) -> int:
+        return len(self.options)
+
+
+def group_stream(
+    options: Sequence[Option],
+    steps: "int | Sequence[int]",
+) -> "dict[int, tuple[list[int], list[Option]]]":
+    """Partition a request stream into vectorisable groups.
+
+    ``steps`` is either one depth for the whole stream or one per
+    option; the returned mapping is ``steps -> (indices, options)``
+    with indices in ascending input order (so chunking preserves
+    locality and results scatter back deterministically).
+    """
+    options = list(options)
+    if not options:
+        raise ReproError("empty option batch")
+    if np.ndim(steps) == 0:
+        per_option = [int(steps)] * len(options)
+    else:
+        per_option = [int(s) for s in steps]
+        if len(per_option) != len(options):
+            raise ReproError(
+                f"per-option steps length {len(per_option)} does not match "
+                f"batch size {len(options)}"
+            )
+    groups: dict[int, tuple[list[int], list[Option]]] = {}
+    for index, (option, n) in enumerate(zip(options, per_option)):
+        indices, members = groups.setdefault(n, ([], []))
+        indices.append(index)
+        members.append(option)
+    return groups
+
+
+def plan_chunks(
+    indices: Sequence[int],
+    options: Sequence[Option],
+    steps: int,
+    dtype,
+    chunk_options: "int | None",
+    tile_budget_bytes: int,
+    min_chunk_options: int,
+    workers: int,
+) -> "list[Chunk]":
+    """Shard one homogeneous group into workspace-sized tiles.
+
+    Tile rows are chosen so one worker's S/V/scratch footprint stays
+    within ``tile_budget_bytes`` (unless ``chunk_options`` pins the
+    size explicitly), never below ``min_chunk_options`` rows, and —
+    when fanning out — small enough that every worker gets work.
+    """
+    total = len(options)
+    if chunk_options is not None:
+        rows = max(1, int(chunk_options))
+    else:
+        per_row = kernel_tile_bytes(1, steps, dtype)
+        rows = max(min_chunk_options, tile_budget_bytes // per_row)
+        if workers > 1:
+            rows = min(rows, math.ceil(total / workers))
+        rows = max(1, rows)
+    return [
+        Chunk(
+            indices=tuple(indices[lo:lo + rows]),
+            options=tuple(options[lo:lo + rows]),
+            steps=steps,
+        )
+        for lo in range(0, total, rows)
+    ]
+
+
+# -- worker side -----------------------------------------------------------
+
+#: Process-local tile pool: with a fork/forkserver pool each worker
+#: process keeps one workspace alive across every chunk it prices, the
+#: engine-side analogue of the device keeping its local-memory value
+#: rows resident between work-group launches.
+_WORKER_WORKSPACE: "Workspace | None" = None
+
+
+def _worker_workspace() -> Workspace:
+    global _WORKER_WORKSPACE
+    if _WORKER_WORKSPACE is None:
+        _WORKER_WORKSPACE = Workspace()
+    return _WORKER_WORKSPACE
+
+
+def price_chunk(
+    kernel: str,
+    options: Sequence[Option],
+    steps: int,
+    profile_name: str,
+    family_value: str,
+) -> np.ndarray:
+    """Price one chunk; the unit of work a pool worker executes.
+
+    Takes only picklable primitives (profile by name, family by enum
+    value) so the same entry point serves the serial path and
+    ``ProcessPoolExecutor.submit``.
+    """
+    profile = get_profile(profile_name)
+    family = LatticeFamily(family_value)
+    if kernel == "iv_b":
+        return simulate_kernel_b_batch(options, steps, profile, family,
+                                       workspace=_worker_workspace())
+    if kernel == "iv_a":
+        return simulate_kernel_a_batch(options, steps, profile, family,
+                                       workspace=_worker_workspace())
+    if kernel == "reference":
+        return np.array(
+            [price_binomial(o, steps, family, dtype=profile.dtype).price
+             for o in options],
+            dtype=np.float64,
+        )
+    raise ReproError(f"kernel must be one of {KERNELS}, got {kernel!r}")

@@ -1,0 +1,93 @@
+"""Execution statistics of one engine run.
+
+The paper's Table II measures accelerators in options/s and tree
+nodes/s; :class:`EngineStats` reports the same units for the *host*
+engine (plus scheduling detail: chunk count, tile footprint, wall and
+CPU time), and converts into the existing
+:class:`~repro.core.metrics.PerformanceRow` machinery so engine
+measurements can sit in the same tables as the modeled devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.metrics import PerformanceRow
+
+__all__ = ["EngineStats"]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """What one :meth:`PricingEngine.run` call did and how fast.
+
+    :param options: options priced.
+    :param tree_nodes: total node updates (interior + leaves, the
+        paper's throughput unit, summed over the possibly
+        heterogeneous per-option depths).
+    :param groups: homogeneous ``(steps, family, profile)`` groups the
+        stream was split into.
+    :param chunks: tiles dispatched across all groups.
+    :param workers: worker processes used (1 = in-process serial).
+    :param wall_time_s: end-to-end wall-clock time of the run.
+    :param cpu_time_s: CPU time of the coordinating process (worker
+        CPU time is not included when ``workers > 1``).
+    :param peak_tile_bytes: workspace high-water mark of the largest
+        worker (preallocated S/V tiles + scratch).
+    """
+
+    options: int
+    tree_nodes: int
+    groups: int
+    chunks: int
+    workers: int
+    wall_time_s: float
+    cpu_time_s: float
+    peak_tile_bytes: int
+
+    @property
+    def options_per_second(self) -> float:
+        """Measured batch throughput (the paper's headline unit)."""
+        if self.wall_time_s <= 0.0:
+            return float("inf")
+        return self.options / self.wall_time_s
+
+    @property
+    def tree_nodes_per_second(self) -> float:
+        """Measured node-update throughput."""
+        if self.wall_time_s <= 0.0:
+            return float("inf")
+        return self.tree_nodes / self.wall_time_s
+
+    def performance_row(
+        self,
+        label: str = "Host engine",
+        platform: str = "host CPU",
+        precision: str = "double",
+        rmse_display: str = "0",
+    ) -> PerformanceRow:
+        """This run as a Table II column (options/J is unmetered)."""
+        return PerformanceRow(
+            label=label,
+            platform=platform,
+            precision=precision,
+            options_per_second=self.options_per_second,
+            rmse_display=rmse_display,
+            options_per_joule=None,
+            tree_nodes_per_second=self.tree_nodes_per_second,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (used by the benchmark harness)."""
+        return {
+            "options": self.options,
+            "tree_nodes": self.tree_nodes,
+            "groups": self.groups,
+            "chunks": self.chunks,
+            "workers": self.workers,
+            "wall_time_s": self.wall_time_s,
+            "cpu_time_s": self.cpu_time_s,
+            "peak_tile_bytes": self.peak_tile_bytes,
+            "options_per_second": self.options_per_second,
+            "tree_nodes_per_second": self.tree_nodes_per_second,
+        }

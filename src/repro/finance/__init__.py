@@ -32,9 +32,11 @@ from .implied_vol import (
     implied_volatility,
 )
 from .lattice import (
+    LatticeArrays,
     LatticeFamily,
     LatticeParams,
     asset_prices_at_step,
+    build_lattice_arrays,
     build_lattice_params,
 )
 from .montecarlo import MCResult, price_american_lsmc, price_european_mc
@@ -50,7 +52,15 @@ from .market import (
     generate_curve_scenario,
     generate_surface_scenario,
 )
-from .options import ExerciseStyle, Option, OptionType, intrinsic_value, payoff
+from .options import (
+    ExerciseStyle,
+    Option,
+    OptionArrays,
+    OptionType,
+    intrinsic_value,
+    option_arrays,
+    payoff,
+)
 from .validation import classify_rmse, max_abs_error, relative_rmse, rmse
 
 __all__ = [
@@ -59,9 +69,13 @@ __all__ = [
     "ExerciseStyle",
     "intrinsic_value",
     "payoff",
+    "OptionArrays",
+    "option_arrays",
     "LatticeFamily",
     "LatticeParams",
+    "LatticeArrays",
     "build_lattice_params",
+    "build_lattice_arrays",
     "asset_prices_at_step",
     "PricingResult",
     "price_binomial",

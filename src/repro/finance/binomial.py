@@ -153,17 +153,29 @@ def price_binomial_batch(
     steps: int = 1024,
     family: LatticeFamily = LatticeFamily.CRR,
     dtype=np.float64,
+    workers: int = 1,
 ) -> np.ndarray:
     """Price many options; returns an array of root values.
 
     The paper's workload unit is a batch of 2 000 options (one implied
     volatility curve); this helper is the reference answer for batch
-    accuracy comparisons.
+    accuracy comparisons.  Batches are scheduled through the
+    :class:`~repro.engine.PricingEngine` (``workers > 1`` fans chunks
+    over a process pool); each option is still priced by
+    :func:`price_binomial`, so values are unchanged.
     """
-    return np.array(
-        [price_binomial(opt, steps, family, dtype).price for opt in options],
-        dtype=np.float64,
-    )
+    options = list(options)
+    if not options:
+        return np.empty(0, dtype=np.float64)
+    _validate_steps(steps)
+    # Imported here: the engine depends on this module.
+    from ..core.faithful_math import EXACT_DOUBLE, EXACT_SINGLE
+    from ..engine import EngineConfig, PricingEngine
+
+    profile = EXACT_SINGLE if np.dtype(dtype) == np.float32 else EXACT_DOUBLE
+    with PricingEngine(kernel="reference", profile=profile, family=family,
+                       config=EngineConfig(workers=workers)) as engine:
+        return engine.price(options, steps)
 
 
 def exercise_boundary(

@@ -28,13 +28,21 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..errors import FinanceError
 from .options import Option
 
-__all__ = ["LatticeFamily", "LatticeParams", "build_lattice_params", "asset_prices_at_step"]
+__all__ = [
+    "LatticeFamily",
+    "LatticeParams",
+    "LatticeArrays",
+    "build_lattice_params",
+    "build_lattice_arrays",
+    "asset_prices_at_step",
+]
 
 
 class LatticeFamily(enum.Enum):
@@ -165,6 +173,116 @@ def build_lattice_params(
         p_up=p_up,
         discount=math.exp(-option.rate * dt),
         family=family,
+    )
+
+
+@dataclass(frozen=True)
+class LatticeArrays:
+    """Per-step tree constants for a whole batch, as parallel arrays.
+
+    The array-native counterpart of :class:`LatticeParams`: element
+    ``i`` of every field holds the constant of option ``i``.  Produced
+    by :func:`build_lattice_arrays`, consumed by the kernel parameter
+    builders and the batched pricing engine so that parameter
+    construction never loops over options in Python.
+    """
+
+    steps: int
+    family: LatticeFamily
+    dt: np.ndarray
+    up: np.ndarray
+    down: np.ndarray
+    p_up: np.ndarray
+    discount: np.ndarray
+
+    def __len__(self) -> int:
+        return self.up.shape[0]
+
+    @property
+    def p_down(self) -> np.ndarray:
+        """Probability of a down move, ``q = 1 - p``."""
+        return 1.0 - self.p_up
+
+    @property
+    def discounted_p_up(self) -> np.ndarray:
+        """``rp`` of Equation (1): discount-weighted up probability."""
+        return self.discount * self.p_up
+
+    @property
+    def discounted_p_down(self) -> np.ndarray:
+        """``rq`` of Equation (1): discount-weighted down probability."""
+        return self.discount * self.p_down
+
+
+def build_lattice_arrays(
+    options: Sequence[Option],
+    steps: int,
+    family: LatticeFamily = LatticeFamily.CRR,
+) -> LatticeArrays:
+    """Vectorised :func:`build_lattice_params` over a batch of options.
+
+    Performs the same operation sequence as the scalar builder but with
+    numpy array arithmetic, so building parameters for thousands of
+    options costs a handful of array operations instead of a Python
+    loop.  (numpy's vector ``exp`` may differ from ``math.exp`` in the
+    last ulp; every batch consumer — kernel simulators, coroutine
+    hosts and the pricing engine — goes through this one builder, so
+    all fast paths stay bit-identical to each other.)
+
+    :raises FinanceError: if ``steps < 1`` or any option's implied
+        risk-neutral probability falls outside ``(0, 1)``.
+    """
+    if steps < 1:
+        raise FinanceError(f"steps must be >= 1, got {steps}")
+    from .options import option_arrays
+
+    fields = option_arrays(options)
+    dt = fields.maturity / steps
+    sig_sqrt_dt = fields.volatility * np.sqrt(dt)
+    growth = np.exp((fields.rate - fields.dividend_yield) * dt)
+
+    if family is LatticeFamily.CRR:
+        up = np.exp(sig_sqrt_dt)
+        down = 1.0 / up
+        p_up = (growth - down) / (up - down)
+    elif family is LatticeFamily.JARROW_RUDD:
+        drift = (
+            fields.rate - fields.dividend_yield - 0.5 * fields.volatility**2
+        ) * dt
+        up = np.exp(drift + sig_sqrt_dt)
+        down = np.exp(drift - sig_sqrt_dt)
+        p_up = (growth - down) / (up - down)
+    elif family is LatticeFamily.TIAN:
+        v = np.exp(fields.volatility**2 * dt)
+        root = np.sqrt(v * v + 2.0 * v - 3.0)
+        up = 0.5 * growth * v * (v + 1.0 + root)
+        down = 0.5 * growth * v * (v + 1.0 - root)
+        p_up = (growth - down) / (up - down)
+    else:  # pragma: no cover - exhaustive over enum
+        raise FinanceError(f"unknown lattice family: {family}")
+
+    bad = ~((p_up > 0.0) & (p_up < 1.0))
+    if bad.any():
+        i = int(np.argmax(bad))
+        raise FinanceError(
+            f"risk-neutral probability out of (0, 1): p={p_up[i]} "
+            f"(option {i}); the step is too coarse for this "
+            "rate/volatility"
+        )
+    if not ((up > down) & (down > 0.0)).all():
+        i = int(np.argmax(~((up > down) & (down > 0.0))))
+        raise FinanceError(
+            f"need up > down > 0, got u={up[i]}, d={down[i]} (option {i})"
+        )
+
+    return LatticeArrays(
+        steps=steps,
+        family=family,
+        dt=dt,
+        up=up,
+        down=down,
+        p_up=p_up,
+        discount=np.exp(-fields.rate * dt),
     )
 
 

@@ -21,6 +21,8 @@ __all__ = [
     "OptionType",
     "ExerciseStyle",
     "Option",
+    "OptionArrays",
+    "option_arrays",
     "intrinsic_value",
     "payoff",
 ]
@@ -125,6 +127,52 @@ class Option:
     def moneyness(self) -> float:
         """Spot/strike ratio, the usual curve x-axis."""
         return self.spot / self.strike
+
+
+@dataclass(frozen=True)
+class OptionArrays:
+    """Column view of a batch of contracts (one array per field).
+
+    This is the structure-of-arrays form the vectorised parameter
+    builders and the batched pricing engine operate on; element ``i``
+    of every array describes ``options[i]``.
+    """
+
+    spot: np.ndarray
+    strike: np.ndarray
+    rate: np.ndarray
+    volatility: np.ndarray
+    maturity: np.ndarray
+    dividend_yield: np.ndarray
+    sign: np.ndarray
+
+    def __len__(self) -> int:
+        return self.spot.shape[0]
+
+
+def option_arrays(options) -> OptionArrays:
+    """Transpose a sequence of :class:`Option` into field arrays.
+
+    Each field is gathered with a single C-level ``fromiter`` pass, so
+    building the columns for thousands of options never materialises a
+    per-option Python row.
+    """
+    options = list(options)
+    n = len(options)
+
+    def column(getter) -> np.ndarray:
+        return np.fromiter((getter(o) for o in options), dtype=np.float64,
+                           count=n)
+
+    return OptionArrays(
+        spot=column(lambda o: o.spot),
+        strike=column(lambda o: o.strike),
+        rate=column(lambda o: o.rate),
+        volatility=column(lambda o: o.volatility),
+        maturity=column(lambda o: o.maturity),
+        dividend_yield=column(lambda o: o.dividend_yield),
+        sign=column(lambda o: o.option_type.sign),
+    )
 
 
 def intrinsic_value(spot, strike, option_type: OptionType):

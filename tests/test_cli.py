@@ -69,3 +69,32 @@ class TestCommands:
               "--type", "put", "--steps", "128"])
         out = capsys.readouterr().out
         assert "altera-13.0-double" in out
+
+    def test_bench_engine(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        code = main(["bench-engine", "--options", "12", "--steps", "16",
+                     "--workers", "1", "--out", str(out_path)])
+        assert code == 0
+        assert "options/s" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == "repro-engine-bench/v1"
+
+    def test_bench_engine_regression_gate(self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench-engine", "--options", "12", "--steps", "16",
+                     "--workers", "1", "--out", str(baseline)]) == 0
+        capsys.readouterr()
+
+        # an impossibly fast stored baseline must trip the gate
+        document = json.loads(baseline.read_text())
+        document["results"][0]["runs"][0]["options_per_second"] *= 100.0
+        baseline.write_text(json.dumps(document))
+        code = main(["bench-engine", "--options", "12", "--steps", "16",
+                     "--workers", "1", "--out", str(tmp_path / "b2.json"),
+                     "--check-against", str(baseline)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out

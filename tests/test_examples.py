@@ -19,6 +19,7 @@ FAST_EXAMPLES = (
     "kernel_dataflow_trace",
     "design_space_exploration",
     "trading_day",
+    "batched_engine",
 )
 
 
