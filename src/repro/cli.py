@@ -160,6 +160,16 @@ def _run_bench_engine(args) -> int:
                   f"{run['options_per_second']:,.1f} options/s "
                   f"({run['speedup_vs_baseline']:.2f}x baseline, "
                   f"{run['chunks']} chunks)")
+            reliability = {
+                name: run[name]
+                for name in ("retries", "timeouts", "pool_rebuilds",
+                             "degraded_to_serial", "quarantined_options")
+                if run.get(name)
+            }
+            if reliability:
+                detail = ", ".join(f"{name}={count}"
+                                   for name, count in reliability.items())
+                print(f"      reliability: {detail}")
 
     if args.check_against:
         with open(args.check_against) as handle:

@@ -24,7 +24,44 @@ from dataclasses import dataclass
 from ..errors import DeviceModelError
 from ..opencl.types import TransferDirection
 
-__all__ = ["PCIeLink", "PCIE_LANE_RATE_BYTES_S"]
+__all__ = [
+    "PCIeLink",
+    "PCIE_LANE_RATE_BYTES_S",
+    "install_fault_injector",
+    "clear_fault_injector",
+    "installed_fault_injector",
+]
+
+#: Module-level transport fault injector (see
+#: :class:`repro.engine.faults.TransportFaultInjector`).  ``PCIeLink``
+#: is a frozen value object shared by every modeled device, so fault
+#: injection hooks in here rather than on instances; tests install an
+#: injector around a block and clear it in a ``finally``.
+_FAULT_INJECTOR = None
+
+
+def install_fault_injector(injector):
+    """Route every subsequent link transfer through ``injector``.
+
+    The injector's ``on_transfer(nbytes, direction)`` may raise
+    :class:`~repro.errors.TransportFaultError` to simulate a failed
+    PCIe transaction.  Returns the previously installed injector (so
+    callers can restore it).
+    """
+    global _FAULT_INJECTOR
+    previous, _FAULT_INJECTOR = _FAULT_INJECTOR, injector
+    return previous
+
+
+def clear_fault_injector() -> None:
+    """Remove any installed link fault injector."""
+    global _FAULT_INJECTOR
+    _FAULT_INJECTOR = None
+
+
+def installed_fault_injector():
+    """The currently installed injector, or ``None``."""
+    return _FAULT_INJECTOR
 
 #: Usable per-lane data rate (bytes/s) by PCIe generation, matching the
 #: figures quoted in the paper (500 MB/s gen2, 985 MB/s gen3).
@@ -80,6 +117,8 @@ class PCIeLink:
         """
         if nbytes < 0:
             raise DeviceModelError("transfer size cannot be negative")
+        if _FAULT_INJECTOR is not None:
+            _FAULT_INJECTOR.on_transfer(nbytes, direction)
         if direction is TransferDirection.DEVICE_TO_DEVICE:
             return self.latency_ns
         return self.latency_ns + nbytes / self.effective_bandwidth_bytes_s * 1e9

@@ -11,11 +11,36 @@ without changing a single arithmetic operation:
   chunk planning and the picklable per-chunk worker;
 * :mod:`~repro.engine.stats` — measured options/s, tree-nodes/s and
   scheduling counters, convertible to Table II rows;
+* :mod:`~repro.engine.reliability` — retry/backoff policy, circuit
+  breaker, quarantine failure records;
+* :mod:`~repro.engine.faults` — deterministic, seeded fault injection
+  (chunk faults and simulated transport failures);
 * :mod:`~repro.engine.engine` — the :class:`PricingEngine` facade.
 """
 
 from .engine import EngineConfig, EngineResult, PricingEngine
-from .scheduler import KERNELS, Chunk, group_stream, plan_chunks, price_chunk
+from .faults import (
+    ALWAYS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    TransportFaultInjector,
+)
+from .reliability import (
+    CircuitBreaker,
+    FailureRecord,
+    RetryPolicy,
+    retry_call,
+)
+from .scheduler import (
+    KERNELS,
+    Chunk,
+    group_stream,
+    plan_chunks,
+    price_chunk,
+    split_chunk,
+)
 from .stats import EngineStats
 from .workspace import Workspace, kernel_tile_bytes
 
@@ -31,4 +56,15 @@ __all__ = [
     "group_stream",
     "plan_chunks",
     "price_chunk",
+    "split_chunk",
+    "ALWAYS",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "TransportFaultInjector",
+    "CircuitBreaker",
+    "FailureRecord",
+    "RetryPolicy",
+    "retry_call",
 ]

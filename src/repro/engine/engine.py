@@ -14,11 +14,20 @@ the paper schedules work-groups across compute units:
 * results scatter back into input order, and the run is measured in
   the paper's units (:mod:`repro.engine.stats`).
 
+The dispatch is fault tolerant (:mod:`repro.engine.reliability`,
+:mod:`repro.engine.faults`): a failing chunk is retried with
+exponential backoff, a hung chunk is cut off at ``chunk_timeout_s``, a
+crashed worker pool is rebuilt once and then the run degrades to the
+serial in-process path, and an option that keeps failing is isolated
+by quarantine bisection and returned as NaN with a
+:class:`~repro.engine.reliability.FailureRecord` — one poison option
+never fails the other N-1.
+
 Prices are bit-identical to calling
 :func:`~repro.core.batch_sim.simulate_kernel_b_batch` /
-``simulate_kernel_a_batch`` directly — chunking and fan-out only
-restructure the schedule, never the arithmetic (asserted by the
-parity tests in ``tests/engine``).
+``simulate_kernel_a_batch`` directly — chunking, fan-out and the
+reliability layer only restructure the schedule, never the arithmetic
+(asserted by the parity tests in ``tests/engine``).
 
 Example::
 
@@ -33,18 +42,42 @@ Example::
 from __future__ import annotations
 
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Sequence
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ..core.faithful_math import EXACT_DOUBLE, MathProfile
 from ..core.metrics import nodes_per_option
-from ..errors import ReproError
+from ..errors import (
+    ChunkTimeoutError,
+    EngineError,
+    FinanceError,
+    PoisonChunkError,
+    ReproError,
+    WorkerCrashError,
+)
 from ..finance.lattice import LatticeFamily
 from ..finance.options import Option
-from .scheduler import KERNELS, Chunk, group_stream, plan_chunks, price_chunk
+from .faults import FaultPlan
+from .reliability import (
+    CircuitBreaker,
+    FailureRecord,
+    ReliabilityCounters,
+    RetryPolicy,
+)
+from .scheduler import (
+    KERNELS,
+    Chunk,
+    group_stream,
+    plan_chunks,
+    price_chunk,
+    split_chunk,
+)
 from .stats import EngineStats
 from .workspace import Workspace, kernel_tile_bytes
 
@@ -53,7 +86,7 @@ __all__ = ["EngineConfig", "EngineResult", "PricingEngine"]
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """Scheduling knobs of a :class:`PricingEngine`.
+    """Scheduling and reliability knobs of a :class:`PricingEngine`.
 
     :param workers: worker processes; ``1`` runs serially in-process
         (no pool, no pickling) and is the right default for small
@@ -66,29 +99,55 @@ class EngineConfig:
         (measured fastest between 1 and 3 MiB on the reference host).
     :param min_chunk_options: floor for the auto-sized tile (amortises
         per-chunk dispatch overhead at very large ``steps``).
+    :param max_retries: additional attempts a failing chunk gets
+        before quarantine bisection kicks in.
+    :param chunk_timeout_s: wall-clock deadline per chunk attempt when
+        fanning out over the pool (``None`` = wait forever); a hung
+        chunk counts as a pool failure and forces a pool rebuild.
+    :param backoff_base_s: first-retry backoff ceiling; retry ``k``
+        sleeps up to ``backoff_base_s * 2**k`` with deterministic
+        jitter (``0`` disables backoff sleeping).
     """
 
     workers: int = 1
     chunk_options: "int | None" = None
     tile_budget_bytes: int = 2 << 20
     min_chunk_options: int = 16
+    max_retries: int = 2
+    chunk_timeout_s: "float | None" = None
+    backoff_base_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.workers < 1:
-            raise ReproError(f"workers must be >= 1, got {self.workers}")
+            raise EngineError(f"workers must be >= 1, got {self.workers}")
         if self.chunk_options is not None and self.chunk_options < 1:
-            raise ReproError(
+            raise EngineError(
                 f"chunk_options must be >= 1, got {self.chunk_options}")
         if self.tile_budget_bytes < 1:
-            raise ReproError("tile_budget_bytes must be positive")
+            raise EngineError("tile_budget_bytes must be positive")
+        if self.max_retries < 0:
+            raise EngineError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
+            raise EngineError(
+                f"chunk_timeout_s must be positive, got {self.chunk_timeout_s}")
+        if self.backoff_base_s < 0:
+            raise EngineError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
 
 
 @dataclass(frozen=True)
 class EngineResult:
-    """Prices (in input order) plus the run's measured statistics."""
+    """Prices (in input order), failures, and the run's statistics.
+
+    ``failures`` is non-empty only when quarantine isolated options
+    that could not be priced; their ``prices`` entries are NaN and
+    every other entry is bit-identical to the fault-free run.
+    """
 
     prices: np.ndarray
     stats: EngineStats
+    failures: "tuple[FailureRecord, ...]" = field(default=())
 
 
 class PricingEngine:
@@ -98,7 +157,9 @@ class PricingEngine:
     :param profile: device math profile carried into every chunk.
     :param family: lattice parameterisation (kernel IV.B requires CRR,
         exactly like the simulator it wraps).
-    :param config: scheduling configuration.
+    :param config: scheduling and reliability configuration.
+    :param faults: deterministic fault-injection plan (tests and chaos
+        drills only; ``None`` in production use).
     """
 
     def __init__(
@@ -107,11 +168,12 @@ class PricingEngine:
         profile: MathProfile = EXACT_DOUBLE,
         family: LatticeFamily = LatticeFamily.CRR,
         config: "EngineConfig | None" = None,
+        faults: "FaultPlan | None" = None,
     ):
         if kernel not in KERNELS:
-            raise ReproError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+            raise EngineError(f"kernel must be one of {KERNELS}, got {kernel!r}")
         if kernel == "iv_b" and family is not LatticeFamily.CRR:
-            raise ReproError(
+            raise EngineError(
                 "kernel IV.B initialises leaves as s0 * u**(N-2k), which "
                 "exploits the CRR recombination u*d = 1 (paper Figure 1); "
                 "use kernel IV.A (host-computed leaves) for other families"
@@ -120,16 +182,24 @@ class PricingEngine:
         self.profile = profile
         self.family = family
         self.config = config or EngineConfig()
+        self.faults = faults
+        self._policy = RetryPolicy.from_config(self.config)
         self._workspace = Workspace()  # serial path, reused across runs
         self._pool: "ProcessPoolExecutor | None" = None
+        self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the worker pool and drop the serial workspace."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Shut down the engine, even with a run in flight.
+
+        Queued chunks are cancelled and worker processes that do not
+        exit promptly are terminated, so closing never blocks behind a
+        hung chunk and never leaks workers; an in-flight :meth:`run`
+        in another thread aborts with :class:`EngineError`.
+        """
+        self._closed = True
+        self._abandon_pool()
         self._workspace.release()
 
     def __enter__(self) -> "PricingEngine":
@@ -143,12 +213,47 @@ class PricingEngine:
             self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
         return self._pool
 
+    def _abandon_pool(self) -> None:
+        """Tear the pool down without waiting on in-flight work."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            process.join(timeout=0.1)
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5.0)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineError("pricing engine closed while a batch was in flight")
+
     # -- pricing -----------------------------------------------------------
 
     def price(self, options: Sequence[Option],
               steps: "int | Sequence[int]" = 1024) -> np.ndarray:
-        """Price a stream; returns root values in input order."""
-        return self.run(options, steps).prices
+        """Price a stream; returns root values in input order.
+
+        Strict variant of :meth:`run`: any quarantined option re-raises
+        the failure (with its original exception type) instead of
+        returning NaN, so callers that predate the reliability layer —
+        ``price_binomial_batch``, ``BinomialAccelerator.price_batch``,
+        the implied-vol bracketing that probes for ``FinanceError`` —
+        keep their exception contract.  Use :meth:`run` for the
+        fault-tolerant NaN-plus-:class:`FailureRecord` semantics.
+        """
+        result = self.run(options, steps)
+        if result.failures:
+            first = result.failures[0]
+            if first.exception is not None:
+                raise first.exception
+            raise EngineError(
+                f"option {first.index} failed after {first.attempts} "
+                f"attempts: {first.error}: {first.message}")
+        return result.prices
 
     def run(self, options: Sequence[Option],
             steps: "int | Sequence[int]" = 1024) -> EngineResult:
@@ -158,16 +263,22 @@ class PricingEngine:
         heterogeneous streams are regrouped so every chunk still takes
         the wide vectorised path, and prices come back in input order
         regardless of grouping.
+
+        The run always completes: failures are retried, quarantined
+        and reported via :attr:`EngineResult.failures` rather than
+        raised, except for request-level validation errors (and
+        :meth:`close` racing the run from another thread).
         """
         wall_start = time.perf_counter()
         cpu_start = time.process_time()
+        self._closed = False
 
         options = list(options)
         groups = group_stream(options, steps)
         min_steps = 2 if self.kernel in ("iv_a", "iv_b") else 1
         for group_steps in groups:
             if group_steps < min_steps:
-                raise ReproError(
+                raise EngineError(
                     f"kernel {self.kernel.upper().replace('_', '.')} needs "
                     f"at least {min_steps} steps"
                     if min_steps == 2 else
@@ -183,10 +294,14 @@ class PricingEngine:
             ))
 
         prices = np.empty(len(options), dtype=np.float64)
+        counters = ReliabilityCounters()
+        failures: "list[FailureRecord]" = []
         if self.config.workers == 1 or len(chunks) == 1:
-            peak_tile_bytes = self._run_serial(chunks, prices)
+            peak_tile_bytes = self._run_serial(chunks, prices, counters,
+                                               failures)
         else:
-            peak_tile_bytes = self._run_pool(chunks, prices)
+            peak_tile_bytes = self._run_pool(chunks, prices, counters,
+                                             failures)
 
         tree_nodes = sum(
             len(indices) * (nodes_per_option(s) + s + 1)
@@ -201,59 +316,250 @@ class PricingEngine:
             wall_time_s=time.perf_counter() - wall_start,
             cpu_time_s=time.process_time() - cpu_start,
             peak_tile_bytes=peak_tile_bytes,
+            retries=counters.retries,
+            timeouts=counters.timeouts,
+            pool_rebuilds=counters.pool_rebuilds,
+            degraded_to_serial=counters.degraded_to_serial,
+            quarantined_options=counters.quarantined_options,
         )
-        return EngineResult(prices=prices, stats=stats)
+        return EngineResult(
+            prices=prices,
+            stats=stats,
+            failures=tuple(sorted(failures, key=lambda f: f.index)),
+        )
 
     # -- dispatch backends -------------------------------------------------
 
-    def _run_serial(self, chunks: Sequence[Chunk], out: np.ndarray) -> int:
-        from ..core.batch_sim import (
-            simulate_kernel_a_batch,
-            simulate_kernel_b_batch,
+    def _serial_attempt(self, chunk: Chunk, attempt: int) -> np.ndarray:
+        """One in-process pricing attempt (resolved profile, own tiles)."""
+        return price_chunk(
+            self.kernel, chunk.options, chunk.steps, self.profile,
+            self.family.value, indices=chunk.indices, faults=self.faults,
+            attempt=attempt, in_pool=False, workspace=self._workspace,
         )
-        from ..finance.binomial import price_binomial
 
+    def _run_serial(self, chunks: Sequence[Chunk], out: np.ndarray,
+                    counters: ReliabilityCounters,
+                    failures: "list[FailureRecord]") -> int:
         for chunk in chunks:
-            if self.kernel == "iv_b":
-                chunk_prices = simulate_kernel_b_batch(
-                    chunk.options, chunk.steps, self.profile, self.family,
-                    workspace=self._workspace)
-            elif self.kernel == "iv_a":
-                chunk_prices = simulate_kernel_a_batch(
-                    chunk.options, chunk.steps, self.profile, self.family,
-                    workspace=self._workspace)
-            else:
-                chunk_prices = np.array(
-                    [price_binomial(o, chunk.steps, self.family,
-                                    dtype=self.profile.dtype).price
-                     for o in chunk.options],
-                    dtype=np.float64,
-                )
-            out[list(chunk.indices)] = chunk_prices
+            self._price_reliably(chunk, out, counters, failures,
+                                 self._serial_attempt)
         return self._workspace.peak_bytes
 
-    def _run_pool(self, chunks: Sequence[Chunk], out: np.ndarray) -> int:
-        pool = self._ensure_pool()
-        futures = {
-            pool.submit(
-                price_chunk, self.kernel, chunk.options, chunk.steps,
-                self.profile.name, self.family.value,
-            ): chunk
-            for chunk in chunks
-        }
-        for future, chunk in futures.items():
-            out[list(chunk.indices)] = future.result()
+    def _price_reliably(self, chunk: Chunk, out: np.ndarray,
+                        counters: ReliabilityCounters,
+                        failures: "list[FailureRecord]",
+                        attempt_fn: "Callable[[Chunk, int], np.ndarray]",
+                        ) -> None:
+        """Retry -> quarantine driver for one chunk (serial execution)."""
+        key = f"chunk:{chunk.indices[0]}+{len(chunk)}"
+        last_error: "Exception | None" = None
+        attempts_spent = 0
+        for attempt in range(self.config.max_retries + 1):
+            self._check_open()
+            if attempt > 0:
+                counters.retries += 1
+                delay = self._policy.backoff_s(key, attempt - 1)
+                if delay > 0.0:
+                    time.sleep(delay)
+            attempts_spent = attempt + 1
+            try:
+                chunk_prices = attempt_fn(chunk, attempt)
+            except FinanceError as exc:
+                # deterministic bad input: retrying cannot help, go
+                # straight to quarantine to isolate the culprit
+                last_error = exc
+                break
+            except ReproError as exc:
+                last_error = exc
+                continue
+            except Exception as exc:  # bare worker exception -> taxonomy
+                last_error = EngineError(
+                    f"chunk worker raised {type(exc).__name__}: {exc}")
+                continue
+            bad = ~np.isfinite(chunk_prices)
+            if bad.any():
+                last_error = PoisonChunkError(
+                    f"chunk produced {int(bad.sum())} non-finite price(s)")
+                continue
+            out[list(chunk.indices)] = chunk_prices
+            return
+        self._quarantine(chunk, out, counters, failures, attempt_fn,
+                         last_error, attempts_spent)
+
+    def _quarantine(self, chunk: Chunk, out: np.ndarray,
+                    counters: ReliabilityCounters,
+                    failures: "list[FailureRecord]",
+                    attempt_fn, error: "Exception | None",
+                    attempts_spent: int) -> None:
+        """Bisect a poison chunk until single failing options isolate."""
+        if len(chunk) == 1:
+            self._record_failure(chunk, out, counters, failures, error,
+                                 attempts_spent)
+            return
+        for piece in split_chunk(chunk):
+            self._price_reliably(piece, out, counters, failures, attempt_fn)
+
+    @staticmethod
+    def _record_failure(chunk: Chunk, out: np.ndarray,
+                        counters: ReliabilityCounters,
+                        failures: "list[FailureRecord]",
+                        error: "Exception | None",
+                        attempts_spent: int) -> None:
+        index = chunk.indices[0]
+        out[index] = np.nan
+        counters.quarantined_options += 1
+        failures.append(FailureRecord(
+            index=index,
+            error=type(error).__name__ if error is not None else "EngineError",
+            message=str(error) if error is not None else "unknown failure",
+            attempts=attempts_spent,
+            exception=error,
+        ))
+
+    def _run_pool(self, chunks: Sequence[Chunk], out: np.ndarray,
+                  counters: ReliabilityCounters,
+                  failures: "list[FailureRecord]") -> int:
+        """Fan chunks over the pool in waves, absorbing failures.
+
+        Happy path: one wave — submit everything, gather everything,
+        exactly the pre-reliability schedule.  A failed chunk re-enters
+        the queue with its attempt count bumped (or quarantine-split
+        once retries are spent); a pool-level failure (crashed worker,
+        hung chunk) costs the breaker — one rebuild, then degradation
+        to the serial path for whatever work remains.
+        """
+        breaker = CircuitBreaker(rebuild_limit=1)
+        queue: "deque[tuple[Chunk, int]]" = deque(
+            (chunk, 0) for chunk in chunks)
+
+        while queue:
+            self._check_open()
+            if breaker.open:
+                counters.degraded_to_serial = 1
+                while queue:
+                    chunk, _ = queue.popleft()
+                    self._price_reliably(chunk, out, counters, failures,
+                                         self._serial_attempt)
+                break
+            pool = self._ensure_pool()
+            wave = list(queue)
+            queue.clear()
+            futures = [
+                (pool.submit(
+                    price_chunk, self.kernel, chunk.options, chunk.steps,
+                    self.profile.name, self.family.value,
+                    indices=chunk.indices, faults=self.faults,
+                    attempt=attempt, in_pool=True,
+                ), chunk, attempt)
+                for chunk, attempt in wave
+            ]
+            pool_failed = False
+            next_delay = 0.0
+            for future, chunk, attempt in futures:
+                if pool_failed:
+                    # the pool is already being abandoned: requeue
+                    # without consuming one of this chunk's attempts
+                    future.cancel()
+                    queue.append((chunk, attempt))
+                    continue
+                try:
+                    chunk_prices = future.result(
+                        timeout=self._policy.chunk_timeout_s)
+                except _FutureTimeout:
+                    counters.timeouts += 1
+                    pool_failed = True
+                    next_delay = max(next_delay, self._handle_chunk_failure(
+                        chunk, attempt, ChunkTimeoutError(
+                            f"chunk of {len(chunk)} options exceeded the "
+                            f"{self._policy.chunk_timeout_s}s deadline"),
+                        queue, out, counters, failures))
+                    continue
+                except BrokenProcessPool as exc:
+                    pool_failed = True
+                    next_delay = max(next_delay, self._handle_chunk_failure(
+                        chunk, attempt, WorkerCrashError(
+                            f"worker process died while pricing a chunk of "
+                            f"{len(chunk)} options: {exc}"),
+                        queue, out, counters, failures))
+                    continue
+                except FinanceError as exc:
+                    # deterministic bad input: skip retries, bisect now
+                    next_delay = max(next_delay, self._handle_chunk_failure(
+                        chunk, self.config.max_retries, exc,
+                        queue, out, counters, failures))
+                    continue
+                except ReproError as exc:
+                    next_delay = max(next_delay, self._handle_chunk_failure(
+                        chunk, attempt, exc, queue, out, counters, failures))
+                    continue
+                except Exception as exc:
+                    next_delay = max(next_delay, self._handle_chunk_failure(
+                        chunk, attempt, EngineError(
+                            f"chunk worker raised {type(exc).__name__}: "
+                            f"{exc}"),
+                        queue, out, counters, failures))
+                    continue
+                bad = ~np.isfinite(chunk_prices)
+                if bad.any():
+                    next_delay = max(next_delay, self._handle_chunk_failure(
+                        chunk, attempt, PoisonChunkError(
+                            f"chunk produced {int(bad.sum())} non-finite "
+                            f"price(s)"),
+                        queue, out, counters, failures))
+                    continue
+                out[list(chunk.indices)] = chunk_prices
+            if pool_failed:
+                breaker.record_failure()
+                self._abandon_pool()
+                if not breaker.open:
+                    counters.pool_rebuilds += 1
+            if next_delay > 0.0 and queue:
+                time.sleep(next_delay)
+
         if self.kernel == "reference":
-            return 0
-        return max(
-            kernel_tile_bytes(len(chunk), chunk.steps, self.profile.dtype)
-            for chunk in chunks
-        )
+            pool_peak = 0
+        else:
+            pool_peak = max(
+                kernel_tile_bytes(len(chunk), chunk.steps, self.profile.dtype)
+                for chunk in chunks
+            )
+        return max(pool_peak, self._workspace.peak_bytes)
+
+    def _handle_chunk_failure(self, chunk: Chunk, attempt: int,
+                              error: Exception,
+                              queue: "deque[tuple[Chunk, int]]",
+                              out: np.ndarray,
+                              counters: ReliabilityCounters,
+                              failures: "list[FailureRecord]") -> float:
+        """Requeue a failed chunk (pool mode); returns the backoff delay.
+
+        Retries re-enter the wave queue with ``attempt + 1``; once the
+        budget is spent the chunk is quarantine-split (halves restart
+        their own retry budget) or, at size one, recorded as a failed
+        option.
+        """
+        key = f"chunk:{chunk.indices[0]}+{len(chunk)}"
+        if attempt < self.config.max_retries:
+            counters.retries += 1
+            queue.append((chunk, attempt + 1))
+            return self._policy.backoff_s(key, attempt)
+        if len(chunk) == 1:
+            self._record_failure(chunk, out, counters, failures, error,
+                                 attempt + 1)
+            return 0.0
+        queue.extend((piece, 0) for piece in split_chunk(chunk))
+        return 0.0
 
     def describe(self) -> str:
         """One-line configuration summary."""
+        timeout = (f"{self.config.chunk_timeout_s:g}s"
+                   if self.config.chunk_timeout_s is not None else "none")
         return (
             f"engine / kernel {self.kernel} / math={self.profile.name} / "
             f"family={self.family.value} / workers={self.config.workers} / "
-            f"chunk={'auto' if self.config.chunk_options is None else self.config.chunk_options}"
+            f"chunk={'auto' if self.config.chunk_options is None else self.config.chunk_options} / "
+            f"retries<={self.config.max_retries} / timeout={timeout} / "
+            f"backoff={self.config.backoff_base_s:g}s"
+            + (" / faults=injected" if self.faults is not None else "")
         )

@@ -1,0 +1,179 @@
+"""Retry, backoff, circuit-breaking and failure records for the engine.
+
+The policy half of fault tolerance (the mechanics — what a fault *is*
+— live in :mod:`repro.engine.faults`):
+
+* :class:`RetryPolicy` — per-chunk retry budget, exponential backoff
+  with **deterministic** jitter (seeded per ``(key, attempt)``, so two
+  replays of the same failing run sleep the same schedule), and the
+  optional wall-clock chunk deadline.
+* :class:`CircuitBreaker` — pool-level degradation: the first pool
+  failure (crashed worker, hung chunk) buys one pool rebuild, the
+  second opens the breaker and the engine falls back to the serial
+  in-process path so the batch always completes.
+* :class:`FailureRecord` — the structured per-option result of
+  quarantine: a poison option is returned as NaN plus one of these in
+  :attr:`~repro.engine.engine.EngineResult.failures`, instead of
+  failing the other N-1 options in the batch.
+* :func:`retry_call` — a generic retrying wrapper used by host
+  programs around recoverable transport errors (the paper's
+  host/device interaction layer is exactly where the deployment
+  literature expects transient failures).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = [
+    "FailureRecord",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ReliabilityCounters",
+    "retry_call",
+]
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """Why one option of a batch could not be priced.
+
+    :param index: position in the caller's option stream (the matching
+        entry of ``EngineResult.prices`` is NaN).
+    :param error: exception class name (taxonomy of
+        :mod:`repro.errors`, e.g. ``"PoisonChunkError"``).
+    :param message: human-readable detail from the final failure.
+    :param attempts: pricing attempts spent on the isolated option
+        before it was quarantined.
+    :param exception: the original exception object (when available),
+        so strict callers (``PricingEngine.price``) can re-raise it
+        with its real type; excluded from equality and ``as_dict``.
+    """
+
+    index: int
+    error: str
+    message: str
+    attempts: int
+    exception: Optional[BaseException] = field(default=None, compare=False,
+                                               repr=False)
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (mirrors ``EngineStats.as_dict``)."""
+        return {
+            "index": self.index,
+            "error": self.error,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and backoff schedule for one unit of work.
+
+    :param max_retries: additional attempts after the first failure.
+    :param backoff_base_s: first-retry backoff ceiling; attempt ``k``
+        waits up to ``backoff_base_s * 2**k`` (capped at
+        :attr:`max_backoff_s`).  ``0`` disables sleeping entirely.
+    :param chunk_timeout_s: wall-clock deadline per chunk attempt
+        (pool mode only — the serial path cannot preempt itself);
+        ``None`` waits forever, exactly like the pre-reliability
+        engine.
+    :param max_backoff_s: backoff ceiling, keeping the exponential
+        schedule bounded.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    chunk_timeout_s: Optional[float] = None
+    max_backoff_s: float = 2.0
+
+    @classmethod
+    def from_config(cls, config) -> "RetryPolicy":
+        """Build from an ``EngineConfig`` (duck-typed on field names)."""
+        return cls(
+            max_retries=config.max_retries,
+            backoff_base_s=config.backoff_base_s,
+            chunk_timeout_s=config.chunk_timeout_s,
+        )
+
+    def backoff_s(self, key: str, attempt: int) -> float:
+        """Deterministic jittered backoff before retry ``attempt``.
+
+        Exponential ceiling with half-jitter; the jitter is drawn from
+        ``random.Random(f"{key}:{attempt}")`` so a replay of the same
+        failing chunk sleeps the same schedule (and different chunks
+        retrying simultaneously still decorrelate).
+        """
+        if self.backoff_base_s <= 0.0:
+            return 0.0
+        ceiling = min(self.backoff_base_s * (2.0 ** attempt),
+                      self.max_backoff_s)
+        jitter = random.Random(f"{key}:{attempt}").random()
+        return ceiling * (0.5 + 0.5 * jitter)
+
+
+class CircuitBreaker:
+    """Counts pool-level failures and decides rebuild vs degrade.
+
+    States: *closed* (healthy) -> up to ``rebuild_limit`` pool rebuilds
+    -> *open* (pool given up; callers fall back to serial execution).
+    """
+
+    def __init__(self, rebuild_limit: int = 1):
+        self.rebuild_limit = rebuild_limit
+        self.failures = 0
+
+    def record_failure(self) -> None:
+        """Register one pool failure (broken pool or hung worker)."""
+        self.failures += 1
+
+    @property
+    def open(self) -> bool:
+        """True once the pool has exhausted its rebuild budget."""
+        return self.failures > self.rebuild_limit
+
+
+@dataclass
+class ReliabilityCounters:
+    """Mutable accumulator for the run's reliability statistics.
+
+    Folded into the frozen :class:`~repro.engine.stats.EngineStats`
+    when the run completes.
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    degraded_to_serial: int = 0
+    quarantined_options: int = 0
+
+
+def retry_call(
+    fn: Callable,
+    policy: RetryPolicy = RetryPolicy(),
+    key: str = "call",
+    retry_on: "tuple[type[BaseException], ...]" = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: "Callable[[int, BaseException], None] | None" = None,
+):
+    """Call ``fn`` with the policy's retry/backoff schedule.
+
+    Retries only exceptions matching ``retry_on``; the final failure
+    propagates unchanged.  ``on_retry(attempt, exc)`` observes each
+    retry (used by tests and by callers keeping counters).
+    """
+    for attempt in range(policy.max_retries + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt >= policy.max_retries:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            delay = policy.backoff_s(key, attempt)
+            if delay > 0.0:
+                sleep(delay)

@@ -38,7 +38,8 @@ from ..finance.lattice import LatticeFamily
 from ..finance.options import Option
 from .workspace import Workspace, kernel_tile_bytes
 
-__all__ = ["Chunk", "KERNELS", "group_stream", "plan_chunks", "price_chunk"]
+__all__ = ["Chunk", "KERNELS", "group_stream", "plan_chunks", "price_chunk",
+           "split_chunk"]
 
 #: Kernels the engine can schedule: the two paper accelerators plus
 #: the reference software pricer (per-option backward induction).
@@ -130,6 +131,24 @@ def plan_chunks(
     ]
 
 
+def split_chunk(chunk: Chunk) -> "tuple[Chunk, ...]":
+    """Halve a chunk for quarantine bisection.
+
+    A chunk that keeps failing after retries is split and each half
+    retried independently, until single failing options are isolated;
+    a one-option chunk cannot split further.
+    """
+    if len(chunk) <= 1:
+        return (chunk,)
+    mid = len(chunk) // 2
+    return (
+        Chunk(indices=chunk.indices[:mid], options=chunk.options[:mid],
+              steps=chunk.steps),
+        Chunk(indices=chunk.indices[mid:], options=chunk.options[mid:],
+              steps=chunk.steps),
+    )
+
+
 # -- worker side -----------------------------------------------------------
 
 #: Process-local tile pool: with a fork/forkserver pool each worker
@@ -150,27 +169,50 @@ def price_chunk(
     kernel: str,
     options: Sequence[Option],
     steps: int,
-    profile_name: str,
+    profile_name,
     family_value: str,
+    indices: "Sequence[int] | None" = None,
+    faults=None,
+    attempt: int = 0,
+    in_pool: bool = True,
+    workspace: "Workspace | None" = None,
 ) -> np.ndarray:
     """Price one chunk; the unit of work a pool worker executes.
 
-    Takes only picklable primitives (profile by name, family by enum
-    value) so the same entry point serves the serial path and
-    ``ProcessPoolExecutor.submit``.
+    The positional arguments take picklable primitives (profile by
+    name, family by enum value) so the same entry point serves the
+    serial path and ``ProcessPoolExecutor.submit``; the serial path
+    may pass a resolved :class:`~repro.core.faithful_math.MathProfile`
+    and its own workspace instead.
+
+    ``indices``/``faults``/``attempt`` thread the engine's
+    deterministic fault-injection plan (see
+    :mod:`repro.engine.faults`) through to the worker: faults keyed to
+    an option index fire in whichever chunk carries that option, while
+    ``attempt < spec.attempts`` — a pure function of the arguments, so
+    the same plan replays identically across processes and retries.
     """
-    profile = get_profile(profile_name)
+    profile = (get_profile(profile_name) if isinstance(profile_name, str)
+               else profile_name)
     family = LatticeFamily(family_value)
+    if faults is not None and indices is not None:
+        faults.fire_before_pricing(indices, attempt, in_pool)
+    if workspace is None:
+        workspace = _worker_workspace()
     if kernel == "iv_b":
-        return simulate_kernel_b_batch(options, steps, profile, family,
-                                       workspace=_worker_workspace())
-    if kernel == "iv_a":
-        return simulate_kernel_a_batch(options, steps, profile, family,
-                                       workspace=_worker_workspace())
-    if kernel == "reference":
-        return np.array(
+        prices = simulate_kernel_b_batch(options, steps, profile, family,
+                                         workspace=workspace)
+    elif kernel == "iv_a":
+        prices = simulate_kernel_a_batch(options, steps, profile, family,
+                                         workspace=workspace)
+    elif kernel == "reference":
+        prices = np.array(
             [price_binomial(o, steps, family, dtype=profile.dtype).price
              for o in options],
             dtype=np.float64,
         )
-    raise ReproError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    else:
+        raise ReproError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    if faults is not None and indices is not None:
+        prices = faults.corrupt_prices(indices, attempt, prices)
+    return prices

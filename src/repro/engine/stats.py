@@ -34,6 +34,16 @@ class EngineStats:
         CPU time is not included when ``workers > 1``).
     :param peak_tile_bytes: workspace high-water mark of the largest
         worker (preallocated S/V tiles + scratch).
+    :param retries: chunk attempts re-dispatched after a failure
+        (worker exception, timeout, crash or non-finite prices).
+    :param timeouts: chunk attempts that overran ``chunk_timeout_s``.
+    :param pool_rebuilds: times the worker pool was torn down and
+        rebuilt after a pool-level failure.
+    :param degraded_to_serial: 1 if the circuit breaker opened and the
+        rest of the batch completed on the serial in-process path.
+    :param quarantined_options: options isolated by quarantine
+        bisection and returned as NaN with a
+        :class:`~repro.engine.reliability.FailureRecord`.
     """
 
     options: int
@@ -44,6 +54,11 @@ class EngineStats:
     wall_time_s: float
     cpu_time_s: float
     peak_tile_bytes: int
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    degraded_to_serial: int = 0
+    quarantined_options: int = 0
 
     @property
     def options_per_second(self) -> float:
@@ -77,6 +92,33 @@ class EngineStats:
             tree_nodes_per_second=self.tree_nodes_per_second,
         )
 
+    @property
+    def reliability_counters(self) -> dict:
+        """The fault-tolerance counters as a name->count mapping."""
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded_to_serial": self.degraded_to_serial,
+            "quarantined_options": self.quarantined_options,
+        }
+
+    def describe(self) -> str:
+        """One-line run summary including the reliability counters."""
+        flagged = {name: count
+                   for name, count in self.reliability_counters.items()
+                   if count}
+        reliability = (
+            " / ".join(f"{name}={count}" for name, count in flagged.items())
+            if flagged else "clean"
+        )
+        return (
+            f"{self.options} options in {self.chunks} chunks / "
+            f"{self.workers} workers / "
+            f"{self.options_per_second:,.0f} options/s / "
+            f"reliability: {reliability}"
+        )
+
     def as_dict(self) -> dict:
         """JSON-ready form (used by the benchmark harness)."""
         return {
@@ -90,4 +132,5 @@ class EngineStats:
             "peak_tile_bytes": self.peak_tile_bytes,
             "options_per_second": self.options_per_second,
             "tree_nodes_per_second": self.tree_nodes_per_second,
+            **self.reliability_counters,
         }

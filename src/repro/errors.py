@@ -62,6 +62,42 @@ class BarrierDivergenceError(OpenCLError):
     code = "CL_BARRIER_DIVERGENCE"
 
 
+class TransportFaultError(OpenCLError):
+    """A (simulated) host<->device transfer or kernel launch failed.
+
+    Real runtimes surface these conditions as ``CL_OUT_OF_RESOURCES``
+    or ``CL_DEVICE_NOT_AVAILABLE``; the fault-injection layer raises
+    this type so host programs can distinguish *recoverable* transport
+    errors (worth a retry, per the data-centre FPGA deployment
+    literature) from programming errors, which stay fatal.
+    """
+
+    code = "CL_OUT_OF_RESOURCES"
+
+
+class EngineError(ReproError):
+    """Base class for batched-pricing-engine failures.
+
+    Chunk-level failures inside :class:`~repro.engine.PricingEngine`
+    (worker exceptions, deadline overruns, crashed processes, poison
+    inputs) are normalised to this taxonomy so callers never see a bare
+    ``RuntimeError`` or a ``concurrent.futures`` internal leak through
+    the API boundary.
+    """
+
+
+class ChunkTimeoutError(EngineError):
+    """A chunk exceeded its wall-clock deadline (``chunk_timeout_s``)."""
+
+
+class WorkerCrashError(EngineError):
+    """A worker process died mid-chunk (e.g. ``BrokenProcessPool``)."""
+
+
+class PoisonChunkError(EngineError):
+    """A chunk kept failing (or produced non-finite prices) after retries."""
+
+
 class HLSError(ReproError):
     """Base class for HLS compiler-model errors."""
 

@@ -150,12 +150,45 @@ class OptionArrays:
         return self.spot.shape[0]
 
 
+def _validate_columns(arrays: OptionArrays) -> None:
+    """Reject NaN/inf and non-positive market data, naming the index.
+
+    :class:`Option` already validates at construction, but batches
+    assembled from feeds, deserialised rows or duck-typed contract
+    objects can bypass that — and one NaN spot silently poisons every
+    price in the chunk it lands in.  One vectorised pass per column
+    keeps the check O(n) with no Python-level loop in the clean case.
+    """
+    checks = (
+        ("spot", arrays.spot, True),
+        ("strike", arrays.strike, True),
+        ("volatility", arrays.volatility, True),
+        ("maturity", arrays.maturity, True),
+        ("rate", arrays.rate, False),
+        ("dividend_yield", arrays.dividend_yield, False),
+    )
+    for name, column, positive in checks:
+        bad = ~np.isfinite(column)
+        if positive:
+            bad |= column <= 0.0
+        if bad.any():
+            index = int(np.argmax(bad))
+            requirement = "finite and > 0" if positive else "finite"
+            raise FinanceError(
+                f"option {index}: {name} must be {requirement}, "
+                f"got {column[index]}"
+            )
+
+
 def option_arrays(options) -> OptionArrays:
     """Transpose a sequence of :class:`Option` into field arrays.
 
     Each field is gathered with a single C-level ``fromiter`` pass, so
     building the columns for thousands of options never materialises a
-    per-option Python row.
+    per-option Python row.  Columns are validated on the way out —
+    NaN/inf or non-positive spot, strike, volatility or maturity raise
+    :class:`~repro.errors.FinanceError` naming the offending option
+    index, so bad market data is caught before it poisons a chunk.
     """
     options = list(options)
     n = len(options)
@@ -164,7 +197,7 @@ def option_arrays(options) -> OptionArrays:
         return np.fromiter((getter(o) for o in options), dtype=np.float64,
                            count=n)
 
-    return OptionArrays(
+    arrays = OptionArrays(
         spot=column(lambda o: o.spot),
         strike=column(lambda o: o.strike),
         rate=column(lambda o: o.rate),
@@ -173,6 +206,8 @@ def option_arrays(options) -> OptionArrays:
         dividend_yield=column(lambda o: o.dividend_yield),
         sign=column(lambda o: o.option_type.sign),
     )
+    _validate_columns(arrays)
+    return arrays
 
 
 def intrinsic_value(spot, strike, option_type: OptionType):

@@ -59,18 +59,20 @@ class Context:
         return Program(self, kernels).build()
 
     def create_queue(self, device: Device | None = None, profiling: bool = True,
-                     overlap: bool = False):
+                     overlap: bool = False, fault_injector=None):
         """Create a command queue on ``device``.
 
         ``overlap=True`` gives the dual-engine (DMA + compute) timing
-        discipline; see :mod:`repro.opencl.queue`.
+        discipline; ``fault_injector`` installs a transport fault
+        schedule — see :mod:`repro.opencl.queue`.
         """
         from .queue import CommandQueue
 
         device = device or self.device
         if device not in self.devices:
             raise OpenCLError("queue device does not belong to this context")
-        return CommandQueue(self, device, profiling=profiling, overlap=overlap)
+        return CommandQueue(self, device, profiling=profiling, overlap=overlap,
+                            fault_injector=fault_injector)
 
     # -- bookkeeping --------------------------------------------------------
 

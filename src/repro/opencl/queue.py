@@ -43,14 +43,25 @@ __all__ = ["CommandQueue"]
 
 
 class CommandQueue:
-    """An in-order ``cl_command_queue`` with profiling always available."""
+    """An in-order ``cl_command_queue`` with profiling always available.
+
+    ``fault_injector`` (e.g. a
+    :class:`~repro.engine.faults.TransportFaultInjector`) is consulted
+    before every host<->device transfer and kernel launch; it may raise
+    :class:`~repro.errors.TransportFaultError` to simulate the
+    recoverable transport failures a deployed accelerator sees, before
+    any buffer state changes — a failed transfer leaves the device
+    untouched, so the host can safely retry the enqueue.
+    """
 
     def __init__(self, context: Context, device: Device,
-                 profiling: bool = True, overlap: bool = False):
+                 profiling: bool = True, overlap: bool = False,
+                 fault_injector=None):
         self.context = context
         self.device = device
         self.profiling = profiling
         self.overlap = overlap
+        self.fault_injector = fault_injector
         self.events: list[Event] = []
         self.transfers = TransferLedger()
         self._clock_ns = 0.0
@@ -154,6 +165,9 @@ class CommandQueue:
         """Copy host data into a device buffer."""
         after = self._check_wait_list(wait_for)
         host_array = np.asarray(host_array)
+        if self.fault_injector is not None:
+            self.fault_injector.on_transfer(
+                host_array.nbytes, TransferDirection.HOST_TO_DEVICE)
         nbytes = buf._host_write(host_array, offset)
         duration = self.device.timing_model.transfer_ns(
             nbytes, TransferDirection.HOST_TO_DEVICE
@@ -179,6 +193,9 @@ class CommandQueue:
                             wait_for=None) -> tuple[np.ndarray, Event]:
         """Copy device data back to the host; returns (data, event)."""
         after = self._check_wait_list(wait_for)
+        if self.fault_injector is not None:
+            self.fault_injector.on_transfer(
+                buf.nbytes, TransferDirection.DEVICE_TO_HOST)
         data = buf._host_read(offset, count)
         duration = self.device.timing_model.transfer_ns(
             data.nbytes, TransferDirection.DEVICE_TO_HOST
@@ -221,6 +238,8 @@ class CommandQueue:
         ``local_size=None`` lets the runtime pick (here: one group).
         """
         after = self._check_wait_list(wait_for)
+        if self.fault_injector is not None:
+            self.fault_injector.on_launch(kernel.name)
         if local_size is None:
             if isinstance(global_size, int):
                 local_size = min(global_size, self.device.max_work_group_size)

@@ -47,6 +47,24 @@ def test_bit_identical_to_simulator(batch, kernel, simulator, profile,
     np.testing.assert_array_equal(prices, expected)
 
 
+@pytest.mark.parametrize("workers", (1, 2))
+def test_reliability_layer_preserves_bit_identity(batch, workers):
+    """No faults, no failures: the retry/quarantine machinery must not
+    change a single bit, and the failure channel stays empty."""
+    expected = simulate_kernel_b_batch(batch, STEPS)
+    config = EngineConfig(workers=workers, chunk_options=3, max_retries=3,
+                          chunk_timeout_s=60.0, backoff_base_s=0.01)
+    with PricingEngine(kernel="iv_b", config=config) as eng:
+        result = eng.run(batch, STEPS)
+    np.testing.assert_array_equal(result.prices, expected)
+    assert result.failures == ()
+    assert result.stats.retries == 0
+    assert result.stats.timeouts == 0
+    assert result.stats.pool_rebuilds == 0
+    assert result.stats.degraded_to_serial == 0
+    assert result.stats.quarantined_options == 0
+
+
 def test_reference_kernel_matches_price_binomial(batch):
     expected = np.array(
         [price_binomial(o, STEPS).price for o in batch], dtype=np.float64)

@@ -20,6 +20,7 @@ FAST_EXAMPLES = (
     "design_space_exploration",
     "trading_day",
     "batched_engine",
+    "fault_tolerance",
 )
 
 
