@@ -21,12 +21,12 @@ from repro.core import (
     EXACT_SINGLE,
     simulate_kernel_b_batch,
 )
+from repro import price
 from repro.finance import (
     Option,
     OptionType,
     convergence_study,
     generate_batch,
-    price_binomial_batch,
     richardson_extrapolation,
     rmse,
 )
@@ -42,7 +42,7 @@ def main() -> None:
     print(f"{'N':>6} {'flawed pow (FPGA)':>18} {'exact (GPU dbl)':>16} "
           f"{'fp32 (GPU sgl)':>15}")
     for steps in DEPTHS:
-        reference = price_binomial_batch(batch, steps)
+        reference = price(batch, steps=steps).prices
         flawed = rmse(reference,
                       simulate_kernel_b_batch(batch, steps, ALTERA_13_0_DOUBLE))
         exact = rmse(reference,

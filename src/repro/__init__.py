@@ -31,6 +31,7 @@ Quick start::
     print(result.prices[0], result.options_per_second)
 """
 
+from .api import PriceResult, price
 from .core import (
     ALTERA_13_0_DOUBLE,
     EXACT_DOUBLE,
@@ -64,6 +65,8 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "ReproError",
+    "price",
+    "PriceResult",
     "Option",
     "OptionType",
     "ExerciseStyle",

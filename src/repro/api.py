@@ -1,0 +1,208 @@
+"""`repro.api` — the one front door for pricing option batches.
+
+The library grew three pricing entry points with three calling
+conventions: the software reference
+(:func:`repro.finance.binomial.price_binomial_batch`), the modeled
+accelerators (:meth:`repro.core.accelerator.BinomialAccelerator.price_batch`)
+and the host engine (:meth:`repro.engine.PricingEngine.price`).
+:func:`price` routes one keyword-only signature to all of them and
+returns one result shape, :class:`PriceResult`.
+
+Routing:
+
+* ``device=None`` (default) runs the host :class:`PricingEngine` with
+  the requested ``kernel`` (``"reference"`` if not given) — real
+  wall-clock throughput, fault tolerance, optional tracing;
+* ``device="fpga" | "gpu" | "cpu"`` builds the matching
+  :class:`BinomialAccelerator` — the paper's Table II configurations
+  with modeled time and energy; a ready-made accelerator instance is
+  accepted too and is *not* closed for you.
+
+Migration from the older entry points:
+
+===============================================  =============================================
+Before                                           After
+===============================================  =============================================
+``price_binomial_batch(opts, steps=N)``          ``price(opts, steps=N).prices``
+``price_binomial_batch(..., workers=4)``         ``price(opts, steps=N, workers=4).prices``
+``acc = BinomialAccelerator("fpga", "iv_b")``    ``price(opts, steps=N, device="fpga",``
+``acc.price_batch(opts)``                        ``      kernel="iv_b").modeled``
+``PricingEngine(kernel="iv_b").price(opts, N)``  ``price(opts, steps=N, kernel="iv_b").prices``
+``PricingEngine(...).run(opts, N)``              ``price(opts, steps=N, kernel="iv_b",``
+                                                 ``      strict=False)`` (NaN + ``failures``)
+===============================================  =============================================
+
+Example::
+
+    import repro
+
+    batch = repro.generate_batch(n_options=2000)
+    result = repro.price(batch.options, steps=1024, kernel="iv_b",
+                         workers=4)
+    print(result.prices[:3], result.stats.options_per_second)
+
+    modeled = repro.price(batch.options, steps=1024, device="fpga")
+    print(modeled.modeled.energy_joules)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .core.accelerator import AcceleratorResult, BinomialAccelerator
+from .core.faithful_math import EXACT_DOUBLE, EXACT_SINGLE
+from .devices.base import Precision
+from .engine import EngineConfig, PricingEngine
+from .engine.reliability import FailureRecord
+from .engine.stats import EngineStats
+from .errors import ReproError
+from .finance.lattice import LatticeFamily
+from .finance.options import Option
+
+__all__ = ["PriceResult", "price"]
+
+_DEVICES = ("fpga", "gpu", "cpu")
+
+
+@dataclass(frozen=True)
+class PriceResult:
+    """What :func:`price` returns, whatever the route.
+
+    :param prices: root option values in input order (NaN for options
+        quarantined under ``strict=False``).
+    :param route: ``"engine"`` or ``"accelerator"``.
+    :param stats: the engine run's measured statistics (``None`` on the
+        accelerator route, whose engine is internal to the model).
+    :param failures: per-option failure records (engine route with
+        ``strict=False``; empty otherwise).
+    :param modeled: the accelerator's modeled time/energy result
+        (``None`` on the engine route).
+    """
+
+    prices: np.ndarray
+    route: str
+    stats: "EngineStats | None" = None
+    failures: "tuple[FailureRecord, ...]" = field(default=())
+    modeled: "AcceleratorResult | None" = None
+
+    def __len__(self) -> int:
+        return len(self.prices)
+
+    @property
+    def options_per_second(self) -> "float | None":
+        """Throughput: measured (engine) or modeled (accelerator)."""
+        if self.stats is not None:
+            return self.stats.options_per_second
+        if self.modeled is not None:
+            return self.modeled.options_per_second
+        return None
+
+
+def _engine_profile(precision: str):
+    Precision.check(precision)
+    return EXACT_SINGLE if precision == Precision.SINGLE else EXACT_DOUBLE
+
+
+def price(
+    options: Sequence[Option],
+    *,
+    steps: "int | Sequence[int]" = 1024,
+    device: "str | BinomialAccelerator | None" = None,
+    kernel: "str | None" = None,
+    config: "EngineConfig | None" = None,
+    workers: "int | None" = None,
+    family: LatticeFamily = LatticeFamily.CRR,
+    precision: str = Precision.DOUBLE,
+    tracer=None,
+    strict: bool = True,
+) -> PriceResult:
+    """Price a batch of options through the configured route.
+
+    :param options: the contracts to price.
+    :param steps: tree depth — one value, or one per option (the
+        engine route regroups heterogeneous streams; the accelerator
+        route requires a single depth, like the hardware it models).
+    :param device: ``None`` for the host engine, a platform name
+        (``"fpga"``/``"gpu"``/``"cpu"``) for a modeled accelerator, or
+        an existing :class:`BinomialAccelerator` to reuse (caller keeps
+        ownership — it is not closed).
+    :param kernel: ``"iv_a"``, ``"iv_b"`` or ``"reference"``; defaults
+        to ``"reference"`` on the engine/cpu routes and ``"iv_b"`` on
+        fpga/gpu.
+    :param config: :class:`EngineConfig` for the pricing engine
+        (either route); mutually exclusive with ``workers``.
+    :param workers: shorthand for ``EngineConfig(workers=...)``.
+    :param family: lattice parameterisation.
+    :param precision: ``"double"`` or ``"single"``.
+    :param tracer: optional :class:`repro.obs.trace.Tracer` observing
+        the engine run (``None`` = tracing disabled).
+    :param strict: engine route only — ``True`` re-raises the first
+        pricing failure (the historical ``price_binomial_batch``
+        contract); ``False`` returns NaN for quarantined options plus
+        their :class:`FailureRecord` in :attr:`PriceResult.failures`.
+    """
+    options = list(options)
+    if config is not None and workers is not None:
+        raise ReproError("pass either config or workers, not both")
+    if workers is not None:
+        config = EngineConfig(workers=workers)
+
+    if device is None:
+        return _price_engine(options, steps, kernel or "reference", config,
+                             family, precision, tracer, strict)
+    return _price_accelerator(options, steps, device, kernel, config,
+                              family, precision, tracer)
+
+
+def _price_engine(options, steps, kernel, config, family, precision,
+                  tracer, strict) -> PriceResult:
+    if not options:
+        return PriceResult(prices=np.empty(0, dtype=np.float64),
+                           route="engine")
+    with PricingEngine(kernel=kernel, profile=_engine_profile(precision),
+                       family=family, config=config,
+                       tracer=tracer) as engine:
+        result = engine.run(options, steps)
+        if strict and result.failures:
+            # the historical price_binomial_batch contract: re-raise
+            # the first failure with its original exception type
+            first = result.failures[0]
+            if first.exception is not None:
+                raise first.exception
+            raise ReproError(
+                f"option {first.index} failed after {first.attempts} "
+                f"attempts: {first.error}: {first.message}")
+        return PriceResult(prices=result.prices, route="engine",
+                           stats=result.stats, failures=result.failures)
+
+
+def _price_accelerator(options, steps, device, kernel, config, family,
+                       precision, tracer) -> PriceResult:
+    if np.ndim(steps) != 0:
+        raise ReproError(
+            "accelerator routes price one tree depth per batch; pass a "
+            "single steps value (or split the stream per depth)")
+    if isinstance(device, BinomialAccelerator):
+        accelerator, owned = device, False
+    elif device in _DEVICES:
+        if kernel is None:
+            kernel = "reference" if device == "cpu" else "iv_b"
+        accelerator, owned = BinomialAccelerator(
+            platform=device, kernel=kernel, precision=precision,
+            steps=int(steps), family=family, engine_config=config,
+            tracer=tracer,
+        ), True
+    else:
+        raise ReproError(
+            f"device must be one of {_DEVICES}, a BinomialAccelerator, or "
+            f"None for the host engine; got {device!r}")
+    try:
+        modeled = accelerator.price_batch(options)
+    finally:
+        if owned:
+            accelerator.close()
+    return PriceResult(prices=modeled.prices, route="accelerator",
+                       modeled=modeled)

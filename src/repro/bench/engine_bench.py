@@ -38,6 +38,7 @@ from ..errors import ReproError
 from ..finance.lattice import LatticeFamily, build_lattice_params
 from ..finance.market import generate_batch
 from ..finance.options import Option
+from ..obs import keys as obs_keys
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -202,13 +203,20 @@ def run_benchmark(
     profile: MathProfile = EXACT_DOUBLE,
     family: LatticeFamily = LatticeFamily.CRR,
     seed: int = 20140324,
+    tracer=None,
 ) -> dict:
     """Measure engine throughput against the frozen pre-engine path.
 
     For each batch size: time the baseline once, then one engine run
     per ``workers`` setting, asserting bit-identity with the current
     simulator and double-precision agreement with the baseline.
-    Returns the JSON-ready result document (see ``BENCH_SCHEMA``).
+    Returns the JSON-ready result document (see ``BENCH_SCHEMA``); the
+    per-run stats use exactly the :data:`repro.obs.keys.STATS_KEYS`
+    schema, declared in the document's ``stats_schema`` field.
+
+    Pass a :class:`repro.obs.trace.Tracer` to record every engine run
+    as its own root span tree (one root per measured configuration;
+    the baseline timing is never traced — it predates the engine).
     """
     if kernel not in _BASELINES:
         raise ReproError(f"benchmark supports kernels "
@@ -234,7 +242,8 @@ def run_benchmark(
         runs = []
         for workers in workers_settings:
             with PricingEngine(kernel=kernel, profile=profile, family=family,
-                               config=EngineConfig(workers=workers)) as engine:
+                               config=EngineConfig(workers=workers),
+                               tracer=tracer) as engine:
                 result = engine.run(batch, steps)
             if not np.array_equal(result.prices, simulator_prices):
                 raise ReproError(
@@ -264,6 +273,7 @@ def run_benchmark(
 
     return {
         "schema": BENCH_SCHEMA,
+        "stats_schema": obs_keys.STATS_SCHEMA,
         "host": {
             "cpu_count": os.cpu_count(),
             "platform": _platform.platform(),

@@ -46,9 +46,9 @@ from ..finance import (
     generate_batch,
     generate_curve_scenario,
     implied_vol_curve,
-    price_binomial_batch,
     rmse,
 )
+from ..api import price
 from ..hls import KERNEL_A_OPTIONS, KERNEL_B_OPTIONS, compile_kernel
 from . import published
 from .tables import render_comparison, render_table
@@ -171,8 +171,8 @@ def _accuracy_rmse(kind: str, options: Sequence[Option], steps: int,
     elif kind == "iv_b_gpu_single":
         candidate = _engine_prices("iv_b", options, steps, EXACT_SINGLE, workers)
     elif kind == "ref_single":
-        candidate = price_binomial_batch(options, steps, dtype=np.float32,
-                                         workers=workers)
+        candidate = price(options, steps=steps, precision="single",
+                          workers=workers).prices
     else:  # ref_double — the reference itself
         candidate = reference
     return rmse(reference, candidate)
@@ -189,7 +189,7 @@ def table2(accuracy_options: int = 200, steps: int = published.PAPER_STEPS,
     chunks over processes without changing a bit of the output).
     """
     batch = generate_batch(n_options=accuracy_options, seed=seed).options
-    reference = price_binomial_batch(batch, steps, workers=workers)
+    reference = price(batch, steps=steps, workers=workers).prices
 
     configs = (
         ("Kernel IV.A", "FPGA (DE4)", "double", "iv_a_fpga",
@@ -369,7 +369,7 @@ def accuracy_experiment(n_options: int = 500,
                         seed: int = 7, workers: int = 1) -> AccuracyResult:
     """Reproduce the accuracy story: flawed pow vs exact vs fp32."""
     batch = generate_batch(n_options=n_options, seed=seed).options
-    reference = price_binomial_batch(batch, steps, workers=workers)
+    reference = price(batch, steps=steps, workers=workers).prices
     rmses = {
         "IV.B FPGA double (flawed pow)": rmse(
             reference, _engine_prices("iv_b", batch, steps, ALTERA_13_0_DOUBLE,
@@ -384,8 +384,8 @@ def accuracy_experiment(n_options: int = 500,
             reference, _engine_prices("iv_a", batch, steps, EXACT_DOUBLE,
                                       workers)),
         "Reference single": rmse(
-            reference, price_binomial_batch(batch, steps, dtype=np.float32,
-                                            workers=workers)),
+            reference, price(batch, steps=steps, precision="single",
+                             workers=workers).prices),
     }
     classes = {k: classify_rmse(v) for k, v in rmses.items()}
     paper_classes = {
@@ -639,7 +639,7 @@ def precision_ablation(steps: int = published.PAPER_STEPS,
     best_sp = next(p for p in sp_points if p.fits)
 
     batch = generate_batch(n_options=accuracy_options, seed=seed).options
-    reference = price_binomial_batch(batch, steps)
+    reference = price(batch, steps=steps).prices
     rmse_double = rmse(
         reference, _engine_prices("iv_b", batch, steps, ALTERA_13_0_DOUBLE))
     rmse_single = rmse(

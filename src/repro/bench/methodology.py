@@ -23,8 +23,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..api import price
 from ..errors import ReproError
-from ..finance.binomial import price_binomial_batch
 from ..finance.validation import rmse
 from .tables import render_table
 
@@ -138,8 +138,8 @@ class AcceleratorBenchmark:
                  model: PricingModel = CRR_BINOMIAL_MODEL):
         self.problem = problem
         self.model = model
-        self._reference = price_binomial_batch(
-            list(problem.options), problem.steps)
+        self._reference = price(
+            list(problem.options), steps=problem.steps).prices
 
     @property
     def reference(self) -> np.ndarray:

@@ -16,6 +16,8 @@ writing Python::
     python -m repro clsource iv_b --steps 1024
     python -m repro price --spot 100 --strike 105 --type put
     python -m repro bench-engine --quick
+    python -m repro bench-engine --trace-out trace.json --metrics-out m.prom
+    python -m repro obs --options 24 --steps 128
 """
 
 from __future__ import annotations
@@ -80,6 +82,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--check-against", default=None, metavar="JSON",
                          help="fail if throughput regressed >30%% vs this "
                               "stored benchmark file")
+    p_bench.add_argument("--trace-out", default=None, metavar="JSON",
+                         help="record every engine run as a span tree and "
+                              "write the JSON trace document here")
+    p_bench.add_argument("--metrics-out", default=None, metavar="PROM",
+                         help="write the process-wide metrics registry in "
+                              "Prometheus text format here")
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="observability demo: trace a chunked device session end to end")
+    p_obs.add_argument("--options", type=int, default=24,
+                       help="batch size to price (default 24)")
+    p_obs.add_argument("--steps", type=int, default=128,
+                       help="tree depth N / work-group size (default 128)")
+    p_obs.add_argument("--chunk", type=int, default=8,
+                       help="options per scheduled chunk (default 8)")
+    p_obs.add_argument("--trace-out", default=None, metavar="JSON",
+                       help="write the JSON trace document here")
+    p_obs.add_argument("--metrics-out", default=None, metavar="PROM",
+                       help="write the metrics registry (Prometheus text) "
+                            "here")
 
     p_cl = sub.add_parser("clsource", help="emit the OpenCL C of a kernel")
     p_cl.add_argument("kernel", choices=("iv_a", "iv_b"))
@@ -144,11 +167,27 @@ def _run_bench_engine(args) -> int:
     else:
         options_counts, steps, workers = args.options, args.steps, args.workers
 
+    tracer = None
+    if args.trace_out:
+        from .obs import Tracer
+        tracer = Tracer()
+
     document = run_benchmark(
         options_counts=options_counts, steps=steps,
         workers_settings=workers, kernel=args.kernel,
+        tracer=tracer,
     )
     path = write_benchmark(document, args.out)
+
+    if tracer is not None:
+        from .obs.export import write_trace
+        trace_path = write_trace(tracer, args.trace_out)
+        print(f"trace ({len(tracer.roots)} engine runs) -> {trace_path}")
+    if args.metrics_out:
+        from .obs import get_registry
+        from .obs.export import write_metrics
+        metrics_path = write_metrics(get_registry(), args.metrics_out)
+        print(f"metrics -> {metrics_path}")
 
     print(f"engine benchmark (kernel {args.kernel}, N={steps}) -> {path}")
     for entry in document["results"]:
@@ -180,6 +219,80 @@ def _run_bench_engine(args) -> int:
         if failures:
             return 1
         print(f"no throughput regression vs {args.check_against}")
+    return 0
+
+
+def _run_obs(args) -> int:
+    """Observability demo: one chunked device session, fully traced.
+
+    Prices a batch through the kernel IV.B host program (Figure 4's
+    three host commands per chunk) on the modeled DE4, recording the
+    full five-level hierarchy — run -> group -> chunk -> attempt ->
+    queue-command — then prints the span tree, the simulated DMA/kernel
+    lane timeline, and the metric families the session produced.
+    """
+    from .core.host_b import HostProgramB
+    from .devices import fpga_device
+    from .finance import generate_batch
+    from .obs import Tracer, get_registry
+    from .obs.export import (
+        render_queue_timeline,
+        render_span_tree,
+        write_metrics,
+        write_trace,
+    )
+
+    batch = list(generate_batch(n_options=args.options, seed=20140324).options)
+    program = HostProgramB(fpga_device("iv_b"), steps=args.steps)
+
+    tracer = Tracer()
+    run_span = tracer.start_span(
+        "obs.device-session", "run",
+        program="host_b", device=program.device.name,
+        options=len(batch), steps=args.steps,
+    )
+    group_span = run_span.child(
+        f"group[steps={args.steps}]", "group",
+        steps=args.steps, options=len(batch),
+    )
+    for lo in range(0, len(batch), max(1, args.chunk)):
+        chunk = batch[lo:lo + max(1, args.chunk)]
+        chunk_span = group_span.child(
+            f"chunk[{lo}+{len(chunk)}]", "chunk",
+            first_index=lo, options=len(chunk), steps=args.steps,
+        )
+        attempt_span = chunk_span.child("attempt-0", "attempt",
+                                        attempt=0, mode="device")
+        program.queue.attach_span(attempt_span)
+        try:
+            run = program.price(chunk)
+        finally:
+            program.queue.detach_span()
+        attempt_span.set(
+            simulated_time_s=run.simulated_time_s,
+            bytes_read=run.bytes_read, bytes_written=run.bytes_written,
+        ).end()
+        chunk_span.end()
+    group_span.end()
+    run_span.end()
+
+    root = tracer.as_dicts()[0]
+    print(render_span_tree(root))
+    print()
+    print(render_queue_timeline([root]))
+    print()
+    registry = get_registry()
+    for name in registry.names():
+        metric = registry.get(name)
+        for sample_name, label_key, value in metric.sorted_samples():
+            labels = ",".join(f"{k}={v}" for k, v in label_key)
+            print(f"{sample_name}{'{' + labels + '}' if labels else ''} "
+                  f"= {value:g}")
+
+    if args.trace_out:
+        print(f"\ntrace -> {write_trace(tracer, args.trace_out)}")
+    if args.metrics_out:
+        print(f"metrics -> {write_metrics(registry, args.metrics_out)}")
     return 0
 
 
@@ -278,6 +391,8 @@ def _dispatch(args) -> int:
         print(precision_ablation().rendered)
     elif args.command == "bench-engine":
         return _run_bench_engine(args)
+    elif args.command == "obs":
+        return _run_obs(args)
     elif args.command == "clsource":
         print(_run_clsource(args))
     elif args.command == "price":

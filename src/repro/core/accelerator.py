@@ -95,6 +95,9 @@ class BinomialAccelerator:
     :param engine_config: scheduling configuration for the batched
         pricing engine every :meth:`price_batch` call runs through
         (``None`` = serial engine with a reused workspace).
+    :param tracer: optional :class:`repro.obs.trace.Tracer` passed to
+        the internal pricing engine, so accelerator-routed batches
+        record the same run/group/chunk span hierarchy.
     """
 
     def __init__(
@@ -107,6 +110,7 @@ class BinomialAccelerator:
         compile_fpga: bool = True,
         family: LatticeFamily = LatticeFamily.CRR,
         engine_config: "EngineConfig | None" = None,
+        tracer=None,
     ):
         if platform not in _PLATFORMS:
             raise ReproError(f"platform must be one of {_PLATFORMS}, got {platform!r}")
@@ -126,6 +130,7 @@ class BinomialAccelerator:
         self.readback = readback
         self.family = family
         self.engine_config = engine_config
+        self.tracer = tracer
         self._engine: "PricingEngine | None" = None
         self.compiled: CompiledKernel | None = None
 
@@ -165,6 +170,7 @@ class BinomialAccelerator:
                 profile=self.profile,
                 family=self.family,
                 config=self.engine_config,
+                tracer=self.tracer,
             )
         return self._engine
 

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import DeviceModelError
+from ..obs import keys as obs_keys
+from ..obs.metrics import get_registry
 from ..opencl.types import TransferDirection
 
 __all__ = [
@@ -119,6 +121,18 @@ class PCIeLink:
             raise DeviceModelError("transfer size cannot be negative")
         if _FAULT_INJECTOR is not None:
             _FAULT_INJECTOR.on_transfer(nbytes, direction)
+        # the link is a frozen value object shared by every modeled
+        # device, so — like fault injection above — metrics go to the
+        # process-wide registry rather than to instance state
+        registry = get_registry()
+        registry.counter(
+            obs_keys.PCIE_TRANSFERS_TOTAL,
+            "Simulated link transfers by direction",
+        ).inc(1, direction=direction.value)
         if direction is TransferDirection.DEVICE_TO_DEVICE:
             return self.latency_ns
+        registry.counter(
+            obs_keys.PCIE_BYTES_TOTAL,
+            "Simulated bytes crossing the PCIe link by direction",
+        ).inc(nbytes, direction=direction.value)
         return self.latency_ns + nbytes / self.effective_bandwidth_bytes_s * 1e9

@@ -23,11 +23,25 @@ by quarantine bisection and returned as NaN with a
 :class:`~repro.engine.reliability.FailureRecord` — one poison option
 never fails the other N-1.
 
+Every run is observable (:mod:`repro.obs`): pass a
+:class:`~repro.obs.trace.Tracer` to record a hierarchical span tree
+(run -> group -> chunk -> attempt -> worker) with retry and quarantine
+events as timestamped annotations; pool workers serialise their spans
+into the :class:`~repro.engine.scheduler.ChunkReport` travelling back
+with the prices and the parent re-attaches them.  Counters and
+latencies always accumulate in a run-scoped metrics registry that is
+merged into the process-wide one
+(:func:`repro.obs.metrics.get_registry`); the returned
+:class:`~repro.engine.stats.EngineStats` is a snapshot derived from
+that registry.  With no tracer the span calls hit the no-op
+:data:`~repro.obs.trace.NULL_SPAN` — the quick-bench regression gate
+holds with instrumentation compiled in.
+
 Prices are bit-identical to calling
 :func:`~repro.core.batch_sim.simulate_kernel_b_batch` /
-``simulate_kernel_a_batch`` directly — chunking, fan-out and the
-reliability layer only restructure the schedule, never the arithmetic
-(asserted by the parity tests in ``tests/engine``).
+``simulate_kernel_a_batch`` directly — chunking, fan-out, reliability
+and observability only restructure (or watch) the schedule, never the
+arithmetic (asserted by the parity tests in ``tests/engine``).
 
 Example::
 
@@ -63,11 +77,11 @@ from ..errors import (
 )
 from ..finance.lattice import LatticeFamily
 from ..finance.options import Option
+from ..obs.trace import NULL_SPAN, SpanContext, Tracer, as_tracer
 from .faults import FaultPlan
 from .reliability import (
     CircuitBreaker,
     FailureRecord,
-    ReliabilityCounters,
     RetryPolicy,
 )
 from .scheduler import (
@@ -76,9 +90,10 @@ from .scheduler import (
     group_stream,
     plan_chunks,
     price_chunk,
+    price_chunk_observed,
     split_chunk,
 )
-from .stats import EngineStats
+from .stats import EngineStats, RunMetrics
 from .workspace import Workspace, kernel_tile_bytes
 
 __all__ = ["EngineConfig", "EngineResult", "PricingEngine"]
@@ -160,6 +175,8 @@ class PricingEngine:
     :param config: scheduling and reliability configuration.
     :param faults: deterministic fault-injection plan (tests and chaos
         drills only; ``None`` in production use).
+    :param tracer: span tracer observing the run hierarchy
+        (``None`` = tracing disabled, zero overhead).
     """
 
     def __init__(
@@ -169,6 +186,7 @@ class PricingEngine:
         family: LatticeFamily = LatticeFamily.CRR,
         config: "EngineConfig | None" = None,
         faults: "FaultPlan | None" = None,
+        tracer: "Tracer | None" = None,
     ):
         if kernel not in KERNELS:
             raise EngineError(f"kernel must be one of {KERNELS}, got {kernel!r}")
@@ -183,6 +201,7 @@ class PricingEngine:
         self.family = family
         self.config = config or EngineConfig()
         self.faults = faults
+        self.tracer = as_tracer(tracer)
         self._policy = RetryPolicy.from_config(self.config)
         self._workspace = Workspace()  # serial path, reused across runs
         self._pool: "ProcessPoolExecutor | None" = None
@@ -196,11 +215,20 @@ class PricingEngine:
         Queued chunks are cancelled and worker processes that do not
         exit promptly are terminated, so closing never blocks behind a
         hung chunk and never leaks workers; an in-flight :meth:`run`
-        in another thread aborts with :class:`EngineError`.
+        in another thread aborts with :class:`EngineError`.  Closing
+        an already-closed engine is a no-op.
         """
+        already_closed = self._closed and self._pool is None
         self._closed = True
+        if already_closed:
+            return
         self._abandon_pool()
         self._workspace.release()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (until the next :meth:`run`)."""
+        return self._closed
 
     def __enter__(self) -> "PricingEngine":
         return self
@@ -244,6 +272,10 @@ class PricingEngine:
         the implied-vol bracketing that probes for ``FinanceError`` —
         keep their exception contract.  Use :meth:`run` for the
         fault-tolerant NaN-plus-:class:`FailureRecord` semantics.
+
+        Migration: new code should prefer the façade
+        :func:`repro.api.price`, which wraps this method with the
+        keyword-only signature shared by every pricing front end.
         """
         result = self.run(options, steps)
         if result.failures:
@@ -293,34 +325,63 @@ class PricingEngine:
                 self.config.min_chunk_options, self.config.workers,
             ))
 
-        prices = np.empty(len(options), dtype=np.float64)
-        counters = ReliabilityCounters()
-        failures: "list[FailureRecord]" = []
-        if self.config.workers == 1 or len(chunks) == 1:
-            peak_tile_bytes = self._run_serial(chunks, prices, counters,
-                                               failures)
-        else:
-            peak_tile_bytes = self._run_pool(chunks, prices, counters,
-                                             failures)
-
         tree_nodes = sum(
             len(indices) * (nodes_per_option(s) + s + 1)
             for s, (indices, _) in groups.items()
         )
-        stats = EngineStats(
-            options=len(options),
-            tree_nodes=tree_nodes,
-            groups=len(groups),
-            chunks=len(chunks),
+
+        metrics = RunMetrics()
+        metrics.options.inc(len(options))
+        metrics.tree_nodes.inc(tree_nodes)
+        metrics.groups.inc(len(groups))
+        metrics.chunks.inc(len(chunks))
+
+        run_span = self.tracer.start_span(
+            "engine.run", "run",
+            kernel=self.kernel, profile=self.profile.name,
+            family=self.family.value, workers=self.config.workers,
+            options=len(options), chunks=len(chunks), groups=len(groups),
+        )
+        group_spans: "dict[int, object]" = {}
+        if self.tracer.enabled:
+            for group_steps, (indices, _) in sorted(groups.items()):
+                group_spans[group_steps] = run_span.child(
+                    f"group[steps={group_steps}]", "group",
+                    steps=group_steps, options=len(indices),
+                )
+
+        prices = np.empty(len(options), dtype=np.float64)
+        failures: "list[FailureRecord]" = []
+        try:
+            if self.config.workers == 1 or len(chunks) == 1:
+                peak_tile_bytes = self._run_serial(
+                    chunks, prices, metrics, failures, group_spans)
+            else:
+                peak_tile_bytes = self._run_pool(
+                    chunks, prices, metrics, failures, group_spans)
+        except BaseException:
+            run_span.set(status="aborted")
+            raise
+        finally:
+            for span in group_spans.values():
+                span.end()
+            run_span.end()
+
+        wall_time_s = time.perf_counter() - wall_start
+        stats = EngineStats.from_run(
+            metrics,
             workers=self.config.workers,
-            wall_time_s=time.perf_counter() - wall_start,
+            wall_time_s=wall_time_s,
             cpu_time_s=time.process_time() - cpu_start,
             peak_tile_bytes=peak_tile_bytes,
-            retries=counters.retries,
-            timeouts=counters.timeouts,
-            pool_rebuilds=counters.pool_rebuilds,
-            degraded_to_serial=counters.degraded_to_serial,
-            quarantined_options=counters.quarantined_options,
+        )
+        metrics.finalise(wall_time_s, stats.options_per_second,
+                         stats.tree_nodes_per_second, peak_tile_bytes)
+        metrics.publish()
+        run_span.set(
+            wall_time_s=wall_time_s,
+            options_per_second=round(stats.options_per_second, 3),
+            quarantined_options=stats.quarantined_options,
         )
         return EngineResult(
             prices=prices,
@@ -339,76 +400,122 @@ class PricingEngine:
         )
 
     def _run_serial(self, chunks: Sequence[Chunk], out: np.ndarray,
-                    counters: ReliabilityCounters,
-                    failures: "list[FailureRecord]") -> int:
+                    metrics: RunMetrics,
+                    failures: "list[FailureRecord]",
+                    group_spans: dict) -> int:
         for chunk in chunks:
-            self._price_reliably(chunk, out, counters, failures,
-                                 self._serial_attempt)
+            self._price_reliably(chunk, out, metrics, failures,
+                                 self._serial_attempt, group_spans)
         return self._workspace.peak_bytes
 
+    def _open_chunk_span(self, chunk: Chunk, group_spans: dict,
+                         parent=None):
+        """Start a chunk span under its group (or the given parent)."""
+        if not self.tracer.enabled:
+            return NULL_SPAN
+        if parent is None:
+            parent = group_spans.get(chunk.steps, NULL_SPAN)
+        return parent.child(
+            f"chunk[{chunk.indices[0]}+{len(chunk)}]", "chunk",
+            first_index=chunk.indices[0], options=len(chunk),
+            steps=chunk.steps,
+        )
+
     def _price_reliably(self, chunk: Chunk, out: np.ndarray,
-                        counters: ReliabilityCounters,
+                        metrics: RunMetrics,
                         failures: "list[FailureRecord]",
                         attempt_fn: "Callable[[Chunk, int], np.ndarray]",
+                        group_spans: dict,
+                        span=None,
                         ) -> None:
         """Retry -> quarantine driver for one chunk (serial execution)."""
         key = f"chunk:{chunk.indices[0]}+{len(chunk)}"
+        if span is None:
+            span = self._open_chunk_span(chunk, group_spans)
         last_error: "Exception | None" = None
         attempts_spent = 0
         for attempt in range(self.config.max_retries + 1):
             self._check_open()
             if attempt > 0:
-                counters.retries += 1
+                metrics.retries.inc()
+                span.annotate("retry", attempt=attempt,
+                              error=type(last_error).__name__)
                 delay = self._policy.backoff_s(key, attempt - 1)
                 if delay > 0.0:
                     time.sleep(delay)
             attempts_spent = attempt + 1
+            attempt_span = span.child(f"attempt-{attempt}", "attempt",
+                                      attempt=attempt, mode="serial")
+            attempt_start = time.perf_counter()
             try:
                 chunk_prices = attempt_fn(chunk, attempt)
             except FinanceError as exc:
                 # deterministic bad input: retrying cannot help, go
                 # straight to quarantine to isolate the culprit
+                attempt_span.set(error=type(exc).__name__,
+                                 status="error").end()
                 last_error = exc
                 break
             except ReproError as exc:
+                attempt_span.set(error=type(exc).__name__,
+                                 status="error").end()
                 last_error = exc
                 continue
             except Exception as exc:  # bare worker exception -> taxonomy
+                attempt_span.set(error=type(exc).__name__,
+                                 status="error").end()
                 last_error = EngineError(
                     f"chunk worker raised {type(exc).__name__}: {exc}")
                 continue
+            attempt_span.end()
+            metrics.chunk_latency.observe(time.perf_counter() - attempt_start)
             bad = ~np.isfinite(chunk_prices)
             if bad.any():
                 last_error = PoisonChunkError(
                     f"chunk produced {int(bad.sum())} non-finite price(s)")
                 continue
             out[list(chunk.indices)] = chunk_prices
+            span.end()
             return
-        self._quarantine(chunk, out, counters, failures, attempt_fn,
-                         last_error, attempts_spent)
+        self._quarantine(chunk, out, metrics, failures, attempt_fn,
+                         last_error, attempts_spent, group_spans, span)
 
     def _quarantine(self, chunk: Chunk, out: np.ndarray,
-                    counters: ReliabilityCounters,
+                    metrics: RunMetrics,
                     failures: "list[FailureRecord]",
                     attempt_fn, error: "Exception | None",
-                    attempts_spent: int) -> None:
+                    attempts_spent: int, group_spans: dict, span) -> None:
         """Bisect a poison chunk until single failing options isolate."""
         if len(chunk) == 1:
-            self._record_failure(chunk, out, counters, failures, error,
-                                 attempts_spent)
+            self._record_failure(chunk, out, metrics, failures, error,
+                                 attempts_spent, span)
+            span.end()
             return
+        span.annotate("quarantine-split",
+                      error=type(error).__name__ if error else "unknown")
         for piece in split_chunk(chunk):
-            self._price_reliably(piece, out, counters, failures, attempt_fn)
+            # bisection halves trace as chunk spans *under* the failed
+            # chunk, so the quarantine tree is visible in the dump
+            piece_span = self._open_chunk_span(piece, group_spans,
+                                               parent=span)
+            self._price_reliably(piece, out, metrics, failures, attempt_fn,
+                                 group_spans, span=piece_span)
+        span.end()
 
     @staticmethod
     def _record_failure(chunk: Chunk, out: np.ndarray,
-                        counters: ReliabilityCounters,
+                        metrics: RunMetrics,
                         failures: "list[FailureRecord]",
                         error: "Exception | None",
-                        attempts_spent: int) -> None:
+                        attempts_spent: int, span) -> None:
         index = chunk.indices[0]
         out[index] = np.nan
-        counters.quarantined_options += 1
+        metrics.quarantined_options.inc()
+        span.annotate(
+            "quarantined", index=index,
+            error=type(error).__name__ if error is not None else "EngineError",
+            attempts=attempts_spent,
+        )
         failures.append(FailureRecord(
             index=index,
             error=type(error).__name__ if error is not None else "EngineError",
@@ -417,9 +524,22 @@ class PricingEngine:
             exception=error,
         ))
 
+    def _span_context(self, chunk: Chunk, attempt: int,
+                      ) -> "SpanContext | None":
+        """Identity the pool worker tags its spans with (or ``None``)."""
+        if not self.tracer.enabled:
+            return None
+        return SpanContext(
+            trace_id=self.tracer.trace_id,
+            path=("engine.run", f"group[steps={chunk.steps}]",
+                  f"chunk[{chunk.indices[0]}+{len(chunk)}]",
+                  f"attempt-{attempt}"),
+        )
+
     def _run_pool(self, chunks: Sequence[Chunk], out: np.ndarray,
-                  counters: ReliabilityCounters,
-                  failures: "list[FailureRecord]") -> int:
+                  metrics: RunMetrics,
+                  failures: "list[FailureRecord]",
+                  group_spans: dict) -> int:
         """Fan chunks over the pool in waves, absorbing failures.
 
         Happy path: one wave — submit everything, gather everything,
@@ -428,94 +548,142 @@ class PricingEngine:
         once retries are spent); a pool-level failure (crashed worker,
         hung chunk) costs the breaker — one rebuild, then degradation
         to the serial path for whatever work remains.
+
+        Chunk spans live on the parent side, keyed by the chunk's
+        indices so retries re-enter the same span as new attempt
+        children; each gathered :class:`ChunkReport` feeds the latency
+        histogram and (when tracing) carries the worker's serialised
+        spans, which are adopted under the dispatching attempt span.
         """
         breaker = CircuitBreaker(rebuild_limit=1)
         queue: "deque[tuple[Chunk, int]]" = deque(
             (chunk, 0) for chunk in chunks)
+        chunk_spans: "dict[tuple[int, ...], object]" = {}
+
+        def span_for(chunk: Chunk):
+            if not self.tracer.enabled:
+                return NULL_SPAN
+            span = chunk_spans.get(chunk.indices)
+            if span is None:
+                span = self._open_chunk_span(chunk, group_spans)
+                chunk_spans[chunk.indices] = span
+            return span
 
         while queue:
             self._check_open()
             if breaker.open:
-                counters.degraded_to_serial = 1
+                metrics.degraded_to_serial.inc()
                 while queue:
                     chunk, _ = queue.popleft()
-                    self._price_reliably(chunk, out, counters, failures,
-                                         self._serial_attempt)
+                    span = chunk_spans.pop(chunk.indices, None)
+                    if span is not None:
+                        span.annotate("degraded-to-serial")
+                    self._price_reliably(chunk, out, metrics, failures,
+                                         self._serial_attempt, group_spans,
+                                         span=span)
                 break
             pool = self._ensure_pool()
             wave = list(queue)
             queue.clear()
-            futures = [
-                (pool.submit(
-                    price_chunk, self.kernel, chunk.options, chunk.steps,
-                    self.profile.name, self.family.value,
-                    indices=chunk.indices, faults=self.faults,
-                    attempt=attempt, in_pool=True,
-                ), chunk, attempt)
-                for chunk, attempt in wave
-            ]
+            futures = []
+            for chunk, attempt in wave:
+                chunk_span = span_for(chunk)
+                attempt_span = chunk_span.child(
+                    f"attempt-{attempt}", "attempt",
+                    attempt=attempt, mode="pool")
+                futures.append((
+                    pool.submit(
+                        price_chunk_observed, self.kernel, chunk.options,
+                        chunk.steps, self.profile.name, self.family.value,
+                        indices=chunk.indices, faults=self.faults,
+                        attempt=attempt, in_pool=True,
+                        span_context=self._span_context(chunk, attempt),
+                    ), chunk, attempt, attempt_span))
             pool_failed = False
             next_delay = 0.0
-            for future, chunk, attempt in futures:
+            for future, chunk, attempt, attempt_span in futures:
                 if pool_failed:
                     # the pool is already being abandoned: requeue
                     # without consuming one of this chunk's attempts
                     future.cancel()
+                    attempt_span.annotate("cancelled").end()
                     queue.append((chunk, attempt))
                     continue
                 try:
-                    chunk_prices = future.result(
+                    chunk_prices, report = future.result(
                         timeout=self._policy.chunk_timeout_s)
                 except _FutureTimeout:
-                    counters.timeouts += 1
+                    attempt_span.set(error="ChunkTimeoutError",
+                                     status="error").end()
+                    metrics.timeouts.inc()
                     pool_failed = True
                     next_delay = max(next_delay, self._handle_chunk_failure(
                         chunk, attempt, ChunkTimeoutError(
                             f"chunk of {len(chunk)} options exceeded the "
                             f"{self._policy.chunk_timeout_s}s deadline"),
-                        queue, out, counters, failures))
+                        queue, out, metrics, failures, span_for(chunk)))
                     continue
                 except BrokenProcessPool as exc:
+                    attempt_span.set(error="WorkerCrashError",
+                                     status="error").end()
                     pool_failed = True
                     next_delay = max(next_delay, self._handle_chunk_failure(
                         chunk, attempt, WorkerCrashError(
                             f"worker process died while pricing a chunk of "
                             f"{len(chunk)} options: {exc}"),
-                        queue, out, counters, failures))
+                        queue, out, metrics, failures, span_for(chunk)))
                     continue
                 except FinanceError as exc:
                     # deterministic bad input: skip retries, bisect now
+                    attempt_span.set(error=type(exc).__name__,
+                                     status="error").end()
                     next_delay = max(next_delay, self._handle_chunk_failure(
                         chunk, self.config.max_retries, exc,
-                        queue, out, counters, failures))
+                        queue, out, metrics, failures, span_for(chunk)))
                     continue
                 except ReproError as exc:
+                    attempt_span.set(error=type(exc).__name__,
+                                     status="error").end()
                     next_delay = max(next_delay, self._handle_chunk_failure(
-                        chunk, attempt, exc, queue, out, counters, failures))
+                        chunk, attempt, exc, queue, out, metrics, failures,
+                        span_for(chunk)))
                     continue
                 except Exception as exc:
+                    attempt_span.set(error=type(exc).__name__,
+                                     status="error").end()
                     next_delay = max(next_delay, self._handle_chunk_failure(
                         chunk, attempt, EngineError(
                             f"chunk worker raised {type(exc).__name__}: "
                             f"{exc}"),
-                        queue, out, counters, failures))
+                        queue, out, metrics, failures, span_for(chunk)))
                     continue
+                metrics.chunk_latency.observe(report.duration_s)
+                attempt_span.adopt(report.spans)
+                attempt_span.set(worker_pid=report.pid,
+                                 worker_seconds=round(report.duration_s, 6))
+                attempt_span.end()
                 bad = ~np.isfinite(chunk_prices)
                 if bad.any():
                     next_delay = max(next_delay, self._handle_chunk_failure(
                         chunk, attempt, PoisonChunkError(
                             f"chunk produced {int(bad.sum())} non-finite "
                             f"price(s)"),
-                        queue, out, counters, failures))
+                        queue, out, metrics, failures, span_for(chunk)))
                     continue
                 out[list(chunk.indices)] = chunk_prices
+                span = chunk_spans.pop(chunk.indices, None)
+                if span is not None:
+                    span.end()
             if pool_failed:
                 breaker.record_failure()
                 self._abandon_pool()
                 if not breaker.open:
-                    counters.pool_rebuilds += 1
+                    metrics.pool_rebuilds.inc()
             if next_delay > 0.0 and queue:
                 time.sleep(next_delay)
+
+        for span in chunk_spans.values():
+            span.end()
 
         if self.kernel == "reference":
             pool_peak = 0
@@ -530,8 +698,9 @@ class PricingEngine:
                               error: Exception,
                               queue: "deque[tuple[Chunk, int]]",
                               out: np.ndarray,
-                              counters: ReliabilityCounters,
-                              failures: "list[FailureRecord]") -> float:
+                              metrics: RunMetrics,
+                              failures: "list[FailureRecord]",
+                              span) -> float:
         """Requeue a failed chunk (pool mode); returns the backoff delay.
 
         Retries re-enter the wave queue with ``attempt + 1``; once the
@@ -541,13 +710,18 @@ class PricingEngine:
         """
         key = f"chunk:{chunk.indices[0]}+{len(chunk)}"
         if attempt < self.config.max_retries:
-            counters.retries += 1
+            metrics.retries.inc()
+            span.annotate("retry", attempt=attempt + 1,
+                          error=type(error).__name__)
             queue.append((chunk, attempt + 1))
             return self._policy.backoff_s(key, attempt)
         if len(chunk) == 1:
-            self._record_failure(chunk, out, counters, failures, error,
-                                 attempt + 1)
+            self._record_failure(chunk, out, metrics, failures, error,
+                                 attempt + 1, span)
+            span.end()
             return 0.0
+        span.annotate("quarantine-split", error=type(error).__name__)
+        span.end()
         queue.extend((piece, 0) for piece in split_chunk(chunk))
         return 0.0
 
@@ -562,4 +736,5 @@ class PricingEngine:
             f"retries<={self.config.max_retries} / timeout={timeout} / "
             f"backoff={self.config.backoff_base_s:g}s"
             + (" / faults=injected" if self.faults is not None else "")
+            + (" / traced" if self.tracer.enabled else "")
         )

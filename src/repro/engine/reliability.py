@@ -139,10 +139,13 @@ class CircuitBreaker:
 
 @dataclass
 class ReliabilityCounters:
-    """Mutable accumulator for the run's reliability statistics.
+    """Mutable accumulator for reliability statistics.
 
-    Folded into the frozen :class:`~repro.engine.stats.EngineStats`
-    when the run completes.
+    Superseded: since the observability layer the engine counts
+    directly into a run-scoped
+    :class:`~repro.engine.stats.RunMetrics` registry and derives
+    :class:`~repro.engine.stats.EngineStats` from it.  Kept for
+    external callers that used it as a plain tally object.
     """
 
     retries: int = 0
@@ -159,12 +162,15 @@ def retry_call(
     retry_on: "tuple[type[BaseException], ...]" = (Exception,),
     sleep: Callable[[float], None] = time.sleep,
     on_retry: "Callable[[int, BaseException], None] | None" = None,
+    span=None,
 ):
     """Call ``fn`` with the policy's retry/backoff schedule.
 
     Retries only exceptions matching ``retry_on``; the final failure
     propagates unchanged.  ``on_retry(attempt, exc)`` observes each
-    retry (used by tests and by callers keeping counters).
+    retry (used by tests and by callers keeping counters), and a
+    :class:`~repro.obs.trace.Span` passed as ``span`` receives one
+    timestamped ``retry`` annotation per re-attempt.
     """
     for attempt in range(policy.max_retries + 1):
         try:
@@ -174,6 +180,9 @@ def retry_call(
                 raise
             if on_retry is not None:
                 on_retry(attempt, exc)
+            if span is not None:
+                span.annotate("retry", attempt=attempt + 1,
+                              error=type(exc).__name__)
             delay = policy.backoff_s(key, attempt)
             if delay > 0.0:
                 sleep(delay)

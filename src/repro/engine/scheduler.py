@@ -30,16 +30,20 @@ from typing import Sequence
 
 import numpy as np
 
+import os
+import time
+
 from ..core.batch_sim import simulate_kernel_a_batch, simulate_kernel_b_batch
 from ..core.faithful_math import get_profile
 from ..errors import ReproError
 from ..finance.binomial import price_binomial
 from ..finance.lattice import LatticeFamily
 from ..finance.options import Option
+from ..obs.trace import SpanContext, _worker_record
 from .workspace import Workspace, kernel_tile_bytes
 
-__all__ = ["Chunk", "KERNELS", "group_stream", "plan_chunks", "price_chunk",
-           "split_chunk"]
+__all__ = ["Chunk", "ChunkReport", "KERNELS", "group_stream", "plan_chunks",
+           "price_chunk", "price_chunk_observed", "split_chunk"]
 
 #: Kernels the engine can schedule: the two paper accelerators plus
 #: the reference software pricer (per-option backward induction).
@@ -62,6 +66,22 @@ class Chunk:
 
     def __len__(self) -> int:
         return len(self.options)
+
+
+@dataclass(frozen=True)
+class ChunkReport:
+    """Worker-side observation of one pricing attempt.
+
+    Travels back over the pool boundary next to the prices: the
+    measured attempt latency always (it feeds the
+    ``repro_engine_chunk_latency_seconds`` histogram), plus the
+    worker's serialised spans when the parent sent a
+    :class:`~repro.obs.trace.SpanContext` (tracing enabled).
+    """
+
+    duration_s: float
+    pid: int
+    spans: "tuple[dict, ...]" = ()
 
 
 def group_stream(
@@ -216,3 +236,52 @@ def price_chunk(
     if faults is not None and indices is not None:
         prices = faults.corrupt_prices(indices, attempt, prices)
     return prices
+
+
+def price_chunk_observed(
+    kernel: str,
+    options: Sequence[Option],
+    steps: int,
+    profile_name,
+    family_value: str,
+    indices: "Sequence[int] | None" = None,
+    faults=None,
+    attempt: int = 0,
+    in_pool: bool = True,
+    workspace: "Workspace | None" = None,
+    span_context: "SpanContext | None" = None,
+) -> "tuple[np.ndarray, ChunkReport]":
+    """Price one chunk and report what the worker saw.
+
+    The observed twin of :func:`price_chunk`, and what the engine's
+    pool path actually submits: same pricing, same exceptions, but the
+    return value carries a :class:`ChunkReport` with the measured
+    attempt latency and — when ``span_context`` says the parent is
+    tracing — the worker's spans, serialised so they survive the
+    :class:`~concurrent.futures.ProcessPoolExecutor` boundary and can
+    be re-attached under the parent's chunk span
+    (:meth:`repro.obs.trace.Span.adopt`).  Timestamps are
+    CLOCK_MONOTONIC, which is system-wide on Linux, so worker spans
+    mesh onto the parent's timeline directly.
+    """
+    span = _worker_record(
+        span_context, f"worker:{kernel}", "worker",
+        options=len(options), steps=steps, attempt=attempt,
+        pid=os.getpid(),
+    )
+    start = time.perf_counter()
+    try:
+        with span:
+            prices = price_chunk(
+                kernel, options, steps, profile_name, family_value,
+                indices=indices, faults=faults, attempt=attempt,
+                in_pool=in_pool, workspace=workspace,
+            )
+    finally:
+        duration_s = time.perf_counter() - start
+    report = ChunkReport(
+        duration_s=duration_s,
+        pid=os.getpid(),
+        spans=(span.end().as_dict(),) if span_context is not None else (),
+    )
+    return prices, report

@@ -1,4 +1,4 @@
-"""Execution statistics of one engine run.
+"""Execution statistics of one engine run, derived from metrics.
 
 The paper's Table II measures accelerators in options/s and tree
 nodes/s; :class:`EngineStats` reports the same units for the *host*
@@ -6,6 +6,17 @@ engine (plus scheduling detail: chunk count, tile footprint, wall and
 CPU time), and converts into the existing
 :class:`~repro.core.metrics.PerformanceRow` machinery so engine
 measurements can sit in the same tables as the modeled devices.
+
+Since the observability layer (PR 3) the counters are no longer ad-hoc
+attributes threaded through the engine: every run counts into a
+run-scoped :class:`~repro.obs.metrics.MetricsRegistry`
+(:class:`RunMetrics`), the frozen :class:`EngineStats` is a *snapshot
+derived from that registry* (:meth:`EngineStats.from_run`), and the
+run's registry is then merged into the process-wide registry
+(:func:`repro.obs.metrics.get_registry`) for Prometheus export.  The
+snapshot keys — :data:`repro.obs.keys.STATS_KEYS` — are the one stable
+snake_case schema shared with the bench-engine JSON (see
+``docs/stats_schema.md``).
 """
 
 from __future__ import annotations
@@ -13,8 +24,81 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.metrics import PerformanceRow
+from ..obs import keys
+from ..obs.metrics import MetricsRegistry, get_registry
 
-__all__ = ["EngineStats"]
+__all__ = ["EngineStats", "RunMetrics"]
+
+
+class RunMetrics:
+    """Run-scoped metrics the engine counts into while pricing.
+
+    One is created per :meth:`PricingEngine.run`; the cached metric
+    handles keep the hot path to one method call per event.  When the
+    run completes, :meth:`publish` folds the registry into the
+    process-wide one and :meth:`EngineStats.from_run` freezes the
+    snapshot the caller receives.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        reg = self.registry
+        self.options = reg.counter(
+            keys.OPTIONS_PRICED_TOTAL, "Options priced by the engine")
+        self.tree_nodes = reg.counter(
+            keys.TREE_NODES_TOTAL,
+            "Tree-node updates performed (the paper's throughput unit)")
+        self.groups = reg.counter(
+            keys.GROUPS_TOTAL, "Homogeneous (steps, family, profile) groups")
+        self.chunks = reg.counter(
+            keys.CHUNKS_TOTAL, "Chunks planned by the scheduler")
+        self.retries = reg.counter(
+            keys.RETRIES_TOTAL, "Chunk attempts re-dispatched after a failure")
+        self.timeouts = reg.counter(
+            keys.TIMEOUTS_TOTAL, "Chunk attempts that overran chunk_timeout_s")
+        self.pool_rebuilds = reg.counter(
+            keys.POOL_REBUILDS_TOTAL,
+            "Worker-pool teardowns followed by a rebuild")
+        self.degraded_to_serial = reg.counter(
+            keys.DEGRADED_TO_SERIAL_TOTAL,
+            "Runs whose circuit breaker opened (rest of batch ran serial)")
+        self.quarantined_options = reg.counter(
+            keys.QUARANTINED_OPTIONS_TOTAL,
+            "Options isolated by quarantine bisection (NaN + FailureRecord)")
+        self.chunk_latency = reg.histogram(
+            keys.CHUNK_LATENCY_SECONDS,
+            "Wall-clock latency of completed chunk pricing attempts")
+        self.run_wall = reg.histogram(
+            keys.RUN_WALL_SECONDS,
+            "End-to-end wall time of engine runs",
+            buckets=(0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0))
+        # Seed a zero sample in every counter so a clean run still
+        # exposes retries_total/quarantined_options_total = 0 in the
+        # Prometheus text (absent-vs-zero is ambiguous to scrapers).
+        for handle in (self.options, self.tree_nodes, self.groups,
+                       self.chunks, self.retries, self.timeouts,
+                       self.pool_rebuilds, self.degraded_to_serial,
+                       self.quarantined_options):
+            handle.inc(0.0)
+
+    def finalise(self, wall_time_s: float, options_per_second: float,
+                 tree_nodes_per_second: float, peak_tile_bytes: int) -> None:
+        """Record the run-level gauges once the clock has stopped."""
+        reg = self.registry
+        self.run_wall.observe(wall_time_s)
+        reg.gauge(keys.OPTIONS_PER_SECOND,
+                  "Throughput of the most recent engine run"
+                  ).set(options_per_second)
+        reg.gauge(keys.TREE_NODES_PER_SECOND,
+                  "Node-update throughput of the most recent engine run"
+                  ).set(tree_nodes_per_second)
+        reg.gauge(keys.PEAK_TILE_BYTES,
+                  "Workspace high-water mark of the largest worker"
+                  ).set(peak_tile_bytes)
+
+    def publish(self) -> None:
+        """Merge this run's registry into the process-wide registry."""
+        get_registry().merge(self.registry)
 
 
 @dataclass(frozen=True)
@@ -60,6 +144,26 @@ class EngineStats:
     degraded_to_serial: int = 0
     quarantined_options: int = 0
 
+    @classmethod
+    def from_run(cls, metrics: RunMetrics, *, workers: int,
+                 wall_time_s: float, cpu_time_s: float,
+                 peak_tile_bytes: int) -> "EngineStats":
+        """Freeze a run's registry into the public snapshot.
+
+        The count fields are read back through
+        :data:`repro.obs.keys.STATS_TO_METRIC`, so a counter the
+        engine forgot to wire shows up as a zero here and fails the
+        schema test — the registry is the single source of truth.
+        """
+        registry = metrics.registry
+        counts = {
+            stat: int(registry.value(metric))
+            for stat, metric in keys.STATS_TO_METRIC.items()
+        }
+        return cls(workers=workers, wall_time_s=wall_time_s,
+                   cpu_time_s=cpu_time_s, peak_tile_bytes=peak_tile_bytes,
+                   **counts)
+
     @property
     def options_per_second(self) -> float:
         """Measured batch throughput (the paper's headline unit)."""
@@ -95,42 +199,26 @@ class EngineStats:
     @property
     def reliability_counters(self) -> dict:
         """The fault-tolerance counters as a name->count mapping."""
-        return {
-            "retries": self.retries,
-            "timeouts": self.timeouts,
-            "pool_rebuilds": self.pool_rebuilds,
-            "degraded_to_serial": self.degraded_to_serial,
-            "quarantined_options": self.quarantined_options,
-        }
+        return {name: getattr(self, name) for name in keys.RELIABILITY_KEYS}
 
     def describe(self) -> str:
-        """One-line run summary including the reliability counters."""
-        flagged = {name: count
-                   for name, count in self.reliability_counters.items()
-                   if count}
-        reliability = (
-            " / ".join(f"{name}={count}" for name, count in flagged.items())
-            if flagged else "clean"
-        )
-        return (
-            f"{self.options} options in {self.chunks} chunks / "
-            f"{self.workers} workers / "
-            f"{self.options_per_second:,.0f} options/s / "
-            f"reliability: {reliability}"
-        )
+        """One-line ``key=value`` summary in the canonical schema order.
+
+        Keys are exactly :data:`repro.obs.keys.STATS_KEYS` — the same
+        names, in the same order, as :meth:`as_dict` and the
+        bench-engine JSON.
+        """
+        snapshot = self.as_dict()
+        parts = []
+        for key in keys.STATS_KEYS:
+            value = snapshot[key]
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.6g}")
+            else:
+                parts.append(f"{key}={value}")
+        return " ".join(parts)
 
     def as_dict(self) -> dict:
-        """JSON-ready form (used by the benchmark harness)."""
-        return {
-            "options": self.options,
-            "tree_nodes": self.tree_nodes,
-            "groups": self.groups,
-            "chunks": self.chunks,
-            "workers": self.workers,
-            "wall_time_s": self.wall_time_s,
-            "cpu_time_s": self.cpu_time_s,
-            "peak_tile_bytes": self.peak_tile_bytes,
-            "options_per_second": self.options_per_second,
-            "tree_nodes_per_second": self.tree_nodes_per_second,
-            **self.reliability_counters,
-        }
+        """JSON-ready snapshot: :data:`~repro.obs.keys.STATS_KEYS`, in
+        order (used by the benchmark harness and the trace exporter)."""
+        return {key: getattr(self, key) for key in keys.STATS_KEYS}

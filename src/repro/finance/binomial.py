@@ -22,6 +22,7 @@ Table II reports a single-precision software reference row whose RMSE
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -157,25 +158,43 @@ def price_binomial_batch(
 ) -> np.ndarray:
     """Price many options; returns an array of root values.
 
+    .. deprecated:: 1.0
+        Superseded by the façade :func:`repro.api.price`, which routes
+        every pricing front end through one signature.  This wrapper
+        delegates there (values are unchanged) and will keep working,
+        but new code should migrate:
+
+        ==========================================  =====================================
+        Before                                      After
+        ==========================================  =====================================
+        ``price_binomial_batch(opts, steps=N)``     ``repro.price(opts, steps=N).prices``
+        ``price_binomial_batch(..., workers=4)``    ``repro.price(opts, steps=N,``
+                                                    ``            workers=4).prices``
+        ``price_binomial_batch(...,``               ``repro.price(opts, steps=N,``
+        ``    dtype=np.float32)``                   ``    precision="single").prices``
+        ==========================================  =====================================
+
     The paper's workload unit is a batch of 2 000 options (one implied
     volatility curve); this helper is the reference answer for batch
-    accuracy comparisons.  Batches are scheduled through the
-    :class:`~repro.engine.PricingEngine` (``workers > 1`` fans chunks
-    over a process pool); each option is still priced by
+    accuracy comparisons.  Each option is still priced by
     :func:`price_binomial`, so values are unchanged.
     """
+    warnings.warn(
+        "price_binomial_batch is superseded by repro.api.price(...); "
+        "see the migration table in its docstring",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     options = list(options)
     if not options:
         return np.empty(0, dtype=np.float64)
     _validate_steps(steps)
-    # Imported here: the engine depends on this module.
-    from ..core.faithful_math import EXACT_DOUBLE, EXACT_SINGLE
-    from ..engine import EngineConfig, PricingEngine
+    # Imported here: the façade depends on this package.
+    from ..api import price
 
-    profile = EXACT_SINGLE if np.dtype(dtype) == np.float32 else EXACT_DOUBLE
-    with PricingEngine(kernel="reference", profile=profile, family=family,
-                       config=EngineConfig(workers=workers)) as engine:
-        return engine.price(options, steps)
+    precision = "single" if np.dtype(dtype) == np.float32 else "double"
+    return price(options, steps=steps, kernel="reference", family=family,
+                 precision=precision, workers=workers).prices
 
 
 def exercise_boundary(

@@ -1,0 +1,195 @@
+"""Exporters: JSON span dumps, Prometheus text, rendered timelines.
+
+Three views of the same observed run:
+
+* :func:`trace_document` / :func:`write_trace` — the span forest as a
+  JSON document (``repro-trace/v1``), the machine-readable artifact
+  CI uploads next to the benchmark JSON;
+* :func:`write_metrics` — the metrics registry in Prometheus text
+  exposition format (parses with
+  :func:`repro.obs.metrics.parse_prometheus`);
+* :func:`render_span_tree` and :func:`render_queue_timeline` — human
+  views: an indented tree with durations, and the per-engine lane
+  Gantt of simulated queue commands reusing
+  :func:`repro.core.trace.render_timeline` — the temporal counterpart
+  of the paper's Figure 3/4 dataflow diagrams.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import ReproError
+from ..opencl.profiling import Event
+from ..opencl.types import CommandType
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "trace_document",
+    "write_trace",
+    "write_metrics",
+    "render_span_tree",
+    "queue_spans_to_events",
+    "render_queue_timeline",
+    "chunk_span_seconds",
+]
+
+#: Version tag of the JSON trace document.
+TRACE_SCHEMA = "repro-trace/v1"
+
+#: Span kind the simulated command queue emits (see
+#: :meth:`repro.opencl.queue.CommandQueue.attach_span`).
+QUEUE_COMMAND_KIND = "queue-command"
+
+
+def trace_document(tracer: Tracer) -> dict:
+    """Serialise a tracer's span forest into the JSON trace document."""
+    return {
+        "schema": TRACE_SCHEMA,
+        "trace_id": tracer.trace_id,
+        "spans": tracer.as_dicts(),
+    }
+
+
+def write_trace(tracer: Tracer, path: "str | Path") -> Path:
+    """Write the JSON trace document to ``path`` (pretty-printed)."""
+    path = Path(path)
+    path.write_text(json.dumps(trace_document(tracer), indent=2) + "\n")
+    return path
+
+
+def write_metrics(registry: MetricsRegistry, path: "str | Path") -> Path:
+    """Write the registry in Prometheus text format to ``path``."""
+    path = Path(path)
+    path.write_text(registry.render_prometheus())
+    return path
+
+
+# -- human-readable views --------------------------------------------------
+
+
+def _format_attrs(attrs: dict, limit: int = 4) -> str:
+    if not attrs:
+        return ""
+    shown = list(attrs.items())[:limit]
+    inner = ", ".join(f"{k}={v}" for k, v in shown)
+    if len(attrs) > limit:
+        inner += ", ..."
+    return f" [{inner}]"
+
+
+def render_span_tree(span: dict, indent: str = "", max_children: int = 8,
+                     ) -> str:
+    """Render one serialised span tree as an indented text outline.
+
+    Sibling runs of more than ``max_children`` children are elided in
+    the middle (first/last kept), so a 1024-chunk run stays readable.
+    """
+    lines = [
+        f"{indent}{span['kind']}:{span['name']} "
+        f"{span['duration_ns'] / 1e6:.3f} ms"
+        + ("" if span.get("status", "ok") == "ok"
+           else f" !{span['status']}")
+        + _format_attrs(span.get("attrs", {}))
+    ]
+    for t_ns, entry in ((a["t_ns"], a) for a in span.get("annotations", ())):
+        offset_ms = (t_ns - span["start_ns"]) / 1e6
+        lines.append(f"{indent}  @{offset_ms:.3f} ms {entry['message']}"
+                     + _format_attrs(entry.get("attrs", {})))
+    children = span.get("children", ())
+    if len(children) > max_children:
+        head = children[:max_children - 2]
+        tail = children[-1:]
+        elided = len(children) - len(head) - len(tail)
+        shown: "list[dict | None]" = [*head, None, *tail]
+    else:
+        elided, shown = 0, list(children)
+    for child in shown:
+        if child is None:
+            lines.append(f"{indent}  ... {elided} sibling spans elided")
+        else:
+            lines.append(render_span_tree(child, indent + "  ", max_children))
+    return "\n".join(lines)
+
+
+def _iter_queue_spans(span: dict) -> "Iterable[dict]":
+    if span.get("kind") == QUEUE_COMMAND_KIND:
+        yield span
+    for child in span.get("children", ()):
+        yield from _iter_queue_spans(child)
+
+
+def queue_spans_to_events(spans: "Sequence[dict]") -> "list[Event]":
+    """Rebuild profiling :class:`Event` records from queue-command spans.
+
+    Queue-command spans carry the *simulated* clock of the command in
+    their attributes (``sim_start_ns`` / ``sim_end_ns``); the events
+    reconstructed here live on that clock, exactly like the originals
+    in ``CommandQueue.events``, so they feed straight into
+    :func:`repro.core.trace.render_timeline`.
+    """
+    events: "list[Event]" = []
+    for root in spans:
+        for span in _iter_queue_spans(root):
+            attrs = span.get("attrs", {})
+            try:
+                command_type = CommandType(attrs["command"])
+                start = float(attrs["sim_start_ns"])
+                end = float(attrs["sim_end_ns"])
+                queued = float(attrs.get("sim_queued_ns", start))
+            except (KeyError, ValueError) as exc:
+                raise ReproError(
+                    f"queue-command span {span.get('name')!r} is missing "
+                    f"simulated-clock attributes: {exc}") from exc
+            events.append(Event(
+                command_type=command_type,
+                name=span["name"],
+                queued_ns=queued,
+                submit_ns=queued,
+                start_ns=start,
+                end_ns=end,
+                info={k: v for k, v in attrs.items()
+                      if k not in ("command", "sim_start_ns", "sim_end_ns",
+                                   "sim_queued_ns")},
+            ))
+    events.sort(key=lambda e: (e.start_ns, e.end_ns))
+    return events
+
+
+def render_queue_timeline(spans: "Sequence[dict]", width: int = 72,
+                          max_events: "int | None" = None) -> str:
+    """Render the simulated queue lanes of a span forest as a Gantt.
+
+    Reuses the seed-era :func:`repro.core.trace.render_timeline` (DMA
+    lane vs kernel lane over the simulated clock) on the events
+    reconstructed from the trace, so the observability artifact can
+    show the paper's IV.A readback stall without re-running anything.
+    """
+    # Imported here: core.trace sits above opencl in the layer order
+    # and importing it at module load would cycle through repro.core.
+    from ..core.trace import render_timeline
+
+    events = queue_spans_to_events(spans)
+    if not events:
+        raise ReproError("trace contains no queue-command spans to render")
+    return render_timeline(events, width=width, max_events=max_events)
+
+
+def chunk_span_seconds(span: dict) -> float:
+    """Total duration of the chunk spans under one serialised run span.
+
+    The acceptance check for serial runs: chunk spans tile the run, so
+    their sum lands within a few percent of the run span's wall time.
+    """
+    total = 0.0
+    stack = [span]
+    while stack:
+        node = stack.pop()
+        if node.get("kind") == "chunk":
+            total += node["duration_ns"] * 1e-9
+        stack.extend(node.get("children", ()))
+    return total

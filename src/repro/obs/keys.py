@@ -1,0 +1,111 @@
+"""Shared metric names and the stable engine-stats schema.
+
+One place defines every observable name, so the metrics registry, the
+``EngineStats`` snapshot, the bench-engine JSON document and the
+Prometheus export can never drift apart.  ``docs/stats_schema.md``
+documents the schema; ``tests/obs/test_schema.py`` asserts it.
+
+Naming follows the Prometheus conventions: snake_case, a library
+prefix, ``_total`` for counters, ``_seconds``/``_bytes`` units in the
+name.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "STATS_SCHEMA",
+    "STATS_KEYS",
+    "RELIABILITY_KEYS",
+    "CHUNKS_TOTAL",
+    "GROUPS_TOTAL",
+    "OPTIONS_PRICED_TOTAL",
+    "TREE_NODES_TOTAL",
+    "RETRIES_TOTAL",
+    "TIMEOUTS_TOTAL",
+    "POOL_REBUILDS_TOTAL",
+    "DEGRADED_TO_SERIAL_TOTAL",
+    "QUARANTINED_OPTIONS_TOTAL",
+    "CHUNK_LATENCY_SECONDS",
+    "RUN_WALL_SECONDS",
+    "OPTIONS_PER_SECOND",
+    "TREE_NODES_PER_SECOND",
+    "PEAK_TILE_BYTES",
+    "PCIE_BYTES_TOTAL",
+    "PCIE_TRANSFERS_TOTAL",
+    "QUEUE_COMMANDS_TOTAL",
+    "QUEUE_SIMULATED_BUSY_SECONDS",
+    "STATS_TO_METRIC",
+]
+
+#: Version tag of the engine statistics schema (bump on key changes).
+STATS_SCHEMA = "repro-engine-stats/v1"
+
+#: ``EngineStats.as_dict()`` keys, in their one canonical order.  The
+#: bench-engine JSON ``runs`` entries use exactly these keys (plus the
+#: harness-owned ``speedup_vs_baseline``).
+STATS_KEYS = (
+    "options",
+    "tree_nodes",
+    "groups",
+    "chunks",
+    "workers",
+    "wall_time_s",
+    "cpu_time_s",
+    "peak_tile_bytes",
+    "options_per_second",
+    "tree_nodes_per_second",
+    "retries",
+    "timeouts",
+    "pool_rebuilds",
+    "degraded_to_serial",
+    "quarantined_options",
+)
+
+#: The subset of :data:`STATS_KEYS` that counts fault-tolerance events.
+RELIABILITY_KEYS = (
+    "retries",
+    "timeouts",
+    "pool_rebuilds",
+    "degraded_to_serial",
+    "quarantined_options",
+)
+
+# -- engine metrics --------------------------------------------------------
+
+CHUNKS_TOTAL = "repro_engine_chunks_total"
+GROUPS_TOTAL = "repro_engine_groups_total"
+OPTIONS_PRICED_TOTAL = "repro_engine_options_priced_total"
+TREE_NODES_TOTAL = "repro_engine_tree_nodes_total"
+RETRIES_TOTAL = "repro_engine_retries_total"
+TIMEOUTS_TOTAL = "repro_engine_timeouts_total"
+POOL_REBUILDS_TOTAL = "repro_engine_pool_rebuilds_total"
+DEGRADED_TO_SERIAL_TOTAL = "repro_engine_degraded_to_serial_total"
+QUARANTINED_OPTIONS_TOTAL = "repro_engine_quarantined_options_total"
+CHUNK_LATENCY_SECONDS = "repro_engine_chunk_latency_seconds"
+RUN_WALL_SECONDS = "repro_engine_run_wall_seconds"
+OPTIONS_PER_SECOND = "repro_engine_options_per_second"
+TREE_NODES_PER_SECOND = "repro_engine_tree_nodes_per_second"
+PEAK_TILE_BYTES = "repro_engine_peak_tile_bytes"
+
+# -- simulated device-stack metrics ---------------------------------------
+
+PCIE_BYTES_TOTAL = "repro_link_pcie_bytes_total"
+PCIE_TRANSFERS_TOTAL = "repro_link_pcie_transfers_total"
+QUEUE_COMMANDS_TOTAL = "repro_queue_commands_total"
+QUEUE_SIMULATED_BUSY_SECONDS = "repro_queue_simulated_busy_seconds_total"
+
+#: Stats-snapshot key -> the run-scoped metric it is derived from.
+#: ``EngineStats``'s reliability fields are read straight out of the
+#: run's metrics registry through this mapping (the registry is the
+#: source of truth; the dataclass is its frozen snapshot).
+STATS_TO_METRIC = {
+    "groups": GROUPS_TOTAL,
+    "chunks": CHUNKS_TOTAL,
+    "options": OPTIONS_PRICED_TOTAL,
+    "tree_nodes": TREE_NODES_TOTAL,
+    "retries": RETRIES_TOTAL,
+    "timeouts": TIMEOUTS_TOTAL,
+    "pool_rebuilds": POOL_REBUILDS_TOTAL,
+    "degraded_to_serial": DEGRADED_TO_SERIAL_TOTAL,
+    "quarantined_options": QUARANTINED_OPTIONS_TOTAL,
+}

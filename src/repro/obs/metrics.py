@@ -1,0 +1,350 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+The registry is the numeric half of the observability layer (spans are
+the structural half, :mod:`repro.obs.trace`).  It follows the
+Prometheus data model — metric *families* identified by a snake_case
+name, each holding samples distinguished by label sets — and renders
+to the Prometheus text exposition format as well as a JSON-ready dict
+with deterministic key order.
+
+Two registries matter in practice:
+
+* the **process-wide** registry (:func:`get_registry`): the long-lived
+  accumulator the simulated device stack (PCIe link, command queues)
+  and every completed engine run publish into;
+* a **run-scoped** registry each :meth:`PricingEngine.run` creates:
+  the engine counts chunks/retries/latencies there, derives the frozen
+  :class:`~repro.engine.stats.EngineStats` snapshot from it, and then
+  merges it into the process-wide registry — the registry is the
+  source of truth, the dataclass its per-run snapshot.
+
+Counting is cheap (one dict lookup + add per event, and the engine
+counts per *chunk*, not per option), so metrics stay on even when
+tracing is disabled.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Sequence
+
+from ..errors import ReproError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "parse_prometheus",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Chunk-latency histogram buckets (seconds): sub-millisecond tiles up
+#: to multi-second stragglers, then +Inf.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _label_key(labels: dict) -> "tuple[tuple[str, str], ...]":
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_labels(key: "tuple[tuple[str, str], ...]") -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{_escape(value)}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Common behaviour of one metric family."""
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+
+    def sorted_samples(self):
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing count, optionally labelled."""
+
+    metric_type = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: "dict[tuple, float]" = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ReproError(
+                f"counter {self.name} cannot decrease (inc {amount})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set (the unlabelled view)."""
+        return sum(self._values.values())
+
+    def sorted_samples(self):
+        for key in sorted(self._values):
+            yield self.name, key, self._values[key]
+
+    def merge_from(self, other: "Counter") -> None:
+        for key, value in other._values.items():
+            self._values[key] = self._values.get(key, 0.0) + value
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (last write wins on merge)."""
+
+    metric_type = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: "dict[tuple, float]" = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def sorted_samples(self):
+        for key in sorted(self._values):
+            yield self.name, key, self._values[key]
+
+    def merge_from(self, other: "Gauge") -> None:
+        self._values.update(other._values)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    metric_type = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: "Sequence[float]" = DEFAULT_LATENCY_BUCKETS):
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ReproError(f"histogram {self.name} needs at least one bucket")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect.bisect_left(self.bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative_buckets(self) -> "list[tuple[float, int]]":
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        out, running = [], 0
+        for bound, count in zip(self.bounds + (math.inf,), self._counts):
+            running += count
+            out.append((bound, running))
+        return out
+
+    def sorted_samples(self):
+        for bound, cumulative in self.cumulative_buckets():
+            yield (f"{self.name}_bucket",
+                   (("le", _format_value(bound)),), float(cumulative))
+        yield f"{self.name}_sum", (), self._sum
+        yield f"{self.name}_count", (), float(self._count)
+
+    def merge_from(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ReproError(
+                f"histogram {self.name} bucket bounds differ; cannot merge")
+        for i, count in enumerate(other._counts):
+            self._counts[i] += count
+        self._sum += other._sum
+        self._count += other._count
+
+
+class MetricsRegistry:
+    """A named collection of metric families with stable ordering."""
+
+    def __init__(self) -> None:
+        self._metrics: "dict[str, _Metric]" = {}
+
+    # -- registration ------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ReproError(
+                f"metric {name} already registered as "
+                f"{metric.metric_type}, not {cls.metric_type}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: "Sequence[float]" = DEFAULT_LATENCY_BUCKETS,
+                  ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    # -- reading -----------------------------------------------------------
+
+    def get(self, name: str) -> "_Metric | None":
+        return self._metrics.get(name)
+
+    def value(self, name: str, **labels) -> float:
+        """Current value of a counter/gauge sample (0.0 if absent)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0.0
+        if isinstance(metric, Histogram):
+            return float(metric.count)
+        return metric.value(**labels)
+
+    def names(self) -> "list[str]":
+        return sorted(self._metrics)
+
+    def families(self) -> "Iterable[_Metric]":
+        for name in self.names():
+            yield self._metrics[name]
+
+    # -- export ------------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: "list[str]" = []
+        for metric in self.families():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.metric_type}")
+            for sample_name, label_key, value in metric.sorted_samples():
+                lines.append(
+                    f"{sample_name}{_format_labels(label_key)} "
+                    f"{_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot with deterministic ordering."""
+        out: dict = {}
+        for metric in self.families():
+            samples = {
+                (_format_labels(label_key) or "_"): value
+                for _, label_key, value in metric.sorted_samples()
+            }
+            out[metric.name] = {
+                "type": metric.metric_type,
+                "help": metric.help,
+                "samples": samples,
+            }
+        return out
+
+    # -- composition -------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (counters add, gauges overwrite)."""
+        for name in other.names():
+            theirs = other._metrics[name]
+            mine = self._get_or_create(
+                type(theirs), name, theirs.help,
+                **({"buckets": theirs.bounds}
+                   if isinstance(theirs, Histogram) else {}))
+            mine.merge_from(theirs)
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+
+#: The process-wide registry the device stack and engine publish into.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one.
+
+    Tests use this to observe a hermetic registry and restore the old
+    one in a ``finally``.
+    """
+    global _REGISTRY
+    previous, _REGISTRY = _REGISTRY, registry
+    return previous
+
+
+def parse_prometheus(text: str) -> "dict[str, float]":
+    """Parse Prometheus text back into ``{'name{labels}': value}``.
+
+    Supports exactly what :meth:`MetricsRegistry.render_prometheus`
+    emits (one metric per line, ``# HELP`` / ``# TYPE`` comments); used
+    by the round-trip tests and the CI artifact check.
+    """
+    samples: "dict[str, float]" = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            series, value = line.rsplit(" ", 1)
+        except ValueError as exc:
+            raise ReproError(f"unparseable metric line: {line!r}") from exc
+        if value == "+Inf":
+            parsed = math.inf
+        elif value == "-Inf":
+            parsed = -math.inf
+        else:
+            try:
+                parsed = float(value)
+            except ValueError as exc:
+                raise ReproError(
+                    f"unparseable metric value in line: {line!r}") from exc
+        samples[series] = parsed
+    return samples

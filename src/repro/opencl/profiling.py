@@ -49,6 +49,20 @@ class Event:
         """
         return self
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (used by the trace/profiling exporters)."""
+        return {
+            "command": self.command_type.value,
+            "name": self.name,
+            "queued_ns": self.queued_ns,
+            "submit_ns": self.submit_ns,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns,
+            "status": self.status.value,
+            "info": dict(self.info),
+        }
+
     def __repr__(self) -> str:
         return (
             f"Event({self.command_type.value}, {self.name!r}, "

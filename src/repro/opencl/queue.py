@@ -31,6 +31,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import OpenCLError
+# obs submodules are imported directly (not via the repro.obs facade)
+# so the exporter — which imports this package — cannot cycle back.
+from ..obs import keys as obs_keys
+from ..obs.metrics import get_registry
+from ..obs.trace import NULL_SPAN
 from .context import Context
 from .device import Device
 from .executor import execute_ndrange
@@ -40,6 +45,11 @@ from .profiling import Event, TransferLedger, TransferRecord
 from .types import CommandType, MemFlag, TransferDirection
 
 __all__ = ["CommandQueue"]
+
+#: Span kind of commands recorded under an attached span — the
+#: exporter (:mod:`repro.obs.export`) keys on this to rebuild the
+#: simulated-clock timeline from a trace dump.
+QUEUE_COMMAND_KIND = "queue-command"
 
 
 class CommandQueue:
@@ -64,6 +74,7 @@ class CommandQueue:
         self.fault_injector = fault_injector
         self.events: list[Event] = []
         self.transfers = TransferLedger()
+        self._span = NULL_SPAN
         self._clock_ns = 0.0
         self._mapped: dict = {}
         # overlap-mode state: per-engine availability and per-buffer
@@ -91,6 +102,25 @@ class CommandQueue:
         self._engine_free = {"dma": 0.0, "kernel": 0.0}
         self._last_write_end.clear()
         self._last_access_end.clear()
+
+    # -- observability ------------------------------------------------------
+
+    def attach_span(self, span) -> None:
+        """Record every subsequent command as a child span of ``span``.
+
+        Each command becomes one ``queue-command`` child carrying the
+        *simulated* clock in its attributes (``sim_queued_ns`` /
+        ``sim_start_ns`` / ``sim_end_ns``), so a trace dump can replay
+        the DMA/kernel lane timeline offline
+        (:func:`repro.obs.export.render_queue_timeline`).  Pass
+        :data:`~repro.obs.trace.NULL_SPAN` (or call
+        :meth:`detach_span`) to stop recording.
+        """
+        self._span = span if span is not None else NULL_SPAN
+
+    def detach_span(self) -> None:
+        """Stop mirroring commands into an attached span."""
+        self._span = NULL_SPAN
 
     @staticmethod
     def _check_wait_list(wait_for) -> float:
@@ -156,6 +186,23 @@ class CommandQueue:
         )
         if self.profiling:
             self.events.append(event)
+        registry = get_registry()
+        registry.counter(
+            obs_keys.QUEUE_COMMANDS_TOTAL,
+            "Commands executed by simulated command queues",
+        ).inc(1, command=command_type.value, engine=engine)
+        registry.counter(
+            obs_keys.QUEUE_SIMULATED_BUSY_SECONDS,
+            "Simulated seconds of queue-engine occupancy",
+        ).inc(duration_ns * 1e-9, engine=engine)
+        if self._span is not NULL_SPAN:
+            self._span.child(
+                name, QUEUE_COMMAND_KIND,
+                command=command_type.value, engine=engine,
+                sim_queued_ns=queued, sim_start_ns=start, sim_end_ns=end,
+                **{k: v for k, v in info.items()
+                   if isinstance(v, (int, float, str, bool))},
+            ).end()
         return event
 
     # -- commands -----------------------------------------------------------

@@ -1,0 +1,118 @@
+"""Exporter tests: JSON traces, Prometheus files, rendered views."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    chunk_span_seconds,
+    queue_spans_to_events,
+    render_queue_timeline,
+    render_span_tree,
+    trace_document,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.metrics import MetricsRegistry, parse_prometheus
+from repro.obs.trace import Tracer
+
+
+def traced_run(chunks=3) -> Tracer:
+    tracer = Tracer()
+    run = tracer.start_span("engine.run", "run", kernel="iv_b")
+    group = run.child("group[steps=8]", "group", steps=8)
+    for i in range(chunks):
+        chunk = group.child(f"chunk[{i * 4}+4]", "chunk", first_index=i * 4)
+        chunk.child("attempt-0", "attempt", attempt=0).end()
+        chunk.end()
+    group.end()
+    run.annotate("note")
+    run.end()
+    return tracer
+
+
+class TestTraceDocument:
+    def test_document_shape(self):
+        tracer = traced_run()
+        document = trace_document(tracer)
+        assert document["schema"] == TRACE_SCHEMA
+        assert document["trace_id"] == tracer.trace_id
+        assert len(document["spans"]) == 1
+
+    def test_write_trace_round_trips_through_json(self, tmp_path):
+        path = write_trace(traced_run(), tmp_path / "t.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == "repro-trace/v1"
+        root = loaded["spans"][0]
+        assert root["kind"] == "run"
+        assert [c["kind"] for c in root["children"]] == ["group"]
+        assert len(root["children"][0]["children"]) == 3
+
+    def test_write_metrics_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total").inc(7)
+        path = write_metrics(registry, tmp_path / "m.prom")
+        assert parse_prometheus(path.read_text())["repro_test_total"] == 7
+
+
+class TestRenderSpanTree:
+    def test_contains_hierarchy_and_annotations(self):
+        text = render_span_tree(traced_run().as_dicts()[0])
+        assert "run:engine.run" in text
+        assert "group:group[steps=8]" in text
+        assert "chunk:chunk[0+4]" in text
+        assert "attempt:attempt-0" in text
+        assert "note" in text
+
+    def test_elides_wide_sibling_runs(self):
+        text = render_span_tree(traced_run(chunks=24).as_dicts()[0],
+                                max_children=8)
+        assert "sibling spans elided" in text
+        assert text.count("chunk:") < 24
+
+
+def queue_trace() -> Tracer:
+    tracer = Tracer()
+    run = tracer.start_span("session", "run")
+    run.child("buf0", "queue-command", command="write_buffer", engine="dma",
+              sim_queued_ns=0, sim_start_ns=0, sim_end_ns=100).end()
+    run.child("tree", "queue-command", command="ndrange_kernel",
+              engine="kernel", sim_queued_ns=0, sim_start_ns=100,
+              sim_end_ns=400).end()
+    run.end()
+    return tracer
+
+
+class TestQueueTimeline:
+    def test_events_rebuilt_on_simulated_clock(self):
+        events = queue_spans_to_events(queue_trace().as_dicts())
+        assert [e.name for e in events] == ["buf0", "tree"]
+        assert events[0].start_ns == 0 and events[0].end_ns == 100
+        assert events[1].command_type.value == "ndrange_kernel"
+
+    def test_render_reuses_gantt_lanes(self):
+        text = render_queue_timeline(queue_trace().as_dicts())
+        assert "dma" in text and "kernel" in text
+        assert "W" in text and "K" in text
+
+    def test_no_queue_spans_is_an_error(self):
+        with pytest.raises(ReproError):
+            render_queue_timeline(traced_run().as_dicts())
+
+    def test_missing_sim_clock_is_an_error(self):
+        tracer = Tracer()
+        run = tracer.start_span("session", "run")
+        run.child("bad", "queue-command", command="read_buffer").end()
+        run.end()
+        with pytest.raises(ReproError):
+            queue_spans_to_events(tracer.as_dicts())
+
+
+class TestChunkSpanSeconds:
+    def test_sums_only_chunk_spans(self):
+        root = traced_run(chunks=2).as_dicts()[0]
+        group = root["children"][0]
+        expected = sum(c["duration_ns"] for c in group["children"]) * 1e-9
+        assert chunk_span_seconds(root) == pytest.approx(expected)

@@ -1,0 +1,149 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    parse_prometheus,
+    set_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("repro_test_events_total", "help text")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labels_are_independent_samples(self, registry):
+        c = registry.counter("repro_test_cmds_total")
+        c.inc(1, engine="dma")
+        c.inc(2, engine="kernel")
+        assert c.value(engine="dma") == 1
+        assert c.value(engine="kernel") == 2
+        assert c.total() == 3
+
+    def test_label_order_does_not_matter(self, registry):
+        c = registry.counter("repro_test_xy_total")
+        c.inc(1, a="1", b="2")
+        c.inc(1, b="2", a="1")
+        assert c.value(a="1", b="2") == 2
+
+    def test_cannot_decrease(self, registry):
+        with pytest.raises(ReproError):
+            registry.counter("repro_test_total").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("repro_test_occupancy")
+        g.set(5.0)
+        g.inc(2.0)
+        g.dec(3.0)
+        assert g.value() == 4.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self, registry):
+        h = registry.histogram("repro_test_latency_seconds",
+                               buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.05)
+        assert h.cumulative_buckets() == [(0.1, 1), (1.0, 3), (math.inf, 4)]
+
+    def test_needs_buckets(self, registry):
+        with pytest.raises(ReproError):
+            registry.histogram("repro_test_empty_seconds", buckets=())
+
+
+class TestRegistry:
+    def test_same_name_same_family(self, registry):
+        assert (registry.counter("repro_test_total")
+                is registry.counter("repro_test_total"))
+
+    def test_type_conflict_raises(self, registry):
+        registry.counter("repro_test_thing")
+        with pytest.raises(ReproError):
+            registry.gauge("repro_test_thing")
+
+    def test_value_of_absent_metric_is_zero(self, registry):
+        assert registry.value("repro_never_registered") == 0.0
+
+    def test_merge_adds_counters_overwrites_gauges(self, registry):
+        other = MetricsRegistry()
+        registry.counter("repro_test_total").inc(1)
+        other.counter("repro_test_total").inc(2)
+        registry.gauge("repro_test_rate").set(10.0)
+        other.gauge("repro_test_rate").set(99.0)
+        other.histogram("repro_test_lat_seconds", buckets=(1.0,)).observe(0.5)
+        registry.merge(other)
+        assert registry.value("repro_test_total") == 3
+        assert registry.value("repro_test_rate") == 99.0
+        assert registry.get("repro_test_lat_seconds").count == 1
+
+    def test_names_sorted(self, registry):
+        registry.counter("repro_b_total")
+        registry.counter("repro_a_total")
+        assert registry.names() == ["repro_a_total", "repro_b_total"]
+
+
+class TestPrometheusRoundTrip:
+    def test_render_and_parse(self, registry):
+        registry.counter("repro_test_total", "how many").inc(
+            3, command="write_buffer")
+        registry.gauge("repro_test_rate").set(2400.5)
+        registry.histogram("repro_test_lat_seconds",
+                           buckets=(0.1, 1.0)).observe(0.25)
+        text = registry.render_prometheus()
+        assert "# HELP repro_test_total how many" in text
+        assert "# TYPE repro_test_total counter" in text
+        assert "# TYPE repro_test_lat_seconds histogram" in text
+        samples = parse_prometheus(text)
+        assert samples['repro_test_total{command="write_buffer"}'] == 3
+        assert samples["repro_test_rate"] == 2400.5
+        assert samples['repro_test_lat_seconds_bucket{le="+Inf"}'] == 1
+        assert samples["repro_test_lat_seconds_sum"] == 0.25
+        assert samples["repro_test_lat_seconds_count"] == 1
+
+    def test_label_escaping(self, registry):
+        registry.counter("repro_test_total").inc(1, path='a"b\\c')
+        samples = parse_prometheus(registry.render_prometheus())
+        assert len(samples) == 1 and list(samples.values()) == [1]
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            parse_prometheus("repro_test_total not_a_number")
+
+    def test_as_dict_deterministic(self, registry):
+        registry.counter("repro_test_total", "h").inc(1, z="1")
+        registry.counter("repro_test_total").inc(1, a="1")
+        d = registry.as_dict()
+        assert d["repro_test_total"]["type"] == "counter"
+        assert list(d["repro_test_total"]["samples"]) == [
+            '{a="1"}', '{z="1"}']
+
+
+class TestProcessRegistry:
+    def test_swap_and_restore(self):
+        hermetic = MetricsRegistry()
+        previous = set_registry(hermetic)
+        try:
+            assert get_registry() is hermetic
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous

@@ -1,0 +1,89 @@
+"""The stable engine-stats schema, asserted (see docs/stats_schema.md).
+
+Every reporting surface — ``EngineStats.as_dict``/``describe``, the
+bench-engine JSON, the Prometheus export — must use exactly the
+``repro.obs.keys`` names.  Renaming or reordering a key is a schema
+version bump, and this file is the tripwire.
+"""
+
+import re
+
+from repro.bench.engine_bench import run_benchmark
+from repro.engine.stats import EngineStats, RunMetrics
+from repro.obs import keys
+from repro.obs.metrics import MetricsRegistry, parse_prometheus, set_registry
+
+
+def make_stats(**overrides) -> EngineStats:
+    base = dict(options=8, tree_nodes=100, groups=1, chunks=2, workers=1,
+                wall_time_s=0.5, cpu_time_s=0.4, peak_tile_bytes=1024)
+    base.update(overrides)
+    return EngineStats(**base)
+
+
+class TestStatsKeys:
+    def test_schema_tag(self):
+        assert keys.STATS_SCHEMA == "repro-engine-stats/v1"
+
+    def test_as_dict_keys_exact_order(self):
+        assert tuple(make_stats().as_dict()) == keys.STATS_KEYS
+
+    def test_all_keys_snake_case(self):
+        for key in keys.STATS_KEYS:
+            assert re.fullmatch(r"[a-z][a-z0-9_]*", key), key
+
+    def test_describe_uses_schema_order(self):
+        described = make_stats(retries=3).describe()
+        described_keys = tuple(part.split("=")[0]
+                               for part in described.split())
+        assert described_keys == keys.STATS_KEYS
+        assert "retries=3" in described
+
+    def test_reliability_keys_are_subset(self):
+        assert set(keys.RELIABILITY_KEYS) <= set(keys.STATS_KEYS)
+        counters = make_stats(timeouts=2).reliability_counters
+        assert tuple(counters) == keys.RELIABILITY_KEYS
+        assert counters["timeouts"] == 2
+
+
+class TestStatsFromRegistry:
+    def test_from_run_reads_metrics(self):
+        metrics = RunMetrics()
+        metrics.options.inc(8)
+        metrics.tree_nodes.inc(100)
+        metrics.groups.inc(1)
+        metrics.chunks.inc(2)
+        metrics.retries.inc(3)
+        stats = EngineStats.from_run(metrics, workers=1, wall_time_s=0.5,
+                                     cpu_time_s=0.4, peak_tile_bytes=64)
+        assert stats.options == 8
+        assert stats.retries == 3
+        assert stats.quarantined_options == 0
+
+    def test_stats_to_metric_targets_exist(self):
+        metrics = RunMetrics()
+        for stat, metric_name in keys.STATS_TO_METRIC.items():
+            assert stat in keys.STATS_KEYS
+            assert metrics.registry.get(metric_name) is not None, metric_name
+
+    def test_counters_expose_zero_samples(self):
+        """A clean run still renders retries/quarantine counters as 0."""
+        text = RunMetrics().registry.render_prometheus()
+        samples = parse_prometheus(text)
+        assert samples[keys.RETRIES_TOTAL] == 0
+        assert samples[keys.QUARANTINED_OPTIONS_TOTAL] == 0
+        assert samples[keys.DEGRADED_TO_SERIAL_TOTAL] == 0
+
+
+class TestBenchDocumentSchema:
+    def test_runs_use_stats_keys(self):
+        hermetic = MetricsRegistry()
+        previous = set_registry(hermetic)
+        try:
+            document = run_benchmark(options_counts=(8,), steps=16,
+                                     workers_settings=(1,))
+        finally:
+            set_registry(previous)
+        assert document["stats_schema"] == keys.STATS_SCHEMA
+        run = document["results"][0]["runs"][0]
+        assert tuple(run) == keys.STATS_KEYS + ("speedup_vs_baseline",)

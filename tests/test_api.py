@@ -1,0 +1,169 @@
+"""Tests for the repro.api front door and the deprecation shims."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import PriceResult, price
+from repro.core.accelerator import BinomialAccelerator
+from repro.core.batch_sim import simulate_kernel_b_batch
+from repro.engine import ALWAYS, EngineConfig, FaultKind, FaultPlan
+from repro.engine.engine import PricingEngine
+from repro.errors import FinanceError, ReproError
+from repro.finance import generate_batch
+from repro.finance.binomial import price_binomial_batch
+from repro.finance import price_binomial
+
+STEPS = 16
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return list(generate_batch(n_options=12, seed=99).options)
+
+
+class TestEngineRoute:
+    def test_default_route_is_engine(self, batch):
+        result = price(batch, steps=STEPS)
+        assert isinstance(result, PriceResult)
+        assert result.route == "engine"
+        assert result.stats is not None and result.modeled is None
+        assert result.stats.options == len(batch)
+        assert len(result) == len(batch)
+        assert result.options_per_second == result.stats.options_per_second
+
+    def test_reference_kernel_matches_scalar_pricer(self, batch):
+        prices = price(batch, steps=STEPS).prices
+        expected = [price_binomial(o, STEPS).price for o in batch]
+        assert np.allclose(prices, expected, rtol=1e-12, atol=1e-12)
+
+    def test_iv_b_kernel_matches_simulator(self, batch):
+        result = price(batch, steps=STEPS, kernel="iv_b")
+        assert np.array_equal(result.prices,
+                              simulate_kernel_b_batch(batch, STEPS))
+
+    def test_workers_shorthand(self, batch):
+        result = price(batch, steps=STEPS, workers=2)
+        assert result.stats.workers == 2
+
+    def test_config_and_workers_conflict(self, batch):
+        with pytest.raises(ReproError):
+            price(batch, steps=STEPS, workers=2,
+                  config=EngineConfig(workers=2))
+
+    def test_empty_batch(self):
+        result = price([], steps=STEPS)
+        assert len(result) == 0 and result.route == "engine"
+        assert result.options_per_second is None
+
+    def test_single_precision(self, batch):
+        single = price(batch, steps=STEPS, kernel="iv_b",
+                       precision="single").prices
+        double = price(batch, steps=STEPS, kernel="iv_b").prices
+        assert not np.array_equal(single, double)
+
+    def test_strict_reraises_original_exception(self, batch):
+        bad = batch[:4]
+        plan = FaultPlan.single(1, FaultKind.RAISE, attempts=ALWAYS, seed=0)
+        with PricingEngine(kernel="iv_b",
+                           config=EngineConfig(backoff_base_s=0.0,
+                                               max_retries=1),
+                           faults=plan) as engine:
+            result = engine.run(bad, STEPS)
+        # the engine quarantines; the strict façade on the same input
+        # class re-raises instead (here via invalid market data, which
+        # the façade cannot pre-screen)
+        assert len(result.failures) == 1
+
+    @staticmethod
+    def _poison(batch, index):
+        """Swap in an Option whose NaN spot bypassed construction
+        validation, the way a row deserialised from a feed would."""
+        from repro.finance import ExerciseStyle, Option, OptionType
+
+        bad = object.__new__(Option)
+        fields = dict(spot=float("nan"), strike=100.0, rate=0.02,
+                      volatility=0.3, maturity=1.0,
+                      option_type=OptionType.PUT,
+                      exercise=ExerciseStyle.AMERICAN, dividend_yield=0.0)
+        for name, value in fields.items():
+            object.__setattr__(bad, name, value)
+        poisoned = list(batch)
+        poisoned[index] = bad
+        return poisoned
+
+    def test_strict_raises_on_bad_market_data(self, batch):
+        with pytest.raises(FinanceError):
+            price(self._poison(batch, 3), steps=STEPS, kernel="iv_b")
+
+    def test_non_strict_returns_nan_plus_records(self, batch):
+        result = price(self._poison(batch, 3), steps=STEPS, kernel="iv_b",
+                       strict=False)
+        assert np.isnan(result.prices[3])
+        assert len(result.failures) == 1
+        assert result.failures[0].index == 3
+        clean = np.delete(result.prices, 3)
+        assert np.all(np.isfinite(clean))
+
+
+class TestAcceleratorRoute:
+    def test_fpga_device(self, batch):
+        result = price(batch, steps=STEPS, device="fpga")
+        assert result.route == "accelerator"
+        assert result.modeled is not None and result.stats is None
+        assert result.modeled.energy_joules > 0
+        assert result.options_per_second == result.modeled.options_per_second
+
+    def test_cpu_device_defaults_to_reference(self, batch):
+        result = price(batch, steps=STEPS, device="cpu")
+        expected = [price_binomial(o, STEPS).price for o in batch]
+        assert np.allclose(result.prices, expected, rtol=1e-12, atol=1e-12)
+
+    def test_existing_accelerator_not_closed(self, batch):
+        acc = BinomialAccelerator(platform="fpga", kernel="iv_b",
+                                  steps=STEPS)
+        try:
+            first = price(batch, steps=STEPS, device=acc)
+            second = price(batch, steps=STEPS, device=acc)  # still usable
+            assert np.array_equal(first.prices, second.prices)
+        finally:
+            acc.close()
+
+    def test_unknown_device_rejected(self, batch):
+        with pytest.raises(ReproError):
+            price(batch, steps=STEPS, device="asic")
+
+    def test_per_option_steps_rejected(self, batch):
+        with pytest.raises(ReproError):
+            price(batch, steps=[STEPS] * len(batch), device="fpga")
+
+
+class TestPackageSurface:
+    def test_price_exported_at_top_level(self):
+        assert repro.price is price
+        assert repro.PriceResult is PriceResult
+        assert "price" in repro.__all__
+
+    def test_migration_table_in_docstring(self):
+        import repro.api
+        assert "price_binomial_batch" in repro.api.__doc__
+        assert "Migration" in repro.api.__doc__
+
+
+class TestDeprecatedWrappers:
+    def test_price_binomial_batch_warns_and_delegates(self, batch):
+        with pytest.warns(DeprecationWarning, match="repro.api.price"):
+            legacy = price_binomial_batch(batch, steps=STEPS)
+        assert np.array_equal(legacy, price(batch, steps=STEPS).prices)
+
+    def test_price_binomial_batch_workers(self, batch):
+        with pytest.warns(DeprecationWarning):
+            legacy = price_binomial_batch(batch, steps=STEPS, workers=2)
+        assert np.array_equal(legacy, price(batch, steps=STEPS).prices)
+
+    def test_single_precision_dtype_maps_to_profile(self, batch):
+        with pytest.warns(DeprecationWarning):
+            legacy = price_binomial_batch(batch, steps=STEPS,
+                                          dtype=np.float32)
+        assert np.array_equal(
+            legacy, price(batch, steps=STEPS, precision="single").prices)

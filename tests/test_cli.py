@@ -81,6 +81,73 @@ class TestCommands:
         document = json.loads(out_path.read_text())
         assert document["schema"] == "repro-engine-bench/v1"
 
+    def test_bench_engine_trace_and_metrics_artifacts(self, capsys,
+                                                      tmp_path):
+        import json
+
+        from repro.obs.export import chunk_span_seconds
+        from repro.obs.metrics import parse_prometheus
+        from repro.obs.trace import max_depth
+
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.prom"
+        # hermetic process-wide registry: earlier tests (fault
+        # injection) legitimately publish retries into the global one
+        previous = set_registry(MetricsRegistry())
+        try:
+            code = main(["bench-engine", "--options", "12", "--steps", "16",
+                         "--workers", "1", "--out", str(tmp_path / "b.json"),
+                         "--trace-out", str(trace_path),
+                         "--metrics-out", str(metrics_path)])
+        finally:
+            set_registry(previous)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "metrics" in out
+
+        document = json.loads(trace_path.read_text())
+        assert document["schema"] == "repro-trace/v1"
+        root = document["spans"][0]
+        assert root["name"] == "engine.run"
+        assert max_depth(root) >= 4
+        # serial run: chunk spans tile the run span's wall clock
+        assert chunk_span_seconds(root) <= root["duration_ns"] * 1e-9
+
+        samples = parse_prometheus(metrics_path.read_text())
+        assert samples["repro_engine_retries_total"] == 0
+        assert samples["repro_engine_quarantined_options_total"] == 0
+        assert samples["repro_engine_options_priced_total"] >= 12
+
+    def test_obs_session(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.metrics import parse_prometheus
+        from repro.obs.trace import max_depth
+
+        trace_path = tmp_path / "obs.json"
+        metrics_path = tmp_path / "obs.prom"
+        code = main(["obs", "--options", "6", "--steps", "16",
+                     "--chunk", "3", "--trace-out", str(trace_path),
+                     "--metrics-out", str(metrics_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run:obs.device-session" in out
+        assert "queue-command" in out
+        assert "timeline:" in out
+        assert "repro_queue_commands_total" in out
+
+        root = json.loads(trace_path.read_text())["spans"][0]
+        assert max_depth(root) == 5  # run/group/chunk/attempt/command
+        samples = parse_prometheus(metrics_path.read_text())
+        assert any(name.startswith("repro_link_pcie_bytes_total")
+                   for name in samples)
+
+    def test_obs_rejects_bad_counts(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "--options", "not-a-number"])
+
     def test_bench_engine_regression_gate(self, capsys, tmp_path):
         import json
 

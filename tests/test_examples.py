@@ -21,6 +21,7 @@ FAST_EXAMPLES = (
     "trading_day",
     "batched_engine",
     "fault_tolerance",
+    "observability",
 )
 
 
