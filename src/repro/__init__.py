@@ -31,7 +31,7 @@ Quick start::
     print(result.prices[0], result.options_per_second)
 """
 
-from .api import PriceResult, price
+from .api import GreeksResult, PriceResult, greeks, price
 from .core import (
     ALTERA_13_0_DOUBLE,
     EXACT_DOUBLE,
@@ -67,6 +67,8 @@ __all__ = [
     "ReproError",
     "price",
     "PriceResult",
+    "greeks",
+    "GreeksResult",
     "Option",
     "OptionType",
     "ExerciseStyle",

@@ -62,7 +62,7 @@ from .errors import ReproError
 from .finance.lattice import LatticeFamily
 from .finance.options import Option
 
-__all__ = ["PriceResult", "price"]
+__all__ = ["GreeksResult", "PriceResult", "greeks", "price"]
 
 _DEVICES = ("fpga", "gpu", "cpu")
 
@@ -99,6 +99,37 @@ class PriceResult:
         if self.modeled is not None:
             return self.modeled.options_per_second
         return None
+
+
+@dataclass(frozen=True)
+class GreeksResult:
+    """What :func:`greeks` returns: one array per sensitivity.
+
+    ``prices``/``delta``/``gamma``/``theta`` come from the *same*
+    engine pricing pass (tree-level capture); ``vega``/``rho`` from
+    the bump passes scheduled alongside it.  All arrays are in input
+    order; options that failed under ``strict=False`` carry NaN in
+    the affected columns and a :class:`FailureRecord` naming the pass.
+    """
+
+    prices: np.ndarray
+    delta: np.ndarray
+    gamma: np.ndarray
+    theta: np.ndarray
+    vega: np.ndarray
+    rho: np.ndarray
+    stats: "EngineStats | None" = None
+    failures: "tuple[FailureRecord, ...]" = field(default=())
+
+    def __len__(self) -> int:
+        return len(self.prices)
+
+    @property
+    def options_per_second(self) -> "float | None":
+        """Tree-pricing throughput of the run (5 pricings per option)."""
+        if self.stats is None:
+            return None
+        return self.stats.options_per_second
 
 
 def _engine_profile(precision: str):
@@ -177,6 +208,74 @@ def _price_engine(options, steps, kernel, config, family, precision,
                 f"attempts: {first.error}: {first.message}")
         return PriceResult(prices=result.prices, route="engine",
                            stats=result.stats, failures=result.failures)
+
+
+def greeks(
+    options: Sequence[Option],
+    *,
+    steps: "int | Sequence[int]" = 512,
+    kernel: str = "iv_b",
+    config: "EngineConfig | None" = None,
+    workers: "int | None" = None,
+    family: LatticeFamily = LatticeFamily.CRR,
+    precision: str = Precision.DOUBLE,
+    bump_vol: float = 1e-3,
+    bump_rate: float = 1e-4,
+    tracer=None,
+    strict: bool = True,
+) -> GreeksResult:
+    """Batch price + delta/gamma/theta/vega/rho through the engine.
+
+    Delta, gamma and theta are read off tree levels 0..2 of the *same*
+    engine pricing pass that produces the prices (no re-pricing — the
+    Hull lattice trick, batched); vega and rho are central finite
+    differences over four bump-and-reprice passes scheduled as sibling
+    chunk groups of the same run, so the whole workload inherits the
+    engine's chunking, worker fan-out, retry/quarantine and
+    span/metrics instrumentation.  The scalar counterpart (and test
+    oracle) is :func:`repro.finance.greeks.lattice_greeks`.
+
+    :param steps: tree depth (>= 3), one value or one per option.
+    :param kernel: ``"iv_a"``, ``"iv_b"`` (default) or ``"reference"``.
+    :param config: :class:`EngineConfig`; mutually exclusive with
+        ``workers``.
+    :param workers: shorthand for ``EngineConfig(workers=...)``.
+    :param family: lattice parameterisation (kernel IV.B requires CRR).
+    :param precision: ``"double"`` or ``"single"``.
+    :param bump_vol: absolute volatility bump for the vega difference.
+    :param bump_rate: absolute rate bump for the rho difference.
+    :param tracer: optional :class:`repro.obs.trace.Tracer`.
+    :param strict: ``True`` re-raises the first pricing failure;
+        ``False`` returns NaN in the affected columns plus
+        :class:`FailureRecord` entries naming the failing pass.
+    """
+    options = list(options)
+    if config is not None and workers is not None:
+        raise ReproError("pass either config or workers, not both")
+    if workers is not None:
+        config = EngineConfig(workers=workers)
+    if not options:
+        empty = np.empty(0, dtype=np.float64)
+        return GreeksResult(prices=empty, delta=empty.copy(),
+                            gamma=empty.copy(), theta=empty.copy(),
+                            vega=empty.copy(), rho=empty.copy())
+    with PricingEngine(kernel=kernel, profile=_engine_profile(precision),
+                       family=family, config=config,
+                       tracer=tracer) as engine:
+        result = engine.run_greeks(options, steps, bump_vol=bump_vol,
+                                   bump_rate=bump_rate)
+    if strict and result.failures:
+        first = result.failures[0]
+        if first.exception is not None:
+            raise first.exception
+        raise ReproError(
+            f"option {first.index} failed after {first.attempts} "
+            f"attempts: {first.error}: {first.message}")
+    return GreeksResult(
+        prices=result.prices, delta=result.delta, gamma=result.gamma,
+        theta=result.theta, vega=result.vega, rho=result.rho,
+        stats=result.stats, failures=result.failures,
+    )
 
 
 def _price_accelerator(options, steps, device, kernel, config, family,

@@ -32,6 +32,11 @@ from .engine_bench import (
     run_benchmark,
     write_benchmark,
 )
+from .greeks_bench import (
+    GREEKS_BENCH_SCHEMA,
+    baseline_scalar_greeks,
+    run_greeks_benchmark,
+)
 from .methodology import (
     CRR_BINOMIAL_MODEL,
     AcceleratorBenchmark,
@@ -81,4 +86,7 @@ __all__ = [
     "run_benchmark",
     "write_benchmark",
     "check_throughput_regression",
+    "GREEKS_BENCH_SCHEMA",
+    "baseline_scalar_greeks",
+    "run_greeks_benchmark",
 ]

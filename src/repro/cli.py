@@ -17,6 +17,7 @@ writing Python::
     python -m repro price --spot 100 --strike 105 --type put
     python -m repro bench-engine --quick
     python -m repro bench-engine --trace-out trace.json --metrics-out m.prom
+    python -m repro bench-greeks --quick
     python -m repro obs --options 24 --steps 128
 """
 
@@ -88,6 +89,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--metrics-out", default=None, metavar="PROM",
                          help="write the process-wide metrics registry in "
                               "Prometheus text format here")
+
+    p_greeks = sub.add_parser(
+        "bench-greeks",
+        help="benchmark the batched greeks workload "
+             "(writes BENCH_greeks.json)")
+    p_greeks.add_argument("--options", type=int, nargs="+",
+                          default=[256, 1024],
+                          help="batch sizes to measure (default: 256 1024)")
+    p_greeks.add_argument("--steps", type=int, default=256,
+                          help="tree depth N (default 256)")
+    p_greeks.add_argument("--workers", type=int, nargs="+", default=[1, 4],
+                          help="engine worker settings (default: 1 4)")
+    p_greeks.add_argument("--kernel", choices=("iv_a", "iv_b", "reference"),
+                          default="iv_b")
+    p_greeks.add_argument("--out", default="BENCH_greeks.json",
+                          help="output JSON path (default BENCH_greeks.json)")
+    p_greeks.add_argument("--quick", action="store_true",
+                          help="small CI-sized run (64 options, N=64, "
+                               "workers 1 2)")
+    p_greeks.add_argument("--check-against", default=None, metavar="JSON",
+                          help="fail if throughput regressed >30%% vs this "
+                               "stored benchmark file")
+    p_greeks.add_argument("--trace-out", default=None, metavar="JSON",
+                          help="record every engine run as a span tree and "
+                               "write the JSON trace document here")
+    p_greeks.add_argument("--metrics-out", default=None, metavar="PROM",
+                          help="write the process-wide metrics registry in "
+                               "Prometheus text format here")
 
     p_obs = sub.add_parser(
         "obs",
@@ -209,6 +238,68 @@ def _run_bench_engine(args) -> int:
                 detail = ", ".join(f"{name}={count}"
                                    for name, count in reliability.items())
                 print(f"      reliability: {detail}")
+
+    if args.check_against:
+        with open(args.check_against) as handle:
+            stored = json.load(handle)
+        failures = check_throughput_regression(document, stored)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        print(f"no throughput regression vs {args.check_against}")
+    return 0
+
+
+def _run_bench_greeks(args) -> int:
+    import json
+
+    from .bench.engine_bench import (
+        check_throughput_regression,
+        write_benchmark,
+    )
+    from .bench.greeks_bench import run_greeks_benchmark
+
+    if args.quick:
+        options_counts, steps, workers = [64], 64, [1, 2]
+    else:
+        options_counts, steps, workers = args.options, args.steps, args.workers
+
+    tracer = None
+    if args.trace_out:
+        from .obs import Tracer
+        tracer = Tracer()
+
+    document = run_greeks_benchmark(
+        options_counts=options_counts, steps=steps,
+        workers_settings=workers, kernel=args.kernel,
+        tracer=tracer,
+    )
+    path = write_benchmark(document, args.out)
+
+    if tracer is not None:
+        from .obs.export import write_trace
+        trace_path = write_trace(tracer, args.trace_out)
+        print(f"trace ({len(tracer.roots)} engine runs) -> {trace_path}")
+    if args.metrics_out:
+        from .obs import get_registry
+        from .obs.export import write_metrics
+        metrics_path = write_metrics(get_registry(), args.metrics_out)
+        print(f"metrics -> {metrics_path}")
+
+    print(f"greeks benchmark (kernel {args.kernel}, N={steps}) -> {path}")
+    for entry in document["results"]:
+        base = entry["baseline"]
+        worst = max(entry["parity"]["max_abs_diff"].values())
+        print(f"  {entry['options']} options: scalar oracle "
+              f"{base['options_per_second']:,.1f} options/s "
+              f"(worst greek diff {worst:.2e})")
+        for run in entry["runs"]:
+            print(f"    workers={run['workers']}: "
+                  f"{run['options_per_second'] / 5:,.1f} options/s "
+                  f"({run['speedup_vs_baseline']:.2f}x scalar, "
+                  f"{run['bump_passes']} bump passes, "
+                  f"{run['chunks']} chunks)")
 
     if args.check_against:
         with open(args.check_against) as handle:
@@ -391,6 +482,8 @@ def _dispatch(args) -> int:
         print(precision_ablation().rendered)
     elif args.command == "bench-engine":
         return _run_bench_engine(args)
+    elif args.command == "bench-greeks":
+        return _run_bench_greeks(args)
     elif args.command == "obs":
         return _run_obs(args)
     elif args.command == "clsource":

@@ -91,21 +91,32 @@ def _lease_tiles(workspace, n: int, steps: int, dtype):
 
 
 def _backward_induction(v, s, s_new, cont, scratch, mask,
-                        down, rp, rq, strike, sign, steps: int) -> None:
+                        pulldown, rp, rq, strike, sign, steps: int,
+                        levels: "dict[int, np.ndarray] | None" = None) -> None:
     """Equation (1) backward loop over preallocated time-major tiles.
 
     Performs, step by step, the exact operation sequence of the
-    expression form ``V = max(rp*V[k] + rq*V[k+1], sign*(d*S - K))``
+    expression form ``V = max(rp*V[k] + rq*V[k+1], sign*(pd*S - K))``
     — same ufuncs, same order, writing through ``out=`` so no
-    temporaries are allocated.  The active row range narrows exactly
-    as work-items ``k > t`` idle out in the kernel; ``s`` and
-    ``s_new`` ping-pong instead of copying.  The per-option constants
-    arrive as ``(1, n)`` rows broadcast down the tree axis.
+    temporaries are allocated.  ``pulldown`` is the family-correct
+    spot roll factor ``1/u`` (equal to the paper's ``d`` under CRR);
+    the active row range narrows exactly as work-items ``k > t`` idle
+    out in the kernel; ``s`` and ``s_new`` ping-pong instead of
+    copying.  The per-option constants arrive as ``(1, n)`` rows
+    broadcast down the tree axis.
+
+    When ``levels`` is a dict, the value rows of tree levels 1 and 2
+    are copied into it (``levels[t]`` has shape ``(t + 1, n)``, in the
+    working dtype) as the loop passes them — the Hull lattice-greeks
+    trick: delta/gamma/theta fall out of these rows plus the root, so
+    a greeks run costs the *same single pricing pass*.  Capture is a
+    copy after the level's value update; it never changes the
+    arithmetic of the loop.
     """
     for t in range(steps - 1, -1, -1):
         active = t + 1
         s_act = s_new[:active]
-        np.multiply(down, s[:active], out=s_act)
+        np.multiply(pulldown, s[:active], out=s_act)
         continuation = cont[:active]
         intrinsic = scratch[:active]
         exercise = mask[:active]
@@ -117,6 +128,8 @@ def _backward_induction(v, s, s_new, cont, scratch, mask,
         np.greater(continuation, intrinsic, out=exercise)
         np.copyto(v[:active], intrinsic)
         np.copyto(v[:active], continuation, where=exercise)
+        if levels is not None and t in (1, 2):
+            levels[t] = v[:active].copy()
         s, s_new = s_new, s
 
 
@@ -126,6 +139,7 @@ def simulate_kernel_b_batch(
     profile: MathProfile = EXACT_DOUBLE,
     family: LatticeFamily = LatticeFamily.CRR,
     workspace: "Workspace | None" = None,
+    capture_levels: bool = False,
 ) -> np.ndarray:
     """Kernel IV.B arithmetic, vectorised across the whole batch.
 
@@ -136,9 +150,17 @@ def simulate_kernel_b_batch(
     :param workspace: optional preallocated tile pool; pass the same
         one across calls (e.g. per engine worker) to price a stream of
         chunks without reallocating the ``S``/``V`` tiles.
+    :param capture_levels: when True, return
+        ``(prices, level1, level2)`` where ``level1``/``level2`` are
+        float64 ``(n, 2)``/``(n, 3)`` copies of the value rows at tree
+        levels 1 and 2 — the inputs of the lattice delta/gamma/theta
+        formulas, captured from the *same* pricing pass.  Requires
+        ``steps >= 3``.
     """
     if steps < 2:
         raise ReproError("kernel IV.B needs at least 2 steps")
+    if capture_levels and steps < 3:
+        raise ReproError("level capture needs at least 3 steps")
     if not options:
         raise ReproError("empty option batch")
     if family is not LatticeFamily.CRR:
@@ -170,9 +192,15 @@ def simulate_kernel_b_batch(
     # rows k=0..N-1 keep a private S; the extra leaf does not
     np.copyto(s[:steps], leaf_s[:, :steps].T)
 
+    levels: "dict[int, np.ndarray] | None" = {} if capture_levels else None
     _backward_induction(v, s, s_new, cont, scratch, mask,
-                        down.T, rp.T, rq.T, strike.T, sign.T, steps)
-    return v[0].astype(np.float64)
+                        down.T, rp.T, rq.T, strike.T, sign.T, steps,
+                        levels=levels)
+    prices = v[0].astype(np.float64)
+    if capture_levels:
+        return prices, levels[1].T.astype(np.float64), \
+            levels[2].T.astype(np.float64)
+    return prices
 
 
 def simulate_kernel_a_batch(
@@ -181,6 +209,7 @@ def simulate_kernel_a_batch(
     profile: MathProfile = EXACT_DOUBLE,
     family: LatticeFamily = LatticeFamily.CRR,
     workspace: "Workspace | None" = None,
+    capture_levels: bool = False,
 ) -> np.ndarray:
     """Kernel IV.A arithmetic, vectorised across the batch.
 
@@ -191,9 +220,14 @@ def simulate_kernel_a_batch(
 
     :param workspace: optional preallocated tile pool (see
         :func:`simulate_kernel_b_batch`).
+    :param capture_levels: when True, return
+        ``(prices, level1, level2)`` — see
+        :func:`simulate_kernel_b_batch`; requires ``steps >= 3``.
     """
     if steps < 2:
         raise ReproError("kernel IV.A needs at least 2 steps")
+    if capture_levels and steps < 3:
+        raise ReproError("level capture needs at least 3 steps")
     if not options:
         raise ReproError("empty option batch")
     params = build_params_a(options, steps, family)
@@ -201,7 +235,7 @@ def simulate_kernel_a_batch(
 
     rp = cast(params[:, 0:1])
     rq = cast(params[:, 1:2])
-    down = cast(params[:, 2:3])
+    pulldown = cast(params[:, 2:3])
     strike = cast(params[:, 3:4])
     sign = cast(params[:, 4:5])
 
@@ -214,6 +248,12 @@ def simulate_kernel_a_batch(
     np.copyto(v, cast(leaf_v).T)
     np.copyto(s, cast(leaf_s).T)
 
+    levels: "dict[int, np.ndarray] | None" = {} if capture_levels else None
     _backward_induction(v, s, s_new, cont, scratch, mask,
-                        down.T, rp.T, rq.T, strike.T, sign.T, steps)
-    return v[0].astype(np.float64)
+                        pulldown.T, rp.T, rq.T, strike.T, sign.T, steps,
+                        levels=levels)
+    prices = v[0].astype(np.float64)
+    if capture_levels:
+        return prices, levels[1].T.astype(np.float64), \
+            levels[2].T.astype(np.float64)
+    return prices

@@ -169,13 +169,14 @@ def kernel_a_source(
         return;
     }}
 
-    const {scalar} rp     = params[oid * 5 + 0];
-    const {scalar} rq     = params[oid * 5 + 1];
-    const {scalar} down   = params[oid * 5 + 2];
-    const {scalar} strike = params[oid * 5 + 3];
-    const {scalar} sign   = params[oid * 5 + 4];
+    const {scalar} rp       = params[oid * 5 + 0];
+    const {scalar} rq       = params[oid * 5 + 1];
+    const {scalar} pulldown = params[oid * 5 + 2];  /* 1/u; == d under CRR */
+    const {scalar} strike   = params[oid * 5 + 3];
+    const {scalar} sign     = params[oid * 5 + 4];
 
-    const {scalar} s = down * src_s[child_up];   /* Eq. (1) */
+    /* S[t,k] = S[t+1,k] / u (Eq. (1) writes d*S, the CRR special case) */
+    const {scalar} s = pulldown * src_s[child_up];
     const {scalar} continuation = rp * src_v[child_up]
                                 + rq * src_v[child_dn];
     const {scalar} intrinsic = sign * (s - strike);

@@ -51,9 +51,12 @@ __all__ = [
 ]
 
 #: Per-option constants the host precomputes into the parameter
-#: buffer: [rp, rq, d, strike, sign] — the coefficients of the
-#: paper's Equation (1) plus the payoff sign (call/put).
-PARAM_FIELDS = ("rp", "rq", "d", "strike", "sign")
+#: buffer: [rp, rq, pulldown, strike, sign] — the coefficients of the
+#: paper's Equation (1) plus the payoff sign (call/put).  The third
+#: field is the family-correct roll factor ``1/u`` (bit-identical to
+#: the paper's ``d`` under CRR, where ``u*d = 1`` by construction),
+#: so the device datapath stays a single multiply for every family.
+PARAM_FIELDS = ("rp", "rq", "pulldown", "strike", "sign")
 
 
 def interior_nodes(n_steps: int) -> int:
@@ -91,7 +94,7 @@ def build_params_a(
     steps: int,
     family: LatticeFamily = LatticeFamily.CRR,
 ) -> np.ndarray:
-    """Host-side parameter rows ``[rp, rq, d, strike, sign]``.
+    """Host-side parameter rows ``[rp, rq, pulldown, strike, sign]``.
 
     All derived constants are computed on the host in exact double
     precision (this is kernel IV.A's accuracy story: no transcendental
@@ -108,7 +111,7 @@ def build_params_a(
     rows = np.empty((len(options), len(PARAM_FIELDS)), dtype=np.float64)
     rows[:, 0] = lattice.discounted_p_up
     rows[:, 1] = lattice.discounted_p_down
-    rows[:, 2] = lattice.down
+    rows[:, 2] = lattice.pulldown
     rows[:, 3] = fields.strike
     rows[:, 4] = fields.sign
     return rows
@@ -184,11 +187,13 @@ def kernel_a_work_item(wi, src_s, src_v, src_oid, dst_s, dst_v, dst_oid,
 
     rp = params[oid, 0]
     rq = params[oid, 1]
-    down = params[oid, 2]
+    pulldown = params[oid, 2]
     strike = params[oid, 3]
     sign = params[oid, 4]
 
-    s = down * src_s[child_up]  # Equation (1): S[t,k] = d * S[t+1,k]
+    # S[t,k] = S[t+1,k] / u for every family (host precomputes 1/u);
+    # the paper's Equation (1) form d * S[t+1,k] is the CRR special case.
+    s = pulldown * src_s[child_up]
     continuation = rp * src_v[child_up] + rq * src_v[child_dn]
     intrinsic = sign * (s - strike)
     value = continuation if continuation > intrinsic else intrinsic

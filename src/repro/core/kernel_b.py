@@ -60,12 +60,21 @@ def build_params_b(
     vectorised :func:`~repro.finance.lattice.build_lattice_arrays`
     call, so no Python loop runs over the batch.  Arguments are
     validated (same :class:`~repro.errors.ReproError` messages as the
-    simulators) before anything is allocated.
+    simulators) before anything is allocated.  Non-CRR families are
+    rejected here: the in-device leaf expression ``s0 * u**(N-2k)``
+    and the ``d * S`` roll both assume the CRR recombination
+    ``u*d = 1``, so this kernel models the paper's CRR-only hardware.
     """
     if steps < 2:
         raise ReproError("kernel IV.B needs at least 2 steps")
     if not options:
         raise ReproError("empty option batch")
+    if family is not LatticeFamily.CRR:
+        raise ReproError(
+            "kernel IV.B initialises leaves as s0 * u**(N-2k), which "
+            "exploits the CRR recombination u*d = 1 (paper Figure 1); "
+            "use kernel IV.A (host-computed leaves) for other families"
+        )
     fields = option_arrays(options)
     lattice = build_lattice_arrays(options, steps, family)
     rows = np.empty((len(options), len(PARAM_FIELDS_B)), dtype=np.float64)
@@ -126,7 +135,11 @@ def make_kernel_b(n_steps: int, profile: MathProfile = EXACT_DOUBLE):
             value = 0.0
             active = k <= t
             if active:
-                s = cast(down * s)  # Equation (1): S[t,k] = d * S[t+1,k]
+                # Equation (1): S[t,k] = d * S[t+1,k].  Valid because this
+                # kernel is CRR-only (build_params_b rejects other
+                # families): under CRR d = 1/u, so rolling by d IS the
+                # family-correct S[t+1,k] / u.
+                s = cast(down * s)
                 continuation = cast(cast(rp * v_row[k]) + cast(rq * v_row[k + 1]))
                 intrinsic = cast(sign * (s - strike))
                 value = continuation if continuation > intrinsic else intrinsic

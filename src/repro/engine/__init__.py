@@ -18,7 +18,12 @@ without changing a single arithmetic operation:
 * :mod:`~repro.engine.engine` — the :class:`PricingEngine` facade.
 """
 
-from .engine import EngineConfig, EngineResult, PricingEngine
+from .engine import (
+    EngineConfig,
+    EngineResult,
+    GreeksEngineResult,
+    PricingEngine,
+)
 from .faults import (
     ALWAYS,
     FaultKind,
@@ -35,7 +40,9 @@ from .reliability import (
 )
 from .scheduler import (
     KERNELS,
+    TASKS,
     Chunk,
+    greeks_chunk,
     group_stream,
     plan_chunks,
     price_chunk,
@@ -48,11 +55,14 @@ __all__ = [
     "PricingEngine",
     "EngineConfig",
     "EngineResult",
+    "GreeksEngineResult",
     "EngineStats",
     "Workspace",
     "kernel_tile_bytes",
     "Chunk",
     "KERNELS",
+    "TASKS",
+    "greeks_chunk",
     "group_stream",
     "plan_chunks",
     "price_chunk",

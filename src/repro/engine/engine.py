@@ -60,7 +60,7 @@ from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 import numpy as np
@@ -96,7 +96,8 @@ from .scheduler import (
 from .stats import EngineStats, RunMetrics
 from .workspace import Workspace, kernel_tile_bytes
 
-__all__ = ["EngineConfig", "EngineResult", "PricingEngine"]
+__all__ = ["EngineConfig", "EngineResult", "GreeksEngineResult",
+           "PricingEngine"]
 
 
 @dataclass(frozen=True)
@@ -163,6 +164,35 @@ class EngineResult:
     prices: np.ndarray
     stats: EngineStats
     failures: "tuple[FailureRecord, ...]" = field(default=())
+
+
+@dataclass(frozen=True)
+class GreeksEngineResult:
+    """Batch sensitivities (input order), failures, and run statistics.
+
+    ``prices``/``delta``/``gamma``/``theta`` come out of the *same*
+    engine pricing pass (tree-level capture, no re-pricing);
+    ``vega``/``rho`` are central differences over the four bump passes
+    scheduled as sibling chunk groups of the same run.  An option that
+    failed in any pass carries NaN in the affected columns and a
+    :class:`~repro.engine.reliability.FailureRecord` whose message
+    names the pass; every other entry matches the fault-free run.
+    """
+
+    prices: np.ndarray
+    delta: np.ndarray
+    gamma: np.ndarray
+    theta: np.ndarray
+    vega: np.ndarray
+    rho: np.ndarray
+    stats: EngineStats
+    failures: "tuple[FailureRecord, ...]" = field(default=())
+
+
+#: Scheduling order of a greeks run's passes: the base pass computes
+#: [price, delta, gamma, theta] rows by level capture; the four bump
+#: passes re-price bumped contracts for the vega/rho differences.
+_GREEKS_PASSES = ("base", "vega+", "vega-", "rho+", "rho-")
 
 
 class PricingEngine:
@@ -342,10 +372,10 @@ class PricingEngine:
             family=self.family.value, workers=self.config.workers,
             options=len(options), chunks=len(chunks), groups=len(groups),
         )
-        group_spans: "dict[int, object]" = {}
+        group_spans: "dict[tuple[str, int], object]" = {}
         if self.tracer.enabled:
             for group_steps, (indices, _) in sorted(groups.items()):
-                group_spans[group_steps] = run_span.child(
+                group_spans[("", group_steps)] = run_span.child(
                     f"group[steps={group_steps}]", "group",
                     steps=group_steps, options=len(indices),
                 )
@@ -389,6 +419,164 @@ class PricingEngine:
             failures=tuple(sorted(failures, key=lambda f: f.index)),
         )
 
+    def run_greeks(self, options: Sequence[Option],
+                   steps: "int | Sequence[int]" = 512,
+                   bump_vol: float = 1e-3,
+                   bump_rate: float = 1e-4) -> GreeksEngineResult:
+        """Price a stream and its full greeks set through one schedule.
+
+        The *base pass* prices every option with tree-level capture, so
+        delta/gamma/theta come out of the same backward induction as
+        the price (see
+        :func:`repro.engine.scheduler.greeks_chunk` — no re-pricing).
+        Four *bump passes* (volatility ±``bump_vol``, rate
+        ±``bump_rate``) are scheduled as sibling chunk groups of the
+        same run, so they inherit chunking, worker fan-out,
+        retry/quarantine and span/metrics instrumentation unchanged;
+        vega and rho are the central differences of their prices.
+
+        ``steps`` may be a single depth or one per option, exactly as
+        in :meth:`run`, but must be >= 3 everywhere (levels 0..2 have
+        to sit below the leaves).  Failures never raise: the affected
+        columns carry NaN and
+        :attr:`GreeksEngineResult.failures` names the pass.
+        """
+        if bump_vol <= 0.0:
+            raise EngineError(f"bump_vol must be > 0, got {bump_vol}")
+        if bump_rate <= 0.0:
+            raise EngineError(f"bump_rate must be > 0, got {bump_rate}")
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        self._closed = False
+
+        options = list(options)
+        n = len(options)
+        groups = group_stream(options, steps)
+        for group_steps in groups:
+            if group_steps < 3:
+                raise EngineError(
+                    "greeks need at least 3 steps (tree levels 0..2 must "
+                    f"sit below the leaves), got {group_steps}"
+                )
+
+        # Pass p's virtual indices are p*n + i, so one flat (5n, 4)
+        # output array and the unchanged scatter/quarantine machinery
+        # serve all five passes; pass 0 rows are [price, delta, gamma,
+        # theta].  Bump passes run the same greeks task — their price
+        # column then comes from the identical capture path the scalar
+        # oracle (lattice_greeks) re-prices with, so the vega/rho
+        # differences never mix parameter-builder ulps (which the
+        # 1/(2*bump) amplification would magnify).
+        floor = 1e-8  # keep the down-bumped volatility positive
+        pass_options: "tuple[tuple[str, list[Option]], ...]" = (
+            ("base", options),
+            ("vega+",
+             [o.with_volatility(o.volatility + bump_vol) for o in options]),
+            ("vega-",
+             [o.with_volatility(max(o.volatility - bump_vol, floor))
+              for o in options]),
+            ("rho+",
+             [replace(o, rate=o.rate + bump_rate) for o in options]),
+            ("rho-",
+             [replace(o, rate=o.rate - bump_rate) for o in options]),
+        )
+
+        chunks: list[Chunk] = []
+        for pass_id, (label, members) in enumerate(pass_options):
+            for group_steps, (indices, _) in sorted(groups.items()):
+                chunks.extend(plan_chunks(
+                    [pass_id * n + i for i in indices],
+                    [members[i] for i in indices],
+                    group_steps, self.profile.dtype,
+                    self.config.chunk_options, self.config.tile_budget_bytes,
+                    self.config.min_chunk_options, self.config.workers,
+                    task="greeks", group=label,
+                ))
+
+        tree_nodes = len(pass_options) * sum(
+            len(indices) * (nodes_per_option(s) + s + 1)
+            for s, (indices, _) in groups.items()
+        )
+
+        metrics = RunMetrics()
+        metrics.options.inc(len(pass_options) * n)
+        metrics.greeks_options.inc(n)
+        metrics.bump_passes.inc(len(pass_options) - 1)
+        metrics.tree_nodes.inc(tree_nodes)
+        metrics.groups.inc(len(pass_options) * len(groups))
+        metrics.chunks.inc(len(chunks))
+
+        run_span = self.tracer.start_span(
+            "engine.greeks", "run",
+            kernel=self.kernel, profile=self.profile.name,
+            family=self.family.value, workers=self.config.workers,
+            options=n, chunks=len(chunks),
+            bump_vol=bump_vol, bump_rate=bump_rate,
+        )
+        group_spans: "dict[tuple[str, int], object]" = {}
+        if self.tracer.enabled:
+            for label, task, _ in pass_options:
+                for group_steps, (indices, _) in sorted(groups.items()):
+                    group_spans[(label, group_steps)] = run_span.child(
+                        f"group[{label}:steps={group_steps}]", "group",
+                        steps=group_steps, options=len(indices), task=task,
+                    )
+
+        out = np.empty((len(pass_options) * n, 4), dtype=np.float64)
+        failures: "list[FailureRecord]" = []
+        try:
+            if self.config.workers == 1 or len(chunks) == 1:
+                peak_tile_bytes = self._run_serial(
+                    chunks, out, metrics, failures, group_spans)
+            else:
+                peak_tile_bytes = self._run_pool(
+                    chunks, out, metrics, failures, group_spans)
+        except BaseException:
+            run_span.set(status="aborted")
+            raise
+        finally:
+            for span in group_spans.values():
+                span.end()
+            run_span.end()
+
+        base = out[:n]
+        vega = (out[n:2 * n, 0] - out[2 * n:3 * n, 0]) / (2.0 * bump_vol)
+        rho = (out[3 * n:4 * n, 0] - out[4 * n:5 * n, 0]) / (2.0 * bump_rate)
+
+        remapped = [
+            replace(record, index=record.index % n,
+                    message=(f"[{_GREEKS_PASSES[record.index // n]} pass] "
+                             f"{record.message}"))
+            for record in failures
+        ]
+
+        wall_time_s = time.perf_counter() - wall_start
+        stats = EngineStats.from_run(
+            metrics,
+            workers=self.config.workers,
+            wall_time_s=wall_time_s,
+            cpu_time_s=time.process_time() - cpu_start,
+            peak_tile_bytes=peak_tile_bytes,
+        )
+        metrics.finalise(wall_time_s, stats.options_per_second,
+                         stats.tree_nodes_per_second, peak_tile_bytes)
+        metrics.publish()
+        run_span.set(
+            wall_time_s=wall_time_s,
+            options_per_second=round(stats.options_per_second, 3),
+            quarantined_options=stats.quarantined_options,
+        )
+        return GreeksEngineResult(
+            prices=base[:, 0].copy(),
+            delta=base[:, 1].copy(),
+            gamma=base[:, 2].copy(),
+            theta=base[:, 3].copy(),
+            vega=vega,
+            rho=rho,
+            stats=stats,
+            failures=tuple(sorted(remapped, key=lambda f: f.index)),
+        )
+
     # -- dispatch backends -------------------------------------------------
 
     def _serial_attempt(self, chunk: Chunk, attempt: int) -> np.ndarray:
@@ -397,7 +585,22 @@ class PricingEngine:
             self.kernel, chunk.options, chunk.steps, self.profile,
             self.family.value, indices=chunk.indices, faults=self.faults,
             attempt=attempt, in_pool=False, workspace=self._workspace,
+            task=chunk.task,
         )
+
+    @staticmethod
+    def _scatter(out: np.ndarray, indices, values: np.ndarray) -> None:
+        """Write one chunk's results into the run's output array.
+
+        ``out`` is 1-D for pricing runs and ``(n, 4)`` row-per-option
+        for greeks runs; a 1-D price vector scattered into row output
+        (a bump pass) broadcasts across the row, which is harmless —
+        bump rows are only ever read back through column 0.
+        """
+        if out.ndim == 2 and values.ndim == 1:
+            out[list(indices)] = values[:, None]
+        else:
+            out[list(indices)] = values
 
     def _run_serial(self, chunks: Sequence[Chunk], out: np.ndarray,
                     metrics: RunMetrics,
@@ -414,7 +617,7 @@ class PricingEngine:
         if not self.tracer.enabled:
             return NULL_SPAN
         if parent is None:
-            parent = group_spans.get(chunk.steps, NULL_SPAN)
+            parent = group_spans.get((chunk.group, chunk.steps), NULL_SPAN)
         return parent.child(
             f"chunk[{chunk.indices[0]}+{len(chunk)}]", "chunk",
             first_index=chunk.indices[0], options=len(chunk),
@@ -474,7 +677,7 @@ class PricingEngine:
                 last_error = PoisonChunkError(
                     f"chunk produced {int(bad.sum())} non-finite price(s)")
                 continue
-            out[list(chunk.indices)] = chunk_prices
+            self._scatter(out, chunk.indices, chunk_prices)
             span.end()
             return
         self._quarantine(chunk, out, metrics, failures, attempt_fn,
@@ -529,9 +732,12 @@ class PricingEngine:
         """Identity the pool worker tags its spans with (or ``None``)."""
         if not self.tracer.enabled:
             return None
+        group_name = (f"group[{chunk.group}:steps={chunk.steps}]"
+                      if chunk.group else f"group[steps={chunk.steps}]")
+        root = "engine.greeks" if chunk.group else "engine.run"
         return SpanContext(
             trace_id=self.tracer.trace_id,
-            path=("engine.run", f"group[steps={chunk.steps}]",
+            path=(root, group_name,
                   f"chunk[{chunk.indices[0]}+{len(chunk)}]",
                   f"attempt-{attempt}"),
         )
@@ -598,6 +804,7 @@ class PricingEngine:
                         indices=chunk.indices, faults=self.faults,
                         attempt=attempt, in_pool=True,
                         span_context=self._span_context(chunk, attempt),
+                        task=chunk.task,
                     ), chunk, attempt, attempt_span))
             pool_failed = False
             next_delay = 0.0
@@ -670,7 +877,7 @@ class PricingEngine:
                             f"price(s)"),
                         queue, out, metrics, failures, span_for(chunk)))
                     continue
-                out[list(chunk.indices)] = chunk_prices
+                self._scatter(out, chunk.indices, chunk_prices)
                 span = chunk_spans.pop(chunk.indices, None)
                 if span is not None:
                     span.end()

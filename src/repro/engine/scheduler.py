@@ -37,17 +37,24 @@ from ..core.batch_sim import simulate_kernel_a_batch, simulate_kernel_b_batch
 from ..core.faithful_math import get_profile
 from ..errors import ReproError
 from ..finance.binomial import price_binomial
-from ..finance.lattice import LatticeFamily
-from ..finance.options import Option
+from ..finance.greeks import greeks_from_levels, tree_value_levels
+from ..finance.lattice import LatticeFamily, build_lattice_arrays
+from ..finance.options import Option, option_arrays
 from ..obs.trace import SpanContext, _worker_record
 from .workspace import Workspace, kernel_tile_bytes
 
-__all__ = ["Chunk", "ChunkReport", "KERNELS", "group_stream", "plan_chunks",
-           "price_chunk", "price_chunk_observed", "split_chunk"]
+__all__ = ["Chunk", "ChunkReport", "KERNELS", "TASKS", "greeks_chunk",
+           "group_stream", "plan_chunks", "price_chunk",
+           "price_chunk_observed", "split_chunk"]
 
 #: Kernels the engine can schedule: the two paper accelerators plus
 #: the reference software pricer (per-option backward induction).
 KERNELS = ("iv_a", "iv_b", "reference")
+
+#: Work a chunk can carry: ``"price"`` produces one root value per
+#: option; ``"greeks"`` produces ``[price, delta, gamma, theta]`` rows
+#: from the same single pricing pass (level capture, no re-pricing).
+TASKS = ("price", "greeks")
 
 
 @dataclass(frozen=True)
@@ -58,11 +65,17 @@ class Chunk:
         (used to scatter prices back into input order).
     :param options: the contracts, aligned with ``indices``.
     :param steps: tree depth shared by every option in the tile.
+    :param task: what the worker computes — one of :data:`TASKS`.
+    :param group: label of the scheduling group this chunk belongs to
+        (empty for plain pricing runs; greeks runs use it to keep the
+        base pass and the vega/rho bump passes as sibling span groups).
     """
 
     indices: tuple[int, ...]
     options: tuple[Option, ...]
     steps: int
+    task: str = "price"
+    group: str = ""
 
     def __len__(self) -> int:
         return len(self.options)
@@ -124,6 +137,8 @@ def plan_chunks(
     tile_budget_bytes: int,
     min_chunk_options: int,
     workers: int,
+    task: str = "price",
+    group: str = "",
 ) -> "list[Chunk]":
     """Shard one homogeneous group into workspace-sized tiles.
 
@@ -131,6 +146,7 @@ def plan_chunks(
     within ``tile_budget_bytes`` (unless ``chunk_options`` pins the
     size explicitly), never below ``min_chunk_options`` rows, and —
     when fanning out — small enough that every worker gets work.
+    ``task``/``group`` are stamped onto every chunk unchanged.
     """
     total = len(options)
     if chunk_options is not None:
@@ -146,6 +162,8 @@ def plan_chunks(
             indices=tuple(indices[lo:lo + rows]),
             options=tuple(options[lo:lo + rows]),
             steps=steps,
+            task=task,
+            group=group,
         )
         for lo in range(0, total, rows)
     ]
@@ -163,9 +181,9 @@ def split_chunk(chunk: Chunk) -> "tuple[Chunk, ...]":
     mid = len(chunk) // 2
     return (
         Chunk(indices=chunk.indices[:mid], options=chunk.options[:mid],
-              steps=chunk.steps),
+              steps=chunk.steps, task=chunk.task, group=chunk.group),
         Chunk(indices=chunk.indices[mid:], options=chunk.options[mid:],
-              steps=chunk.steps),
+              steps=chunk.steps, task=chunk.task, group=chunk.group),
     )
 
 
@@ -185,6 +203,51 @@ def _worker_workspace() -> Workspace:
     return _WORKER_WORKSPACE
 
 
+def greeks_chunk(
+    kernel: str,
+    options: Sequence[Option],
+    steps: int,
+    profile,
+    family: LatticeFamily,
+    workspace: "Workspace | None" = None,
+) -> np.ndarray:
+    """Price one chunk *and* its level-0..2 sensitivities in one pass.
+
+    Returns ``(n, 4)`` float64 rows ``[price, delta, gamma, theta]``.
+    The kernel simulators run with ``capture_levels=True`` — the value
+    rows of tree levels 1 and 2 are copied out of the same time-major
+    backward loop that produces the price, so the sensitivities cost
+    no second pricing.  The reference kernel walks
+    :func:`repro.finance.greeks.tree_value_levels` per option, the
+    loop-based twin of the same capture.  Both funnel through
+    :func:`repro.finance.greeks.greeks_from_levels`, so batch and
+    scalar greeks share one formula.
+    """
+    if kernel in ("iv_a", "iv_b"):
+        simulate = (simulate_kernel_a_batch if kernel == "iv_a"
+                    else simulate_kernel_b_batch)
+        prices, level1, level2 = simulate(
+            options, steps, profile, family, workspace=workspace,
+            capture_levels=True)
+        fields = option_arrays(options)
+        lattice = build_lattice_arrays(options, steps, family)
+        delta, gamma, theta = greeks_from_levels(
+            fields.spot, lattice.up, lattice.down, lattice.dt,
+            prices, level1, level2)
+        return np.column_stack((prices, delta, gamma, theta))
+    if kernel == "reference":
+        rows = np.empty((len(options), 4), dtype=np.float64)
+        for i, option in enumerate(options):
+            price, level1, level2, params = tree_value_levels(
+                option, steps, family)
+            delta, gamma, theta = greeks_from_levels(
+                option.spot, params.up, params.down, params.dt, price,
+                level1, level2)
+            rows[i] = (price, delta, gamma, theta)
+        return rows
+    raise ReproError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+
+
 def price_chunk(
     kernel: str,
     options: Sequence[Option],
@@ -196,6 +259,7 @@ def price_chunk(
     attempt: int = 0,
     in_pool: bool = True,
     workspace: "Workspace | None" = None,
+    task: str = "price",
 ) -> np.ndarray:
     """Price one chunk; the unit of work a pool worker executes.
 
@@ -211,14 +275,26 @@ def price_chunk(
     an option index fire in whichever chunk carries that option, while
     ``attempt < spec.attempts`` — a pure function of the arguments, so
     the same plan replays identically across processes and retries.
+
+    ``task="greeks"`` routes to :func:`greeks_chunk` and returns
+    ``(n, 4)`` rows instead of a price vector; every other mechanism
+    (faults, retries, workspace reuse) is identical.
     """
     profile = (get_profile(profile_name) if isinstance(profile_name, str)
                else profile_name)
     family = LatticeFamily(family_value)
+    if task not in TASKS:
+        raise ReproError(f"task must be one of {TASKS}, got {task!r}")
     if faults is not None and indices is not None:
         faults.fire_before_pricing(indices, attempt, in_pool)
     if workspace is None:
         workspace = _worker_workspace()
+    if task == "greeks":
+        rows = greeks_chunk(kernel, options, steps, profile, family,
+                            workspace=workspace)
+        if faults is not None and indices is not None:
+            rows = faults.corrupt_prices(indices, attempt, rows)
+        return rows
     if kernel == "iv_b":
         prices = simulate_kernel_b_batch(options, steps, profile, family,
                                          workspace=workspace)
@@ -250,6 +326,7 @@ def price_chunk_observed(
     in_pool: bool = True,
     workspace: "Workspace | None" = None,
     span_context: "SpanContext | None" = None,
+    task: str = "price",
 ) -> "tuple[np.ndarray, ChunkReport]":
     """Price one chunk and report what the worker saw.
 
@@ -264,8 +341,9 @@ def price_chunk_observed(
     CLOCK_MONOTONIC, which is system-wide on Linux, so worker spans
     mesh onto the parent's timeline directly.
     """
+    name = f"worker:{kernel}" if task == "price" else f"worker:{kernel}:{task}"
     span = _worker_record(
-        span_context, f"worker:{kernel}", "worker",
+        span_context, name, "worker",
         options=len(options), steps=steps, attempt=attempt,
         pid=os.getpid(),
     )
@@ -275,7 +353,7 @@ def price_chunk_observed(
             prices = price_chunk(
                 kernel, options, steps, profile_name, family_value,
                 indices=indices, faults=faults, attempt=attempt,
-                in_pool=in_pool, workspace=workspace,
+                in_pool=in_pool, workspace=workspace, task=task,
             )
     finally:
         duration_s = time.perf_counter() - start

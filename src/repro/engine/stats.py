@@ -65,6 +65,12 @@ class RunMetrics:
         self.quarantined_options = reg.counter(
             keys.QUARANTINED_OPTIONS_TOTAL,
             "Options isolated by quarantine bisection (NaN + FailureRecord)")
+        self.greeks_options = reg.counter(
+            keys.GREEKS_OPTIONS_TOTAL,
+            "Options whose full greeks set was computed (run_greeks)")
+        self.bump_passes = reg.counter(
+            keys.BUMP_PASSES_TOTAL,
+            "Bump-and-reprice passes scheduled for vega/rho differences")
         self.chunk_latency = reg.histogram(
             keys.CHUNK_LATENCY_SECONDS,
             "Wall-clock latency of completed chunk pricing attempts")
@@ -78,7 +84,8 @@ class RunMetrics:
         for handle in (self.options, self.tree_nodes, self.groups,
                        self.chunks, self.retries, self.timeouts,
                        self.pool_rebuilds, self.degraded_to_serial,
-                       self.quarantined_options):
+                       self.quarantined_options, self.greeks_options,
+                       self.bump_passes):
             handle.inc(0.0)
 
     def finalise(self, wall_time_s: float, options_per_second: float,
@@ -128,6 +135,11 @@ class EngineStats:
     :param quarantined_options: options isolated by quarantine
         bisection and returned as NaN with a
         :class:`~repro.engine.reliability.FailureRecord`.
+    :param greeks_options: options whose full greeks set was computed
+        (``run_greeks`` only; ``options`` then counts every tree
+        pricing including the bump passes).
+    :param bump_passes: vega/rho bump-and-reprice passes scheduled as
+        sibling chunk groups (4 per greeks run, 0 otherwise).
     """
 
     options: int
@@ -143,6 +155,8 @@ class EngineStats:
     pool_rebuilds: int = 0
     degraded_to_serial: int = 0
     quarantined_options: int = 0
+    greeks_options: int = 0
+    bump_passes: int = 0
 
     @classmethod
     def from_run(cls, metrics: RunMetrics, *, workers: int,

@@ -86,6 +86,7 @@ def price_binomial(
 
     up = dtype.type(params.up)
     down = dtype.type(params.down)
+    pulldown = dtype.type(params.pulldown)
     rp = dtype.type(params.discounted_p_up)
     rq = dtype.type(params.discounted_p_down)
     strike = dtype.type(option.strike)
@@ -102,7 +103,9 @@ def price_binomial(
         # Continuation value for nodes k = 0..t: rp*V[t+1,k] + rq*V[t+1,k+1].
         values = rp * values[: t + 1] + rq * values[1 : t + 2]
         if american:
-            prices = prices[: t + 1] * down  # S[t, k] = d * S[t+1, k]
+            # S[t, k] = S[t+1, k] / u for every family; the paper's
+            # Equation (1) form d * S[t+1, k] holds only under CRR.
+            prices = prices[: t + 1] * pulldown
             values = np.maximum(values, sign * (prices - strike))
 
     return PricingResult(
@@ -134,11 +137,12 @@ def price_binomial_scalar(
     ]
     values = [max(sign * (s - option.strike), 0.0) for s in prices]
 
+    pulldown = params.pulldown
     for t in range(steps - 1, -1, -1):
         for k in range(t + 1):
             continuation = rp * values[k] + rq * values[k + 1]
             if option.is_american:
-                prices[k] = params.down * prices[k]
+                prices[k] = pulldown * prices[k]
                 continuation = max(continuation, sign * (prices[k] - option.strike))
             values[k] = continuation
 
@@ -225,7 +229,7 @@ def exercise_boundary(
 
     for t in range(steps - 1, -1, -1):
         values = rp * values[: t + 1] + rq * values[1 : t + 2]
-        prices = prices[: t + 1] * params.down
+        prices = prices[: t + 1] * params.pulldown
         intrinsic = sign * (prices - option.strike)
         exercised = intrinsic >= values
         exercised &= intrinsic > 0.0

@@ -5,6 +5,13 @@ nodes of the first two tree levels already contain prices at perturbed
 spots, so delta, gamma and theta fall out of a single pricing run with
 no re-pricing.  Vega and rho use central finite differences over
 re-parameterised trees.
+
+:func:`greeks_from_levels` is the one shared formula mapping (root,
+level 1, level 2) to delta/gamma/theta; it accepts scalars or batch
+arrays, so the scalar :func:`lattice_greeks` here and the batched
+engine greeks path (:meth:`repro.engine.PricingEngine.run_greeks`)
+compute the sensitivities from captured levels through *identical*
+arithmetic.
 """
 
 from __future__ import annotations
@@ -14,10 +21,11 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..errors import FinanceError
-from .lattice import LatticeFamily, build_lattice_params
+from .lattice import LatticeFamily, LatticeParams, build_lattice_arrays
 from .options import Option
 
-__all__ = ["LatticeGreeks", "lattice_greeks"]
+__all__ = ["LatticeGreeks", "lattice_greeks", "greeks_from_levels",
+           "tree_value_levels"]
 
 
 @dataclass(frozen=True)
@@ -32,9 +40,28 @@ class LatticeGreeks:
     rho: float
 
 
-def _tree_values(option: Option, steps: int, family: LatticeFamily):
-    """Backward induction keeping levels 0..2; returns (V0, V1, V2, params)."""
-    params = build_lattice_params(option, steps, family)
+def tree_value_levels(option: Option, steps: int, family: LatticeFamily):
+    """Backward induction keeping levels 0..2; returns (V0, V1, V2, params).
+
+    The reference-software twin of the batch simulators'
+    ``capture_levels`` mode: one pricing pass whose value rows at tree
+    levels 1 and 2 are copied out for the lattice greeks formulas.
+
+    Tree constants come from the vectorised
+    :func:`~repro.finance.lattice.build_lattice_arrays` builder (the
+    one every batch path uses) rather than the ``math.exp`` scalar
+    builder: the two can differ in the last ulp, and the vega/rho
+    central differences amplify that by ``1 / (2 * bump)`` — routing
+    the scalar reference through the same builder keeps
+    :func:`lattice_greeks` and the engine's batched greeks bitwise
+    comparable.
+    """
+    arrays = build_lattice_arrays([option], steps, family)
+    params = LatticeParams(
+        steps=steps, dt=float(arrays.dt[0]), up=float(arrays.up[0]),
+        down=float(arrays.down[0]), p_up=float(arrays.p_up[0]),
+        discount=float(arrays.discount[0]), family=family,
+    )
     sign = option.option_type.sign
     rp = params.discounted_p_up
     rq = params.discounted_p_down
@@ -43,10 +70,11 @@ def _tree_values(option: Option, steps: int, family: LatticeFamily):
     prices = option.spot * params.up ** (steps - k) * params.down**k
     values = np.maximum(sign * (prices - option.strike), 0.0)
 
+    pulldown = params.pulldown
     level1 = level2 = None
     for t in range(steps - 1, -1, -1):
         values = rp * values[: t + 1] + rq * values[1 : t + 2]
-        prices = prices[: t + 1] * params.down
+        prices = prices[: t + 1] * pulldown
         if option.is_american:
             values = np.maximum(values, sign * (prices - option.strike))
         if t == 2:
@@ -55,6 +83,44 @@ def _tree_values(option: Option, steps: int, family: LatticeFamily):
             level1 = values.copy()
 
     return float(values[0]), level1, level2, params
+
+
+# Backwards-compatible private alias (pre-batched-greeks name).
+_tree_values = tree_value_levels
+
+
+def greeks_from_levels(spot, up, down, dt, price, level1, level2):
+    """Delta, gamma and theta from tree levels 0..2 of one pricing pass.
+
+    Works elementwise on scalars or parallel batch arrays: ``spot``,
+    ``up``, ``down``, ``dt`` and ``price`` are per-option values,
+    ``level1``/``level2`` hold the level-1/level-2 option values with
+    the node axis *last* (shapes ``(..., 2)`` and ``(..., 3)``).
+
+    The node spots are recomputed family-correctly: the level-2 middle
+    node sits at ``spot * u * d``, which is ``spot`` only under the
+    CRR recombination ``u*d = 1`` (for Jarrow-Rudd/Tian the drift
+    moves it).
+
+    :returns: ``(delta, gamma, theta)`` with theta per year.
+    """
+    level1 = np.asarray(level1, dtype=np.float64)
+    level2 = np.asarray(level2, dtype=np.float64)
+
+    s_up = spot * up
+    s_dn = spot * down
+    delta = (level1[..., 0] - level1[..., 1]) / (s_up - s_dn)
+
+    s_uu = spot * up * up
+    s_mid = spot * up * down
+    s_dd = spot * down * down
+    delta_up = (level2[..., 0] - level2[..., 1]) / (s_uu - s_mid)
+    delta_dn = (level2[..., 1] - level2[..., 2]) / (s_mid - s_dd)
+    gamma = (delta_up - delta_dn) / (0.5 * (s_uu - s_dd))
+
+    # theta from the recombined middle node two steps ahead (per year).
+    theta = (level2[..., 1] - price) / (2.0 * dt)
+    return delta, gamma, theta
 
 
 def lattice_greeks(
@@ -73,29 +139,20 @@ def lattice_greeks(
     if steps < 3:
         raise FinanceError("lattice greeks need at least 3 steps")
 
-    price, level1, level2, params = _tree_values(option, steps, family)
-    s0 = option.spot
-    u, d = params.up, params.down
+    price, level1, level2, params = tree_value_levels(option, steps, family)
+    delta, gamma, theta = greeks_from_levels(
+        option.spot, params.up, params.down, params.dt, price,
+        level1, level2)
 
-    s_up, s_dn = s0 * u, s0 * d
-    delta = (level1[0] - level1[1]) / (s_up - s_dn)
-
-    s_uu, s_mid, s_dd = s0 * u * u, s0, s0 * d * d
-    delta_up = (level2[0] - level2[1]) / (s_uu - s_mid)
-    delta_dn = (level2[1] - level2[2]) / (s_mid - s_dd)
-    gamma = (delta_up - delta_dn) / (0.5 * (s_uu - s_dd))
-
-    # theta from the recombined middle node two steps ahead (per year).
-    theta = (level2[1] - price) / (2.0 * params.dt)
-
-    vega_hi = _tree_values(option.with_volatility(option.volatility + bump_vol), steps, family)[0]
-    vega_lo = _tree_values(option.with_volatility(max(option.volatility - bump_vol, 1e-8)), steps, family)[0]
+    vega_hi = tree_value_levels(option.with_volatility(option.volatility + bump_vol), steps, family)[0]
+    vega_lo = tree_value_levels(option.with_volatility(max(option.volatility - bump_vol, 1e-8)), steps, family)[0]
     vega = (vega_hi - vega_lo) / (2.0 * bump_vol)
 
-    rho_hi = _tree_values(replace(option, rate=option.rate + bump_rate), steps, family)[0]
-    rho_lo = _tree_values(replace(option, rate=option.rate - bump_rate), steps, family)[0]
+    rho_hi = tree_value_levels(replace(option, rate=option.rate + bump_rate), steps, family)[0]
+    rho_lo = tree_value_levels(replace(option, rate=option.rate - bump_rate), steps, family)[0]
     rho = (rho_hi - rho_lo) / (2.0 * bump_rate)
 
     return LatticeGreeks(
-        price=price, delta=delta, gamma=gamma, theta=theta, vega=vega, rho=rho
+        price=price, delta=float(delta), gamma=float(gamma),
+        theta=float(theta), vega=vega, rho=rho
     )

@@ -13,10 +13,18 @@ convention *k = number of down moves*, so
 
 and, holding the row ``k`` fixed while stepping backward in time,
 
-    ``S[t, k] = d * S[t+1, k]``
+    ``S[t, k] = S[t+1, k] / u``
 
-which is exactly the first recurrence of the paper's Equation (1) and
-the update kernel IV.B applies in private memory.
+For CRR — and only for CRR — ``u*d = 1`` turns that division into the
+multiplication ``S[t, k] = d * S[t+1, k]``, which is the first
+recurrence of the paper's Equation (1) and the update kernel IV.B
+applies in private memory.  The paper's form is therefore
+*CRR-specific*: applied to a drifted tree (Jarrow-Rudd, Tian) it walks
+the spot ladder down the wrong factor and mis-prices American
+contracts by O(0.1-1) on a ~15 price at N=512.  Every pricer in this
+library rolls the spot by the family-correct :attr:`LatticeParams.pulldown`
+(``1/u``; bit-identical to ``d`` under CRR because CRR constructs
+``d = 1/u`` exactly).
 
 Two alternative drift choices are provided as extensions (Jarrow-Rudd
 equal-probability and Tian moment-matching trees); they share the same
@@ -103,6 +111,20 @@ class LatticeParams:
     def discounted_p_down(self) -> float:
         """``rq`` of Equation (1): discount-weighted down probability."""
         return self.discount * self.p_down
+
+    @property
+    def pulldown(self) -> float:
+        """Factor mapping ``S[t+1, k]`` to ``S[t, k]`` at fixed ``k``.
+
+        ``S[t, k] = S0 u^(t-k) d^k = S[t+1, k] / u`` for *every*
+        lattice family.  The paper's Equation (1) writes this as
+        ``d * S[t+1, k]``, which holds only under the CRR
+        recombination ``u*d = 1`` — for CRR this property is
+        bit-identical to :attr:`down` (CRR constructs ``d = 1/u``
+        exactly), while for Jarrow-Rudd/Tian it is the correction
+        that keeps rolled spot ladders on the tree.
+        """
+        return 1.0 / self.up
 
     @property
     def levels(self) -> int:
@@ -212,6 +234,16 @@ class LatticeArrays:
     def discounted_p_down(self) -> np.ndarray:
         """``rq`` of Equation (1): discount-weighted down probability."""
         return self.discount * self.p_down
+
+    @property
+    def pulldown(self) -> np.ndarray:
+        """Per-option ``S[t+1, k] -> S[t, k]`` roll factor, ``1/u``.
+
+        Array twin of :attr:`LatticeParams.pulldown`: bit-identical to
+        :attr:`down` under CRR (where ``d = 1/u`` by construction),
+        the family-correct spot update for Jarrow-Rudd and Tian.
+        """
+        return 1.0 / self.up
 
 
 def build_lattice_arrays(

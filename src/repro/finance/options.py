@@ -47,6 +47,29 @@ class ExerciseStyle(enum.Enum):
     AMERICAN = "american"
 
 
+def _coerce_enum(value, enum_cls, field):
+    """Return ``value`` as a member of ``enum_cls``, accepting strings.
+
+    Strings are matched case-insensitively against the enum *values*
+    (``"call"``, ``"put"``, ``"european"``, ``"american"``).  Anything
+    else raises :class:`~repro.errors.FinanceError` at construction,
+    where the mistake is visible, instead of an ``AttributeError``
+    deep inside a pricer.
+    """
+    if isinstance(value, enum_cls):
+        return value
+    if isinstance(value, str):
+        try:
+            return enum_cls(value.lower())
+        except ValueError:
+            pass
+    valid = ", ".join(repr(m.value) for m in enum_cls)
+    raise FinanceError(
+        f"{field} must be {enum_cls.__name__} or one of {valid}, "
+        f"got {value!r}"
+    )
+
+
 @dataclass(frozen=True)
 class Option:
     """Immutable description of a vanilla equity option contract.
@@ -59,9 +82,12 @@ class Option:
     :param rate: continuously-compounded risk-free rate ``r``.
     :param volatility: annualised volatility ``sigma`` (must be > 0).
     :param maturity: time to expiry ``T`` in years (must be > 0).
-    :param option_type: :class:`OptionType.CALL` or ``PUT``.
+    :param option_type: :class:`OptionType.CALL` or ``PUT``; the enum
+        value strings (``"call"`` / ``"put"``, case-insensitive) are
+        also accepted and coerced at construction.
     :param exercise: :class:`ExerciseStyle.AMERICAN` (paper's target) or
-        ``EUROPEAN``.
+        ``EUROPEAN``; strings (``"american"`` / ``"european"``) are
+        coerced the same way.
     :param dividend_yield: continuous dividend yield ``q`` (default 0).
     """
 
@@ -75,6 +101,15 @@ class Option:
     dividend_yield: float = 0.0
 
     def __post_init__(self) -> None:
+        # Coerce string spellings up front: without this,
+        # Option(option_type="put") constructs silently and only crashes
+        # much later with AttributeError when a pricer asks for .sign.
+        object.__setattr__(
+            self, "option_type", _coerce_enum(self.option_type, OptionType,
+                                              "option_type"))
+        object.__setattr__(
+            self, "exercise", _coerce_enum(self.exercise, ExerciseStyle,
+                                           "exercise"))
         if not (self.spot > 0.0 and math.isfinite(self.spot)):
             raise FinanceError(f"spot must be finite and > 0, got {self.spot}")
         if not (self.strike > 0.0 and math.isfinite(self.strike)):

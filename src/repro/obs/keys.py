@@ -20,6 +20,8 @@ __all__ = [
     "GROUPS_TOTAL",
     "OPTIONS_PRICED_TOTAL",
     "TREE_NODES_TOTAL",
+    "GREEKS_OPTIONS_TOTAL",
+    "BUMP_PASSES_TOTAL",
     "RETRIES_TOTAL",
     "TIMEOUTS_TOTAL",
     "POOL_REBUILDS_TOTAL",
@@ -38,7 +40,9 @@ __all__ = [
 ]
 
 #: Version tag of the engine statistics schema (bump on key changes).
-STATS_SCHEMA = "repro-engine-stats/v1"
+#: v2 added the greeks-workload counters ``greeks_options`` and
+#: ``bump_passes`` (zero on plain pricing runs).
+STATS_SCHEMA = "repro-engine-stats/v2"
 
 #: ``EngineStats.as_dict()`` keys, in their one canonical order.  The
 #: bench-engine JSON ``runs`` entries use exactly these keys (plus the
@@ -59,6 +63,8 @@ STATS_KEYS = (
     "pool_rebuilds",
     "degraded_to_serial",
     "quarantined_options",
+    "greeks_options",
+    "bump_passes",
 )
 
 #: The subset of :data:`STATS_KEYS` that counts fault-tolerance events.
@@ -76,6 +82,8 @@ CHUNKS_TOTAL = "repro_engine_chunks_total"
 GROUPS_TOTAL = "repro_engine_groups_total"
 OPTIONS_PRICED_TOTAL = "repro_engine_options_priced_total"
 TREE_NODES_TOTAL = "repro_engine_tree_nodes_total"
+GREEKS_OPTIONS_TOTAL = "repro_engine_greeks_options_total"
+BUMP_PASSES_TOTAL = "repro_engine_bump_passes_total"
 RETRIES_TOTAL = "repro_engine_retries_total"
 TIMEOUTS_TOTAL = "repro_engine_timeouts_total"
 POOL_REBUILDS_TOTAL = "repro_engine_pool_rebuilds_total"
@@ -108,4 +116,6 @@ STATS_TO_METRIC = {
     "pool_rebuilds": POOL_REBUILDS_TOTAL,
     "degraded_to_serial": DEGRADED_TO_SERIAL_TOTAL,
     "quarantined_options": QUARANTINED_OPTIONS_TOTAL,
+    "greeks_options": GREEKS_OPTIONS_TOTAL,
+    "bump_passes": BUMP_PASSES_TOTAL,
 }

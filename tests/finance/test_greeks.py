@@ -36,3 +36,62 @@ class TestLatticeGreeks:
     def test_too_few_steps_rejected(self, put_option):
         with pytest.raises(FinanceError):
             lattice_greeks(put_option, steps=2)
+
+
+class TestLevelCapture:
+    """tree_value_levels + greeks_from_levels — the shared formulas the
+    batched engine path composes from."""
+
+    def test_levels_shapes_and_root(self, put_option):
+        from repro.finance.greeks import tree_value_levels
+        price, level1, level2, params = tree_value_levels(
+            put_option, 64, params_family(put_option))
+        assert level1.shape == (2,)
+        assert level2.shape == (3,)
+        assert price == pytest.approx(
+            price_binomial(put_option, 64).price, rel=1e-12)
+
+    def test_greeks_from_levels_matches_scalar(self, put_option):
+        from repro.finance.greeks import (
+            greeks_from_levels,
+            tree_value_levels,
+        )
+        family = params_family(put_option)
+        price, level1, level2, params = tree_value_levels(
+            put_option, 128, family)
+        delta, gamma, theta = greeks_from_levels(
+            put_option.spot, params.up, params.down, params.dt, price,
+            level1, level2)
+        scalar = lattice_greeks(put_option, steps=128)
+        assert float(delta) == scalar.delta
+        assert float(gamma) == scalar.gamma
+        assert float(theta) == scalar.theta
+
+    def test_greeks_from_levels_batched(self, put_option, call_option):
+        """Scalar and batch invocations compute identical values."""
+        import numpy as np
+
+        from repro.finance.greeks import (
+            greeks_from_levels,
+            tree_value_levels,
+        )
+        rows = [tree_value_levels(o, 64, params_family(o))
+                for o in (put_option, call_option)]
+        spot = np.array([o.spot for o in (put_option, call_option)])
+        up = np.array([r[3].up for r in rows])
+        down = np.array([r[3].down for r in rows])
+        dt = np.array([r[3].dt for r in rows])
+        price = np.array([r[0] for r in rows])
+        level1 = np.stack([r[1] for r in rows])
+        level2 = np.stack([r[2] for r in rows])
+        delta, gamma, theta = greeks_from_levels(spot, up, down, dt,
+                                                 price, level1, level2)
+        for i, (p, l1, l2, params) in enumerate(rows):
+            d, g, t = greeks_from_levels(spot[i], up[i], down[i], dt[i],
+                                         p, l1, l2)
+            assert delta[i] == d and gamma[i] == g and theta[i] == t
+
+
+def params_family(option):
+    from repro.finance.lattice import LatticeFamily
+    return LatticeFamily.CRR

@@ -1,0 +1,147 @@
+"""Cross-family lattice parity: CRR, Jarrow-Rudd and Tian agree with
+an independent exact-per-level reference.
+
+The regression these tests pin down: every backward loop used to roll
+node spots with ``prices[:t+1] * down`` — the paper's Equation (1) —
+which is only correct under the CRR construction ``d = 1/u``.  For
+Jarrow-Rudd and Tian (where ``u * d != 1``) the roll drifted the spot
+grid by ``(u*d)**k`` per level, silently corrupting every American
+early-exercise comparison.  The family-correct roll is
+``prices[:t+1] / u`` (``LatticeParams.pulldown``), which is bitwise
+equal to ``down`` under CRR, so the fix cannot move a CRR golden.
+
+The reference below never rolls: it rebuilds the exact node spots
+``S * u**(t-k) * d**k`` from scratch at every level, so it has no
+accumulated drift by construction and is independent of the code
+under test.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.batch_sim import simulate_kernel_a_batch
+from repro.finance import price_binomial
+from repro.finance.binomial import price_binomial_scalar
+from repro.finance.lattice import LatticeFamily, build_lattice_params
+
+STEPS = 512
+TOL = 1e-10
+
+FAMILIES = (LatticeFamily.CRR, LatticeFamily.JARROW_RUDD, LatticeFamily.TIAN)
+
+
+def exact_per_level_price(option, steps, family):
+    """American/European binomial price with drift-free node spots.
+
+    Rebuilds ``S[t, k] = S * u**(t-k) * d**k`` exactly at every level
+    instead of rolling the previous level's spots — immune by
+    construction to the CRR-only ``* down`` drift bug.
+    """
+    params = build_lattice_params(option, steps, family)
+    sign = option.option_type.sign
+    rp = params.discounted_p_up
+    rq = params.discounted_p_down
+
+    k = np.arange(steps + 1, dtype=np.float64)
+    spots = option.spot * params.up ** (steps - k) * params.down**k
+    values = np.maximum(sign * (spots - option.strike), 0.0)
+
+    for t in range(steps - 1, -1, -1):
+        values = rp * values[: t + 1] + rq * values[1 : t + 2]
+        if option.is_american:
+            k = np.arange(t + 1, dtype=np.float64)
+            spots = option.spot * params.up ** (t - k) * params.down**k
+            values = np.maximum(values, sign * (spots - option.strike))
+    return float(values[0])
+
+
+@pytest.fixture(params=["put_option", "call_option", "euro_put"])
+def contract(request):
+    return request.getfixturevalue(request.param)
+
+
+@pytest.fixture(params=["put_option", "call_option"])
+def american_contract(request):
+    """The accelerator kernels always price American exercise (the
+    paper's designs apply the early-exercise floor unconditionally),
+    so their parity checks use American contracts only."""
+    return request.getfixturevalue(request.param)
+
+
+class TestFamilyParity:
+    """Every pricing path, every family, vs the drift-free reference."""
+
+    @pytest.mark.parametrize("family", FAMILIES, ids=lambda f: f.value)
+    def test_price_binomial(self, contract, family):
+        expected = exact_per_level_price(contract, STEPS, family)
+        got = price_binomial(contract, STEPS, family).price
+        assert abs(got - expected) <= TOL
+
+    @pytest.mark.parametrize("family", FAMILIES, ids=lambda f: f.value)
+    def test_price_binomial_scalar(self, contract, family):
+        expected = exact_per_level_price(contract, STEPS, family)
+        got = price_binomial_scalar(contract, STEPS, family).price
+        assert abs(got - expected) <= TOL
+
+    @pytest.mark.parametrize("family", FAMILIES, ids=lambda f: f.value)
+    def test_kernel_a_batch(self, american_contract, family):
+        expected = exact_per_level_price(american_contract, STEPS, family)
+        got = simulate_kernel_a_batch([american_contract], STEPS,
+                                      family=family)[0]
+        assert abs(got - expected) <= TOL
+
+    @pytest.mark.parametrize("family", FAMILIES, ids=lambda f: f.value)
+    @pytest.mark.parametrize("kernel", ("iv_a", "reference"))
+    def test_engine_route(self, american_contract, family, kernel):
+        expected = exact_per_level_price(american_contract, STEPS, family)
+        got = repro.price([american_contract], steps=STEPS, kernel=kernel,
+                          family=family).prices[0]
+        assert abs(got - expected) <= TOL
+
+    def test_engine_iv_b_crr(self, american_contract):
+        expected = exact_per_level_price(american_contract, STEPS,
+                                         LatticeFamily.CRR)
+        got = repro.price([american_contract], steps=STEPS,
+                          kernel="iv_b").prices[0]
+        assert abs(got - expected) <= TOL
+
+
+class TestCRRBitIdentity:
+    """The fix must not move a single CRR bit: d is constructed as 1/u,
+    so ``pulldown`` (1/u) and ``down`` are the same float64."""
+
+    def test_pulldown_equals_down_under_crr(self, put_option):
+        params = build_lattice_params(put_option, STEPS, LatticeFamily.CRR)
+        assert params.pulldown == params.down  # bitwise: both are 1/u
+
+    def test_pulldown_differs_for_drifted_families(self, put_option):
+        for family in (LatticeFamily.JARROW_RUDD, LatticeFamily.TIAN):
+            params = build_lattice_params(put_option, STEPS, family)
+            assert params.pulldown != params.down
+            assert params.up * params.down != pytest.approx(1.0, abs=1e-12)
+
+
+class TestKernelBFamilyGate:
+    """Kernel IV.B's device-side leaf build uses u**(N-2k), which bakes
+    in the CRR recombination — it must refuse other families up front
+    rather than return drifted prices."""
+
+    def test_build_params_b_rejects_non_crr(self, small_batch):
+        from repro.core.kernel_b import build_params_b
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="CRR"):
+            build_params_b(small_batch, 64, LatticeFamily.JARROW_RUDD)
+
+    def test_batch_simulator_rejects_non_crr(self, small_batch):
+        from repro.core.batch_sim import simulate_kernel_b_batch
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="CRR"):
+            simulate_kernel_b_batch(small_batch, 64,
+                                    family=LatticeFamily.TIAN)
+
+    def test_engine_rejects_non_crr_iv_b(self):
+        from repro.engine import PricingEngine
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="CRR"):
+            PricingEngine(kernel="iv_b", family=LatticeFamily.JARROW_RUDD)

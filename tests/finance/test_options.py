@@ -51,6 +51,55 @@ class TestOptionValidation:
             put_option.spot = 50.0
 
 
+class TestStringCoercion:
+    """``Option(option_type="put")`` must become the enum at
+    construction, not crash later with ``AttributeError: 'str' object
+    has no attribute 'sign'`` deep inside a pricer."""
+
+    @pytest.mark.parametrize("value,expected", [
+        ("call", OptionType.CALL), ("put", OptionType.PUT),
+        ("CALL", OptionType.CALL), ("Put", OptionType.PUT),
+    ])
+    def test_option_type_strings_coerced(self, value, expected):
+        option = Option(spot=100, strike=100, rate=0.05,
+                        volatility=0.3, maturity=1.0, option_type=value)
+        assert option.option_type is expected
+        assert option.option_type.sign == expected.sign
+
+    @pytest.mark.parametrize("value,expected", [
+        ("american", ExerciseStyle.AMERICAN),
+        ("european", ExerciseStyle.EUROPEAN),
+        ("AMERICAN", ExerciseStyle.AMERICAN),
+    ])
+    def test_exercise_strings_coerced(self, value, expected):
+        option = Option(spot=100, strike=100, rate=0.05,
+                        volatility=0.3, maturity=1.0, exercise=value)
+        assert option.exercise is expected
+
+    def test_string_constructed_option_prices(self):
+        from repro.finance import price_binomial
+        coerced = Option(spot=100, strike=105, rate=0.03, volatility=0.25,
+                         maturity=1.0, option_type="put",
+                         exercise="american")
+        enum_built = Option(spot=100, strike=105, rate=0.03, volatility=0.25,
+                            maturity=1.0, option_type=OptionType.PUT,
+                            exercise=ExerciseStyle.AMERICAN)
+        assert (price_binomial(coerced, 64).price
+                == price_binomial(enum_built, 64).price)
+
+    @pytest.mark.parametrize("field,value", [
+        ("option_type", "pu"), ("option_type", "straddle"),
+        ("option_type", 3), ("option_type", None),
+        ("exercise", "bermudan"), ("exercise", 1.5),
+    ])
+    def test_invalid_values_raise_finance_error(self, field, value):
+        kwargs = dict(spot=100.0, strike=100.0, rate=0.05,
+                      volatility=0.3, maturity=1.0)
+        kwargs[field] = value
+        with pytest.raises(FinanceError, match=field):
+            Option(**kwargs)
+
+
 class TestOptionViews:
     def test_with_volatility_returns_copy(self, put_option):
         bumped = put_option.with_volatility(0.4)

@@ -23,7 +23,7 @@ def make_stats(**overrides) -> EngineStats:
 
 class TestStatsKeys:
     def test_schema_tag(self):
-        assert keys.STATS_SCHEMA == "repro-engine-stats/v1"
+        assert keys.STATS_SCHEMA == "repro-engine-stats/v2"
 
     def test_as_dict_keys_exact_order(self):
         assert tuple(make_stats().as_dict()) == keys.STATS_KEYS
@@ -73,6 +73,8 @@ class TestStatsFromRegistry:
         assert samples[keys.RETRIES_TOTAL] == 0
         assert samples[keys.QUARANTINED_OPTIONS_TOTAL] == 0
         assert samples[keys.DEGRADED_TO_SERIAL_TOTAL] == 0
+        assert samples[keys.GREEKS_OPTIONS_TOTAL] == 0
+        assert samples[keys.BUMP_PASSES_TOTAL] == 0
 
 
 class TestBenchDocumentSchema:

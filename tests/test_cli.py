@@ -81,6 +81,38 @@ class TestCommands:
         document = json.loads(out_path.read_text())
         assert document["schema"] == "repro-engine-bench/v1"
 
+    def test_bench_greeks(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "greeks.json"
+        code = main(["bench-greeks", "--options", "8", "--steps", "16",
+                     "--workers", "1", "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "options/s" in out and "bump passes" in out
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == "repro-greeks-bench/v1"
+        run = document["results"][0]["runs"][0]
+        assert run["bump_passes"] == 4
+        assert run["greeks_options"] == 8
+
+    def test_bench_greeks_regression_gate(self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench-greeks", "--options", "8", "--steps", "16",
+                     "--workers", "1", "--out", str(baseline)]) == 0
+        capsys.readouterr()
+
+        document = json.loads(baseline.read_text())
+        document["results"][0]["runs"][0]["options_per_second"] *= 100.0
+        baseline.write_text(json.dumps(document))
+        code = main(["bench-greeks", "--options", "8", "--steps", "16",
+                     "--workers", "1", "--out", str(tmp_path / "g2.json"),
+                     "--check-against", str(baseline)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
     def test_bench_engine_trace_and_metrics_artifacts(self, capsys,
                                                       tmp_path):
         import json

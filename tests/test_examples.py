@@ -22,6 +22,7 @@ FAST_EXAMPLES = (
     "batched_engine",
     "fault_tolerance",
     "observability",
+    "greeks_study",
 )
 
 
