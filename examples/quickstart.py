@@ -12,6 +12,7 @@ Walks the basic flow of the library in five steps:
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro import BinomialAccelerator, Option, OptionType, bs_price, price_binomial
 from repro.finance import baw_price, lattice_greeks
 
@@ -52,7 +53,7 @@ def main() -> None:
     for line in compiled.fitter_summary().splitlines():
         print(f"  {line}")
 
-    result = accelerator.price_batch([option])
+    result = repro.price([option], steps=STEPS, device=accelerator)
     error = result.prices[0] - reference.price
     print(f"\nAccelerator price:                 {result.prices[0]:.6f}")
     print(f"  error vs reference:              {error:+.2e}"

@@ -11,6 +11,7 @@ Run:  python examples/volatility_curve.py
 """
 
 import numpy as np
+import repro
 
 from repro import BinomialAccelerator
 from repro.finance import generate_curve_scenario, implied_vol_curve
@@ -34,7 +35,8 @@ def main() -> None:
                                       steps=CURVE_STEPS)
 
     def engine(option):
-        return float(accelerator.price_batch([option]).prices[0])
+        return float(repro.price([option], steps=CURVE_STEPS,
+                                 device=accelerator).prices[0])
 
     points = implied_vol_curve(base, scenario.strikes, scenario.market_prices,
                                price_fn=engine, steps=CURVE_STEPS)

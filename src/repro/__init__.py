@@ -18,20 +18,33 @@ Layers (bottom-up):
   model, and the analytic Table II performance model;
 * :mod:`repro.engine` — the batched pricing engine: cache-budgeted
   chunking, multi-process fan-out and workspace reuse around the
-  kernels' exact arithmetic.
+  kernels' exact arithmetic;
+* :mod:`repro.service` — the in-process pricing service: request
+  coalescing into engine-sized micro-batches, a content-keyed result
+  cache with in-flight dedup, and bounded-queue admission control.
 
 Quick start::
 
-    from repro import BinomialAccelerator, Option, OptionType
+    import repro
 
-    option = Option(spot=100, strike=105, rate=0.03, volatility=0.25,
-                    maturity=1.0, option_type=OptionType.PUT)
-    accelerator = BinomialAccelerator(platform="fpga", kernel="iv_b")
-    result = accelerator.price_batch([option])
+    option = repro.Option(spot=100, strike=105, rate=0.03,
+                          volatility=0.25, maturity=1.0,
+                          option_type=repro.OptionType.PUT)
+    result = repro.price([option], steps=1024, device="fpga",
+                         kernel="iv_b")
     print(result.prices[0], result.options_per_second)
 """
 
-from .api import GreeksResult, PriceResult, greeks, price
+from .api import (
+    BatchResult,
+    GreeksResult,
+    PriceResult,
+    PricingRequest,
+    ServiceResult,
+    close_shared_engines,
+    greeks,
+    price,
+)
 from .core import (
     ALTERA_13_0_DOUBLE,
     EXACT_DOUBLE,
@@ -46,7 +59,7 @@ from .core import (
     reference_estimate,
 )
 from .engine import EngineConfig, EngineResult, PricingEngine
-from .errors import ReproError
+from .errors import ReproError, ServiceError, ServiceOverloadedError
 from .finance import (
     ExerciseStyle,
     LatticeFamily,
@@ -69,6 +82,14 @@ __all__ = [
     "PriceResult",
     "greeks",
     "GreeksResult",
+    "BatchResult",
+    "PricingRequest",
+    "ServiceResult",
+    "close_shared_engines",
+    "PricingService",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceOverloadedError",
     "Option",
     "OptionType",
     "ExerciseStyle",
@@ -94,3 +115,5 @@ __all__ = [
     "EngineConfig",
     "EngineResult",
 ]
+
+from .service import PricingService, ServiceConfig  # noqa: E402  (imports repro.api)

@@ -8,11 +8,24 @@ and the host engine (:meth:`repro.engine.PricingEngine.price`).
 :func:`price` routes one keyword-only signature to all of them and
 returns one result shape, :class:`PriceResult`.
 
+Every pricing call — the :func:`price`/:func:`greeks` façade, the
+in-process :class:`repro.service.PricingService`, the CLI benches —
+is internally expressed as one canonical request object,
+:class:`PricingRequest`, executed by :func:`run_request` on a
+:class:`~repro.engine.PricingEngine`.  The library call and the
+service call are therefore the *same* request schema, and all results
+derive from one base, :class:`BatchResult` (``route``, ``stats``,
+``failures``, ``options_per_second``).
+
 Routing:
 
 * ``device=None`` (default) runs the host :class:`PricingEngine` with
   the requested ``kernel`` (``"reference"`` if not given) — real
-  wall-clock throughput, fault tolerance, optional tracing;
+  wall-clock throughput, fault tolerance, optional tracing.  With the
+  default ``config``/``workers``/``tracer``/``engine`` the engine is
+  *shared and reused* across calls (one per ``(kernel, precision,
+  family)``) instead of being rebuilt per call; pass ``engine=`` to
+  manage your own, or call :func:`close_shared_engines` at shutdown;
 * ``device="fpga" | "gpu" | "cpu"`` builds the matching
   :class:`BinomialAccelerator` — the paper's Table II configurations
   with modeled time and energy; a ready-made accelerator instance is
@@ -25,12 +38,22 @@ Before                                           After
 ===============================================  =============================================
 ``price_binomial_batch(opts, steps=N)``          ``price(opts, steps=N).prices``
 ``price_binomial_batch(..., workers=4)``         ``price(opts, steps=N, workers=4).prices``
+(removed in repro 2.0)
 ``acc = BinomialAccelerator("fpga", "iv_b")``    ``price(opts, steps=N, device="fpga",``
 ``acc.price_batch(opts)``                        ``      kernel="iv_b").modeled``
+(removed in repro 2.0)
 ``PricingEngine(kernel="iv_b").price(opts, N)``  ``price(opts, steps=N, kernel="iv_b").prices``
 ``PricingEngine(...).run(opts, N)``              ``price(opts, steps=N, kernel="iv_b",``
                                                  ``      strict=False)`` (NaN + ``failures``)
+``run_request(engine,``                          the canonical request path the façade,
+``  PricingRequest(options=..., steps=...))``    service and CLI all share (raw engine result)
 ===============================================  =============================================
+
+Unified result shape: :class:`PriceResult`, :class:`GreeksResult` and
+the service's :class:`ServiceResult` all subclass :class:`BatchResult`
+and share ``route``/``stats``/``failures``/``options_per_second`` and
+``len(result)``; only the payload columns differ (``prices`` alone,
+the five greeks columns, or either plus service metadata).
 
 Example::
 
@@ -47,6 +70,7 @@ Example::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -57,52 +81,223 @@ from .core.faithful_math import EXACT_DOUBLE, EXACT_SINGLE
 from .devices.base import Precision
 from .engine import EngineConfig, PricingEngine
 from .engine.reliability import FailureRecord
+from .engine.scheduler import KERNELS, TASKS
 from .engine.stats import EngineStats
 from .errors import ReproError
 from .finance.lattice import LatticeFamily
 from .finance.options import Option
 
-__all__ = ["GreeksResult", "PriceResult", "greeks", "price"]
+__all__ = [
+    "BatchResult",
+    "GreeksResult",
+    "PriceResult",
+    "PricingRequest",
+    "ServiceResult",
+    "close_shared_engines",
+    "greeks",
+    "price",
+    "run_request",
+]
 
 _DEVICES = ("fpga", "gpu", "cpu")
 
 
-@dataclass(frozen=True)
-class PriceResult:
-    """What :func:`price` returns, whatever the route.
+# ---------------------------------------------------------------------------
+# the canonical request object
 
-    :param prices: root option values in input order (NaN for options
-        quarantined under ``strict=False``).
-    :param route: ``"engine"`` or ``"accelerator"``.
-    :param stats: the engine run's measured statistics (``None`` on the
-        accelerator route, whose engine is internal to the model).
-    :param failures: per-option failure records (engine route with
-        ``strict=False``; empty otherwise).
-    :param modeled: the accelerator's modeled time/energy result
-        (``None`` on the engine route).
+
+@dataclass(frozen=True)
+class PricingRequest:
+    """One pricing request — the schema every route shares.
+
+    :func:`price` and :func:`greeks` build one internally, the
+    :class:`repro.service.PricingService` accepts them directly (and
+    coalesces compatible ones into engine-sized batches), and
+    :func:`run_request` executes one on any
+    :class:`~repro.engine.PricingEngine`.
+
+    :param options: the contracts to price (stored as a tuple).
+    :param steps: tree depth — one ``int`` for the whole request, or
+        one per option.
+    :param kernel: ``"iv_a"``, ``"iv_b"`` or ``"reference"``.
+    :param precision: ``"double"`` or ``"single"``.
+    :param family: lattice parameterisation (``LatticeFamily`` or its
+        string value; kernel IV.B requires CRR).
+    :param task: ``"price"`` or ``"greeks"``.
+    :param strict: ``True`` re-raises the first pricing failure when
+        the result is built; ``False`` returns NaN plus
+        :class:`FailureRecord` entries.  Not part of the batch/cache
+        identity — it only affects how *this* caller sees failures.
+    :param workers: preferred engine worker count (``None`` = engine
+        default).  Advisory: the service and the shared-engine path
+        run on an engine they own, so this only shapes dedicated
+        engines.  Not part of the batch/cache identity.
+    :param bump_vol: vega bump (greeks task only, must be > 0).
+    :param bump_rate: rho bump (greeks task only, must be > 0).
+
+    Validation happens at construction, so a request that builds is a
+    request the engine will accept — services can coalesce requests
+    into shared flushes without one request's bad arguments failing
+    its neighbours at run time.
     """
 
-    prices: np.ndarray
-    route: str
-    stats: "EngineStats | None" = None
-    failures: "tuple[FailureRecord, ...]" = field(default=())
-    modeled: "AcceleratorResult | None" = None
+    options: "tuple[Option, ...]"
+    steps: "int | tuple[int, ...]" = 1024
+    kernel: str = "reference"
+    precision: str = Precision.DOUBLE
+    family: LatticeFamily = LatticeFamily.CRR
+    task: str = "price"
+    strict: bool = True
+    workers: "int | None" = None
+    bump_vol: float = 1e-3
+    bump_rate: float = 1e-4
+
+    def __post_init__(self):
+        options = tuple(self.options)
+        if not options:
+            raise ReproError("PricingRequest needs at least one option")
+        for option in options:
+            if not isinstance(option, Option):
+                raise ReproError(
+                    f"options must be repro Option instances, got "
+                    f"{type(option).__name__}")
+        object.__setattr__(self, "options", options)
+
+        if self.kernel not in KERNELS:
+            raise ReproError(
+                f"kernel must be one of {KERNELS}, got {self.kernel!r}")
+        if self.task not in TASKS:
+            raise ReproError(
+                f"task must be one of {TASKS}, got {self.task!r}")
+        Precision.check(self.precision)
+        family = self.family
+        if not isinstance(family, LatticeFamily):
+            try:
+                family = LatticeFamily(family)
+            except ValueError:
+                raise ReproError(
+                    f"family must be a LatticeFamily or one of "
+                    f"{[member.value for member in LatticeFamily]}, "
+                    f"got {self.family!r}") from None
+            object.__setattr__(self, "family", family)
+        if self.kernel == "iv_b" and family is not LatticeFamily.CRR:
+            raise ReproError(
+                "kernel IV.B bakes u*d = 1 into its device-side leaves "
+                f"and supports only the CRR family, got {family.value!r}")
+
+        if np.ndim(self.steps) == 0:
+            steps: "int | tuple[int, ...]" = int(self.steps)
+            flat = (steps,)
+        else:
+            steps = tuple(int(s) for s in self.steps)
+            if len(steps) != len(options):
+                raise ReproError(
+                    f"per-option steps length {len(steps)} does not match "
+                    f"{len(options)} options")
+            flat = steps
+        object.__setattr__(self, "steps", steps)
+        min_steps = self.min_steps(self.kernel, self.task)
+        for value in flat:
+            if value < min_steps:
+                raise ReproError(
+                    f"task {self.task!r} on kernel {self.kernel!r} needs "
+                    f"at least {min_steps} steps, got {value}")
+
+        if self.workers is not None and int(self.workers) < 1:
+            raise ReproError(f"workers must be >= 1, got {self.workers}")
+        if self.task == "greeks":
+            if not self.bump_vol > 0:
+                raise ReproError(
+                    f"bump_vol must be > 0, got {self.bump_vol}")
+            if not self.bump_rate > 0:
+                raise ReproError(
+                    f"bump_rate must be > 0, got {self.bump_rate}")
+
+    @staticmethod
+    def min_steps(kernel: str, task: str) -> int:
+        """Smallest tree depth the engine accepts for this work."""
+        if task == "greeks":
+            return 3  # levels 0..2 must sit below the leaves
+        return 2 if kernel in ("iv_a", "iv_b") else 1
 
     def __len__(self) -> int:
-        return len(self.prices)
+        return len(self.options)
+
+    def steps_per_option(self) -> "tuple[int, ...]":
+        """The depth of every option, expanded from a scalar if needed."""
+        if isinstance(self.steps, tuple):
+            return self.steps
+        return (self.steps,) * len(self.options)
+
+    @property
+    def batch_key(self) -> tuple:
+        """Coalescing compatibility key.
+
+        Requests with equal keys may be merged into one engine flush:
+        same lattice/kernel/precision/task (and greeks bumps), with
+        ``steps`` carried per option so heterogeneous-depth merges
+        stay legal (``group_stream`` regroups them inside the run).
+        ``strict`` and ``workers`` are per-caller concerns and
+        deliberately excluded.
+        """
+        key = (self.kernel, self.precision, self.family.value, self.task)
+        if self.task == "greeks":
+            key += (float(self.bump_vol), float(self.bump_rate))
+        return key
+
+
+# ---------------------------------------------------------------------------
+# the unified result shapes
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Common shape of every pricing result, whatever the route.
+
+    :param route: ``"engine"``, ``"accelerator"`` or ``"service"``.
+    :param stats: the engine run's measured statistics (``None`` where
+        no host engine ran, e.g. the accelerator route).
+    :param failures: per-option failure records (``strict=False``
+        routes; empty otherwise).
+
+    Subclasses add the payload columns; every subclass carries
+    ``prices`` so ``len(result)`` and array access are uniform.
+    """
+
+    route: str = "engine"
+    stats: "EngineStats | None" = None
+    failures: "tuple[FailureRecord, ...]" = field(default=())
+
+    def __len__(self) -> int:
+        return len(self.prices)  # type: ignore[attr-defined]
 
     @property
     def options_per_second(self) -> "float | None":
         """Throughput: measured (engine) or modeled (accelerator)."""
         if self.stats is not None:
             return self.stats.options_per_second
-        if self.modeled is not None:
-            return self.modeled.options_per_second
+        modeled = getattr(self, "modeled", None)
+        if modeled is not None:
+            return modeled.options_per_second
         return None
 
 
 @dataclass(frozen=True)
-class GreeksResult:
+class PriceResult(BatchResult):
+    """What :func:`price` returns, whatever the route.
+
+    :param prices: root option values in input order (NaN for options
+        quarantined under ``strict=False``).
+    :param modeled: the accelerator's modeled time/energy result
+        (``None`` on the engine route).
+    """
+
+    prices: np.ndarray = None  # type: ignore[assignment]
+    modeled: "AcceleratorResult | None" = None
+
+
+@dataclass(frozen=True)
+class GreeksResult(BatchResult):
     """What :func:`greeks` returns: one array per sensitivity.
 
     ``prices``/``delta``/``gamma``/``theta`` come from the *same*
@@ -112,29 +307,175 @@ class GreeksResult:
     the affected columns and a :class:`FailureRecord` naming the pass.
     """
 
-    prices: np.ndarray
-    delta: np.ndarray
-    gamma: np.ndarray
-    theta: np.ndarray
-    vega: np.ndarray
-    rho: np.ndarray
-    stats: "EngineStats | None" = None
-    failures: "tuple[FailureRecord, ...]" = field(default=())
+    prices: np.ndarray = None  # type: ignore[assignment]
+    delta: np.ndarray = None  # type: ignore[assignment]
+    gamma: np.ndarray = None  # type: ignore[assignment]
+    theta: np.ndarray = None  # type: ignore[assignment]
+    vega: np.ndarray = None  # type: ignore[assignment]
+    rho: np.ndarray = None  # type: ignore[assignment]
 
-    def __len__(self) -> int:
-        return len(self.prices)
 
-    @property
-    def options_per_second(self) -> "float | None":
-        """Tree-pricing throughput of the run (5 pricings per option)."""
-        if self.stats is None:
-            return None
-        return self.stats.options_per_second
+@dataclass(frozen=True)
+class ServiceResult(BatchResult):
+    """What a :class:`repro.service.PricingService` future resolves to.
+
+    Carries the payload of the request's ``task`` (``prices`` always;
+    the greeks columns only for ``task="greeks"``) plus how the
+    request was served.
+
+    :param prices: values in *request* order (the service scatters the
+        coalesced batch back per request).
+    :param cache_hit: the result came straight from the content-keyed
+        cache (or from a computation another in-flight identical
+        request already started).
+    :param batch_options: size of the merged engine batch this request
+        was flushed in (equals ``len(result)`` for an uncoalesced
+        flush; 0 on a pure cache hit — no engine ran).
+    :param wait_s: time the request spent queued + coalescing before
+        its flush started (0.0 on a cache hit).
+    """
+
+    prices: np.ndarray = None  # type: ignore[assignment]
+    delta: "np.ndarray | None" = None
+    gamma: "np.ndarray | None" = None
+    theta: "np.ndarray | None" = None
+    vega: "np.ndarray | None" = None
+    rho: "np.ndarray | None" = None
+    cache_hit: bool = False
+    batch_options: int = 0
+    wait_s: float = 0.0
+
+
+# ---------------------------------------------------------------------------
+# request execution (shared by façade, service, CLI)
 
 
 def _engine_profile(precision: str):
     Precision.check(precision)
     return EXACT_SINGLE if precision == Precision.SINGLE else EXACT_DOUBLE
+
+
+def _profile_precision(profile) -> str:
+    return (Precision.SINGLE if profile.dtype == np.float32
+            else Precision.DOUBLE)
+
+
+def run_request(engine: PricingEngine, request: PricingRequest):
+    """Execute ``request`` on ``engine`` and return the raw engine result.
+
+    This is the one seam every route shares: :func:`price` and
+    :func:`greeks` call it with a shared or dedicated engine, the
+    :class:`repro.service.PricingService` calls it with its *merged*
+    request per flush.  The return value is the engine's own result
+    (:class:`~repro.engine.engine.EngineResult` for ``task="price"``,
+    the greeks result for ``task="greeks"``) with failures *recorded,
+    not raised* — ``request.strict`` is applied later, per caller, by
+    the result builders, so one strict requester cannot blow up a
+    coalesced flush for everyone else.
+    """
+    if request.task == "greeks":
+        return engine.run_greeks(list(request.options), request.steps,
+                                 bump_vol=request.bump_vol,
+                                 bump_rate=request.bump_rate)
+    return engine.run(list(request.options), request.steps)
+
+
+def raise_first_failure(failures: "Sequence[FailureRecord]"):
+    """The historical strict contract: re-raise the first failure."""
+    first = failures[0]
+    if first.exception is not None:
+        raise first.exception
+    raise ReproError(
+        f"option {first.index} failed after {first.attempts} "
+        f"attempts: {first.error}: {first.message}")
+
+
+def _price_result(request: PricingRequest, result) -> PriceResult:
+    if request.strict and result.failures:
+        raise_first_failure(result.failures)
+    return PriceResult(prices=result.prices, route="engine",
+                       stats=result.stats, failures=result.failures)
+
+
+def _greeks_result(request: PricingRequest, result) -> GreeksResult:
+    if request.strict and result.failures:
+        raise_first_failure(result.failures)
+    return GreeksResult(
+        prices=result.prices, delta=result.delta, gamma=result.gamma,
+        theta=result.theta, vega=result.vega, rho=result.rho,
+        route="engine", stats=result.stats, failures=result.failures,
+    )
+
+
+# ---------------------------------------------------------------------------
+# shared engines: reuse across façade calls instead of rebuild-per-call
+
+_shared_lock = threading.Lock()
+_shared_engines: "dict[tuple, tuple[PricingEngine, threading.Lock]]" = {}
+
+
+def _shared_engine(request: PricingRequest):
+    """The process-wide engine for this request's configuration.
+
+    Engines are keyed by ``(kernel, precision, family)`` and kept open
+    across calls, so a caller looping ``price()`` over many batches no
+    longer pays engine construction per call.  Each engine comes with
+    its own lock — :class:`PricingEngine` runs one batch at a time —
+    so concurrent façade calls serialise per configuration (use a
+    :class:`repro.service.PricingService` for real concurrency).
+    """
+    key = (request.kernel, request.precision, request.family.value)
+    with _shared_lock:
+        entry = _shared_engines.get(key)
+        if entry is None or entry[0].closed:
+            engine = PricingEngine(
+                kernel=request.kernel,
+                profile=_engine_profile(request.precision),
+                family=request.family,
+            )
+            entry = (engine, threading.Lock())
+            _shared_engines[key] = entry
+        return entry
+
+
+def close_shared_engines() -> int:
+    """Close every engine the façade is sharing; returns how many.
+
+    Safe to call at any time — the next :func:`price`/:func:`greeks`
+    call simply builds a fresh shared engine.
+    """
+    with _shared_lock:
+        entries = list(_shared_engines.values())
+        _shared_engines.clear()
+    for engine, lock in entries:
+        with lock:
+            engine.close()
+    return len(entries)
+
+
+def _run_engine_route(request: PricingRequest, config, tracer,
+                      engine: "PricingEngine | None"):
+    """Run a request on the caller's, a dedicated, or the shared engine."""
+    if engine is not None:
+        # caller keeps ownership (and is responsible for serialising
+        # access); a closed engine raises EngineError inside run()
+        return run_request(engine, request)
+    if config is not None or tracer is not None or request.workers:
+        run_config = config
+        if run_config is None and request.workers:
+            run_config = EngineConfig(workers=int(request.workers))
+        with PricingEngine(kernel=request.kernel,
+                           profile=_engine_profile(request.precision),
+                           family=request.family, config=run_config,
+                           tracer=tracer) as dedicated:
+            return run_request(dedicated, request)
+    shared, lock = _shared_engine(request)
+    with lock:
+        return run_request(shared, request)
+
+
+# ---------------------------------------------------------------------------
+# the keyword façade
 
 
 def price(
@@ -149,8 +490,12 @@ def price(
     precision: str = Precision.DOUBLE,
     tracer=None,
     strict: bool = True,
+    engine: "PricingEngine | None" = None,
 ) -> PriceResult:
     """Price a batch of options through the configured route.
+
+    Internally builds a :class:`PricingRequest` and executes it with
+    :func:`run_request` — the same path the service and CLI use.
 
     :param options: the contracts to price.
     :param steps: tree depth — one value, or one per option (the
@@ -164,50 +509,51 @@ def price(
         to ``"reference"`` on the engine/cpu routes and ``"iv_b"`` on
         fpga/gpu.
     :param config: :class:`EngineConfig` for the pricing engine
-        (either route); mutually exclusive with ``workers``.
+        (either route); mutually exclusive with ``workers``.  Forces a
+        dedicated engine for this call.
     :param workers: shorthand for ``EngineConfig(workers=...)``.
     :param family: lattice parameterisation.
     :param precision: ``"double"`` or ``"single"``.
     :param tracer: optional :class:`repro.obs.trace.Tracer` observing
-        the engine run (``None`` = tracing disabled).
+        the engine run (``None`` = tracing disabled).  Forces a
+        dedicated engine for this call.
     :param strict: engine route only — ``True`` re-raises the first
         pricing failure (the historical ``price_binomial_batch``
         contract); ``False`` returns NaN for quarantined options plus
         their :class:`FailureRecord` in :attr:`PriceResult.failures`.
+    :param engine: an open :class:`PricingEngine` to run on (caller
+        keeps ownership); mutually exclusive with ``config``/
+        ``workers``/``tracer``.  With all four left default, calls
+        reuse a process-wide shared engine per ``(kernel, precision,
+        family)`` instead of rebuilding one per call.
     """
     options = list(options)
     if config is not None and workers is not None:
         raise ReproError("pass either config or workers, not both")
-    if workers is not None:
-        config = EngineConfig(workers=workers)
+    if engine is not None and (config is not None or workers is not None
+                               or tracer is not None):
+        raise ReproError(
+            "engine= is mutually exclusive with config/workers/tracer — "
+            "configure the engine you pass in")
 
-    if device is None:
-        return _price_engine(options, steps, kernel or "reference", config,
-                             family, precision, tracer, strict)
-    return _price_accelerator(options, steps, device, kernel, config,
-                              family, precision, tracer)
-
-
-def _price_engine(options, steps, kernel, config, family, precision,
-                  tracer, strict) -> PriceResult:
+    if device is not None:
+        return _price_accelerator(options, steps, device, kernel, config,
+                                  family, precision, tracer)
     if not options:
         return PriceResult(prices=np.empty(0, dtype=np.float64),
                            route="engine")
-    with PricingEngine(kernel=kernel, profile=_engine_profile(precision),
-                       family=family, config=config,
-                       tracer=tracer) as engine:
-        result = engine.run(options, steps)
-        if strict and result.failures:
-            # the historical price_binomial_batch contract: re-raise
-            # the first failure with its original exception type
-            first = result.failures[0]
-            if first.exception is not None:
-                raise first.exception
-            raise ReproError(
-                f"option {first.index} failed after {first.attempts} "
-                f"attempts: {first.error}: {first.message}")
-        return PriceResult(prices=result.prices, route="engine",
-                           stats=result.stats, failures=result.failures)
+    if engine is not None:
+        request = PricingRequest(
+            options=tuple(options), steps=_steps_spec(steps),
+            kernel=engine.kernel, precision=_profile_precision(engine.profile),
+            family=engine.family, task="price", strict=strict)
+    else:
+        request = PricingRequest(
+            options=tuple(options), steps=_steps_spec(steps),
+            kernel=kernel or "reference", precision=precision,
+            family=family, task="price", strict=strict, workers=workers)
+    result = _run_engine_route(request, config, tracer, engine)
+    return _price_result(request, result)
 
 
 def greeks(
@@ -223,6 +569,7 @@ def greeks(
     bump_rate: float = 1e-4,
     tracer=None,
     strict: bool = True,
+    engine: "PricingEngine | None" = None,
 ) -> GreeksResult:
     """Batch price + delta/gamma/theta/vega/rho through the engine.
 
@@ -235,47 +582,61 @@ def greeks(
     span/metrics instrumentation.  The scalar counterpart (and test
     oracle) is :func:`repro.finance.greeks.lattice_greeks`.
 
+    Internally builds a ``PricingRequest(task="greeks")`` and executes
+    it with :func:`run_request`, exactly like :func:`price`.
+
     :param steps: tree depth (>= 3), one value or one per option.
     :param kernel: ``"iv_a"``, ``"iv_b"`` (default) or ``"reference"``.
     :param config: :class:`EngineConfig`; mutually exclusive with
-        ``workers``.
+        ``workers``.  Forces a dedicated engine for this call.
     :param workers: shorthand for ``EngineConfig(workers=...)``.
     :param family: lattice parameterisation (kernel IV.B requires CRR).
     :param precision: ``"double"`` or ``"single"``.
     :param bump_vol: absolute volatility bump for the vega difference.
     :param bump_rate: absolute rate bump for the rho difference.
-    :param tracer: optional :class:`repro.obs.trace.Tracer`.
+    :param tracer: optional :class:`repro.obs.trace.Tracer`.  Forces a
+        dedicated engine for this call.
     :param strict: ``True`` re-raises the first pricing failure;
         ``False`` returns NaN in the affected columns plus
         :class:`FailureRecord` entries naming the failing pass.
+    :param engine: an open :class:`PricingEngine` to run on (caller
+        keeps ownership); mutually exclusive with ``config``/
+        ``workers``/``tracer``.  Default calls share engines exactly
+        like :func:`price`.
     """
     options = list(options)
     if config is not None and workers is not None:
         raise ReproError("pass either config or workers, not both")
-    if workers is not None:
-        config = EngineConfig(workers=workers)
+    if engine is not None and (config is not None or workers is not None
+                               or tracer is not None):
+        raise ReproError(
+            "engine= is mutually exclusive with config/workers/tracer — "
+            "configure the engine you pass in")
     if not options:
         empty = np.empty(0, dtype=np.float64)
         return GreeksResult(prices=empty, delta=empty.copy(),
                             gamma=empty.copy(), theta=empty.copy(),
                             vega=empty.copy(), rho=empty.copy())
-    with PricingEngine(kernel=kernel, profile=_engine_profile(precision),
-                       family=family, config=config,
-                       tracer=tracer) as engine:
-        result = engine.run_greeks(options, steps, bump_vol=bump_vol,
-                                   bump_rate=bump_rate)
-    if strict and result.failures:
-        first = result.failures[0]
-        if first.exception is not None:
-            raise first.exception
-        raise ReproError(
-            f"option {first.index} failed after {first.attempts} "
-            f"attempts: {first.error}: {first.message}")
-    return GreeksResult(
-        prices=result.prices, delta=result.delta, gamma=result.gamma,
-        theta=result.theta, vega=result.vega, rho=result.rho,
-        stats=result.stats, failures=result.failures,
-    )
+    if engine is not None:
+        request = PricingRequest(
+            options=tuple(options), steps=_steps_spec(steps),
+            kernel=engine.kernel, precision=_profile_precision(engine.profile),
+            family=engine.family, task="greeks", strict=strict,
+            bump_vol=bump_vol, bump_rate=bump_rate)
+    else:
+        request = PricingRequest(
+            options=tuple(options), steps=_steps_spec(steps),
+            kernel=kernel, precision=precision, family=family,
+            task="greeks", strict=strict, workers=workers,
+            bump_vol=bump_vol, bump_rate=bump_rate)
+    result = _run_engine_route(request, config, tracer, engine)
+    return _greeks_result(request, result)
+
+
+def _steps_spec(steps) -> "int | tuple[int, ...]":
+    if np.ndim(steps) == 0:
+        return int(steps)
+    return tuple(int(s) for s in steps)
 
 
 def _price_accelerator(options, steps, device, kernel, config, family,
@@ -299,7 +660,7 @@ def _price_accelerator(options, steps, device, kernel, config, family,
             f"device must be one of {_DEVICES}, a BinomialAccelerator, or "
             f"None for the host engine; got {device!r}")
     try:
-        modeled = accelerator.price_batch(options)
+        modeled = accelerator._price_batch_impl(options)
     finally:
         if owned:
             accelerator.close()

@@ -1,0 +1,212 @@
+"""Benchmark harness for the pricing service's coalescing efficiency.
+
+Measures what the serving layer costs: ``clients`` closed-loop client
+threads submit *single-option* requests to a
+:class:`~repro.service.PricingService` and the achieved throughput is
+compared against one direct ``engine.run`` of the very same batch —
+the upper bound the coalescer tries to approach.  Three quantities per
+batch size:
+
+* **efficiency** — coalesced single-option throughput as a fraction of
+  the direct same-size-batch rate (the headline: the dynamic-batching
+  overhead the service adds);
+* **cache speedup** — a whole-batch request cold (queued, flushed,
+  executed) vs the identical request again (pure content-cache hit);
+* **parity** — every service price is asserted bitwise-identical to
+  the direct engine run (the engine's per-option math is
+  row-independent, so coalescing must not move a single ULP — even
+  under an injected ``fault_seed``, whose transient faults heal on
+  retry).
+
+The document mirrors ``BENCH_engine.json``: the regression gate
+(:func:`~repro.bench.engine_bench.check_throughput_regression`)
+matches runs on ``(options, workers)`` and compares
+``options_per_second``, so the frozen
+``benchmarks/BENCH_service.quick.json`` plugs into the same CI
+machinery as the engine and greeks baselines.
+"""
+
+from __future__ import annotations
+
+import os
+import platform as _platform
+import threading
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..api import PricingRequest
+from ..engine import PricingEngine
+from ..engine.faults import FaultPlan
+from ..errors import ReproError
+from ..finance.lattice import LatticeFamily
+from ..finance.market import generate_batch
+from ..obs import keys as obs_keys
+from ..service import PricingService, ServiceConfig
+from .engine_bench import write_benchmark  # noqa: F401  (re-export for CLI)
+
+__all__ = ["SERVICE_BENCH_SCHEMA", "run_service_benchmark"]
+
+#: Schema tag written into every BENCH_service.json.
+SERVICE_BENCH_SCHEMA = "repro-service-bench/v1"
+
+
+def _closed_loop(service: PricingService, options, steps: int, kernel: str,
+                 clients: int) -> "tuple[np.ndarray, float]":
+    """Drive the service with ``clients`` closed-loop threads.
+
+    Each client owns a strided share of the batch and submits one
+    single-option request at a time, waiting for its result before the
+    next — the classic closed-loop load model, so concurrency (and
+    therefore achievable flush size) equals the client count.
+    Returns the prices in input order and the phase wall time.
+    """
+    prices = np.empty(len(options), dtype=np.float64)
+    errors: "list[BaseException]" = []
+
+    def client(start: int) -> None:
+        try:
+            for index in range(start, len(options), clients):
+                request = PricingRequest(
+                    options=(options[index],), steps=steps, kernel=kernel,
+                    strict=False)
+                prices[index] = service.submit(request).result().prices[0]
+        except BaseException as exc:  # noqa: BLE001 - reported to the driver
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(start,), daemon=True)
+               for start in range(clients)]
+    start_time = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start_time
+    if errors:
+        raise errors[0]
+    return prices, wall
+
+
+def run_service_benchmark(
+    options_counts: Sequence[int] = (1024,),
+    steps: int = 512,
+    kernel: str = "iv_b",
+    clients: int = 64,
+    max_batch: "int | None" = None,
+    max_wait_ms: float = 2.0,
+    family: LatticeFamily = LatticeFamily.CRR,
+    seed: int = 20140324,
+    fault_seed: "int | None" = None,
+    tracer=None,
+) -> dict:
+    """Measure service throughput against the direct-engine bound.
+
+    For each batch size: one direct ``engine.run`` of the whole batch
+    (the baseline), then the closed-loop single-option phase through a
+    fresh :class:`PricingService`, then the cold/hit cache phase with
+    a whole-batch request.  Bitwise parity with the direct run is
+    asserted at every stage.
+
+    :param clients: closed-loop client threads (in-flight population).
+    :param max_batch: service flush threshold; defaults to ``clients``
+        so a full in-flight generation coalesces into one flush.
+    :param fault_seed: install ``FaultPlan.random(fault_seed, ...)``
+        (transient raise/NaN faults, one failed attempt each) into the
+        direct engine *and* the service's engines — both heal on retry,
+        so parity must still be bitwise.
+    :param tracer: optional tracer handed to the service (enqueue /
+        flush / engine spans land in one trace).
+    """
+    if max_batch is None:
+        max_batch = clients
+    results = []
+    for n_options in options_counts:
+        options = list(generate_batch(n_options=n_options, seed=seed).options)
+        faults = (FaultPlan.random(fault_seed, n_options)
+                  if fault_seed is not None else None)
+
+        with PricingEngine(kernel=kernel, family=family,
+                           faults=faults) as engine:
+            start = time.perf_counter()
+            direct = engine.run(options, steps)
+            direct_wall = time.perf_counter() - start
+        if direct.failures:
+            raise ReproError(
+                f"direct run under fault seed {fault_seed} did not heal: "
+                f"{direct.failures[0]}")
+        direct_rate = n_options / direct_wall
+
+        config = ServiceConfig(max_batch=max_batch, max_wait_ms=max_wait_ms,
+                               max_queue=max(1024, 2 * n_options),
+                               faults=faults)
+        with PricingService(config, tracer=tracer) as service:
+            service_prices, service_wall = _closed_loop(
+                service, options, steps, kernel, clients)
+            if not np.array_equal(service_prices, direct.prices):
+                raise ReproError(
+                    "coalesced service prices are not bit-identical to the "
+                    "direct engine run")
+
+            batch_request = PricingRequest(options=tuple(options),
+                                           steps=steps, kernel=kernel)
+            start = time.perf_counter()
+            cold = service.submit(batch_request).result()
+            cache_cold_s = time.perf_counter() - start
+            start = time.perf_counter()
+            hit = service.submit(batch_request).result()
+            cache_hit_s = time.perf_counter() - start
+            if not hit.cache_hit:
+                raise ReproError("repeated identical request missed the cache")
+            for label, payload in (("cold", cold), ("hit", hit)):
+                if not np.array_equal(payload.prices, direct.prices):
+                    raise ReproError(
+                        f"cache-{label} prices are not bit-identical to the "
+                        f"direct engine run")
+            stats = service.close()
+
+        service_rate = n_options / service_wall
+        results.append({
+            "options": n_options,
+            "baseline": {
+                "label": "direct engine.run of the same batch",
+                "wall_time_s": direct_wall,
+                "options_per_second": direct_rate,
+            },
+            "parity": {
+                "bit_identical_to_direct": True,
+            },
+            "runs": [{
+                "workers": 1,
+                "wall_time_s": service_wall,
+                "options_per_second": service_rate,
+                "efficiency_vs_direct": service_rate / direct_rate,
+                "cache_cold_s": cache_cold_s,
+                "cache_hit_s": cache_hit_s,
+                "cache_speedup": (cache_cold_s / cache_hit_s
+                                  if cache_hit_s > 0 else float("inf")),
+                "service": stats.as_dict(),
+            }],
+        })
+
+    return {
+        "schema": SERVICE_BENCH_SCHEMA,
+        "stats_schema": obs_keys.SERVICE_STATS_SCHEMA,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": _platform.platform(),
+            "python": _platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": {
+            "kernel": kernel,
+            "family": family.value,
+            "steps": steps,
+            "seed": seed,
+            "clients": clients,
+            "max_batch": max_batch,
+            "max_wait_ms": max_wait_ms,
+            "fault_seed": fault_seed,
+        },
+        "results": results,
+    }

@@ -18,6 +18,7 @@ writing Python::
     python -m repro bench-engine --quick
     python -m repro bench-engine --trace-out trace.json --metrics-out m.prom
     python -m repro bench-greeks --quick
+    python -m repro serve-bench --quick --fault-seed 101
     python -m repro obs --options 24 --steps 128
 """
 
@@ -118,6 +119,43 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the process-wide metrics registry in "
                                "Prometheus text format here")
 
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="closed-loop load benchmark of the pricing service "
+             "(writes BENCH_service.json)")
+    p_serve.add_argument("--options", type=int, nargs="+", default=[1024],
+                         help="batch sizes to measure (default: 1024)")
+    p_serve.add_argument("--steps", type=int, default=512,
+                         help="tree depth N (default 512)")
+    p_serve.add_argument("--clients", type=int, default=64,
+                         help="closed-loop client threads (default 64)")
+    p_serve.add_argument("--max-batch", type=int, default=None,
+                         help="service flush threshold in options "
+                              "(default: --clients)")
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                         help="coalescing deadline per bucket (default 2.0)")
+    p_serve.add_argument("--kernel", choices=("iv_a", "iv_b", "reference"),
+                         default="iv_b")
+    p_serve.add_argument("--fault-seed", type=int, default=None,
+                         help="inject FaultPlan.random(seed) transient "
+                              "faults into every engine (must heal; parity "
+                              "stays bitwise)")
+    p_serve.add_argument("--out", default="BENCH_service.json",
+                         help="output JSON path (default BENCH_service.json)")
+    p_serve.add_argument("--quick", action="store_true",
+                         help="small CI-sized run (256 options, N=256, "
+                              "32 clients)")
+    p_serve.add_argument("--check-against", default=None, metavar="JSON",
+                         help="fail if throughput regressed >30%% vs this "
+                              "stored benchmark file")
+    p_serve.add_argument("--trace-out", default=None, metavar="JSON",
+                         help="record service enqueue/flush spans (plus the "
+                              "engine runs under them) and write the JSON "
+                              "trace document here")
+    p_serve.add_argument("--metrics-out", default=None, metavar="PROM",
+                         help="write the process-wide metrics registry in "
+                              "Prometheus text format here")
+
     p_obs = sub.add_parser(
         "obs",
         help="observability demo: trace a chunked device session end to end")
@@ -168,7 +206,7 @@ def _run_price(args) -> str:
     kernel = "reference" if args.platform == "cpu" else "iv_b"
     accelerator = BinomialAccelerator(platform=args.platform, kernel=kernel,
                                       steps=args.steps)
-    result = accelerator.price_batch([option])
+    result = accelerator._price_batch_impl([option])
     reference = price_binomial(option, args.steps).price
     lines = [
         f"configuration : {accelerator.describe()}",
@@ -300,6 +338,73 @@ def _run_bench_greeks(args) -> int:
                   f"({run['speedup_vs_baseline']:.2f}x scalar, "
                   f"{run['bump_passes']} bump passes, "
                   f"{run['chunks']} chunks)")
+
+    if args.check_against:
+        with open(args.check_against) as handle:
+            stored = json.load(handle)
+        failures = check_throughput_regression(document, stored)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        print(f"no throughput regression vs {args.check_against}")
+    return 0
+
+
+def _run_serve_bench(args) -> int:
+    import json
+
+    from .bench.engine_bench import (
+        check_throughput_regression,
+        write_benchmark,
+    )
+    from .bench.service_bench import run_service_benchmark
+
+    if args.quick:
+        options_counts, steps, clients = [256], 256, 32
+    else:
+        options_counts, steps, clients = args.options, args.steps, args.clients
+
+    tracer = None
+    if args.trace_out:
+        from .obs import Tracer
+        tracer = Tracer()
+
+    document = run_service_benchmark(
+        options_counts=options_counts, steps=steps, kernel=args.kernel,
+        clients=clients, max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms, fault_seed=args.fault_seed,
+        tracer=tracer,
+    )
+    path = write_benchmark(document, args.out)
+
+    if tracer is not None:
+        from .obs.export import write_trace
+        trace_path = write_trace(tracer, args.trace_out)
+        print(f"trace ({len(tracer.roots)} root spans) -> {trace_path}")
+    if args.metrics_out:
+        from .obs import get_registry
+        from .obs.export import write_metrics
+        metrics_path = write_metrics(get_registry(), args.metrics_out)
+        print(f"metrics -> {metrics_path}")
+
+    fault_note = (f", fault seed {args.fault_seed}"
+                  if args.fault_seed is not None else "")
+    print(f"service benchmark (kernel {args.kernel}, N={steps}, "
+          f"{clients} clients{fault_note}) -> {path}")
+    for entry in document["results"]:
+        base = entry["baseline"]
+        print(f"  {entry['options']} options: direct engine "
+              f"{base['options_per_second']:,.1f} options/s")
+        for run in entry["runs"]:
+            service = run["service"]
+            print(f"    coalesced: {run['options_per_second']:,.1f} "
+                  f"options/s ({run['efficiency_vs_direct']:.0%} of direct, "
+                  f"{service['flushes']} flushes, mean "
+                  f"{service['mean_flush_options']:.1f} options/flush)")
+            print(f"    cache: cold {run['cache_cold_s'] * 1e3:.1f} ms, "
+                  f"hit {run['cache_hit_s'] * 1e3:.3f} ms "
+                  f"({run['cache_speedup']:.0f}x)")
 
     if args.check_against:
         with open(args.check_against) as handle:
@@ -484,6 +589,8 @@ def _dispatch(args) -> int:
         return _run_bench_engine(args)
     elif args.command == "bench-greeks":
         return _run_bench_greeks(args)
+    elif args.command == "serve-bench":
+        return _run_serve_bench(args)
     elif args.command == "obs":
         return _run_obs(args)
     elif args.command == "clsource":

@@ -31,7 +31,7 @@ from ..devices.base import ComputeModel, Precision
 from ..devices.cpu import cpu_compute_model
 from ..devices.fpga import fpga_compute_model
 from ..devices.gpu import gpu_compute_model
-from ..errors import ReproError
+from ..errors import EngineError, ReproError
 from ..finance.lattice import LatticeFamily
 from ..finance.options import Option
 from ..hls import KERNEL_A_OPTIONS, KERNEL_B_OPTIONS, CompiledKernel, compile_kernel
@@ -132,6 +132,7 @@ class BinomialAccelerator:
         self.engine_config = engine_config
         self.tracer = tracer
         self._engine: "PricingEngine | None" = None
+        self._closed = False
         self.compiled: CompiledKernel | None = None
 
         if platform == "fpga":
@@ -161,6 +162,10 @@ class BinomialAccelerator:
 
     def _pricing_engine(self) -> "PricingEngine":
         """Lazily build the batched engine this accelerator prices with."""
+        if self._closed:
+            raise EngineError(
+                "this BinomialAccelerator is closed; pricing after close() "
+                "is not supported — construct a new accelerator")
         if self._engine is None:
             # Imported here: the engine package imports core modules.
             from ..engine import PricingEngine
@@ -175,7 +180,13 @@ class BinomialAccelerator:
         return self._engine
 
     def close(self) -> None:
-        """Release the engine's workspace and worker pool, if any."""
+        """Release the engine's workspace and worker pool, if any.
+
+        Idempotent; pricing a closed accelerator raises
+        :class:`~repro.errors.EngineError` (it used to silently build
+        a fresh engine, unlike the engine route — the two now agree).
+        """
+        self._closed = True
         if self._engine is not None:
             self._engine.close()
             self._engine = None
@@ -187,6 +198,22 @@ class BinomialAccelerator:
         self.close()
 
     def price_batch(self, options: Sequence[Option]) -> AcceleratorResult:
+        """Deprecated direct entry point — use :func:`repro.api.price`.
+
+        ``repro.price(options, steps=..., device=accelerator)`` returns
+        the same modeled result on the unified :class:`PriceResult`
+        shape.  This method will be removed in repro 2.0.
+        """
+        import warnings
+
+        warnings.warn(
+            "BinomialAccelerator.price_batch is superseded by "
+            "repro.api.price(..., device=<accelerator>) and will be "
+            "removed in repro 2.0; see the migration table in repro.api",
+            DeprecationWarning, stacklevel=2)
+        return self._price_batch_impl(options)
+
+    def _price_batch_impl(self, options: Sequence[Option]) -> AcceleratorResult:
         """Price a batch with this configuration's exact arithmetic.
 
         Prices come from the vectorised kernel semantics (validated

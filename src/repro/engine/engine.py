@@ -246,7 +246,11 @@ class PricingEngine:
         exit promptly are terminated, so closing never blocks behind a
         hung chunk and never leaks workers; an in-flight :meth:`run`
         in another thread aborts with :class:`EngineError`.  Closing
-        an already-closed engine is a no-op.
+        an already-closed engine is a no-op, but *pricing* on a closed
+        engine raises :class:`EngineError` — the engine does not
+        silently resurrect (callers that loop over batches should keep
+        one engine open, or let :func:`repro.api.price` reuse its
+        shared engine).
         """
         already_closed = self._closed and self._pool is None
         self._closed = True
@@ -257,7 +261,7 @@ class PricingEngine:
 
     @property
     def closed(self) -> bool:
-        """True once :meth:`close` has run (until the next :meth:`run`)."""
+        """True once :meth:`close` has run; a closed engine stays closed."""
         return self._closed
 
     def __enter__(self) -> "PricingEngine":
@@ -288,6 +292,21 @@ class PricingEngine:
     def _check_open(self) -> None:
         if self._closed:
             raise EngineError("pricing engine closed while a batch was in flight")
+
+    def _check_usable(self) -> None:
+        """Reject pricing on a closed engine, whatever the route.
+
+        Reuse-after-close used to *work* on the serial path (the run
+        reset the closed flag) while the pool path raced the abandoned
+        pool — the behaviour differed by route.  Now both routes raise
+        the same :class:`EngineError` up front.
+        """
+        if self._closed:
+            raise EngineError(
+                "this PricingEngine is closed; pricing after close() is "
+                "not supported — construct a new engine, or use "
+                "repro.api.price()/greeks(), which manage a shared engine"
+            )
 
     # -- pricing -----------------------------------------------------------
 
@@ -328,12 +347,13 @@ class PricingEngine:
 
         The run always completes: failures are retried, quarantined
         and reported via :attr:`EngineResult.failures` rather than
-        raised, except for request-level validation errors (and
-        :meth:`close` racing the run from another thread).
+        raised, except for request-level validation errors, pricing on
+        a closed engine (and :meth:`close` racing the run from another
+        thread).
         """
+        self._check_usable()
         wall_start = time.perf_counter()
         cpu_start = time.process_time()
-        self._closed = False
 
         options = list(options)
         groups = group_stream(options, steps)
@@ -441,13 +461,13 @@ class PricingEngine:
         columns carry NaN and
         :attr:`GreeksEngineResult.failures` names the pass.
         """
+        self._check_usable()
         if bump_vol <= 0.0:
             raise EngineError(f"bump_vol must be > 0, got {bump_vol}")
         if bump_rate <= 0.0:
             raise EngineError(f"bump_rate must be > 0, got {bump_rate}")
         wall_start = time.perf_counter()
         cpu_start = time.process_time()
-        self._closed = False
 
         options = list(options)
         n = len(options)
@@ -515,11 +535,12 @@ class PricingEngine:
         )
         group_spans: "dict[tuple[str, int], object]" = {}
         if self.tracer.enabled:
-            for label, task, _ in pass_options:
+            for label, _members in pass_options:
                 for group_steps, (indices, _) in sorted(groups.items()):
                     group_spans[(label, group_steps)] = run_span.child(
                         f"group[{label}:steps={group_steps}]", "group",
-                        steps=group_steps, options=len(indices), task=task,
+                        steps=group_steps, options=len(indices),
+                        task="greeks",
                     )
 
         out = np.empty((len(pass_options) * n, 4), dtype=np.float64)

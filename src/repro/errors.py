@@ -98,6 +98,27 @@ class PoisonChunkError(EngineError):
     """A chunk kept failing (or produced non-finite prices) after retries."""
 
 
+class ServiceError(ReproError):
+    """Base class for pricing-service failures.
+
+    Raised by :class:`~repro.service.PricingService` for request-level
+    conditions that are the *caller's* to handle — submitting to a
+    closed service, malformed requests — as opposed to per-option
+    pricing failures, which travel inside
+    :class:`~repro.api.ServiceResult.failures` exactly like the
+    engine's :class:`~repro.engine.reliability.FailureRecord` contract.
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's admission queue is full (backpressure).
+
+    The bounded request queue protects the coalescer from unbounded
+    memory growth under overload; callers should back off and retry,
+    shed load, or raise ``ServiceConfig.max_queue``.
+    """
+
+
 class HLSError(ReproError):
     """Base class for HLS compiler-model errors."""
 

@@ -184,8 +184,9 @@ def price_binomial_batch(
     :func:`price_binomial`, so values are unchanged.
     """
     warnings.warn(
-        "price_binomial_batch is superseded by repro.api.price(...); "
-        "see the migration table in its docstring",
+        "price_binomial_batch is superseded by repro.api.price(...) and "
+        "will be removed in repro 2.0; see the migration table in its "
+        "docstring",
         DeprecationWarning,
         stacklevel=2,
     )

@@ -16,6 +16,24 @@ __all__ = [
     "STATS_SCHEMA",
     "STATS_KEYS",
     "RELIABILITY_KEYS",
+    "SERVICE_STATS_SCHEMA",
+    "SERVICE_STATS_KEYS",
+    "SERVICE_REQUESTS_TOTAL",
+    "SERVICE_OPTIONS_TOTAL",
+    "SERVICE_FLUSHES_TOTAL",
+    "SERVICE_FLUSH_FULL_TOTAL",
+    "SERVICE_FLUSH_DEADLINE_TOTAL",
+    "SERVICE_FLUSH_DRAIN_TOTAL",
+    "SERVICE_CACHE_HITS_TOTAL",
+    "SERVICE_CACHE_MISSES_TOTAL",
+    "SERVICE_CACHE_EVICTIONS_TOTAL",
+    "SERVICE_CACHE_BYTES",
+    "SERVICE_INFLIGHT_JOINS_TOTAL",
+    "SERVICE_REJECTED_TOTAL",
+    "SERVICE_QUEUE_DEPTH",
+    "SERVICE_WAIT_SECONDS",
+    "SERVICE_FLUSH_OPTIONS",
+    "SERVICE_STATS_TO_METRIC",
     "CHUNKS_TOTAL",
     "GROUPS_TOTAL",
     "OPTIONS_PRICED_TOTAL",
@@ -94,6 +112,67 @@ RUN_WALL_SECONDS = "repro_engine_run_wall_seconds"
 OPTIONS_PER_SECOND = "repro_engine_options_per_second"
 TREE_NODES_PER_SECOND = "repro_engine_tree_nodes_per_second"
 PEAK_TILE_BYTES = "repro_engine_peak_tile_bytes"
+
+# -- pricing-service metrics -----------------------------------------------
+
+#: Version tag of the *service* statistics schema.  The version counter
+#: continues the engine schema's line (v1 engine, v2 greeks): v3 adds
+#: the service/cache keys.  The engine tag stays
+#: ``repro-engine-stats/v2`` — the two documents are versioned together
+#: but published under their own names.
+SERVICE_STATS_SCHEMA = "repro-service-stats/v3"
+
+SERVICE_REQUESTS_TOTAL = "repro_service_requests_total"
+SERVICE_OPTIONS_TOTAL = "repro_service_options_total"
+SERVICE_FLUSHES_TOTAL = "repro_service_flushes_total"
+SERVICE_FLUSH_FULL_TOTAL = "repro_service_flush_full_total"
+SERVICE_FLUSH_DEADLINE_TOTAL = "repro_service_flush_deadline_total"
+SERVICE_FLUSH_DRAIN_TOTAL = "repro_service_flush_drain_total"
+SERVICE_CACHE_HITS_TOTAL = "repro_service_cache_hits_total"
+SERVICE_CACHE_MISSES_TOTAL = "repro_service_cache_misses_total"
+SERVICE_CACHE_EVICTIONS_TOTAL = "repro_service_cache_evictions_total"
+SERVICE_CACHE_BYTES = "repro_service_cache_bytes"
+SERVICE_INFLIGHT_JOINS_TOTAL = "repro_service_inflight_joins_total"
+SERVICE_REJECTED_TOTAL = "repro_service_rejected_total"
+SERVICE_QUEUE_DEPTH = "repro_service_queue_depth"
+SERVICE_WAIT_SECONDS = "repro_service_wait_seconds"
+SERVICE_FLUSH_OPTIONS = "repro_service_flush_options"
+
+#: ``ServiceStats.as_dict()`` keys, in their one canonical order
+#: (mirrors :data:`STATS_KEYS` for the engine document).
+SERVICE_STATS_KEYS = (
+    "requests",
+    "options",
+    "flushes",
+    "flush_full",
+    "flush_deadline",
+    "flush_drain",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "cache_bytes",
+    "inflight_joins",
+    "rejected",
+    "mean_wait_s",
+    "mean_flush_options",
+)
+
+#: Service stats-snapshot key -> the service metric it is derived from
+#: (the counters; the two ``mean_*`` keys are histogram means).
+SERVICE_STATS_TO_METRIC = {
+    "requests": SERVICE_REQUESTS_TOTAL,
+    "options": SERVICE_OPTIONS_TOTAL,
+    "flushes": SERVICE_FLUSHES_TOTAL,
+    "flush_full": SERVICE_FLUSH_FULL_TOTAL,
+    "flush_deadline": SERVICE_FLUSH_DEADLINE_TOTAL,
+    "flush_drain": SERVICE_FLUSH_DRAIN_TOTAL,
+    "cache_hits": SERVICE_CACHE_HITS_TOTAL,
+    "cache_misses": SERVICE_CACHE_MISSES_TOTAL,
+    "cache_evictions": SERVICE_CACHE_EVICTIONS_TOTAL,
+    "cache_bytes": SERVICE_CACHE_BYTES,
+    "inflight_joins": SERVICE_INFLIGHT_JOINS_TOTAL,
+    "rejected": SERVICE_REJECTED_TOTAL,
+}
 
 # -- simulated device-stack metrics ---------------------------------------
 

@@ -1,0 +1,19 @@
+"""`repro.service` — dynamic batching and caching over the engine.
+
+See :mod:`repro.service.service` for the serving model (coalescing,
+content-keyed caching, admission control) and ``docs/service.md`` for
+the user-facing contract.
+"""
+
+from .cache import CacheEntry, ResultCache, request_key
+from .service import PricingService, ServiceConfig, ServiceMetrics, ServiceStats
+
+__all__ = [
+    "CacheEntry",
+    "PricingService",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "ServiceStats",
+    "request_key",
+]

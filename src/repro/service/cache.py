@@ -1,0 +1,155 @@
+"""Content-keyed result cache for the pricing service.
+
+Two requests that *mean* the same computation must hash the same, and
+two that differ in any value-affecting way must not.  The key is a
+blake2b digest over a canonical byte string of everything that
+determines the numbers:
+
+* the task and its numeric knobs (``bump_vol``/``bump_rate`` for
+  greeks),
+* the lattice configuration (``kernel``, ``precision``, ``family``),
+* every option's fields — floats rendered with :meth:`float.hex` so
+  ``0.1`` and the nearest double hash identically but *any* ULP
+  difference changes the key — and its per-option tree depth.
+
+``strict`` and ``workers`` are deliberately excluded: they change how
+the caller sees failures and how fast the answer arrives, never what
+the answer is.  Results containing failures are never cached, so a
+cached entry is always a clean answer and ``strict`` cannot matter on
+a hit.
+
+The cache itself is a byte-budgeted LRU: entries are charged the size
+of their numpy payload, the least-recently-*used* entry is evicted
+when the budget overflows, and an entry larger than the whole budget
+is simply not admitted.  All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..api import PricingRequest
+
+__all__ = ["CacheEntry", "ResultCache", "request_key"]
+
+
+def request_key(request: PricingRequest) -> str:
+    """Canonical content key of a request (hex blake2b digest)."""
+    parts = [
+        "repro-service-key/v1",
+        request.task,
+        request.kernel,
+        request.precision,
+        request.family.value,
+    ]
+    if request.task == "greeks":
+        parts.append(float(request.bump_vol).hex())
+        parts.append(float(request.bump_rate).hex())
+    steps = request.steps_per_option()
+    for option, depth in zip(request.options, steps):
+        parts.append("|".join((
+            float(option.spot).hex(),
+            float(option.strike).hex(),
+            float(option.rate).hex(),
+            float(option.volatility).hex(),
+            float(option.maturity).hex(),
+            float(option.dividend_yield).hex(),
+            str(option.option_type.value),
+            str(option.exercise.value),
+            str(int(depth)),
+        )))
+    digest = hashlib.blake2b("\n".join(parts).encode("utf-8"),
+                             digest_size=20)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """The arrays one cached request resolves to (read-only views).
+
+    ``greeks`` holds the ``(delta, gamma, theta, vega, rho)`` columns
+    for greeks-task entries and is ``None`` for price-task entries.
+    """
+
+    prices: np.ndarray
+    greeks: "tuple[np.ndarray, ...] | None" = None
+
+    @property
+    def nbytes(self) -> int:
+        total = int(self.prices.nbytes)
+        if self.greeks is not None:
+            total += sum(int(column.nbytes) for column in self.greeks)
+        return total
+
+    @staticmethod
+    def freeze(array: np.ndarray) -> np.ndarray:
+        """An owned, write-protected copy safe to share across callers."""
+        frozen = np.array(array, copy=True)
+        frozen.setflags(write=False)
+        return frozen
+
+
+class ResultCache:
+    """Byte-budgeted, thread-safe LRU of :class:`CacheEntry` values.
+
+    :param max_bytes: payload budget; ``0`` disables the cache (every
+        ``get`` misses, every ``put`` is dropped).
+    """
+
+    def __init__(self, max_bytes: int):
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def get(self, key: str) -> "CacheEntry | None":
+        """The entry for ``key`` (refreshing its recency), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: str, entry: CacheEntry) -> int:
+        """Admit ``entry`` under ``key``; returns evictions performed.
+
+        Oversized entries (``entry.nbytes > max_bytes``) are not
+        admitted — evicting the whole cache for one un-reusable blob
+        is worse than recomputing it.
+        """
+        size = entry.nbytes
+        if size > self.max_bytes:
+            return 0
+        evicted = 0
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = entry
+            self._bytes += size
+            while self._bytes > self.max_bytes and self._entries:
+                _, victim = self._entries.popitem(last=False)
+                self._bytes -= victim.nbytes
+                evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0

@@ -1,0 +1,623 @@
+"""The in-process pricing service: coalesce, batch, cache, scatter.
+
+The paper's host/device split (Section IV.B) reduces the host to
+write-params / enqueue / read-results — the shape of a serving system.
+This module supplies the layer the data-centre deployment literature
+(Inggs et al.) says makes accelerators pay off: many small concurrent
+requests are **coalesced** into the large batches
+:class:`~repro.engine.PricingEngine` is fast at, executed once, and
+scattered back to per-request futures.
+
+Life of a request::
+
+    submit(PricingRequest)
+      ├─ cache hit?        -> future resolves immediately (no engine)
+      ├─ identical request -> joins the in-flight computation
+      │  already queued?      (one execution, many futures)
+      └─ else              -> bounded admission queue
+                               │ coalescer thread
+                               │ buckets by request.batch_key
+                               │ flush on max_batch options or the
+                               │ oldest entry's max_wait_ms deadline
+                               ▼
+                             run_request(engine, merged request)
+                               ▼
+                             scatter slices to futures, admit clean
+                             slices to the content-keyed cache
+
+Failure scoping is per request: the merged flush always runs with
+``strict=False`` so the engine quarantines poisoned options to NaN +
+:class:`~repro.engine.reliability.FailureRecord` instead of raising,
+records are remapped into each request's own index space, and each
+caller's ``strict`` flag is applied to *their slice only* when their
+future resolves.  One bad option never fails its coalesced
+neighbours.
+
+Prices are bitwise-identical to a direct ``engine.run`` of the same
+options: the engine's per-option math is row-independent, so batch
+composition (and therefore coalescing) cannot change a single ULP.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..api import (
+    PricingRequest,
+    ServiceResult,
+    _engine_profile,
+    raise_first_failure,
+    run_request,
+)
+from ..engine import EngineConfig, PricingEngine
+from ..engine.faults import FaultPlan
+from ..errors import ServiceError, ServiceOverloadedError
+from ..obs import keys
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.trace import as_tracer
+from .cache import CacheEntry, ResultCache, request_key
+
+__all__ = ["PricingService", "ServiceConfig", "ServiceMetrics",
+           "ServiceStats"]
+
+_GREEKS_COLUMNS = ("delta", "gamma", "theta", "vega", "rho")
+
+#: Sentinel the coalescer drains up to on :meth:`PricingService.close`.
+_CLOSE = object()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of a :class:`PricingService`.
+
+    :param max_batch: flush a bucket once it holds this many *options*
+        (requests stay whole — a flush may overshoot by the last
+        request's size).
+    :param max_wait_ms: flush a bucket this long after its **oldest**
+        entry arrived, even if under-full — the latency bound a
+        request pays for the chance to be coalesced.
+    :param max_queue: admission-queue capacity in requests; submits
+        beyond it raise :class:`ServiceOverloadedError`.
+    :param cache_bytes: result-cache payload budget (0 disables
+        caching; in-flight dedup still works).
+    :param workers: engine worker processes, shorthand for
+        ``engine_config=EngineConfig(workers=...)``.
+    :param engine_config: full :class:`~repro.engine.EngineConfig` for
+        the engines the service owns; mutually exclusive with
+        ``workers``.
+    :param faults: deterministic :class:`~repro.engine.faults.FaultPlan`
+        handed to every engine the service builds (testing/benching the
+        retry/quarantine paths under coalescing; ``None`` in
+        production).
+    """
+
+    max_batch: int = 256
+    max_wait_ms: float = 2.0
+    max_queue: int = 1024
+    cache_bytes: int = 64 << 20
+    workers: "int | None" = None
+    engine_config: "EngineConfig | None" = None
+    faults: "FaultPlan | None" = None
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ServiceError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.max_queue < 1:
+            raise ServiceError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.cache_bytes < 0:
+            raise ServiceError(
+                f"cache_bytes must be >= 0, got {self.cache_bytes}")
+        if self.workers is not None and self.engine_config is not None:
+            raise ServiceError("pass either workers or engine_config, not both")
+        if self.workers is not None and self.workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {self.workers}")
+
+
+class ServiceMetrics:
+    """Service-scoped metrics, same pattern as the engine's RunMetrics.
+
+    Counts into an owned :class:`MetricsRegistry`;
+    :meth:`publish` folds it into the process-wide registry when the
+    service closes, and :meth:`ServiceStats.from_metrics` freezes the
+    public snapshot.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        reg = self.registry
+        self.requests = reg.counter(
+            keys.SERVICE_REQUESTS_TOTAL, "Requests accepted by submit()")
+        self.options = reg.counter(
+            keys.SERVICE_OPTIONS_TOTAL, "Options across accepted requests")
+        self.flushes = reg.counter(
+            keys.SERVICE_FLUSHES_TOTAL, "Coalesced engine flushes executed")
+        self.flush_full = reg.counter(
+            keys.SERVICE_FLUSH_FULL_TOTAL, "Flushes triggered by max_batch")
+        self.flush_deadline = reg.counter(
+            keys.SERVICE_FLUSH_DEADLINE_TOTAL,
+            "Flushes triggered by the max_wait_ms deadline")
+        self.flush_drain = reg.counter(
+            keys.SERVICE_FLUSH_DRAIN_TOTAL, "Flushes triggered by close()")
+        self.cache_hits = reg.counter(
+            keys.SERVICE_CACHE_HITS_TOTAL,
+            "Requests answered from the result cache")
+        self.cache_misses = reg.counter(
+            keys.SERVICE_CACHE_MISSES_TOTAL,
+            "Requests that had to be computed")
+        self.cache_evictions = reg.counter(
+            keys.SERVICE_CACHE_EVICTIONS_TOTAL,
+            "Entries evicted to stay inside cache_bytes")
+        self.inflight_joins = reg.counter(
+            keys.SERVICE_INFLIGHT_JOINS_TOTAL,
+            "Requests that joined an identical in-flight computation")
+        self.rejected = reg.counter(
+            keys.SERVICE_REJECTED_TOTAL,
+            "Submits refused with ServiceOverloadedError")
+        self.cache_bytes = reg.gauge(
+            keys.SERVICE_CACHE_BYTES, "Result-cache payload bytes in use")
+        self.queue_depth = reg.gauge(
+            keys.SERVICE_QUEUE_DEPTH, "Admission-queue depth after the last "
+            "enqueue/dequeue")
+        self.wait = reg.histogram(
+            keys.SERVICE_WAIT_SECONDS,
+            "Per-request time from submit to flush start",
+            buckets=(0.0005, 0.001, 0.002, 0.005, 0.01, 0.05, 0.1, 1.0))
+        self.flush_options = reg.histogram(
+            keys.SERVICE_FLUSH_OPTIONS,
+            "Merged batch size per flush, in options",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024))
+        for handle in (self.requests, self.options, self.flushes,
+                       self.flush_full, self.flush_deadline,
+                       self.flush_drain, self.cache_hits, self.cache_misses,
+                       self.cache_evictions, self.inflight_joins,
+                       self.rejected):
+            handle.inc(0.0)
+        self.cache_bytes.set(0.0)
+        self.queue_depth.set(0.0)
+
+    def publish(self) -> None:
+        """Merge this service's registry into the process-wide one."""
+        get_registry().merge(self.registry)
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """What one :class:`PricingService` did over its lifetime.
+
+    Snapshot of the service registry under the stable
+    ``repro-service-stats/v3`` schema
+    (:data:`repro.obs.keys.SERVICE_STATS_KEYS`; documented in
+    ``docs/stats_schema.md``).
+    """
+
+    requests: int = 0
+    options: int = 0
+    flushes: int = 0
+    flush_full: int = 0
+    flush_deadline: int = 0
+    flush_drain: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_bytes: int = 0
+    inflight_joins: int = 0
+    rejected: int = 0
+    mean_wait_s: float = 0.0
+    mean_flush_options: float = 0.0
+
+    @classmethod
+    def from_metrics(cls, metrics: ServiceMetrics) -> "ServiceStats":
+        registry = metrics.registry
+        counts = {
+            stat: int(registry.value(metric))
+            for stat, metric in keys.SERVICE_STATS_TO_METRIC.items()
+        }
+        wait = metrics.wait
+        flush_options = metrics.flush_options
+        return cls(
+            mean_wait_s=(wait.sum / wait.count) if wait.count else 0.0,
+            mean_flush_options=((flush_options.sum / flush_options.count)
+                                if flush_options.count else 0.0),
+            **counts,
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits / (hits + misses); 0.0 before any lookup."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot in :data:`SERVICE_STATS_KEYS` order."""
+        return {key: getattr(self, key) for key in keys.SERVICE_STATS_KEYS}
+
+    def describe(self) -> str:
+        """One-line ``key=value`` summary in canonical key order."""
+        parts = []
+        for key, value in self.as_dict().items():
+            parts.append(f"{key}={value:.6g}" if isinstance(value, float)
+                         else f"{key}={value}")
+        return " ".join(parts)
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting in the queue / a bucket."""
+
+    request: PricingRequest
+    future: Future
+    key: str
+    enqueued: float
+
+
+@dataclass
+class _Bucket:
+    """Requests with one batch_key accumulating toward a flush."""
+
+    deadline: float
+    entries: "list[_Pending]" = field(default_factory=list)
+    n_options: int = 0
+
+
+class PricingService:
+    """Dynamic-batching front end over shared :class:`PricingEngine`\\ s.
+
+    Thread-safe: any number of caller threads may :meth:`submit`
+    concurrently; one internal coalescer thread owns batching and
+    engine execution, so results are as deterministic as the engine
+    itself (bitwise, in fact — see the module docstring).
+
+    Use as a context manager or call :meth:`close` — it drains queued
+    requests, flushes every partial bucket, closes the engines the
+    service owns and publishes the service metrics::
+
+        with PricingService(ServiceConfig(max_batch=512)) as service:
+            futures = [service.submit(req) for req in requests]
+            results = [f.result() for f in futures]
+
+    :param config: a :class:`ServiceConfig` (default-constructed when
+        ``None``).
+    :param tracer: optional :class:`repro.obs.trace.Tracer`; records
+        ``service.enqueue`` and ``service.flush`` (execute/scatter)
+        spans, and is also handed to the engines so their
+        run/group/chunk spans land in the same trace.
+    """
+
+    def __init__(self, config: "ServiceConfig | None" = None, *,
+                 tracer=None):
+        self.config = config if config is not None else ServiceConfig()
+        self._tracer = as_tracer(tracer)
+        self.metrics = ServiceMetrics()
+        self._cache = ResultCache(self.config.cache_bytes)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.config.max_queue)
+        self._lock = threading.Lock()
+        self._inflight: "dict[str, list[_Pending]]" = {}
+        self._engines: "dict[tuple, PricingEngine]" = {}
+        self._closed = False
+        self._final_stats: "ServiceStats | None" = None
+        self._max_wait_s = self.config.max_wait_ms / 1000.0
+        self._engine_config = self.config.engine_config
+        if self.config.workers is not None:
+            self._engine_config = EngineConfig(workers=self.config.workers)
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-service-coalescer",
+                                        daemon=True)
+        self._thread.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: PricingRequest) -> "Future[ServiceResult]":
+        """Admit one request; returns a future of :class:`ServiceResult`.
+
+        Resolution order: content-cache hit (immediate) → join of an
+        identical in-flight request (shares that computation) → the
+        bounded queue (coalesced and flushed by the service thread).
+
+        :raises ServiceError: the service is closed, or ``request`` is
+            not a :class:`PricingRequest`.
+        :raises ServiceOverloadedError: the admission queue is full.
+        """
+        if not isinstance(request, PricingRequest):
+            raise ServiceError(
+                f"submit() takes a PricingRequest, got "
+                f"{type(request).__name__}")
+        if self._closed:
+            raise ServiceError("this PricingService is closed")
+        span = self._tracer.start_span(
+            "service.enqueue", "request", task=request.task,
+            kernel=request.kernel, options=len(request))
+        self.metrics.requests.inc()
+        self.metrics.options.inc(float(len(request)))
+        key = request_key(request)
+        future: "Future[ServiceResult]" = Future()
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self.metrics.cache_hits.inc()
+                span.set(outcome="cache_hit").end()
+                future.set_result(self._entry_result(request, entry))
+                return future
+            followers = self._inflight.get(key)
+            if followers is not None:
+                followers.append(_Pending(request, future, key,
+                                          time.monotonic()))
+                self.metrics.inflight_joins.inc()
+                span.set(outcome="inflight_join").end()
+                return future
+            self._inflight[key] = []
+        pending = _Pending(request, future, key, time.monotonic())
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            with self._lock:
+                self._inflight.pop(key, None)
+            self.metrics.rejected.inc()
+            span.set(outcome="rejected").end()
+            raise ServiceOverloadedError(
+                f"admission queue is full ({self.config.max_queue} "
+                f"requests); back off and retry, shed load, or raise "
+                f"ServiceConfig.max_queue") from None
+        self.metrics.cache_misses.inc()
+        self.metrics.queue_depth.set(float(self._queue.qsize()))
+        span.set(outcome="queued").end()
+        return future
+
+    # -- results -----------------------------------------------------------
+
+    def _entry_result(self, request: PricingRequest,
+                      entry: CacheEntry) -> ServiceResult:
+        columns = dict.fromkeys(_GREEKS_COLUMNS)
+        if entry.greeks is not None:
+            columns = dict(zip(_GREEKS_COLUMNS, entry.greeks))
+        return ServiceResult(prices=entry.prices, route="service",
+                             cache_hit=True, batch_options=0, wait_s=0.0,
+                             **columns)
+
+    def _resolve(self, pending: _Pending, result: ServiceResult) -> None:
+        """Apply the caller's ``strict`` flag and resolve one future."""
+        if pending.request.strict and result.failures:
+            try:
+                raise_first_failure(result.failures)
+            except Exception as exc:  # noqa: BLE001 - re-raised via future
+                pending.future.set_exception(exc)
+                return
+        pending.future.set_result(result)
+
+    def _settle(self, pending: _Pending, result: ServiceResult) -> None:
+        """Resolve a primary plus every follower that joined its key.
+
+        Clean results (no failures) are admitted to the content cache
+        first, so the next identical request is a pure hit.
+        """
+        if not result.failures:
+            greeks = None
+            if pending.request.task == "greeks":
+                greeks = tuple(CacheEntry.freeze(getattr(result, column))
+                               for column in _GREEKS_COLUMNS)
+            entry = CacheEntry(prices=CacheEntry.freeze(result.prices),
+                               greeks=greeks)
+            evicted = self._cache.put(pending.key, entry)
+            if evicted:
+                self.metrics.cache_evictions.inc(float(evicted))
+            self.metrics.cache_bytes.set(float(self._cache.bytes_used))
+        with self._lock:
+            followers = self._inflight.pop(pending.key, [])
+        self._resolve(pending, result)
+        for follower in followers:
+            self._resolve(follower, replace(result, cache_hit=True))
+
+    def _fail(self, pending: _Pending, exc: BaseException) -> None:
+        with self._lock:
+            followers = self._inflight.pop(pending.key, [])
+        for target in (pending, *followers):
+            if not target.future.done():
+                target.future.set_exception(exc)
+
+    # -- the coalescer thread ----------------------------------------------
+
+    def _run(self) -> None:
+        buckets: "dict[tuple, _Bucket]" = {}
+        while True:
+            timeout = None
+            if buckets:
+                deadline = min(b.deadline for b in buckets.values())
+                timeout = max(0.0, deadline - time.monotonic())
+            try:
+                items = [self._queue.get(timeout=timeout)]
+            except queue.Empty:
+                items = []
+            # Drain the whole backlog before looking at deadlines: a
+            # request that queued up while a flush was executing has
+            # "used up" its wait in the queue, and charging that wait
+            # against its bucket's deadline would flush post-backlog
+            # buckets one or two requests at a time — the opposite of
+            # coalescing.  Backlog first, deadlines after.
+            while True:
+                try:
+                    items.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            closing = False
+            for item in items:
+                if item is _CLOSE:
+                    closing = True
+                    continue
+                bkey = item.request.batch_key
+                bucket = buckets.get(bkey)
+                if bucket is None:
+                    bucket = buckets[bkey] = _Bucket(
+                        deadline=time.monotonic() + self._max_wait_s)
+                bucket.entries.append(item)
+                bucket.n_options += len(item.request)
+                if bucket.n_options >= self.config.max_batch:
+                    del buckets[bkey]
+                    self._flush(bucket, "full")
+            self.metrics.queue_depth.set(float(self._queue.qsize()))
+            if closing:
+                for bkey in list(buckets):
+                    self._flush(buckets.pop(bkey), "drain")
+                return
+            now = time.monotonic()
+            for bkey in [k for k, b in buckets.items() if b.deadline <= now]:
+                self._flush(buckets.pop(bkey), "deadline")
+
+    def _merge(self, entries: "list[_Pending]") -> PricingRequest:
+        """One engine-shaped request covering every bucket entry.
+
+        Entries share a ``batch_key``, so kernel/precision/family/task
+        (and greeks bumps) agree; options are concatenated and depths
+        carried per option (``group_stream`` regroups heterogeneous
+        depths inside the run).  Always ``strict=False`` — failures
+        must come back as records to be scoped per request.
+        """
+        first = entries[0].request
+        options: "list" = []
+        steps: "list[int]" = []
+        for pending in entries:
+            options.extend(pending.request.options)
+            steps.extend(pending.request.steps_per_option())
+        steps_spec: "int | tuple[int, ...]" = (
+            steps[0] if len(set(steps)) == 1 else tuple(steps))
+        return PricingRequest(
+            options=tuple(options), steps=steps_spec, kernel=first.kernel,
+            precision=first.precision, family=first.family, task=first.task,
+            strict=False, bump_vol=first.bump_vol, bump_rate=first.bump_rate)
+
+    def _engine_for(self, request: PricingRequest) -> PricingEngine:
+        key = (request.kernel, request.precision, request.family.value)
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = PricingEngine(
+                kernel=request.kernel,
+                profile=_engine_profile(request.precision),
+                family=request.family, config=self._engine_config,
+                faults=self.config.faults,
+                tracer=self._tracer if self._tracer.enabled else None)
+            self._engines[key] = engine
+        return engine
+
+    def _flush(self, bucket: _Bucket, reason: str) -> None:
+        entries = bucket.entries
+        merged = self._merge(entries)
+        flush_start = time.monotonic()
+        span = self._tracer.start_span(
+            f"service.flush[{merged.task}:{merged.kernel}]", "flush",
+            reason=reason, requests=len(entries), options=len(merged))
+        self.metrics.flushes.inc()
+        getattr(self.metrics, f"flush_{reason}").inc()
+        self.metrics.flush_options.observe(float(len(merged)))
+        try:
+            engine = self._engine_for(merged)
+            execute = span.child("execute", "engine", options=len(merged))
+            try:
+                result = run_request(engine, merged)
+            finally:
+                execute.end()
+        except Exception:
+            # A flush-level failure (not per-option quarantine — the
+            # engine turns those into records) must not take out every
+            # coalesced neighbour: re-run each request on its own so
+            # only the guilty one carries the error.
+            span.annotate("flush failed; re-running requests individually")
+            self._flush_individually(entries, flush_start, span)
+            span.end()
+            return
+        scatter = span.child("scatter", "scatter", requests=len(entries))
+        lo = 0
+        for pending in entries:
+            hi = lo + len(pending.request)
+            self._settle(pending, self._slice_result(
+                pending, result, lo, hi, len(merged), flush_start))
+            lo = hi
+        scatter.end()
+        span.end()
+
+    def _slice_result(self, pending: _Pending, result, lo: int, hi: int,
+                      batch_options: int, flush_start: float) -> ServiceResult:
+        wait_s = max(0.0, flush_start - pending.enqueued)
+        self.metrics.wait.observe(wait_s)
+        failures = tuple(replace(record, index=record.index - lo)
+                         for record in result.failures
+                         if lo <= record.index < hi)
+        columns = dict.fromkeys(_GREEKS_COLUMNS)
+        if pending.request.task == "greeks":
+            columns = {column: getattr(result, column)[lo:hi]
+                       for column in _GREEKS_COLUMNS}
+        return ServiceResult(
+            prices=result.prices[lo:hi], route="service",
+            stats=result.stats, failures=failures, cache_hit=False,
+            batch_options=batch_options, wait_s=wait_s, **columns)
+
+    def _flush_individually(self, entries: "list[_Pending]",
+                            flush_start: float, span) -> None:
+        for pending in entries:
+            single = replace(pending.request, strict=False)
+            try:
+                engine = self._engine_for(single)
+                result = run_request(engine, single)
+            except Exception as exc:  # noqa: BLE001 - scoped to this request
+                self._fail(pending, exc)
+                continue
+            self._settle(pending, self._slice_result(
+                pending, result, 0, len(single), len(single), flush_start))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> ServiceStats:
+        """A live snapshot (the final one is returned by :meth:`close`)."""
+        if self._final_stats is not None:
+            return self._final_stats
+        return ServiceStats.from_metrics(self.metrics)
+
+    def close(self) -> ServiceStats:
+        """Drain, flush, shut down; returns the final stats snapshot.
+
+        New submits are rejected immediately; everything already
+        admitted is flushed (``flush_drain``) so no future is left
+        unresolved.  Engines the service owns are closed and the
+        service metrics merge into the process-wide registry.
+        Idempotent — later calls return the same snapshot.
+        """
+        with self._lock:
+            if self._closed:
+                if self._final_stats is not None:
+                    return self._final_stats
+            self._closed = True
+        if self._thread.is_alive():
+            self._queue.put(_CLOSE)
+            self._thread.join()
+        # Reject anything that raced past the closed check after the
+        # sentinel (the coalescer has exited and will never see it).
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _CLOSE:
+                self._fail(item, ServiceError(
+                    "this PricingService closed before the request ran"))
+        for engine in self._engines.values():
+            engine.close()
+        if self._final_stats is None:
+            self._final_stats = ServiceStats.from_metrics(self.metrics)
+            self.metrics.publish()
+        return self._final_stats
+
+    def __enter__(self) -> "PricingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

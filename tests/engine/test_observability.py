@@ -202,3 +202,23 @@ class TestCloseSemantics:
             assert not engine.closed
         assert engine.closed
         engine.close()  # idempotent after __exit__ too
+
+
+class TestGreeksTracing:
+    def test_traced_greeks_run_records_every_pass(self, batch):
+        # regression: the greeks span loop once unpacked the pass table
+        # wrong and any enabled tracer crashed run_greeks outright
+        tracer = Tracer()
+        with PricingEngine(kernel="iv_b", tracer=tracer) as engine:
+            traced = engine.run_greeks(batch, STEPS)
+        with PricingEngine(kernel="iv_b") as engine:
+            untraced = engine.run_greeks(batch, STEPS)
+        assert np.array_equal(traced.prices, untraced.prices)
+        assert np.array_equal(traced.delta, untraced.delta)
+        root = tracer.as_dicts()[0]
+        groups = spans_of_kind(root, "group")
+        labels = {span["name"].split("[")[1].split(":")[0]
+                  for span in groups}
+        # base pass plus the four bump passes, one group span each
+        assert labels == {"base", "vega+", "vega-", "rho+", "rho-"}
+        assert all(span["attrs"]["task"] == "greeks" for span in groups)

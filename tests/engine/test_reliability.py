@@ -432,10 +432,27 @@ class TestCloseDuringFlight:
         assert errors and isinstance(errors[0], EngineError)
         assert multiprocessing.active_children() == []
 
-    def test_engine_is_reusable_after_close(self, batch, expected):
+    def test_closed_engine_refuses_new_runs_on_every_route(self, batch,
+                                                           expected):
+        # Reuse-after-close used to differ by route (the serial path
+        # silently resurrected the engine, the pool path raced the
+        # abandoned pool); both now raise the same EngineError.
         engine = PricingEngine(config=EngineConfig(chunk_options=8,
                                                    **NO_BACKOFF))
         np.testing.assert_array_equal(engine.price(batch, STEPS), expected)
         engine.close()
-        np.testing.assert_array_equal(engine.price(batch, STEPS), expected)
-        engine.close()
+        engine.close()  # double-close stays a no-op
+        with pytest.raises(EngineError, match="closed"):
+            engine.price(batch, STEPS)
+        with pytest.raises(EngineError, match="closed"):
+            engine.run(batch, STEPS)
+        with pytest.raises(EngineError, match="closed"):
+            engine.run_greeks(batch, STEPS)
+
+        pooled = PricingEngine(config=EngineConfig(workers=2,
+                                                   chunk_options=8,
+                                                   **NO_BACKOFF))
+        pooled.price(batch, STEPS)
+        pooled.close()
+        with pytest.raises(EngineError, match="closed"):
+            pooled.price(batch, STEPS)

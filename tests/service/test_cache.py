@@ -1,0 +1,135 @@
+"""Tests for the content key and the byte-budgeted LRU result cache."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import PricingRequest
+from repro.finance import generate_batch
+from repro.service import CacheEntry, ResultCache, request_key
+
+STEPS = 16
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return tuple(generate_batch(n_options=6, seed=11).options)
+
+
+def _request(batch, **overrides):
+    kwargs = dict(options=batch, steps=STEPS, kernel="iv_b")
+    kwargs.update(overrides)
+    return PricingRequest(**kwargs)
+
+
+def _entry(n=1, value=1.0):
+    return CacheEntry(prices=CacheEntry.freeze(
+        np.full(n, value, dtype=np.float64)))
+
+
+class TestRequestKey:
+    def test_identical_content_hashes_identically(self, batch):
+        assert request_key(_request(batch)) == request_key(_request(batch))
+
+    def test_rebuilt_options_hash_identically(self, batch):
+        rebuilt = tuple(dataclasses.replace(option) for option in batch)
+        assert request_key(_request(batch)) == request_key(_request(rebuilt))
+
+    @pytest.mark.parametrize("override", [
+        {"steps": STEPS * 2},
+        {"kernel": "reference"},
+        {"precision": "single"},
+        {"task": "greeks"},
+    ])
+    def test_value_affecting_fields_change_the_key(self, batch, override):
+        assert (request_key(_request(batch, **override))
+                != request_key(_request(batch)))
+
+    def test_any_option_field_changes_the_key(self, batch):
+        options = list(batch)
+        options[2] = dataclasses.replace(options[2],
+                                         volatility=options[2].volatility
+                                         + 1e-12)
+        assert (request_key(_request(tuple(options)))
+                != request_key(_request(batch)))
+
+    def test_greeks_bumps_change_the_key(self, batch):
+        base = _request(batch, task="greeks")
+        bumped = _request(batch, task="greeks", bump_vol=2e-3)
+        assert request_key(base) != request_key(bumped)
+
+    def test_delivery_knobs_do_not_change_the_key(self, batch):
+        # strict and workers shape error handling and speed, never the
+        # numbers — requests differing only there must share an entry
+        assert (request_key(_request(batch, strict=False, workers=2))
+                == request_key(_request(batch)))
+
+    def test_option_order_changes_the_key(self, batch):
+        assert (request_key(_request(tuple(reversed(batch))))
+                != request_key(_request(batch)))
+
+
+class TestResultCache:
+    def test_get_miss_then_hit(self):
+        cache = ResultCache(1024)
+        assert cache.get("k") is None
+        entry = _entry()
+        assert cache.put("k", entry) == 0
+        assert cache.get("k") is entry
+        assert cache.bytes_used == entry.nbytes
+
+    def test_lru_eviction_order(self):
+        # budget for exactly two one-float entries
+        cache = ResultCache(16)
+        cache.put("a", _entry())
+        cache.put("b", _entry())
+        cache.get("a")  # refresh: b is now least recently used
+        assert cache.put("c", _entry()) == 1
+        assert cache.get("b") is None
+        assert cache.get("a") is not None and cache.get("c") is not None
+
+    def test_oversized_entry_not_admitted(self):
+        cache = ResultCache(16)
+        cache.put("a", _entry())
+        assert cache.put("big", _entry(n=4)) == 0
+        assert cache.get("big") is None
+        assert cache.get("a") is not None  # nothing was evicted for it
+
+    def test_replacing_a_key_reuses_its_budget(self):
+        cache = ResultCache(16)
+        cache.put("a", _entry(value=1.0))
+        assert cache.put("a", _entry(value=2.0)) == 0
+        assert len(cache) == 1
+        assert cache.bytes_used == 8
+        assert cache.get("a").prices[0] == 2.0
+
+    def test_zero_budget_disables_the_cache(self):
+        cache = ResultCache(0)
+        assert cache.put("a", _entry()) == 0
+        assert cache.get("a") is None
+        assert cache.bytes_used == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(-1)
+
+    def test_clear(self):
+        cache = ResultCache(1024)
+        cache.put("a", _entry())
+        cache.clear()
+        assert len(cache) == 0 and cache.bytes_used == 0
+
+    def test_frozen_arrays_are_read_only_copies(self):
+        source = np.ones(3)
+        frozen = CacheEntry.freeze(source)
+        source[0] = 7.0
+        assert frozen[0] == 1.0
+        with pytest.raises(ValueError):
+            frozen[0] = 2.0
+
+    def test_entry_nbytes_counts_greeks_columns(self):
+        prices = CacheEntry.freeze(np.ones(2))
+        greeks = tuple(CacheEntry.freeze(np.ones(2)) for _ in range(5))
+        assert CacheEntry(prices=prices).nbytes == 16
+        assert CacheEntry(prices=prices, greeks=greeks).nbytes == 96

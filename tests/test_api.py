@@ -167,3 +167,120 @@ class TestDeprecatedWrappers:
                                           dtype=np.float32)
         assert np.array_equal(
             legacy, price(batch, steps=STEPS, precision="single").prices)
+
+
+class TestPricingRequest:
+    def _request(self, batch, **overrides):
+        from repro.api import PricingRequest
+        kwargs = dict(options=tuple(batch), steps=STEPS, kernel="iv_b")
+        kwargs.update(overrides)
+        return PricingRequest(**kwargs)
+
+    def test_canonical_fields(self, batch):
+        request = self._request(batch)
+        assert len(request) == len(batch)
+        assert request.steps_per_option() == tuple([STEPS] * len(batch))
+        assert request.batch_key == ("iv_b", "double", "crr", "price")
+
+    def test_greeks_key_includes_bumps(self, batch):
+        request = self._request(batch, task="greeks", bump_vol=2e-3)
+        assert request.batch_key[-2:] == (2e-3, 1e-4)
+
+    def test_per_option_steps(self, batch):
+        depths = tuple(range(2, 2 + len(batch)))
+        request = self._request(batch, steps=depths)
+        assert request.steps_per_option() == depths
+
+    @pytest.mark.parametrize("overrides", [
+        {"options": ()},
+        {"kernel": "nope"},
+        {"task": "nope"},
+        {"steps": 1},                       # iv_b needs >= 2
+        {"task": "greeks", "steps": 2},     # greeks needs >= 3
+        {"steps": (16,)},                   # length mismatch
+        {"workers": 0},
+        {"task": "greeks", "bump_vol": 0.0},
+        {"kernel": "iv_b", "family": "jarrow-rudd"},
+        {"family": "nope"},
+    ])
+    def test_validation(self, batch, overrides):
+        with pytest.raises(ReproError):
+            self._request(batch, **overrides)
+
+    def test_run_request_matches_price(self, batch):
+        from repro.api import run_request
+        from repro.engine.engine import PricingEngine
+
+        request = self._request(batch)
+        with PricingEngine(kernel="iv_b") as engine:
+            result = run_request(engine, request)
+        assert np.array_equal(result.prices,
+                              price(batch, steps=STEPS, kernel="iv_b").prices)
+
+
+class TestResultHierarchy:
+    def test_shared_batch_result_base(self, batch):
+        from repro import BatchResult, GreeksResult, ServiceResult
+        from repro.api import greeks
+
+        assert issubclass(PriceResult, BatchResult)
+        assert issubclass(GreeksResult, BatchResult)
+        assert issubclass(ServiceResult, BatchResult)
+
+        priced = price(batch, steps=STEPS)
+        bumped = greeks(batch, steps=STEPS)
+        for result in (priced, bumped):
+            assert isinstance(result, BatchResult)
+            assert len(result) == len(batch)
+            assert result.failures == ()
+            assert result.options_per_second > 0
+
+    def test_greeks_columns(self, batch):
+        from repro.api import greeks
+
+        result = greeks(batch, steps=STEPS, kernel="iv_b")
+        for column in ("delta", "gamma", "theta", "vega", "rho"):
+            assert getattr(result, column).shape == (len(batch),)
+
+
+class TestSharedEngines:
+    def test_repeat_calls_reuse_one_engine(self, batch):
+        from repro.api import _shared_engines, close_shared_engines
+
+        close_shared_engines()
+        price(batch, steps=STEPS, kernel="iv_b")
+        engines = dict(_shared_engines)
+        price(batch, steps=STEPS, kernel="iv_b")
+        assert dict(_shared_engines) == engines  # no rebuild
+        assert close_shared_engines() == 1
+        assert not _shared_engines
+
+    def test_closed_shared_engine_is_rebuilt(self, batch):
+        from repro.api import _shared_engines, close_shared_engines
+
+        close_shared_engines()
+        first = price(batch, steps=STEPS, kernel="iv_b").prices
+        for engine, _lock in _shared_engines.values():
+            engine.close()
+        second = price(batch, steps=STEPS, kernel="iv_b").prices
+        assert np.array_equal(first, second)
+        close_shared_engines()
+
+    def test_caller_engine_route(self, batch):
+        from repro.api import greeks
+        from repro.engine.engine import PricingEngine
+
+        with PricingEngine(kernel="iv_b") as engine:
+            result = price(batch, steps=STEPS, engine=engine)
+            again = greeks(batch, steps=STEPS, engine=engine)
+            assert not engine.closed  # the facade borrows, never closes
+        assert np.array_equal(result.prices,
+                              price(batch, steps=STEPS, kernel="iv_b").prices)
+        assert again.delta is not None
+
+    def test_engine_conflicts_with_config(self, batch):
+        from repro.engine.engine import PricingEngine
+
+        with PricingEngine(kernel="iv_b") as engine:
+            with pytest.raises(ReproError):
+                price(batch, steps=STEPS, engine=engine, workers=2)

@@ -197,3 +197,55 @@ class TestCommands:
                      "--check-against", str(baseline)])
         assert code == 1
         assert "REGRESSION" in capsys.readouterr().out
+
+    def test_serve_bench(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "service.json"
+        code = main(["serve-bench", "--options", "32", "--steps", "16",
+                     "--clients", "8", "--fault-seed", "101",
+                     "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coalesced" in out and "cache" in out
+        assert "fault seed 101" in out
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == "repro-service-bench/v1"
+        assert document["stats_schema"] == "repro-service-stats/v3"
+        entry = document["results"][0]
+        assert entry["parity"]["bit_identical_to_direct"] is True
+        run = entry["runs"][0]
+        assert run["cache_speedup"] > 1.0
+        assert run["service"]["requests"] == 32 + 2  # batch cold + hit
+
+    def test_serve_bench_regression_gate(self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        assert main(["serve-bench", "--options", "32", "--steps", "16",
+                     "--clients", "8", "--out", str(baseline)]) == 0
+        capsys.readouterr()
+
+        document = json.loads(baseline.read_text())
+        document["results"][0]["runs"][0]["options_per_second"] *= 100.0
+        baseline.write_text(json.dumps(document))
+        code = main(["serve-bench", "--options", "32", "--steps", "16",
+                     "--clients", "8", "--out", str(tmp_path / "s2.json"),
+                     "--check-against", str(baseline)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_serve_bench_trace_artifact(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "service-trace.json"
+        code = main(["serve-bench", "--options", "16", "--steps", "16",
+                     "--clients", "4", "--out", str(tmp_path / "s.json"),
+                     "--trace-out", str(trace_path)])
+        assert code == 0
+        assert "trace" in capsys.readouterr().out
+        document = json.loads(trace_path.read_text())
+        assert document["schema"] == "repro-trace/v1"
+        names = {span["name"] for span in document["spans"]}
+        assert "service.enqueue" in names
+        assert any(name.startswith("service.flush[") for name in names)

@@ -23,6 +23,7 @@ FAST_EXAMPLES = (
     "fault_tolerance",
     "observability",
     "greeks_study",
+    "pricing_service",
 )
 
 
