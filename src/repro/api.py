@@ -71,17 +71,18 @@ Example::
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Optional, Sequence
 
 import numpy as np
 
+from .backends import BACKENDS
 from .core.accelerator import AcceleratorResult, BinomialAccelerator
 from .core.faithful_math import EXACT_DOUBLE, EXACT_SINGLE
 from .devices.base import Precision
 from .engine import EngineConfig, PricingEngine
 from .engine.reliability import FailureRecord
-from .engine.scheduler import KERNELS, TASKS
+from .engine.scheduler import KERNELS
 from .engine.stats import EngineStats
 from .errors import ReproError
 from .finance.lattice import LatticeFamily
@@ -100,6 +101,12 @@ __all__ = [
 ]
 
 _DEVICES = ("fpga", "gpu", "cpu")
+
+#: Tasks a request may carry.  Narrower than the scheduler's
+#: :data:`~repro.engine.scheduler.TASKS`: ``"greeks_fused"`` is an
+#: internal scheduling shape the engine picks from
+#: ``EngineConfig.fused_greeks``, not something callers request.
+_REQUEST_TASKS = ("price", "greeks")
 
 
 # ---------------------------------------------------------------------------
@@ -132,6 +139,13 @@ class PricingRequest:
         default).  Advisory: the service and the shared-engine path
         run on an engine they own, so this only shapes dedicated
         engines.  Not part of the batch/cache identity.
+    :param backend: which kernel backend prices the request —
+        ``"auto"`` (default; fastest available), ``"numpy"``,
+        ``"cnative"`` or ``"numba"``.  Backends are bit-identical, so
+        this is a scheduling preference, not a numerical one; it *is*
+        part of the batch identity (requests coalesce per backend so
+        each merged flush runs on the engine the caller asked for) but
+        not of the cache identity.
     :param bump_vol: vega bump (greeks task only, must be > 0).
     :param bump_rate: rho bump (greeks task only, must be > 0).
 
@@ -149,6 +163,7 @@ class PricingRequest:
     task: str = "price"
     strict: bool = True
     workers: "int | None" = None
+    backend: str = "auto"
     bump_vol: float = 1e-3
     bump_rate: float = 1e-4
 
@@ -166,9 +181,12 @@ class PricingRequest:
         if self.kernel not in KERNELS:
             raise ReproError(
                 f"kernel must be one of {KERNELS}, got {self.kernel!r}")
-        if self.task not in TASKS:
+        if self.task not in _REQUEST_TASKS:
             raise ReproError(
-                f"task must be one of {TASKS}, got {self.task!r}")
+                f"task must be one of {_REQUEST_TASKS}, got {self.task!r}")
+        if self.backend not in BACKENDS:
+            raise ReproError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}")
         Precision.check(self.precision)
         family = self.family
         if not isinstance(family, LatticeFamily):
@@ -234,13 +252,16 @@ class PricingRequest:
         """Coalescing compatibility key.
 
         Requests with equal keys may be merged into one engine flush:
-        same lattice/kernel/precision/task (and greeks bumps), with
-        ``steps`` carried per option so heterogeneous-depth merges
-        stay legal (``group_stream`` regroups them inside the run).
-        ``strict`` and ``workers`` are per-caller concerns and
-        deliberately excluded.
+        same lattice/kernel/precision/backend/task (and greeks bumps),
+        with ``steps`` carried per option so heterogeneous-depth
+        merges stay legal (``group_stream`` regroups them inside the
+        run).  ``backend`` is included because the service keeps one
+        engine per configuration and a flush runs on exactly one
+        backend; ``strict`` and ``workers`` are per-caller concerns
+        and deliberately excluded.
         """
-        key = (self.kernel, self.precision, self.family.value, self.task)
+        key = (self.kernel, self.precision, self.family.value,
+               self.backend, self.task)
         if self.task == "greeks":
             key += (float(self.bump_vol), float(self.bump_rate))
         return key
@@ -417,14 +438,17 @@ _shared_engines: "dict[tuple, tuple[PricingEngine, threading.Lock]]" = {}
 def _shared_engine(request: PricingRequest):
     """The process-wide engine for this request's configuration.
 
-    Engines are keyed by ``(kernel, precision, family)`` and kept open
-    across calls, so a caller looping ``price()`` over many batches no
-    longer pays engine construction per call.  Each engine comes with
-    its own lock — :class:`PricingEngine` runs one batch at a time —
-    so concurrent façade calls serialise per configuration (use a
-    :class:`repro.service.PricingService` for real concurrency).
+    Engines are keyed by ``(kernel, precision, family, backend)`` and
+    kept open across calls, so a caller looping ``price()`` over many
+    batches no longer pays engine construction per call (for compiled
+    backends that includes the one-time compile/load cost).  Each
+    engine comes with its own lock — :class:`PricingEngine` runs one
+    batch at a time — so concurrent façade calls serialise per
+    configuration (use a :class:`repro.service.PricingService` for
+    real concurrency).
     """
-    key = (request.kernel, request.precision, request.family.value)
+    key = (request.kernel, request.precision, request.family.value,
+           request.backend)
     with _shared_lock:
         entry = _shared_engines.get(key)
         if entry is None or entry[0].closed:
@@ -432,6 +456,7 @@ def _shared_engine(request: PricingRequest):
                 kernel=request.kernel,
                 profile=_engine_profile(request.precision),
                 family=request.family,
+                config=EngineConfig(backend=request.backend),
             )
             entry = (engine, threading.Lock())
             _shared_engines[key] = entry
@@ -464,6 +489,9 @@ def _run_engine_route(request: PricingRequest, config, tracer,
         run_config = config
         if run_config is None and request.workers:
             run_config = EngineConfig(workers=int(request.workers))
+        if request.backend != "auto":
+            run_config = dc_replace(run_config or EngineConfig(),
+                                    backend=request.backend)
         with PricingEngine(kernel=request.kernel,
                            profile=_engine_profile(request.precision),
                            family=request.family, config=run_config,
@@ -488,6 +516,7 @@ def price(
     workers: "int | None" = None,
     family: LatticeFamily = LatticeFamily.CRR,
     precision: str = Precision.DOUBLE,
+    backend: str = "auto",
     tracer=None,
     strict: bool = True,
     engine: "PricingEngine | None" = None,
@@ -514,6 +543,10 @@ def price(
     :param workers: shorthand for ``EngineConfig(workers=...)``.
     :param family: lattice parameterisation.
     :param precision: ``"double"`` or ``"single"``.
+    :param backend: kernel backend for the engine route — ``"auto"``
+        (fastest available), ``"numpy"``, ``"cnative"`` or
+        ``"numba"``.  Bit-identical prices either way; overrides the
+        backend of an explicit ``config`` when not ``"auto"``.
     :param tracer: optional :class:`repro.obs.trace.Tracer` observing
         the engine run (``None`` = tracing disabled).  Forces a
         dedicated engine for this call.
@@ -546,12 +579,14 @@ def price(
         request = PricingRequest(
             options=tuple(options), steps=_steps_spec(steps),
             kernel=engine.kernel, precision=_profile_precision(engine.profile),
-            family=engine.family, task="price", strict=strict)
+            family=engine.family, task="price", strict=strict,
+            backend=engine.config.backend)
     else:
         request = PricingRequest(
             options=tuple(options), steps=_steps_spec(steps),
             kernel=kernel or "reference", precision=precision,
-            family=family, task="price", strict=strict, workers=workers)
+            family=family, task="price", strict=strict, workers=workers,
+            backend=backend)
     result = _run_engine_route(request, config, tracer, engine)
     return _price_result(request, result)
 
@@ -565,6 +600,7 @@ def greeks(
     workers: "int | None" = None,
     family: LatticeFamily = LatticeFamily.CRR,
     precision: str = Precision.DOUBLE,
+    backend: str = "auto",
     bump_vol: float = 1e-3,
     bump_rate: float = 1e-4,
     tracer=None,
@@ -592,6 +628,7 @@ def greeks(
     :param workers: shorthand for ``EngineConfig(workers=...)``.
     :param family: lattice parameterisation (kernel IV.B requires CRR).
     :param precision: ``"double"`` or ``"single"``.
+    :param backend: kernel backend — see :func:`price`.
     :param bump_vol: absolute volatility bump for the vega difference.
     :param bump_rate: absolute rate bump for the rho difference.
     :param tracer: optional :class:`repro.obs.trace.Tracer`.  Forces a
@@ -622,12 +659,13 @@ def greeks(
             options=tuple(options), steps=_steps_spec(steps),
             kernel=engine.kernel, precision=_profile_precision(engine.profile),
             family=engine.family, task="greeks", strict=strict,
+            backend=engine.config.backend,
             bump_vol=bump_vol, bump_rate=bump_rate)
     else:
         request = PricingRequest(
             options=tuple(options), steps=_steps_spec(steps),
             kernel=kernel, precision=precision, family=family,
-            task="greeks", strict=strict, workers=workers,
+            task="greeks", strict=strict, workers=workers, backend=backend,
             bump_vol=bump_vol, bump_rate=bump_rate)
     result = _run_engine_route(request, config, tracer, engine)
     return _greeks_result(request, result)

@@ -1,0 +1,122 @@
+"""Numba backend: the same fused kernel, JIT-compiled with ``prange``.
+
+Mirrors the cnative per-option fused loop as ``@njit(parallel=True,
+fastmath=False)`` kernels — ``fastmath=False`` is the bitwise-parity
+precondition (no FMA contraction, no reassociation), ``parallel=True``
+spreads independent option trees across cores.  The import is gated:
+environments without numba (this library's floor is plain NumPy)
+simply report the backend unavailable and ``auto`` resolution falls
+through to :class:`~repro.backends.cnative.CNativeBackend` or the
+NumPy path.  Install with ``pip install repro[compiled]``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import BackendUnavailableError
+from .base import KernelBackend
+
+__all__ = ["NumbaBackend"]
+
+
+def _import_numba():
+    try:
+        import numba
+    except ImportError:
+        return None
+    return numba
+
+
+def _build_kernel(numba):
+    """Compile the fused roll; one lazily-specialised dispatcher."""
+
+    @numba.njit(parallel=True, fastmath=False, cache=True)
+    def roll(leaf_s, leaf_v, pulldown, rp, rq, strike, sign, steps,
+             prices, level1, level2, capture):
+        n = leaf_v.shape[0]
+        cols = steps + 1
+        for i in numba.prange(n):
+            s = np.empty(cols, dtype=leaf_v.dtype)
+            v = np.empty(cols, dtype=leaf_v.dtype)
+            for k in range(steps):
+                s[k] = leaf_s[i, k]
+            for k in range(cols):
+                v[k] = leaf_v[i, k]
+            pd = pulldown[i]
+            p = rp[i]
+            q = rq[i]
+            strike_i = strike[i]
+            sg = sign[i]
+            for t in range(steps - 1, -1, -1):
+                for k in range(t + 1):
+                    sk = pd * s[k]
+                    cont = p * v[k] + q * v[k + 1]
+                    intr = sg * (sk - strike_i)
+                    v[k] = cont if cont > intr else intr
+                    s[k] = sk
+                if capture:
+                    if t == 2:
+                        level2[i, 0] = np.float64(v[0])
+                        level2[i, 1] = np.float64(v[1])
+                        level2[i, 2] = np.float64(v[2])
+                    elif t == 1:
+                        level1[i, 0] = np.float64(v[0])
+                        level1[i, 1] = np.float64(v[1])
+            prices[i] = np.float64(v[0])
+
+    return roll
+
+
+class NumbaBackend(KernelBackend):
+    """JIT-compiled backend; available only when numba imports."""
+
+    name = "numba"
+    compiled = True
+
+    def __init__(self) -> None:
+        numba = _import_numba()
+        if numba is None:
+            raise BackendUnavailableError(
+                "numba is not installed; install the [compiled] extra "
+                "(pip install repro[compiled]) or use the cnative/numpy "
+                "backends")
+        started = time.perf_counter()
+        self._roll = _build_kernel(numba)
+        # warm both dtype specialisations so compile cost is paid (and
+        # measured) here, not inside the first timed pricing run
+        for dtype in (np.float64, np.float32):
+            leaf_s = np.ones((1, 3), dtype=dtype)
+            leaf_v = np.ones((1, 3), dtype=dtype)
+            ones = np.ones(1, dtype=dtype)
+            self._roll(leaf_s, leaf_v, ones, ones, ones, ones, ones, 2,
+                       np.empty(1), np.empty((1, 2)), np.empty((1, 3)),
+                       False)
+        self.compile_seconds = time.perf_counter() - started
+
+    @classmethod
+    def available(cls) -> bool:
+        return _import_numba() is not None
+
+    def roll_levels(self, leaf_s, leaf_v, pulldown, rp, rq, strike, sign,
+                    steps: int, workspace=None, capture: bool = False):
+        leaf_v = np.ascontiguousarray(leaf_v)
+        leaf_s = np.ascontiguousarray(leaf_s)
+        n = leaf_v.shape[0]
+        dtype = leaf_v.dtype
+
+        def column(values):
+            return np.ascontiguousarray(
+                np.asarray(values, dtype=dtype).reshape(-1))
+
+        prices = np.empty(n, dtype=np.float64)
+        level1 = np.empty((n, 2), dtype=np.float64)
+        level2 = np.empty((n, 3), dtype=np.float64)
+        self._roll(leaf_s, leaf_v, column(pulldown), column(rp), column(rq),
+                   column(strike), column(sign), steps, prices, level1,
+                   level2, bool(capture))
+        if capture:
+            return prices, level1, level2
+        return prices, None, None

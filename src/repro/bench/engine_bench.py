@@ -203,6 +203,7 @@ def run_benchmark(
     profile: MathProfile = EXACT_DOUBLE,
     family: LatticeFamily = LatticeFamily.CRR,
     seed: int = 20140324,
+    backend: str = "numpy",
     tracer=None,
 ) -> dict:
     """Measure engine throughput against the frozen pre-engine path.
@@ -213,6 +214,12 @@ def run_benchmark(
     Returns the JSON-ready result document (see ``BENCH_SCHEMA``); the
     per-run stats use exactly the :data:`repro.obs.keys.STATS_KEYS`
     schema, declared in the document's ``stats_schema`` field.
+
+    ``backend`` selects the engine's roll-loop backend (see
+    :mod:`repro.backends`).  The simulator reference is always priced
+    on the NumPy path, so the bit-identity assertion doubles as the
+    in-run cross-backend parity gate: a compiled backend that drifts
+    by a single ULP fails the benchmark.
 
     Pass a :class:`repro.obs.trace.Tracer` to record every engine run
     as its own root span tree (one root per measured configuration;
@@ -242,13 +249,15 @@ def run_benchmark(
         runs = []
         for workers in workers_settings:
             with PricingEngine(kernel=kernel, profile=profile, family=family,
-                               config=EngineConfig(workers=workers),
+                               config=EngineConfig(workers=workers,
+                                                   backend=backend),
                                tracer=tracer) as engine:
                 result = engine.run(batch, steps)
             if not np.array_equal(result.prices, simulator_prices):
                 raise ReproError(
-                    f"engine (workers={workers}) is not bit-identical to "
-                    f"the simulator"
+                    f"engine (workers={workers}, backend="
+                    f"{result.stats.backend}) is not bit-identical to "
+                    f"the NumPy-path simulator"
                 )
             stats = result.stats.as_dict()
             stats["speedup_vs_baseline"] = (
@@ -286,6 +295,7 @@ def run_benchmark(
             "family": family.value,
             "steps": steps,
             "seed": seed,
+            "backend": backend,
         },
         "results": results,
     }
@@ -305,10 +315,13 @@ def check_throughput_regression(
 ) -> "list[str]":
     """CI regression gate: compare two benchmark documents.
 
-    Configurations are matched on ``(options, workers)`` (and the
-    global kernel/steps config must agree); a configuration fails when
-    its options/s fell more than ``max_regression`` below the stored
-    baseline.  Returns the list of failure messages (empty = pass).
+    Configurations are matched on ``(options, workers, fused_greeks)``
+    — the fused flag defaults to ``0`` so pre-v4 documents and the
+    service benchmark (whose rows carry neither) keep matching — and
+    the global kernel/steps/backend config must agree; a configuration
+    fails when its options/s fell more than ``max_regression`` below
+    the stored baseline.  Returns the list of failure messages (empty
+    = pass).
     """
     failures: "list[str]" = []
     if current["config"] != baseline["config"]:
@@ -317,19 +330,22 @@ def check_throughput_regression(
             f"baseline {baseline['config']}); not comparable"
         ]
     baseline_rates = {
-        (entry["options"], run["workers"]): run["options_per_second"]
+        (entry["options"], run["workers"], run.get("fused_greeks", 0)):
+            run["options_per_second"]
         for entry in baseline["results"]
         for run in entry["runs"]
     }
     for entry in current["results"]:
         for run in entry["runs"]:
-            key = (entry["options"], run["workers"])
+            key = (entry["options"], run["workers"],
+                   run.get("fused_greeks", 0))
             if key not in baseline_rates:
                 continue
             floor = baseline_rates[key] * (1.0 - max_regression)
             if run["options_per_second"] < floor:
                 failures.append(
-                    f"options={key[0]} workers={key[1]}: "
+                    f"options={key[0]} workers={key[1]} "
+                    f"fused={key[2]}: "
                     f"{run['options_per_second']:.1f} options/s is below "
                     f"{floor:.1f} ({1 - max_regression:.0%} of stored "
                     f"baseline {baseline_rates[key]:.1f})"

@@ -80,13 +80,20 @@ def run_greeks_benchmark(
     seed: int = 20140324,
     bump_vol: float = 1e-3,
     bump_rate: float = 1e-4,
+    backend: str = "numpy",
     tracer=None,
 ) -> dict:
     """Measure batched-greeks throughput against the scalar oracle.
 
-    For each batch size: time the scalar ``lattice_greeks`` loop once,
-    then one ``run_greeks`` per ``workers`` setting, asserting
-    per-greek agreement with the oracle to :data:`PARITY_TOL`.
+    For each batch size and ``workers`` setting the harness times both
+    greeks schedules — the five-pass one (base pass plus four bump
+    passes, five engine runs' worth of scheduling) and the fused one
+    (every variant in a single run) — asserting per-greek agreement
+    with the oracle to :data:`PARITY_TOL` and *bitwise* agreement
+    between the two schedules.  The fused row carries
+    ``fused_speedup_vs_five_pass``, the headline the fusion work is
+    gated on; rows are distinguished by their ``fused_greeks`` stats
+    flag, which the regression gate folds into its matching key.
     Returns a JSON-ready document with the same shape as
     :func:`~repro.bench.engine_bench.run_benchmark` (``config`` /
     ``results[*].runs`` with :data:`repro.obs.keys.STATS_KEYS` rows
@@ -111,30 +118,53 @@ def run_greeks_benchmark(
         runs = []
         parity: "dict[str, float]" = {}
         for workers in workers_settings:
-            with PricingEngine(kernel=kernel, profile=profile, family=family,
-                               config=EngineConfig(workers=workers),
-                               tracer=tracer) as engine:
-                result = engine.run_greeks(batch, steps, bump_vol=bump_vol,
-                                           bump_rate=bump_rate)
-            engine_fields = {
-                "price": result.prices, "delta": result.delta,
-                "gamma": result.gamma, "theta": result.theta,
-                "vega": result.vega, "rho": result.rho,
-            }
+            by_schedule = {}
+            for fused in (False, True):
+                config = EngineConfig(workers=workers, backend=backend,
+                                      fused_greeks=fused)
+                with PricingEngine(kernel=kernel, profile=profile,
+                                   family=family, config=config,
+                                   tracer=tracer) as engine:
+                    result = engine.run_greeks(batch, steps,
+                                               bump_vol=bump_vol,
+                                               bump_rate=bump_rate)
+                engine_fields = {
+                    "price": result.prices, "delta": result.delta,
+                    "gamma": result.gamma, "theta": result.theta,
+                    "vega": result.vega, "rho": result.rho,
+                }
+                for field in _GREEK_FIELDS:
+                    diff = float(np.max(np.abs(engine_fields[field]
+                                               - oracle[field])))
+                    parity[field] = max(parity.get(field, 0.0), diff)
+                    if diff > PARITY_TOL:
+                        raise ReproError(
+                            f"engine greeks (workers={workers}, "
+                            f"fused={fused}) disagree with the scalar "
+                            f"lattice_greeks oracle on {field}: "
+                            f"max abs diff {diff:.3e} > {PARITY_TOL:g}")
+                by_schedule[fused] = (result, engine_fields)
+
+            five_fields = by_schedule[False][1]
             for field in _GREEK_FIELDS:
-                diff = float(np.max(np.abs(engine_fields[field]
-                                           - oracle[field])))
-                parity[field] = max(parity.get(field, 0.0), diff)
-                if diff > PARITY_TOL:
+                if not np.array_equal(by_schedule[True][1][field],
+                                      five_fields[field]):
                     raise ReproError(
-                        f"engine greeks (workers={workers}) disagree with "
-                        f"the scalar lattice_greeks oracle on {field}: "
-                        f"max abs diff {diff:.3e} > {PARITY_TOL:g}")
-            stats = result.stats.as_dict()
-            stats["speedup_vs_baseline"] = (
-                baseline_wall / stats["wall_time_s"]
-            )
-            runs.append(stats)
+                        f"fused greeks (workers={workers}) are not "
+                        f"bit-identical to the five-pass schedule on "
+                        f"{field}")
+
+            five_wall = by_schedule[False][0].stats.wall_time_s
+            for fused in (False, True):
+                stats = by_schedule[fused][0].stats.as_dict()
+                stats["speedup_vs_baseline"] = (
+                    baseline_wall / stats["wall_time_s"]
+                )
+                if fused:
+                    stats["fused_speedup_vs_five_pass"] = (
+                        five_wall / stats["wall_time_s"]
+                    )
+                runs.append(stats)
 
         results.append({
             "options": n_options,
@@ -168,6 +198,7 @@ def run_greeks_benchmark(
             "seed": seed,
             "bump_vol": bump_vol,
             "bump_rate": bump_rate,
+            "backend": backend,
         },
         "results": results,
     }

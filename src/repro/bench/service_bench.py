@@ -37,7 +37,7 @@ from typing import Sequence
 import numpy as np
 
 from ..api import PricingRequest
-from ..engine import PricingEngine
+from ..engine import EngineConfig, PricingEngine
 from ..engine.faults import FaultPlan
 from ..errors import ReproError
 from ..finance.lattice import LatticeFamily
@@ -53,7 +53,8 @@ SERVICE_BENCH_SCHEMA = "repro-service-bench/v1"
 
 
 def _closed_loop(service: PricingService, options, steps: int, kernel: str,
-                 clients: int) -> "tuple[np.ndarray, float]":
+                 clients: int,
+                 backend: str = "auto") -> "tuple[np.ndarray, float]":
     """Drive the service with ``clients`` closed-loop threads.
 
     Each client owns a strided share of the batch and submits one
@@ -70,7 +71,7 @@ def _closed_loop(service: PricingService, options, steps: int, kernel: str,
             for index in range(start, len(options), clients):
                 request = PricingRequest(
                     options=(options[index],), steps=steps, kernel=kernel,
-                    strict=False)
+                    backend=backend, strict=False)
                 prices[index] = service.submit(request).result().prices[0]
         except BaseException as exc:  # noqa: BLE001 - reported to the driver
             errors.append(exc)
@@ -98,6 +99,7 @@ def run_service_benchmark(
     family: LatticeFamily = LatticeFamily.CRR,
     seed: int = 20140324,
     fault_seed: "int | None" = None,
+    backend: str = "numpy",
     tracer=None,
 ) -> dict:
     """Measure service throughput against the direct-engine bound.
@@ -115,6 +117,10 @@ def run_service_benchmark(
         (transient raise/NaN faults, one failed attempt each) into the
         direct engine *and* the service's engines — both heal on retry,
         so parity must still be bitwise.
+    :param backend: roll-loop backend (see :mod:`repro.backends`) for
+        the direct engine and every request, so the coalescer's
+        engines resolve the same one.  Backends are bit-identical by
+        contract, so the parity assertions are unchanged.
     :param tracer: optional tracer handed to the service (enqueue /
         flush / engine spans land in one trace).
     """
@@ -127,6 +133,7 @@ def run_service_benchmark(
                   if fault_seed is not None else None)
 
         with PricingEngine(kernel=kernel, family=family,
+                           config=EngineConfig(backend=backend),
                            faults=faults) as engine:
             start = time.perf_counter()
             direct = engine.run(options, steps)
@@ -142,14 +149,15 @@ def run_service_benchmark(
                                faults=faults)
         with PricingService(config, tracer=tracer) as service:
             service_prices, service_wall = _closed_loop(
-                service, options, steps, kernel, clients)
+                service, options, steps, kernel, clients, backend=backend)
             if not np.array_equal(service_prices, direct.prices):
                 raise ReproError(
                     "coalesced service prices are not bit-identical to the "
                     "direct engine run")
 
             batch_request = PricingRequest(options=tuple(options),
-                                           steps=steps, kernel=kernel)
+                                           steps=steps, kernel=kernel,
+                                           backend=backend)
             start = time.perf_counter()
             cold = service.submit(batch_request).result()
             cache_cold_s = time.perf_counter() - start
@@ -178,6 +186,9 @@ def run_service_benchmark(
             },
             "runs": [{
                 "workers": 1,
+                "backend": direct.stats.backend,
+                "backend_compile_seconds":
+                    direct.stats.backend_compile_seconds,
                 "wall_time_s": service_wall,
                 "options_per_second": service_rate,
                 "efficiency_vs_direct": service_rate / direct_rate,
@@ -207,6 +218,7 @@ def run_service_benchmark(
             "max_batch": max_batch,
             "max_wait_ms": max_wait_ms,
             "fault_seed": fault_seed,
+            "backend": backend,
         },
         "results": results,
     }

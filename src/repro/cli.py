@@ -16,10 +16,16 @@ writing Python::
     python -m repro clsource iv_b --steps 1024
     python -m repro price --spot 100 --strike 105 --type put
     python -m repro bench-engine --quick
+    python -m repro bench-engine --quick --backend cnative
+    python -m repro bench-engine --quick --out - | jq .config
     python -m repro bench-engine --trace-out trace.json --metrics-out m.prom
     python -m repro bench-greeks --quick
     python -m repro serve-bench --quick --fault-seed 101
     python -m repro obs --options 24 --steps 128
+
+The bench commands accept ``--out -`` to emit the benchmark document
+as pure JSON on stdout (narration moves to stderr), so the output can
+be piped straight into ``jq`` or a dashboard uploader.
 """
 
 from __future__ import annotations
@@ -29,6 +35,10 @@ import sys
 from typing import Sequence
 
 __all__ = ["main", "build_parser"]
+
+# mirrors repro.backends.BACKENDS plus the "auto" probe order; kept
+# literal so building the parser stays import-light
+_BACKEND_CHOICES = ("auto", "numpy", "cnative", "numba")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,8 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--workers", type=int, nargs="+", default=[1, 4],
                          help="engine worker settings (default: 1 4)")
     p_bench.add_argument("--kernel", choices=("iv_a", "iv_b"), default="iv_b")
+    p_bench.add_argument("--backend", choices=_BACKEND_CHOICES,
+                         default="numpy",
+                         help="roll-loop backend for the engine runs "
+                              "(default numpy; parity vs the NumPy path "
+                              "is asserted in-run)")
     p_bench.add_argument("--out", default="BENCH_engine.json",
-                         help="output JSON path (default BENCH_engine.json)")
+                         help="output JSON path (default BENCH_engine.json; "
+                              "'-' writes pure JSON to stdout)")
     p_bench.add_argument("--quick", action="store_true",
                          help="small CI-sized run (256 options, N=256, "
                               "workers 1 2)")
@@ -104,8 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="engine worker settings (default: 1 4)")
     p_greeks.add_argument("--kernel", choices=("iv_a", "iv_b", "reference"),
                           default="iv_b")
+    p_greeks.add_argument("--backend", choices=_BACKEND_CHOICES,
+                          default="numpy",
+                          help="roll-loop backend for the engine runs "
+                               "(default numpy)")
     p_greeks.add_argument("--out", default="BENCH_greeks.json",
-                          help="output JSON path (default BENCH_greeks.json)")
+                          help="output JSON path (default BENCH_greeks.json; "
+                               "'-' writes pure JSON to stdout)")
     p_greeks.add_argument("--quick", action="store_true",
                           help="small CI-sized run (64 options, N=64, "
                                "workers 1 2)")
@@ -140,8 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="inject FaultPlan.random(seed) transient "
                               "faults into every engine (must heal; parity "
                               "stays bitwise)")
+    p_serve.add_argument("--backend", choices=_BACKEND_CHOICES,
+                         default="numpy",
+                         help="roll-loop backend for the direct engine and "
+                              "every request (default numpy)")
     p_serve.add_argument("--out", default="BENCH_service.json",
-                         help="output JSON path (default BENCH_service.json)")
+                         help="output JSON path (default BENCH_service.json; "
+                              "'-' writes pure JSON to stdout)")
     p_serve.add_argument("--quick", action="store_true",
                          help="small CI-sized run (256 options, N=256, "
                               "32 clients)")
@@ -220,19 +246,46 @@ def _run_price(args) -> str:
     return "\n".join(lines)
 
 
+def _bench_streams(out: str):
+    """Output plumbing shared by the bench commands.
+
+    ``--out -`` flips a bench command into machine-readable mode: the
+    benchmark document becomes the *only* bytes on stdout and every
+    narration line moves to stderr, so the output parses as JSON.
+    Returns ``(json_to_stdout, echo)``.
+    """
+    import functools
+
+    if out == "-":
+        return True, functools.partial(print, file=sys.stderr)
+    return False, print
+
+
+def _emit_document(document: dict, out: str) -> str:
+    """Write the document to ``out`` (``-`` = stdout); returns label."""
+    if out == "-":
+        import json
+
+        print(json.dumps(document, indent=2))
+        return "<stdout>"
+    from .bench.engine_bench import write_benchmark
+
+    return str(write_benchmark(document, out))
+
+
 def _run_bench_engine(args) -> int:
     import json
 
     from .bench.engine_bench import (
         check_throughput_regression,
         run_benchmark,
-        write_benchmark,
     )
 
     if args.quick:
         options_counts, steps, workers = [256], 256, [1, 2]
     else:
         options_counts, steps, workers = args.options, args.steps, args.workers
+    _, echo = _bench_streams(args.out)
 
     tracer = None
     if args.trace_out:
@@ -242,30 +295,35 @@ def _run_bench_engine(args) -> int:
     document = run_benchmark(
         options_counts=options_counts, steps=steps,
         workers_settings=workers, kernel=args.kernel,
-        tracer=tracer,
+        backend=args.backend, tracer=tracer,
     )
-    path = write_benchmark(document, args.out)
+    path = _emit_document(document, args.out)
 
     if tracer is not None:
         from .obs.export import write_trace
         trace_path = write_trace(tracer, args.trace_out)
-        print(f"trace ({len(tracer.roots)} engine runs) -> {trace_path}")
+        echo(f"trace ({len(tracer.roots)} engine runs) -> {trace_path}")
     if args.metrics_out:
         from .obs import get_registry
         from .obs.export import write_metrics
         metrics_path = write_metrics(get_registry(), args.metrics_out)
-        print(f"metrics -> {metrics_path}")
+        echo(f"metrics -> {metrics_path}")
 
-    print(f"engine benchmark (kernel {args.kernel}, N={steps}) -> {path}")
+    echo(f"engine benchmark (kernel {args.kernel}, "
+         f"backend {args.backend}, N={steps}) -> {path}")
     for entry in document["results"]:
         base = entry["baseline"]
-        print(f"  {entry['options']} options: baseline "
-              f"{base['options_per_second']:,.1f} options/s")
+        echo(f"  {entry['options']} options: baseline "
+             f"{base['options_per_second']:,.1f} options/s")
         for run in entry["runs"]:
-            print(f"    workers={run['workers']}: "
-                  f"{run['options_per_second']:,.1f} options/s "
-                  f"({run['speedup_vs_baseline']:.2f}x baseline, "
-                  f"{run['chunks']} chunks)")
+            compile_note = (
+                f", compile {run['backend_compile_seconds']:.2f}s"
+                if run.get("backend_compile_seconds") else "")
+            echo(f"    workers={run['workers']} "
+                 f"backend={run['backend']}: "
+                 f"{run['options_per_second']:,.1f} options/s "
+                 f"({run['speedup_vs_baseline']:.2f}x baseline, "
+                 f"{run['chunks']} chunks{compile_note})")
             reliability = {
                 name: run[name]
                 for name in ("retries", "timeouts", "pool_rebuilds",
@@ -275,33 +333,31 @@ def _run_bench_engine(args) -> int:
             if reliability:
                 detail = ", ".join(f"{name}={count}"
                                    for name, count in reliability.items())
-                print(f"      reliability: {detail}")
+                echo(f"      reliability: {detail}")
 
     if args.check_against:
         with open(args.check_against) as handle:
             stored = json.load(handle)
         failures = check_throughput_regression(document, stored)
         for failure in failures:
-            print(f"REGRESSION: {failure}")
+            echo(f"REGRESSION: {failure}")
         if failures:
             return 1
-        print(f"no throughput regression vs {args.check_against}")
+        echo(f"no throughput regression vs {args.check_against}")
     return 0
 
 
 def _run_bench_greeks(args) -> int:
     import json
 
-    from .bench.engine_bench import (
-        check_throughput_regression,
-        write_benchmark,
-    )
+    from .bench.engine_bench import check_throughput_regression
     from .bench.greeks_bench import run_greeks_benchmark
 
     if args.quick:
         options_counts, steps, workers = [64], 64, [1, 2]
     else:
         options_counts, steps, workers = args.options, args.steps, args.workers
+    _, echo = _bench_streams(args.out)
 
     tracer = None
     if args.trace_out:
@@ -311,59 +367,62 @@ def _run_bench_greeks(args) -> int:
     document = run_greeks_benchmark(
         options_counts=options_counts, steps=steps,
         workers_settings=workers, kernel=args.kernel,
-        tracer=tracer,
+        backend=args.backend, tracer=tracer,
     )
-    path = write_benchmark(document, args.out)
+    path = _emit_document(document, args.out)
 
     if tracer is not None:
         from .obs.export import write_trace
         trace_path = write_trace(tracer, args.trace_out)
-        print(f"trace ({len(tracer.roots)} engine runs) -> {trace_path}")
+        echo(f"trace ({len(tracer.roots)} engine runs) -> {trace_path}")
     if args.metrics_out:
         from .obs import get_registry
         from .obs.export import write_metrics
         metrics_path = write_metrics(get_registry(), args.metrics_out)
-        print(f"metrics -> {metrics_path}")
+        echo(f"metrics -> {metrics_path}")
 
-    print(f"greeks benchmark (kernel {args.kernel}, N={steps}) -> {path}")
+    echo(f"greeks benchmark (kernel {args.kernel}, "
+         f"backend {args.backend}, N={steps}) -> {path}")
     for entry in document["results"]:
         base = entry["baseline"]
         worst = max(entry["parity"]["max_abs_diff"].values())
-        print(f"  {entry['options']} options: scalar oracle "
-              f"{base['options_per_second']:,.1f} options/s "
-              f"(worst greek diff {worst:.2e})")
+        echo(f"  {entry['options']} options: scalar oracle "
+             f"{base['options_per_second']:,.1f} options/s "
+             f"(worst greek diff {worst:.2e})")
         for run in entry["runs"]:
-            print(f"    workers={run['workers']}: "
-                  f"{run['options_per_second'] / 5:,.1f} options/s "
-                  f"({run['speedup_vs_baseline']:.2f}x scalar, "
-                  f"{run['bump_passes']} bump passes, "
-                  f"{run['chunks']} chunks)")
+            schedule = "fused" if run.get("fused_greeks") else "five-pass"
+            fused_note = (
+                f", {run['fused_speedup_vs_five_pass']:.2f}x vs five-pass"
+                if "fused_speedup_vs_five_pass" in run else "")
+            echo(f"    workers={run['workers']} {schedule}: "
+                 f"{run['options_per_second'] / 5:,.1f} options/s "
+                 f"({run['speedup_vs_baseline']:.2f}x scalar, "
+                 f"{run['bump_passes']} bump passes, "
+                 f"{run['chunks']} chunks{fused_note})")
 
     if args.check_against:
         with open(args.check_against) as handle:
             stored = json.load(handle)
         failures = check_throughput_regression(document, stored)
         for failure in failures:
-            print(f"REGRESSION: {failure}")
+            echo(f"REGRESSION: {failure}")
         if failures:
             return 1
-        print(f"no throughput regression vs {args.check_against}")
+        echo(f"no throughput regression vs {args.check_against}")
     return 0
 
 
 def _run_serve_bench(args) -> int:
     import json
 
-    from .bench.engine_bench import (
-        check_throughput_regression,
-        write_benchmark,
-    )
+    from .bench.engine_bench import check_throughput_regression
     from .bench.service_bench import run_service_benchmark
 
     if args.quick:
         options_counts, steps, clients = [256], 256, 32
     else:
         options_counts, steps, clients = args.options, args.steps, args.clients
+    _, echo = _bench_streams(args.out)
 
     tracer = None
     if args.trace_out:
@@ -374,47 +433,48 @@ def _run_serve_bench(args) -> int:
         options_counts=options_counts, steps=steps, kernel=args.kernel,
         clients=clients, max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms, fault_seed=args.fault_seed,
-        tracer=tracer,
+        backend=args.backend, tracer=tracer,
     )
-    path = write_benchmark(document, args.out)
+    path = _emit_document(document, args.out)
 
     if tracer is not None:
         from .obs.export import write_trace
         trace_path = write_trace(tracer, args.trace_out)
-        print(f"trace ({len(tracer.roots)} root spans) -> {trace_path}")
+        echo(f"trace ({len(tracer.roots)} root spans) -> {trace_path}")
     if args.metrics_out:
         from .obs import get_registry
         from .obs.export import write_metrics
         metrics_path = write_metrics(get_registry(), args.metrics_out)
-        print(f"metrics -> {metrics_path}")
+        echo(f"metrics -> {metrics_path}")
 
     fault_note = (f", fault seed {args.fault_seed}"
                   if args.fault_seed is not None else "")
-    print(f"service benchmark (kernel {args.kernel}, N={steps}, "
-          f"{clients} clients{fault_note}) -> {path}")
+    echo(f"service benchmark (kernel {args.kernel}, "
+         f"backend {args.backend}, N={steps}, "
+         f"{clients} clients{fault_note}) -> {path}")
     for entry in document["results"]:
         base = entry["baseline"]
-        print(f"  {entry['options']} options: direct engine "
-              f"{base['options_per_second']:,.1f} options/s")
+        echo(f"  {entry['options']} options: direct engine "
+             f"{base['options_per_second']:,.1f} options/s")
         for run in entry["runs"]:
             service = run["service"]
-            print(f"    coalesced: {run['options_per_second']:,.1f} "
-                  f"options/s ({run['efficiency_vs_direct']:.0%} of direct, "
-                  f"{service['flushes']} flushes, mean "
-                  f"{service['mean_flush_options']:.1f} options/flush)")
-            print(f"    cache: cold {run['cache_cold_s'] * 1e3:.1f} ms, "
-                  f"hit {run['cache_hit_s'] * 1e3:.3f} ms "
-                  f"({run['cache_speedup']:.0f}x)")
+            echo(f"    coalesced: {run['options_per_second']:,.1f} "
+                 f"options/s ({run['efficiency_vs_direct']:.0%} of direct, "
+                 f"{service['flushes']} flushes, mean "
+                 f"{service['mean_flush_options']:.1f} options/flush)")
+            echo(f"    cache: cold {run['cache_cold_s'] * 1e3:.1f} ms, "
+                 f"hit {run['cache_hit_s'] * 1e3:.3f} ms "
+                 f"({run['cache_speedup']:.0f}x)")
 
     if args.check_against:
         with open(args.check_against) as handle:
             stored = json.load(handle)
         failures = check_throughput_regression(document, stored)
         for failure in failures:
-            print(f"REGRESSION: {failure}")
+            echo(f"REGRESSION: {failure}")
         if failures:
             return 1
-        print(f"no throughput regression vs {args.check_against}")
+        echo(f"no throughput regression vs {args.check_against}")
     return 0
 
 

@@ -4,7 +4,7 @@ The coroutine-based simulator in :mod:`repro.core.host_b` is faithful
 but interprets every work-item in Python, which caps it at small trees.
 The paper's accuracy results need the full configuration — N=1024 over
 thousands of options — so this module re-expresses the *same operation
-sequence* as numpy array programs:
+sequence* as array programs:
 
 * :func:`simulate_kernel_b_batch` — kernel IV.B semantics: in-device
   leaf initialisation through the profile's ``pow`` (the flawed
@@ -16,14 +16,14 @@ Integration tests assert bit-for-bit agreement with the coroutine
 executor at small N for every math profile, which is what licenses
 using these fast paths in the accuracy experiments.
 
-Both simulators run their backward loop in preallocated
-:class:`~repro.engine.workspace.Workspace` tiles (every ufunc writes
-through ``out=``), so a caller pricing many chunks — the batched
-pricing engine — can reuse one tile set across the whole stream
-instead of reallocating ~``batch x (N+1)`` temporaries per call.  The
-tiled loop performs the exact same operation sequence as the naive
-expression form; the parity tests in ``tests/engine`` hold it to
-bit-identical output.
+Leaf construction stays here (it owns the profile's ``pow``/``cast``
+semantics — the whole point of kernel IV.B); everything below the
+leaves runs through a :class:`~repro.backends.KernelBackend`.  The
+default backend is the NumPy reference path, which performs the exact
+historical operation sequence in preallocated
+:class:`~repro.engine.workspace.Workspace` tiles; compiled backends
+(``cnative``/``numba``) are bit-identical by contract and verified by
+``tests/backends``.
 """
 
 from __future__ import annotations
@@ -41,6 +41,7 @@ from .kernel_a import build_leaves_a_batch, build_params_a
 from .kernel_b import build_params_b
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> core)
+    from ..backends import KernelBackend
     from ..engine.workspace import Workspace
 
 __all__ = [
@@ -64,73 +65,18 @@ def leaf_exponents_b(steps: int) -> np.ndarray:
     return exponents
 
 
-def _lease_tiles(workspace, n: int, steps: int, dtype):
-    """Lease the five float tiles + mask the backward loop writes into.
+def _roll_backend(backend: "KernelBackend | None") -> "KernelBackend":
+    """Default to the NumPy reference path when no backend is pinned.
 
-    Tiles are *time-major*: shape ``(steps + 1, n)``, tree row ``k``
-    along axis 0 and option along axis 1.  Narrowing the active range
-    then slices leading rows — contiguous memory — so every ufunc in
-    the loop runs one straight-line inner loop instead of ``n``
-    strided row segments; on a cache-budgeted chunk this is worth
-    almost 2x wall clock over the option-major layout (and transposing
-    cannot change results: every operation is elementwise).
+    Direct callers of the simulators (accuracy experiments, the bench
+    baselines) therefore keep today's behaviour exactly; the engine
+    passes its resolved backend explicitly.
     """
-    if workspace is None:
-        from ..engine.workspace import Workspace
+    if backend is not None:
+        return backend
+    from ..backends import get_backend
 
-        workspace = Workspace()
-    shape = (steps + 1, n)
-    return (
-        workspace.tile("v", shape, dtype),
-        workspace.tile("s", shape, dtype),
-        workspace.tile("s_new", shape, dtype),
-        workspace.tile("cont", shape, dtype),
-        workspace.tile("scratch", shape, dtype),
-        workspace.tile("mask", shape, np.bool_),
-    )
-
-
-def _backward_induction(v, s, s_new, cont, scratch, mask,
-                        pulldown, rp, rq, strike, sign, steps: int,
-                        levels: "dict[int, np.ndarray] | None" = None) -> None:
-    """Equation (1) backward loop over preallocated time-major tiles.
-
-    Performs, step by step, the exact operation sequence of the
-    expression form ``V = max(rp*V[k] + rq*V[k+1], sign*(pd*S - K))``
-    — same ufuncs, same order, writing through ``out=`` so no
-    temporaries are allocated.  ``pulldown`` is the family-correct
-    spot roll factor ``1/u`` (equal to the paper's ``d`` under CRR);
-    the active row range narrows exactly as work-items ``k > t`` idle
-    out in the kernel; ``s`` and ``s_new`` ping-pong instead of
-    copying.  The per-option constants arrive as ``(1, n)`` rows
-    broadcast down the tree axis.
-
-    When ``levels`` is a dict, the value rows of tree levels 1 and 2
-    are copied into it (``levels[t]`` has shape ``(t + 1, n)``, in the
-    working dtype) as the loop passes them — the Hull lattice-greeks
-    trick: delta/gamma/theta fall out of these rows plus the root, so
-    a greeks run costs the *same single pricing pass*.  Capture is a
-    copy after the level's value update; it never changes the
-    arithmetic of the loop.
-    """
-    for t in range(steps - 1, -1, -1):
-        active = t + 1
-        s_act = s_new[:active]
-        np.multiply(pulldown, s[:active], out=s_act)
-        continuation = cont[:active]
-        intrinsic = scratch[:active]
-        exercise = mask[:active]
-        np.multiply(rp, v[:active], out=continuation)
-        np.multiply(rq, v[1:active + 1], out=intrinsic)
-        np.add(continuation, intrinsic, out=continuation)
-        np.subtract(s_act, strike, out=intrinsic)
-        np.multiply(sign, intrinsic, out=intrinsic)
-        np.greater(continuation, intrinsic, out=exercise)
-        np.copyto(v[:active], intrinsic)
-        np.copyto(v[:active], continuation, where=exercise)
-        if levels is not None and t in (1, 2):
-            levels[t] = v[:active].copy()
-        s, s_new = s_new, s
+    return get_backend("numpy")
 
 
 def simulate_kernel_b_batch(
@@ -140,6 +86,7 @@ def simulate_kernel_b_batch(
     family: LatticeFamily = LatticeFamily.CRR,
     workspace: "Workspace | None" = None,
     capture_levels: bool = False,
+    backend: "KernelBackend | None" = None,
 ) -> np.ndarray:
     """Kernel IV.B arithmetic, vectorised across the whole batch.
 
@@ -156,6 +103,8 @@ def simulate_kernel_b_batch(
         levels 1 and 2 — the inputs of the lattice delta/gamma/theta
         formulas, captured from the *same* pricing pass.  Requires
         ``steps >= 3``.
+    :param backend: the :class:`~repro.backends.KernelBackend` to run
+        the backward roll on; ``None`` pins the NumPy reference path.
     """
     if steps < 2:
         raise ReproError("kernel IV.B needs at least 2 steps")
@@ -169,6 +118,7 @@ def simulate_kernel_b_batch(
             "exploits the CRR recombination u*d = 1 (paper Figure 1); "
             "use kernel IV.A (host-computed leaves) for other families"
         )
+    backend = _roll_backend(backend)
     params = build_params_b(options, steps, family)
     cast = profile.cast
 
@@ -183,23 +133,13 @@ def simulate_kernel_b_batch(
     # Leaf initialisation: S[N,k] = s0 * pow(u, N - 2k), device pow.
     exponents = leaf_exponents_b(steps)
     leaf_s = cast(s0 * profile.pow_(up, exponents[None, :]))
-    payoff = cast(sign * (leaf_s - strike))
+    leaf_v = backend.leaf_payoffs(leaf_s, strike, sign, cast)
 
-    n = leaf_s.shape[0]
-    v, s, s_new, cont, scratch, mask = _lease_tiles(
-        workspace, n, steps, profile.dtype)
-    np.copyto(v, np.where(payoff > 0.0, payoff, cast(0.0)).T)
-    # rows k=0..N-1 keep a private S; the extra leaf does not
-    np.copyto(s[:steps], leaf_s[:, :steps].T)
-
-    levels: "dict[int, np.ndarray] | None" = {} if capture_levels else None
-    _backward_induction(v, s, s_new, cont, scratch, mask,
-                        down.T, rp.T, rq.T, strike.T, sign.T, steps,
-                        levels=levels)
-    prices = v[0].astype(np.float64)
+    prices, level1, level2 = backend.roll_levels(
+        leaf_s, leaf_v, down, rp, rq, strike, sign, steps,
+        workspace=workspace, capture=capture_levels)
     if capture_levels:
-        return prices, levels[1].T.astype(np.float64), \
-            levels[2].T.astype(np.float64)
+        return prices, level1, level2
     return prices
 
 
@@ -210,6 +150,7 @@ def simulate_kernel_a_batch(
     family: LatticeFamily = LatticeFamily.CRR,
     workspace: "Workspace | None" = None,
     capture_levels: bool = False,
+    backend: "KernelBackend | None" = None,
 ) -> np.ndarray:
     """Kernel IV.A arithmetic, vectorised across the batch.
 
@@ -223,6 +164,8 @@ def simulate_kernel_a_batch(
     :param capture_levels: when True, return
         ``(prices, level1, level2)`` — see
         :func:`simulate_kernel_b_batch`; requires ``steps >= 3``.
+    :param backend: the :class:`~repro.backends.KernelBackend` to run
+        the backward roll on; ``None`` pins the NumPy reference path.
     """
     if steps < 2:
         raise ReproError("kernel IV.A needs at least 2 steps")
@@ -230,6 +173,7 @@ def simulate_kernel_a_batch(
         raise ReproError("level capture needs at least 3 steps")
     if not options:
         raise ReproError("empty option batch")
+    backend = _roll_backend(backend)
     params = build_params_a(options, steps, family)
     cast = profile.cast
 
@@ -242,18 +186,9 @@ def simulate_kernel_a_batch(
     # Host-exact leaves (S and V), cast into the device's working
     # precision when "uploaded".
     leaf_s, leaf_v = build_leaves_a_batch(options, steps, family)
-    n = leaf_s.shape[0]
-    v, s, s_new, cont, scratch, mask = _lease_tiles(
-        workspace, n, steps, profile.dtype)
-    np.copyto(v, cast(leaf_v).T)
-    np.copyto(s, cast(leaf_s).T)
-
-    levels: "dict[int, np.ndarray] | None" = {} if capture_levels else None
-    _backward_induction(v, s, s_new, cont, scratch, mask,
-                        pulldown.T, rp.T, rq.T, strike.T, sign.T, steps,
-                        levels=levels)
-    prices = v[0].astype(np.float64)
+    prices, level1, level2 = backend.roll_levels(
+        cast(leaf_s), cast(leaf_v), pulldown, rp, rq, strike, sign, steps,
+        workspace=workspace, capture=capture_levels)
     if capture_levels:
-        return prices, levels[1].T.astype(np.float64), \
-            levels[2].T.astype(np.float64)
+        return prices, level1, level2
     return prices

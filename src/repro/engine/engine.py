@@ -65,6 +65,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..backends import BACKENDS, resolve_backend
 from ..core.faithful_math import EXACT_DOUBLE, MathProfile
 from ..core.metrics import nodes_per_option
 from ..errors import (
@@ -87,6 +88,7 @@ from .reliability import (
 from .scheduler import (
     KERNELS,
     Chunk,
+    chunk_width,
     group_stream,
     plan_chunks,
     price_chunk,
@@ -123,6 +125,18 @@ class EngineConfig:
     :param backoff_base_s: first-retry backoff ceiling; retry ``k``
         sleeps up to ``backoff_base_s * 2**k`` with deterministic
         jitter (``0`` disables backoff sleeping).
+    :param backend: which :class:`~repro.backends.KernelBackend` runs
+        the backward-induction hot path — ``"auto"`` (fastest
+        available compiled backend, NumPy fallback), ``"numpy"``,
+        ``"cnative"`` or ``"numba"``.  All backends are bit-identical;
+        the ``REPRO_BACKEND`` environment variable overrides this at
+        resolution time.
+    :param fused_greeks: schedule :meth:`PricingEngine.run_greeks` as
+        one fused task per chunk (lattice params and leaves built
+        once, base + four bump variants sharing a 5x-wide tile)
+        instead of five sibling chunk-group passes.  Same numbers
+        either way; the five-pass path remains for per-pass failure
+        isolation and as the bench baseline.
     """
 
     workers: int = 1
@@ -132,10 +146,15 @@ class EngineConfig:
     max_retries: int = 2
     chunk_timeout_s: "float | None" = None
     backoff_base_s: float = 0.05
+    backend: str = "auto"
+    fused_greeks: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise EngineError(f"workers must be >= 1, got {self.workers}")
+        if self.backend not in BACKENDS:
+            raise EngineError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}")
         if self.chunk_options is not None and self.chunk_options < 1:
             raise EngineError(
                 f"chunk_options must be >= 1, got {self.chunk_options}")
@@ -232,6 +251,10 @@ class PricingEngine:
         self.config = config or EngineConfig()
         self.faults = faults
         self.tracer = as_tracer(tracer)
+        # Resolve eagerly: an explicit name that cannot be realised
+        # should fail at construction, not mid-batch, and the compile
+        # cost lands once here instead of inside the first timed run.
+        self._backend = resolve_backend(self.config.backend)
         self._policy = RetryPolicy.from_config(self.config)
         self._workspace = Workspace()  # serial path, reused across runs
         self._pool: "ProcessPoolExecutor | None" = None
@@ -390,6 +413,7 @@ class PricingEngine:
             "engine.run", "run",
             kernel=self.kernel, profile=self.profile.name,
             family=self.family.value, workers=self.config.workers,
+            backend=self._backend.name,
             options=len(options), chunks=len(chunks), groups=len(groups),
         )
         group_spans: "dict[tuple[str, int], object]" = {}
@@ -424,6 +448,8 @@ class PricingEngine:
             wall_time_s=wall_time_s,
             cpu_time_s=time.process_time() - cpu_start,
             peak_tile_bytes=peak_tile_bytes,
+            backend=self._backend.name,
+            backend_compile_seconds=self._backend.compile_seconds,
         )
         metrics.finalise(wall_time_s, stats.options_per_second,
                          stats.tree_nodes_per_second, peak_tile_bytes)
@@ -460,6 +486,15 @@ class PricingEngine:
         to sit below the leaves).  Failures never raise: the affected
         columns carry NaN and
         :attr:`GreeksEngineResult.failures` names the pass.
+
+        With ``EngineConfig.fused_greeks`` (the default) the five
+        passes collapse into one fused task per chunk — lattice
+        parameters and leaves are built once per option and the bump
+        variants share the blocked workspace (see
+        :func:`repro.engine.scheduler.greeks_fused_chunk`).  The
+        numbers are identical either way; ``fused_greeks=False``
+        restores the five-pass schedule with its per-pass failure
+        attribution.
         """
         self._check_usable()
         if bump_vol <= 0.0:
@@ -478,7 +513,17 @@ class PricingEngine:
                     "greeks need at least 3 steps (tree levels 0..2 must "
                     f"sit below the leaves), got {group_steps}"
                 )
+        if self.config.fused_greeks:
+            return self._run_greeks_fused(options, n, groups, bump_vol,
+                                          bump_rate, wall_start, cpu_start)
+        return self._run_greeks_passes(options, n, groups, bump_vol,
+                                       bump_rate, wall_start, cpu_start)
 
+    def _run_greeks_passes(self, options: "list[Option]", n: int,
+                           groups: dict, bump_vol: float, bump_rate: float,
+                           wall_start: float, cpu_start: float,
+                           ) -> GreeksEngineResult:
+        """The five-pass greeks schedule (base + four bump groups)."""
         # Pass p's virtual indices are p*n + i, so one flat (5n, 4)
         # output array and the unchanged scatter/quarantine machinery
         # serve all five passes; pass 0 rows are [price, delta, gamma,
@@ -530,6 +575,7 @@ class PricingEngine:
             "engine.greeks", "run",
             kernel=self.kernel, profile=self.profile.name,
             family=self.family.value, workers=self.config.workers,
+            backend=self._backend.name, fused=False,
             options=n, chunks=len(chunks),
             bump_vol=bump_vol, bump_rate=bump_rate,
         )
@@ -578,6 +624,9 @@ class PricingEngine:
             wall_time_s=wall_time_s,
             cpu_time_s=time.process_time() - cpu_start,
             peak_tile_bytes=peak_tile_bytes,
+            backend=self._backend.name,
+            backend_compile_seconds=self._backend.compile_seconds,
+            fused_greeks=0,
         )
         metrics.finalise(wall_time_s, stats.options_per_second,
                          stats.tree_nodes_per_second, peak_tile_bytes)
@@ -598,6 +647,119 @@ class PricingEngine:
             failures=tuple(sorted(remapped, key=lambda f: f.index)),
         )
 
+    def _run_greeks_fused(self, options: "list[Option]", n: int,
+                          groups: dict, bump_vol: float, bump_rate: float,
+                          wall_start: float, cpu_start: float,
+                          ) -> GreeksEngineResult:
+        """The fused greeks schedule: one 6-column task per chunk.
+
+        Each chunk's worker call builds the base contracts' lattice
+        parameters and leaves once and prices all five variant sets
+        through a single simulate sharing one 5x-wide tile
+        (:func:`repro.engine.scheduler.greeks_fused_chunk`), so a run
+        dispatches ``chunks`` calls instead of ``5 * chunks``.  The
+        stats contract is unchanged — ``options`` still counts every
+        variant pricing (5n), ``bump_passes`` is still 4 — only
+        ``groups`` shrinks (one scheduling group per depth, not five)
+        and ``fused_greeks`` flips to 1.  A failure that survives
+        retries quarantines the *option* (its whole greeks row goes
+        NaN, message prefixed ``[fused greeks]``) rather than a single
+        pass — use ``fused_greeks=False`` when per-pass attribution
+        matters more than throughput.
+        """
+        chunks: list[Chunk] = []
+        for group_steps, (indices, members) in sorted(groups.items()):
+            chunks.extend(plan_chunks(
+                indices, members, group_steps, self.profile.dtype,
+                self.config.chunk_options, self.config.tile_budget_bytes,
+                self.config.min_chunk_options, self.config.workers,
+                task="greeks_fused", group="fused",
+                width=chunk_width("greeks_fused"),
+                bump_vol=bump_vol, bump_rate=bump_rate,
+            ))
+
+        tree_nodes = len(_GREEKS_PASSES) * sum(
+            len(indices) * (nodes_per_option(s) + s + 1)
+            for s, (indices, _) in groups.items()
+        )
+
+        metrics = RunMetrics()
+        metrics.options.inc(len(_GREEKS_PASSES) * n)
+        metrics.greeks_options.inc(n)
+        metrics.bump_passes.inc(len(_GREEKS_PASSES) - 1)
+        metrics.tree_nodes.inc(tree_nodes)
+        metrics.groups.inc(len(groups))
+        metrics.chunks.inc(len(chunks))
+
+        run_span = self.tracer.start_span(
+            "engine.greeks", "run",
+            kernel=self.kernel, profile=self.profile.name,
+            family=self.family.value, workers=self.config.workers,
+            backend=self._backend.name, fused=True,
+            options=n, chunks=len(chunks),
+            bump_vol=bump_vol, bump_rate=bump_rate,
+        )
+        group_spans: "dict[tuple[str, int], object]" = {}
+        if self.tracer.enabled:
+            for group_steps, (indices, _) in sorted(groups.items()):
+                group_spans[("fused", group_steps)] = run_span.child(
+                    f"group[fused:steps={group_steps}]", "group",
+                    steps=group_steps, options=len(indices),
+                    task="greeks_fused",
+                )
+
+        out = np.empty((n, 6), dtype=np.float64)
+        failures: "list[FailureRecord]" = []
+        try:
+            if self.config.workers == 1 or len(chunks) == 1:
+                peak_tile_bytes = self._run_serial(
+                    chunks, out, metrics, failures, group_spans)
+            else:
+                peak_tile_bytes = self._run_pool(
+                    chunks, out, metrics, failures, group_spans)
+        except BaseException:
+            run_span.set(status="aborted")
+            raise
+        finally:
+            for span in group_spans.values():
+                span.end()
+            run_span.end()
+
+        remapped = [
+            replace(record, message=f"[fused greeks] {record.message}")
+            for record in failures
+        ]
+
+        wall_time_s = time.perf_counter() - wall_start
+        stats = EngineStats.from_run(
+            metrics,
+            workers=self.config.workers,
+            wall_time_s=wall_time_s,
+            cpu_time_s=time.process_time() - cpu_start,
+            peak_tile_bytes=peak_tile_bytes,
+            backend=self._backend.name,
+            backend_compile_seconds=self._backend.compile_seconds,
+            fused_greeks=1,
+        )
+        metrics.finalise(wall_time_s, stats.options_per_second,
+                         stats.tree_nodes_per_second, peak_tile_bytes)
+        metrics.publish()
+        run_span.set(
+            wall_time_s=wall_time_s,
+            options_per_second=round(stats.options_per_second, 3),
+            quarantined_options=stats.quarantined_options,
+        )
+        return GreeksEngineResult(
+            prices=out[:, 0].copy(),
+            delta=out[:, 1].copy(),
+            gamma=out[:, 2].copy(),
+            theta=out[:, 3].copy(),
+            vega=out[:, 4].copy(),
+            rho=out[:, 5].copy(),
+            stats=stats,
+            failures=tuple(sorted(remapped, key=lambda f: f.index)),
+        )
+
     # -- dispatch backends -------------------------------------------------
 
     def _serial_attempt(self, chunk: Chunk, attempt: int) -> np.ndarray:
@@ -606,7 +768,8 @@ class PricingEngine:
             self.kernel, chunk.options, chunk.steps, self.profile,
             self.family.value, indices=chunk.indices, faults=self.faults,
             attempt=attempt, in_pool=False, workspace=self._workspace,
-            task=chunk.task,
+            task=chunk.task, backend=self._backend,
+            bump_vol=chunk.bump_vol, bump_rate=chunk.bump_rate,
         )
 
     @staticmethod
@@ -825,7 +988,8 @@ class PricingEngine:
                         indices=chunk.indices, faults=self.faults,
                         attempt=attempt, in_pool=True,
                         span_context=self._span_context(chunk, attempt),
-                        task=chunk.task,
+                        task=chunk.task, backend=self._backend.name,
+                        bump_vol=chunk.bump_vol, bump_rate=chunk.bump_rate,
                     ), chunk, attempt, attempt_span))
             pool_failed = False
             next_delay = 0.0
@@ -917,7 +1081,8 @@ class PricingEngine:
             pool_peak = 0
         else:
             pool_peak = max(
-                kernel_tile_bytes(len(chunk), chunk.steps, self.profile.dtype)
+                kernel_tile_bytes(len(chunk) * chunk_width(chunk.task),
+                                  chunk.steps, self.profile.dtype)
                 for chunk in chunks
             )
         return max(pool_peak, self._workspace.peak_bytes)
@@ -959,7 +1124,8 @@ class PricingEngine:
                    if self.config.chunk_timeout_s is not None else "none")
         return (
             f"engine / kernel {self.kernel} / math={self.profile.name} / "
-            f"family={self.family.value} / workers={self.config.workers} / "
+            f"family={self.family.value} / backend={self._backend.name} / "
+            f"workers={self.config.workers} / "
             f"chunk={'auto' if self.config.chunk_options is None else self.config.chunk_options} / "
             f"retries<={self.config.max_retries} / timeout={timeout} / "
             f"backoff={self.config.backoff_base_s:g}s"

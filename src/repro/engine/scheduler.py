@@ -25,7 +25,7 @@ statistics, this module owns the mechanics.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from typing import Sequence
 
 import numpy as np
@@ -35,7 +35,7 @@ import time
 
 from ..core.batch_sim import simulate_kernel_a_batch, simulate_kernel_b_batch
 from ..core.faithful_math import get_profile
-from ..errors import ReproError
+from ..errors import BackendUnavailableError, ReproError
 from ..finance.binomial import price_binomial
 from ..finance.greeks import greeks_from_levels, tree_value_levels
 from ..finance.lattice import LatticeFamily, build_lattice_arrays
@@ -43,9 +43,10 @@ from ..finance.options import Option, option_arrays
 from ..obs.trace import SpanContext, _worker_record
 from .workspace import Workspace, kernel_tile_bytes
 
-__all__ = ["Chunk", "ChunkReport", "KERNELS", "TASKS", "greeks_chunk",
-           "group_stream", "plan_chunks", "price_chunk",
-           "price_chunk_observed", "split_chunk"]
+__all__ = ["Chunk", "ChunkReport", "KERNELS", "TASKS", "chunk_width",
+           "greeks_chunk", "greeks_fused_chunk", "group_stream",
+           "plan_chunks", "price_chunk", "price_chunk_observed",
+           "split_chunk"]
 
 #: Kernels the engine can schedule: the two paper accelerators plus
 #: the reference software pricer (per-option backward induction).
@@ -53,8 +54,23 @@ KERNELS = ("iv_a", "iv_b", "reference")
 
 #: Work a chunk can carry: ``"price"`` produces one root value per
 #: option; ``"greeks"`` produces ``[price, delta, gamma, theta]`` rows
-#: from the same single pricing pass (level capture, no re-pricing).
-TASKS = ("price", "greeks")
+#: from the same single pricing pass (level capture, no re-pricing);
+#: ``"greeks_fused"`` produces the full ``[price, delta, gamma, theta,
+#: vega, rho]`` rows from one worker call that prices the base
+#: contracts and all four bump variants through a single simulate
+#: (lattice params and leaves built once, 5x-wide shared tile).
+TASKS = ("price", "greeks", "greeks_fused")
+
+
+def chunk_width(task: str) -> int:
+    """Workspace rows one option of ``task`` occupies in a worker tile.
+
+    The fused greeks task prices five contract variants per option in
+    one simulate call, so its tiles are five rows wide per option; the
+    planner divides its byte budget by this factor so the fused path
+    honours the same cache budget as everything else.
+    """
+    return 5 if task == "greeks_fused" else 1
 
 
 @dataclass(frozen=True)
@@ -69,6 +85,9 @@ class Chunk:
     :param group: label of the scheduling group this chunk belongs to
         (empty for plain pricing runs; greeks runs use it to keep the
         base pass and the vega/rho bump passes as sibling span groups).
+    :param bump_vol: volatility bump of the fused greeks task (the
+        worker builds the vega variants itself; 0 for other tasks).
+    :param bump_rate: rate bump of the fused greeks task.
     """
 
     indices: tuple[int, ...]
@@ -76,6 +95,8 @@ class Chunk:
     steps: int
     task: str = "price"
     group: str = ""
+    bump_vol: float = 0.0
+    bump_rate: float = 0.0
 
     def __len__(self) -> int:
         return len(self.options)
@@ -139,6 +160,9 @@ def plan_chunks(
     workers: int,
     task: str = "price",
     group: str = "",
+    width: int = 1,
+    bump_vol: float = 0.0,
+    bump_rate: float = 0.0,
 ) -> "list[Chunk]":
     """Shard one homogeneous group into workspace-sized tiles.
 
@@ -146,13 +170,16 @@ def plan_chunks(
     within ``tile_budget_bytes`` (unless ``chunk_options`` pins the
     size explicitly), never below ``min_chunk_options`` rows, and —
     when fanning out — small enough that every worker gets work.
-    ``task``/``group`` are stamped onto every chunk unchanged.
+    ``width`` scales the per-option footprint estimate (see
+    :func:`chunk_width` — the fused greeks task prices five variants
+    per option in one tile).  ``task``/``group``/``bump_*`` are
+    stamped onto every chunk unchanged.
     """
     total = len(options)
     if chunk_options is not None:
         rows = max(1, int(chunk_options))
     else:
-        per_row = kernel_tile_bytes(1, steps, dtype)
+        per_row = kernel_tile_bytes(1, steps, dtype) * max(1, width)
         rows = max(min_chunk_options, tile_budget_bytes // per_row)
         if workers > 1:
             rows = min(rows, math.ceil(total / workers))
@@ -164,6 +191,8 @@ def plan_chunks(
             steps=steps,
             task=task,
             group=group,
+            bump_vol=bump_vol,
+            bump_rate=bump_rate,
         )
         for lo in range(0, total, rows)
     ]
@@ -180,10 +209,10 @@ def split_chunk(chunk: Chunk) -> "tuple[Chunk, ...]":
         return (chunk,)
     mid = len(chunk) // 2
     return (
-        Chunk(indices=chunk.indices[:mid], options=chunk.options[:mid],
-              steps=chunk.steps, task=chunk.task, group=chunk.group),
-        Chunk(indices=chunk.indices[mid:], options=chunk.options[mid:],
-              steps=chunk.steps, task=chunk.task, group=chunk.group),
+        dc_replace(chunk, indices=chunk.indices[:mid],
+                   options=chunk.options[:mid]),
+        dc_replace(chunk, indices=chunk.indices[mid:],
+                   options=chunk.options[mid:]),
     )
 
 
@@ -203,6 +232,39 @@ def _worker_workspace() -> Workspace:
     return _WORKER_WORKSPACE
 
 
+#: Process-local backend instances, keyed by name.  The pool path
+#: submits the backend *name* (a resolved instance holds an unpicklable
+#: ctypes/JIT handle); each worker process resolves it once and reuses
+#: the instance — compiled backends therefore pay their compile/load
+#: cost once per worker, not once per chunk.
+_WORKER_BACKENDS: "dict[str, object]" = {}
+
+
+def _worker_backend(backend):
+    """Resolve a chunk's backend argument into a usable instance.
+
+    ``None`` stays ``None`` (the simulators pin their NumPy default);
+    an instance passes through (serial path); a name is resolved via
+    the registry with a per-process cache.  A name that cannot be
+    realised in the worker (compiler missing in a forkserver child,
+    say) falls back to the NumPy reference path — backends are
+    bit-identical by contract, so the fallback changes timing, never
+    prices.
+    """
+    if backend is None or not isinstance(backend, str):
+        return backend
+    resolved = _WORKER_BACKENDS.get(backend)
+    if resolved is None:
+        from ..backends import get_backend
+
+        try:
+            resolved = get_backend(backend)
+        except BackendUnavailableError:
+            resolved = get_backend("numpy")
+        _WORKER_BACKENDS[backend] = resolved
+    return resolved
+
+
 def greeks_chunk(
     kernel: str,
     options: Sequence[Option],
@@ -210,6 +272,7 @@ def greeks_chunk(
     profile,
     family: LatticeFamily,
     workspace: "Workspace | None" = None,
+    backend=None,
 ) -> np.ndarray:
     """Price one chunk *and* its level-0..2 sensitivities in one pass.
 
@@ -228,7 +291,7 @@ def greeks_chunk(
                     else simulate_kernel_b_batch)
         prices, level1, level2 = simulate(
             options, steps, profile, family, workspace=workspace,
-            capture_levels=True)
+            capture_levels=True, backend=backend)
         fields = option_arrays(options)
         lattice = build_lattice_arrays(options, steps, family)
         delta, gamma, theta = greeks_from_levels(
@@ -248,6 +311,77 @@ def greeks_chunk(
     raise ReproError(f"kernel must be one of {KERNELS}, got {kernel!r}")
 
 
+def greeks_fused_chunk(
+    kernel: str,
+    options: Sequence[Option],
+    steps: int,
+    profile,
+    family: LatticeFamily,
+    bump_vol: float,
+    bump_rate: float,
+    workspace: "Workspace | None" = None,
+    backend=None,
+) -> np.ndarray:
+    """The full greeks set of one chunk from a single worker call.
+
+    Returns ``(n, 6)`` float64 rows
+    ``[price, delta, gamma, theta, vega, rho]``.  Where the five-pass
+    schedule prices the base contracts and the four bump variants as
+    separate sibling chunk groups (five lattice-parameter builds, five
+    leaf builds, five dispatches), the fused task concatenates all
+    five variant sets — base, vol ±``bump_vol``, rate ±``bump_rate``,
+    in the canonical ``_GREEKS_PASSES`` order — into *one* simulate
+    call sharing one 5x-wide workspace tile.  delta/gamma/theta come
+    from level capture on the base columns; vega/rho are the central
+    differences of the bump columns.
+
+    Bit-compatible with the five-pass path by construction: the
+    backward roll is columnwise-independent, so pricing a variant in
+    column ``p*n + i`` of the fused tile performs exactly the
+    operation sequence pass ``p`` performed on its column ``i``.
+    """
+    options = list(options)
+    n = len(options)
+    floor = 1e-8  # keep the down-bumped volatility positive
+    variants = (
+        options
+        + [o.with_volatility(o.volatility + bump_vol) for o in options]
+        + [o.with_volatility(max(o.volatility - bump_vol, floor))
+           for o in options]
+        + [dc_replace(o, rate=o.rate + bump_rate) for o in options]
+        + [dc_replace(o, rate=o.rate - bump_rate) for o in options]
+    )
+    if kernel in ("iv_a", "iv_b"):
+        simulate = (simulate_kernel_a_batch if kernel == "iv_a"
+                    else simulate_kernel_b_batch)
+        prices, level1, level2 = simulate(
+            variants, steps, profile, family, workspace=workspace,
+            capture_levels=True, backend=backend)
+        fields = option_arrays(options)
+        lattice = build_lattice_arrays(options, steps, family)
+        delta, gamma, theta = greeks_from_levels(
+            fields.spot, lattice.up, lattice.down, lattice.dt,
+            prices[:n], level1[:n], level2[:n])
+    elif kernel == "reference":
+        prices = np.empty(5 * n, dtype=np.float64)
+        delta = np.empty(n, dtype=np.float64)
+        gamma = np.empty(n, dtype=np.float64)
+        theta = np.empty(n, dtype=np.float64)
+        for i, option in enumerate(variants):
+            price, level1, level2, params = tree_value_levels(
+                option, steps, family)
+            prices[i] = price
+            if i < n:
+                delta[i], gamma[i], theta[i] = greeks_from_levels(
+                    option.spot, params.up, params.down, params.dt,
+                    price, level1, level2)
+    else:
+        raise ReproError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    vega = (prices[n:2 * n] - prices[2 * n:3 * n]) / (2.0 * bump_vol)
+    rho = (prices[3 * n:4 * n] - prices[4 * n:5 * n]) / (2.0 * bump_rate)
+    return np.column_stack((prices[:n], delta, gamma, theta, vega, rho))
+
+
 def price_chunk(
     kernel: str,
     options: Sequence[Option],
@@ -260,6 +394,9 @@ def price_chunk(
     in_pool: bool = True,
     workspace: "Workspace | None" = None,
     task: str = "price",
+    backend=None,
+    bump_vol: float = 0.0,
+    bump_rate: float = 0.0,
 ) -> np.ndarray:
     """Price one chunk; the unit of work a pool worker executes.
 
@@ -267,7 +404,11 @@ def price_chunk(
     name, family by enum value) so the same entry point serves the
     serial path and ``ProcessPoolExecutor.submit``; the serial path
     may pass a resolved :class:`~repro.core.faithful_math.MathProfile`
-    and its own workspace instead.
+    and its own workspace instead.  ``backend`` follows the same
+    convention — a resolved :class:`~repro.backends.KernelBackend`
+    serially, its *name* over the pool boundary (resolved per worker
+    process by :func:`_worker_backend`), or ``None`` for the NumPy
+    default.
 
     ``indices``/``faults``/``attempt`` thread the engine's
     deterministic fault-injection plan (see
@@ -277,30 +418,40 @@ def price_chunk(
     the same plan replays identically across processes and retries.
 
     ``task="greeks"`` routes to :func:`greeks_chunk` and returns
-    ``(n, 4)`` rows instead of a price vector; every other mechanism
-    (faults, retries, workspace reuse) is identical.
+    ``(n, 4)`` rows instead of a price vector; ``task="greeks_fused"``
+    routes to :func:`greeks_fused_chunk` (which consumes
+    ``bump_vol``/``bump_rate``) and returns ``(n, 6)`` rows; every
+    other mechanism (faults, retries, workspace reuse) is identical.
     """
     profile = (get_profile(profile_name) if isinstance(profile_name, str)
                else profile_name)
     family = LatticeFamily(family_value)
     if task not in TASKS:
         raise ReproError(f"task must be one of {TASKS}, got {task!r}")
+    backend = _worker_backend(backend)
     if faults is not None and indices is not None:
         faults.fire_before_pricing(indices, attempt, in_pool)
     if workspace is None:
         workspace = _worker_workspace()
+    if task == "greeks_fused":
+        rows = greeks_fused_chunk(kernel, options, steps, profile, family,
+                                  bump_vol, bump_rate, workspace=workspace,
+                                  backend=backend)
+        if faults is not None and indices is not None:
+            rows = faults.corrupt_prices(indices, attempt, rows)
+        return rows
     if task == "greeks":
         rows = greeks_chunk(kernel, options, steps, profile, family,
-                            workspace=workspace)
+                            workspace=workspace, backend=backend)
         if faults is not None and indices is not None:
             rows = faults.corrupt_prices(indices, attempt, rows)
         return rows
     if kernel == "iv_b":
         prices = simulate_kernel_b_batch(options, steps, profile, family,
-                                         workspace=workspace)
+                                         workspace=workspace, backend=backend)
     elif kernel == "iv_a":
         prices = simulate_kernel_a_batch(options, steps, profile, family,
-                                         workspace=workspace)
+                                         workspace=workspace, backend=backend)
     elif kernel == "reference":
         prices = np.array(
             [price_binomial(o, steps, family, dtype=profile.dtype).price
@@ -327,6 +478,9 @@ def price_chunk_observed(
     workspace: "Workspace | None" = None,
     span_context: "SpanContext | None" = None,
     task: str = "price",
+    backend=None,
+    bump_vol: float = 0.0,
+    bump_rate: float = 0.0,
 ) -> "tuple[np.ndarray, ChunkReport]":
     """Price one chunk and report what the worker saw.
 
@@ -354,6 +508,7 @@ def price_chunk_observed(
                 kernel, options, steps, profile_name, family_value,
                 indices=indices, faults=faults, attempt=attempt,
                 in_pool=in_pool, workspace=workspace, task=task,
+                backend=backend, bump_vol=bump_vol, bump_rate=bump_rate,
             )
     finally:
         duration_s = time.perf_counter() - start

@@ -140,6 +140,15 @@ class EngineStats:
         pricing including the bump passes).
     :param bump_passes: vega/rho bump-and-reprice passes scheduled as
         sibling chunk groups (4 per greeks run, 0 otherwise).
+    :param backend: name of the :class:`~repro.backends.KernelBackend`
+        that priced the run (``"numpy"``, ``"cnative"``, ``"numba"``).
+    :param backend_compile_seconds: one-time compile cost this process
+        paid to make that backend runnable (0.0 for NumPy, or when a
+        compiled backend was already warm/disk-cached).
+    :param fused_greeks: 1 when a greeks run took the single-build
+        fused path (lattice params + leaves built once, bump variants
+        sharing the blocked workspace), 0 for five sibling passes and
+        for plain pricing runs.
     """
 
     options: int
@@ -157,17 +166,24 @@ class EngineStats:
     quarantined_options: int = 0
     greeks_options: int = 0
     bump_passes: int = 0
+    backend: str = "numpy"
+    backend_compile_seconds: float = 0.0
+    fused_greeks: int = 0
 
     @classmethod
     def from_run(cls, metrics: RunMetrics, *, workers: int,
                  wall_time_s: float, cpu_time_s: float,
-                 peak_tile_bytes: int) -> "EngineStats":
+                 peak_tile_bytes: int, backend: str = "numpy",
+                 backend_compile_seconds: float = 0.0,
+                 fused_greeks: int = 0) -> "EngineStats":
         """Freeze a run's registry into the public snapshot.
 
         The count fields are read back through
         :data:`repro.obs.keys.STATS_TO_METRIC`, so a counter the
         engine forgot to wire shows up as a zero here and fails the
-        schema test — the registry is the single source of truth.
+        schema test — the registry is the single source of truth.  The
+        backend-attribution fields are run configuration, not counters,
+        and arrive as explicit keyword arguments.
         """
         registry = metrics.registry
         counts = {
@@ -176,7 +192,9 @@ class EngineStats:
         }
         return cls(workers=workers, wall_time_s=wall_time_s,
                    cpu_time_s=cpu_time_s, peak_tile_bytes=peak_tile_bytes,
-                   **counts)
+                   backend=backend,
+                   backend_compile_seconds=backend_compile_seconds,
+                   fused_greeks=fused_greeks, **counts)
 
     @property
     def options_per_second(self) -> float:

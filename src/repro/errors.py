@@ -98,6 +98,18 @@ class PoisonChunkError(EngineError):
     """A chunk kept failing (or produced non-finite prices) after retries."""
 
 
+class BackendUnavailableError(EngineError):
+    """A requested :class:`~repro.backends.KernelBackend` cannot run here.
+
+    Raised when a backend's toolchain is missing (no ``numba`` import,
+    no working C compiler) or its compilation fails.  ``auto``
+    resolution catches this and falls through to the next candidate,
+    ending at the always-available NumPy backend; an *explicitly*
+    requested backend propagates it so a pinned configuration never
+    silently runs on different code.
+    """
+
+
 class ServiceError(ReproError):
     """Base class for pricing-service failures.
 

@@ -59,8 +59,14 @@ __all__ = [
 
 #: Version tag of the engine statistics schema (bump on key changes).
 #: v2 added the greeks-workload counters ``greeks_options`` and
-#: ``bump_passes`` (zero on plain pricing runs).
-STATS_SCHEMA = "repro-engine-stats/v2"
+#: ``bump_passes`` (zero on plain pricing runs).  v3 is the service
+#: document (the two lines share one version counter).  v4 adds the
+#: backend-attribution keys ``backend`` (which
+#: :class:`~repro.backends.KernelBackend` priced the run),
+#: ``backend_compile_seconds`` (one-time JIT/C compile cost this
+#: process paid for it) and ``fused_greeks`` (1 when a greeks run took
+#: the single-build fused path instead of five sibling passes).
+STATS_SCHEMA = "repro-engine-stats/v4"
 
 #: ``EngineStats.as_dict()`` keys, in their one canonical order.  The
 #: bench-engine JSON ``runs`` entries use exactly these keys (plus the
@@ -83,6 +89,9 @@ STATS_KEYS = (
     "quarantined_options",
     "greeks_options",
     "bump_passes",
+    "backend",
+    "backend_compile_seconds",
+    "fused_greeks",
 )
 
 #: The subset of :data:`STATS_KEYS` that counts fault-tolerance events.
@@ -117,9 +126,9 @@ PEAK_TILE_BYTES = "repro_engine_peak_tile_bytes"
 
 #: Version tag of the *service* statistics schema.  The version counter
 #: continues the engine schema's line (v1 engine, v2 greeks): v3 adds
-#: the service/cache keys.  The engine tag stays
-#: ``repro-engine-stats/v2`` — the two documents are versioned together
-#: but published under their own names.
+#: the service/cache keys; v4 (backend attribution) touches only the
+#: engine document, so the service tag stays at v3 — the two documents
+#: share one version counter but are published under their own names.
 SERVICE_STATS_SCHEMA = "repro-service-stats/v3"
 
 SERVICE_REQUESTS_TOTAL = "repro_service_requests_total"

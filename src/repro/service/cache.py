@@ -12,11 +12,15 @@ determines the numbers:
   ``0.1`` and the nearest double hash identically but *any* ULP
   difference changes the key — and its per-option tree depth.
 
-``strict`` and ``workers`` are deliberately excluded: they change how
-the caller sees failures and how fast the answer arrives, never what
-the answer is.  Results containing failures are never cached, so a
-cached entry is always a clean answer and ``strict`` cannot matter on
-a hit.
+``strict``, ``workers`` and ``backend`` are deliberately excluded:
+they change how the caller sees failures and how fast the answer
+arrives, never what the answer is — kernel backends are bit-identical
+by contract (asserted by ``tests/backends``), so a price computed on
+``cnative`` legitimately serves a later ``numpy`` request.  (The
+*batch* key does include the backend: coalescing decides which engine
+runs, caching only what the numbers are.)  Results containing
+failures are never cached, so a cached entry is always a clean answer
+and ``strict`` cannot matter on a hit.
 
 The cache itself is a byte-budgeted LRU: entries are charged the size
 of their numpy payload, the least-recently-*used* entry is evicted

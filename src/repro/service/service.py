@@ -490,16 +490,23 @@ class PricingService:
         return PricingRequest(
             options=tuple(options), steps=steps_spec, kernel=first.kernel,
             precision=first.precision, family=first.family, task=first.task,
-            strict=False, bump_vol=first.bump_vol, bump_rate=first.bump_rate)
+            strict=False, backend=first.backend,
+            bump_vol=first.bump_vol, bump_rate=first.bump_rate)
 
     def _engine_for(self, request: PricingRequest) -> PricingEngine:
-        key = (request.kernel, request.precision, request.family.value)
+        key = (request.kernel, request.precision, request.family.value,
+               request.backend)
         engine = self._engines.get(key)
         if engine is None:
+            config = self._engine_config
+            if request.backend != "auto":
+                config = replace(config if config is not None
+                                 else EngineConfig(),
+                                 backend=request.backend)
             engine = PricingEngine(
                 kernel=request.kernel,
                 profile=_engine_profile(request.precision),
-                family=request.family, config=self._engine_config,
+                family=request.family, config=config,
                 faults=self.config.faults,
                 tracer=self._tracer if self._tracer.enabled else None)
             self._engines[key] = engine

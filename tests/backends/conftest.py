@@ -1,0 +1,15 @@
+"""Hermetic environment for the backend suite.
+
+``REPRO_BACKEND`` deliberately overrides every in-code backend choice —
+that is its job — so an ambient value (e.g. CI pinning tier-1 to the
+NumPy path) would silently rewrite the explicit pins these tests are
+about.  Strip it here; the tests that exercise the override itself set
+it back via ``monkeypatch``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_backend_override(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)

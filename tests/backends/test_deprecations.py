@@ -1,0 +1,48 @@
+"""The legacy entry points warn, name their replacement and the
+removal release, and still delegate to the engine path bit-for-bit."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.accelerator import BinomialAccelerator
+from repro.finance import generate_batch
+from repro.finance.binomial import price_binomial_batch
+
+STEPS = 16
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return list(generate_batch(n_options=6, seed=77).options)
+
+
+class TestPriceBinomialBatch:
+    def test_warning_names_removal_release(self, batch):
+        with pytest.warns(DeprecationWarning,
+                          match=r"removed in repro 2\.0"):
+            price_binomial_batch(batch, steps=STEPS)
+
+    def test_warning_names_replacement(self, batch):
+        with pytest.warns(DeprecationWarning, match=r"repro\.api\.price"):
+            legacy = price_binomial_batch(batch, steps=STEPS)
+        np.testing.assert_array_equal(
+            legacy, repro.price(batch, steps=STEPS).prices)
+
+
+class TestAcceleratorPriceBatch:
+    def test_warning_names_removal_release(self, batch):
+        accelerator = BinomialAccelerator(platform="fpga", kernel="iv_b",
+                                          steps=STEPS)
+        try:
+            with pytest.warns(DeprecationWarning,
+                              match=r"removed in repro 2\.0"):
+                legacy = accelerator.price_batch(batch)
+            with pytest.warns(DeprecationWarning,
+                              match=r"device=<accelerator>"):
+                accelerator.price_batch(batch)
+        finally:
+            accelerator.close()
+        np.testing.assert_array_equal(
+            legacy.prices,
+            repro.price(batch, steps=STEPS, device="fpga").prices)

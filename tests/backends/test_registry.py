@@ -1,0 +1,125 @@
+"""Backend selection: registry semantics, env override, config wiring."""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    AUTO_ORDER,
+    BACKENDS,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+from repro.backends.numba_backend import NumbaBackend
+from repro.engine import EngineConfig, PricingEngine
+from repro.errors import BackendUnavailableError, EngineError, ReproError
+from repro.finance import generate_batch
+
+STEPS = 16
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return list(generate_batch(n_options=6, seed=5).options)
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        backend = get_backend("numpy")
+        assert backend.name == "numpy"
+        assert not backend.compiled
+        assert "numpy" in available_backends()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ReproError, match="unknown backend"):
+            get_backend("opencl")
+
+    def test_get_backend_is_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_auto_prefers_the_fastest_available(self):
+        resolved = resolve_backend("auto")
+        assert resolved.name == available_backends()[0]
+        assert tuple(AUTO_ORDER)[-1] == "numpy"  # the floor
+
+    def test_numba_unavailable_raises_with_install_hint(self):
+        if NumbaBackend.available():
+            pytest.skip("numba importable in this environment")
+        with pytest.raises(BackendUnavailableError,
+                           match=r"repro\[compiled\]"):
+            get_backend("numba")
+
+    def test_env_override_beats_requested_name(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert resolve_backend("auto").name == "numpy"
+        # the operator's override also beats an explicit program choice
+        for requested in available_backends():
+            assert resolve_backend(requested).name == "numpy"
+
+    def test_env_override_unknown_name_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fpga")
+        with pytest.raises(ReproError, match="unknown backend"):
+            resolve_backend("auto")
+
+    def test_blank_env_override_is_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "  ")
+        assert resolve_backend("numpy").name == "numpy"
+
+
+class TestEngineWiring:
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(EngineError, match="backend"):
+            EngineConfig(backend="opencl")
+
+    def test_config_accepts_every_registry_name(self):
+        for name in BACKENDS:
+            assert EngineConfig(backend=name).backend == name
+
+    def test_engine_construction_fails_fast_when_unavailable(self):
+        if NumbaBackend.available():
+            pytest.skip("numba importable in this environment")
+        with pytest.raises(BackendUnavailableError):
+            PricingEngine(kernel="iv_b",
+                          config=EngineConfig(backend="numba"))
+
+    def test_stats_and_describe_carry_backend_identity(self, batch):
+        with PricingEngine(kernel="iv_b",
+                           config=EngineConfig(backend="numpy")) as engine:
+            assert "backend=numpy" in engine.describe()
+            result = engine.run(batch, STEPS)
+        assert result.stats.backend == "numpy"
+        assert result.stats.backend_compile_seconds == 0.0
+        assert result.stats.as_dict()["backend"] == "numpy"
+
+    def test_env_override_reaches_the_engine(self, batch, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        with PricingEngine(kernel="iv_b") as engine:  # config says auto
+            result = engine.run(batch, STEPS)
+        assert result.stats.backend == "numpy"
+
+    def test_auto_engine_matches_pinned_numpy(self, batch):
+        """Whatever auto resolves to, the numbers are the NumPy bits."""
+        with PricingEngine(kernel="iv_b") as engine:
+            auto = engine.run(batch, STEPS)
+        with PricingEngine(kernel="iv_b",
+                           config=EngineConfig(backend="numpy")) as engine:
+            pinned = engine.run(batch, STEPS)
+        np.testing.assert_array_equal(auto.prices, pinned.prices)
+
+
+class TestRequestWiring:
+    def test_request_rejects_unknown_backend(self, batch):
+        from repro.api import PricingRequest
+
+        with pytest.raises(ReproError):
+            PricingRequest(options=tuple(batch), steps=STEPS,
+                           kernel="iv_b", backend="opencl")
+
+    def test_price_facade_accepts_backend(self, batch):
+        import repro
+
+        pinned = repro.price(batch, steps=STEPS, kernel="iv_b",
+                             backend="numpy")
+        default = repro.price(batch, steps=STEPS, kernel="iv_b")
+        assert pinned.stats.backend == "numpy"
+        np.testing.assert_array_equal(pinned.prices, default.prices)

@@ -74,9 +74,31 @@ class TestSamePassContract:
         assert result.stats.bump_passes == 4
 
     def test_five_sibling_chunk_groups(self, batch):
-        result = repro.greeks(batch, steps=STEPS, kernel="iv_b")
+        """The unfused schedule keeps five sibling chunk groups."""
+        result = repro.greeks(batch, steps=STEPS, kernel="iv_b",
+                              config=EngineConfig(fused_greeks=False))
         assert result.stats.groups == 5  # base + vega+/- + rho+/-
         assert result.stats.chunks >= 5
+        assert result.stats.fused_greeks == 0
+
+    def test_fused_schedule_collapses_groups(self, batch):
+        """Fused mode: one scheduling group per depth, same counters."""
+        result = repro.greeks(batch, steps=STEPS, kernel="iv_b",
+                              config=EngineConfig(fused_greeks=True))
+        assert result.stats.groups == 1
+        assert result.stats.options == 5 * len(batch)
+        assert result.stats.greeks_options == len(batch)
+        assert result.stats.bump_passes == 4
+        assert result.stats.fused_greeks == 1
+
+    def test_fused_matches_five_pass_bitwise(self, batch):
+        fused = repro.greeks(batch, steps=STEPS, kernel="iv_b",
+                             config=EngineConfig(fused_greeks=True))
+        five = repro.greeks(batch, steps=STEPS, kernel="iv_b",
+                            config=EngineConfig(fused_greeks=False))
+        for field in GREEK_FIELDS:
+            np.testing.assert_array_equal(getattr(fused, field),
+                                          getattr(five, field))
 
     def test_minimum_steps_enforced(self, batch):
         with pytest.raises(ReproError, match="at least 3 steps"):
@@ -139,6 +161,7 @@ class TestPoolParity:
 
 class TestFailureHandling:
     def test_base_pass_failure_remapped_and_named(self, batch):
+        """Five-pass mode isolates the failure to the pass that hit it."""
         n = len(batch)
         plan = FaultPlan.single(2, FaultKind.NAN, attempts=ALWAYS)
         result = repro.greeks(batch, steps=STEPS, kernel="iv_b",
@@ -148,7 +171,8 @@ class TestFailureHandling:
         # inject on the engine directly to control the fault plan
         with PricingEngine(kernel="iv_b", faults=plan,
                            config=EngineConfig(max_retries=1,
-                                               backoff_base_s=0.0)) as engine:
+                                               backoff_base_s=0.0,
+                                               fused_greeks=False)) as engine:
             run = engine.run_greeks(batch, STEPS)
         (record,) = run.failures
         assert record.index == 2  # original index, not the virtual 2
@@ -164,13 +188,37 @@ class TestFailureHandling:
         plan = FaultPlan.single(n + 3, FaultKind.NAN, attempts=ALWAYS)
         with PricingEngine(kernel="iv_b", faults=plan,
                            config=EngineConfig(max_retries=1,
-                                               backoff_base_s=0.0)) as engine:
+                                               backoff_base_s=0.0,
+                                               fused_greeks=False)) as engine:
             run = engine.run_greeks(batch, STEPS)
         (record,) = run.failures
         assert record.index == 3
         assert "[vega+ pass]" in record.message
         assert np.isnan(run.vega[3])
         assert np.isfinite(run.prices[3]) and np.isfinite(run.rho[3])
+
+    def test_fused_failure_quarantines_whole_row(self, batch):
+        """Fused mode: one fused task per option, so a poisoned option
+        loses its whole greeks row and the record says so."""
+        n = len(batch)
+        plan = FaultPlan.single(2, FaultKind.NAN, attempts=ALWAYS)
+        with PricingEngine(kernel="iv_b", faults=plan,
+                           config=EngineConfig(max_retries=1,
+                                               backoff_base_s=0.0,
+                                               fused_greeks=True)) as engine:
+            run = engine.run_greeks(batch, STEPS)
+        (record,) = run.failures
+        assert record.index == 2
+        assert "[fused greeks]" in record.message
+        for field in GREEK_FIELDS:
+            assert np.isnan(getattr(run, field)[2]), field
+        # every other option is untouched and matches the clean run
+        clean = repro.greeks(batch, steps=STEPS, kernel="iv_b")
+        mask = np.ones(n, dtype=bool)
+        mask[2] = False
+        for field in GREEK_FIELDS:
+            np.testing.assert_array_equal(getattr(run, field)[mask],
+                                          getattr(clean, field)[mask])
 
     def test_strict_reraises(self, batch):
         plan = FaultPlan.single(0, FaultKind.NAN, attempts=ALWAYS)

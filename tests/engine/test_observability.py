@@ -208,10 +208,12 @@ class TestGreeksTracing:
     def test_traced_greeks_run_records_every_pass(self, batch):
         # regression: the greeks span loop once unpacked the pass table
         # wrong and any enabled tracer crashed run_greeks outright
+        config = EngineConfig(fused_greeks=False)
         tracer = Tracer()
-        with PricingEngine(kernel="iv_b", tracer=tracer) as engine:
+        with PricingEngine(kernel="iv_b", tracer=tracer,
+                           config=config) as engine:
             traced = engine.run_greeks(batch, STEPS)
-        with PricingEngine(kernel="iv_b") as engine:
+        with PricingEngine(kernel="iv_b", config=config) as engine:
             untraced = engine.run_greeks(batch, STEPS)
         assert np.array_equal(traced.prices, untraced.prices)
         assert np.array_equal(traced.delta, untraced.delta)
@@ -222,3 +224,20 @@ class TestGreeksTracing:
         # base pass plus the four bump passes, one group span each
         assert labels == {"base", "vega+", "vega-", "rho+", "rho-"}
         assert all(span["attrs"]["task"] == "greeks" for span in groups)
+
+    def test_traced_fused_greeks_run_collapses_groups(self, batch):
+        tracer = Tracer()
+        with PricingEngine(kernel="iv_b", tracer=tracer) as engine:
+            traced = engine.run_greeks(batch, STEPS)
+        with PricingEngine(kernel="iv_b") as engine:
+            untraced = engine.run_greeks(batch, STEPS)
+        assert np.array_equal(traced.prices, untraced.prices)
+        root = tracer.as_dicts()[0]
+        assert root["attrs"]["fused"] is True
+        assert root["attrs"]["backend"]
+        groups = spans_of_kind(root, "group")
+        labels = {span["name"].split("[")[1].split(":")[0]
+                  for span in groups}
+        assert labels == {"fused"}
+        assert all(span["attrs"]["task"] == "greeks_fused"
+                   for span in groups)

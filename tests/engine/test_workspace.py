@@ -57,7 +57,7 @@ class TestAccounting:
 
     def test_kernel_tile_bytes_matches_simulator_footprint(self):
         """The planner's per-row estimate covers what the loop leases."""
-        from repro.core.batch_sim import _lease_tiles
+        from repro.backends.numpy_backend import _lease_tiles
 
         rows, steps = 7, 12
         ws = Workspace()

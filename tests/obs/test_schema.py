@@ -23,7 +23,18 @@ def make_stats(**overrides) -> EngineStats:
 
 class TestStatsKeys:
     def test_schema_tag(self):
-        assert keys.STATS_SCHEMA == "repro-engine-stats/v2"
+        assert keys.STATS_SCHEMA == "repro-engine-stats/v4"
+
+    def test_v4_backend_keys_present(self):
+        assert "backend" in keys.STATS_KEYS
+        assert "backend_compile_seconds" in keys.STATS_KEYS
+        assert "fused_greeks" in keys.STATS_KEYS
+        stats = make_stats(backend="cnative", backend_compile_seconds=1.5,
+                           fused_greeks=1)
+        snapshot = stats.as_dict()
+        assert snapshot["backend"] == "cnative"
+        assert snapshot["backend_compile_seconds"] == 1.5
+        assert snapshot["fused_greeks"] == 1
 
     def test_as_dict_keys_exact_order(self):
         assert tuple(make_stats().as_dict()) == keys.STATS_KEYS

@@ -180,11 +180,18 @@ class TestPricingRequest:
         request = self._request(batch)
         assert len(request) == len(batch)
         assert request.steps_per_option() == tuple([STEPS] * len(batch))
-        assert request.batch_key == ("iv_b", "double", "crr", "price")
+        assert request.batch_key == ("iv_b", "double", "crr", "auto",
+                                     "price")
 
     def test_greeks_key_includes_bumps(self, batch):
         request = self._request(batch, task="greeks", bump_vol=2e-3)
         assert request.batch_key[-2:] == (2e-3, 1e-4)
+
+    def test_batch_key_includes_backend(self, batch):
+        pinned = self._request(batch, backend="numpy")
+        assert pinned.batch_key == ("iv_b", "double", "crr", "numpy",
+                                    "price")
+        assert pinned.batch_key != self._request(batch).batch_key
 
     def test_per_option_steps(self, batch):
         depths = tuple(range(2, 2 + len(batch)))
@@ -199,6 +206,8 @@ class TestPricingRequest:
         {"task": "greeks", "steps": 2},     # greeks needs >= 3
         {"steps": (16,)},                   # length mismatch
         {"workers": 0},
+        {"backend": "nope"},
+        {"task": "greeks_fused"},           # internal scheduling shape
         {"task": "greeks", "bump_vol": 0.0},
         {"kernel": "iv_b", "family": "jarrow-rudd"},
         {"family": "nope"},
