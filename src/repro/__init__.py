@@ -59,7 +59,12 @@ from .core import (
     reference_estimate,
 )
 from .engine import EngineConfig, EngineResult, PricingEngine
-from .errors import ReproError, ServiceError, ServiceOverloadedError
+from .errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from .finance import (
     ExerciseStyle,
     LatticeFamily,
@@ -90,6 +95,10 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceOverloadedError",
+    "DeadlineExceededError",
+    "ChaosPlan",
+    "HealthPolicy",
+    "HealthState",
     "Option",
     "OptionType",
     "ExerciseStyle",
@@ -116,4 +125,10 @@ __all__ = [
     "EngineResult",
 ]
 
-from .service import PricingService, ServiceConfig  # noqa: E402  (imports repro.api)
+from .service import (  # noqa: E402  (imports repro.api)
+    ChaosPlan,
+    HealthPolicy,
+    HealthState,
+    PricingService,
+    ServiceConfig,
+)

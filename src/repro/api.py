@@ -25,7 +25,8 @@ Routing:
   default ``config``/``workers``/``tracer``/``engine`` the engine is
   *shared and reused* across calls (one per ``(kernel, precision,
   family)``) instead of being rebuilt per call; pass ``engine=`` to
-  manage your own, or call :func:`close_shared_engines` at shutdown;
+  manage your own.  :func:`close_shared_engines` runs automatically
+  at interpreter exit (and may be called earlier, idempotently);
 * ``device="fpga" | "gpu" | "cpu"`` builds the matching
   :class:`BinomialAccelerator` — the paper's Table II configurations
   with modeled time and energy; a ready-made accelerator instance is
@@ -70,6 +71,7 @@ Example::
 
 from __future__ import annotations
 
+import atexit
 import threading
 from dataclasses import dataclass, field, replace as dc_replace
 from typing import Optional, Sequence
@@ -91,6 +93,7 @@ from .finance.options import Option
 __all__ = [
     "BatchResult",
     "GreeksResult",
+    "PRIORITIES",
     "PriceResult",
     "PricingRequest",
     "ServiceResult",
@@ -107,6 +110,11 @@ _DEVICES = ("fpga", "gpu", "cpu")
 #: internal scheduling shape the engine picks from
 #: ``EngineConfig.fused_greeks``, not something callers request.
 _REQUEST_TASKS = ("price", "greeks")
+
+#: Admission bands of the serving layer, lowest first.  Under overload
+#: the :class:`repro.service.PricingService` sheds the oldest entry of
+#: the lowest non-empty band to admit higher-priority work.
+PRIORITIES = ("normal", "high")
 
 
 # ---------------------------------------------------------------------------
@@ -148,6 +156,18 @@ class PricingRequest:
         not of the cache identity.
     :param bump_vol: vega bump (greeks task only, must be > 0).
     :param bump_rate: rho bump (greeks task only, must be > 0).
+    :param deadline_ms: wall-clock budget the caller gives the serving
+        layer, in milliseconds from ``submit()``.  When it expires
+        before the result is ready the request's future fails with
+        :class:`~repro.errors.DeadlineExceededError`; while it is
+        live it bounds the engine's per-chunk timeout for the flush
+        that carries the request.  ``None`` (default) waits forever.
+        A delivery knob like ``strict``: not part of the batch/cache
+        identity.
+    :param priority: ``"normal"`` (default) or ``"high"``.  Under
+        overload the service sheds the oldest normal-priority queue
+        entries to admit high-priority work before rejecting it.
+        Delivery knob: not part of the batch/cache identity.
 
     Validation happens at construction, so a request that builds is a
     request the engine will accept — services can coalesce requests
@@ -166,6 +186,8 @@ class PricingRequest:
     backend: str = "auto"
     bump_vol: float = 1e-3
     bump_rate: float = 1e-4
+    deadline_ms: "float | None" = None
+    priority: str = "normal"
 
     def __post_init__(self):
         options = tuple(self.options)
@@ -223,6 +245,13 @@ class PricingRequest:
 
         if self.workers is not None and int(self.workers) < 1:
             raise ReproError(f"workers must be >= 1, got {self.workers}")
+        if self.deadline_ms is not None and not float(self.deadline_ms) > 0:
+            raise ReproError(
+                f"deadline_ms must be > 0, got {self.deadline_ms}")
+        if self.priority not in PRIORITIES:
+            raise ReproError(
+                f"priority must be one of {PRIORITIES}, "
+                f"got {self.priority!r}")
         if self.task == "greeks":
             if not self.bump_vol > 0:
                 raise ReproError(
@@ -381,7 +410,8 @@ def _profile_precision(profile) -> str:
             else Precision.DOUBLE)
 
 
-def run_request(engine: PricingEngine, request: PricingRequest):
+def run_request(engine: PricingEngine, request: PricingRequest,
+                deadline_s: "float | None" = None):
     """Execute ``request`` on ``engine`` and return the raw engine result.
 
     This is the one seam every route shares: :func:`price` and
@@ -393,12 +423,19 @@ def run_request(engine: PricingEngine, request: PricingRequest):
     not raised* — ``request.strict`` is applied later, per caller, by
     the result builders, so one strict requester cannot blow up a
     coalesced flush for everyone else.
+
+    ``deadline_s`` (seconds of budget left, not an absolute time) is
+    forwarded to the engine run, bounding its per-chunk timeout — the
+    service computes it from the tightest live ``deadline_ms`` in the
+    flush.
     """
     if request.task == "greeks":
         return engine.run_greeks(list(request.options), request.steps,
                                  bump_vol=request.bump_vol,
-                                 bump_rate=request.bump_rate)
-    return engine.run(list(request.options), request.steps)
+                                 bump_rate=request.bump_rate,
+                                 deadline_s=deadline_s)
+    return engine.run(list(request.options), request.steps,
+                      deadline_s=deadline_s)
 
 
 def raise_first_failure(failures: "Sequence[FailureRecord]"):
@@ -467,7 +504,10 @@ def close_shared_engines() -> int:
     """Close every engine the façade is sharing; returns how many.
 
     Safe to call at any time — the next :func:`price`/:func:`greeks`
-    call simply builds a fresh shared engine.
+    call simply builds a fresh shared engine.  Also registered with
+    :mod:`atexit`, so interpreter shutdown never leaks worker pools
+    even when the caller forgets; calling it manually first is fine
+    (the registry empties, the atexit pass closes zero engines).
     """
     with _shared_lock:
         entries = list(_shared_engines.values())
@@ -476,6 +516,9 @@ def close_shared_engines() -> int:
         with lock:
             engine.close()
     return len(entries)
+
+
+atexit.register(close_shared_engines)
 
 
 def _run_engine_route(request: PricingRequest, config, tracer,

@@ -21,10 +21,13 @@ compares false, so the intrinsic branch wins, exactly like the NumPy
 sequence).  Level capture widens through an explicit ``(double)``
 cast, matching ``.astype(np.float64)``.
 
-The shared object is generated, compiled with the system ``cc`` and
-cached on disk keyed by the source hash, so every process after the
-first loads it in milliseconds; :attr:`CNativeBackend.compile_seconds`
-reports whatever this process actually paid.
+The shared object is generated, compiled with the system ``cc``
+(overridable via ``REPRO_CC`` or ``CC`` — an explicit override wins
+outright, and a broken one fails the backend rather than silently
+picking a different compiler) and cached on disk keyed by the source
+hash, so every process after the first loads it in milliseconds;
+:attr:`CNativeBackend.compile_seconds` reports whatever this process
+actually paid.
 """
 
 from __future__ import annotations
@@ -121,6 +124,14 @@ def _cache_dir() -> str:
 def _compiler() -> "str | None":
     from shutil import which
 
+    for var in ("REPRO_CC", "CC"):
+        override = os.environ.get(var, "").strip()
+        if override:
+            # The operator's override wins outright: a broken override
+            # surfaces as a compile failure (and thence an ``auto``
+            # fallback to NumPy), never as a silent fall-through to a
+            # different system compiler the operator didn't pick.
+            return which(override) or override
     for name in ("cc", "gcc", "clang"):
         path = which(name)
         if path:
@@ -156,7 +167,12 @@ def _build_library(source: str) -> str:
     # precondition.  No -ffast-math, ever.
     command = [compiler, "-O3", "-fPIC", "-shared", "-ffp-contract=off",
                c_path, "-o", scratch.name]
-    proc = subprocess.run(command, capture_output=True, text=True)
+    try:
+        proc = subprocess.run(command, capture_output=True, text=True)
+    except OSError as exc:
+        os.unlink(scratch.name)
+        raise BackendUnavailableError(
+            f"cnative compiler {compiler!r} could not run: {exc}") from exc
     if proc.returncode != 0:
         os.unlink(scratch.name)
         raise BackendUnavailableError(

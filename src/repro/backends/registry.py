@@ -13,7 +13,13 @@ Two entry points with deliberately different contracts:
   program's choice); ``auto`` walks the preference order
   ``numba > cnative > numpy``, swallowing unavailability, and always
   lands on NumPy — the floor that needs nothing but this library's
-  hard dependencies.
+  hard dependencies.  Each skipped candidate is *recorded*: a bump of
+  the process-wide ``repro_backend_fallback_total`` counter on every
+  resolution, plus one :class:`RuntimeWarning` per process when the
+  resolution landed on NumPy — a missing toolchain degrades loudly
+  instead of silently costing 10x throughput, while the common
+  numba-extra-not-installed case (landing on the compiled cnative
+  backend) stays quiet.
 
 Instances are cached per process (compiled backends pay their
 compilation once), and so are construction *failures*, so ``auto``
@@ -23,6 +29,7 @@ does not re-attempt a missing toolchain on every engine start.
 from __future__ import annotations
 
 import os
+import warnings
 
 from ..errors import BackendUnavailableError, ReproError
 from .base import KernelBackend
@@ -47,6 +54,36 @@ _CLASSES = {
 
 _instances: "dict[str, KernelBackend]" = {}
 _failures: "dict[str, BackendUnavailableError]" = {}
+_fallbacks_warned: "set[str]" = set()
+
+
+def _record_fallback(candidate: str, exc: BackendUnavailableError,
+                     landed: str) -> None:
+    """Make an ``auto`` skip observable: count always, warn on numpy.
+
+    ``auto`` swallowing unavailability is the right *behaviour* (the
+    service keeps answering), but a silently missing toolchain is how
+    a 10x performance regression ships unnoticed.  Every skip bumps
+    the process-wide ``repro_backend_fallback_total`` counter
+    (labelled by the skipped backend).  The :class:`RuntimeWarning`
+    (once per process per candidate) only fires when the resolution
+    *landed on the interpreted floor*: numba being an optional extra,
+    warning on every numba->cnative landing would train operators to
+    ignore the signal that matters — compiled throughput lost.
+    """
+    from ..obs.keys import BACKEND_FALLBACK_TOTAL
+    from ..obs.metrics import get_registry
+
+    get_registry().counter(
+        BACKEND_FALLBACK_TOTAL,
+        "auto backend resolutions that skipped an unavailable backend",
+    ).inc(backend=candidate)
+    if landed == "numpy" and candidate not in _fallbacks_warned:
+        _fallbacks_warned.add(candidate)
+        warnings.warn(
+            f"backend {candidate!r} is unavailable ({exc}); "
+            f"'auto' fell back to the slower numpy backend",
+            RuntimeWarning, stacklevel=4)
 
 
 def get_backend(name: str) -> KernelBackend:
@@ -87,11 +124,16 @@ def resolve_backend(name: str = "auto") -> KernelBackend:
     if override:
         name = override
     if name == "auto":
+        skipped = []
         for candidate in AUTO_ORDER:
             try:
-                return get_backend(candidate)
-            except BackendUnavailableError:
+                backend = get_backend(candidate)
+            except BackendUnavailableError as exc:
+                skipped.append((candidate, exc))
                 continue
+            for skipped_name, skipped_exc in skipped:
+                _record_fallback(skipped_name, skipped_exc, backend.name)
+            return backend
         raise BackendUnavailableError(  # pragma: no cover - numpy always up
             "no kernel backend is available")
     return get_backend(name)

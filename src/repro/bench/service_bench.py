@@ -16,7 +16,13 @@ batch size:
   the direct engine run (the engine's per-option math is
   row-independent, so coalescing must not move a single ULP — even
   under an injected ``fault_seed``, whose transient faults heal on
-  retry).
+  retry);
+* **latency** — per-request p50/p99 from the closed-loop phase (the
+  tail is where coalescing's ``max_wait_ms`` gamble shows up);
+* **overload saturation** — an open-loop ramp against a small-queue
+  service finds the offered load at which the shed/reject rate first
+  crosses 1%, i.e. where the backpressure contract starts refusing
+  work instead of queueing it.
 
 The document mirrors ``BENCH_engine.json``: the regression gate
 (:func:`~repro.bench.engine_bench.check_throughput_regression`)
@@ -48,8 +54,15 @@ from .engine_bench import write_benchmark  # noqa: F401  (re-export for CLI)
 
 __all__ = ["SERVICE_BENCH_SCHEMA", "run_service_benchmark"]
 
-#: Schema tag written into every BENCH_service.json.
-SERVICE_BENCH_SCHEMA = "repro-service-bench/v1"
+#: Schema tag written into every BENCH_service.json.  v2 added the
+#: per-request latency percentiles and the overload saturation probe;
+#: the ``(options, workers) -> options_per_second`` fields the
+#: regression gate matches on are unchanged from v1.
+SERVICE_BENCH_SCHEMA = "repro-service-bench/v2"
+
+#: Loss (shed + rejected over offered) fraction at which the overload
+#: probe declares the service saturated.
+SATURATION_LOSS_RATE = 0.01
 
 
 def _closed_loop(service: PricingService, options, steps: int, kernel: str,
@@ -61,9 +74,11 @@ def _closed_loop(service: PricingService, options, steps: int, kernel: str,
     single-option request at a time, waiting for its result before the
     next — the classic closed-loop load model, so concurrency (and
     therefore achievable flush size) equals the client count.
-    Returns the prices in input order and the phase wall time.
+    Returns the prices in input order, the phase wall time, and every
+    request's submit-to-result latency in seconds.
     """
     prices = np.empty(len(options), dtype=np.float64)
+    latencies = np.empty(len(options), dtype=np.float64)
     errors: "list[BaseException]" = []
 
     def client(start: int) -> None:
@@ -72,7 +87,9 @@ def _closed_loop(service: PricingService, options, steps: int, kernel: str,
                 request = PricingRequest(
                     options=(options[index],), steps=steps, kernel=kernel,
                     backend=backend, strict=False)
+                submitted = time.perf_counter()
                 prices[index] = service.submit(request).result().prices[0]
+                latencies[index] = time.perf_counter() - submitted
         except BaseException as exc:  # noqa: BLE001 - reported to the driver
             errors.append(exc)
 
@@ -86,7 +103,84 @@ def _closed_loop(service: PricingService, options, steps: int, kernel: str,
     wall = time.perf_counter() - start_time
     if errors:
         raise errors[0]
-    return prices, wall
+    return prices, wall, latencies
+
+
+def _latency_summary(latencies: np.ndarray) -> dict:
+    """p50/p99/mean of per-request latency, in milliseconds."""
+    return {
+        "count": int(latencies.size),
+        "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+        "p99_ms": float(np.percentile(latencies, 99) * 1e3),
+        "mean_ms": float(latencies.mean() * 1e3),
+        "max_ms": float(latencies.max() * 1e3),
+    }
+
+
+def _overload_probe(options, steps: int, kernel: str, backend: str,
+                    max_batch: int, max_wait_ms: float, start_rate: float,
+                    levels: int = 6, requests_per_level: int = 160) -> dict:
+    """Ramp offered load until the shed/reject rate crosses 1%.
+
+    Open-loop: a single driver paces single-option submissions at a
+    fixed offered rate (it never waits for a result before the next
+    submit), against a deliberately small-queue service so overload
+    surfaces as admission behaviour rather than unbounded queueing.
+    Each ramp level gets a fresh service; a request is *lost* when
+    ``submit`` rejects it or its future resolves to
+    :class:`~repro.errors.ServiceOverloadedError` (a shed).  The
+    saturation point is the first offered rate whose loss fraction
+    reaches :data:`SATURATION_LOSS_RATE`.
+    """
+    from ..errors import ServiceOverloadedError
+
+    levels_out = []
+    saturation = None
+    rate = max(start_rate, 1.0)
+    for _ in range(levels):
+        config = ServiceConfig(max_batch=max_batch, max_wait_ms=max_wait_ms,
+                               max_queue=4 * max_batch)
+        rejected = shed = 0
+        futures = []
+        with PricingService(config) as service:
+            begin = time.perf_counter()
+            for index in range(requests_per_level):
+                target = begin + index / rate
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                request = PricingRequest(
+                    options=(options[index % len(options)],), steps=steps,
+                    kernel=kernel, backend=backend, strict=False)
+                try:
+                    futures.append(service.submit(request))
+                except ServiceOverloadedError:
+                    rejected += 1
+            offered_wall = time.perf_counter() - begin
+            for future in futures:
+                exc = future.exception()
+                if isinstance(exc, ServiceOverloadedError):
+                    shed += 1
+                elif exc is not None:
+                    raise exc
+        offered_rate = requests_per_level / offered_wall
+        loss_rate = (rejected + shed) / requests_per_level
+        levels_out.append({
+            "offered_rps": offered_rate,
+            "rejected": rejected,
+            "shed": shed,
+            "loss_rate": loss_rate,
+        })
+        if loss_rate >= SATURATION_LOSS_RATE and saturation is None:
+            saturation = offered_rate
+            break
+        rate *= 2.0
+    return {
+        "loss_threshold": SATURATION_LOSS_RATE,
+        "max_queue": 4 * max_batch,
+        "levels": levels_out,
+        "saturation_offered_rps": saturation,
+    }
 
 
 def run_service_benchmark(
@@ -148,7 +242,7 @@ def run_service_benchmark(
                                max_queue=max(1024, 2 * n_options),
                                faults=faults)
         with PricingService(config, tracer=tracer) as service:
-            service_prices, service_wall = _closed_loop(
+            service_prices, service_wall, latencies = _closed_loop(
                 service, options, steps, kernel, clients, backend=backend)
             if not np.array_equal(service_prices, direct.prices):
                 raise ReproError(
@@ -174,6 +268,10 @@ def run_service_benchmark(
             stats = service.close()
 
         service_rate = n_options / service_wall
+        overload = _overload_probe(options, steps, kernel, backend,
+                                   max_batch=max_batch,
+                                   max_wait_ms=max_wait_ms,
+                                   start_rate=service_rate)
         results.append({
             "options": n_options,
             "baseline": {
@@ -196,8 +294,10 @@ def run_service_benchmark(
                 "cache_hit_s": cache_hit_s,
                 "cache_speedup": (cache_cold_s / cache_hit_s
                                   if cache_hit_s > 0 else float("inf")),
+                "latency": _latency_summary(latencies),
                 "service": stats.as_dict(),
             }],
+            "overload": overload,
         })
 
     return {

@@ -465,6 +465,21 @@ def _run_serve_bench(args) -> int:
             echo(f"    cache: cold {run['cache_cold_s'] * 1e3:.1f} ms, "
                  f"hit {run['cache_hit_s'] * 1e3:.3f} ms "
                  f"({run['cache_speedup']:.0f}x)")
+            latency = run["latency"]
+            echo(f"    latency: p50 {latency['p50_ms']:.2f} ms, "
+                 f"p99 {latency['p99_ms']:.2f} ms over "
+                 f"{latency['count']} requests")
+        overload = entry["overload"]
+        saturation = overload["saturation_offered_rps"]
+        if saturation is not None:
+            echo(f"    overload: sheds/rejects cross "
+                 f"{overload['loss_threshold']:.0%} at "
+                 f"~{saturation:,.0f} offered req/s")
+        else:
+            top = overload["levels"][-1]
+            echo(f"    overload: no saturation up to "
+                 f"{top['offered_rps']:,.0f} offered req/s "
+                 f"(loss {top['loss_rate']:.1%})")
 
     if args.check_against:
         with open(args.check_against) as handle:

@@ -256,6 +256,11 @@ class PricingEngine:
         # cost lands once here instead of inside the first timed run.
         self._backend = resolve_backend(self.config.backend)
         self._policy = RetryPolicy.from_config(self.config)
+        # Per-run view of the policy: a run carrying a caller deadline
+        # tightens chunk_timeout_s for its own dispatches only.  Runs
+        # on one engine are serialised by the serving layer, so an
+        # instance attribute (not a lock) is the right scope.
+        self._active_policy = self._policy
         self._workspace = Workspace()  # serial path, reused across runs
         self._pool: "ProcessPoolExecutor | None" = None
         self._closed = False
@@ -360,7 +365,8 @@ class PricingEngine:
         return result.prices
 
     def run(self, options: Sequence[Option],
-            steps: "int | Sequence[int]" = 1024) -> EngineResult:
+            steps: "int | Sequence[int]" = 1024, *,
+            deadline_s: "float | None" = None) -> EngineResult:
         """Price a stream and measure the run.
 
         ``steps`` may be a single depth or one per option —
@@ -373,8 +379,15 @@ class PricingEngine:
         raised, except for request-level validation errors, pricing on
         a closed engine (and :meth:`close` racing the run from another
         thread).
+
+        ``deadline_s`` bounds this run's per-chunk wall-clock timeout
+        (``min`` with the configured ``chunk_timeout_s``), so a serving
+        caller's request deadline caps how long any one dispatch may
+        hang.  Pool mode only — the serial path cannot preempt itself,
+        exactly like ``chunk_timeout_s``.
         """
         self._check_usable()
+        self._active_policy = self._policy.clamp_timeout(deadline_s)
         wall_start = time.perf_counter()
         cpu_start = time.process_time()
 
@@ -468,7 +481,8 @@ class PricingEngine:
     def run_greeks(self, options: Sequence[Option],
                    steps: "int | Sequence[int]" = 512,
                    bump_vol: float = 1e-3,
-                   bump_rate: float = 1e-4) -> GreeksEngineResult:
+                   bump_rate: float = 1e-4, *,
+                   deadline_s: "float | None" = None) -> GreeksEngineResult:
         """Price a stream and its full greeks set through one schedule.
 
         The *base pass* prices every option with tree-level capture, so
@@ -495,8 +509,11 @@ class PricingEngine:
         numbers are identical either way; ``fused_greeks=False``
         restores the five-pass schedule with its per-pass failure
         attribution.
+
+        ``deadline_s`` bounds the per-chunk timeout as in :meth:`run`.
         """
         self._check_usable()
+        self._active_policy = self._policy.clamp_timeout(deadline_s)
         if bump_vol <= 0.0:
             raise EngineError(f"bump_vol must be > 0, got {bump_vol}")
         if bump_rate <= 0.0:
@@ -1003,7 +1020,7 @@ class PricingEngine:
                     continue
                 try:
                     chunk_prices, report = future.result(
-                        timeout=self._policy.chunk_timeout_s)
+                        timeout=self._active_policy.chunk_timeout_s)
                 except _FutureTimeout:
                     attempt_span.set(error="ChunkTimeoutError",
                                      status="error").end()
@@ -1012,7 +1029,7 @@ class PricingEngine:
                     next_delay = max(next_delay, self._handle_chunk_failure(
                         chunk, attempt, ChunkTimeoutError(
                             f"chunk of {len(chunk)} options exceeded the "
-                            f"{self._policy.chunk_timeout_s}s deadline"),
+                            f"{self._active_policy.chunk_timeout_s}s deadline"),
                         queue, out, metrics, failures, span_for(chunk)))
                     continue
                 except BrokenProcessPool as exc:

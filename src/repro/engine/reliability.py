@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 __all__ = [
@@ -99,6 +99,24 @@ class RetryPolicy:
             backoff_base_s=config.backoff_base_s,
             chunk_timeout_s=config.chunk_timeout_s,
         )
+
+    def clamp_timeout(self, deadline_s: "float | None") -> "RetryPolicy":
+        """This policy with ``chunk_timeout_s`` bounded by a deadline.
+
+        Serving callers propagate a request deadline into the flush
+        that carries it: a chunk may never wait longer than the time
+        the caller is still willing to wait.  ``None`` (no deadline)
+        returns ``self`` unchanged, as does a configured timeout that
+        is already tighter.  The bound is floored at one millisecond so
+        a nearly-expired deadline still produces a valid timeout
+        instead of an instant spurious :class:`ChunkTimeoutError`.
+        """
+        if deadline_s is None:
+            return self
+        bound = max(float(deadline_s), 1e-3)
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= bound:
+            return self
+        return replace(self, chunk_timeout_s=bound)
 
     def backoff_s(self, key: str, attempt: int) -> float:
         """Deterministic jittered backoff before retry ``attempt``.

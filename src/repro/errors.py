@@ -127,7 +127,32 @@ class ServiceOverloadedError(ServiceError):
 
     The bounded request queue protects the coalescer from unbounded
     memory growth under overload; callers should back off and retry,
-    shed load, or raise ``ServiceConfig.max_queue``.
+    shed load, or raise ``ServiceConfig.max_queue``.  Under overload
+    the service also *sheds*: admitting a high-priority request may
+    evict the oldest normal-priority entry from the queue, whose
+    future then fails with this error.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's ``deadline_ms`` expired before its result was ready.
+
+    Raised on the request's future when the deadline passes while the
+    request is still queued or bucketed (the engine never runs it), or
+    when a joined in-flight computation finishes past the deadline.
+    A deadline that is still live at flush time bounds the engine's
+    per-chunk timeout for the flush that carries the request.
+    """
+
+
+class ChaosInjectedError(ServiceError):
+    """A failure injected by the service chaos harness.
+
+    Only ever raised when a :class:`~repro.service.chaos.ChaosPlan` is
+    installed on the service under test; production configurations
+    never see it.  Typed under :class:`ServiceError` so the service's
+    per-request failure scoping recovers from it exactly like a real
+    flush-level fault.
     """
 
 

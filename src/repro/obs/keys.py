@@ -30,10 +30,17 @@ __all__ = [
     "SERVICE_CACHE_BYTES",
     "SERVICE_INFLIGHT_JOINS_TOTAL",
     "SERVICE_REJECTED_TOTAL",
+    "SERVICE_DEADLINE_EXPIRED_TOTAL",
+    "SERVICE_SHED_TOTAL",
+    "SERVICE_CANCELLED_TOTAL",
+    "SERVICE_ENGINE_RESTARTS_TOTAL",
+    "SERVICE_HEALTH_TRANSITIONS_TOTAL",
+    "SERVICE_HEALTH_STATE",
     "SERVICE_QUEUE_DEPTH",
     "SERVICE_WAIT_SECONDS",
     "SERVICE_FLUSH_OPTIONS",
     "SERVICE_STATS_TO_METRIC",
+    "BACKEND_FALLBACK_TOTAL",
     "CHUNKS_TOTAL",
     "GROUPS_TOTAL",
     "OPTIONS_PRICED_TOTAL",
@@ -127,9 +134,14 @@ PEAK_TILE_BYTES = "repro_engine_peak_tile_bytes"
 #: Version tag of the *service* statistics schema.  The version counter
 #: continues the engine schema's line (v1 engine, v2 greeks): v3 adds
 #: the service/cache keys; v4 (backend attribution) touches only the
-#: engine document, so the service tag stays at v3 — the two documents
+#: engine document, so the service line skips it — the two documents
 #: share one version counter but are published under their own names.
-SERVICE_STATS_SCHEMA = "repro-service-stats/v3"
+#: v5 appends the robustness keys (``deadline_expired``, ``shed``,
+#: ``cancelled``, ``engine_restarts``, ``health_transitions``,
+#: ``health``) for per-request deadlines, priority load shedding and
+#: the health/supervision state machine; every v3 key keeps its name,
+#: type and position.
+SERVICE_STATS_SCHEMA = "repro-service-stats/v5"
 
 SERVICE_REQUESTS_TOTAL = "repro_service_requests_total"
 SERVICE_OPTIONS_TOTAL = "repro_service_options_total"
@@ -143,6 +155,12 @@ SERVICE_CACHE_EVICTIONS_TOTAL = "repro_service_cache_evictions_total"
 SERVICE_CACHE_BYTES = "repro_service_cache_bytes"
 SERVICE_INFLIGHT_JOINS_TOTAL = "repro_service_inflight_joins_total"
 SERVICE_REJECTED_TOTAL = "repro_service_rejected_total"
+SERVICE_DEADLINE_EXPIRED_TOTAL = "repro_service_deadline_expired_total"
+SERVICE_SHED_TOTAL = "repro_service_shed_total"
+SERVICE_CANCELLED_TOTAL = "repro_service_cancelled_total"
+SERVICE_ENGINE_RESTARTS_TOTAL = "repro_service_engine_restarts_total"
+SERVICE_HEALTH_TRANSITIONS_TOTAL = "repro_service_health_transitions_total"
+SERVICE_HEALTH_STATE = "repro_service_health_state"
 SERVICE_QUEUE_DEPTH = "repro_service_queue_depth"
 SERVICE_WAIT_SECONDS = "repro_service_wait_seconds"
 SERVICE_FLUSH_OPTIONS = "repro_service_flush_options"
@@ -164,10 +182,17 @@ SERVICE_STATS_KEYS = (
     "rejected",
     "mean_wait_s",
     "mean_flush_options",
+    "deadline_expired",
+    "shed",
+    "cancelled",
+    "engine_restarts",
+    "health_transitions",
+    "health",
 )
 
 #: Service stats-snapshot key -> the service metric it is derived from
-#: (the counters; the two ``mean_*`` keys are histogram means).
+#: (the counters; the two ``mean_*`` keys are histogram means and
+#: ``health`` is snapshot-only, read from the health monitor).
 SERVICE_STATS_TO_METRIC = {
     "requests": SERVICE_REQUESTS_TOTAL,
     "options": SERVICE_OPTIONS_TOTAL,
@@ -181,7 +206,21 @@ SERVICE_STATS_TO_METRIC = {
     "cache_bytes": SERVICE_CACHE_BYTES,
     "inflight_joins": SERVICE_INFLIGHT_JOINS_TOTAL,
     "rejected": SERVICE_REJECTED_TOTAL,
+    "deadline_expired": SERVICE_DEADLINE_EXPIRED_TOTAL,
+    "shed": SERVICE_SHED_TOTAL,
+    "cancelled": SERVICE_CANCELLED_TOTAL,
+    "engine_restarts": SERVICE_ENGINE_RESTARTS_TOTAL,
+    "health_transitions": SERVICE_HEALTH_TRANSITIONS_TOTAL,
 }
+
+# -- backend-resolution metrics --------------------------------------------
+
+#: Counts ``auto`` backend resolutions that had to skip an unavailable
+#: candidate (labelled by the skipped ``backend`` name), so a broken
+#: toolchain that silently demotes every engine to the NumPy path is
+#: visible in the process-wide export instead of only as a one-shot
+#: warning.
+BACKEND_FALLBACK_TOTAL = "repro_backend_fallback_total"
 
 # -- simulated device-stack metrics ---------------------------------------
 

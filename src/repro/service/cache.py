@@ -26,6 +26,14 @@ The cache itself is a byte-budgeted LRU: entries are charged the size
 of their numpy payload, the least-recently-*used* entry is evicted
 when the budget overflows, and an entry larger than the whole budget
 is simply not admitted.  All methods are thread-safe.
+
+With ``verify=True`` every entry is checksummed (blake2b over its
+payload bytes) at admission and re-verified on each hit; an entry
+whose bytes changed underneath the cache — the chaos harness's
+bit-flip injection, or real silent corruption — is discarded and the
+lookup misses, so the service recomputes instead of serving a wrong
+number.  Parity over latency: a corrupted hit is the one failure mode
+a pricing cache must never have.
 """
 
 from __future__ import annotations
@@ -97,20 +105,37 @@ class CacheEntry:
         frozen.setflags(write=False)
         return frozen
 
+    def checksum(self) -> str:
+        """blake2b digest over the payload bytes (verification key)."""
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(np.ascontiguousarray(self.prices).tobytes())
+        if self.greeks is not None:
+            for column in self.greeks:
+                digest.update(np.ascontiguousarray(column).tobytes())
+        return digest.hexdigest()
+
 
 class ResultCache:
     """Byte-budgeted, thread-safe LRU of :class:`CacheEntry` values.
 
     :param max_bytes: payload budget; ``0`` disables the cache (every
         ``get`` misses, every ``put`` is dropped).
+    :param verify: checksum entries at admission and re-verify on each
+        hit; a mismatch discards the entry, misses, and increments
+        :attr:`corruptions_detected`.
     """
 
-    def __init__(self, max_bytes: int):
+    def __init__(self, max_bytes: int, verify: bool = False):
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.max_bytes = int(max_bytes)
+        self.verify = bool(verify)
+        #: entries discarded because their bytes no longer matched the
+        #: admission-time checksum (only ever non-zero with verify=True).
+        self.corruptions_detected = 0
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._digests: "dict[str, str]" = {}
         self._bytes = 0
 
     def __len__(self) -> int:
@@ -123,11 +148,22 @@ class ResultCache:
             return self._bytes
 
     def get(self, key: str) -> "CacheEntry | None":
-        """The entry for ``key`` (refreshing its recency), or ``None``."""
+        """The entry for ``key`` (refreshing its recency), or ``None``.
+
+        With ``verify=True`` a hit whose payload fails its checksum is
+        discarded and reported as a miss.
+        """
         with self._lock:
             entry = self._entries.get(key)
-            if entry is not None:
-                self._entries.move_to_end(key)
+            if entry is None:
+                return None
+            if self.verify and entry.checksum() != self._digests.get(key):
+                del self._entries[key]
+                self._digests.pop(key, None)
+                self._bytes -= entry.nbytes
+                self.corruptions_detected += 1
+                return None
+            self._entries.move_to_end(key)
             return entry
 
     def put(self, key: str, entry: CacheEntry) -> int:
@@ -146,9 +182,12 @@ class ResultCache:
             if old is not None:
                 self._bytes -= old.nbytes
             self._entries[key] = entry
+            if self.verify:
+                self._digests[key] = entry.checksum()
             self._bytes += size
             while self._bytes > self.max_bytes and self._entries:
-                _, victim = self._entries.popitem(last=False)
+                victim_key, victim = self._entries.popitem(last=False)
+                self._digests.pop(victim_key, None)
                 self._bytes -= victim.nbytes
                 evicted += 1
         return evicted
@@ -156,4 +195,5 @@ class ResultCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._digests.clear()
             self._bytes = 0

@@ -36,6 +36,30 @@ neighbours.
 Prices are bitwise-identical to a direct ``engine.run`` of the same
 options: the engine's per-option math is row-independent, so batch
 composition (and therefore coalescing) cannot change a single ULP.
+
+Robustness (the serving contract under stress):
+
+* **deadlines** — a request carrying ``deadline_ms`` is rejected with
+  :class:`~repro.errors.DeadlineExceededError` the moment its budget
+  expires in the queue or a bucket (no engine work is spent on it),
+  and while live it bounds the per-chunk timeout of the flush that
+  carries it;
+* **cancellation** — ``future.cancel()`` on a not-yet-flushed request
+  is honoured at claim time; a waiting in-flight follower is promoted
+  to primary so the computation is only dropped when nobody wants it;
+* **priority shedding** — the admission queue has two bands; when it
+  is full, a ``priority="high"`` submit sheds the oldest
+  normal-priority entry (its future fails with
+  :class:`~repro.errors.ServiceOverloadedError`) instead of being
+  rejected;
+* **health & supervision** — a :class:`~repro.service.health.HealthMonitor`
+  digests flush outcomes and engine degradation signals into
+  ``HEALTHY/DEGRADED/UNHEALTHY`` (see :meth:`PricingService.health`),
+  and a wedged shared engine is replaced under a bounded, backed-off
+  restart budget;
+* **chaos** — a :class:`~repro.service.chaos.ChaosPlan` in the config
+  turns on deterministic fault injection across all of the above (the
+  acceptance suite lives in ``tests/service/test_chaos.py``).
 """
 
 from __future__ import annotations
@@ -43,6 +67,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field, replace
 
@@ -57,11 +82,24 @@ from ..api import (
 )
 from ..engine import EngineConfig, PricingEngine
 from ..engine.faults import FaultPlan
-from ..errors import ServiceError, ServiceOverloadedError
+from ..errors import (
+    DeadlineExceededError,
+    EngineError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from ..obs import keys
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.trace import as_tracer
 from .cache import CacheEntry, ResultCache, request_key
+from .chaos import ChaosInjector, ChaosPlan
+from .health import (
+    HEALTH_STATE_LEVEL,
+    HealthMonitor,
+    HealthPolicy,
+    HealthReport,
+    HealthState,
+)
 
 __all__ = ["PricingService", "ServiceConfig", "ServiceMetrics",
            "ServiceStats"]
@@ -70,6 +108,86 @@ _GREEKS_COLUMNS = ("delta", "gamma", "theta", "vega", "rho")
 
 #: Sentinel the coalescer drains up to on :meth:`PricingService.close`.
 _CLOSE = object()
+
+
+@dataclass
+class _DrainToken:
+    """Control token: flush everything admitted before it, then signal."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+
+
+class _AdmissionQueue:
+    """Two-band bounded queue with priority shedding and control tokens.
+
+    ``high``-priority entries always dequeue before ``normal`` ones.
+    When the queue is full, admitting a high-priority entry *sheds*
+    (removes and returns) the oldest normal-priority entry instead of
+    raising; a full queue with no normal entries to shed — or any full
+    queue receiving a normal-priority entry — raises
+    :class:`queue.Full`, preserving the original backpressure
+    contract.  Control tokens (:data:`_CLOSE`, :class:`_DrainToken`)
+    live on an unbounded side channel so shutdown can never be blocked
+    out by a full queue.
+    """
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._high: "deque[_Pending]" = deque()
+        self._normal: "deque[_Pending]" = deque()
+        self._control: deque = deque()
+
+    def qsize(self) -> int:
+        with self._lock:
+            return len(self._high) + len(self._normal)
+
+    def put(self, pending: "_Pending") -> "list[_Pending]":
+        """Admit ``pending``; returns the entries shed to make room.
+
+        :raises queue.Full: no capacity and nothing shed-able.
+        """
+        with self._ready:
+            shed: "list[_Pending]" = []
+            if len(self._high) + len(self._normal) >= self.maxsize:
+                if pending.request.priority == "high" and self._normal:
+                    shed.append(self._normal.popleft())
+                else:
+                    raise queue.Full
+            band = (self._high if pending.request.priority == "high"
+                    else self._normal)
+            band.append(pending)
+            self._ready.notify()
+            return shed
+
+    def put_control(self, token) -> None:
+        """Enqueue a control token (never full, never shed)."""
+        with self._ready:
+            self._control.append(token)
+            self._ready.notify()
+
+    def get(self, timeout: "float | None" = None):
+        with self._ready:
+            if not self._ready.wait_for(self._available, timeout=timeout):
+                raise queue.Empty
+            return self._pop()
+
+    def get_nowait(self):
+        with self._ready:
+            if not self._available():
+                raise queue.Empty
+            return self._pop()
+
+    def _available(self) -> bool:
+        return bool(self._high or self._normal or self._control)
+
+    def _pop(self):
+        if self._high:
+            return self._high.popleft()
+        if self._normal:
+            return self._normal.popleft()
+        return self._control.popleft()
 
 
 @dataclass(frozen=True)
@@ -95,6 +213,15 @@ class ServiceConfig:
         handed to every engine the service builds (testing/benching the
         retry/quarantine paths under coalescing; ``None`` in
         production).
+    :param health: thresholds and restart budget of the service's
+        :class:`~repro.service.health.HealthMonitor` (defaults applied
+        when ``None``).
+    :param chaos: deterministic
+        :class:`~repro.service.chaos.ChaosPlan` injecting faults into
+        the *service* surfaces — coalescer stalls, flush failures,
+        engine wedges, cache corruption/eviction storms.  Installing
+        one also turns on cache checksum verification so injected
+        corruption is detected, not served.  ``None`` in production.
     """
 
     max_batch: int = 256
@@ -104,6 +231,8 @@ class ServiceConfig:
     workers: "int | None" = None
     engine_config: "EngineConfig | None" = None
     faults: "FaultPlan | None" = None
+    health: "HealthPolicy | None" = None
+    chaos: "ChaosPlan | None" = None
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -146,7 +275,8 @@ class ServiceMetrics:
             keys.SERVICE_FLUSH_DEADLINE_TOTAL,
             "Flushes triggered by the max_wait_ms deadline")
         self.flush_drain = reg.counter(
-            keys.SERVICE_FLUSH_DRAIN_TOTAL, "Flushes triggered by close()")
+            keys.SERVICE_FLUSH_DRAIN_TOTAL,
+            "Flushes triggered by close() or drain()")
         self.cache_hits = reg.counter(
             keys.SERVICE_CACHE_HITS_TOTAL,
             "Requests answered from the result cache")
@@ -162,11 +292,30 @@ class ServiceMetrics:
         self.rejected = reg.counter(
             keys.SERVICE_REJECTED_TOTAL,
             "Submits refused with ServiceOverloadedError")
+        self.deadline_expired = reg.counter(
+            keys.SERVICE_DEADLINE_EXPIRED_TOTAL,
+            "Futures failed with DeadlineExceededError")
+        self.shed = reg.counter(
+            keys.SERVICE_SHED_TOTAL,
+            "Queued normal-priority entries shed to admit high-priority "
+            "work")
+        self.cancelled = reg.counter(
+            keys.SERVICE_CANCELLED_TOTAL,
+            "Requests cancelled by their caller before flushing")
+        self.engine_restarts = reg.counter(
+            keys.SERVICE_ENGINE_RESTARTS_TOTAL,
+            "Wedged shared engines replaced by the supervisor")
+        self.health_transitions = reg.counter(
+            keys.SERVICE_HEALTH_TRANSITIONS_TOTAL,
+            "Health state-machine transitions")
         self.cache_bytes = reg.gauge(
             keys.SERVICE_CACHE_BYTES, "Result-cache payload bytes in use")
         self.queue_depth = reg.gauge(
             keys.SERVICE_QUEUE_DEPTH, "Admission-queue depth after the last "
             "enqueue/dequeue")
+        self.health_state = reg.gauge(
+            keys.SERVICE_HEALTH_STATE,
+            "Service health (0 healthy, 1 degraded, 2 unhealthy)")
         self.wait = reg.histogram(
             keys.SERVICE_WAIT_SECONDS,
             "Per-request time from submit to flush start",
@@ -179,10 +328,13 @@ class ServiceMetrics:
                        self.flush_full, self.flush_deadline,
                        self.flush_drain, self.cache_hits, self.cache_misses,
                        self.cache_evictions, self.inflight_joins,
-                       self.rejected):
+                       self.rejected, self.deadline_expired, self.shed,
+                       self.cancelled, self.engine_restarts,
+                       self.health_transitions):
             handle.inc(0.0)
         self.cache_bytes.set(0.0)
         self.queue_depth.set(0.0)
+        self.health_state.set(0.0)
 
     def publish(self) -> None:
         """Merge this service's registry into the process-wide one."""
@@ -194,9 +346,12 @@ class ServiceStats:
     """What one :class:`PricingService` did over its lifetime.
 
     Snapshot of the service registry under the stable
-    ``repro-service-stats/v3`` schema
+    ``repro-service-stats/v5`` schema
     (:data:`repro.obs.keys.SERVICE_STATS_KEYS`; documented in
-    ``docs/stats_schema.md``).
+    ``docs/stats_schema.md``).  v5 appends the robustness keys —
+    ``deadline_expired``/``shed``/``cancelled``/``engine_restarts``/
+    ``health_transitions``/``health`` — after the v3 set, which is
+    unchanged in name, type and order.
     """
 
     requests: int = 0
@@ -213,9 +368,17 @@ class ServiceStats:
     rejected: int = 0
     mean_wait_s: float = 0.0
     mean_flush_options: float = 0.0
+    deadline_expired: int = 0
+    shed: int = 0
+    cancelled: int = 0
+    engine_restarts: int = 0
+    health_transitions: int = 0
+    health: str = HealthState.HEALTHY.value
 
     @classmethod
-    def from_metrics(cls, metrics: ServiceMetrics) -> "ServiceStats":
+    def from_metrics(cls, metrics: ServiceMetrics,
+                     health: str = HealthState.HEALTHY.value,
+                     ) -> "ServiceStats":
         registry = metrics.registry
         counts = {
             stat: int(registry.value(metric))
@@ -227,6 +390,7 @@ class ServiceStats:
             mean_wait_s=(wait.sum / wait.count) if wait.count else 0.0,
             mean_flush_options=((flush_options.sum / flush_options.count)
                                 if flush_options.count else 0.0),
+            health=health,
             **counts,
         )
 
@@ -251,12 +415,17 @@ class ServiceStats:
 
 @dataclass
 class _Pending:
-    """One admitted request waiting in the queue / a bucket."""
+    """One admitted request waiting in the queue / a bucket.
+
+    ``deadline`` is the absolute monotonic instant the caller's
+    ``deadline_ms`` budget runs out (``None`` = wait forever).
+    """
 
     request: PricingRequest
     future: Future
     key: str
     enqueued: float
+    deadline: "float | None" = None
 
 
 @dataclass
@@ -297,11 +466,18 @@ class PricingService:
         self.config = config if config is not None else ServiceConfig()
         self._tracer = as_tracer(tracer)
         self.metrics = ServiceMetrics()
-        self._cache = ResultCache(self.config.cache_bytes)
-        self._queue: "queue.Queue" = queue.Queue(maxsize=self.config.max_queue)
+        # A chaos plan injects silent cache corruption, so the cache
+        # must verify; production services skip the checksum cost.
+        self._cache = ResultCache(self.config.cache_bytes,
+                                  verify=self.config.chaos is not None)
+        self._queue = _AdmissionQueue(self.config.max_queue)
         self._lock = threading.Lock()
         self._inflight: "dict[str, list[_Pending]]" = {}
         self._engines: "dict[tuple, PricingEngine]" = {}
+        self._health = HealthMonitor(self.config.health)
+        self._health_transitions_seen = 0
+        self._chaos = (ChaosInjector(self.config.chaos)
+                       if self.config.chaos is not None else None)
         self._closed = False
         self._final_stats: "ServiceStats | None" = None
         self._max_wait_s = self.config.max_wait_ms / 1000.0
@@ -322,6 +498,12 @@ class PricingService:
         identical in-flight request (shares that computation) → the
         bounded queue (coalesced and flushed by the service thread).
 
+        A full queue rejects normal-priority submits with
+        :class:`ServiceOverloadedError`; a high-priority submit first
+        tries to *shed* the oldest queued normal-priority entry (whose
+        future then carries the overload error) and is only rejected
+        when there is nothing left to shed.
+
         :raises ServiceError: the service is closed, or ``request`` is
             not a :class:`PricingRequest`.
         :raises ServiceOverloadedError: the admission queue is full.
@@ -338,6 +520,9 @@ class PricingService:
         self.metrics.requests.inc()
         self.metrics.options.inc(float(len(request)))
         key = request_key(request)
+        now = time.monotonic()
+        deadline = (now + request.deadline_ms / 1000.0
+                    if request.deadline_ms is not None else None)
         future: "Future[ServiceResult]" = Future()
         with self._lock:
             entry = self._cache.get(key)
@@ -349,23 +534,38 @@ class PricingService:
             followers = self._inflight.get(key)
             if followers is not None:
                 followers.append(_Pending(request, future, key,
-                                          time.monotonic()))
+                                          now, deadline))
                 self.metrics.inflight_joins.inc()
                 span.set(outcome="inflight_join").end()
                 return future
             self._inflight[key] = []
-        pending = _Pending(request, future, key, time.monotonic())
+        pending = _Pending(request, future, key, now, deadline)
         try:
-            self._queue.put_nowait(pending)
+            shed = self._queue.put(pending)
         except queue.Full:
             with self._lock:
-                self._inflight.pop(key, None)
+                orphans = self._inflight.pop(key, None) or []
             self.metrics.rejected.inc()
             span.set(outcome="rejected").end()
-            raise ServiceOverloadedError(
+            detail = ("no normal-priority entries left to shed"
+                      if request.priority == "high" else
+                      "back off and retry, shed load, or raise "
+                      "ServiceConfig.max_queue")
+            overloaded = ServiceOverloadedError(
                 f"admission queue is full ({self.config.max_queue} "
-                f"requests); back off and retry, shed load, or raise "
-                f"ServiceConfig.max_queue") from None
+                f"requests); {detail}")
+            # Followers that joined this key while the put was racing
+            # the rejection would otherwise wait forever.
+            for orphan in orphans:
+                if not orphan.future.done():
+                    orphan.future.set_exception(overloaded)
+            raise overloaded from None
+        for victim in shed:
+            self.metrics.shed.inc()
+            span.annotate("shed a normal-priority entry")
+            self._fail(victim, ServiceOverloadedError(
+                "shed from the admission queue to admit high-priority "
+                "work under overload"))
         self.metrics.cache_misses.inc()
         self.metrics.queue_depth.set(float(self._queue.qsize()))
         span.set(outcome="queued").end()
@@ -384,13 +584,30 @@ class PricingService:
 
     def _resolve(self, pending: _Pending, result: ServiceResult) -> None:
         """Apply the caller's ``strict`` flag and resolve one future."""
+        future = pending.future
+        if not future.running():
+            # A follower (never claimed at flush time): claim it now so
+            # a racing caller-side cancel() is honoured atomically, and
+            # apply its own deadline — joining a computation does not
+            # extend the caller's budget.
+            if not future.set_running_or_notify_cancel():
+                self.metrics.cancelled.inc()
+                return
+            if (pending.deadline is not None
+                    and time.monotonic() > pending.deadline):
+                self.metrics.deadline_expired.inc()
+                future.set_exception(DeadlineExceededError(
+                    f"deadline of {pending.request.deadline_ms:g} ms "
+                    "expired before the joined in-flight computation "
+                    "finished"))
+                return
         if pending.request.strict and result.failures:
             try:
                 raise_first_failure(result.failures)
             except Exception as exc:  # noqa: BLE001 - re-raised via future
-                pending.future.set_exception(exc)
+                future.set_exception(exc)
                 return
-        pending.future.set_result(result)
+        future.set_result(result)
 
     def _settle(self, pending: _Pending, result: ServiceResult) -> None:
         """Resolve a primary plus every follower that joined its key.
@@ -408,6 +625,8 @@ class PricingService:
             evicted = self._cache.put(pending.key, entry)
             if evicted:
                 self.metrics.cache_evictions.inc(float(evicted))
+            if self._chaos is not None:
+                self._chaos.on_cache_store(self._cache, entry)
             self.metrics.cache_bytes.set(float(self._cache.bytes_used))
         with self._lock:
             followers = self._inflight.pop(pending.key, [])
@@ -421,6 +640,55 @@ class PricingService:
         for target in (pending, *followers):
             if not target.future.done():
                 target.future.set_exception(exc)
+
+    # -- deadline / cancellation bookkeeping --------------------------------
+
+    def _promote_follower(self, key: str) -> "_Pending | None":
+        """Next live owner of ``key`` after its primary dropped out.
+
+        Pops the oldest in-flight follower to become the new primary;
+        when none is waiting, the key is retired so an identical later
+        submit starts a fresh computation.
+        """
+        with self._lock:
+            followers = self._inflight.get(key)
+            if followers:
+                return followers.pop(0)
+            self._inflight.pop(key, None)
+        return None
+
+    def _expire(self, pending: _Pending, where: str) -> None:
+        self.metrics.deadline_expired.inc()
+        if not pending.future.done():
+            elapsed_ms = (time.monotonic() - pending.enqueued) * 1e3
+            pending.future.set_exception(DeadlineExceededError(
+                f"deadline of {pending.request.deadline_ms:g} ms expired "
+                f"after {elapsed_ms:.1f} ms {where}"))
+
+    def _claim(self, pending: "_Pending | None",
+               now: float, where: str) -> "_Pending | None":
+        """Resolve who actually owns a queue/bucket slot right now.
+
+        Walks the primary-then-followers chain: an entry whose
+        deadline has expired fails with
+        :class:`DeadlineExceededError` (before any engine work — the
+        deadline contract), an entry whose future was cancelled is
+        dropped, and in either case the oldest waiting follower is
+        promoted.  The returned entry has been *claimed*
+        (``set_running_or_notify_cancel``), so it can no longer be
+        cancelled out from under the flush.
+        """
+        while pending is not None:
+            if pending.deadline is not None and pending.deadline <= now:
+                self._expire(pending, where)
+                pending = self._promote_follower(pending.key)
+                continue
+            if not pending.future.set_running_or_notify_cancel():
+                self.metrics.cancelled.inc()
+                pending = self._promote_follower(pending.key)
+                continue
+            return pending
+        return None
 
     # -- the coalescer thread ----------------------------------------------
 
@@ -447,24 +715,51 @@ class PricingService:
                 except queue.Empty:
                     break
             closing = False
+            drains: "list[_DrainToken]" = []
             for item in items:
                 if item is _CLOSE:
                     closing = True
+                    continue
+                if isinstance(item, _DrainToken):
+                    drains.append(item)
+                    continue
+                now = time.monotonic()
+                # In-queue expiry/cancellation is settled here, before
+                # the entry costs a bucket slot or any engine work;
+                # promoted followers are re-checked the same way.
+                while item is not None:
+                    if item.future.cancelled():
+                        self.metrics.cancelled.inc()
+                        item = self._promote_follower(item.key)
+                    elif (item.deadline is not None
+                            and item.deadline <= now):
+                        self._expire(item, "in the admission queue")
+                        item = self._promote_follower(item.key)
+                    else:
+                        break
+                if item is None:
                     continue
                 bkey = item.request.batch_key
                 bucket = buckets.get(bkey)
                 if bucket is None:
                     bucket = buckets[bkey] = _Bucket(
-                        deadline=time.monotonic() + self._max_wait_s)
+                        deadline=now + self._max_wait_s)
                 bucket.entries.append(item)
                 bucket.n_options += len(item.request)
+                if item.deadline is not None:
+                    # A tight deadline pulls the whole bucket forward:
+                    # flushing early beats failing the request.
+                    bucket.deadline = min(bucket.deadline, item.deadline)
                 if bucket.n_options >= self.config.max_batch:
                     del buckets[bkey]
                     self._flush(bucket, "full")
             self.metrics.queue_depth.set(float(self._queue.qsize()))
-            if closing:
+            if closing or drains:
                 for bkey in list(buckets):
                     self._flush(buckets.pop(bkey), "drain")
+                for token in drains:
+                    token.done.set()
+            if closing:
                 return
             now = time.monotonic()
             for bkey in [k for k, b in buckets.items() if b.deadline <= now]:
@@ -493,9 +788,13 @@ class PricingService:
             strict=False, backend=first.backend,
             bump_vol=first.bump_vol, bump_rate=first.bump_rate)
 
+    @staticmethod
+    def _engine_key(request: PricingRequest) -> tuple:
+        return (request.kernel, request.precision, request.family.value,
+                request.backend)
+
     def _engine_for(self, request: PricingRequest) -> PricingEngine:
-        key = (request.kernel, request.precision, request.family.value,
-               request.backend)
+        key = self._engine_key(request)
         engine = self._engines.get(key)
         if engine is None:
             config = self._engine_config
@@ -513,9 +812,25 @@ class PricingService:
         return engine
 
     def _flush(self, bucket: _Bucket, reason: str) -> None:
-        entries = bucket.entries
-        merged = self._merge(entries)
         flush_start = time.monotonic()
+        # Claim every entry up front: in-bucket expiry and caller-side
+        # cancellation settle here (promoting in-flight followers), and
+        # a claimed future can no longer be cancelled mid-flush.
+        entries: "list[_Pending]" = []
+        for pending in bucket.entries:
+            claimed = self._claim(pending, flush_start,
+                                  "in a coalescing bucket")
+            if claimed is not None:
+                entries.append(claimed)
+        if not entries:
+            return
+        merged = self._merge(entries)
+        # The tightest live deadline bounds how long any chunk of this
+        # flush may hang (engine-side chunk timeout).
+        deadline_s = None
+        budgets = [p.deadline for p in entries if p.deadline is not None]
+        if budgets:
+            deadline_s = max(min(budgets) - flush_start, 1e-3)
         span = self._tracer.start_span(
             f"service.flush[{merged.task}:{merged.kernel}]", "flush",
             reason=reason, requests=len(entries), options=len(merged))
@@ -524,20 +839,37 @@ class PricingService:
         self.metrics.flush_options.observe(float(len(merged)))
         try:
             engine = self._engine_for(merged)
+            if self._chaos is not None:
+                self._chaos.on_flush()
             execute = span.child("execute", "engine", options=len(merged))
             try:
-                result = run_request(engine, merged)
+                result = run_request(engine, merged, deadline_s=deadline_s)
             finally:
                 execute.end()
-        except Exception:
+        except Exception as exc:
             # A flush-level failure (not per-option quarantine — the
             # engine turns those into records) must not take out every
             # coalesced neighbour: re-run each request on its own so
             # only the guilty one carries the error.
-            span.annotate("flush failed; re-running requests individually")
+            span.annotate("flush failed; re-running requests individually",
+                          error=type(exc).__name__)
+            self._note_flush(failed=True)
+            if isinstance(exc, EngineError):
+                # The engine itself raised (closed, wedged, backend
+                # gone) — a per-request re-run on the same engine
+                # would fail the same way; let the supervisor swap it.
+                self._supervise(merged, f"flush-level {type(exc).__name__}")
             self._flush_individually(entries, flush_start, span)
             span.end()
             return
+        stats = result.stats
+        degraded = bool(stats is not None and (stats.degraded_to_serial
+                                               or stats.pool_rebuilds))
+        self._note_flush(failed=False, degraded=degraded)
+        wedged = self._chaos is not None and self._chaos.wedge_engine()
+        if degraded or wedged:
+            self._supervise(merged, "chaos-injected wedge" if wedged
+                            else "engine degraded to serial")
         scatter = span.child("scatter", "scatter", requests=len(entries))
         lo = 0
         for pending in entries:
@@ -547,6 +879,44 @@ class PricingService:
             lo = hi
         scatter.end()
         span.end()
+
+    def _note_flush(self, *, failed: bool, degraded: bool = False) -> None:
+        self._health.record_flush(failed=failed, degraded=degraded)
+        self._sync_health()
+
+    def _sync_health(self) -> None:
+        """Mirror the health monitor into the service metrics."""
+        transitions = self._health.transitions
+        delta = transitions - self._health_transitions_seen
+        if delta > 0:
+            self.metrics.health_transitions.inc(float(delta))
+            self._health_transitions_seen = transitions
+        self.metrics.health_state.set(
+            float(HEALTH_STATE_LEVEL[self._health.state]))
+
+    def _supervise(self, request: PricingRequest, reason: str) -> None:
+        """Replace the engine behind ``request`` if the budget allows.
+
+        The monitor meters restarts (bounded per engine key, with
+        exponential backoff); an exhausted budget pins the service
+        ``UNHEALTHY`` and the wedged engine is kept — thrashing
+        rebuilds is worse than honest unreadiness.  The next flush
+        needing the engine rebuilds it lazily via ``_engine_for``.
+        """
+        key = self._engine_key(request)
+        decision = self._health.request_restart(key)
+        self._sync_health()
+        if not decision.allowed:
+            return
+        engine = self._engines.pop(key, None)
+        if engine is not None:
+            engine.close()
+        self.metrics.engine_restarts.inc()
+        self._tracer.start_span(
+            "service.engine_restart", "supervisor", reason=reason,
+            backend=key[3], backoff_s=decision.backoff_s).end()
+        if decision.backoff_s > 0:
+            time.sleep(decision.backoff_s)
 
     def _slice_result(self, pending: _Pending, result, lo: int, hi: int,
                       batch_options: int, flush_start: float) -> ServiceResult:
@@ -568,9 +938,12 @@ class PricingService:
                             flush_start: float, span) -> None:
         for pending in entries:
             single = replace(pending.request, strict=False)
+            deadline_s = None
+            if pending.deadline is not None:
+                deadline_s = max(pending.deadline - time.monotonic(), 1e-3)
             try:
                 engine = self._engine_for(single)
-                result = run_request(engine, single)
+                result = run_request(engine, single, deadline_s=deadline_s)
             except Exception as exc:  # noqa: BLE001 - scoped to this request
                 self._fail(pending, exc)
                 continue
@@ -583,11 +956,45 @@ class PricingService:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def ready(self) -> bool:
+        """Readiness probe: open and not ``UNHEALTHY``.
+
+        The shape a load balancer wants — ``DEGRADED`` still serves
+        (prefer other replicas), ``UNHEALTHY`` or closed does not.
+        """
+        return (not self._closed
+                and self._health.state is not HealthState.UNHEALTHY)
+
+    def health(self) -> HealthReport:
+        """Point-in-time health report (state, reason, counters)."""
+        return self._health.report()
+
+    def drain(self, timeout_s: "float | None" = None) -> bool:
+        """Quiesce: flush everything admitted so far, bounded in time.
+
+        Blocks until the coalescer has bucketed and flushed every
+        request admitted before the call (later submits may ride
+        along), or ``timeout_s`` elapsed — ``True`` when fully
+        drained, ``False`` on timeout with work still in flight.  The
+        service stays open either way; ``drain()`` then :meth:`close`
+        is the graceful-shutdown sequence, and a ``False`` return is
+        the signal to escalate (close anyway, or wait longer).
+        Idempotent and safe from any thread; a closed service is
+        already drained.
+        """
+        if self._closed or not self._thread.is_alive():
+            return True
+        token = _DrainToken()
+        self._queue.put_control(token)
+        return token.done.wait(timeout_s)
+
     def stats(self) -> ServiceStats:
         """A live snapshot (the final one is returned by :meth:`close`)."""
         if self._final_stats is not None:
             return self._final_stats
-        return ServiceStats.from_metrics(self.metrics)
+        return ServiceStats.from_metrics(self.metrics,
+                                         health=self._health.state.value)
 
     def close(self) -> ServiceStats:
         """Drain, flush, shut down; returns the final stats snapshot.
@@ -604,7 +1011,7 @@ class PricingService:
                     return self._final_stats
             self._closed = True
         if self._thread.is_alive():
-            self._queue.put(_CLOSE)
+            self._queue.put_control(_CLOSE)
             self._thread.join()
         # Reject anything that raced past the closed check after the
         # sentinel (the coalescer has exited and will never see it).
@@ -613,13 +1020,16 @@ class PricingService:
                 item = self._queue.get_nowait()
             except queue.Empty:
                 break
-            if item is not _CLOSE:
+            if isinstance(item, _DrainToken):
+                item.done.set()  # drained-by-close: nothing is queued
+            elif item is not _CLOSE:
                 self._fail(item, ServiceError(
                     "this PricingService closed before the request ran"))
         for engine in self._engines.values():
             engine.close()
         if self._final_stats is None:
-            self._final_stats = ServiceStats.from_metrics(self.metrics)
+            self._final_stats = ServiceStats.from_metrics(
+                self.metrics, health=self._health.state.value)
             self.metrics.publish()
         return self._final_stats
 

@@ -50,7 +50,7 @@ class TestStdoutDocuments:
         assert code == 0
         captured = capsys.readouterr()
         document = json.loads(captured.out)
-        assert document["schema"] == "repro-service-bench/v1"
+        assert document["schema"] == "repro-service-bench/v2"
         assert document["config"]["backend"] == "numpy"
         assert document["results"][0]["runs"][0]["backend"] == "numpy"
         assert "coalesced" in captured.err

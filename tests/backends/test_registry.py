@@ -1,5 +1,7 @@
 """Backend selection: registry semantics, env override, config wiring."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -123,3 +125,84 @@ class TestRequestWiring:
         default = repro.price(batch, steps=STEPS, kernel="iv_b")
         assert pinned.stats.backend == "numpy"
         np.testing.assert_array_equal(pinned.prices, default.prices)
+
+
+class TestAutoFallbackHardening:
+    """Satellite: a broken cnative toolchain must degrade *loudly*.
+
+    ``auto`` has to land on NumPy when the compiler cannot produce a
+    library, emit one RuntimeWarning per process, and bump the
+    ``repro_backend_fallback_total`` counter — never raise, never
+    silently pretend the fast path existed.
+    """
+
+    @pytest.fixture()
+    def pristine_registry(self, monkeypatch, tmp_path):
+        """Sabotage-safe registry: no caches, no on-disk .so, no numba.
+
+        The compiled-library disk cache would mask a broken compiler
+        (a prior good build satisfies the lookup without ever running
+        ``cc``), so the cache root is pointed at an empty tmp dir; the
+        per-process instance/failure/warned caches are snapshotted and
+        restored so sabotage never leaks into other tests.
+        """
+        from repro.backends import registry
+
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        saved = (dict(registry._instances), dict(registry._failures),
+                 set(registry._fallbacks_warned))
+        registry._instances.clear()
+        registry._failures.clear()
+        registry._fallbacks_warned.clear()
+        yield registry
+        registry._instances.clear()
+        registry._failures.clear()
+        registry._fallbacks_warned.clear()
+        registry._instances.update(saved[0])
+        registry._failures.update(saved[1])
+        registry._fallbacks_warned.update(saved[2])
+
+    def test_sabotaged_compiler_falls_back_to_numpy_with_warning(
+            self, monkeypatch, pristine_registry):
+        from repro.obs.keys import BACKEND_FALLBACK_TOTAL
+        from repro.obs.metrics import get_registry
+
+        monkeypatch.setenv("REPRO_CC", "false")  # exits 1 on any input
+        before = get_registry().counter(BACKEND_FALLBACK_TOTAL).value(
+            backend="cnative")
+        with pytest.warns(RuntimeWarning, match="cnative.*unavailable"):
+            backend = resolve_backend("auto")
+        assert backend.name == "numpy"
+        after = get_registry().counter(BACKEND_FALLBACK_TOTAL).value(
+            backend="cnative")
+        assert after == before + 1
+
+    def test_fallback_warns_once_but_counts_every_resolution(
+            self, monkeypatch, pristine_registry):
+        from repro.obs.keys import BACKEND_FALLBACK_TOTAL
+        from repro.obs.metrics import get_registry
+
+        monkeypatch.setenv("REPRO_CC", "false")
+        before = get_registry().counter(BACKEND_FALLBACK_TOTAL).value(
+            backend="cnative")
+        with pytest.warns(RuntimeWarning):
+            resolve_backend("auto")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            resolve_backend("auto")
+        after = get_registry().counter(BACKEND_FALLBACK_TOTAL).value(
+            backend="cnative")
+        assert after == before + 2
+
+    def test_nonexistent_compiler_path_is_wrapped_not_raised(
+            self, monkeypatch, pristine_registry):
+        # an OSError from subprocess (missing binary) must surface as
+        # BackendUnavailableError for the pinned path and as a clean
+        # numpy fallback for auto
+        monkeypatch.setenv("REPRO_CC", "/nonexistent/bin/cc-rot13")
+        with pytest.raises(BackendUnavailableError, match="could not run"):
+            get_backend("cnative")
+        pristine_registry._failures.clear()
+        with pytest.warns(RuntimeWarning):
+            assert resolve_backend("auto").name == "numpy"

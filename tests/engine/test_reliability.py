@@ -399,6 +399,75 @@ class TestRetryPolicy:
             EngineConfig(backoff_base_s=-0.1)
 
 
+class TestClampTimeout:
+    """Deadline propagation from the serving layer into chunk timeouts."""
+
+    def test_none_deadline_returns_self(self):
+        policy = RetryPolicy(chunk_timeout_s=5.0)
+        assert policy.clamp_timeout(None) is policy
+
+    def test_deadline_tightens_an_unbounded_policy(self):
+        policy = RetryPolicy(chunk_timeout_s=None)
+        assert policy.clamp_timeout(0.5).chunk_timeout_s == 0.5
+
+    def test_deadline_tightens_a_looser_timeout(self):
+        policy = RetryPolicy(chunk_timeout_s=5.0)
+        clamped = policy.clamp_timeout(0.25)
+        assert clamped.chunk_timeout_s == 0.25
+        # everything else carries over
+        assert clamped.max_retries == policy.max_retries
+        assert clamped.backoff_base_s == policy.backoff_base_s
+
+    def test_already_tighter_timeout_wins(self):
+        policy = RetryPolicy(chunk_timeout_s=0.1)
+        assert policy.clamp_timeout(5.0) is policy
+
+    def test_expired_deadline_floors_at_one_millisecond(self):
+        policy = RetryPolicy(chunk_timeout_s=None)
+        assert policy.clamp_timeout(-3.0).chunk_timeout_s == 1e-3
+        assert policy.clamp_timeout(0.0).chunk_timeout_s == 1e-3
+
+    def test_engine_run_applies_the_deadline_per_run(self, batch, expected):
+        # deadline_s is a per-run view: one run with a deadline must not
+        # leave the clamp behind for the next deadline-less run
+        engine = PricingEngine(config=EngineConfig(workers=2,
+                                                   chunk_options=8,
+                                                   **NO_BACKOFF))
+        try:
+            bounded = engine.run(batch, STEPS, deadline_s=30.0)
+            assert engine._active_policy.chunk_timeout_s == 30.0
+            np.testing.assert_array_equal(bounded.prices, expected)
+            unbounded = engine.run(batch, STEPS)
+            assert (engine._active_policy.chunk_timeout_s
+                    == engine._policy.chunk_timeout_s)
+            np.testing.assert_array_equal(unbounded.prices, expected)
+        finally:
+            engine.close()
+
+    def test_hung_chunk_times_out_against_the_deadline(self, batch):
+        # the config carries NO chunk_timeout_s: the only bound on this
+        # 30s hang is the per-run deadline.  The wedged chunk must be
+        # cut off at ~0.2s (counted as a timeout, pool rebuilt) and the
+        # retry then heals it — the deadline never holds a flush
+        # hostage.  Note chunk_options < len(batch): a single-chunk run
+        # takes the serial path, which cannot preempt itself.
+        plan = FaultPlan.single(0, FaultKind.HANG, attempts=1,
+                                hang_s=30.0, seed=SEED)
+        engine = PricingEngine(
+            config=EngineConfig(workers=2, chunk_options=8,
+                                max_retries=2, backoff_base_s=0.0),
+            faults=plan)
+        try:
+            started = time.monotonic()
+            result = engine.run(batch, STEPS, deadline_s=0.2)
+            wall = time.monotonic() - started
+        finally:
+            engine.close()
+        assert result.stats.timeouts == 1
+        assert result.failures == ()  # the retry healed the hung chunk
+        assert wall < 10.0, f"deadline did not bound the hang ({wall:.1f}s)"
+
+
 class TestCloseDuringFlight:
     """Regression: close() used to block on in-flight chunks and leak
     the worker processes behind them."""

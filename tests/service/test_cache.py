@@ -133,3 +133,111 @@ class TestResultCache:
         greeks = tuple(CacheEntry.freeze(np.ones(2)) for _ in range(5))
         assert CacheEntry(prices=prices).nbytes == 16
         assert CacheEntry(prices=prices, greeks=greeks).nbytes == 96
+
+
+class TestVerification:
+    @staticmethod
+    def _flip_bit(entry):
+        prices = entry.prices
+        prices.setflags(write=True)
+        try:
+            prices.view(np.uint64)[0] ^= np.uint64(1)
+        finally:
+            prices.setflags(write=False)
+
+    def test_corrupted_hit_is_discarded_and_counted(self):
+        cache = ResultCache(1024, verify=True)
+        entry = _entry()
+        cache.put("k", entry)
+        self._flip_bit(entry)
+        assert cache.get("k") is None
+        assert cache.corruptions_detected == 1
+        assert len(cache) == 0 and cache.bytes_used == 0
+
+    def test_clean_hit_survives_verification(self):
+        cache = ResultCache(1024, verify=True)
+        entry = _entry()
+        cache.put("k", entry)
+        assert cache.get("k") is entry
+        assert cache.corruptions_detected == 0
+
+    def test_verification_off_serves_corrupted_bytes(self):
+        # the contrast case: without verify the cache cannot tell
+        cache = ResultCache(1024, verify=False)
+        entry = _entry()
+        cache.put("k", entry)
+        self._flip_bit(entry)
+        assert cache.get("k") is entry
+
+    def test_greeks_columns_are_checksummed_too(self):
+        greeks = tuple(CacheEntry.freeze(np.ones(1)) for _ in range(5))
+        entry = CacheEntry(prices=CacheEntry.freeze(np.ones(1)),
+                           greeks=greeks)
+        cache = ResultCache(1024, verify=True)
+        cache.put("k", entry)
+        column = entry.greeks[3]
+        column.setflags(write=True)
+        try:
+            column[0] = 7.0
+        finally:
+            column.setflags(write=False)
+        assert cache.get("k") is None
+        assert cache.corruptions_detected == 1
+
+    def test_eviction_drops_the_digest(self):
+        cache = ResultCache(8, verify=True)
+        cache.put("a", _entry())
+        cache.put("b", _entry())  # evicts a
+        assert cache.get("a") is None
+        assert cache._digests.keys() == {"b"}
+
+
+class TestThreadedStress:
+    def test_concurrent_churn_at_tiny_budget(self):
+        """Satellite stress: get/put/clear churn must not corrupt state.
+
+        A tiny budget forces constant eviction while readers race
+        writers; afterwards the cache must be exactly consistent —
+        byte accounting matches the surviving entries, residency never
+        exceeded the budget, and every hit returned a valid entry.
+        """
+        import threading
+
+        budget = 64  # eight one-float entries
+        cache = ResultCache(budget, verify=True)
+        keys = [f"key-{i}" for i in range(32)]
+        errors = []
+        start = threading.Barrier(8)
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            start.wait()
+            try:
+                for step in range(400):
+                    key = keys[int(rng.integers(len(keys)))]
+                    action = step % 4
+                    if action == 0:
+                        cache.put(key, _entry(value=float(seed)))
+                    elif action == 3 and step % 100 == 99:
+                        cache.clear()
+                    else:
+                        hit = cache.get(key)
+                        if hit is not None:
+                            assert hit.prices.shape == (1,)
+                    assert cache.bytes_used <= budget
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(seed,))
+                   for seed in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # final accounting is exact, not merely bounded
+        assert cache.bytes_used == sum(
+            entry.nbytes for entry in cache._entries.values())
+        assert cache.bytes_used <= budget
+        assert set(cache._digests) <= set(cache._entries)
+        assert cache.corruptions_detected == 0

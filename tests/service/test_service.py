@@ -289,7 +289,7 @@ class TestLifecycle:
             stats = service.close()
         snapshot = stats.as_dict()
         assert tuple(snapshot) == obs_keys.SERVICE_STATS_KEYS
-        assert obs_keys.SERVICE_STATS_SCHEMA == "repro-service-stats/v3"
+        assert obs_keys.SERVICE_STATS_SCHEMA == "repro-service-stats/v5"
         assert snapshot["requests"] == 1 and snapshot["options"] == len(batch)
         assert "requests=1" in stats.describe()
 

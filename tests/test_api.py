@@ -211,10 +211,20 @@ class TestPricingRequest:
         {"task": "greeks", "bump_vol": 0.0},
         {"kernel": "iv_b", "family": "jarrow-rudd"},
         {"family": "nope"},
+        {"deadline_ms": 0.0},
+        {"deadline_ms": -5.0},
+        {"priority": "urgent"},
     ])
     def test_validation(self, batch, overrides):
         with pytest.raises(ReproError):
             self._request(batch, **overrides)
+
+    def test_delivery_knobs_stay_out_of_batch_key(self, batch):
+        # deadline and priority shape delivery, never the numbers —
+        # requests differing only there must coalesce together
+        plain = self._request(batch)
+        urgent = self._request(batch, deadline_ms=250.0, priority="high")
+        assert plain.batch_key == urgent.batch_key
 
     def test_run_request_matches_price(self, batch):
         from repro.api import run_request
@@ -293,3 +303,37 @@ class TestSharedEngines:
         with PricingEngine(kernel="iv_b") as engine:
             with pytest.raises(ReproError):
                 price(batch, steps=STEPS, engine=engine, workers=2)
+
+    def test_close_shared_engines_is_registered_atexit(self):
+        # a fresh interpreter, so the import-time registration is
+        # observable without reloading repro.api in this process
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "import atexit\n"
+            "names = []\n"
+            "real = atexit.register\n"
+            "def spy(fn, *args, **kwargs):\n"
+            "    names.append(getattr(fn, '__name__', '?'))\n"
+            "    return real(fn, *args, **kwargs)\n"
+            "atexit.register = spy\n"
+            "import repro.api\n"
+            "assert 'close_shared_engines' in names, names\n"
+        )
+        proc = subprocess.run([sys.executable, "-c", code],
+                              env=dict(os.environ), capture_output=True,
+                              text=True)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_manual_close_is_idempotent_with_atexit(self, batch):
+        from repro.api import _shared_engines, close_shared_engines
+
+        close_shared_engines()
+        price(batch, steps=STEPS, kernel="iv_b")
+        assert close_shared_engines() == 1
+        # the second (atexit-time) invocation finds nothing and is a
+        # clean no-op — double shutdown must never raise
+        assert close_shared_engines() == 0
+        assert not _shared_engines

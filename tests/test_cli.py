@@ -210,12 +210,15 @@ class TestCommands:
         assert "coalesced" in out and "cache" in out
         assert "fault seed 101" in out
         document = json.loads(out_path.read_text())
-        assert document["schema"] == "repro-service-bench/v1"
-        assert document["stats_schema"] == "repro-service-stats/v3"
+        assert document["schema"] == "repro-service-bench/v2"
+        assert document["stats_schema"] == "repro-service-stats/v5"
         entry = document["results"][0]
         assert entry["parity"]["bit_identical_to_direct"] is True
+        assert entry["overload"]["loss_threshold"] == 0.01
+        assert entry["overload"]["levels"]
         run = entry["runs"][0]
         assert run["cache_speedup"] > 1.0
+        assert run["latency"]["p99_ms"] >= run["latency"]["p50_ms"] > 0.0
         assert run["service"]["requests"] == 32 + 2  # batch cold + hit
 
     def test_serve_bench_regression_gate(self, capsys, tmp_path):
