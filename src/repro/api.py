@@ -1,12 +1,13 @@
 """`repro.api` — the one front door for pricing option batches.
 
 The library grew three pricing entry points with three calling
-conventions: the software reference
-(:func:`repro.finance.binomial.price_binomial_batch`), the modeled
-accelerators (:meth:`repro.core.accelerator.BinomialAccelerator.price_batch`)
-and the host engine (:meth:`repro.engine.PricingEngine.price`).
-:func:`price` routes one keyword-only signature to all of them and
-returns one result shape, :class:`PriceResult`.
+conventions: the software reference (``price_binomial_batch``), the
+modeled accelerators (``BinomialAccelerator.price_batch``) and the
+host engine (:meth:`repro.engine.PricingEngine.price`).  :func:`price`
+routes one keyword-only signature to all of them and returns one
+result shape, :class:`PriceResult`.  The two historical batch entry
+points were removed in repro 2.0 — only raising migration stubs
+remain; the table below is the map.
 
 Every pricing call — the :func:`price`/:func:`greeks` façade, the
 in-process :class:`repro.service.PricingService`, the CLI benches —
@@ -73,7 +74,8 @@ from __future__ import annotations
 
 import atexit
 import threading
-from dataclasses import dataclass, field, replace as dc_replace
+from dataclasses import (dataclass, field, fields as dc_fields,
+                         replace as dc_replace)
 from typing import Optional, Sequence
 
 import numpy as np
@@ -97,6 +99,8 @@ __all__ = [
     "PriceResult",
     "PricingRequest",
     "ServiceResult",
+    "WIRE_REQUEST_SCHEMA",
+    "WIRE_RESULT_SCHEMA",
     "close_shared_engines",
     "greeks",
     "price",
@@ -104,6 +108,65 @@ __all__ = [
 ]
 
 _DEVICES = ("fpga", "gpu", "cpu")
+
+#: Version tags of the wire forms produced by
+#: :meth:`PricingRequest.to_dict` and :meth:`BatchResult.to_dict` —
+#: the serving tier's network protocol and the contract external
+#: clients code against (documented in ``docs/wire_schema.md``).
+#: Float fields travel as :meth:`float.hex` strings so a request or
+#: result crossing the wire round-trips *bitwise*, never through a
+#: decimal representation.
+WIRE_REQUEST_SCHEMA = "repro-request/v1"
+WIRE_RESULT_SCHEMA = "repro-result/v1"
+
+
+def _hex(value: float) -> str:
+    return float(value).hex()
+
+
+def _unhex(value) -> float:
+    """Read a wire float: ``float.hex`` canonical, plain numbers tolerated.
+
+    ``to_dict`` always writes hex strings; hand-written clients may
+    send JSON numbers and lose only what decimal text loses.
+    """
+    if isinstance(value, str):
+        return float.fromhex(value)
+    return float(value)
+
+
+_OPTION_FLOAT_FIELDS = ("spot", "strike", "rate", "volatility",
+                        "maturity", "dividend_yield")
+
+
+def _option_to_dict(option: Option) -> dict:
+    data = {name: _hex(getattr(option, name))
+            for name in _OPTION_FLOAT_FIELDS}
+    data["option_type"] = option.option_type.value
+    data["exercise"] = option.exercise.value
+    return data
+
+
+def _option_from_dict(data: dict) -> Option:
+    try:
+        return Option(
+            option_type=data["option_type"], exercise=data["exercise"],
+            **{name: _unhex(data[name]) for name in _OPTION_FLOAT_FIELDS})
+    except KeyError as exc:
+        raise ReproError(
+            f"wire option is missing field {exc.args[0]!r}") from None
+
+
+def _array_to_hex(array: "np.ndarray | None") -> "list[str] | None":
+    if array is None:
+        return None
+    return [_hex(value) for value in np.asarray(array, dtype=np.float64)]
+
+
+def _array_from_hex(values) -> "np.ndarray | None":
+    if values is None:
+        return None
+    return np.array([_unhex(value) for value in values], dtype=np.float64)
 
 #: Tasks a request may carry.  Narrower than the scheduler's
 #: :data:`~repro.engine.scheduler.TASKS`: ``"greeks_fused"`` is an
@@ -295,6 +358,83 @@ class PricingRequest:
             key += (float(self.bump_vol), float(self.bump_rate))
         return key
 
+    # -- wire form (the serving tier's request protocol) ----------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready wire form, tagged :data:`WIRE_REQUEST_SCHEMA`.
+
+        Floats travel as :meth:`float.hex` strings so
+        ``PricingRequest.from_dict(request.to_dict())`` rebuilds a
+        request that prices *bitwise identically* — the property the
+        shard-parity acceptance test rides on.
+        """
+        return {
+            "schema": WIRE_REQUEST_SCHEMA,
+            "options": [_option_to_dict(option) for option in self.options],
+            "steps": (list(self.steps) if isinstance(self.steps, tuple)
+                      else int(self.steps)),
+            "kernel": self.kernel,
+            "precision": self.precision,
+            "family": self.family.value,
+            "task": self.task,
+            "strict": bool(self.strict),
+            "workers": None if self.workers is None else int(self.workers),
+            "backend": self.backend,
+            "bump_vol": _hex(self.bump_vol),
+            "bump_rate": _hex(self.bump_rate),
+            "deadline_ms": (None if self.deadline_ms is None
+                            else _hex(self.deadline_ms)),
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PricingRequest":
+        """Rebuild a request from its wire form (server side).
+
+        Validates the schema tag, then funnels everything through the
+        normal constructor — a request that deserialises is a request
+        the engine will accept, exactly like a locally built one.
+        Malformed payloads raise :class:`~repro.errors.ReproError`
+        (wire code ``bad_request``).
+        """
+        if not isinstance(data, dict):
+            raise ReproError(
+                f"wire request must be a JSON object, got "
+                f"{type(data).__name__}")
+        schema = data.get("schema")
+        if schema != WIRE_REQUEST_SCHEMA:
+            raise ReproError(
+                f"unsupported request schema {schema!r} "
+                f"(this server speaks {WIRE_REQUEST_SCHEMA!r})")
+        options_data = data.get("options")
+        if not isinstance(options_data, (list, tuple)):
+            raise ReproError("wire request needs an 'options' list")
+        steps = data.get("steps", 1024)
+        try:
+            return cls(
+                options=tuple(_option_from_dict(entry)
+                              for entry in options_data),
+                steps=(tuple(int(s) for s in steps)
+                       if isinstance(steps, (list, tuple)) else int(steps)),
+                kernel=str(data.get("kernel", "reference")),
+                precision=str(data.get("precision", Precision.DOUBLE)),
+                family=data.get("family", LatticeFamily.CRR),
+                task=str(data.get("task", "price")),
+                strict=bool(data.get("strict", True)),
+                workers=(None if data.get("workers") is None
+                         else int(data["workers"])),
+                backend=str(data.get("backend", "auto")),
+                bump_vol=_unhex(data.get("bump_vol", 1e-3)),
+                bump_rate=_unhex(data.get("bump_rate", 1e-4)),
+                deadline_ms=(None if data.get("deadline_ms") is None
+                             else _unhex(data["deadline_ms"])),
+                priority=str(data.get("priority", "normal")),
+            )
+        except ReproError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ReproError(f"malformed wire request: {exc}") from None
+
 
 # ---------------------------------------------------------------------------
 # the unified result shapes
@@ -330,6 +470,93 @@ class BatchResult:
         if modeled is not None:
             return modeled.options_per_second
         return None
+
+    # -- wire form (the serving tier's result protocol) -----------------
+
+    #: Payload columns serialised as ``float.hex`` lists when present.
+    _WIRE_COLUMNS = ("prices", "delta", "gamma", "theta", "vega", "rho")
+
+    def to_dict(self) -> dict:
+        """JSON-ready wire form, tagged :data:`WIRE_RESULT_SCHEMA`.
+
+        Handles every subclass via a ``type`` discriminator.  Payload
+        columns travel as :meth:`float.hex` lists (bitwise-lossless);
+        ``stats`` travels as :meth:`EngineStats.as_dict` (informational
+        numbers, not part of the parity contract); ``failures`` as
+        :meth:`FailureRecord.as_dict` with request-local indices
+        intact.  :attr:`PriceResult.modeled` is *not* serialised — the
+        accelerator-model route is local-only and the serving tier
+        never produces it.
+        """
+        data: dict = {
+            "schema": WIRE_RESULT_SCHEMA,
+            "type": type(self).__name__,
+            "route": self.route,
+            "stats": None if self.stats is None else self.stats.as_dict(),
+            "failures": [record.as_dict() for record in self.failures],
+        }
+        for column in self._WIRE_COLUMNS:
+            value = getattr(self, column, None)
+            if value is not None:
+                data[column] = _array_to_hex(value)
+        if isinstance(self, ServiceResult):
+            data["cache_hit"] = bool(self.cache_hit)
+            data["batch_options"] = int(self.batch_options)
+            data["wait_s"] = _hex(self.wait_s)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchResult":
+        """Rebuild a result from its wire form (client side).
+
+        Dispatches on the ``type`` discriminator to the matching
+        subclass; arrays come back float64 and bitwise-equal to what
+        the server serialised.  ``stats`` is rebuilt as an
+        :class:`EngineStats` (derived rates recompute from the real
+        fields); ``failures`` as :class:`FailureRecord` entries whose
+        ``exception`` slot is empty — strict remote callers re-raise a
+        typed reconstruction via :func:`repro.errors.error_from_wire`.
+        """
+        if not isinstance(data, dict):
+            raise ReproError(
+                f"wire result must be a JSON object, got "
+                f"{type(data).__name__}")
+        schema = data.get("schema")
+        if schema != WIRE_RESULT_SCHEMA:
+            raise ReproError(
+                f"unsupported result schema {schema!r} "
+                f"(this client speaks {WIRE_RESULT_SCHEMA!r})")
+        type_name = data.get("type")
+        klass = _WIRE_RESULT_TYPES.get(type_name)
+        if klass is None:
+            raise ReproError(
+                f"unknown wire result type {type_name!r} "
+                f"(expected one of {sorted(_WIRE_RESULT_TYPES)})")
+        stats_data = data.get("stats")
+        stats = None
+        if stats_data is not None:
+            known = {f.name for f in dc_fields(EngineStats)}
+            stats = EngineStats(**{key: value
+                                   for key, value in stats_data.items()
+                                   if key in known})
+        kwargs: dict = {
+            "route": str(data.get("route", "engine")),
+            "stats": stats,
+            "failures": tuple(FailureRecord.from_dict(entry)
+                              for entry in data.get("failures", ())),
+        }
+        column_fields = {f.name for f in dc_fields(klass)}
+        for column in cls._WIRE_COLUMNS:
+            if column in data and column in column_fields:
+                kwargs[column] = _array_from_hex(data[column])
+        if issubclass(klass, ServiceResult):
+            kwargs["cache_hit"] = bool(data.get("cache_hit", False))
+            kwargs["batch_options"] = int(data.get("batch_options", 0))
+            kwargs["wait_s"] = _unhex(data.get("wait_s", 0.0))
+        try:
+            return klass(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise ReproError(f"malformed wire result: {exc}") from None
 
 
 @dataclass(frozen=True)
@@ -394,6 +621,15 @@ class ServiceResult(BatchResult):
     cache_hit: bool = False
     batch_options: int = 0
     wait_s: float = 0.0
+
+
+#: ``type`` discriminator -> result class for the wire protocol.
+_WIRE_RESULT_TYPES = {
+    "BatchResult": BatchResult,
+    "PriceResult": PriceResult,
+    "GreeksResult": GreeksResult,
+    "ServiceResult": ServiceResult,
+}
 
 
 # ---------------------------------------------------------------------------

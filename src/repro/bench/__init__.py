@@ -47,6 +47,12 @@ from .methodology import (
 )
 from .figures import ascii_plot
 from .report import REPORT_SECTIONS, ReportSection, generate_report
+from .service_bench import (
+    SERVE_BENCH_SCHEMA,
+    SERVICE_BENCH_SCHEMA,
+    run_serve_benchmark,
+    run_service_benchmark,
+)
 from .tables import format_ratio, render_comparison, render_table
 
 __all__ = [
@@ -89,4 +95,8 @@ __all__ = [
     "GREEKS_BENCH_SCHEMA",
     "baseline_scalar_greeks",
     "run_greeks_benchmark",
+    "SERVE_BENCH_SCHEMA",
+    "SERVICE_BENCH_SCHEMA",
+    "run_serve_benchmark",
+    "run_service_benchmark",
 ]

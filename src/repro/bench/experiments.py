@@ -476,7 +476,8 @@ def volatility_curve_usecase(
                                       steps=steps)
 
     def engine(option):
-        return float(accelerator._price_batch_impl([option]).prices[0])
+        return float(price([option], steps=steps,
+                           device=accelerator).prices[0])
 
     points = implied_vol_curve(scenario.base_option, scenario.strikes,
                                scenario.market_prices, price_fn=engine,

@@ -106,7 +106,8 @@ class Solution:
         estimate = accelerator.performance()
         return cls(
             name=name or accelerator.describe(),
-            price_fn=lambda options, steps: accelerator._price_batch_impl(options).prices,
+            price_fn=lambda options, steps: price(
+                options, steps=steps, device=accelerator).prices,
             options_per_second=estimate.options_per_second,
             power_w=estimate.power_w,
         )

@@ -143,13 +143,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser(
         "serve-bench",
         help="closed-loop load benchmark of the pricing service "
-             "(writes BENCH_service.json)")
+             "(writes BENCH_service.json; --shards switches to the "
+             "sharded network tier and writes BENCH_serve.json)")
     p_serve.add_argument("--options", type=int, nargs="+", default=[1024],
                          help="batch sizes to measure (default: 1024)")
     p_serve.add_argument("--steps", type=int, default=512,
                          help="tree depth N (default 512)")
     p_serve.add_argument("--clients", type=int, default=64,
                          help="closed-loop client threads (default 64)")
+    p_serve.add_argument("--shards", type=int, nargs="+", default=None,
+                         metavar="N",
+                         help="network mode: boot a PricingServer per "
+                              "shard count and measure aggregate HTTP "
+                              "throughput, routed-parity and the "
+                              "saturation ramp (e.g. --shards 1 2)")
+    p_serve.add_argument("--requests", type=int, default=64,
+                         help="network mode: cache-cold requests per "
+                              "measured run (default 64)")
+    p_serve.add_argument("--options-per-request", type=int, default=8,
+                         help="network mode: options per request "
+                              "(default 8)")
     p_serve.add_argument("--max-batch", type=int, default=None,
                          help="service flush threshold in options "
                               "(default: --clients)")
@@ -181,6 +194,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--metrics-out", default=None, metavar="PROM",
                          help="write the process-wide metrics registry in "
                               "Prometheus text format here")
+
+    p_run = sub.add_parser(
+        "serve",
+        help="run the sharded pricing server (HTTP/JSON wire API "
+             "repro-serve/v1 on localhost; Ctrl-C to stop)")
+    p_run.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    p_run.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0 = pick a free one and "
+                            "print it)")
+    p_run.add_argument("--shards", type=int, default=2,
+                       help="shard worker processes (default 2)")
+    p_run.add_argument("--max-batch", type=int, default=256,
+                       help="per-shard coalescing flush threshold "
+                            "(default 256)")
+    p_run.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="per-shard coalescing deadline (default 2.0)")
+    p_run.add_argument("--fault-seed", type=int, default=None,
+                       help="inject FaultPlan.random(seed) transient "
+                            "faults into every shard engine (testing)")
 
     p_obs = sub.add_parser(
         "obs",
@@ -220,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_price(args) -> str:
+    from .api import price
     from .core import BinomialAccelerator
     from .finance import ExerciseStyle, Option, OptionType, price_binomial
 
@@ -232,7 +266,7 @@ def _run_price(args) -> str:
     kernel = "reference" if args.platform == "cpu" else "iv_b"
     accelerator = BinomialAccelerator(platform=args.platform, kernel=kernel,
                                       steps=args.steps)
-    result = accelerator._price_batch_impl([option])
+    result = price([option], steps=args.steps, device=accelerator).modeled
     reference = price_binomial(option, args.steps).price
     lines = [
         f"configuration : {accelerator.describe()}",
@@ -412,12 +446,149 @@ def _run_bench_greeks(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    """``repro serve``: run the sharded server until interrupted."""
+    import signal
+    import threading
+
+    from .engine.faults import FaultPlan
+    from .serve import PricingServer, ServeConfig
+    from .service import ServiceConfig
+
+    faults = (FaultPlan.random(args.fault_seed, 64)
+              if args.fault_seed is not None else None)
+    config = ServeConfig(
+        host=args.host, port=args.port, shards=args.shards,
+        service=ServiceConfig(max_batch=args.max_batch,
+                              max_wait_ms=args.max_wait_ms,
+                              faults=faults),
+    )
+    server = PricingServer(config).start()
+    stop = threading.Event()
+
+    def _interrupt(_signum, _frame):
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _interrupt)
+    print(f"serving on http://{server.host}:{server.port} "
+          f"({args.shards} shards, wire schema repro-serve/v1)",
+          flush=True)
+    print("endpoints: POST /v1/price, GET /healthz, GET /stats "
+          "-- Ctrl-C to stop", flush=True)
+    try:
+        while not stop.wait(timeout=1.0):
+            pass
+    except KeyboardInterrupt:
+        pass
+    stats = server.stop()
+    print(f"served {stats.requests} requests "
+          f"({stats.options} options, {stats.errors} errors, "
+          f"{stats.shard_restarts} shard restarts)")
+    return 0
+
+
+def _run_serve_network_bench(args) -> int:
+    """``repro serve-bench --shards``: the sharded network tier."""
+    import json
+
+    from .bench.engine_bench import check_throughput_regression
+    from .bench.service_bench import run_serve_benchmark
+
+    if args.quick:
+        requests_total, per_request, steps, clients = 32, 8, 128, 8
+    else:
+        requests_total, per_request, steps, clients = (
+            args.requests, args.options_per_request, args.steps,
+            args.clients)
+    out = "BENCH_serve.json" if args.out == "BENCH_service.json" else args.out
+    _, echo = _bench_streams(out)
+
+    tracer = None
+    if args.trace_out:
+        from .obs import Tracer
+        tracer = Tracer()
+
+    document = run_serve_benchmark(
+        requests_total=requests_total, options_per_request=per_request,
+        steps=steps, shard_counts=tuple(args.shards), clients=clients,
+        fault_seed=args.fault_seed, backend=args.backend,
+        max_wait_ms=args.max_wait_ms, tracer=tracer,
+    )
+    path = _emit_document(document, out)
+
+    if tracer is not None:
+        from .obs.export import write_trace
+        trace_path = write_trace(tracer, args.trace_out)
+        echo(f"trace ({len(tracer.roots)} serve requests) -> {trace_path}")
+    if args.metrics_out:
+        from .obs import get_registry
+        from .obs.export import write_metrics
+        metrics_path = write_metrics(get_registry(), args.metrics_out)
+        echo(f"metrics -> {metrics_path}")
+
+    fault_note = (f", fault seed {args.fault_seed}"
+                  if args.fault_seed is not None else "")
+    echo(f"serve benchmark (network, backend {args.backend}, N={steps}, "
+         f"{requests_total} requests x {per_request} options, "
+         f"{clients} clients{fault_note}) -> {path}")
+    entry = document["results"][0]
+    for run in entry["runs"]:
+        serve = run["serve"]
+        transport = (f"{serve['shm_results']} shm / "
+                     f"{serve['pickle_results']} pickled results")
+        echo(f"  shards={run['workers']}: "
+             f"{run['options_per_second']:,.1f} options/s "
+             f"({run['requests_per_second']:,.1f} req/s, "
+             f"{run['speedup_vs_one_shard']:.2f}x one shard, "
+             f"{run['efficiency_vs_linear']:.0%} of linear, {transport})")
+        latency = run["latency"]
+        echo(f"    latency: p50 {latency['p50_ms']:.2f} ms, "
+             f"p99 {latency['p99_ms']:.2f} ms over "
+             f"{latency['count']} requests")
+    scaling = entry["scaling"]
+    if scaling["two_shard_speedup"] is not None:
+        state = "asserted" if scaling["asserted"] else \
+            "recorded only (single-CPU host)"
+        echo(f"  scaling: 2 shards = {scaling['two_shard_speedup']:.2f}x "
+             f"one shard ({state}, floor "
+             f"{scaling['min_two_shard_speedup']:.1f}x)")
+    saturation = entry["saturation"]
+    if saturation is not None:
+        point = saturation["saturation_offered_rps"]
+        if point is not None:
+            echo(f"  saturation: loss crosses "
+                 f"{saturation['loss_threshold']:.0%} at "
+                 f"~{point:,.0f} offered req/s")
+        else:
+            top = saturation["levels"][-1]
+            echo(f"  saturation: no loss up to "
+                 f"{top['offered_rps']:,.0f} offered req/s "
+                 f"(p99 {top['latency']['p99_ms']:.1f} ms)"
+                 if "latency" in top else
+                 f"  saturation: no loss up to "
+                 f"{top['offered_rps']:,.0f} offered req/s")
+
+    if args.check_against:
+        with open(args.check_against) as handle:
+            stored = json.load(handle)
+        failures = check_throughput_regression(document, stored)
+        for failure in failures:
+            echo(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        echo(f"no throughput regression vs {args.check_against}")
+    return 0
+
+
 def _run_serve_bench(args) -> int:
     import json
 
     from .bench.engine_bench import check_throughput_regression
     from .bench.service_bench import run_service_benchmark
 
+    if args.shards:
+        return _run_serve_network_bench(args)
     if args.quick:
         options_counts, steps, clients = [256], 256, 32
     else:
@@ -666,6 +837,8 @@ def _dispatch(args) -> int:
         return _run_bench_greeks(args)
     elif args.command == "serve-bench":
         return _run_serve_bench(args)
+    elif args.command == "serve":
+        return _run_serve(args)
     elif args.command == "obs":
         return _run_obs(args)
     elif args.command == "clsource":

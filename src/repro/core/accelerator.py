@@ -12,11 +12,12 @@ i.e. one Table II column) behind a single object that:
 
 Example::
 
+    import repro
     from repro import BinomialAccelerator, generate_batch
 
     acc = BinomialAccelerator(platform="fpga", kernel="iv_b")
     batch = generate_batch(n_options=2000)
-    result = acc.price_batch(batch.options)
+    result = repro.price(batch.options, steps=1024, device=acc).modeled
     print(result.options_per_second, result.energy_joules)
 """
 
@@ -198,20 +199,19 @@ class BinomialAccelerator:
         self.close()
 
     def price_batch(self, options: Sequence[Option]) -> AcceleratorResult:
-        """Deprecated direct entry point — use :func:`repro.api.price`.
+        """Removed in repro 2.0 — use :func:`repro.api.price`.
 
         ``repro.price(options, steps=..., device=accelerator)`` returns
         the same modeled result on the unified :class:`PriceResult`
-        shape.  This method will be removed in repro 2.0.
-        """
-        import warnings
+        shape (its ``modeled`` attribute is this method's old return
+        value).  This stub exists only to point stragglers there.
 
-        warnings.warn(
-            "BinomialAccelerator.price_batch is superseded by "
-            "repro.api.price(..., device=<accelerator>) and will be "
-            "removed in repro 2.0; see the migration table in repro.api",
-            DeprecationWarning, stacklevel=2)
-        return self._price_batch_impl(options)
+        :raises ReproError: always.
+        """
+        raise ReproError(
+            "BinomialAccelerator.price_batch was removed in repro 2.0; "
+            "use repro.price(options, steps=..., device=<accelerator>)"
+            ".modeled — see the migration table in repro.api")
 
     def _price_batch_impl(self, options: Sequence[Option]) -> AcceleratorResult:
         """Price a batch with this configuration's exact arithmetic.

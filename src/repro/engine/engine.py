@@ -345,8 +345,8 @@ class PricingEngine:
         Strict variant of :meth:`run`: any quarantined option re-raises
         the failure (with its original exception type) instead of
         returning NaN, so callers that predate the reliability layer —
-        ``price_binomial_batch``, ``BinomialAccelerator.price_batch``,
-        the implied-vol bracketing that probes for ``FinanceError`` —
+        the historical batch entry points (removed in repro 2.0), the
+        implied-vol bracketing that probes for ``FinanceError`` —
         keep their exception contract.  Use :meth:`run` for the
         fault-tolerant NaN-plus-:class:`FailureRecord` semantics.
 

@@ -69,6 +69,24 @@ class FailureRecord:
             "attempts": self.attempts,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailureRecord":
+        """Rebuild a record from :meth:`as_dict` output.
+
+        The wire form carries no live exception object, so strict
+        callers on the far side of a network boundary re-raise a
+        typed exception reconstructed from ``error`` (see
+        :func:`repro.errors.error_from_wire`) rather than the
+        original instance; ``index`` stays in the request-local space
+        the serialising side scoped it to.
+        """
+        return cls(
+            index=int(data["index"]),
+            error=str(data["error"]),
+            message=str(data["message"]),
+            attempts=int(data["attempts"]),
+        )
+
 
 @dataclass(frozen=True)
 class RetryPolicy:

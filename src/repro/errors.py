@@ -156,6 +156,17 @@ class ChaosInjectedError(ServiceError):
     """
 
 
+class ShardCrashError(ServiceError):
+    """A serving-tier shard died (or was wedged) while holding requests.
+
+    Raised on the futures of every request that was in flight on the
+    shard when its worker process exited, stopped answering health
+    pings, or was replaced by the supervisor.  The request itself may
+    have been perfectly valid — callers should retry against the
+    (restarted) server, exactly like any partial-outage error.
+    """
+
+
 class HLSError(ReproError):
     """Base class for HLS compiler-model errors."""
 
@@ -170,3 +181,83 @@ class CompileOptionError(HLSError):
 
 class DeviceModelError(ReproError):
     """Invalid device-model configuration or query."""
+
+
+# ---------------------------------------------------------------------------
+# The wire error table — the serving tier's error contract.
+#
+# Every error the service/engine stack can hand a remote caller has one
+# stable wire code (what external clients switch on; never renamed once
+# published) and one HTTP status (what load balancers and generic HTTP
+# tooling act on).  ``docs/wire_schema.md`` documents the table;
+# ``tests/serve/test_wire.py`` asserts it is total over the serving
+# error surface and stable.
+
+#: ``exception class -> (wire code, HTTP status)``, most-derived first.
+#: Lookup walks the MRO, so subclasses not listed here inherit their
+#: nearest ancestor's code — a *new* error type degrades to a coarse
+#: code instead of breaking clients.
+WIRE_ERRORS: "dict[type, tuple[str, int]]" = {
+    # service-level delivery errors
+    ShardCrashError: ("shard_crash", 503),
+    ChaosInjectedError: ("chaos_injected", 500),
+    DeadlineExceededError: ("deadline_exceeded", 504),
+    ServiceOverloadedError: ("overloaded", 503),
+    ServiceError: ("service_error", 500),
+    # engine-level pricing failures
+    BackendUnavailableError: ("backend_unavailable", 501),
+    PoisonChunkError: ("poison_chunk", 422),
+    WorkerCrashError: ("worker_crash", 500),
+    ChunkTimeoutError: ("chunk_timeout", 504),
+    EngineError: ("engine_error", 500),
+    # simulated-platform and model errors (flow through FailureRecords)
+    TransportFaultError: ("transport_fault", 503),
+    OpenCLError: ("opencl_error", 500),
+    HLSError: ("hls_error", 500),
+    DeviceModelError: ("device_model_error", 500),
+    # request/content errors
+    ConvergenceError: ("no_convergence", 422),
+    FinanceError: ("invalid_market_data", 400),
+    ReproError: ("bad_request", 400),
+}
+
+#: Wire code used for exceptions outside the :class:`ReproError`
+#: hierarchy (a bug, not a contract violation by the caller).
+INTERNAL_WIRE_CODE = "internal"
+INTERNAL_HTTP_STATUS = 500
+
+#: Wire code for a request the caller abandoned (client disconnect /
+#: explicit cancel); 499 is the de-facto "client closed request"
+#: status (nginx), which no stdlib table names.
+CANCELLED_WIRE_CODE = "cancelled"
+CANCELLED_HTTP_STATUS = 499
+
+
+def wire_error(exc: BaseException) -> "tuple[str, int]":
+    """The ``(wire code, HTTP status)`` of any exception.
+
+    Walks the exception's MRO through :data:`WIRE_ERRORS`, so every
+    :class:`ReproError` subclass maps to its nearest listed ancestor;
+    anything else is :data:`INTERNAL_WIRE_CODE`.
+    """
+    for klass in type(exc).__mro__:
+        entry = WIRE_ERRORS.get(klass)
+        if entry is not None:
+            return entry
+    return (INTERNAL_WIRE_CODE, INTERNAL_HTTP_STATUS)
+
+
+def error_from_wire(code: str, message: str) -> ReproError:
+    """Rebuild a typed exception from its wire code (client side).
+
+    Returns the *most derived* exception class registered under
+    ``code`` (the table is ordered most-derived first), so a client
+    catching :class:`DeadlineExceededError` behaves identically
+    whether the deadline expired locally or across the network.
+    Unknown codes come back as plain :class:`ReproError` — a newer
+    server must not crash an older client.
+    """
+    for klass, (wire_code, _status) in WIRE_ERRORS.items():
+        if wire_code == code:
+            return klass(message)
+    return ReproError(f"[{code}] {message}")

@@ -13,7 +13,8 @@ reference implementations used throughout the library:
   rows) that produces identical results in double precision and is fast
   enough to run the paper's full configuration (N=1024, thousands of
   options) inside the accuracy experiments.
-* :func:`price_binomial_batch` — convenience wrapper over many options.
+* :func:`price_binomial_batch` — removed in repro 2.0 (raising stub
+  with the migration table; batches go through :func:`repro.api.price`).
 
 All pricers support single precision (``dtype=np.float32``) because
 Table II reports a single-precision software reference row whose RMSE
@@ -22,13 +23,11 @@ Table II reports a single-precision software reference row whose RMSE
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..errors import FinanceError
+from ..errors import FinanceError, ReproError
 from .lattice import LatticeFamily, LatticeParams, build_lattice_params
 from .options import Option
 
@@ -153,53 +152,28 @@ def price_binomial_scalar(
     )
 
 
-def price_binomial_batch(
-    options: Sequence[Option] | Iterable[Option],
-    steps: int = 1024,
-    family: LatticeFamily = LatticeFamily.CRR,
-    dtype=np.float64,
-    workers: int = 1,
-) -> np.ndarray:
-    """Price many options; returns an array of root values.
+def price_binomial_batch(*args, **kwargs):
+    """Removed in repro 2.0 — use :func:`repro.api.price`.
 
-    .. deprecated:: 1.0
-        Superseded by the façade :func:`repro.api.price`, which routes
-        every pricing front end through one signature.  This wrapper
-        delegates there (values are unchanged) and will keep working,
-        but new code should migrate:
+    This stub exists only so stragglers get a migration pointer
+    instead of an ``ImportError``:
 
-        ==========================================  =====================================
-        Before                                      After
-        ==========================================  =====================================
-        ``price_binomial_batch(opts, steps=N)``     ``repro.price(opts, steps=N).prices``
-        ``price_binomial_batch(..., workers=4)``    ``repro.price(opts, steps=N,``
-                                                    ``            workers=4).prices``
-        ``price_binomial_batch(...,``               ``repro.price(opts, steps=N,``
-        ``    dtype=np.float32)``                   ``    precision="single").prices``
-        ==========================================  =====================================
+    ==========================================  =====================================
+    Before                                      After
+    ==========================================  =====================================
+    ``price_binomial_batch(opts, steps=N)``     ``repro.price(opts, steps=N).prices``
+    ``price_binomial_batch(..., workers=4)``    ``repro.price(opts, steps=N,``
+                                                ``            workers=4).prices``
+    ``price_binomial_batch(...,``               ``repro.price(opts, steps=N,``
+    ``    dtype=np.float32)``                   ``    precision="single").prices``
+    ==========================================  =====================================
 
-    The paper's workload unit is a batch of 2 000 options (one implied
-    volatility curve); this helper is the reference answer for batch
-    accuracy comparisons.  Each option is still priced by
-    :func:`price_binomial`, so values are unchanged.
+    :raises ReproError: always.
     """
-    warnings.warn(
-        "price_binomial_batch is superseded by repro.api.price(...) and "
-        "will be removed in repro 2.0; see the migration table in its "
-        "docstring",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    options = list(options)
-    if not options:
-        return np.empty(0, dtype=np.float64)
-    _validate_steps(steps)
-    # Imported here: the façade depends on this package.
-    from ..api import price
-
-    precision = "single" if np.dtype(dtype) == np.float32 else "double"
-    return price(options, steps=steps, kernel="reference", family=family,
-                 precision=precision, workers=workers).prices
+    raise ReproError(
+        "price_binomial_batch was removed in repro 2.0; use "
+        "repro.price(options, steps=...).prices — see the migration "
+        "table in repro.api")
 
 
 def exercise_boundary(

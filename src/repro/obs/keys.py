@@ -40,6 +40,20 @@ __all__ = [
     "SERVICE_WAIT_SECONDS",
     "SERVICE_FLUSH_OPTIONS",
     "SERVICE_STATS_TO_METRIC",
+    "SERVE_STATS_SCHEMA",
+    "SERVE_STATS_KEYS",
+    "SERVE_REQUESTS_TOTAL",
+    "SERVE_OPTIONS_TOTAL",
+    "SERVE_RESPONSES_TOTAL",
+    "SERVE_ERRORS_TOTAL",
+    "SERVE_BAD_REQUESTS_TOTAL",
+    "SERVE_CANCELLED_TOTAL",
+    "SERVE_SHARD_RESTARTS_TOTAL",
+    "SERVE_SHM_RESULTS_TOTAL",
+    "SERVE_PICKLE_RESULTS_TOTAL",
+    "SERVE_SHARDS",
+    "SERVE_REQUEST_SECONDS",
+    "SERVE_STATS_TO_METRIC",
     "BACKEND_FALLBACK_TOTAL",
     "CHUNKS_TOTAL",
     "GROUPS_TOTAL",
@@ -211,6 +225,60 @@ SERVICE_STATS_TO_METRIC = {
     "cancelled": SERVICE_CANCELLED_TOTAL,
     "engine_restarts": SERVICE_ENGINE_RESTARTS_TOTAL,
     "health_transitions": SERVICE_HEALTH_TRANSITIONS_TOTAL,
+}
+
+# -- serving-tier (network front-end) metrics ------------------------------
+
+#: Version tag of the *serve* statistics document.  The version counter
+#: continues the engine/service line (v4 engine, v5 service): v6 is the
+#: sharded network front-end's own document — per-connection request
+#: accounting, routed-shard distribution, the shared-memory vs pickle
+#: result transport split, and supervisor shard restarts.  Published
+#: under its own name; the engine and service documents are unchanged.
+SERVE_STATS_SCHEMA = "repro-serve-stats/v6"
+
+SERVE_REQUESTS_TOTAL = "repro_serve_requests_total"
+SERVE_OPTIONS_TOTAL = "repro_serve_options_total"
+SERVE_RESPONSES_TOTAL = "repro_serve_responses_total"
+SERVE_ERRORS_TOTAL = "repro_serve_errors_total"
+SERVE_BAD_REQUESTS_TOTAL = "repro_serve_bad_requests_total"
+SERVE_CANCELLED_TOTAL = "repro_serve_cancelled_total"
+SERVE_SHARD_RESTARTS_TOTAL = "repro_serve_shard_restarts_total"
+SERVE_SHM_RESULTS_TOTAL = "repro_serve_shm_results_total"
+SERVE_PICKLE_RESULTS_TOTAL = "repro_serve_pickle_results_total"
+SERVE_SHARDS = "repro_serve_shards"
+SERVE_REQUEST_SECONDS = "repro_serve_request_seconds"
+
+#: ``ServeStats.as_dict()`` keys, in their one canonical order
+#: (mirrors :data:`STATS_KEYS`/:data:`SERVICE_STATS_KEYS`).
+SERVE_STATS_KEYS = (
+    "requests",
+    "options",
+    "responses",
+    "errors",
+    "bad_requests",
+    "cancelled",
+    "shard_restarts",
+    "shm_results",
+    "pickle_results",
+    "shards",
+    "mean_request_s",
+    "health",
+)
+
+#: Serve stats-snapshot key -> the serve metric it is derived from
+#: (the counters; ``shards`` is a gauge, ``mean_request_s`` a histogram
+#: mean and ``health`` is snapshot-only, read from the shard set).
+SERVE_STATS_TO_METRIC = {
+    "requests": SERVE_REQUESTS_TOTAL,
+    "options": SERVE_OPTIONS_TOTAL,
+    "responses": SERVE_RESPONSES_TOTAL,
+    "errors": SERVE_ERRORS_TOTAL,
+    "bad_requests": SERVE_BAD_REQUESTS_TOTAL,
+    "cancelled": SERVE_CANCELLED_TOTAL,
+    "shard_restarts": SERVE_SHARD_RESTARTS_TOTAL,
+    "shm_results": SERVE_SHM_RESULTS_TOTAL,
+    "pickle_results": SERVE_PICKLE_RESULTS_TOTAL,
 }
 
 # -- backend-resolution metrics --------------------------------------------

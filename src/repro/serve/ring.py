@@ -1,0 +1,82 @@
+"""Consistent-hash routing for the sharded serving tier.
+
+The front-end routes every request to one shard on its
+:attr:`~repro.api.PricingRequest.batch_key`, so all requests that the
+in-process :class:`~repro.service.PricingService` *would* coalesce and
+cache together land on the *same* shard — each shard's
+:class:`~repro.service.cache.ResultCache` and engine set stay hot for
+their (kernel, precision, family, backend, task) buckets instead of
+every shard paying warm-up for every configuration.
+
+A consistent ring (rather than ``hash(key) % shards``) keeps the
+assignment stable under resizing: adding or removing one shard moves
+only ``~1/shards`` of the key space, which is what makes cache-warm
+rolling restarts possible.  The hash is :func:`hashlib.blake2b` — the
+same deterministic, process-independent primitive the result cache
+keys with — never Python's randomised ``hash()``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from ..errors import ReproError
+
+__all__ = ["HashRing"]
+
+
+def _point(data: str) -> int:
+    """64-bit ring position of an arbitrary string."""
+    return int.from_bytes(
+        hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """Maps coalescing keys to shard indices, stably.
+
+    :param shards: number of shard slots (>= 1).  The ring routes to
+        *indices*; the server owns the index -> live process mapping,
+        so a shard restart does not move any keys.
+    :param replicas: virtual nodes per shard.  More replicas smooth
+        the key-space split between shards at the cost of a larger
+        (still tiny) ring; 64 keeps the per-shard share within a few
+        percent of uniform for the key cardinalities the request
+        schema can produce.
+    """
+
+    def __init__(self, shards: int, replicas: int = 64):
+        if shards < 1:
+            raise ReproError(f"ring needs at least one shard, got {shards}")
+        if replicas < 1:
+            raise ReproError(
+                f"ring needs at least one replica, got {replicas}")
+        self.shards = int(shards)
+        self.replicas = int(replicas)
+        points: "list[tuple[int, int]]" = []
+        for shard in range(self.shards):
+            for replica in range(self.replicas):
+                points.append((_point(f"shard-{shard}:vn-{replica}"), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def route(self, key) -> int:
+        """Shard index owning ``key`` (any hashable/reprable value).
+
+        Keys are rendered with ``repr`` before hashing, so tuples like
+        :attr:`~repro.api.PricingRequest.batch_key` route identically
+        across processes and interpreter runs.
+        """
+        position = _point(repr(key))
+        index = bisect.bisect_right(self._points, position)
+        if index == len(self._points):
+            index = 0  # wrap: the first point owns the top arc
+        return self._owners[index]
+
+    def distribution(self, keys) -> "list[int]":
+        """How many of ``keys`` each shard owns (diagnostics/tests)."""
+        counts = [0] * self.shards
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

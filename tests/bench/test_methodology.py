@@ -9,9 +9,10 @@ from repro.bench.methodology import (
     PricingProblem,
     Solution,
 )
+from repro.api import price
 from repro.core import BinomialAccelerator
 from repro.errors import ReproError
-from repro.finance import generate_batch, price_binomial_batch
+from repro.finance import generate_batch
 
 STEPS = 64
 
@@ -32,7 +33,7 @@ def problem(workload):
 def exact_solution(name="exact", rate=1000.0, power=10.0):
     return Solution(
         name=name,
-        price_fn=lambda options, steps: price_binomial_batch(options, steps),
+        price_fn=lambda options, steps: price(options, steps=steps).prices,
         options_per_second=rate,
         power_w=power,
     )
@@ -40,7 +41,7 @@ def exact_solution(name="exact", rate=1000.0, power=10.0):
 
 def noisy_solution(noise=1e-3, rate=1e6, power=50.0):
     def fn(options, steps):
-        return price_binomial_batch(options, steps) + noise
+        return price(options, steps=steps).prices + noise
 
     return Solution(name="noisy", price_fn=fn,
                     options_per_second=rate, power_w=power)

@@ -11,10 +11,10 @@ from repro.core import (
     kernel_b_ir,
     simulate_kernel_b_batch,
 )
+from repro.api import price
 from repro.core.faithful_math import ALTERA_13_0_DOUBLE
 from repro.devices.calibration import FPGA_PIPELINE_DERATE
 from repro.errors import ReproError
-from repro.finance import price_binomial_batch
 from repro.hls import KERNEL_B_OPTIONS, compile_kernel
 
 STEPS = 64
@@ -65,7 +65,7 @@ class TestAcceleratorConfig:
 class TestAcceleratorPricing:
     def test_fpga_prices_use_flawed_pow(self, small_batch):
         acc = BinomialAccelerator(platform="fpga", kernel="iv_b", steps=STEPS)
-        result = acc.price_batch(small_batch)
+        result = price(small_batch, steps=STEPS, device=acc).modeled
         expected = simulate_kernel_b_batch(small_batch, STEPS,
                                            ALTERA_13_0_DOUBLE)
         assert np.array_equal(result.prices, expected)
@@ -73,13 +73,13 @@ class TestAcceleratorPricing:
     def test_cpu_reference_prices(self, small_batch):
         acc = BinomialAccelerator(platform="cpu", kernel="reference",
                                   steps=STEPS)
-        result = acc.price_batch(small_batch)
-        assert np.array_equal(result.prices,
-                              price_binomial_batch(small_batch, STEPS))
+        result = price(small_batch, steps=STEPS, device=acc)
+        expected = price(small_batch, steps=STEPS, kernel="reference").prices
+        assert np.array_equal(result.prices, expected)
 
     def test_result_accounting(self, small_batch):
         acc = BinomialAccelerator(platform="gpu", kernel="iv_b", steps=STEPS)
-        result = acc.price_batch(small_batch)
+        result = price(small_batch, steps=STEPS, device=acc).modeled
         assert result.modeled_time_s > 0
         assert result.energy_joules == pytest.approx(
             result.modeled_time_s * acc.model.power_w)
@@ -89,14 +89,13 @@ class TestAcceleratorPricing:
 
     def test_empty_batch_rejected(self):
         with pytest.raises(ReproError):
-            BinomialAccelerator(steps=STEPS).price_batch([])
+            price([], steps=STEPS, device=BinomialAccelerator(steps=STEPS))
 
     def test_kernel_a_accelerator(self, small_batch):
         acc = BinomialAccelerator(platform="fpga", kernel="iv_a", steps=STEPS)
-        result = acc.price_batch(small_batch)
-        assert np.allclose(result.prices,
-                           price_binomial_batch(small_batch, STEPS),
-                           rtol=1e-12)
+        result = price(small_batch, steps=STEPS, device=acc)
+        expected = price(small_batch, steps=STEPS, kernel="reference").prices
+        assert np.allclose(result.prices, expected, rtol=1e-12)
 
 
 class TestDesignSpaceExploration:

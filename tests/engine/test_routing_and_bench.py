@@ -1,7 +1,7 @@
 """Routed entry points and the throughput harness.
 
-`price_binomial_batch`, the accelerator and the accuracy experiments
-now schedule through the engine; these tests pin that the routing is
+The façade `repro.price`, the accelerator and the accuracy experiments
+all schedule through the engine; these tests pin that the routing is
 value-preserving, that the parameter builders validate before
 allocating, and that the benchmark harness produces a well-formed,
 gateable document.
@@ -10,11 +10,12 @@ gateable document.
 import numpy as np
 import pytest
 
+from repro.api import price
 from repro.core import BinomialAccelerator
 from repro.core.kernel_a import build_params_a
 from repro.core.kernel_b import build_params_b
 from repro.errors import ReproError
-from repro.finance import generate_batch, price_binomial, price_binomial_batch
+from repro.finance import generate_batch, price_binomial
 
 
 class TestParamValidation:
@@ -38,20 +39,21 @@ class TestParamValidation:
 
 
 class TestRoutedEntryPoints:
-    def test_price_binomial_batch_matches_per_option(self):
+    def test_facade_batch_matches_per_option(self):
         batch = list(generate_batch(n_options=6, seed=11).options)
-        routed = price_binomial_batch(batch, steps=16)
+        routed = price(batch, steps=16, kernel="reference").prices
         direct = np.array([price_binomial(o, 16).price for o in batch])
         np.testing.assert_array_equal(routed, direct)
 
-    def test_price_binomial_batch_workers(self):
+    def test_facade_batch_workers(self):
         batch = list(generate_batch(n_options=6, seed=11).options)
-        serial = price_binomial_batch(batch, steps=16)
-        fanned = price_binomial_batch(batch, steps=16, workers=2)
+        serial = price(batch, steps=16, kernel="reference").prices
+        fanned = price(batch, steps=16, kernel="reference",
+                       workers=2).prices
         np.testing.assert_array_equal(serial, fanned)
 
-    def test_price_binomial_batch_empty(self):
-        assert price_binomial_batch([], steps=16).shape == (0,)
+    def test_facade_batch_empty(self):
+        assert price([], steps=16).prices.shape == (0,)
 
     def test_accelerator_routes_through_engine(self):
         from repro.core.batch_sim import simulate_kernel_b_batch
@@ -63,7 +65,7 @@ class TestRoutedEntryPoints:
                                  compile_fpga=False,
                                  engine_config=EngineConfig(chunk_options=2)
                                  ) as accelerator:
-            result = accelerator.price_batch(batch)
+            result = price(batch, steps=16, device=accelerator)
         expected = simulate_kernel_b_batch(batch, 16, ALTERA_13_0_DOUBLE)
         np.testing.assert_array_equal(result.prices, expected)
 
@@ -71,8 +73,9 @@ class TestRoutedEntryPoints:
         batch = list(generate_batch(n_options=4, seed=13).options)
         accelerator = BinomialAccelerator(platform="cpu", kernel="reference",
                                           precision="single", steps=16)
-        result = accelerator.price_batch(batch)
-        expected = price_binomial_batch(batch, 16, dtype=np.float32)
+        result = price(batch, steps=16, device=accelerator)
+        expected = price(batch, steps=16, kernel="reference",
+                         precision="single").prices
         np.testing.assert_array_equal(result.prices, expected)
 
 

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.api import price
 from repro.errors import FinanceError
 from repro.finance import (
     ExerciseStyle,
@@ -12,7 +13,6 @@ from repro.finance import (
     bs_price,
     exercise_boundary,
     price_binomial,
-    price_binomial_batch,
     price_binomial_scalar,
 )
 
@@ -125,20 +125,22 @@ class TestPrecision:
 
     def test_single_precision_error_order(self, small_batch):
         """Table II: the single-precision reference shows RMSE ~1e-3."""
-        double = price_binomial_batch(small_batch, 512)
-        single = price_binomial_batch(small_batch, 512, dtype=np.float32)
+        double = price(small_batch, steps=512, kernel="reference").prices
+        single = price(small_batch, steps=512, kernel="reference",
+                       precision="single").prices
         err = np.sqrt(np.mean((double - single) ** 2))
         assert 1e-5 < err < 1e-1
 
 
 class TestBatch:
     def test_batch_matches_individual(self, small_batch):
-        batch = price_binomial_batch(small_batch, 64)
+        batch = price(small_batch, steps=64, kernel="reference").prices
         individual = [price_binomial(o, 64).price for o in small_batch]
         assert np.allclose(batch, individual, rtol=0, atol=0)
 
     def test_batch_shape(self, small_batch):
-        assert price_binomial_batch(small_batch, 16).shape == (5,)
+        shape = price(small_batch, steps=16, kernel="reference").prices.shape
+        assert shape == (5,)
 
 
 class TestExerciseBoundary:

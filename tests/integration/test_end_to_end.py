@@ -9,6 +9,7 @@ from repro import (
     HostProgramB,
     Option,
     OptionType,
+    price,
     price_binomial,
 )
 from repro.core import simulate_kernel_b_batch
@@ -73,7 +74,7 @@ class TestAcceleratorEndToEnd:
         for platform, kernel, precision in configs:
             acc = BinomialAccelerator(platform=platform, kernel=kernel,
                                       precision=precision, steps=STEPS)
-            result = acc.price_batch(batch)
+            result = price(batch, steps=STEPS, device=acc)
             exact = precision == "double" and acc.profile.name == "exact-double"
             tolerance = 1e-10 if exact else 1e-2
             assert rmse(reference, result.prices) < tolerance, acc.describe()
@@ -94,16 +95,16 @@ class TestAcceleratorEndToEnd:
         latency-at-low-workload concern Section V.C raises."""
         gpu = BinomialAccelerator("gpu", "iv_b", steps=STEPS)
         cpu = BinomialAccelerator("cpu", "reference", steps=STEPS)
-        assert cpu.price_batch(batch).options_per_joule > \
-            gpu.price_batch(batch).options_per_joule
+        assert price(batch, steps=STEPS, device=cpu).modeled.options_per_joule > \
+            price(batch, steps=STEPS, device=gpu).modeled.options_per_joule
 
     def test_fpga_accelerator_prices_against_independent_control(self):
         """Accelerator prices agree with Barone-Adesi-Whaley to ~1%."""
         option = Option(spot=100, strike=105, rate=0.05, volatility=0.3,
                         maturity=0.75, option_type=OptionType.PUT)
         acc = BinomialAccelerator(platform="fpga", kernel="iv_b", steps=512)
-        price = acc.price_batch([option]).prices[0]
-        assert price == pytest.approx(baw_price(option), rel=0.02)
+        priced = price([option], steps=512, device=acc).prices[0]
+        assert priced == pytest.approx(baw_price(option), rel=0.02)
 
 
 class TestVolatilityCurveUseCase:
@@ -115,7 +116,7 @@ class TestVolatilityCurveUseCase:
         acc = BinomialAccelerator(platform="fpga", kernel="iv_b", steps=steps)
 
         def engine(option):
-            return float(acc.price_batch([option]).prices[0])
+            return float(price([option], steps=steps, device=acc).prices[0])
 
         points = implied_vol_curve(scenario.base_option, scenario.strikes,
                                    scenario.market_prices, price_fn=engine,

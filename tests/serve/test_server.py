@@ -1,0 +1,337 @@
+"""End-to-end tests of the sharded serving tier, over real sockets.
+
+Every test boots a :class:`~repro.serve.PricingServer` (forked shard
+worker processes, asyncio front-end on an ephemeral localhost port)
+and talks to it through :class:`~repro.serve.ServeClient` or a raw
+socket — the full production path: wire codec, consistent-hash
+routing, shared-memory result transport, deadline/priority/cancel
+semantics, and supervised shard restart.
+"""
+
+import json
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import PricingRequest
+from repro.engine.faults import FaultPlan
+from repro.errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceOverloadedError,
+)
+from repro.finance import generate_batch
+from repro.serve import PricingServer, ServeClient, ServeConfig
+from repro.service import PricingService, ServiceConfig
+from repro.service.health import HealthPolicy
+
+STEPS = 32
+
+# the benchmark's routed traffic mix doubles as the e2e fixture set
+from repro.bench.service_bench import SERVE_TRAFFIC_VARIANTS  # noqa: E402
+
+
+def request_mix(n_requests: int, options_per_request: int = 4,
+                seed: int = 7, **overrides) -> "list[PricingRequest]":
+    requests = []
+    for index in range(n_requests):
+        kernel, precision, family = SERVE_TRAFFIC_VARIANTS[
+            index % len(SERVE_TRAFFIC_VARIANTS)]
+        options = tuple(generate_batch(n_options=options_per_request,
+                                       seed=seed + index).options)
+        requests.append(PricingRequest(
+            options=options, steps=STEPS, kernel=kernel,
+            precision=precision, family=family, strict=False, **overrides))
+    return requests
+
+
+def wait_until(predicate, timeout_s: float = 20.0, interval_s: float = 0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+class TestPricingOverTheWire:
+    @pytest.fixture(scope="class")
+    def server(self):
+        with PricingServer(ServeConfig(shards=2)) as server:
+            yield server
+
+    @pytest.fixture(scope="class")
+    def client(self, server):
+        with ServeClient(server.host, server.port) as client:
+            yield client
+
+    def test_price_request_round_trips(self, server, client, small_batch):
+        request = PricingRequest(options=tuple(small_batch), steps=STEPS)
+        result = client.price(request)
+        with PricingService(ServiceConfig()) as oracle:
+            expected = oracle.submit(request).result()
+        np.testing.assert_array_equal(result.prices, expected.prices)
+
+    def test_greeks_request_round_trips(self, server, client, small_batch):
+        request = PricingRequest(options=tuple(small_batch), steps=STEPS,
+                                 task="greeks")
+        result = client.price(request)
+        with PricingService(ServiceConfig()) as oracle:
+            expected = oracle.submit(request).result()
+        for column in ("prices", "delta", "gamma", "theta", "vega", "rho"):
+            np.testing.assert_array_equal(getattr(result, column),
+                                          getattr(expected, column))
+
+    def test_routing_follows_the_ring(self, server, client, small_batch):
+        request = PricingRequest(options=tuple(small_batch), steps=STEPS)
+        shard = client.shard_of(request)
+        assert shard == server._ring.route(request.batch_key)
+        # same key -> same shard, every time
+        assert client.shard_of(request) == shard
+
+    def test_healthz_reports_every_shard(self, server, client):
+        status, document = client.healthz()
+        assert status == 200
+        assert document["state"] in ("healthy", "degraded")
+        assert len(document["shards"]) == 2
+
+    def test_stats_document_schema(self, server, client, small_batch):
+        client.price(PricingRequest(options=tuple(small_batch),
+                                    steps=STEPS))
+        document = client.stats()
+        assert document["schema"] == "repro-serve-stats/v6"
+        assert document["requests"] >= 1
+        assert document["shm_results"] + document["pickle_results"] >= 1
+        assert len(document["shards"]) == 2
+
+    def test_malformed_json_is_bad_request(self, server, client):
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port,
+                                          timeout=30)
+        try:
+            conn.request("POST", "/v1/price", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            document = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert document["error"]["code"] == "bad_request"
+
+    def test_unknown_route_is_404(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port,
+                                          timeout=30)
+        try:
+            conn.request("GET", "/nope")
+            response = conn.getresponse()
+            response.read()
+        finally:
+            conn.close()
+        assert response.status == 404
+
+
+class TestParityAgainstInProcessService:
+    @pytest.mark.parametrize("fault_seed", [None, 101, 202, 303])
+    def test_network_results_bitwise_equal(self, fault_seed):
+        """The wire + shard + shm path must not move one ULP — with or
+        without transient injected faults (which heal on retry)."""
+        faults = (FaultPlan.random(fault_seed, 4)
+                  if fault_seed is not None else None)
+        service_config = ServiceConfig(faults=faults)
+        requests = request_mix(8)
+        with PricingService(service_config) as oracle:
+            expected = [oracle.submit(request).result()
+                        for request in requests]
+        with PricingServer(ServeConfig(shards=2,
+                                       service=service_config)) as server:
+            with ServeClient(server.host, server.port) as client:
+                for request, want in zip(requests, expected):
+                    got = client.price(request)
+                    np.testing.assert_array_equal(got.prices, want.prices)
+                    assert [f.as_dict() for f in got.failures] == \
+                        [f.as_dict() for f in want.failures]
+
+
+class TestDeadlinePriorityCancel:
+    def test_deadline_expires_across_the_wire(self):
+        config = ServeConfig(
+            shards=1, service=ServiceConfig(max_wait_ms=200.0))
+        with PricingServer(config) as server:
+            with ServeClient(server.host, server.port) as client:
+                options = tuple(generate_batch(n_options=2,
+                                               seed=3).options)
+                request = PricingRequest(options=options, steps=STEPS,
+                                         deadline_ms=0.01)
+                with pytest.raises(DeadlineExceededError):
+                    client.price(request)
+
+    def test_high_priority_sheds_queued_normal(self):
+        """Under a full admission queue, a high-priority request is
+        admitted by shedding the oldest queued normal one — visible
+        through the network as typed errors on the shed side.
+
+        The coalescer drains its queue eagerly, so the queue only
+        fills while a flush occupies the service thread: a large slow
+        request pins it, then three small ones exercise the queue-full
+        / shed paths deterministically (the ``flushes`` and
+        ``cache_misses`` counters are the admission barriers — the
+        former increments when the slow flush *starts*, the latter
+        only after a request is really queued)."""
+        import threading
+
+        config = ServeConfig(shards=1, service=ServiceConfig(
+            max_batch=2, max_wait_ms=50.0, max_queue=1))
+        with PricingServer(config) as server:
+            slow = PricingRequest(
+                options=tuple(generate_batch(n_options=160,
+                                             seed=40).options),
+                steps=2048)
+
+            def opts(seed):
+                return tuple(generate_batch(n_options=2, seed=seed).options)
+
+            normal_1 = PricingRequest(options=opts(41), steps=STEPS)
+            normal_2 = PricingRequest(options=opts(42), steps=STEPS)
+            high = PricingRequest(options=opts(43), steps=STEPS,
+                                  priority="high")
+            outcome = {}
+
+            def submit(name, request):
+                with ServeClient(server.host, server.port) as peer:
+                    try:
+                        outcome[name] = peer.price(request)
+                    except BaseException as exc:  # noqa: BLE001
+                        outcome[name] = exc
+
+            def shard_stat(client, name):
+                (document,) = client.stats()["shards"]
+                return (document or {}).get(name, 0)
+
+            t_slow = threading.Thread(target=submit, args=("slow", slow),
+                                      daemon=True)
+            t_slow.start()
+            with ServeClient(server.host, server.port) as client:
+                assert wait_until(
+                    lambda: shard_stat(client, "flushes") >= 1,
+                    timeout_s=60)
+                t_first = threading.Thread(target=submit,
+                                           args=("first", normal_1),
+                                           daemon=True)
+                t_first.start()
+                assert wait_until(
+                    lambda: shard_stat(client, "cache_misses") >= 2,
+                    timeout_s=60)
+                # the queue slot is taken: a second normal is refused
+                with pytest.raises(ServiceOverloadedError):
+                    client.price(normal_2)
+                # ... but high priority is admitted by shedding
+                result = client.price(high)
+            assert result.prices.shape == (2,)
+            t_first.join(timeout=60)
+            t_slow.join(timeout=120)
+            assert isinstance(outcome["first"], ServiceOverloadedError)
+            assert not isinstance(outcome["slow"], BaseException)
+
+    def test_client_disconnect_cancels_the_request(self):
+        config = ServeConfig(
+            shards=1, service=ServiceConfig(max_wait_ms=500.0))
+        with PricingServer(config) as server:
+            options = tuple(generate_batch(n_options=2, seed=5).options)
+            request = PricingRequest(options=options, steps=STEPS)
+            body = json.dumps(request.to_dict()).encode("utf-8")
+            raw = socket.create_connection((server.host, server.port),
+                                           timeout=30)
+            raw.sendall(
+                b"POST /v1/price HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+                + body)
+            # abandon the connection while the request coalesces
+            time.sleep(0.05)
+            raw.close()
+            with ServeClient(server.host, server.port) as client:
+                assert wait_until(
+                    lambda: client.stats()["cancelled"] >= 1, timeout_s=30)
+                # the tier keeps serving afterwards
+                survivor = client.price(request)
+            assert survivor.prices.shape == (2,)
+
+
+class TestShardFailureIsolation:
+    def fast_restart_config(self, shards: int = 2) -> ServeConfig:
+        return ServeConfig(
+            shards=shards,
+            ping_interval_s=0.05,
+            ping_miss_limit=5,
+            health=HealthPolicy(restart_limit=3, restart_backoff_s=0.01),
+        )
+
+    def keyed_requests(self, server) -> "dict[int, PricingRequest]":
+        """One request per shard index, found by walking seeds."""
+        requests = {}
+        seed = 11
+        while len(requests) < server.config.shards:
+            options = tuple(generate_batch(n_options=2, seed=seed).options)
+            for kernel, precision, family in SERVE_TRAFFIC_VARIANTS:
+                request = PricingRequest(options=options, steps=STEPS,
+                                         kernel=kernel, precision=precision,
+                                         family=family, strict=False)
+                shard = server._ring.route(request.batch_key)
+                requests.setdefault(shard, request)
+            seed += 1
+        return requests
+
+    def test_wedged_shard_restarts_without_dropping_siblings(self):
+        with PricingServer(self.fast_restart_config()) as server:
+            by_shard = self.keyed_requests(server)
+            with ServeClient(server.host, server.port) as client:
+                for request in by_shard.values():
+                    client.price(request)  # warm both shards
+
+                server._shards[0].inject_wedge(30.0)
+                # the sibling keeps serving while shard 0 is wedged
+                sibling = client.price(by_shard[1])
+                assert sibling.prices.shape == (2,)
+                # the supervisor detects the missed pongs and restarts
+                assert wait_until(
+                    lambda: client.stats()["shard_restarts"] >= 1,
+                    timeout_s=60)
+                # the restarted shard serves its keys again
+                revived = client.price(by_shard[0])
+            assert revived.prices.shape == (2,)
+
+    def test_killed_shard_restarts_and_serves(self):
+        with PricingServer(self.fast_restart_config()) as server:
+            by_shard = self.keyed_requests(server)
+            with ServeClient(server.host, server.port) as client:
+                client.price(by_shard[0])
+                server._shards[0]._process.kill()
+                assert wait_until(
+                    lambda: client.stats()["shard_restarts"] >= 1,
+                    timeout_s=60)
+                revived = client.price(by_shard[0])
+            assert revived.prices.shape == (2,)
+
+    def test_restart_budget_exhaustion_pins_shard_dead(self):
+        config = ServeConfig(
+            shards=2, ping_interval_s=0.05, ping_miss_limit=5,
+            health=HealthPolicy(restart_limit=0, restart_backoff_s=0.01),
+        )
+        with PricingServer(config) as server:
+            by_shard = self.keyed_requests(server)
+            with ServeClient(server.host, server.port) as client:
+                client.price(by_shard[0])
+                server._shards[0]._process.kill()
+                # budget 0: the slot is pinned dead, requests fail fast
+                assert wait_until(lambda: client.healthz()[0] == 503,
+                                  timeout_s=60)
+                with pytest.raises(ReproError):
+                    client.price(by_shard[0])
+                # the sibling never flinches
+                sibling = client.price(by_shard[1])
+            assert sibling.prices.shape == (2,)

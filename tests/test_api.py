@@ -150,23 +150,23 @@ class TestPackageSurface:
         assert "Migration" in repro.api.__doc__
 
 
-class TestDeprecatedWrappers:
-    def test_price_binomial_batch_warns_and_delegates(self, batch):
-        with pytest.warns(DeprecationWarning, match="repro.api.price"):
-            legacy = price_binomial_batch(batch, steps=STEPS)
-        assert np.array_equal(legacy, price(batch, steps=STEPS).prices)
+class TestRemovedWrappers:
+    def test_price_binomial_batch_is_a_raising_stub(self, batch):
+        with pytest.raises(ReproError, match="removed in repro 2.0"):
+            price_binomial_batch(batch, steps=STEPS)
 
-    def test_price_binomial_batch_workers(self, batch):
-        with pytest.warns(DeprecationWarning):
-            legacy = price_binomial_batch(batch, steps=STEPS, workers=2)
-        assert np.array_equal(legacy, price(batch, steps=STEPS).prices)
+    def test_stub_accepts_any_legacy_signature(self, batch):
+        # every historical calling convention hits the migration
+        # message, never a TypeError about unexpected arguments
+        for kwargs in ({"workers": 2}, {"dtype": np.float32}, {}):
+            with pytest.raises(ReproError, match="repro.price"):
+                price_binomial_batch(batch, steps=STEPS, **kwargs)
 
-    def test_single_precision_dtype_maps_to_profile(self, batch):
-        with pytest.warns(DeprecationWarning):
-            legacy = price_binomial_batch(batch, steps=STEPS,
-                                          dtype=np.float32)
-        assert np.array_equal(
-            legacy, price(batch, steps=STEPS, precision="single").prices)
+    def test_facade_covers_legacy_precisions(self, batch):
+        double = price(batch, steps=STEPS).prices
+        single = price(batch, steps=STEPS, precision="single").prices
+        assert double.shape == single.shape == (len(batch),)
+        assert np.all(np.isfinite(double))
 
 
 class TestPricingRequest:
