@@ -94,6 +94,7 @@ from .finance.options import Option
 
 __all__ = [
     "BatchResult",
+    "GREEKS_COLUMNS",
     "GreeksResult",
     "PRIORITIES",
     "PriceResult",
@@ -108,6 +109,12 @@ __all__ = [
 ]
 
 _DEVICES = ("fpga", "gpu", "cpu")
+
+#: The five sensitivity columns a greeks-task result carries, in the
+#: one canonical order every layer agrees on — result wire columns,
+#: the service cache payload, the shard result transport and the
+#: streaming risk aggregates all index greeks by this tuple.
+GREEKS_COLUMNS = ("delta", "gamma", "theta", "vega", "rho")
 
 #: Version tags of the wire forms produced by
 #: :meth:`PricingRequest.to_dict` and :meth:`BatchResult.to_dict` —
@@ -474,7 +481,7 @@ class BatchResult:
     # -- wire form (the serving tier's result protocol) -----------------
 
     #: Payload columns serialised as ``float.hex`` lists when present.
-    _WIRE_COLUMNS = ("prices", "delta", "gamma", "theta", "vega", "rho")
+    _WIRE_COLUMNS = ("prices",) + GREEKS_COLUMNS
 
     def to_dict(self) -> dict:
         """JSON-ready wire form, tagged :data:`WIRE_RESULT_SCHEMA`.

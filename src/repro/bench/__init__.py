@@ -53,6 +53,10 @@ from .service_bench import (
     run_serve_benchmark,
     run_service_benchmark,
 )
+from .stream_bench import (
+    STREAM_BENCH_SCHEMA,
+    run_stream_benchmark,
+)
 from .tables import format_ratio, render_comparison, render_table
 
 __all__ = [
@@ -99,4 +103,6 @@ __all__ = [
     "SERVICE_BENCH_SCHEMA",
     "run_serve_benchmark",
     "run_service_benchmark",
+    "STREAM_BENCH_SCHEMA",
+    "run_stream_benchmark",
 ]

@@ -195,6 +195,58 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the process-wide metrics registry in "
                               "Prometheus text format here")
 
+    p_stream = sub.add_parser(
+        "stream-bench",
+        help="streaming risk benchmark: tick-to-risk latency and "
+             "revaluations/s over a ticking position book "
+             "(writes BENCH_stream.json)")
+    p_stream.add_argument("--instruments", type=int, nargs="+",
+                          default=[256],
+                          help="position-book sizes to sweep "
+                               "(default: 256)")
+    p_stream.add_argument("--tick-steps", type=int, default=64,
+                          help="synthetic-market time steps (default 64)")
+    p_stream.add_argument("--steps", type=int, default=256,
+                          help="tree depth N per instrument (default 256)")
+    p_stream.add_argument("--batch-ticks", type=int, default=8,
+                          help="revalue after this many materialised "
+                               "ticks (default 8)")
+    p_stream.add_argument("--max-batch", type=int, default=None,
+                          help="service flush threshold in options "
+                               "(default: the instrument count)")
+    p_stream.add_argument("--max-wait-ms", type=float, default=0.0,
+                          help="coalescing deadline per bucket "
+                               "(default 0.0: flush immediately)")
+    p_stream.add_argument("--kernel", choices=("iv_a", "iv_b", "reference"),
+                          default="iv_b")
+    p_stream.add_argument("--backend", choices=_BACKEND_CHOICES,
+                          default="numpy",
+                          help="roll-loop backend for every revaluation "
+                               "(default numpy)")
+    p_stream.add_argument("--rel-tol", type=float, default=2e-3,
+                          help="relative tolerance of the gated phase "
+                               "(default 2e-3)")
+    p_stream.add_argument("--fault-seeds", type=int, nargs="*",
+                          default=[101, 202, 303], metavar="SEED",
+                          help="fault seeds the aggregate stream must "
+                               "hold bitwise parity under "
+                               "(default: 101 202 303)")
+    p_stream.add_argument("--out", default="BENCH_stream.json",
+                          help="output JSON path (default BENCH_stream.json; "
+                               "'-' writes pure JSON to stdout)")
+    p_stream.add_argument("--quick", action="store_true",
+                          help="small CI-sized run (32 instruments, "
+                               "24 tick steps, N=64)")
+    p_stream.add_argument("--check-against", default=None, metavar="JSON",
+                          help="fail if throughput regressed >30%% vs this "
+                               "stored benchmark file")
+    p_stream.add_argument("--trace-out", default=None, metavar="JSON",
+                          help="record the calm run's service spans and "
+                               "write the JSON trace document here")
+    p_stream.add_argument("--metrics-out", default=None, metavar="PROM",
+                          help="write the process-wide metrics registry in "
+                               "Prometheus text format here")
+
     p_run = sub.add_parser(
         "serve",
         help="run the sharded pricing server (HTTP/JSON wire API "
@@ -664,6 +716,80 @@ def _run_serve_bench(args) -> int:
     return 0
 
 
+def _run_stream_bench(args) -> int:
+    import json
+
+    from .bench.engine_bench import check_throughput_regression
+    from .bench.stream_bench import run_stream_benchmark
+
+    if args.quick:
+        instruments, tick_steps, steps = [32], 24, 64
+    else:
+        instruments, tick_steps, steps = (args.instruments, args.tick_steps,
+                                          args.steps)
+    _, echo = _bench_streams(args.out)
+
+    tracer = None
+    if args.trace_out:
+        from .obs import Tracer
+        tracer = Tracer()
+
+    document = run_stream_benchmark(
+        instrument_counts=instruments, tick_steps=tick_steps, steps=steps,
+        kernel=args.kernel, batch_ticks=args.batch_ticks,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        fault_seeds=args.fault_seeds, backend=args.backend,
+        rel_tol=args.rel_tol, tracer=tracer,
+    )
+    path = _emit_document(document, args.out)
+
+    if tracer is not None:
+        from .obs.export import write_trace
+        trace_path = write_trace(tracer, args.trace_out)
+        echo(f"trace ({len(tracer.roots)} root spans) -> {trace_path}")
+    if args.metrics_out:
+        from .obs import get_registry
+        from .obs.export import write_metrics
+        metrics_path = write_metrics(get_registry(), args.metrics_out)
+        echo(f"metrics -> {metrics_path}")
+
+    echo(f"stream benchmark (kernel {args.kernel}, backend {args.backend}, "
+         f"N={steps}, {tick_steps} tick steps, "
+         f"batch {args.batch_ticks} ticks) -> {path}")
+    for entry in document["results"]:
+        parity = entry["parity"]
+        echo(f"  {entry['options']} instruments: {entry['ticks']} ticks, "
+             f"{entry['aggregates']} aggregates")
+        for run in entry["runs"]:
+            latency = run["latency"]
+            echo(f"    {run['options_per_second']:,.1f} revaluations/s, "
+                 f"{run['ticks_per_second']:,.1f} ticks/s "
+                 f"over {run['wall_time_s']:.2f} s")
+            echo(f"    tick-to-risk: p50 {latency['p50_ms']:.2f} ms, "
+                 f"p99 {latency['p99_ms']:.2f} ms, "
+                 f"p99.9 {latency['p999_ms']:.2f} ms over "
+                 f"{latency['count']} ticks")
+        echo(f"    parity: bitwise vs oracle "
+             f"({parity['oracle_checks']} checks), replay, "
+             f"fault seeds {parity['fault_seeds']}")
+        tolerance = entry["tolerance"]
+        echo(f"    tolerance rel_tol={tolerance['rel_tol']:g}: "
+             f"{tolerance['suppressed_ticks']} ticks suppressed "
+             f"({tolerance['suppression_rate']:.0%}), "
+             f"{tolerance['revaluations_saved']} revaluations saved")
+
+    if args.check_against:
+        with open(args.check_against) as handle:
+            stored = json.load(handle)
+        failures = check_throughput_regression(document, stored)
+        for failure in failures:
+            echo(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        echo(f"no throughput regression vs {args.check_against}")
+    return 0
+
+
 def _run_obs(args) -> int:
     """Observability demo: one chunked device session, fully traced.
 
@@ -837,6 +963,8 @@ def _dispatch(args) -> int:
         return _run_bench_greeks(args)
     elif args.command == "serve-bench":
         return _run_serve_bench(args)
+    elif args.command == "stream-bench":
+        return _run_stream_bench(args)
     elif args.command == "serve":
         return _run_serve(args)
     elif args.command == "obs":

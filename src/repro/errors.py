@@ -167,6 +167,16 @@ class ShardCrashError(ServiceError):
     """
 
 
+class StreamError(ReproError):
+    """Invalid streaming-risk configuration or tick data.
+
+    Raised for malformed tick records (unknown field, non-finite
+    value, unreadable tick file), ticks addressed to instruments the
+    :class:`~repro.stream.PositionBook` does not hold, and aggregate
+    queries against a book that has never been priced.
+    """
+
+
 class HLSError(ReproError):
     """Base class for HLS compiler-model errors."""
 

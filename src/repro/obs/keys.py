@@ -54,6 +54,17 @@ __all__ = [
     "SERVE_SHARDS",
     "SERVE_REQUEST_SECONDS",
     "SERVE_STATS_TO_METRIC",
+    "STREAM_STATS_SCHEMA",
+    "STREAM_STATS_KEYS",
+    "STREAM_TICKS_TOTAL",
+    "STREAM_SUPPRESSED_TICKS_TOTAL",
+    "STREAM_DIRTY_MARKS_TOTAL",
+    "STREAM_REVALUATIONS_TOTAL",
+    "STREAM_REVAL_BATCHES_TOTAL",
+    "STREAM_AGGREGATES_TOTAL",
+    "STREAM_INSTRUMENTS",
+    "STREAM_TICK_TO_RISK_SECONDS",
+    "STREAM_STATS_TO_METRIC",
     "BACKEND_FALLBACK_TOTAL",
     "CHUNKS_TOTAL",
     "GROUPS_TOTAL",
@@ -279,6 +290,51 @@ SERVE_STATS_TO_METRIC = {
     "shard_restarts": SERVE_SHARD_RESTARTS_TOTAL,
     "shm_results": SERVE_SHM_RESULTS_TOTAL,
     "pickle_results": SERVE_PICKLE_RESULTS_TOTAL,
+}
+
+# -- streaming-risk (incremental revaluation) metrics ----------------------
+
+#: Version tag of the *stream* statistics document.  The version
+#: counter continues the engine/service/serve line (v4/v5/v6): v7 is
+#: the streaming risk loop's own document — tick ingestion, the
+#: tolerance gate (dirty marks vs suppressed revaluations), coalesced
+#: revaluation batches, published aggregates and the tick-to-risk
+#: latency histogram.  Published by
+#: :meth:`repro.stream.StreamStats.as_dict` under ``"schema"``.
+STREAM_STATS_SCHEMA = "repro-stream-stats/v7"
+
+STREAM_TICKS_TOTAL = "repro_stream_ticks_total"
+STREAM_SUPPRESSED_TICKS_TOTAL = "repro_stream_suppressed_ticks_total"
+STREAM_DIRTY_MARKS_TOTAL = "repro_stream_dirty_marks_total"
+STREAM_REVALUATIONS_TOTAL = "repro_stream_revaluations_total"
+STREAM_REVAL_BATCHES_TOTAL = "repro_stream_reval_batches_total"
+STREAM_AGGREGATES_TOTAL = "repro_stream_aggregates_total"
+STREAM_INSTRUMENTS = "repro_stream_instruments"
+STREAM_TICK_TO_RISK_SECONDS = "repro_stream_tick_to_risk_seconds"
+
+#: ``StreamStats.as_dict()`` keys, in their one canonical order
+#: (mirrors :data:`STATS_KEYS`/:data:`SERVICE_STATS_KEYS`).
+STREAM_STATS_KEYS = (
+    "ticks",
+    "suppressed_ticks",
+    "dirty_marks",
+    "revaluations",
+    "reval_batches",
+    "aggregates",
+    "instruments",
+    "mean_tick_to_risk_s",
+)
+
+#: Stream stats-snapshot key -> the stream metric it is derived from
+#: (the counters; ``instruments`` is a gauge and
+#: ``mean_tick_to_risk_s`` a histogram mean).
+STREAM_STATS_TO_METRIC = {
+    "ticks": STREAM_TICKS_TOTAL,
+    "suppressed_ticks": STREAM_SUPPRESSED_TICKS_TOTAL,
+    "dirty_marks": STREAM_DIRTY_MARKS_TOTAL,
+    "revaluations": STREAM_REVALUATIONS_TOTAL,
+    "reval_batches": STREAM_REVAL_BATCHES_TOTAL,
+    "aggregates": STREAM_AGGREGATES_TOTAL,
 }
 
 # -- backend-resolution metrics --------------------------------------------

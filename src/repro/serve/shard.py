@@ -40,7 +40,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from ..api import PricingRequest, ServiceResult
+from ..api import GREEKS_COLUMNS, PricingRequest, ServiceResult
 from ..engine.reliability import FailureRecord
 from ..engine.stats import EngineStats
 from ..errors import ShardCrashError, error_from_wire, wire_error
@@ -49,7 +49,7 @@ __all__ = ["ShardHandle", "ShardTicket", "RESULT_COLUMNS"]
 
 #: Payload columns in their one wire/shm order (price results use the
 #: first; greeks results all six).
-RESULT_COLUMNS = ("prices", "delta", "gamma", "theta", "vega", "rho")
+RESULT_COLUMNS = ("prices",) + GREEKS_COLUMNS
 
 
 def _columns_for(task: str) -> "tuple[str, ...]":
@@ -259,9 +259,13 @@ class ShardHandle:
         self._sync: "dict[tuple, Future]" = {}
         self._next_id = 0
         self._next_seq = 0
-        self._pong_seq = -1
-        self._pong_time = 0.0
-        self._health: "dict | None" = None
+        # (seq, monotonic time, health dict) of the last pong, swapped
+        # as ONE tuple: the reader thread writes it, the supervisor
+        # thread reads it, and a single reference assignment is atomic
+        # — so `pong_age_s` can never pair a fresh seq with a stale
+        # timestamp (or vice versa) the way three separate attribute
+        # writes could.
+        self._pong: "tuple[int, float, dict | None]" = (-1, 0.0, None)
         self._final_stats: "dict | None" = None
         self._closed = False
         self._reader = threading.Thread(
@@ -407,19 +411,20 @@ class ShardHandle:
 
     @property
     def pong_seq(self) -> int:
-        return self._pong_seq
+        return self._pong[0]
 
     @property
     def pong_age_s(self) -> float:
         """Seconds since the last pong (``inf`` before the first)."""
-        if self._pong_time == 0.0:
+        _seq, pong_time, _health = self._pong
+        if pong_time == 0.0:
             return float("inf")
-        return time.monotonic() - self._pong_time
+        return time.monotonic() - pong_time
 
     @property
     def health(self) -> "dict | None":
         """The shard service's last reported health dict."""
-        return self._health
+        return self._pong[2]
 
     def stats(self, timeout_s: float = 5.0) -> "dict | None":
         """The shard service's stats document (None if unresponsive)."""
@@ -429,13 +434,21 @@ class ShardHandle:
             self._next_seq += 1
             self._sync[("stats", seq)] = future
         try:
-            self._request_q.put(("stats", seq))
-        except (ValueError, OSError):
-            return None
-        try:
-            return future.result(timeout=timeout_s)
-        except Exception:
-            return None
+            try:
+                self._request_q.put(("stats", seq))
+            except (ValueError, OSError):
+                return None
+            try:
+                return future.result(timeout=timeout_s)
+            except Exception:
+                return None
+        finally:
+            # The reader pops the entry when the shard answers; a
+            # wedged shard never answers, and without this the
+            # supervisor's periodic stats() calls would grow _sync
+            # without bound.
+            with self._lock:
+                self._sync.pop(("stats", seq), None)
 
     def inject_wedge(self, seconds: float) -> None:
         """Test hook: make the dispatch loop unresponsive for a while."""
@@ -459,9 +472,7 @@ class ShardHandle:
             elif op == "cancelled":
                 self._on_cancelled(message[1])
             elif op == "pong":
-                self._pong_seq = max(self._pong_seq, message[1])
-                self._pong_time = time.monotonic()
-                self._health = message[2]
+                self._apply_pong(message[1], message[2])
             elif op == "stats":
                 with self._lock:
                     future = self._sync.pop(("stats", message[1]), None)
@@ -469,6 +480,11 @@ class ShardHandle:
                     future.set_result(message[2])
             elif op == "stopped":
                 self._final_stats = message[1]
+
+    def _apply_pong(self, seq: int, health: "dict | None") -> None:
+        """Record one pong: the triple is built first, swapped once."""
+        now = time.monotonic()
+        self._pong = (max(self._pong[0], seq), now, health)
 
     def _pop(self, req_id: int) -> "_Pending | None":
         with self._lock:

@@ -151,20 +151,34 @@ class ResultCache:
         """The entry for ``key`` (refreshing its recency), or ``None``.
 
         With ``verify=True`` a hit whose payload fails its checksum is
-        discarded and reported as a miss.
+        discarded and reported as a miss.  The checksum is computed
+        *outside* the lock — hashing a multi-megabyte payload under
+        the global lock would serialise every concurrent reader behind
+        it — and the cache state is re-checked afterwards: if the
+        entry was replaced or evicted while hashing, the lookup
+        retries against whatever is current, so verification is always
+        of the entry actually returned.
         """
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
-                return None
-            if self.verify and entry.checksum() != self._digests.get(key):
-                del self._entries[key]
-                self._digests.pop(key, None)
-                self._bytes -= entry.nbytes
-                self.corruptions_detected += 1
-                return None
-            self._entries.move_to_end(key)
-            return entry
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is None:
+                    return None
+                if not self.verify:
+                    self._entries.move_to_end(key)
+                    return entry
+            digest = entry.checksum()  # outside the lock, on purpose
+            with self._lock:
+                if self._entries.get(key) is not entry:
+                    continue  # replaced/evicted while hashing; retry
+                if digest != self._digests.get(key):
+                    del self._entries[key]
+                    self._digests.pop(key, None)
+                    self._bytes -= entry.nbytes
+                    self.corruptions_detected += 1
+                    return None
+                self._entries.move_to_end(key)
+                return entry
 
     def put(self, key: str, entry: CacheEntry) -> int:
         """Admit ``entry`` under ``key``; returns evictions performed.

@@ -74,6 +74,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..api import (
+    GREEKS_COLUMNS,
     PricingRequest,
     ServiceResult,
     _engine_profile,
@@ -104,7 +105,7 @@ from .health import (
 __all__ = ["PricingService", "ServiceConfig", "ServiceMetrics",
            "ServiceStats"]
 
-_GREEKS_COLUMNS = ("delta", "gamma", "theta", "vega", "rho")
+_GREEKS_COLUMNS = GREEKS_COLUMNS
 
 #: Sentinel the coalescer drains up to on :meth:`PricingService.close`.
 _CLOSE = object()
@@ -129,15 +130,27 @@ class _AdmissionQueue:
     contract.  Control tokens (:data:`_CLOSE`, :class:`_DrainToken`)
     live on an unbounded side channel so shutdown can never be blocked
     out by a full queue.
+
+    The queue owns the ``repro_service_queue_depth`` gauge: every
+    transition — enqueue, dequeue, shed — publishes the new depth
+    under the queue lock, so the gauge can never lag a transition or
+    overstate the backlog while the coalescer is busy flushing.
+    Control tokens are not requests and are never counted.
     """
 
-    def __init__(self, maxsize: int):
+    def __init__(self, maxsize: int, depth_gauge=None):
         self.maxsize = maxsize
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
         self._high: "deque[_Pending]" = deque()
         self._normal: "deque[_Pending]" = deque()
         self._control: deque = deque()
+        self._depth_gauge = depth_gauge
+
+    def _publish_depth(self) -> None:
+        # caller holds self._lock
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(float(len(self._high) + len(self._normal)))
 
     def qsize(self) -> int:
         with self._lock:
@@ -158,6 +171,7 @@ class _AdmissionQueue:
             band = (self._high if pending.request.priority == "high"
                     else self._normal)
             band.append(pending)
+            self._publish_depth()
             self._ready.notify()
             return shed
 
@@ -184,10 +198,13 @@ class _AdmissionQueue:
 
     def _pop(self):
         if self._high:
-            return self._high.popleft()
-        if self._normal:
-            return self._normal.popleft()
-        return self._control.popleft()
+            item = self._high.popleft()
+        elif self._normal:
+            item = self._normal.popleft()
+        else:
+            return self._control.popleft()
+        self._publish_depth()
+        return item
 
 
 @dataclass(frozen=True)
@@ -470,7 +487,8 @@ class PricingService:
         # must verify; production services skip the checksum cost.
         self._cache = ResultCache(self.config.cache_bytes,
                                   verify=self.config.chaos is not None)
-        self._queue = _AdmissionQueue(self.config.max_queue)
+        self._queue = _AdmissionQueue(self.config.max_queue,
+                                      depth_gauge=self.metrics.queue_depth)
         self._lock = threading.Lock()
         self._inflight: "dict[str, list[_Pending]]" = {}
         self._engines: "dict[tuple, PricingEngine]" = {}
@@ -567,7 +585,6 @@ class PricingService:
                 "shed from the admission queue to admit high-priority "
                 "work under overload"))
         self.metrics.cache_misses.inc()
-        self.metrics.queue_depth.set(float(self._queue.qsize()))
         span.set(outcome="queued").end()
         return future
 
@@ -585,22 +602,29 @@ class PricingService:
     def _resolve(self, pending: _Pending, result: ServiceResult) -> None:
         """Apply the caller's ``strict`` flag and resolve one future."""
         future = pending.future
-        if not future.running():
+        claimed_at_flush = future.running()
+        if not claimed_at_flush:
             # A follower (never claimed at flush time): claim it now so
-            # a racing caller-side cancel() is honoured atomically, and
-            # apply its own deadline — joining a computation does not
-            # extend the caller's budget.
+            # a racing caller-side cancel() is honoured atomically.
             if not future.set_running_or_notify_cancel():
                 self.metrics.cancelled.inc()
                 return
-            if (pending.deadline is not None
-                    and time.monotonic() > pending.deadline):
-                self.metrics.deadline_expired.inc()
-                future.set_exception(DeadlineExceededError(
-                    f"deadline of {pending.request.deadline_ms:g} ms "
-                    "expired before the joined in-flight computation "
-                    "finished"))
-                return
+        if (pending.deadline is not None
+                and time.monotonic() > pending.deadline):
+            # Symmetric post-flush enforcement: the deadline bounds the
+            # flush's per-chunk timeout, but a serial engine (or a
+            # flush finishing just late) can still deliver after the
+            # budget — primaries and followers alike get the error
+            # they asked for instead of a result they stopped waiting
+            # on.
+            self.metrics.deadline_expired.inc()
+            where = ("while its flush was executing" if claimed_at_flush
+                     else "before the joined in-flight computation "
+                          "finished")
+            future.set_exception(DeadlineExceededError(
+                f"deadline of {pending.request.deadline_ms:g} ms "
+                f"expired {where}"))
+            return
         if pending.request.strict and result.failures:
             try:
                 raise_first_failure(result.failures)
@@ -753,7 +777,6 @@ class PricingService:
                 if bucket.n_options >= self.config.max_batch:
                     del buckets[bkey]
                     self._flush(bucket, "full")
-            self.metrics.queue_depth.set(float(self._queue.qsize()))
             if closing or drains:
                 for bkey in list(buckets):
                     self._flush(buckets.pop(bkey), "drain")

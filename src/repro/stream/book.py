@@ -1,0 +1,272 @@
+"""The live position book: tolerance-gated dirty marking.
+
+A :class:`PositionBook` holds quantities of priced instruments and two
+views of each instrument's market inputs:
+
+* the **live** inputs — whatever the tick feed last said;
+* the **effective** inputs — the inputs of the last revaluation, i.e.
+  what the currently published risk numbers were computed *from*.
+
+A tick moves the live view and marks the instrument dirty only when
+the move exceeds its per-field :class:`Tolerance` **relative to the
+effective view** — small moves accumulate until they matter, so drift
+cannot hide below the gate forever.  The revaluation loop drains the
+dirty set into pricing batches and commits results back, which
+promotes the drained live inputs to effective.
+
+Aggregation is deliberately shape-stable: columns are assembled in
+book insertion order and reduced with the same NumPy ops every time,
+so two books that priced the same inputs publish **bitwise-identical**
+aggregates — the property the full-repricing oracle checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..api import GREEKS_COLUMNS
+from ..errors import StreamError
+from ..finance.options import Option
+from .ticks import TICK_FIELDS, Tick
+
+__all__ = [
+    "AGGREGATE_COLUMNS",
+    "PositionBook",
+    "Position",
+    "RiskAggregate",
+    "Tolerance",
+]
+
+#: Value column plus the five greeks, in aggregate order.
+AGGREGATE_COLUMNS = ("value",) + GREEKS_COLUMNS
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Dead-band for one market-data field.
+
+    A new value is *material* when ``|new - reference| >
+    abs_tol + rel_tol * |reference|`` — the usual combined
+    absolute/relative test, with the **effective** (last-repriced)
+    value as the reference.  The default (both zero) makes every move
+    material, i.e. tolerance gating off.
+    """
+
+    abs_tol: float = 0.0
+    rel_tol: float = 0.0
+
+    def __post_init__(self):
+        for name in ("abs_tol", "rel_tol"):
+            value = getattr(self, name)
+            if not (math.isfinite(value) and value >= 0.0):
+                raise StreamError(
+                    f"{name} must be finite and >= 0, got {value}")
+
+    def material(self, reference: float, value: float) -> bool:
+        return abs(value - reference) > (self.abs_tol
+                                         + self.rel_tol * abs(reference))
+
+
+@dataclass(frozen=True)
+class Position:
+    """One holding: an instrument id, its contract, size and depth.
+
+    :param instrument_id: unique key ticks address the position by.
+    :param option: the contract; its ``spot``/``volatility``/``rate``
+        seed the initial live and effective inputs.
+    :param quantity: signed holding size (negative = short).
+    :param steps: binomial tree depth this instrument is priced at.
+    """
+
+    instrument_id: str
+    option: Option
+    quantity: float = 1.0
+    steps: int = 512
+
+    def __post_init__(self):
+        if not self.instrument_id:
+            raise StreamError("instrument_id must be non-empty")
+        if not math.isfinite(self.quantity):
+            raise StreamError(
+                f"quantity must be finite, got {self.quantity}")
+        if self.steps < 1:
+            raise StreamError(f"steps must be >= 1, got {self.steps}")
+
+
+class _Slot:
+    """Mutable per-instrument state (internal to the book)."""
+
+    __slots__ = ("position", "live", "effective", "dirty", "values")
+
+    def __init__(self, position: Position):
+        self.position = position
+        inputs = {"spot": float(position.option.spot),
+                  "volatility": float(position.option.volatility),
+                  "rate": float(position.option.rate)}
+        self.live = dict(inputs)
+        self.effective = dict(inputs)
+        self.dirty = True  # never priced yet
+        self.values: "dict[str, float] | None" = None
+
+    def option_at(self, inputs: "dict[str, float]") -> Option:
+        return replace(self.position.option, **inputs)
+
+
+class RiskAggregate(dict):
+    """``{column: float}`` over :data:`AGGREGATE_COLUMNS` (qty-weighted)."""
+
+    __slots__ = ()
+
+
+class PositionBook:
+    """Positions keyed by instrument id, with tolerance dirty marking.
+
+    :param tolerances: per-field :class:`Tolerance` map (missing
+        fields default to zero tolerance, i.e. every move is
+        material).  One map applies book-wide.
+
+    Not thread-safe by design: the revaluation loop is the single
+    writer, exactly like the engine's scheduler owns its queues.
+    """
+
+    def __init__(self, tolerances: "dict[str, Tolerance] | None" = None):
+        tolerances = dict(tolerances or {})
+        for field in tolerances:
+            if field not in TICK_FIELDS:
+                raise StreamError(
+                    f"tolerance for unknown field {field!r} "
+                    f"(expected one of {TICK_FIELDS})")
+        zero = Tolerance()
+        self._tolerances = {field: tolerances.get(field, zero)
+                            for field in TICK_FIELDS}
+        self._slots: "dict[str, _Slot]" = {}
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, instrument_id: str) -> bool:
+        return instrument_id in self._slots
+
+    @property
+    def instruments(self) -> "tuple[str, ...]":
+        return tuple(self._slots)
+
+    def positions(self) -> "tuple[Position, ...]":
+        return tuple(slot.position for slot in self._slots.values())
+
+    def add(self, position: Position) -> None:
+        if position.instrument_id in self._slots:
+            raise StreamError(
+                f"instrument {position.instrument_id!r} is already in "
+                f"the book")
+        self._slots[position.instrument_id] = _Slot(position)
+
+    # -- tick ingestion -------------------------------------------------
+
+    def apply(self, tick: Tick) -> str:
+        """Apply one tick to the live view; returns its disposition.
+
+        ``"marked"`` — the move was material and flipped the
+        instrument clean→dirty; ``"pending"`` — the instrument was
+        already dirty (the next drain picks up the newest live inputs
+        regardless of this move's size); ``"suppressed"`` — the move
+        stayed inside tolerance of the effective value and no
+        revaluation is owed.
+        """
+        slot = self._slots.get(tick.instrument_id)
+        if slot is None:
+            raise StreamError(
+                f"tick for unknown instrument {tick.instrument_id!r}")
+        slot.live[tick.field] = float(tick.value)
+        if slot.dirty:
+            return "pending"
+        reference = slot.effective[tick.field]
+        if self._tolerances[tick.field].material(reference, tick.value):
+            slot.dirty = True
+            return "marked"
+        return "suppressed"
+
+    # -- revaluation handshake -----------------------------------------
+
+    def dirty_ids(self) -> "tuple[str, ...]":
+        return tuple(name for name, slot in self._slots.items()
+                     if slot.dirty)
+
+    def drain_dirty(self):
+        """Snapshot and clear the dirty set.
+
+        Returns ``[(instrument_id, option_at_live_inputs, steps)]`` in
+        book order.  The caller prices the returned options and
+        commits each result back via :meth:`commit`; the snapshot
+        option carries the exact inputs that must become effective.
+        """
+        drained = []
+        for name, slot in self._slots.items():
+            if not slot.dirty:
+                continue
+            slot.dirty = False
+            drained.append((name, slot.option_at(slot.live),
+                            slot.position.steps))
+        return drained
+
+    def commit(self, instrument_id: str, option: Option, price: float,
+               greeks: "dict[str, float] | None" = None) -> None:
+        """Record one revaluation result.
+
+        ``option`` must be the drained snapshot the price was computed
+        from — its inputs become the new effective view.  ``greeks``
+        maps :data:`~repro.api.GREEKS_COLUMNS` names (missing or None
+        = price-only task, greeks recorded as 0.0).
+        """
+        slot = self._slots.get(instrument_id)
+        if slot is None:
+            raise StreamError(
+                f"commit for unknown instrument {instrument_id!r}")
+        slot.effective = {"spot": float(option.spot),
+                          "volatility": float(option.volatility),
+                          "rate": float(option.rate)}
+        values = {"value": float(price)}
+        for column in GREEKS_COLUMNS:
+            values[column] = float((greeks or {}).get(column, 0.0))
+        slot.values = values
+
+    # -- aggregation ----------------------------------------------------
+
+    def effective_inputs(self, instrument_id: str) -> "dict[str, float]":
+        return dict(self._slots[instrument_id].effective)
+
+    def live_inputs(self, instrument_id: str) -> "dict[str, float]":
+        return dict(self._slots[instrument_id].live)
+
+    def effective_option(self, instrument_id: str) -> Option:
+        """The contract at its as-of-last-revaluation inputs."""
+        slot = self._slots[instrument_id]
+        return slot.option_at(slot.effective)
+
+    def aggregate(self) -> RiskAggregate:
+        """Quantity-weighted portfolio totals over every position.
+
+        Columns are reduced in book insertion order with the same
+        NumPy dot product every time, so identical per-instrument
+        values always aggregate bitwise-identically.
+
+        :raises StreamError: some position has never been priced.
+        """
+        unpriced = [name for name, slot in self._slots.items()
+                    if slot.values is None]
+        if unpriced:
+            raise StreamError(
+                f"cannot aggregate: {len(unpriced)} position(s) never "
+                f"priced (first: {unpriced[0]!r})")
+        slots = list(self._slots.values())
+        quantity = np.array([slot.position.quantity for slot in slots],
+                            dtype=np.float64)
+        out = RiskAggregate()
+        for column in AGGREGATE_COLUMNS:
+            values = np.array([slot.values[column] for slot in slots],
+                              dtype=np.float64)
+            out[column] = float(quantity @ values)
+        return out

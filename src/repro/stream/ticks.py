@@ -1,0 +1,253 @@
+"""Tick sources: recorded replay files and seeded synthetic markets.
+
+A *tick* is one market-data update — ``(instrument_id, field, value,
+ts)`` — for one pricing input of one instrument.  Two sources produce
+them:
+
+* :class:`ReplayTickSource` reads a recorded tick file
+  (:func:`write_ticks` / :func:`read_ticks`, JSON lines with every
+  float as :meth:`float.hex`), so a captured session replays
+  **bitwise**: the same file always yields the same tick values down
+  to the last ULP, which is what makes streamed aggregates
+  reproducible across runs and machines.
+* :class:`SyntheticTickSource` generates a seeded market: GBM spot
+  paths with occasional jumps, mean-reverting volatility drift and a
+  slow rate random walk.  Each iteration rebuilds its RNG from the
+  seed, so iterating the same source twice yields the identical tick
+  stream — a synthetic source is its own replay file.
+
+Both sources are plain iterables of :class:`Tick`; the revaluation
+loop does not care which one feeds it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import StreamError
+
+__all__ = [
+    "TICKS_SCHEMA",
+    "TICK_FIELDS",
+    "Tick",
+    "ReplayTickSource",
+    "SyntheticTickSource",
+    "read_ticks",
+    "write_ticks",
+]
+
+#: Version tag of the recorded tick-file format.
+TICKS_SCHEMA = "repro-ticks/v1"
+
+#: The pricing inputs a tick may update.  Strike/maturity/exercise are
+#: contract terms, not market data — they never tick.
+TICK_FIELDS = ("spot", "volatility", "rate")
+
+#: Fields that must stay strictly positive to build a valid Option.
+_POSITIVE_FIELDS = frozenset({"spot", "volatility"})
+
+
+@dataclass(frozen=True)
+class Tick:
+    """One market-data update for one input of one instrument.
+
+    :param instrument_id: the position-book key this update addresses.
+    :param field: which pricing input moved (one of
+        :data:`TICK_FIELDS`).
+    :param value: the new level (not a delta).
+    :param ts: stream time in seconds since the start of the feed
+        (monotonically non-decreasing within a source).
+    """
+
+    instrument_id: str
+    field: str
+    value: float
+    ts: float
+
+    def __post_init__(self):
+        if self.field not in TICK_FIELDS:
+            raise StreamError(
+                f"unknown tick field {self.field!r} "
+                f"(expected one of {TICK_FIELDS})")
+        if not math.isfinite(self.value):
+            raise StreamError(
+                f"tick value for {self.instrument_id}/{self.field} "
+                f"must be finite, got {self.value}")
+        if self.field in _POSITIVE_FIELDS and not self.value > 0.0:
+            raise StreamError(
+                f"tick value for {self.instrument_id}/{self.field} "
+                f"must be > 0, got {self.value}")
+        if not math.isfinite(self.ts) or self.ts < 0.0:
+            raise StreamError(
+                f"tick ts must be finite and >= 0, got {self.ts}")
+
+
+def write_ticks(path, ticks) -> Path:
+    """Record ``ticks`` to ``path`` (JSON lines, floats as hex).
+
+    The first line is a schema header; each following line is one
+    tick.  ``float.hex`` round-trips bitwise, so replaying the file
+    reproduces the exact doubles that were recorded.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"schema": TICKS_SCHEMA}) + "\n")
+        for tick in ticks:
+            handle.write(json.dumps({
+                "i": tick.instrument_id,
+                "f": tick.field,
+                "v": float(tick.value).hex(),
+                "t": float(tick.ts).hex(),
+            }) + "\n")
+    return path
+
+
+def read_ticks(path) -> "tuple[Tick, ...]":
+    """Load a tick file written by :func:`write_ticks`."""
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise StreamError(f"cannot read tick file {path}: {exc}") from exc
+    if not lines:
+        raise StreamError(f"tick file {path} is empty (no schema header)")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise StreamError(
+            f"tick file {path} has a malformed header: {exc}") from exc
+    schema = header.get("schema") if isinstance(header, dict) else None
+    if schema != TICKS_SCHEMA:
+        raise StreamError(
+            f"tick file {path} declares schema {schema!r}, "
+            f"expected {TICKS_SCHEMA!r}")
+    ticks = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            ticks.append(Tick(
+                instrument_id=str(record["i"]),
+                field=str(record["f"]),
+                value=float.fromhex(record["v"]),
+                ts=float.fromhex(record["t"]),
+            ))
+        except (KeyError, ValueError, TypeError) as exc:
+            raise StreamError(
+                f"tick file {path} line {lineno} is malformed: "
+                f"{exc}") from exc
+    return tuple(ticks)
+
+
+class ReplayTickSource:
+    """Iterable over a recorded tick file (bitwise-faithful replay)."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._ticks = read_ticks(self.path)
+
+    def __len__(self) -> int:
+        return len(self._ticks)
+
+    def __iter__(self):
+        return iter(self._ticks)
+
+
+class SyntheticTickSource:
+    """Seeded synthetic market feed over a fixed instrument set.
+
+    Per time step ``dt`` every instrument's spot follows a GBM step
+    with jump mixture; every ``vol_every`` steps its volatility takes
+    a mean-reverting step, and every ``rate_every`` steps its rate a
+    small random walk.  All draws come from one
+    ``numpy.random.default_rng(seed)`` consumed in a fixed order, and
+    :meth:`__iter__` rebuilds that RNG each time — the source is
+    deterministic and re-iterable.
+
+    :param initial: ``{instrument_id: (spot, volatility, rate)}`` —
+        the level each path starts from (typically the position book's
+        own starting inputs).
+    :param seed: RNG seed; same seed, same stream.
+    :param n_steps: number of time steps to emit.
+    :param dt: step width in stream seconds (also the tick ``ts``
+        spacing).
+    :param drift: annualised GBM drift of the spot paths.
+    :param jump_prob: per-step probability of a spot jump.
+    :param jump_scale: standard deviation of the jump's log factor.
+    :param vol_every: emit a volatility tick every this many steps.
+    :param rate_every: emit a rate tick every this many steps.
+    :param vol_of_vol: scale of the volatility mean-reversion noise.
+    :param rate_step: scale of the rate random-walk step.
+    """
+
+    def __init__(self, initial, *, seed: int, n_steps: int,
+                 dt: float = 0.001, drift: float = 0.0,
+                 jump_prob: float = 0.02, jump_scale: float = 0.05,
+                 vol_every: int = 7, rate_every: int = 13,
+                 vol_of_vol: float = 0.05, rate_step: float = 1e-4):
+        if not initial:
+            raise StreamError("SyntheticTickSource needs at least one "
+                              "instrument in `initial`")
+        if n_steps < 0:
+            raise StreamError(f"n_steps must be >= 0, got {n_steps}")
+        if not dt > 0.0:
+            raise StreamError(f"dt must be > 0, got {dt}")
+        if vol_every < 1 or rate_every < 1:
+            raise StreamError("vol_every and rate_every must be >= 1")
+        self.instruments = tuple(initial)
+        self._initial = {name: (float(spot), float(vol), float(rate))
+                         for name, (spot, vol, rate) in initial.items()}
+        self.seed = int(seed)
+        self.n_steps = int(n_steps)
+        self.dt = float(dt)
+        self.drift = float(drift)
+        self.jump_prob = float(jump_prob)
+        self.jump_scale = float(jump_scale)
+        self.vol_every = int(vol_every)
+        self.rate_every = int(rate_every)
+        self.vol_of_vol = float(vol_of_vol)
+        self.rate_step = float(rate_step)
+
+    def __len__(self) -> int:
+        per_step = len(self.instruments)
+        vol_ticks = len(self.instruments) * (self.n_steps // self.vol_every)
+        rate_ticks = len(self.instruments) * (self.n_steps // self.rate_every)
+        return per_step * self.n_steps + vol_ticks + rate_ticks
+
+    def __iter__(self):
+        rng = np.random.default_rng(self.seed)
+        spot = {k: v[0] for k, v in self._initial.items()}
+        vol = {k: v[1] for k, v in self._initial.items()}
+        rate = {k: v[2] for k, v in self._initial.items()}
+        anchor_vol = dict(vol)
+        sqrt_dt = math.sqrt(self.dt)
+        for step in range(1, self.n_steps + 1):
+            ts = step * self.dt
+            emit_vol = step % self.vol_every == 0
+            emit_rate = step % self.rate_every == 0
+            for name in self.instruments:
+                sigma = vol[name]
+                shock = float(rng.standard_normal())
+                log_step = ((self.drift - 0.5 * sigma * sigma) * self.dt
+                            + sigma * sqrt_dt * shock)
+                if float(rng.random()) < self.jump_prob:
+                    log_step += self.jump_scale * float(
+                        rng.standard_normal())
+                spot[name] = spot[name] * math.exp(log_step)
+                yield Tick(name, "spot", spot[name], ts)
+                if emit_vol:
+                    pull = 0.5 * (anchor_vol[name] - sigma) * self.dt
+                    noise = (self.vol_of_vol * sqrt_dt
+                             * float(rng.standard_normal()))
+                    vol[name] = min(max(sigma + pull + noise, 1e-3), 4.0)
+                    yield Tick(name, "volatility", vol[name], ts)
+                if emit_rate:
+                    walk = self.rate_step * float(rng.standard_normal())
+                    rate[name] = min(max(rate[name] + walk, -0.05), 0.5)
+                    yield Tick(name, "rate", rate[name], ts)

@@ -1,0 +1,94 @@
+"""Unit tests of :class:`~repro.serve.shard.ShardHandle` internals.
+
+These run against an *unstarted* shard worker on purpose: the handle's
+bookkeeping (the ``_sync`` RPC map, the pong triple the supervisor
+reads) must stay correct even when the shard never answers — that is
+exactly the wedged-shard scenario the supervisor exists for, and the
+scenario where a leak or a torn read would hurt.
+"""
+
+import sys
+import threading
+import time
+
+import pytest
+
+import repro.serve.shard as shard_module
+from repro.serve.shard import ShardHandle
+from repro.service import ServiceConfig
+
+WAIT = 10.0
+
+
+@pytest.fixture
+def handle():
+    # Never started: the worker process does not exist, so nothing
+    # ever drains the request queue or feeds the response queue.
+    shard = ShardHandle(0, ServiceConfig())
+    yield shard
+    shard._closed = True  # lets a started reader thread exit
+    if shard._reader.is_alive():
+        shard._reader.join(timeout=WAIT)
+
+
+class TestStatsSyncMap:
+    def test_unanswered_stats_does_not_leak_sync_entry(self, handle):
+        # Regression: stats() used to leave its ("stats", seq) future
+        # parked in _sync forever when the shard never responded, so a
+        # wedged shard grew the map by one entry per supervision tick.
+        assert handle.stats(timeout_s=0.05) is None
+        assert handle._sync == {}
+
+    def test_repeated_timeouts_stay_bounded(self, handle):
+        for _ in range(5):
+            assert handle.stats(timeout_s=0.01) is None
+        assert handle._sync == {}
+
+
+class TestPongAtomicity:
+    def test_pong_triple_swaps_atomically(self, handle, monkeypatch):
+        # Regression: the reader thread used to write seq, timestamp
+        # and health as three separate attributes; a supervisor
+        # reading between the first and second write saw a recorded
+        # pong (seq >= 0) with an infinite age.  Pin the reader inside
+        # its time.monotonic() call to land exactly in that window.
+        real_monotonic = time.monotonic
+        in_pong_path = threading.Event()
+        release = threading.Event()
+
+        def gated():
+            caller = sys._getframe(1)
+            if (threading.current_thread() is handle._reader
+                    and caller.f_globals.get("__name__")
+                    == "repro.serve.shard"):
+                in_pong_path.set()
+                assert release.wait(WAIT)
+            return real_monotonic()
+
+        monkeypatch.setattr(shard_module.time, "monotonic", gated)
+        try:
+            handle._reader.start()
+            handle._response_q.put(("pong", 5, {"state": "healthy"}))
+            assert in_pong_path.wait(WAIT)
+            # The reader is mid-recording.  Whatever a concurrent
+            # supervisor observes must be one consistent pong record:
+            # it may not yet see seq 5, but it must never see a
+            # recorded pong that claims to have never happened.
+            seq = handle.pong_seq
+            age = handle.pong_age_s
+            assert not (seq >= 0 and age == float("inf")), (
+                f"torn pong read: seq={seq} with age={age}")
+        finally:
+            release.set()
+        deadline = real_monotonic() + WAIT
+        while handle.pong_seq != 5 and real_monotonic() < deadline:
+            time.sleep(0.005)
+        assert handle.pong_seq == 5
+        assert handle.pong_age_s < WAIT
+        assert handle.health == {"state": "healthy"}
+
+    def test_stale_pong_never_regresses_seq(self, handle):
+        handle._apply_pong(7, {"state": "healthy"})
+        handle._apply_pong(3, {"state": "late"})  # out-of-order arrival
+        assert handle.pong_seq == 7
+        assert handle.pong_age_s < WAIT

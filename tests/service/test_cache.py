@@ -200,6 +200,10 @@ class TestThreadedStress:
         writers; afterwards the cache must be exactly consistent —
         byte accounting matches the surviving entries, residency never
         exceeded the budget, and every hit returned a valid entry.
+        Worker 0 additionally flips bits in entries it admitted while
+        they may still be resident, so the verify-mode hit path (hash
+        outside the lock, re-check, discard on mismatch) is exercised
+        under the same churn.
         """
         import threading
 
@@ -211,13 +215,21 @@ class TestThreadedStress:
 
         def worker(seed):
             rng = np.random.default_rng(seed)
+            mine = []
             start.wait()
             try:
                 for step in range(400):
                     key = keys[int(rng.integers(len(keys)))]
                     action = step % 4
                     if action == 0:
-                        cache.put(key, _entry(value=float(seed)))
+                        entry = _entry(value=float(seed))
+                        cache.put(key, entry)
+                        mine.append(entry)
+                    elif action == 1 and seed == 0 and mine:
+                        # live silent corruption: racing readers must
+                        # discard, never serve, the flipped entry
+                        TestVerification._flip_bit(
+                            mine[int(rng.integers(len(mine)))])
                     elif action == 3 and step % 100 == 99:
                         cache.clear()
                     else:
@@ -240,4 +252,54 @@ class TestThreadedStress:
             entry.nbytes for entry in cache._entries.values())
         assert cache.bytes_used <= budget
         assert set(cache._digests) <= set(cache._entries)
+        # Corruptions may or may not have been *observed* (a flipped
+        # entry can be evicted before any reader hashes it), but the
+        # counter must never go backwards or explode past the flips.
+        assert 0 <= cache.corruptions_detected <= 400
+
+
+class TestVerificationLocking:
+    """The verify-mode hit path must hash outside the global lock."""
+
+    def test_checksum_runs_outside_the_lock(self):
+        # Regression: get() used to compute the blake2b payload digest
+        # while holding the cache lock, serialising every concurrent
+        # reader behind hashing.
+        cache = ResultCache(1024, verify=True)
+        held_during_hash = []
+
+        class _ProbeEntry(CacheEntry):
+            def checksum(entry_self):
+                free = cache._lock.acquire(blocking=False)
+                if free:
+                    cache._lock.release()
+                held_during_hash.append(not free)
+                return CacheEntry.checksum(entry_self)
+
+        entry = _ProbeEntry(prices=CacheEntry.freeze(np.ones(1)))
+        cache.put("k", entry)
+        # Admission hashes under the lock (cheap, once); only the hit
+        # path's hashing matters for reader concurrency.
+        held_during_hash.clear()
+        assert cache.get("k") is entry
+        assert held_during_hash == [False]
+
+    def test_replaced_while_hashing_retries_to_current_entry(self):
+        cache = ResultCache(1024, verify=True)
+        replacement = _entry(value=2.0)
+
+        class _SwappedEntry(CacheEntry):
+            def checksum(entry_self):
+                # Swap the key out from under the in-progress get() —
+                # only possible when hashing runs outside the lock.
+                if cache._lock.acquire(blocking=False):
+                    cache._lock.release()
+                    if cache._entries.get("k") is entry_self:
+                        cache.put("k", replacement)
+                return CacheEntry.checksum(entry_self)
+
+        cache.put("k", _SwappedEntry(prices=CacheEntry.freeze(np.ones(1))))
+        # get() hashes the old entry, notices it is no longer current,
+        # and retries against (and verifies) the replacement.
+        assert cache.get("k") is replacement
         assert cache.corruptions_detected == 0

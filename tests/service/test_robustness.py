@@ -345,3 +345,121 @@ class TestValidation:
             ChaosPlan(stall_every=-1)
         with pytest.raises(ServiceError):
             ChaosPlan(stall_s=-0.1)
+
+
+class _FlushDepthProbe:
+    """Block the first flush; record the queue-depth gauge at the
+    entry of every later flush.
+
+    The gauge contract is that it reflects the *current* queue depth
+    at every transition, so a flush — which runs strictly after its
+    entries were dequeued — must always observe the post-dequeue
+    value.
+    """
+
+    def __init__(self, service):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.depths = []
+        self._service = service
+        self._first = True
+        original = service._flush
+
+        def wrapped(bucket, reason):
+            if self._first:
+                self._first = False
+                self.entered.set()
+                assert self.release.wait(WAIT)
+            else:
+                self.depths.append(service.metrics.queue_depth.value())
+            original(bucket, reason)
+
+        service._flush = wrapped
+
+
+class TestQueueDepthGauge:
+    def test_gauge_current_at_flush_entry(self, batch):
+        # max_batch=1: every request full-flushes inside the dequeue
+        # loop, i.e. *before* any end-of-loop bookkeeping could paper
+        # over a stale gauge.
+        config = ServiceConfig(max_wait_ms=10_000.0, max_batch=1)
+        service = PricingService(config)
+        try:
+            probe = _FlushDepthProbe(service)
+            filler = service.submit(_request(batch[:1]))
+            assert probe.entered.wait(WAIT)
+            # The coalescer is pinned inside the filler's flush, so
+            # these two sit in the queue untouched.
+            second = service.submit(_request(batch[1:2]))
+            third = service.submit(_request(batch[2:3]))
+            assert service.metrics.queue_depth.value() == 2.0
+            probe.release.set()
+            for future in (filler, second, third):
+                future.result(timeout=WAIT)
+            # By the time either follow-up flush started, both entries
+            # had been dequeued: the gauge must have said 0, not the
+            # last submit-time snapshot.
+            assert probe.depths == [0.0, 0.0]
+        finally:
+            service.close()
+
+    def test_gauge_returns_to_zero_after_drain(self, batch):
+        # Exercise the transitions that bypass a plain dequeue: a shed
+        # (removed by a high-priority put), a caller-side cancel and an
+        # in-queue deadline expiry all must leave the gauge honest.
+        config = ServiceConfig(max_wait_ms=10_000.0, max_queue=2)
+        service = PricingService(config)
+        try:
+            gate = _BlockedFlush(service)
+            filler = service.submit(_request(batch[:1]))
+            assert gate.entered.wait(WAIT)
+            shed_me = service.submit(_request(batch[1:2]))
+            cancel_me = service.submit(
+                _request(batch[2:3], deadline_ms=1.0))
+            assert service.metrics.queue_depth.value() == 2.0
+            high = service.submit(
+                _request(batch[3:4], priority="high"))
+            with pytest.raises(ServiceOverloadedError):
+                shed_me.result(timeout=WAIT)
+            # One shed out, one high-priority in: still exactly two.
+            assert service.metrics.queue_depth.value() == 2.0
+            cancel_me.cancel()
+            gate.release.set()
+            filler.result(timeout=WAIT)
+            # drain() flushes the high entry's bucket (its 10 s
+            # coalescing window would otherwise still be open).
+            assert service.drain(timeout_s=WAIT)
+            high.result(timeout=WAIT)
+            assert service.metrics.queue_depth.value() == 0.0
+        finally:
+            service.close()
+
+
+class TestPostFlushDeadlineSymmetry:
+    def test_primary_expires_when_flush_outlives_deadline(
+            self, batch, monkeypatch):
+        # The flush computes the answer in time but delivery is late:
+        # the primary (claimed at flush) must get the same post-flush
+        # deadline check as a joined follower would.
+        real_run = service_module.run_request
+
+        def slow_run(engine, request, deadline_s=None):
+            result = real_run(engine, request, deadline_s=deadline_s)
+            time.sleep(0.12)
+            return result
+
+        monkeypatch.setattr(service_module, "run_request", slow_run)
+        with PricingService(ServiceConfig(max_wait_ms=0.0)) as service:
+            future = service.submit(_request(batch[:2], deadline_ms=60.0))
+            with pytest.raises(DeadlineExceededError,
+                               match="flush was executing"):
+                future.result(timeout=WAIT)
+            deadline = time.monotonic() + WAIT
+            while (service.stats().deadline_expired == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.005)
+            stats = service.close()
+        assert stats.deadline_expired == 1
+        # Engine work *was* spent — enforcement is post-flush, unlike
+        # the pre-flush expiry path which costs no flush at all.
+        assert stats.flushes == 1

@@ -1,0 +1,262 @@
+"""StreamRunner: replay determinism, oracle parity, fault healing."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.engine.faults import FaultPlan
+from repro.errors import StreamError
+from repro.finance import generate_batch
+from repro.obs import keys as obs_keys
+from repro.service import PricingService, ServiceConfig
+from repro.stream import (
+    AGGREGATE_COLUMNS,
+    Position,
+    PositionBook,
+    StreamConfig,
+    StreamRunner,
+    SyntheticTickSource,
+    Tolerance,
+    full_repricing_oracle,
+)
+
+STEPS = 16
+N_INSTRUMENTS = 5
+TICK_STEPS = 10
+WAIT = 10.0
+
+CONFIG = StreamConfig(kernel="iv_b", backend="numpy", batch_ticks=6)
+
+
+def _book(tolerances=None):
+    options = generate_batch(n_options=N_INSTRUMENTS, seed=77).options
+    book = PositionBook(tolerances)
+    for index, option in enumerate(options):
+        quantity = (index + 1) * (-1.0 if index % 3 == 2 else 1.0)
+        book.add(Position(f"ins-{index}", option, quantity=quantity,
+                          steps=STEPS))
+    return book
+
+
+def _source(book, n_steps=TICK_STEPS, seed=5):
+    initial = {p.instrument_id: (p.option.spot, p.option.volatility,
+                                 p.option.rate)
+               for p in book.positions()}
+    return SyntheticTickSource(initial, seed=seed, n_steps=n_steps)
+
+
+def _service_config(**overrides):
+    kwargs = dict(max_batch=N_INSTRUMENTS, max_wait_ms=0.0, workers=1)
+    kwargs.update(overrides)
+    return ServiceConfig(**kwargs)
+
+
+def _run(tolerances=None, config=CONFIG, service_config=None, seed=5,
+         on_aggregate=None):
+    book = _book(tolerances)
+    with PricingService(service_config or _service_config()) as service:
+        runner = StreamRunner(book, service, config=config,
+                              on_aggregate=on_aggregate)
+        runner.process(_source(book, seed=seed))
+    return book, runner
+
+
+def _fingerprints(updates):
+    return [(u.seq, u.ts.hex(), u.repriced,
+             {k: v.hex() for k, v in u.columns.items()}, u.pnl.hex())
+            for u in updates]
+
+
+class TestRunnerBasics:
+    def test_empty_book_rejected(self):
+        with PricingService(_service_config()) as service:
+            with pytest.raises(StreamError, match="empty"):
+                StreamRunner(PositionBook(), service)
+
+    def test_config_validation(self):
+        with pytest.raises(StreamError, match="task"):
+            StreamConfig(task="vega-only")
+        with pytest.raises(StreamError, match="batch_ticks"):
+            StreamConfig(batch_ticks=0)
+        with pytest.raises(StreamError, match="reval_timeout_s"):
+            StreamConfig(reval_timeout_s=0.0)
+
+    def test_publishes_sequenced_aggregates(self):
+        _book_, runner = _run()
+        seqs = [u.seq for u in runner.published]
+        assert seqs == list(range(1, len(seqs) + 1))
+        assert runner.published  # at least the end-of-stream revaluation
+
+    def test_pnl_chains_value_deltas(self):
+        _book_, runner = _run()
+        assert runner.published[0].pnl == 0.0
+        for prev, cur in zip(runner.published, runner.published[1:]):
+            assert cur.pnl == cur.value - prev.value
+
+    def test_revalue_with_nothing_dirty_is_noop(self):
+        book = _book()
+        with PricingService(_service_config()) as service:
+            runner = StreamRunner(book, service, config=CONFIG)
+            runner.revalue()  # initial whole-book valuation
+            published = len(runner.published)
+            assert runner.revalue() is None
+            assert len(runner.published) == published
+
+    def test_latency_samples_cover_materialised_ticks(self):
+        _book_, runner = _run()
+        stats = runner.stats()
+        covered = stats.ticks - stats.suppressed_ticks
+        assert len(runner.latencies) == covered
+        assert all(sample >= 0.0 for sample in runner.latencies)
+
+
+class TestReplayDeterminism:
+    def test_two_fresh_runs_are_bitwise_identical(self):
+        _b1, first = _run()
+        _b2, second = _run()
+        assert _fingerprints(first.published) == \
+            _fingerprints(second.published)
+
+    def test_different_seed_changes_the_stream(self):
+        _b1, first = _run(seed=5)
+        _b2, second = _run(seed=6)
+        assert _fingerprints(first.published) != \
+            _fingerprints(second.published)
+
+
+class TestOracleParity:
+    def test_every_aggregate_matches_oracle_bitwise(self):
+        book = _book()
+        checked = []
+
+        def verify(update):
+            oracle = full_repricing_oracle(book, CONFIG)
+            assert tuple(oracle) == AGGREGATE_COLUMNS
+            for column in AGGREGATE_COLUMNS:
+                assert oracle[column].hex() == update.columns[column].hex()
+            checked.append(update.seq)
+
+        with PricingService(_service_config()) as service:
+            runner = StreamRunner(book, service, config=CONFIG,
+                                  on_aggregate=verify)
+            runner.process(_source(book))
+        assert checked == [u.seq for u in runner.published]
+
+    @pytest.mark.parametrize("fault_seed", [101, 202, 303])
+    def test_parity_holds_under_transient_faults(self, fault_seed):
+        _calm_book, calm = _run()
+        faults = FaultPlan.random(fault_seed, N_INSTRUMENTS)
+        book = _book()
+
+        def verify(update):
+            oracle = full_repricing_oracle(book, CONFIG)
+            for column in AGGREGATE_COLUMNS:
+                assert oracle[column].hex() == update.columns[column].hex()
+
+        with PricingService(_service_config(faults=faults)) as service:
+            runner = StreamRunner(book, service, config=CONFIG,
+                                  on_aggregate=verify)
+            runner.process(_source(book))
+        assert _fingerprints(runner.published) == \
+            _fingerprints(calm.published)
+
+    def test_price_task_publishes_value_only(self):
+        config = StreamConfig(kernel="iv_b", backend="numpy",
+                              batch_ticks=6, task="price")
+        book, runner = _run(config=config)
+        final = runner.published[-1]
+        oracle = full_repricing_oracle(book, config)
+        assert final.columns["value"].hex() == oracle["value"].hex()
+        assert all(final.columns[c] == 0.0
+                   for c in AGGREGATE_COLUMNS if c != "value")
+
+
+class TestToleranceGating:
+    TOLERANCES = {field: Tolerance(rel_tol=5e-3)
+                  for field in ("spot", "volatility", "rate")}
+
+    def test_suppression_saves_revaluations_and_keeps_parity(self):
+        _ungated_book, ungated = _run()
+        book = _book(self.TOLERANCES)
+
+        def verify(update):
+            # gated aggregates still match the oracle at EFFECTIVE
+            # inputs bitwise: suppression defers work, never corrupts
+            oracle = full_repricing_oracle(book, CONFIG)
+            for column in AGGREGATE_COLUMNS:
+                assert oracle[column].hex() == update.columns[column].hex()
+
+        with PricingService(_service_config()) as service:
+            runner = StreamRunner(book, service, config=CONFIG,
+                                  on_aggregate=verify)
+            runner.process(_source(book))
+        stats = runner.stats()
+        assert stats.suppressed_ticks > 0
+        assert stats.revaluations < ungated.stats().revaluations
+
+    def test_published_risk_stays_within_first_order_drift_bound(self):
+        # the gate can leave live inputs ahead of the published risk,
+        # but only by sub-tolerance moves — so the gap to a live-input
+        # oracle is bounded by a greeks-derived first-order estimate
+        book = _book(self.TOLERANCES)
+        with PricingService(_service_config()) as service:
+            runner = StreamRunner(book, service, config=CONFIG)
+            runner.process(_source(book))
+        published = runner.published[-1].columns["value"]
+
+        for position in book.positions():
+            name = position.instrument_id
+            live, eff = book.live_inputs(name), book.effective_inputs(name)
+            for field in ("spot", "volatility", "rate"):
+                gap = abs(live[field] - eff[field])
+                assert gap <= self.TOLERANCES[field].rel_tol * \
+                    abs(eff[field]) + 1e-12
+
+        # price the live view from scratch and bound the value gap by
+        # sum(|q| * (|delta|*dS + |vega|*dVol + |rho|*dRate)) with 4x
+        # slack for curvature
+        live_book = PositionBook()
+        for position in book.positions():
+            live_option = replace(position.option,
+                                  **book.live_inputs(position.instrument_id))
+            live_book.add(replace(position, option=live_option))
+        live_oracle = full_repricing_oracle(live_book, CONFIG)
+
+        bound = 0.0
+        for position in book.positions():
+            name = position.instrument_id
+            live, eff = book.live_inputs(name), book.effective_inputs(name)
+            values = book._slots[name].values  # per-instrument greeks
+            bound += abs(position.quantity) * (
+                abs(values["delta"]) * abs(live["spot"] - eff["spot"])
+                + abs(values["vega"]) * abs(live["volatility"]
+                                            - eff["volatility"])
+                + abs(values["rho"]) * abs(live["rate"] - eff["rate"]))
+        assert abs(published - live_oracle["value"]) <= 4.0 * bound + 1e-9
+
+
+class TestStreamStats:
+    def test_schema_tag(self):
+        assert obs_keys.STREAM_STATS_SCHEMA == "repro-stream-stats/v7"
+
+    def test_as_dict_schema_then_keys_in_order(self):
+        _book_, runner = _run()
+        snapshot = runner.stats().as_dict()
+        assert tuple(snapshot) == ("schema",) + obs_keys.STREAM_STATS_KEYS
+        assert snapshot["schema"] == obs_keys.STREAM_STATS_SCHEMA
+
+    def test_stats_to_metric_targets_exist(self):
+        from repro.stream import StreamMetrics
+        metrics = StreamMetrics()
+        for stat, metric in obs_keys.STREAM_STATS_TO_METRIC.items():
+            assert stat in obs_keys.STREAM_STATS_KEYS
+            assert metrics.registry.get(metric) is not None, metric
+
+    def test_counters_reconcile(self):
+        _book_, runner = _run()
+        stats = runner.stats()
+        assert stats.instruments == N_INSTRUMENTS
+        assert stats.aggregates == len(runner.published)
+        assert stats.ticks == stats.suppressed_ticks + len(runner.latencies)
+        assert stats.revaluations >= stats.reval_batches >= 1
+        assert stats.mean_tick_to_risk_s >= 0.0

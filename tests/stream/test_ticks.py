@@ -1,0 +1,132 @@
+"""Tick model, recorded replay files, and synthetic determinism."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.stream import (
+    TICK_FIELDS,
+    TICKS_SCHEMA,
+    ReplayTickSource,
+    SyntheticTickSource,
+    Tick,
+    read_ticks,
+    write_ticks,
+)
+
+
+def _source(n_steps=5, seed=7):
+    initial = {"a": (100.0, 0.25, 0.03), "b": (80.0, 0.4, 0.01)}
+    return SyntheticTickSource(initial, seed=seed, n_steps=n_steps)
+
+
+class TestTickValidation:
+    def test_valid_fields_only(self):
+        with pytest.raises(StreamError, match="unknown tick field"):
+            Tick("a", "strike", 100.0, 0.0)
+
+    def test_value_must_be_finite(self):
+        with pytest.raises(StreamError, match="finite"):
+            Tick("a", "spot", float("nan"), 0.0)
+
+    @pytest.mark.parametrize("field", ["spot", "volatility"])
+    def test_positive_fields_reject_zero(self, field):
+        with pytest.raises(StreamError, match="must be > 0"):
+            Tick("a", field, 0.0, 0.0)
+
+    def test_rate_may_be_negative(self):
+        assert Tick("a", "rate", -0.01, 0.0).value == -0.01
+
+    def test_ts_must_be_non_negative(self):
+        with pytest.raises(StreamError, match="ts"):
+            Tick("a", "spot", 100.0, -1.0)
+
+    def test_fields_are_market_inputs(self):
+        assert TICK_FIELDS == ("spot", "volatility", "rate")
+
+
+class TestTickFile:
+    def test_round_trip_is_bitwise(self, tmp_path):
+        ticks = list(_source())
+        path = write_ticks(tmp_path / "ticks.jsonl", ticks)
+        loaded = read_ticks(path)
+        assert loaded == tuple(ticks)
+        # bitwise, not just ==: hex round-trip preserves every ULP
+        for orig, back in zip(ticks, loaded):
+            assert float(orig.value).hex() == float(back.value).hex()
+            assert float(orig.ts).hex() == float(back.ts).hex()
+
+    def test_replay_source_matches_file(self, tmp_path):
+        ticks = tuple(_source())
+        path = write_ticks(tmp_path / "ticks.jsonl", ticks)
+        replay = ReplayTickSource(path)
+        assert len(replay) == len(ticks)
+        assert tuple(replay) == ticks
+        assert tuple(replay) == ticks  # re-iterable
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StreamError, match="cannot read tick file"):
+            read_ticks(tmp_path / "nope.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(StreamError, match="empty"):
+            read_ticks(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text('{"schema": "repro-ticks/v0"}\n')
+        with pytest.raises(StreamError, match="declares schema"):
+            read_ticks(path)
+
+    def test_malformed_line_is_located(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"schema": "%s"}\n{"i": "a", "f": "spot"}\n' % TICKS_SCHEMA)
+        with pytest.raises(StreamError, match="line 2"):
+            read_ticks(path)
+
+
+class TestSyntheticSource:
+    def test_same_seed_same_stream_bitwise(self):
+        first = [(t.instrument_id, t.field, t.value.hex(), t.ts.hex())
+                 for t in _source(seed=11)]
+        second = [(t.instrument_id, t.field, t.value.hex(), t.ts.hex())
+                  for t in _source(seed=11)]
+        assert first == second
+
+    def test_reiterating_one_source_is_identical(self):
+        source = _source(seed=3)
+        assert ([t.value.hex() for t in source]
+                == [t.value.hex() for t in source])
+
+    def test_different_seeds_differ(self):
+        a = [t.value for t in _source(seed=1)]
+        b = [t.value for t in _source(seed=2)]
+        assert a != b
+
+    def test_len_counts_exactly(self):
+        # 20 steps, 2 instruments: vol ticks every 7, rate every 13
+        source = _source(n_steps=20)
+        assert len(source) == len(list(source))
+
+    def test_emits_vol_and_rate_ticks(self):
+        fields = {t.field for t in _source(n_steps=15)}
+        assert fields == {"spot", "volatility", "rate"}
+
+    def test_ts_non_decreasing(self):
+        times = [t.ts for t in _source(n_steps=10)]
+        assert times == sorted(times)
+
+    def test_values_stay_valid(self):
+        for tick in _source(n_steps=30, seed=99):
+            Tick(tick.instrument_id, tick.field, tick.value, tick.ts)
+
+    def test_rejects_empty_initial(self):
+        with pytest.raises(StreamError, match="at least one"):
+            SyntheticTickSource({}, seed=1, n_steps=1)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(StreamError, match="dt"):
+            SyntheticTickSource({"a": (1.0, 0.2, 0.0)}, seed=1,
+                                n_steps=1, dt=0.0)

@@ -252,3 +252,48 @@ class TestCommands:
         names = {span["name"] for span in document["spans"]}
         assert "service.enqueue" in names
         assert any(name.startswith("service.flush[") for name in names)
+
+    def test_stream_bench(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "stream.json"
+        code = main(["stream-bench", "--instruments", "6",
+                     "--tick-steps", "8", "--steps", "16",
+                     "--fault-seeds", "101", "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tick-to-risk" in out
+        assert "parity: bitwise vs oracle" in out
+        assert "revaluations/s" in out
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == "repro-stream-bench/v1"
+        assert document["stats_schema"] == "repro-stream-stats/v7"
+        entry = document["results"][0]
+        assert entry["parity"]["bitwise"] is True
+        assert entry["parity"]["replay"] is True
+        assert entry["parity"]["fault_seeds"] == [101]
+        run = entry["runs"][0]
+        assert run["options_per_second"] > 0.0
+        assert run["latency"]["p999_ms"] >= run["latency"]["p99_ms"] \
+            >= run["latency"]["p50_ms"] > 0.0
+        assert run["stream"]["schema"] == "repro-stream-stats/v7"
+        assert entry["tolerance"]["suppressed_ticks"] >= 0
+
+    def test_stream_bench_regression_gate(self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        assert main(["stream-bench", "--instruments", "6",
+                     "--tick-steps", "8", "--steps", "16",
+                     "--fault-seeds", "--out", str(baseline)]) == 0
+        capsys.readouterr()
+
+        document = json.loads(baseline.read_text())
+        document["results"][0]["runs"][0]["options_per_second"] *= 100.0
+        baseline.write_text(json.dumps(document))
+        code = main(["stream-bench", "--instruments", "6",
+                     "--tick-steps", "8", "--steps", "16",
+                     "--fault-seeds", "--out", str(tmp_path / "s2.json"),
+                     "--check-against", str(baseline)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
