@@ -9,18 +9,21 @@ Combines three accuracy stories of the paper into one study:
 3. discretisation — the CRR error itself, and what parity-smoothed
    Richardson extrapolation recovers.
 
+The depth × precision grid runs through the resumable scenario-sweep
+layer (``repro.sweep``): every (N, precision) condition is one
+persisted run-store row, so the study resumes instead of restarting if
+interrupted, and re-running it is a no-op.  Only the flawed-pow column
+stays on the direct simulator — the Altera 13.0 ``pow`` defect is a
+:class:`MathProfile`, not a request precision, so it has no sweep axis.
+
 Run:  python examples/accuracy_study.py     (about a minute: it prices
 real batches at N up to 1024 under three math profiles)
 """
 
-import numpy as np
+import tempfile
+from pathlib import Path
 
-from repro.core import (
-    ALTERA_13_0_DOUBLE,
-    EXACT_DOUBLE,
-    EXACT_SINGLE,
-    simulate_kernel_b_batch,
-)
+from repro.core import ALTERA_13_0_DOUBLE, simulate_kernel_b_batch
 from repro import price
 from repro.finance import (
     Option,
@@ -30,26 +33,51 @@ from repro.finance import (
     richardson_extrapolation,
     rmse,
 )
+from repro.sweep import RunStore, SweepRunner, SweepSpec
 
 DEPTHS = (128, 256, 512, 1024)
 BATCH = 100
+
+
+def depth_precision_spec() -> SweepSpec:
+    """The study's grid: lattice depth × arithmetic precision."""
+    return SweepSpec(
+        name="accuracy-study",
+        axes={"steps": DEPTHS, "precision": ("double", "single")},
+        base={"kernel": "iv_b", "n_options": BATCH, "seed": 5,
+              "option_type": "put"},
+    )
 
 
 def main() -> None:
     batch = list(generate_batch(n_options=BATCH, seed=5).options)
 
     print("=== RMSE vs lattice depth, per math configuration ===")
-    print(f"{'N':>6} {'flawed pow (FPGA)':>18} {'exact (GPU dbl)':>16} "
-          f"{'fp32 (GPU sgl)':>15}")
+    spec = depth_precision_spec()
+    store_path = Path(tempfile.mkdtemp()) / "accuracy_study.jsonl"
+    stats = SweepRunner(spec, store_path).run()
+    print(f"(sweep {spec.name!r}: {stats.cells} cells, "
+          f"{stats.done} done -> {store_path.name}; interrupted runs "
+          f"resume from the store)")
+    cell_rmse = {
+        (row.condition["steps"], row.condition["precision"]):
+            row.result["rmse"]
+        for row in RunStore(store_path).latest().values()
+        if row.status == "done"
+    }
+
+    print(f"{'N':>6} {'flawed pow (FPGA)':>18} {'exact (dbl)':>16} "
+          f"{'fp32 (sgl)':>15}")
     for steps in DEPTHS:
         reference = price(batch, steps=steps).prices
         flawed = rmse(reference,
                       simulate_kernel_b_batch(batch, steps, ALTERA_13_0_DOUBLE))
-        exact = rmse(reference,
-                     simulate_kernel_b_batch(batch, steps, EXACT_DOUBLE))
-        single = rmse(reference,
-                      simulate_kernel_b_batch(batch, steps, EXACT_SINGLE))
-        print(f"{steps:>6} {flawed:>18.2e} {exact:>16.2e} {single:>15.2e}")
+        print(f"{steps:>6} {flawed:>18.2e} "
+              f"{cell_rmse[(steps, 'double')]:>16.2e} "
+              f"{cell_rmse[(steps, 'single')]:>15.2e}")
+    rerun = SweepRunner(spec, store_path).run()
+    print(f"(re-running the grid executed {rerun.executed} cells — "
+          f"the committed store makes it a no-op)")
     print("-> the pow defect sits at ~1e-3 at the paper's N=1024, exactly")
     print("   where fp32 rounding also lands: fixing the operator matters")
     print("   only in double precision (the paper's Section V.C argument).")

@@ -8,8 +8,17 @@ ranks the fitting points by throughput and energy efficiency, and then
 walks the paper's two energy workarounds (under-clocking, lower
 parallelism) toward the 10 W budget.
 
+The run-time half of the exploration — which (depth, kernel) condition
+actually prices best once accuracy is on the table — goes through the
+resumable scenario-sweep layer (``repro.sweep``): a small grid runs as
+service traffic into a persisted run store, and the frontier report
+marks the Pareto points over accuracy × options/s × modeled energy.
+
 Run:  python examples/design_space_exploration.py
 """
+
+import tempfile
+from pathlib import Path
 
 from repro.bench.published import PAPER_POWER_BUDGET_W
 from repro.core import (
@@ -20,6 +29,13 @@ from repro.core import (
 )
 from repro.devices.calibration import FPGA_PIPELINE_DERATE
 from repro.hls import KERNEL_B_OPTIONS, compile_kernel
+from repro.sweep import (
+    RunStore,
+    SweepRunner,
+    SweepSpec,
+    frontier_report,
+    render_frontier,
+)
 
 STEPS = 1024
 
@@ -71,6 +87,19 @@ def main() -> None:
           f"{budget.options_per_second:,.0f} options/s "
           f"({'meets' if budget.options_per_second >= 2000 else 'misses'} "
           "the 2000 options/s target)")
+
+    print("\n=== Run-time frontier via the scenario-sweep layer ===")
+    spec = SweepSpec(
+        name="dse-runtime-frontier",
+        axes={"steps": (64, 128), "kernel": ("iv_b", "reference")},
+        base={"n_options": 8, "reference_steps": 256},
+    )
+    store_path = Path(tempfile.mkdtemp()) / "dse_sweep.jsonl"
+    stats = SweepRunner(spec, store_path).run()
+    print(f"(sweep {spec.name!r}: {stats.done} cells committed to "
+          f"{store_path.name}; the report below is a pure read — "
+          f"killed runs resume, finished grids are no-ops)")
+    print(render_frontier(frontier_report(RunStore(store_path))))
 
 
 if __name__ == "__main__":

@@ -28,8 +28,14 @@ from .experiments import (
 )
 from .engine_bench import (
     BENCH_SCHEMA,
-    check_throughput_regression,
     run_benchmark,
+)
+from .gate import (
+    BENCH_ENVELOPE_SCHEMA,
+    check_throughput_regression,
+    host_info,
+    load_benchmark,
+    make_envelope,
     write_benchmark,
 )
 from .greeks_bench import (
@@ -93,9 +99,13 @@ __all__ = [
     "ReportSection",
     "REPORT_SECTIONS",
     "BENCH_SCHEMA",
+    "BENCH_ENVELOPE_SCHEMA",
     "run_benchmark",
     "write_benchmark",
     "check_throughput_regression",
+    "host_info",
+    "load_benchmark",
+    "make_envelope",
     "GREEKS_BENCH_SCHEMA",
     "baseline_scalar_greeks",
     "run_greeks_benchmark",

@@ -20,11 +20,7 @@ configuration whose throughput dropped more than the allowed fraction.
 
 from __future__ import annotations
 
-import json
-import os
-import platform as _platform
 import time
-from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -39,6 +35,7 @@ from ..finance.lattice import LatticeFamily, build_lattice_params
 from ..finance.market import generate_batch
 from ..finance.options import Option
 from ..obs import keys as obs_keys
+from .gate import check_throughput_regression, make_envelope, write_benchmark
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -280,16 +277,10 @@ def run_benchmark(
             "runs": runs,
         })
 
-    return {
-        "schema": BENCH_SCHEMA,
-        "stats_schema": obs_keys.STATS_SCHEMA,
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "platform": _platform.platform(),
-            "python": _platform.python_version(),
-            "numpy": np.__version__,
-        },
-        "config": {
+    return make_envelope(
+        BENCH_SCHEMA,
+        obs_keys.STATS_SCHEMA,
+        config={
             "kernel": kernel,
             "profile": profile.name,
             "family": family.value,
@@ -297,57 +288,5 @@ def run_benchmark(
             "seed": seed,
             "backend": backend,
         },
-        "results": results,
-    }
-
-
-def write_benchmark(document: dict, path: "str | Path") -> Path:
-    """Serialise a benchmark document to ``path`` (pretty-printed)."""
-    path = Path(path)
-    path.write_text(json.dumps(document, indent=2) + "\n")
-    return path
-
-
-def check_throughput_regression(
-    current: dict,
-    baseline: dict,
-    max_regression: float = 0.30,
-) -> "list[str]":
-    """CI regression gate: compare two benchmark documents.
-
-    Configurations are matched on ``(options, workers, fused_greeks)``
-    — the fused flag defaults to ``0`` so pre-v4 documents and the
-    service benchmark (whose rows carry neither) keep matching — and
-    the global kernel/steps/backend config must agree; a configuration
-    fails when its options/s fell more than ``max_regression`` below
-    the stored baseline.  Returns the list of failure messages (empty
-    = pass).
-    """
-    failures: "list[str]" = []
-    if current["config"] != baseline["config"]:
-        return [
-            f"benchmark configs differ (current {current['config']} vs "
-            f"baseline {baseline['config']}); not comparable"
-        ]
-    baseline_rates = {
-        (entry["options"], run["workers"], run.get("fused_greeks", 0)):
-            run["options_per_second"]
-        for entry in baseline["results"]
-        for run in entry["runs"]
-    }
-    for entry in current["results"]:
-        for run in entry["runs"]:
-            key = (entry["options"], run["workers"],
-                   run.get("fused_greeks", 0))
-            if key not in baseline_rates:
-                continue
-            floor = baseline_rates[key] * (1.0 - max_regression)
-            if run["options_per_second"] < floor:
-                failures.append(
-                    f"options={key[0]} workers={key[1]} "
-                    f"fused={key[2]}: "
-                    f"{run['options_per_second']:.1f} options/s is below "
-                    f"{floor:.1f} ({1 - max_regression:.0%} of stored "
-                    f"baseline {baseline_rates[key]:.1f})"
-                )
-    return failures
+        results=results,
+    )

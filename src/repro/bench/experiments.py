@@ -367,7 +367,26 @@ class AccuracyResult:
 def accuracy_experiment(n_options: int = 500,
                         steps: int = published.PAPER_STEPS,
                         seed: int = 7, workers: int = 1) -> AccuracyResult:
-    """Reproduce the accuracy story: flawed pow vs exact vs fp32."""
+    """Reproduce the accuracy story: flawed pow vs exact vs fp32.
+
+    .. deprecated:: 1.0
+        The bespoke accuracy harness is superseded by the resumable
+        scenario-sweep layer: ``repro sweep run --spec steps-precision``
+        (or :func:`repro.sweep.steps_precision_spec` +
+        :class:`repro.sweep.SweepRunner`) runs the same steps × precision
+        grid with persistence, crash-safe resume and frontier reporting.
+        Only the flawed-pow column (a :class:`MathProfile`, not a request
+        precision) has no sweep-axis equivalent yet.  Scheduled for
+        removal in repro 2.0.
+    """
+    import warnings
+
+    warnings.warn(
+        "accuracy_experiment() is deprecated and will be removed in "
+        "repro 2.0; use the sweep layer instead: repro sweep run "
+        "--spec steps-precision (repro.sweep.steps_precision_spec / "
+        "SweepRunner)",
+        DeprecationWarning, stacklevel=2)
     batch = generate_batch(n_options=n_options, seed=seed).options
     reference = price(batch, steps=steps, workers=workers).prices
     rmses = {
@@ -627,7 +646,23 @@ def precision_ablation(steps: int = published.PAPER_STEPS,
     Compiles kernel IV.B in single precision, re-explores the
     parallelisation space that now fits, and prices an accuracy batch
     in both precisions.
+
+    .. deprecated:: 1.0
+        The precision half of this harness is superseded by the
+        resumable scenario-sweep layer: ``repro sweep run --spec
+        steps-precision`` crosses precision × depth × kernel with
+        persistence, crash-safe resume and frontier reporting (the HLS
+        refit stays in :mod:`repro.core.sweep`).  Scheduled for
+        removal in repro 2.0.
     """
+    import warnings
+
+    warnings.warn(
+        "precision_ablation() is deprecated and will be removed in "
+        "repro 2.0; use the sweep layer instead: repro sweep run "
+        "--spec steps-precision (repro.sweep.steps_precision_spec / "
+        "SweepRunner)",
+        DeprecationWarning, stacklevel=2)
     from ..core.sweep import explore_design_space
     from ..devices.calibration import FPGA_PIPELINE_DERATE
 

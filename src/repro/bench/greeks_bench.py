@@ -19,8 +19,6 @@ resulting document — both benchmarks share the document shape.
 
 from __future__ import annotations
 
-import os
-import platform as _platform
 import time
 from typing import Sequence
 
@@ -34,6 +32,7 @@ from ..finance.greeks import lattice_greeks
 from ..finance.lattice import LatticeFamily
 from ..finance.market import generate_batch
 from ..obs import keys as obs_keys
+from .gate import make_envelope, write_benchmark  # noqa: F401  (re-export)
 
 __all__ = [
     "GREEKS_BENCH_SCHEMA",
@@ -181,16 +180,10 @@ def run_greeks_benchmark(
             "runs": runs,
         })
 
-    return {
-        "schema": GREEKS_BENCH_SCHEMA,
-        "stats_schema": obs_keys.STATS_SCHEMA,
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "platform": _platform.platform(),
-            "python": _platform.python_version(),
-            "numpy": np.__version__,
-        },
-        "config": {
+    return make_envelope(
+        GREEKS_BENCH_SCHEMA,
+        obs_keys.STATS_SCHEMA,
+        config={
             "kernel": kernel,
             "profile": profile.name,
             "family": family.value,
@@ -200,5 +193,5 @@ def run_greeks_benchmark(
             "bump_rate": bump_rate,
             "backend": backend,
         },
-        "results": results,
-    }
+        results=results,
+    )

@@ -35,7 +35,6 @@ machinery as the engine and greeks baselines.
 from __future__ import annotations
 
 import os
-import platform as _platform
 import threading
 import time
 from typing import Sequence
@@ -50,7 +49,7 @@ from ..finance.lattice import LatticeFamily
 from ..finance.market import generate_batch
 from ..obs import keys as obs_keys
 from ..service import PricingService, ServiceConfig
-from .engine_bench import write_benchmark  # noqa: F401  (re-export for CLI)
+from .gate import make_envelope, write_benchmark  # noqa: F401  (re-export)
 
 __all__ = [
     "SERVE_BENCH_SCHEMA",
@@ -305,16 +304,10 @@ def run_service_benchmark(
             "overload": overload,
         })
 
-    return {
-        "schema": SERVICE_BENCH_SCHEMA,
-        "stats_schema": obs_keys.SERVICE_STATS_SCHEMA,
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "platform": _platform.platform(),
-            "python": _platform.python_version(),
-            "numpy": np.__version__,
-        },
-        "config": {
+    return make_envelope(
+        SERVICE_BENCH_SCHEMA,
+        obs_keys.SERVICE_STATS_SCHEMA,
+        config={
             "kernel": kernel,
             "family": family.value,
             "steps": steps,
@@ -325,8 +318,8 @@ def run_service_benchmark(
             "fault_seed": fault_seed,
             "backend": backend,
         },
-        "results": results,
-    }
+        results=results,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -634,16 +627,10 @@ def run_serve_benchmark(
                 f"(need >= {min_two_shard_speedup:.1f}x) — the shards are "
                 f"not scaling shared-nothing")
 
-    return {
-        "schema": SERVE_BENCH_SCHEMA,
-        "stats_schema": obs_keys.SERVE_STATS_SCHEMA,
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "platform": _platform.platform(),
-            "python": _platform.python_version(),
-            "numpy": np.__version__,
-        },
-        "config": {
+    return make_envelope(
+        SERVE_BENCH_SCHEMA,
+        obs_keys.SERVE_STATS_SCHEMA,
+        config={
             "kernel": "mixed",
             "variants": [list(variant) for variant in
                          SERVE_TRAFFIC_VARIANTS],
@@ -657,7 +644,7 @@ def run_serve_benchmark(
             "fault_seed": fault_seed,
             "backend": backend,
         },
-        "results": [{
+        results=[{
             "options": total_options,
             "parity": {
                 "bit_identical_to_in_process": True,
@@ -667,4 +654,4 @@ def run_serve_benchmark(
             "runs": runs,
             "saturation": saturation,
         }],
-    }
+    )

@@ -29,8 +29,6 @@ machinery as the engine, greeks, service and serve baselines.
 
 from __future__ import annotations
 
-import os
-import platform as _platform
 import time
 from typing import Sequence
 
@@ -51,7 +49,7 @@ from ..stream import (
     Tolerance,
     full_repricing_oracle,
 )
-from .engine_bench import write_benchmark  # noqa: F401  (re-export for CLI)
+from .gate import make_envelope, write_benchmark  # noqa: F401  (re-export)
 
 __all__ = [
     "STREAM_BENCH_SCHEMA",
@@ -281,16 +279,10 @@ def run_stream_benchmark(
             },
         })
 
-    return {
-        "schema": STREAM_BENCH_SCHEMA,
-        "stats_schema": obs_keys.STREAM_STATS_SCHEMA,
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "platform": _platform.platform(),
-            "python": _platform.python_version(),
-            "numpy": np.__version__,
-        },
-        "config": {
+    return make_envelope(
+        STREAM_BENCH_SCHEMA,
+        obs_keys.STREAM_STATS_SCHEMA,
+        config={
             "kernel": kernel,
             "family": family.value,
             "steps": steps,
@@ -303,5 +295,5 @@ def run_stream_benchmark(
             "backend": backend,
             "rel_tol": rel_tol,
         },
-        "results": results,
-    }
+        results=results,
+    )

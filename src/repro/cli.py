@@ -22,6 +22,9 @@ writing Python::
     python -m repro bench-greeks --quick
     python -m repro serve-bench --quick --fault-seed 101
     python -m repro obs --options 24 --steps 128
+    python -m repro sweep run --spec steps-precision-quick --store sweep.jsonl
+    python -m repro sweep status --store sweep.jsonl --fingerprint
+    python -m repro sweep report --store sweep.jsonl --out frontier.json
 
 The bench commands accept ``--out -`` to emit the benchmark document
 as pure JSON on stdout (narration moves to stderr), so the output can
@@ -287,6 +290,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_cl.add_argument("--steps", type=int, default=1024)
     p_cl.add_argument("--precision", choices=("dp", "sp"), default="dp")
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="resumable scenario sweeps: run a declarative experiment "
+             "grid through the pricing service, resume it after a "
+             "crash, report the accuracy/throughput/energy frontier")
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+    for verb, verb_help in (
+            ("run", "execute a sweep grid (skips already-committed cells)"),
+            ("resume", "alias of run: execute exactly the not-done cells")):
+        p_verb = sweep_sub.add_parser(verb, help=verb_help)
+        p_verb.add_argument("--spec", required=True, metavar="NAME|JSON",
+                            help="builtin study name (e.g. steps-precision, "
+                                 "steps-precision-quick) or a "
+                                 "repro-sweep-spec/v1 JSON file")
+        p_verb.add_argument("--store", required=True, metavar="JSONL",
+                            help="append-only run-store file (created on "
+                                 "first run, resumed afterwards)")
+        p_verb.add_argument("--limit", type=int, default=None,
+                            help="execute at most this many cells, then "
+                                 "stop (the store stays resumable)")
+        p_verb.add_argument("--workers", type=int, default=None,
+                            help="engine worker processes for the shared "
+                                 "service (default: in-process serial)")
+    p_sw_status = sweep_sub.add_parser(
+        "status", help="summarise a run store without executing anything")
+    p_sw_status.add_argument("--store", required=True, metavar="JSONL")
+    p_sw_status.add_argument("--fingerprint", action="store_true",
+                             help="print only the store's canonical "
+                                  "fingerprint (the bitwise-resume "
+                                  "contract; shell-comparable)")
+    p_sw_report = sweep_sub.add_parser(
+        "report", help="emit the frontier report from a run store "
+                       "(pure read; never re-executes a condition)")
+    p_sw_report.add_argument("--store", required=True, metavar="JSONL")
+    p_sw_report.add_argument("--out", default=None, metavar="JSON",
+                             help="write the repro-sweep-frontier/v1 "
+                                  "document here ('-' = pure JSON on "
+                                  "stdout, table moves to stderr)")
+
     p_price = sub.add_parser("price", help="price one option on a platform")
     p_price.add_argument("--spot", type=float, required=True)
     p_price.add_argument("--strike", type=float, required=True)
@@ -302,6 +344,88 @@ def build_parser() -> argparse.ArgumentParser:
     p_price.add_argument("--steps", type=int, default=1024)
 
     return parser
+
+
+def _load_sweep_spec(name_or_path: str):
+    """Resolve ``--spec``: builtin study name or a spec JSON file."""
+    from .sweep import SweepSpec
+    from .sweep.studies import BUILTIN_SPECS, builtin_spec
+
+    if name_or_path in BUILTIN_SPECS:
+        return builtin_spec(name_or_path)
+    import json
+
+    from .errors import SweepError
+
+    try:
+        with open(name_or_path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except FileNotFoundError:
+        raise SweepError(
+            f"--spec {name_or_path!r} is neither a builtin study "
+            f"({', '.join(sorted(BUILTIN_SPECS))}) nor a readable file")
+    except json.JSONDecodeError as exc:
+        raise SweepError(f"{name_or_path}: not valid JSON ({exc})")
+    return SweepSpec.from_dict(document)
+
+
+def _run_sweep(args) -> int:
+    from .errors import SweepError
+    from .sweep import RunStore, SweepRunner, frontier_report, render_frontier
+
+    try:
+        if args.sweep_command in ("run", "resume"):
+            spec = _load_sweep_spec(args.spec)
+            service_config = None
+            if args.workers is not None:
+                from .service import ServiceConfig
+                service_config = ServiceConfig(workers=args.workers)
+            runner = SweepRunner(spec, args.store,
+                                 service_config=service_config)
+            stats = runner.run(limit=args.limit)
+            counts = runner.status()
+            print(f"sweep {spec.name!r} (spec {spec.fingerprint()}): "
+                  f"{stats.cells} cells, {stats.pruned} pruned, "
+                  f"{stats.skipped} already committed")
+            print(f"  executed {stats.executed} "
+                  f"({stats.done} done, {stats.failed} failed, "
+                  f"{stats.options} options, "
+                  f"mean {stats.mean_cell_s * 1e3:.1f} ms/cell)")
+            remaining = counts["pending"] + counts["running"]
+            if remaining:
+                print(f"  {remaining} cells remaining — "
+                      f"resume with: repro sweep resume "
+                      f"--spec {args.spec} --store {args.store}")
+            else:
+                print(f"  grid complete; store fingerprint "
+                      f"{runner.store.fingerprint()}")
+            return 0
+        if args.sweep_command == "status":
+            store = RunStore(args.store)
+            if args.fingerprint:
+                print(store.fingerprint())
+                return 0
+            counts = store.counts()
+            total = sum(counts.values())
+            print(f"{args.store}: {total} cells "
+                  f"(spec {store.spec_fingerprint()})")
+            for status, count in counts.items():
+                print(f"  {status:8} {count}")
+            print(f"  fingerprint {store.fingerprint()}")
+            return 0
+        if args.sweep_command == "report":
+            store = RunStore(args.store)
+            document = frontier_report(store)
+            _, echo = _bench_streams(args.out or "")
+            if args.out:
+                path = _emit_document(document, args.out)
+                echo(f"frontier document -> {path}")
+            echo(render_frontier(document))
+            return 0
+    except SweepError as exc:
+        print(f"sweep error: {exc}", file=sys.stderr)
+        return 2
+    return 2  # pragma: no cover - argparse enforces the choices
 
 
 def _run_price(args) -> str:
@@ -354,18 +478,14 @@ def _emit_document(document: dict, out: str) -> str:
 
         print(json.dumps(document, indent=2))
         return "<stdout>"
-    from .bench.engine_bench import write_benchmark
+    from .bench.gate import write_benchmark
 
     return str(write_benchmark(document, out))
 
 
 def _run_bench_engine(args) -> int:
-    import json
-
-    from .bench.engine_bench import (
-        check_throughput_regression,
-        run_benchmark,
-    )
+    from .bench.engine_bench import run_benchmark
+    from .bench.gate import check_throughput_regression, load_benchmark
 
     if args.quick:
         options_counts, steps, workers = [256], 256, [1, 2]
@@ -422,8 +542,7 @@ def _run_bench_engine(args) -> int:
                 echo(f"      reliability: {detail}")
 
     if args.check_against:
-        with open(args.check_against) as handle:
-            stored = json.load(handle)
+        stored = load_benchmark(args.check_against)
         failures = check_throughput_regression(document, stored)
         for failure in failures:
             echo(f"REGRESSION: {failure}")
@@ -434,9 +553,7 @@ def _run_bench_engine(args) -> int:
 
 
 def _run_bench_greeks(args) -> int:
-    import json
-
-    from .bench.engine_bench import check_throughput_regression
+    from .bench.gate import check_throughput_regression, load_benchmark
     from .bench.greeks_bench import run_greeks_benchmark
 
     if args.quick:
@@ -487,8 +604,7 @@ def _run_bench_greeks(args) -> int:
                  f"{run['chunks']} chunks{fused_note})")
 
     if args.check_against:
-        with open(args.check_against) as handle:
-            stored = json.load(handle)
+        stored = load_benchmark(args.check_against)
         failures = check_throughput_regression(document, stored)
         for failure in failures:
             echo(f"REGRESSION: {failure}")
@@ -542,9 +658,7 @@ def _run_serve(args) -> int:
 
 def _run_serve_network_bench(args) -> int:
     """``repro serve-bench --shards``: the sharded network tier."""
-    import json
-
-    from .bench.engine_bench import check_throughput_regression
+    from .bench.gate import check_throughput_regression, load_benchmark
     from .bench.service_bench import run_serve_benchmark
 
     if args.quick:
@@ -622,8 +736,7 @@ def _run_serve_network_bench(args) -> int:
                  f"{top['offered_rps']:,.0f} offered req/s")
 
     if args.check_against:
-        with open(args.check_against) as handle:
-            stored = json.load(handle)
+        stored = load_benchmark(args.check_against)
         failures = check_throughput_regression(document, stored)
         for failure in failures:
             echo(f"REGRESSION: {failure}")
@@ -634,9 +747,7 @@ def _run_serve_network_bench(args) -> int:
 
 
 def _run_serve_bench(args) -> int:
-    import json
-
-    from .bench.engine_bench import check_throughput_regression
+    from .bench.gate import check_throughput_regression, load_benchmark
     from .bench.service_bench import run_service_benchmark
 
     if args.shards:
@@ -705,8 +816,7 @@ def _run_serve_bench(args) -> int:
                  f"(loss {top['loss_rate']:.1%})")
 
     if args.check_against:
-        with open(args.check_against) as handle:
-            stored = json.load(handle)
+        stored = load_benchmark(args.check_against)
         failures = check_throughput_regression(document, stored)
         for failure in failures:
             echo(f"REGRESSION: {failure}")
@@ -717,9 +827,7 @@ def _run_serve_bench(args) -> int:
 
 
 def _run_stream_bench(args) -> int:
-    import json
-
-    from .bench.engine_bench import check_throughput_regression
+    from .bench.gate import check_throughput_regression, load_benchmark
     from .bench.stream_bench import run_stream_benchmark
 
     if args.quick:
@@ -779,8 +887,7 @@ def _run_stream_bench(args) -> int:
              f"{tolerance['revaluations_saved']} revaluations saved")
 
     if args.check_against:
-        with open(args.check_against) as handle:
-            stored = json.load(handle)
+        stored = load_benchmark(args.check_against)
         failures = check_throughput_regression(document, stored)
         for failure in failures:
             echo(f"REGRESSION: {failure}")
@@ -965,6 +1072,8 @@ def _dispatch(args) -> int:
         return _run_serve_bench(args)
     elif args.command == "stream-bench":
         return _run_stream_bench(args)
+    elif args.command == "sweep":
+        return _run_sweep(args)
     elif args.command == "serve":
         return _run_serve(args)
     elif args.command == "obs":

@@ -177,6 +177,19 @@ class StreamError(ReproError):
     """
 
 
+class SweepError(ReproError):
+    """Invalid scenario-sweep specification or run-store state.
+
+    Raised by :mod:`repro.sweep` for malformed :class:`SweepSpec`
+    documents (unknown axis, unregistered constraint, wrong schema
+    tag), corrupt run-store files (an undecodable row that is not the
+    crash-truncated final line), and spec/store mismatches (resuming a
+    store against a spec with a different fingerprint).  Per-cell
+    *pricing* failures are not this type — they keep their own engine
+    and service error codes inside the failed row.
+    """
+
+
 class HLSError(ReproError):
     """Base class for HLS compiler-model errors."""
 
@@ -228,6 +241,7 @@ WIRE_ERRORS: "dict[type, tuple[str, int]]" = {
     # request/content errors
     ConvergenceError: ("no_convergence", 422),
     FinanceError: ("invalid_market_data", 400),
+    SweepError: ("sweep_error", 400),
     ReproError: ("bad_request", 400),
 }
 

@@ -65,6 +65,17 @@ __all__ = [
     "STREAM_INSTRUMENTS",
     "STREAM_TICK_TO_RISK_SECONDS",
     "STREAM_STATS_TO_METRIC",
+    "SWEEP_STATS_SCHEMA",
+    "SWEEP_STATS_KEYS",
+    "SWEEP_CELLS_TOTAL",
+    "SWEEP_PRUNED_TOTAL",
+    "SWEEP_EXECUTED_TOTAL",
+    "SWEEP_DONE_TOTAL",
+    "SWEEP_FAILED_TOTAL",
+    "SWEEP_SKIPPED_TOTAL",
+    "SWEEP_OPTIONS_TOTAL",
+    "SWEEP_CELL_SECONDS",
+    "SWEEP_STATS_TO_METRIC",
     "BACKEND_FALLBACK_TOTAL",
     "CHUNKS_TOTAL",
     "GROUPS_TOTAL",
@@ -335,6 +346,51 @@ STREAM_STATS_TO_METRIC = {
     "revaluations": STREAM_REVALUATIONS_TOTAL,
     "reval_batches": STREAM_REVAL_BATCHES_TOTAL,
     "aggregates": STREAM_AGGREGATES_TOTAL,
+}
+
+# -- scenario-sweep (experiment grid) metrics ------------------------------
+
+#: Version tag of the *sweep* statistics document.  The version
+#: counter continues the engine/service/serve/stream line
+#: (v4/v5/v6/v7): v8 is the scenario-sweep runner's own document —
+#: grid size, constraint pruning, executed vs resumed-over cells, the
+#: done/failed split, options priced through the service, and the
+#: per-cell wall-clock histogram.  Published by
+#: :meth:`repro.sweep.SweepStats.as_dict` under ``"schema"``.
+SWEEP_STATS_SCHEMA = "repro-sweep-stats/v8"
+
+SWEEP_CELLS_TOTAL = "repro_sweep_cells_total"
+SWEEP_PRUNED_TOTAL = "repro_sweep_cells_pruned_total"
+SWEEP_EXECUTED_TOTAL = "repro_sweep_cells_executed_total"
+SWEEP_DONE_TOTAL = "repro_sweep_cells_done_total"
+SWEEP_FAILED_TOTAL = "repro_sweep_cells_failed_total"
+SWEEP_SKIPPED_TOTAL = "repro_sweep_cells_skipped_total"
+SWEEP_OPTIONS_TOTAL = "repro_sweep_options_total"
+SWEEP_CELL_SECONDS = "repro_sweep_cell_seconds"
+
+#: ``SweepStats.as_dict()`` keys, in their one canonical order
+#: (mirrors :data:`STATS_KEYS`/:data:`SERVICE_STATS_KEYS`).
+SWEEP_STATS_KEYS = (
+    "cells",
+    "pruned",
+    "executed",
+    "done",
+    "failed",
+    "skipped",
+    "options",
+    "mean_cell_s",
+)
+
+#: Sweep stats-snapshot key -> the sweep metric it is derived from
+#: (the counters; ``mean_cell_s`` is a histogram mean).
+SWEEP_STATS_TO_METRIC = {
+    "cells": SWEEP_CELLS_TOTAL,
+    "pruned": SWEEP_PRUNED_TOTAL,
+    "executed": SWEEP_EXECUTED_TOTAL,
+    "done": SWEEP_DONE_TOTAL,
+    "failed": SWEEP_FAILED_TOTAL,
+    "skipped": SWEEP_SKIPPED_TOTAL,
+    "options": SWEEP_OPTIONS_TOTAL,
 }
 
 # -- backend-resolution metrics --------------------------------------------

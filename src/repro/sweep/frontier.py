@@ -1,0 +1,134 @@
+"""Frontier reports: accuracy × throughput × modeled energy, from a store.
+
+The report is computed *entirely* from the run store — it never prices
+an option.  ``repro sweep report`` therefore works on any machine that
+has the JSON-lines file, long after the grid ran, which is the point
+of persisting results instead of printing them.
+
+Each ``done`` row contributes one report entry (accuracy from the
+in-store RMSE against the double-precision reference; throughput and
+energy from the calibrated device models captured at run time).  The
+report marks the **Pareto frontier** over (rmse ↓, options/s ↑,
+options/J ↑): a cell is on the frontier iff no other done cell is at
+least as good on all three axes and strictly better on one — the
+steps/precision trade-off surface the paper's E8/E12 studies walk by
+hand.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import SweepError
+from .store import RunStore
+
+__all__ = ["FRONTIER_SCHEMA", "frontier_report", "render_frontier"]
+
+#: Schema tag of the report document (see docs/sweeps.md).
+FRONTIER_SCHEMA = "repro-sweep-frontier/v1"
+
+#: The trade-off axes: ``(result key, direction)`` with ``-1`` =
+#: minimise (better when smaller) and ``+1`` = maximise.
+_OBJECTIVES = (
+    ("rmse", -1),
+    ("options_per_second", +1),
+    ("options_per_joule", +1),
+)
+
+
+def _objective_vector(entry: dict) -> "tuple[float, ...]":
+    """The entry's position in objective space (NaN → worst)."""
+    out = []
+    for key, direction in _OBJECTIVES:
+        value = entry[key]
+        if value is None or not math.isfinite(value):
+            value = math.inf if direction < 0 else -math.inf
+        out.append(direction * float(value))
+    return tuple(out)
+
+
+def _dominates(a: "tuple[float, ...]", b: "tuple[float, ...]") -> bool:
+    """True iff ``a`` is ≥ ``b`` everywhere and > somewhere."""
+    return all(x >= y for x, y in zip(a, b)) and any(
+        x > y for x, y in zip(a, b))
+
+
+def frontier_report(store: RunStore) -> dict:
+    """Build the ``repro-sweep-frontier/v1`` document from a store.
+
+    Pure read: raises :class:`SweepError` on an empty store but never
+    executes a condition.
+    """
+    latest = store.latest()
+    if not latest:
+        raise SweepError(f"{store.path}: empty run store, nothing to report")
+
+    entries = []
+    for cell in sorted(latest):
+        row = latest[cell]
+        if row.status != "done":
+            continue
+        condition = row.condition
+        result = row.result or {}
+        modeled = result.get("modeled") or {}
+        entries.append({
+            "cell": cell,
+            "kernel": condition.get("kernel"),
+            "precision": condition.get("precision"),
+            "steps": condition.get("steps"),
+            "family": condition.get("family"),
+            "backend": condition.get("backend"),
+            "options": result.get("options"),
+            "rmse": result.get("rmse"),
+            "max_abs_err": result.get("max_abs_err"),
+            "options_per_second": modeled.get("options_per_second"),
+            "options_per_joule": modeled.get("options_per_joule"),
+            "power_w": modeled.get("power_w"),
+            "failures": len(result.get("failures") or ()),
+            "pareto": False,
+        })
+
+    vectors = [_objective_vector(entry) for entry in entries]
+    for index, entry in enumerate(entries):
+        entry["pareto"] = not any(
+            _dominates(other, vectors[index])
+            for j, other in enumerate(vectors) if j != index)
+
+    counts = store.counts()
+    return {
+        "schema": FRONTIER_SCHEMA,
+        "spec": store.spec_fingerprint(),
+        "store_fingerprint": store.fingerprint(),
+        "cells": counts,
+        "entries": entries,
+        "pareto_cells": [e["cell"] for e in entries if e["pareto"]],
+    }
+
+
+def _fmt(value, places: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return str(value)
+        return f"{value:.{places}g}"
+    return str(value)
+
+
+def render_frontier(document: dict) -> str:
+    """Human-readable table of a :func:`frontier_report` document."""
+    from ..bench.tables import render_table
+
+    headers = ("cell", "steps", "kernel", "prec", "rmse",
+               "opts/s", "opts/J", "W", "fail", "pareto")
+    rows = [
+        (entry["cell"], entry["steps"], entry["kernel"], entry["precision"],
+         _fmt(entry["rmse"]), _fmt(entry["options_per_second"]),
+         _fmt(entry["options_per_joule"]), _fmt(entry["power_w"], 3),
+         entry["failures"], "*" if entry["pareto"] else "")
+        for entry in document["entries"]
+    ]
+    counts = document["cells"]
+    title = (f"sweep frontier ({counts.get('done', 0)} done, "
+             f"{counts.get('failed', 0)} failed; spec {document['spec']})")
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,355 @@
+"""Declarative sweep specifications: named IV axes crossed full-factorial.
+
+A :class:`SweepSpec` names the independent variables of a design-space
+study (steps, precision, kernel, lattice family, option/exercise type,
+backend, workers, fault seed, greeks bumps), the value list of each,
+and the *constraints* that prune invalid cells — ``kernel IV.B ⇒ CRR``
+being the canonical one.  Crossing the axes full-factorial and
+dropping the pruned cells yields the grid's *conditions*: one merged
+``{axis: value}`` dict per cell, each with a stable human-readable
+``cell id`` that the run store keys on.
+
+Specs are wire documents (`repro-sweep-spec/v1`) following the
+``docs/wire_schema.md`` conventions: every float is serialised as
+``float.hex()`` under an explicit type discriminator, the schema tag
+is checked exactly, and unknown axes or unregistered constraint names
+are refused with :class:`~repro.errors.SweepError` — never guessed.
+Constraints are *named* (looked up in :data:`CONSTRAINTS`) precisely
+so a spec round-trips: a lambda cannot cross a process boundary, a
+registry name can.
+
+``spec.fingerprint()`` is a short digest of the canonical wire form;
+the run store stamps it on every row so a store can never be resumed
+against a different grid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..errors import SweepError
+
+__all__ = [
+    "AXIS_NAMES",
+    "CONSTRAINTS",
+    "DEFAULT_CONSTRAINTS",
+    "SPEC_SCHEMA",
+    "SweepSpec",
+    "cell_id",
+    "decode_value",
+    "encode_value",
+]
+
+#: Schema tag of the spec wire form (see docs/sweeps.md).
+SPEC_SCHEMA = "repro-sweep-spec/v1"
+
+#: Axis/base names a spec may use, mapped to the accepted value types.
+#: ``option_type``/``exercise`` accept ``"mixed"`` (the synthetic
+#: batch's natural blend) in addition to the single-style values.
+AXIS_NAMES: "dict[str, tuple[type, ...]]" = {
+    "steps": (int,),
+    "precision": (str,),
+    "kernel": (str,),
+    "family": (str,),
+    "option_type": (str,),
+    "exercise": (str,),
+    "task": (str,),
+    "backend": (str,),
+    "workers": (int, type(None)),
+    "fault_seed": (int, type(None)),
+    "bump_vol": (float,),
+    "bump_rate": (float,),
+    "n_options": (int,),
+    "seed": (int,),
+    "reference_steps": (int, type(None)),
+}
+
+#: Base-parameter defaults merged under every cell (axes override).
+BASE_DEFAULTS: "dict[str, object]" = {
+    "task": "price",
+    "n_options": 32,
+    "seed": 20140324,
+    "backend": "numpy",
+    "precision": "double",
+    "kernel": "iv_b",
+    "family": "crr",
+    "option_type": "mixed",
+    "exercise": "american",
+    "steps": 256,
+    "workers": None,
+    "fault_seed": None,
+    "reference_steps": None,
+}
+
+
+def _iv_b_requires_crr(cell: Mapping) -> bool:
+    return cell.get("kernel") != "iv_b" or cell.get("family", "crr") == "crr"
+
+
+def _min_steps(cell: Mapping) -> bool:
+    kernel = cell.get("kernel", "iv_b")
+    task = cell.get("task", "price")
+    floor = 3 if task == "greeks" else (2 if kernel in ("iv_a", "iv_b") else 1)
+    return int(cell.get("steps", 256)) >= floor
+
+
+def _reference_at_least_steps(cell: Mapping) -> bool:
+    reference_steps = cell.get("reference_steps")
+    return (reference_steps is None
+            or int(reference_steps) >= int(cell.get("steps", 256)))
+
+
+#: Named constraint predicates (``cell -> keep?``).  Constraints are
+#: registered by name so spec documents stay portable; an unregistered
+#: name in ``from_dict`` is a :class:`SweepError`, not a silent skip.
+CONSTRAINTS: "dict[str, Callable[[Mapping], bool]]" = {
+    "iv_b_requires_crr": _iv_b_requires_crr,
+    "min_steps": _min_steps,
+    "reference_at_least_steps": _reference_at_least_steps,
+}
+
+#: Constraints every spec gets unless it opts out explicitly.
+DEFAULT_CONSTRAINTS = ("iv_b_requires_crr", "min_steps",
+                       "reference_at_least_steps")
+
+
+# ---------------------------------------------------------------------------
+# value codec (the wire-schema float.hex convention)
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value):
+    """JSON-encode one axis/result value, floats as tagged ``hex``.
+
+    ``int``/``str``/``bool``/``None`` pass through (JSON carries them
+    exactly); a ``float`` becomes ``{"float.hex": value.hex()}`` so
+    the bit pattern — including ``-0.0``, denormals, infinities and
+    NaN — survives any JSON printer.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return {"float.hex": value.hex()}
+    raise SweepError(
+        f"sweep values must be int/float/str/bool/None, got "
+        f"{type(value).__name__}: {value!r}")
+
+
+def decode_value(value):
+    """Inverse of :func:`encode_value` (bitwise for floats)."""
+    if isinstance(value, dict):
+        if set(value) != {"float.hex"}:
+            raise SweepError(
+                f"malformed sweep value {value!r} (expected a single "
+                f"'float.hex' discriminator)")
+        return float.fromhex(value["float.hex"])
+    if isinstance(value, list):
+        raise SweepError(f"malformed sweep value {value!r}")
+    return value
+
+
+def _encode_mapping(mapping: Mapping) -> dict:
+    return {name: encode_value(value) for name, value in mapping.items()}
+
+
+def _decode_mapping(mapping: Mapping) -> dict:
+    return {name: decode_value(value) for name, value in mapping.items()}
+
+
+def _render_value(value) -> str:
+    """Human-readable but exact rendering for cell ids."""
+    if isinstance(value, float):
+        return value.hex()
+    return str(value)
+
+
+def cell_id(axes: Sequence[str], cell: Mapping) -> str:
+    """Stable identifier of one condition: ``axis=value`` in axis order.
+
+    Only the *swept* axes appear — base parameters are common to every
+    cell and already pinned by the spec fingerprint.
+    """
+    return ",".join(f"{name}={_render_value(cell[name])}" for name in axes)
+
+
+# ---------------------------------------------------------------------------
+# the spec itself
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A full-factorial experiment grid with constraint pruning.
+
+    :param name: the study's name (stamped into stores and reports).
+    :param axes: mapping ``axis name -> value list``.  Declaration
+        order is significant: it fixes both the enumeration order of
+        the grid (row-major ``itertools.product``) and the field order
+        inside every cell id.
+    :param constraints: names from :data:`CONSTRAINTS`; a cell must
+        satisfy every listed predicate to survive pruning.
+    :param base: fixed parameters merged under every cell (an axis
+        with the same name wins).  Unlisted parameters take
+        :data:`BASE_DEFAULTS`.
+    """
+
+    name: str
+    axes: "tuple[tuple[str, tuple], ...]"
+    constraints: "tuple[str, ...]" = DEFAULT_CONSTRAINTS
+    base: "tuple[tuple[str, object], ...]" = ()
+
+    def __init__(self, name, axes, constraints=DEFAULT_CONSTRAINTS, base=None):
+        if not name or not isinstance(name, str):
+            raise SweepError(f"spec name must be a non-empty string, "
+                             f"got {name!r}")
+        if isinstance(axes, Mapping):
+            axes = tuple(axes.items())
+        axes = tuple((str(axis), tuple(values)) for axis, values in axes)
+        if not axes:
+            raise SweepError("a sweep needs at least one axis")
+        seen = set()
+        for axis, values in axes:
+            if axis in seen:
+                raise SweepError(f"duplicate axis {axis!r}")
+            seen.add(axis)
+            self._check_parameter(axis, values)
+            if not values:
+                raise SweepError(f"axis {axis!r} has no values")
+            if len(set(map(_render_value, values))) != len(values):
+                raise SweepError(f"axis {axis!r} has duplicate values")
+        constraints = tuple(constraints)
+        for constraint in constraints:
+            if constraint not in CONSTRAINTS:
+                raise SweepError(
+                    f"unknown constraint {constraint!r} (registered: "
+                    f"{tuple(sorted(CONSTRAINTS))})")
+        if base is None:
+            base = ()
+        if isinstance(base, Mapping):
+            base = tuple(sorted(base.items()))
+        else:
+            base = tuple(sorted((str(k), v) for k, v in base))
+        for parameter, value in base:
+            if parameter in seen:
+                raise SweepError(
+                    f"{parameter!r} is both an axis and a base parameter")
+            self._check_parameter(parameter, (value,))
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "axes", axes)
+        object.__setattr__(self, "constraints", constraints)
+        object.__setattr__(self, "base", base)
+
+    @staticmethod
+    def _check_parameter(name: str, values: Sequence) -> None:
+        if name not in AXIS_NAMES:
+            raise SweepError(
+                f"unknown sweep parameter {name!r} (known: "
+                f"{tuple(sorted(AXIS_NAMES))})")
+        accepted = AXIS_NAMES[name]
+        for value in values:
+            # bool is an int subclass; no sweep parameter is boolean
+            if isinstance(value, bool) or not isinstance(value, accepted):
+                raise SweepError(
+                    f"axis {name!r} accepts "
+                    f"{'/'.join(t.__name__ for t in accepted)} values, "
+                    f"got {value!r}")
+
+    # -- grid enumeration ------------------------------------------------
+
+    @property
+    def axis_names(self) -> "tuple[str, ...]":
+        return tuple(axis for axis, _values in self.axes)
+
+    def defaults(self) -> dict:
+        """The fixed parameters under every cell (base over defaults)."""
+        merged = dict(BASE_DEFAULTS)
+        merged.update(dict(self.base))
+        return merged
+
+    def grid_size(self) -> int:
+        """Full-factorial cell count *before* constraint pruning."""
+        size = 1
+        for _axis, values in self.axes:
+            size *= len(values)
+        return size
+
+    def conditions(self) -> "tuple[dict, ...]":
+        """The surviving cells, in row-major enumeration order.
+
+        Each condition is the base parameters overlaid with one axis
+        combination, plus ``"cell"`` — the stable cell id the run
+        store keys on.
+        """
+        names = self.axis_names
+        defaults = self.defaults()
+        keep = []
+        for combo in itertools.product(*(values for _axis, values
+                                         in self.axes)):
+            cell = dict(defaults)
+            cell.update(zip(names, combo))
+            if all(CONSTRAINTS[name](cell) for name in self.constraints):
+                cell["cell"] = cell_id(names, cell)
+                keep.append(cell)
+        return tuple(keep)
+
+    def pruned_count(self) -> int:
+        """How many full-factorial cells the constraints dropped."""
+        return self.grid_size() - len(self.conditions())
+
+    # -- wire form (`repro-sweep-spec/v1`) -------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready wire form, tagged :data:`SPEC_SCHEMA`."""
+        return {
+            "schema": SPEC_SCHEMA,
+            "name": self.name,
+            "axes": [[axis, [encode_value(v) for v in values]]
+                     for axis, values in self.axes],
+            "constraints": list(self.constraints),
+            "base": _encode_mapping(dict(self.base)),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepSpec":
+        """Rebuild a spec from its wire form (bitwise for floats)."""
+        if not isinstance(data, Mapping):
+            raise SweepError(
+                f"sweep spec document must be a mapping, got "
+                f"{type(data).__name__}")
+        schema = data.get("schema")
+        if schema != SPEC_SCHEMA:
+            raise SweepError(
+                f"unsupported sweep-spec schema {schema!r} "
+                f"(this build speaks {SPEC_SCHEMA!r})")
+        try:
+            raw_axes = data["axes"]
+            # the wire form is a list of [name, values] pairs (order is
+            # the cell-id order); hand-written spec files may use a
+            # JSON object instead — insertion order carries over
+            pairs = raw_axes.items() if isinstance(raw_axes, Mapping) \
+                else raw_axes
+            axes = tuple(
+                (axis, tuple(decode_value(v) for v in values))
+                for axis, values in pairs)
+            constraints = tuple(data.get("constraints",
+                                         DEFAULT_CONSTRAINTS))
+            base = _decode_mapping(data.get("base", {}))
+            name = data["name"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SweepError(f"malformed sweep-spec document: {exc}") from exc
+        return cls(name=name, axes=axes, constraints=constraints, base=base)
+
+    def fingerprint(self) -> str:
+        """Short stable digest of the canonical wire form.
+
+        Stamped on every run-store row: two stores resume-compatible
+        ⟺ equal fingerprints.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.blake2b(canonical.encode(),
+                               digest_size=8).hexdigest()

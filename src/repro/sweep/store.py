@@ -1,0 +1,337 @@
+"""The persistent, append-only run store behind every sweep.
+
+One JSON-lines file holds the full history of a grid: every state
+transition of every condition is one appended `repro-sweep-row/v1`
+row — ``pending`` when the grid is registered, ``running`` when a
+cell starts, ``done``/``failed`` when it commits.  The *latest* row
+per cell wins; nothing is ever rewritten in place, so a crash at any
+byte leaves at worst one truncated final line, which ``load`` drops
+(it is re-appended on resume).  ``fsync`` after every append makes a
+committed row durable before the next cell starts.
+
+Determinism contract
+--------------------
+
+A killed-and-resumed sweep must end bitwise identical to an
+uninterrupted run.  Rows therefore split into two parts:
+
+* the **canonical row** — cell id, status, spec fingerprint, the
+  condition, the result fields (all floats ``float.hex``) and the
+  typed error of a failed cell.  These are pure functions of the spec
+  and are what :meth:`RunStore.fingerprint` digests; the resume tests
+  and the ``sweep-smoke`` CI job assert fingerprint equality.
+* the ``meta`` envelope — timestamps, host info, measured wall
+  seconds, cache hits.  Informational, exactly like the ``stats``
+  block of the result wire form: two runs of the same grid agree on
+  every canonical row and (necessarily) disagree on ``meta``.
+
+Failed cells reuse the serving tier's typed error contract: the row
+stores the :data:`repro.errors.WIRE_ERRORS` code plus message, and
+:meth:`SweepRow.error_exception` rebuilds the typed exception via
+:func:`repro.errors.error_from_wire`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..errors import SweepError, error_from_wire
+from .spec import SweepSpec, decode_value, encode_value
+
+__all__ = [
+    "ROW_SCHEMA",
+    "ROW_STATUSES",
+    "TERMINAL_STATUSES",
+    "RunStore",
+    "SweepRow",
+]
+
+#: Schema tag of every run-store row (see docs/sweeps.md).
+ROW_SCHEMA = "repro-sweep-row/v1"
+
+#: The row life cycle, in order.
+ROW_STATUSES = ("pending", "running", "done", "failed")
+
+#: Statuses that end a cell — resume never re-executes these.
+TERMINAL_STATUSES = ("done", "failed")
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One state transition of one grid condition.
+
+    :param cell: the condition's stable id (see ``SweepSpec``).
+    :param status: one of :data:`ROW_STATUSES`.
+    :param spec: the owning spec's ``fingerprint()``.
+    :param condition: the merged axis/base values of the cell.
+    :param result: deterministic result fields of a ``done`` cell
+        (floats carried bitwise on the wire).
+    :param error: ``{"code": wire code, "message": str}`` of a
+        ``failed`` cell — codes from :data:`repro.errors.WIRE_ERRORS`.
+    :param meta: volatile envelope (timestamps, host, measured wall
+        seconds); excluded from the canonical form.
+    """
+
+    cell: str
+    status: str
+    spec: str
+    condition: "dict"
+    result: "dict | None" = None
+    error: "dict | None" = None
+    meta: "dict | None" = None
+
+    def __post_init__(self):
+        if self.status not in ROW_STATUSES:
+            raise SweepError(
+                f"row status must be one of {ROW_STATUSES}, "
+                f"got {self.status!r}")
+        if self.status == "failed" and not (
+                isinstance(self.error, Mapping) and "code" in self.error):
+            raise SweepError(
+                "a failed row needs an error {'code': ..., 'message': ...}")
+        if self.status != "failed" and self.error is not None:
+            raise SweepError(f"only failed rows carry an error, "
+                             f"got one on status {self.status!r}")
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def error_exception(self):
+        """The typed exception of a failed cell (``None`` otherwise)."""
+        if self.error is None:
+            return None
+        return error_from_wire(self.error.get("code", "bad_request"),
+                               self.error.get("message", ""))
+
+    # -- wire form (`repro-sweep-row/v1`) --------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready wire form, tagged :data:`ROW_SCHEMA`."""
+        data = {
+            "schema": ROW_SCHEMA,
+            "cell": self.cell,
+            "status": self.status,
+            "spec": self.spec,
+            "condition": {name: encode_value(value)
+                          for name, value in self.condition.items()},
+        }
+        if self.result is not None:
+            data["result"] = _encode_tree(self.result)
+        if self.error is not None:
+            data["error"] = {"code": self.error["code"],
+                             "message": str(self.error.get("message", ""))}
+        if self.meta is not None:
+            data["meta"] = _encode_tree(self.meta)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepRow":
+        """Rebuild a row from its wire form (bitwise for floats)."""
+        if not isinstance(data, Mapping):
+            raise SweepError(f"sweep row must be a mapping, "
+                             f"got {type(data).__name__}")
+        schema = data.get("schema")
+        if schema != ROW_SCHEMA:
+            raise SweepError(
+                f"unsupported sweep-row schema {schema!r} "
+                f"(this build speaks {ROW_SCHEMA!r})")
+        try:
+            return cls(
+                cell=data["cell"],
+                status=data["status"],
+                spec=data["spec"],
+                condition={name: decode_value(value)
+                           for name, value in data["condition"].items()},
+                result=(_decode_tree(data["result"])
+                        if "result" in data else None),
+                error=(dict(data["error"]) if "error" in data else None),
+                meta=(_decode_tree(data["meta"])
+                      if "meta" in data else None),
+            )
+        except SweepError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise SweepError(f"malformed sweep row: {exc}") from exc
+
+    def canonical_dict(self) -> dict:
+        """The deterministic projection the resume contract is over."""
+        data = self.to_dict()
+        data.pop("meta", None)
+        return data
+
+
+def _encode_tree(value):
+    """Recursive :func:`encode_value` over dicts/lists."""
+    if isinstance(value, Mapping):
+        return {str(k): _encode_tree(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_tree(v) for v in value]
+    return encode_value(value)
+
+
+def _decode_tree(value):
+    if isinstance(value, Mapping):
+        if set(value) == {"float.hex"}:
+            return decode_value(value)
+        return {k: _decode_tree(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_tree(v) for v in value]
+    return decode_value(value)
+
+
+class RunStore:
+    """Append-only JSON-lines persistence for one sweep grid.
+
+    The file is the single source of truth: the store object holds no
+    state beyond the path, so any number of processes may *read* it
+    concurrently and a crashed writer loses at most its unflushed
+    final line.
+    """
+
+    def __init__(self, path: "str | Path"):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # -- writing ---------------------------------------------------------
+
+    def _repair_tail(self) -> None:
+        """Drop a crash-truncated final line before the next append.
+
+        Without this, appending after a mid-write crash would weld the
+        new row onto the partial line, turning recoverable tail damage
+        into mid-file corruption that :meth:`rows` must refuse.
+        """
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        if not data:
+            return
+        tail_start = data.rfind(b"\n", 0, len(data) - 1) + 1
+        tail = data[tail_start:]
+        try:
+            json.loads(tail.decode("utf-8"))
+            decodable = True
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            decodable = False
+        if decodable and tail.endswith(b"\n"):
+            return
+        with open(self.path, "r+b") as handle:
+            if decodable:  # rows() accepts it — just finish the line
+                handle.seek(0, os.SEEK_END)
+                handle.write(b"\n")
+            else:
+                handle.truncate(tail_start)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append(self, row: SweepRow) -> None:
+        """Durably append one row (atomic: one fsynced line)."""
+        line = json.dumps(row.to_dict(), sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        self._repair_tail()
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append_all(self, rows: Iterable[SweepRow]) -> None:
+        """Append many rows with a single flush/fsync at the end."""
+        payload = "".join(
+            json.dumps(row.to_dict(), sort_keys=True,
+                       separators=(",", ":")) + "\n"
+            for row in rows)
+        if not payload:
+            return
+        self._repair_tail()
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- reading ---------------------------------------------------------
+
+    def rows(self) -> "list[SweepRow]":
+        """Every row, in append order.
+
+        A truncated *final* line (the crash signature of an append-only
+        writer) is dropped; an undecodable line anywhere else is
+        corruption and raises :class:`SweepError`.
+        """
+        if not self.path.exists():
+            return []
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        rows: "list[SweepRow]" = []
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    break  # crash-truncated tail; resume re-runs the cell
+                raise SweepError(
+                    f"{self.path}: undecodable row at line {index + 1} "
+                    f"(mid-file corruption, not a truncated tail)")
+            rows.append(SweepRow.from_dict(payload))
+        return rows
+
+    def latest(self) -> "dict[str, SweepRow]":
+        """Latest row per cell (insertion order = first-seen order)."""
+        latest: "dict[str, SweepRow]" = {}
+        for row in self.rows():
+            latest[row.cell] = row
+        return latest
+
+    def terminal_cells(self) -> "set[str]":
+        """Cells whose latest status is done/failed (never re-run)."""
+        return {cell for cell, row in self.latest().items() if row.terminal}
+
+    def counts(self) -> "dict[str, int]":
+        """Latest-status histogram over :data:`ROW_STATUSES`."""
+        counts = {status: 0 for status in ROW_STATUSES}
+        for row in self.latest().values():
+            counts[row.status] += 1
+        return counts
+
+    def spec_fingerprint(self) -> "str | None":
+        """The spec fingerprint stamped on the store (``None`` if empty)."""
+        for row in self.rows():
+            return row.spec
+        return None
+
+    def check_spec(self, spec: SweepSpec) -> None:
+        """Refuse to mix a store with a different grid."""
+        stamped = self.spec_fingerprint()
+        if stamped is not None and stamped != spec.fingerprint():
+            raise SweepError(
+                f"{self.path} belongs to spec {stamped}, not "
+                f"{spec.fingerprint()} ({spec.name!r}); refusing to mix "
+                f"grids in one store")
+
+    def fingerprint(self) -> str:
+        """Digest of the canonical terminal rows, sorted by cell id.
+
+        This is the bitwise-resume contract: an interrupted-and-resumed
+        run and an uninterrupted run of the same spec produce equal
+        fingerprints (asserted by ``tests/sweep`` and the
+        ``sweep-smoke`` CI job).
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        latest = self.latest()
+        for cell in sorted(latest):
+            row = latest[cell]
+            if not row.terminal:
+                continue
+            canonical = json.dumps(row.canonical_dict(), sort_keys=True,
+                                   separators=(",", ":"))
+            digest.update(canonical.encode())
+            digest.update(b"\n")
+        return digest.hexdigest()

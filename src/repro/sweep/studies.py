@@ -1,0 +1,73 @@
+"""Built-in sweep specifications: the paper's studies as declarative grids.
+
+The canonical one is the **steps × precision trade-off** — the axis the
+paper walks in its accuracy (E8) and precision-ablation (E12)
+experiments: tree depth against arithmetic precision, FPGA kernels
+against the software reference, with accuracy measured against a
+deep double-precision reference lattice and throughput/energy from the
+calibrated device models.  What `bench/experiments.py` hard-codes as
+two bespoke harnesses is here one :class:`~repro.sweep.SweepSpec` that
+any grid (and the ``repro sweep`` CLI) can run, resume and report.
+
+Builtin specs are addressed by name (``repro sweep run --spec
+steps-precision``); :func:`builtin_spec` resolves a name, and unknown
+names list the registry in the error.
+"""
+
+from __future__ import annotations
+
+from ..errors import SweepError
+from .spec import SweepSpec
+
+__all__ = ["BUILTIN_SPECS", "builtin_spec", "steps_precision_spec"]
+
+
+def steps_precision_spec(quick: bool = False) -> SweepSpec:
+    """The steps/precision trade-off study as a sweep grid.
+
+    Full variant: depths 128→1024 × {double, single} × {IV.B FPGA
+    kernel, software reference}, 64 options per cell, accuracy against
+    a 2048-step double reference.  The ``iv_b ⇒ CRR`` constraint is a
+    no-op here (base family is CRR) but stays declared so the spec
+    documents its own validity envelope.
+
+    ``quick=True`` is the CI/sweep-smoke variant: two depths, two
+    precisions, one kernel axis value each and a small batch — the
+    same shape, seconds not minutes.
+    """
+    if quick:
+        axes = {
+            "steps": (64, 128),
+            "precision": ("double", "single"),
+            "kernel": ("iv_b", "reference"),
+        }
+        base = {"n_options": 8, "reference_steps": 256}
+    else:
+        axes = {
+            "steps": (128, 256, 512, 1024),
+            "precision": ("double", "single"),
+            "kernel": ("iv_b", "reference"),
+        }
+        base = {"n_options": 64, "reference_steps": 2048}
+    return SweepSpec(
+        name="steps-precision-quick" if quick else "steps-precision",
+        axes=axes,
+        base=base,
+    )
+
+
+#: Name -> zero-argument factory of every builtin study.
+BUILTIN_SPECS = {
+    "steps-precision": steps_precision_spec,
+    "steps-precision-quick": lambda: steps_precision_spec(quick=True),
+}
+
+
+def builtin_spec(name: str) -> SweepSpec:
+    """Resolve a builtin study by name (:class:`SweepError` if unknown)."""
+    factory = BUILTIN_SPECS.get(name)
+    if factory is None:
+        raise SweepError(
+            f"unknown builtin sweep {name!r} (available: "
+            f"{tuple(sorted(BUILTIN_SPECS))})")
+    return factory()

@@ -100,3 +100,25 @@ class TestBenchDocumentSchema:
         assert document["stats_schema"] == keys.STATS_SCHEMA
         run = document["results"][0]["runs"][0]
         assert tuple(run) == keys.STATS_KEYS + ("speedup_vs_baseline",)
+
+
+class TestSweepStatsKeys:
+    def test_schema_tag(self):
+        assert keys.SWEEP_STATS_SCHEMA == "repro-sweep-stats/v8"
+
+    def test_as_dict_schema_first_then_exact_key_order(self):
+        from repro.sweep.runner import SweepStats
+
+        snapshot = SweepStats(cells=4, executed=2, done=2).as_dict()
+        assert tuple(snapshot) == ("schema",) + keys.SWEEP_STATS_KEYS
+        assert snapshot["schema"] == keys.SWEEP_STATS_SCHEMA
+        assert snapshot["cells"] == 4
+
+    def test_all_keys_snake_case(self):
+        for key in keys.SWEEP_STATS_KEYS:
+            assert re.fullmatch(r"[a-z][a-z0-9_]*", key), key
+
+    def test_stats_to_metric_targets_are_keys(self):
+        assert set(keys.SWEEP_STATS_TO_METRIC) <= set(keys.SWEEP_STATS_KEYS)
+        for metric_name in keys.SWEEP_STATS_TO_METRIC.values():
+            assert metric_name.startswith("repro_sweep_"), metric_name

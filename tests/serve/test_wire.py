@@ -164,7 +164,7 @@ class TestErrorTable:
             "transport_fault": 503, "opencl_error": 500,
             "hls_error": 500, "device_model_error": 500,
             "no_convergence": 422, "invalid_market_data": 400,
-            "bad_request": 400,
+            "sweep_error": 400, "bad_request": 400,
         }
         assert {code: status
                 for code, status in WIRE_ERRORS.values()} == stable

@@ -1,0 +1,134 @@
+"""Frontier report: Pareto marking, pure-read contract, rendering."""
+
+import math
+
+import pytest
+
+from repro.errors import SweepError
+from repro.sweep import (
+    FRONTIER_SCHEMA,
+    RunStore,
+    SweepRow,
+    frontier_report,
+    render_frontier,
+)
+
+
+def done_row(cell, rmse, opts_s, opts_j, power_w=10.0, **result):
+    payload = dict(
+        options=8, rmse=rmse, max_abs_err=rmse * 2.0,
+        prices_blake2b="00" * 8, failures=[],
+        modeled={"options_per_second": opts_s,
+                 "options_per_joule": opts_j,
+                 "power_w": power_w},
+    )
+    payload.update(result)
+    return SweepRow(cell=cell, status="done", spec="abcd1234",
+                    condition={"steps": 16, "kernel": "iv_b",
+                               "precision": "double", "family": "crr",
+                               "backend": "numpy"},
+                    result=payload)
+
+
+def store_with(tmp_path, rows):
+    store = RunStore(tmp_path / "run.jsonl")
+    store.append_all(rows)
+    return store
+
+
+class TestPareto:
+    def test_dominated_point_is_not_on_the_frontier(self, tmp_path):
+        store = store_with(tmp_path, [
+            done_row("a", rmse=1e-6, opts_s=100.0, opts_j=10.0),
+            # strictly worse on every objective than "a"
+            done_row("b", rmse=1e-3, opts_s=50.0, opts_j=5.0),
+        ])
+        document = frontier_report(store)
+        assert document["pareto_cells"] == ["a"]
+        by_cell = {e["cell"]: e for e in document["entries"]}
+        assert by_cell["a"]["pareto"] is True
+        assert by_cell["b"]["pareto"] is False
+
+    def test_trade_off_keeps_both_points(self, tmp_path):
+        store = store_with(tmp_path, [
+            done_row("accurate", rmse=1e-9, opts_s=10.0, opts_j=1.0),
+            done_row("fast", rmse=1e-2, opts_s=9999.0, opts_j=500.0),
+        ])
+        assert set(frontier_report(store)["pareto_cells"]) == \
+            {"accurate", "fast"}
+
+    def test_tie_on_all_objectives_keeps_both(self, tmp_path):
+        # equal everywhere: neither dominates (domination needs a
+        # strict improvement somewhere)
+        store = store_with(tmp_path, [
+            done_row("a", rmse=1e-6, opts_s=100.0, opts_j=10.0),
+            done_row("b", rmse=1e-6, opts_s=100.0, opts_j=10.0),
+        ])
+        assert frontier_report(store)["pareto_cells"] == ["a", "b"]
+
+    def test_nan_objective_ranks_worst(self, tmp_path):
+        store = store_with(tmp_path, [
+            done_row("clean", rmse=1e-3, opts_s=100.0, opts_j=10.0),
+            done_row("nan", rmse=float("nan"), opts_s=200.0, opts_j=20.0),
+        ])
+        # the NaN point survives only through its throughput edge — it
+        # must not *dominate* the clean point
+        assert "clean" in frontier_report(store)["pareto_cells"]
+
+    def test_failed_cells_are_excluded(self, tmp_path):
+        store = store_with(tmp_path, [
+            done_row("good", rmse=1e-6, opts_s=100.0, opts_j=10.0),
+            SweepRow(cell="bad", status="failed", spec="abcd1234",
+                     condition={"steps": 1},
+                     error={"code": "bad_request", "message": "boom"}),
+        ])
+        document = frontier_report(store)
+        assert [e["cell"] for e in document["entries"]] == ["good"]
+        assert document["cells"]["failed"] == 1
+
+
+class TestDocument:
+    def test_schema_and_store_fingerprint(self, tmp_path):
+        store = store_with(tmp_path, [
+            done_row("a", rmse=1e-6, opts_s=100.0, opts_j=10.0)])
+        document = frontier_report(store)
+        assert document["schema"] == FRONTIER_SCHEMA
+        assert document["spec"] == "abcd1234"
+        assert document["store_fingerprint"] == store.fingerprint()
+
+    def test_report_is_a_pure_read(self, tmp_path):
+        store = store_with(tmp_path, [
+            done_row("a", rmse=1e-6, opts_s=100.0, opts_j=10.0)])
+        before = store.path.read_bytes()
+        frontier_report(store)
+        assert store.path.read_bytes() == before
+
+    def test_empty_store_is_an_error(self, tmp_path):
+        with pytest.raises(SweepError, match="empty run store"):
+            frontier_report(RunStore(tmp_path / "never.jsonl"))
+
+    def test_entries_carry_condition_and_metrics(self, tmp_path):
+        store = store_with(tmp_path, [
+            done_row("a", rmse=0.5, opts_s=100.0, opts_j=10.0,
+                     failures=[{"index": 0, "error": "EngineError",
+                                "message": "x", "attempts": 2,
+                                "code": "engine_error"}])])
+        (entry,) = frontier_report(store)["entries"]
+        assert entry["kernel"] == "iv_b"
+        assert entry["precision"] == "double"
+        assert entry["steps"] == 16
+        assert entry["rmse"] == 0.5
+        assert entry["failures"] == 1
+        assert math.isfinite(entry["options_per_second"])
+
+
+class TestRendering:
+    def test_render_contains_cells_and_pareto_marks(self, tmp_path):
+        store = store_with(tmp_path, [
+            done_row("a", rmse=1e-6, opts_s=100.0, opts_j=10.0),
+            done_row("b", rmse=1e-3, opts_s=50.0, opts_j=5.0),
+        ])
+        text = render_frontier(frontier_report(store))
+        assert "a" in text and "b" in text
+        assert "*" in text  # the pareto marker column
+        assert "rmse" in text

@@ -1,0 +1,170 @@
+"""SweepSpec: axis crossing, constraint pruning, wire round-trips."""
+
+import math
+
+import pytest
+
+from repro.errors import SweepError
+from repro.sweep import (
+    DEFAULT_CONSTRAINTS,
+    SPEC_SCHEMA,
+    SweepSpec,
+    cell_id,
+    decode_value,
+    encode_value,
+)
+
+#: Floats with awkward bit patterns the wire codec must carry exactly.
+AWKWARD_FLOATS = (
+    0.0, -0.0, 5e-324, -5e-324, 1e308, -1e308,
+    float("inf"), float("-inf"), float("nan"),
+    0.1, 1.0 + 2 ** -52,
+)
+
+
+def simple_spec(**kwargs):
+    defaults = dict(
+        name="t",
+        axes={"steps": (16, 32), "precision": ("double", "single")},
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+class TestGridEnumeration:
+    def test_full_factorial_row_major(self):
+        spec = simple_spec()
+        conditions = spec.conditions()
+        assert len(conditions) == 4
+        assert [c["steps"] for c in conditions] == [16, 16, 32, 32]
+        assert [c["precision"] for c in conditions] == \
+            ["double", "single"] * 2
+
+    def test_cells_merge_base_defaults(self):
+        (first, *_rest) = simple_spec().conditions()
+        assert first["kernel"] == "iv_b"
+        assert first["n_options"] == 32
+        assert first["task"] == "price"
+
+    def test_base_overrides_defaults_axes_override_base(self):
+        spec = simple_spec(base={"n_options": 4, "kernel": "reference"})
+        for condition in spec.conditions():
+            assert condition["n_options"] == 4
+            assert condition["kernel"] == "reference"
+
+    def test_cell_ids_stable_and_in_axis_order(self):
+        spec = simple_spec()
+        cells = [c["cell"] for c in spec.conditions()]
+        assert cells[0] == "steps=16,precision=double"
+        assert len(set(cells)) == len(cells)
+
+    def test_constraint_prunes_iv_b_off_crr(self):
+        spec = SweepSpec(
+            name="t",
+            axes={"kernel": ("iv_b", "reference"),
+                  "family": ("crr", "jr")},
+        )
+        kept = {(c["kernel"], c["family"]) for c in spec.conditions()}
+        assert ("iv_b", "jr") not in kept
+        assert len(kept) == 3
+        assert spec.pruned_count() == 1
+
+    def test_min_steps_constraint(self):
+        spec = SweepSpec(name="t", axes={"steps": (1, 2, 16)})
+        assert [c["steps"] for c in spec.conditions()] == [2, 16]
+
+    def test_no_constraints_opt_out(self):
+        spec = SweepSpec(name="t", axes={"steps": (1, 2)}, constraints=())
+        assert len(spec.conditions()) == 2
+
+
+class TestValidation:
+    def test_unknown_axis_refused(self):
+        with pytest.raises(SweepError, match="unknown sweep parameter"):
+            SweepSpec(name="t", axes={"nope": (1,)})
+
+    def test_unknown_constraint_refused(self):
+        with pytest.raises(SweepError, match="unknown constraint"):
+            simple_spec(constraints=("not_registered",))
+
+    def test_wrong_value_type_refused(self):
+        with pytest.raises(SweepError, match="accepts"):
+            SweepSpec(name="t", axes={"steps": ("deep",)})
+
+    def test_bool_is_not_an_int_axis_value(self):
+        with pytest.raises(SweepError, match="accepts"):
+            SweepSpec(name="t", axes={"steps": (True,)})
+
+    def test_duplicate_axis_values_refused(self):
+        with pytest.raises(SweepError, match="duplicate values"):
+            SweepSpec(name="t", axes={"steps": (16, 16)})
+
+    def test_axis_base_conflict_refused(self):
+        with pytest.raises(SweepError, match="both an axis and a base"):
+            simple_spec(base={"steps": 64})
+
+    def test_empty_axes_refused(self):
+        with pytest.raises(SweepError, match="at least one axis"):
+            SweepSpec(name="t", axes={})
+
+
+class TestWireForm:
+    def test_schema_tag(self):
+        assert simple_spec().to_dict()["schema"] == SPEC_SCHEMA
+        assert SPEC_SCHEMA == "repro-sweep-spec/v1"
+
+    def test_round_trip_preserves_fingerprint(self):
+        spec = simple_spec(base={"bump_vol": 0.1, "n_options": 3})
+        rebuilt = SweepSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.fingerprint() == spec.fingerprint()
+
+    def test_wrong_schema_refused(self):
+        document = simple_spec().to_dict()
+        document["schema"] = "repro-sweep-spec/v999"
+        with pytest.raises(SweepError, match="unsupported sweep-spec"):
+            SweepSpec.from_dict(document)
+
+    def test_hand_written_mapping_axes_accepted(self):
+        # the wire form is a list of pairs; a hand-written spec file
+        # may use a JSON object — same grid, same fingerprint
+        document = simple_spec().to_dict()
+        document["axes"] = dict(document["axes"])
+        assert SweepSpec.from_dict(document) == simple_spec()
+
+    def test_default_constraints_fill_in(self):
+        document = simple_spec().to_dict()
+        del document["constraints"]
+        assert SweepSpec.from_dict(document).constraints == \
+            DEFAULT_CONSTRAINTS
+
+    @pytest.mark.parametrize("value", AWKWARD_FLOATS,
+                             ids=[repr(v) for v in AWKWARD_FLOATS])
+    def test_float_codec_is_bitwise(self, value):
+        encoded = encode_value(value)
+        assert set(encoded) == {"float.hex"}
+        decoded = decode_value(encoded)
+        if math.isnan(value):
+            assert math.isnan(decoded)
+        else:
+            assert decoded == value
+            assert math.copysign(1.0, decoded) == math.copysign(1.0, value)
+
+    def test_float_axis_round_trips_bitwise(self):
+        spec = SweepSpec(name="t", axes={"bump_vol": (0.1, 5e-324, -0.0)})
+        rebuilt = SweepSpec.from_dict(spec.to_dict())
+        values = dict(rebuilt.axes)["bump_vol"]
+        assert [v.hex() for v in values] == \
+            [v.hex() for v in dict(spec.axes)["bump_vol"]]
+
+    def test_unsupported_value_type_refused(self):
+        with pytest.raises(SweepError, match="sweep values"):
+            encode_value([1, 2])
+
+    def test_fingerprint_changes_with_the_grid(self):
+        assert simple_spec().fingerprint() != \
+            simple_spec(base={"n_options": 5}).fingerprint()
+
+    def test_cell_id_renders_floats_exactly(self):
+        assert cell_id(("bump_vol",), {"bump_vol": 0.1}) == \
+            f"bump_vol={(0.1).hex()}"

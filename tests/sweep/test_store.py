@@ -1,0 +1,154 @@
+"""RunStore: durability, crash tolerance, canonical fingerprints."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import PoisonChunkError, SweepError
+from repro.sweep import ROW_SCHEMA, RunStore, SweepRow, SweepSpec
+
+
+def make_row(cell="steps=16", status="done", **kwargs):
+    defaults = dict(
+        cell=cell,
+        status=status,
+        spec="abcd1234",
+        condition={"steps": 16, "bump_vol": 0.1},
+    )
+    if status == "done":
+        defaults["result"] = {"rmse": 0.25, "options": 8}
+    if status == "failed":
+        defaults["error"] = {"code": "poison_chunk", "message": "boom"}
+    defaults.update(kwargs)
+    return SweepRow(**defaults)
+
+
+class TestSweepRow:
+    def test_round_trip_is_bitwise(self):
+        row = make_row(result={"rmse": 5e-324, "neg": -0.0,
+                               "nan": float("nan"),
+                               "nested": {"vals": [0.1, 1e308]}})
+        rebuilt = SweepRow.from_dict(
+            json.loads(json.dumps(row.to_dict())))
+        assert rebuilt.result["rmse"] == 5e-324
+        assert math.copysign(1.0, rebuilt.result["neg"]) == -1.0
+        assert math.isnan(rebuilt.result["nan"])
+        assert rebuilt.result["nested"]["vals"] == [0.1, 1e308]
+        assert rebuilt.condition["bump_vol"].hex() == (0.1).hex()
+
+    def test_schema_tag(self):
+        assert make_row().to_dict()["schema"] == ROW_SCHEMA
+        assert ROW_SCHEMA == "repro-sweep-row/v1"
+
+    def test_wrong_schema_refused(self):
+        document = make_row().to_dict()
+        document["schema"] = "repro-sweep-row/v999"
+        with pytest.raises(SweepError, match="unsupported sweep-row"):
+            SweepRow.from_dict(document)
+
+    def test_invalid_status_refused(self):
+        with pytest.raises(SweepError, match="row status"):
+            make_row(status="exploded", result=None)
+
+    def test_failed_row_requires_error_code(self):
+        with pytest.raises(SweepError, match="failed row needs"):
+            SweepRow(cell="c", status="failed", spec="s", condition={})
+
+    def test_non_failed_row_must_not_carry_error(self):
+        with pytest.raises(SweepError, match="only failed rows"):
+            SweepRow(cell="c", status="done", spec="s", condition={},
+                     error={"code": "engine_error", "message": "?"})
+
+    def test_failed_row_rebuilds_typed_exception(self):
+        row = make_row(status="failed", result=None)
+        exc = row.error_exception()
+        assert isinstance(exc, PoisonChunkError)
+        assert "boom" in str(exc)
+
+    def test_canonical_dict_excludes_meta(self):
+        row = make_row(meta={"started_at": 123.0, "host": {"cpu_count": 8}})
+        assert "meta" in row.to_dict()
+        assert "meta" not in row.canonical_dict()
+
+
+class TestRunStore:
+    def test_append_and_read_back(self, tmp_path):
+        store = RunStore(tmp_path / "run.jsonl")
+        store.append(make_row(status="pending", result=None))
+        store.append(make_row(status="done"))
+        rows = store.rows()
+        assert [r.status for r in rows] == ["pending", "done"]
+        assert store.latest()["steps=16"].status == "done"
+
+    def test_counts_are_latest_wins(self, tmp_path):
+        store = RunStore(tmp_path / "run.jsonl")
+        store.append_all([
+            make_row("a", "pending", result=None),
+            make_row("b", "pending", result=None),
+            make_row("a", "running", result=None),
+            make_row("a", "done"),
+        ])
+        assert store.counts() == {"pending": 1, "running": 0,
+                                  "done": 1, "failed": 0}
+        assert store.terminal_cells() == {"a"}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = RunStore(tmp_path / "never_written.jsonl")
+        assert store.rows() == []
+        assert store.counts() == {"pending": 0, "running": 0,
+                                  "done": 0, "failed": 0}
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = RunStore(path)
+        store.append(make_row("a"))
+        store.append(make_row("b"))
+        text = path.read_text()
+        path.write_text(text[:-20])  # crash mid-append of the last row
+        assert [r.cell for r in store.rows()] == ["a"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = RunStore(path)
+        store.append(make_row("a"))
+        store.append(make_row("b"))
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:-15]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SweepError, match="line 1"):
+            store.rows()
+
+    def test_check_spec_refuses_foreign_store(self, tmp_path):
+        spec = SweepSpec(name="t", axes={"steps": (16,)})
+        other = SweepSpec(name="t", axes={"steps": (32,)})
+        store = RunStore(tmp_path / "run.jsonl")
+        store.append(make_row(spec=spec.fingerprint()))
+        store.check_spec(spec)  # same grid: fine
+        with pytest.raises(SweepError, match="refusing to mix"):
+            store.check_spec(other)
+
+    def test_fingerprint_covers_terminal_rows_only(self, tmp_path):
+        a = RunStore(tmp_path / "a.jsonl")
+        b = RunStore(tmp_path / "b.jsonl")
+        a.append(make_row("x", "done"))
+        # b took a different path (pending first) with different meta,
+        # but the same canonical terminal row
+        b.append(make_row("x", "pending", result=None))
+        b.append(make_row("x", "done",
+                          meta={"started_at": 999.0}))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_sees_result_bits(self, tmp_path):
+        a = RunStore(tmp_path / "a.jsonl")
+        b = RunStore(tmp_path / "b.jsonl")
+        a.append(make_row(result={"rmse": 0.25}))
+        b.append(make_row(result={"rmse": 0.25000000000000006}))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_failed_rows_carry_wire_codes_through_the_file(self, tmp_path):
+        store = RunStore(tmp_path / "run.jsonl")
+        store.append(make_row(status="failed", result=None))
+        (row,) = store.rows()
+        assert row.error["code"] == "poison_chunk"
+        assert isinstance(row.error_exception(), PoisonChunkError)

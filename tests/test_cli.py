@@ -297,3 +297,113 @@ class TestCommands:
                      "--check-against", str(baseline)])
         assert code == 1
         assert "REGRESSION" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    SPEC = {
+        "schema": "repro-sweep-spec/v1",
+        "name": "cli-tiny",
+        "axes": {"steps": [8, 16]},
+        "base": {"n_options": 4, "kernel": "iv_b", "reference_steps": 32},
+    }
+
+    def write_spec(self, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return path
+
+    def test_run_and_noop_rerun(self, capsys, tmp_path):
+        spec = self.write_spec(tmp_path)
+        store = tmp_path / "run.jsonl"
+        assert main(["sweep", "run", "--spec", str(spec),
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "2 cells" in out
+        assert "2 done" in out
+        assert "grid complete; store fingerprint" in out
+        assert main(["sweep", "run", "--spec", str(spec),
+                     "--store", str(store)]) == 0
+        assert "executed 0" in capsys.readouterr().out
+
+    def test_limit_then_resume_matches_one_shot(self, capsys, tmp_path):
+        spec = self.write_spec(tmp_path)
+        killed, one_shot = tmp_path / "killed.jsonl", tmp_path / "one.jsonl"
+        assert main(["sweep", "run", "--spec", str(spec),
+                     "--store", str(killed), "--limit", "1"]) == 0
+        assert "resume with: repro sweep resume" in capsys.readouterr().out
+        assert main(["sweep", "resume", "--spec", str(spec),
+                     "--store", str(killed)]) == 0
+        assert main(["sweep", "run", "--spec", str(spec),
+                     "--store", str(one_shot)]) == 0
+        capsys.readouterr()
+
+        fingerprints = []
+        for store in (killed, one_shot):
+            assert main(["sweep", "status", "--store", str(store),
+                         "--fingerprint"]) == 0
+            fingerprints.append(capsys.readouterr().out.strip())
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_builtin_spec_by_name(self, capsys, tmp_path):
+        store = tmp_path / "run.jsonl"
+        assert main(["sweep", "run", "--spec", "steps-precision-quick",
+                     "--store", str(store), "--limit", "1"]) == 0
+        assert "already committed" in capsys.readouterr().out
+
+    def test_status_counts(self, capsys, tmp_path):
+        spec = self.write_spec(tmp_path)
+        store = tmp_path / "run.jsonl"
+        assert main(["sweep", "run", "--spec", str(spec),
+                     "--store", str(store), "--limit", "1"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "status", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "done     1" in out
+        assert "pending  1" in out
+        assert "fingerprint" in out
+
+    def test_report_is_a_pure_read(self, capsys, tmp_path):
+        import json
+
+        spec = self.write_spec(tmp_path)
+        store = tmp_path / "run.jsonl"
+        out_path = tmp_path / "frontier.json"
+        assert main(["sweep", "run", "--spec", str(spec),
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        before = store.read_bytes()
+        assert main(["sweep", "report", "--store", str(store),
+                     "--out", str(out_path)]) == 0
+        assert store.read_bytes() == before
+        out = capsys.readouterr().out
+        assert "pareto" in out.lower() or "*" in out
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == "repro-sweep-frontier/v1"
+        assert len(document["entries"]) == 2
+        assert document["pareto_cells"]
+
+    def test_unknown_spec_is_a_sweep_error(self, capsys, tmp_path):
+        code = main(["sweep", "run", "--spec", "no-such-spec",
+                     "--store", str(tmp_path / "run.jsonl")])
+        assert code == 2
+        assert "sweep error" in capsys.readouterr().err
+
+    def test_mixed_store_is_refused(self, capsys, tmp_path):
+        import json
+
+        spec = self.write_spec(tmp_path)
+        store = tmp_path / "run.jsonl"
+        assert main(["sweep", "run", "--spec", str(spec),
+                     "--store", str(store), "--limit", "1"]) == 0
+        other = dict(self.SPEC, name="other",
+                     base={"n_options": 5, "kernel": "iv_b",
+                           "reference_steps": 32})
+        other_path = tmp_path / "other.json"
+        other_path.write_text(json.dumps(other))
+        capsys.readouterr()
+        code = main(["sweep", "run", "--spec", str(other_path),
+                     "--store", str(store)])
+        assert code == 2
+        assert "refusing to mix" in capsys.readouterr().err
